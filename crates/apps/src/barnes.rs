@@ -1,0 +1,831 @@
+//! **Barnes** — gravitational N-body simulation over an oct-tree (§5.2;
+//! SPLASH's Barnes-Hut).
+//!
+//! Bodies live in the unit cube. Space is cut by a fixed 4×4×4 region grid
+//! (64 regions, assigned to nodes cyclically); each region owner builds an
+//! oct-tree for its region in a node-local *arena* whose addresses are
+//! reused every time step, so the communication pattern is repetitive with
+//! small incremental changes as bodies drift between regions — exactly the
+//! adaptive behavior of §1. Each time step runs the paper's four phases
+//! (Figure 4):
+//!
+//! 1. **build** — region owners scan all body positions (unstructured
+//!    remote reads) and insert their region's bodies into their trees
+//!    (home writes, which invalidate copies cached by the previous force
+//!    phase);
+//! 2. **center-of-mass** — an upward pass over the owner's own trees
+//!    (home writes of the mass/COM fields);
+//! 3. **forces** — every body traverses all 64 region trees with the
+//!    θ-opening criterion (unstructured reads of remote tree cells and of
+//!    leaf bodies' positions); accelerations stay in private memory;
+//! 4. **advance** — owners integrate and write new positions (owner
+//!    writes).
+//!
+//! [`run_barnes_spmd`] models the paper's hand-optimized SPMD baseline
+//! (Falsafi et al.'s application-specific write-update protocol): the
+//! known broadcast of positions is installed as a *manual* communication
+//! schedule and executed as update pushes, with no recording overhead.
+
+use prescient_core::manual::ManualEntry;
+use prescient_runtime::{Agg1D, Dist1D, Machine, MachineConfig, NodeCtx};
+use prescient_tempest::{GAddr, NodeSet};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::AppRun;
+
+/// Region grid: 4 per axis → 64 regions (supports up to 64 nodes).
+pub const GRID: usize = 4;
+/// Total regions.
+pub const REGIONS: usize = GRID * GRID * GRID;
+
+/// Barnes configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BarnesConfig {
+    /// Number of bodies (the paper uses 16384).
+    pub n: usize,
+    /// Time steps (the paper uses 3).
+    pub steps: usize,
+    /// Opening criterion θ.
+    pub theta: f64,
+    /// Integration step.
+    pub dt: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BarnesConfig {
+    fn default() -> Self {
+        BarnesConfig { n: 16384, steps: 3, theta: 0.7, dt: 1e-3, seed: 0xbab1e5 }
+    }
+}
+
+/// Deterministic initial bodies: two clustered blobs plus a uniform
+/// background (clustering makes the tree uneven, as in real N-body data).
+pub fn initial_bodies(cfg: &BarnesConfig) -> (Vec<[f64; 3]>, Vec<f64>) {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut pos = Vec::with_capacity(cfg.n);
+    let mut mass = Vec::with_capacity(cfg.n);
+    let blob = |rng: &mut SmallRng, c: [f64; 3], r: f64| {
+        let mut p = [0.0; 3];
+        for (k, pk) in p.iter_mut().enumerate() {
+            *pk = (c[k] + rng.gen_range(-r..r)).rem_euclid(1.0);
+        }
+        p
+    };
+    for i in 0..cfg.n {
+        let p = match i % 4 {
+            0 => blob(&mut rng, [0.3, 0.3, 0.3], 0.08),
+            1 => blob(&mut rng, [0.7, 0.6, 0.4], 0.05),
+            _ => [rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)],
+        };
+        pos.push(p);
+        mass.push(1.0 / cfg.n as f64);
+    }
+    (pos, mass)
+}
+
+/// Region index of a position.
+#[inline]
+pub fn region_of(p: &[f64; 3]) -> usize {
+    let g = GRID as f64;
+    let ix = ((p[0] * g) as usize).min(GRID - 1);
+    let iy = ((p[1] * g) as usize).min(GRID - 1);
+    let iz = ((p[2] * g) as usize).min(GRID - 1);
+    ix + GRID * (iy + GRID * iz)
+}
+
+/// Lower corner of a region's box.
+#[inline]
+fn region_corner(r: usize) -> [f64; 3] {
+    let g = GRID as f64;
+    [
+        (r % GRID) as f64 / g,
+        ((r / GRID) % GRID) as f64 / g,
+        (r / (GRID * GRID)) as f64 / g,
+    ]
+}
+
+const SOFTENING2: f64 = 1e-6;
+const MAX_DEPTH: usize = 24;
+
+// ---------------------------------------------------------------------
+// Sequential reference: the same region-rooted Barnes-Hut, on plain Vecs.
+// ---------------------------------------------------------------------
+
+/// A tree cell in the sequential reference.
+#[derive(Clone)]
+struct SeqCell {
+    children: [SeqChild; 8],
+    mass: f64,
+    com: [f64; 3],
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum SeqChild {
+    Empty,
+    Body(usize),
+    Cell(usize),
+}
+
+impl Default for SeqCell {
+    fn default() -> Self {
+        SeqCell { children: [SeqChild::Empty; 8], mass: 0.0, com: [0.0; 3] }
+    }
+}
+
+/// Octant of `p` within the cell with corner `corner` and size `size`.
+#[inline]
+fn octant(p: &[f64; 3], corner: &[f64; 3], size: f64) -> (usize, [f64; 3]) {
+    let half = size / 2.0;
+    let mut idx = 0;
+    let mut c = *corner;
+    for k in 0..3 {
+        if p[k] >= corner[k] + half {
+            idx |= 1 << k;
+            c[k] += half;
+        }
+    }
+    (idx, c)
+}
+
+struct SeqTree {
+    cells: Vec<SeqCell>,
+    roots: [Option<usize>; REGIONS],
+}
+
+fn seq_build(pos: &[[f64; 3]], mass: &[f64]) -> SeqTree {
+    let mut t = SeqTree { cells: Vec::new(), roots: [None; REGIONS] };
+    let rsize = 1.0 / GRID as f64;
+    for b in 0..pos.len() {
+        let r = region_of(&pos[b]);
+        let root = *t.roots[r].get_or_insert_with(|| {
+            t.cells.push(SeqCell::default());
+            t.cells.len() - 1
+        });
+        // Standard BH insertion within the region's box.
+        let mut cell = root;
+        let mut corner = region_corner(r);
+        let mut size = rsize;
+        let mut depth = 0;
+        loop {
+            let (oi, oc) = octant(&pos[b], &corner, size);
+            match t.cells[cell].children[oi] {
+                SeqChild::Empty => {
+                    t.cells[cell].children[oi] = SeqChild::Body(b);
+                    break;
+                }
+                SeqChild::Cell(c) => {
+                    cell = c;
+                    corner = oc;
+                    size /= 2.0;
+                    depth += 1;
+                }
+                SeqChild::Body(other) => {
+                    if depth >= MAX_DEPTH {
+                        // Coincident bodies: fold into the cell's summary
+                        // only (documented approximation).
+                        break;
+                    }
+                    t.cells.push(SeqCell::default());
+                    let nc = t.cells.len() - 1;
+                    t.cells[cell].children[oi] = SeqChild::Cell(nc);
+                    let (ooi, _) = octant(&pos[other], &oc, size / 2.0);
+                    t.cells[nc].children[ooi] = SeqChild::Body(other);
+                    cell = nc;
+                    corner = oc;
+                    size /= 2.0;
+                    depth += 1;
+                }
+            }
+        }
+    }
+    // COM pass.
+    fn com(t: &mut SeqTree, cell: usize, pos: &[[f64; 3]], mass: &[f64]) -> (f64, [f64; 3]) {
+        let children = t.cells[cell].children;
+        let mut m = 0.0;
+        let mut c = [0.0; 3];
+        for ch in children {
+            let (cm, cc) = match ch {
+                SeqChild::Empty => continue,
+                SeqChild::Body(b) => (mass[b], pos[b]),
+                SeqChild::Cell(x) => com(t, x, pos, mass),
+            };
+            m += cm;
+            for k in 0..3 {
+                c[k] += cm * cc[k];
+            }
+        }
+        if m > 0.0 {
+            for ck in c.iter_mut() {
+                *ck /= m;
+            }
+        }
+        t.cells[cell].mass = m;
+        t.cells[cell].com = c;
+        (m, c)
+    }
+    for r in 0..REGIONS {
+        if let Some(root) = t.roots[r] {
+            com(&mut t, root, pos, mass);
+        }
+    }
+    t
+}
+
+fn accumulate(acc: &mut [f64; 3], p: &[f64; 3], q: &[f64; 3], m: f64) {
+    let dx = q[0] - p[0];
+    let dy = q[1] - p[1];
+    let dz = q[2] - p[2];
+    let r2 = dx * dx + dy * dy + dz * dz + SOFTENING2;
+    let inv_r = 1.0 / r2.sqrt();
+    let f = m * inv_r * inv_r * inv_r;
+    acc[0] += f * dx;
+    acc[1] += f * dy;
+    acc[2] += f * dz;
+}
+
+fn seq_force(t: &SeqTree, b: usize, pos: &[[f64; 3]], mass: &[f64], theta: f64) -> [f64; 3] {
+    let mut acc = [0.0f64; 3];
+    let rsize = 1.0 / GRID as f64;
+    fn walk(
+        t: &SeqTree,
+        cell: usize,
+        size: f64,
+        b: usize,
+        pos: &[[f64; 3]],
+        mass: &[f64],
+        theta: f64,
+        acc: &mut [f64; 3],
+    ) {
+        let c = &t.cells[cell];
+        let p = &pos[b];
+        let dx = c.com[0] - p[0];
+        let dy = c.com[1] - p[1];
+        let dz = c.com[2] - p[2];
+        let d2 = dx * dx + dy * dy + dz * dz;
+        if c.mass > 0.0 && size * size < theta * theta * d2 {
+            accumulate(acc, p, &c.com, c.mass);
+            return;
+        }
+        for ch in c.children {
+            match ch {
+                SeqChild::Empty => {}
+                SeqChild::Body(j) => {
+                    if j != b {
+                        accumulate(acc, p, &pos[j], mass[j]);
+                    }
+                }
+                SeqChild::Cell(x) => {
+                    walk(t, x, size / 2.0, b, pos, mass, theta, acc);
+                }
+            }
+        }
+    }
+    for r in 0..REGIONS {
+        if let Some(root) = t.roots[r] {
+            walk(t, root, rsize, b, pos, mass, theta, &mut acc);
+        }
+    }
+    acc
+}
+
+/// The sequential reference: returns final positions.
+pub fn seq_barnes(cfg: &BarnesConfig) -> Vec<[f64; 3]> {
+    let (mut pos, mass) = initial_bodies(cfg);
+    let mut vel = vec![[0.0f64; 3]; cfg.n];
+    for _ in 0..cfg.steps {
+        let t = seq_build(&pos, &mass);
+        let accs: Vec<[f64; 3]> =
+            (0..cfg.n).map(|b| seq_force(&t, b, &pos, &mass, cfg.theta)).collect();
+        for b in 0..cfg.n {
+            for k in 0..3 {
+                vel[b][k] += accs[b][k] * cfg.dt;
+                pos[b][k] = (pos[b][k] + vel[b][k] * cfg.dt).rem_euclid(1.0);
+            }
+        }
+    }
+    pos
+}
+
+// ---------------------------------------------------------------------
+// DSM version.
+// ---------------------------------------------------------------------
+
+/// Cell layout in the shared arena, in 8-byte words:
+/// `[0..8)`  children (u64-encoded: 0 empty, odd = body*2+1, even = cell
+/// address), `[8]` mass (f64), `[9..12)` COM (f64), `[12]` pad.
+const CELL_WORDS: u64 = 12;
+const CELL_BYTES: u64 = CELL_WORDS * 8;
+
+#[inline]
+fn child_encode_body(b: usize) -> u64 {
+    (b as u64) << 1 | 1
+}
+
+#[inline]
+fn child_encode_cell(a: GAddr) -> u64 {
+    debug_assert_eq!(a.0 & 1, 0);
+    a.0
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Child {
+    Empty,
+    Body(usize),
+    Cell(GAddr),
+}
+
+#[inline]
+fn child_decode(w: u64) -> Child {
+    if w == 0 {
+        Child::Empty
+    } else if w & 1 == 1 {
+        Child::Body((w >> 1) as usize)
+    } else {
+        Child::Cell(GAddr(w))
+    }
+}
+
+/// Phase ids as the compiler assigns for the four-phase main loop
+/// (Figure 4).
+const PHASE_BUILD: u32 = 1;
+const PHASE_COM: u32 = 2;
+const PHASE_FORCE: u32 = 3;
+const PHASE_ADVANCE: u32 = 4;
+
+struct BarnesShared {
+    px: Agg1D<f64>,
+    py: Agg1D<f64>,
+    pz: Agg1D<f64>,
+    mass: Agg1D<f64>,
+    /// Root cell address per region (0 = region empty this step).
+    roots: Agg1D<u64>,
+    /// Per-node arena base and capacity in cells.
+    arena_base: Vec<GAddr>,
+    arena_cells: u64,
+}
+
+fn setup(machine: &Machine, cfg: &BarnesConfig) -> BarnesShared {
+    let n = cfg.n;
+    let nodes = machine.nodes();
+    // Arena capacity: every region tree could hold all its bodies; 4n/P
+    // cells per node is ample for random data (a body insertion allocates
+    // at most MAX_DEPTH cells, amortized ~1).
+    let arena_cells = (4 * n / nodes + 64) as u64;
+    let arena_base = (0..nodes)
+        .map(|p| machine.alloc_on(p as u16, arena_cells * CELL_BYTES, 8))
+        .collect();
+    BarnesShared {
+        px: Agg1D::new(machine, n, Dist1D::Block),
+        py: Agg1D::new(machine, n, Dist1D::Block),
+        pz: Agg1D::new(machine, n, Dist1D::Block),
+        mass: Agg1D::new(machine, n, Dist1D::Block),
+        roots: Agg1D::new(machine, REGIONS, Dist1D::Cyclic),
+        arena_base,
+        arena_cells,
+    }
+}
+
+impl BarnesShared {
+    fn read_pos(&self, ctx: &mut NodeCtx, b: usize) -> [f64; 3] {
+        [
+            ctx.read::<f64>(self.px.addr(b)),
+            ctx.read::<f64>(self.py.addr(b)),
+            ctx.read::<f64>(self.pz.addr(b)),
+        ]
+    }
+
+    fn cell_child_addr(&self, cell: GAddr, oi: usize) -> GAddr {
+        cell.add(oi as u64 * 8)
+    }
+
+    fn cell_mass_addr(&self, cell: GAddr) -> GAddr {
+        cell.add(8 * 8)
+    }
+
+    fn cell_com_addr(&self, cell: GAddr, k: usize) -> GAddr {
+        cell.add((9 + k as u64) * 8)
+    }
+}
+
+/// One node's arena cursor for a time step: cells are reused in place each
+/// step so that tree addresses — and therefore the communication pattern —
+/// stay stable across iterations.
+struct Arena {
+    base: GAddr,
+    cells: u64,
+    next: u64,
+}
+
+impl Arena {
+    fn fresh_cell(&mut self, ctx: &mut NodeCtx, sh: &BarnesShared) -> GAddr {
+        assert!(self.next < self.cells, "tree arena exhausted");
+        let a = GAddr(self.base.0 + self.next * CELL_BYTES);
+        self.next += 1;
+        // Clear the children; summary words are overwritten by the COM
+        // pass.
+        for oi in 0..8 {
+            ctx.write(sh.cell_child_addr(a, oi), 0u64);
+        }
+        a
+    }
+}
+
+/// Run the data-parallel Barnes. Works under both machines.
+pub fn run_barnes(mcfg: MachineConfig, cfg: &BarnesConfig) -> AppRun {
+    let (pos, report) = barnes_driver(mcfg, cfg, false);
+    AppRun { report, checksum: crate::water::position_checksum(&pos) }
+}
+
+/// Final positions (validation helper).
+pub fn barnes_final_positions(mcfg: MachineConfig, cfg: &BarnesConfig) -> Vec<[f64; 3]> {
+    barnes_driver(mcfg, cfg, false).0
+}
+
+/// The hand-optimized SPMD baseline: a write-update custom protocol,
+/// modeled as hand-installed (manual) communication schedules that
+/// broadcast position blocks to all nodes before each build phase and push
+/// ownership back for the advance phase — with recording disabled (no
+/// schedule-building overhead). Requires a predictive-protocol machine.
+pub fn run_barnes_spmd(mcfg: MachineConfig, cfg: &BarnesConfig) -> AppRun {
+    assert!(mcfg.protocol.is_predictive(), "the SPMD baseline uses the update machinery");
+    let (pos, report) = barnes_driver(mcfg, cfg, true);
+    AppRun { report, checksum: crate::water::position_checksum(&pos) }
+}
+
+fn barnes_driver(
+    mcfg: MachineConfig,
+    cfg: &BarnesConfig,
+    spmd_manual: bool,
+) -> (Vec<[f64; 3]>, prescient_runtime::RunReport) {
+    let n = cfg.n;
+    let steps = cfg.steps;
+    let theta = cfg.theta;
+    let dt = cfg.dt;
+    let (init_pos, init_mass) = initial_bodies(cfg);
+
+    let mut machine = Machine::new(mcfg);
+    let sh = setup(&machine, cfg);
+    let nodes = machine.nodes();
+
+    // Initialization (not measured).
+    machine.run(|ctx: &mut NodeCtx| {
+        for b in sh.px.my_range(ctx.me()) {
+            ctx.write(sh.px.addr(b), init_pos[b][0]);
+            ctx.write(sh.py.addr(b), init_pos[b][1]);
+            ctx.write(sh.pz.addr(b), init_pos[b][2]);
+            ctx.write(sh.mass.addr(b), init_mass[b]);
+        }
+        ctx.barrier();
+    });
+
+    // SPMD baseline: install the hand-written update schedules once.
+    if spmd_manual {
+        let bs = machine.config().block_size;
+        for p in 0..nodes {
+            let pred = machine.predictive(p as u16).expect("predictive machine");
+            let everyone = NodeSet::all(nodes);
+            let mut entries = Vec::new();
+            for agg in [&sh.px, &sh.py, &sh.pz] {
+                let range = agg.my_range(p as u16);
+                if range.is_empty() {
+                    continue;
+                }
+                let first = agg.addr(range.start).block(bs);
+                let last = agg.addr(range.end - 1).block(bs);
+                let mut blk = first;
+                loop {
+                    // Broadcast copies to every reader before the build
+                    // phase (the write-update push)...
+                    entries.push((blk, ManualEntry::Readers(everyone.without(p as u16))));
+                    if blk == last {
+                        break;
+                    }
+                    blk = blk.next();
+                }
+            }
+            pred.install_manual(PHASE_BUILD, entries.clone());
+            // ...and return exclusive ownership before the advance phase.
+            let writeback: Vec<_> = entries
+                .iter()
+                .map(|(b, _)| (*b, ManualEntry::Writer(p as u16)))
+                .collect();
+            pred.install_manual(PHASE_ADVANCE, writeback);
+        }
+    }
+
+    let (_, report) = machine.run(|ctx: &mut NodeCtx| {
+        let me = ctx.me();
+        let my_bodies = sh.px.my_range(me);
+        let my_regions: Vec<usize> = (0..REGIONS).filter(|r| r % nodes == me as usize).collect();
+        let mut vel = vec![[0.0f64; 3]; n];
+        let mut arena = Arena { base: sh.arena_base[me as usize], cells: sh.arena_cells, next: 0 };
+        let rsize = 1.0 / GRID as f64;
+
+        for _step in 0..steps {
+            // ---- Phase 1: build -------------------------------------
+            if spmd_manual {
+                ctx.presend_only(PHASE_BUILD);
+            } else {
+                ctx.phase_begin(PHASE_BUILD);
+            }
+            arena.next = 0;
+            let mut my_roots: Vec<(usize, GAddr)> = Vec::new();
+            for &r in &my_regions {
+                let corner0 = region_corner(r);
+                let mut root: Option<GAddr> = None;
+                for b in 0..n {
+                    let p = sh.read_pos(ctx, b);
+                    ctx.work(4);
+                    if region_of(&p) != r {
+                        continue;
+                    }
+                    let root_addr = match root {
+                        Some(a) => a,
+                        None => {
+                            let a = arena.fresh_cell(ctx, &sh);
+                            root = Some(a);
+                            a
+                        }
+                    };
+                    // BH insertion.
+                    let mut cell = root_addr;
+                    let mut corner = corner0;
+                    let mut size = rsize;
+                    let mut depth = 0;
+                    loop {
+                        let (oi, oc) = octant(&p, &corner, size);
+                        ctx.work(6);
+                        let slot = sh.cell_child_addr(cell, oi);
+                        match child_decode(ctx.read::<u64>(slot)) {
+                            Child::Empty => {
+                                ctx.write(slot, child_encode_body(b));
+                                break;
+                            }
+                            Child::Cell(c) => {
+                                cell = c;
+                                corner = oc;
+                                size /= 2.0;
+                                depth += 1;
+                            }
+                            Child::Body(other) => {
+                                if depth >= MAX_DEPTH {
+                                    break; // folded into the summary only
+                                }
+                                let nc = arena.fresh_cell(ctx, &sh);
+                                ctx.write(slot, child_encode_cell(nc));
+                                let op = sh.read_pos(ctx, other);
+                                let (ooi, _) = octant(&op, &oc, size / 2.0);
+                                ctx.write(sh.cell_child_addr(nc, ooi), child_encode_body(other));
+                                cell = nc;
+                                corner = oc;
+                                size /= 2.0;
+                                depth += 1;
+                            }
+                        }
+                    }
+                }
+                if let Some(a) = root {
+                    my_roots.push((r, a));
+                }
+                ctx.write(sh.roots.addr(r), root.map_or(0, |a| a.0));
+            }
+            if spmd_manual {
+                ctx.barrier();
+            } else {
+                ctx.phase_end();
+            }
+
+            // ---- Phase 2: center of mass (own trees) ----------------
+            if !spmd_manual {
+                ctx.phase_begin(PHASE_COM);
+            }
+            for &(_r, root) in &my_roots {
+                com_pass(ctx, &sh, root);
+            }
+            if spmd_manual {
+                ctx.barrier();
+            } else {
+                ctx.phase_end();
+            }
+
+            // ---- Phase 3: forces ------------------------------------
+            if !spmd_manual {
+                ctx.phase_begin(PHASE_FORCE);
+            }
+            let mut accs = vec![[0.0f64; 3]; my_bodies.len()];
+            for (bi, b) in my_bodies.clone().enumerate() {
+                let p = sh.read_pos(ctx, b);
+                let mut acc = [0.0f64; 3];
+                for r in 0..REGIONS {
+                    let rw = ctx.read::<u64>(sh.roots.addr(r));
+                    if rw != 0 {
+                        walk_force(ctx, &sh, GAddr(rw), rsize, b, &p, theta, &mut acc);
+                    }
+                }
+                accs[bi] = acc;
+            }
+            if spmd_manual {
+                ctx.barrier();
+            } else {
+                ctx.phase_end();
+            }
+
+            // ---- Phase 4: advance -----------------------------------
+            if spmd_manual {
+                ctx.presend_only(PHASE_ADVANCE);
+            } else {
+                ctx.phase_begin(PHASE_ADVANCE);
+            }
+            for (bi, b) in my_bodies.clone().enumerate() {
+                let mut p = sh.read_pos(ctx, b);
+                for k in 0..3 {
+                    vel[b][k] += accs[bi][k] * dt;
+                    p[k] = (p[k] + vel[b][k] * dt).rem_euclid(1.0);
+                }
+                ctx.work(12);
+                ctx.write(sh.px.addr(b), p[0]);
+                ctx.write(sh.py.addr(b), p[1]);
+                ctx.write(sh.pz.addr(b), p[2]);
+            }
+            if spmd_manual {
+                ctx.barrier();
+            } else {
+                ctx.phase_end();
+            }
+        }
+    });
+
+    // Gather final positions.
+    let (out, _) = machine.run(|ctx: &mut NodeCtx| {
+        let mut v = Vec::new();
+        if ctx.me() == 0 {
+            for b in 0..n {
+                v.push(sh.read_pos(ctx, b));
+            }
+        }
+        ctx.barrier();
+        v
+    });
+    (out.into_iter().next().expect("node 0"), report)
+}
+
+/// Post-order COM computation over one owned region tree.
+fn com_pass(ctx: &mut NodeCtx, sh: &BarnesShared, cell: GAddr) -> (f64, [f64; 3]) {
+    let mut m = 0.0f64;
+    let mut c = [0.0f64; 3];
+    for oi in 0..8 {
+        let w = ctx.read::<u64>(sh.cell_child_addr(cell, oi));
+        let (cm, cc) = match child_decode(w) {
+            Child::Empty => continue,
+            Child::Body(b) => {
+                let bm = ctx.read::<f64>(sh.mass.addr(b));
+                (bm, sh.read_pos(ctx, b))
+            }
+            Child::Cell(x) => com_pass(ctx, sh, x),
+        };
+        m += cm;
+        for k in 0..3 {
+            c[k] += cm * cc[k];
+        }
+        ctx.work(4);
+    }
+    if m > 0.0 {
+        for ck in c.iter_mut() {
+            *ck /= m;
+        }
+    }
+    ctx.write(sh.cell_mass_addr(cell), m);
+    for k in 0..3 {
+        ctx.write(sh.cell_com_addr(cell, k), c[k]);
+    }
+    (m, c)
+}
+
+/// Force traversal of one region tree through the DSM.
+#[allow(clippy::too_many_arguments)]
+fn walk_force(
+    ctx: &mut NodeCtx,
+    sh: &BarnesShared,
+    cell: GAddr,
+    size: f64,
+    b: usize,
+    p: &[f64; 3],
+    theta: f64,
+    acc: &mut [f64; 3],
+) {
+    let mass = ctx.read::<f64>(sh.cell_mass_addr(cell));
+    let com = [
+        ctx.read::<f64>(sh.cell_com_addr(cell, 0)),
+        ctx.read::<f64>(sh.cell_com_addr(cell, 1)),
+        ctx.read::<f64>(sh.cell_com_addr(cell, 2)),
+    ];
+    let dx = com[0] - p[0];
+    let dy = com[1] - p[1];
+    let dz = com[2] - p[2];
+    let d2 = dx * dx + dy * dy + dz * dz;
+    ctx.work(8);
+    if mass > 0.0 && size * size < theta * theta * d2 {
+        accumulate(acc, p, &com, mass);
+        ctx.work(10);
+        return;
+    }
+    for oi in 0..8 {
+        let w = ctx.read::<u64>(sh.cell_child_addr(cell, oi));
+        match child_decode(w) {
+            Child::Empty => {}
+            Child::Body(j) => {
+                if j != b {
+                    let q = sh.read_pos(ctx, j);
+                    let mj = ctx.read::<f64>(sh.mass.addr(j));
+                    accumulate(acc, p, &q, mj);
+                    ctx.work(10);
+                }
+            }
+            Child::Cell(x) => walk_force(ctx, sh, x, size / 2.0, b, p, theta, acc),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_partition_the_cube() {
+        assert_eq!(region_of(&[0.0, 0.0, 0.0]), 0);
+        assert_eq!(region_of(&[0.99, 0.99, 0.99]), REGIONS - 1);
+        assert_eq!(region_of(&[0.3, 0.0, 0.0]), 1);
+        // Boundary clamping.
+        assert_eq!(region_of(&[1.0, 1.0, 1.0]), REGIONS - 1);
+    }
+
+    #[test]
+    fn octant_selection() {
+        let corner = [0.0, 0.0, 0.0];
+        let (i, c) = octant(&[0.1, 0.1, 0.1], &corner, 1.0);
+        assert_eq!(i, 0);
+        assert_eq!(c, corner);
+        let (i, c) = octant(&[0.9, 0.1, 0.9], &corner, 1.0);
+        assert_eq!(i, 0b101);
+        assert_eq!(c, [0.5, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn child_encoding_roundtrip() {
+        assert_eq!(child_decode(0), Child::Empty);
+        assert_eq!(child_decode(child_encode_body(42)), Child::Body(42));
+        let a = GAddr(0x1000);
+        assert_eq!(child_decode(child_encode_cell(a)), Child::Cell(a));
+    }
+
+    #[test]
+    fn seq_tree_masses_sum() {
+        let cfg = BarnesConfig { n: 256, steps: 1, ..Default::default() };
+        let (pos, mass) = initial_bodies(&cfg);
+        let t = seq_build(&pos, &mass);
+        let total: f64 = (0..REGIONS)
+            .filter_map(|r| t.roots[r])
+            .map(|root| t.cells[root].mass)
+            .sum();
+        let expect: f64 = mass.iter().sum();
+        assert!((total - expect).abs() < 1e-12, "{total} vs {expect}");
+    }
+
+    #[test]
+    fn seq_forces_approximate_direct_sum() {
+        // With θ → 0 the BH force must equal the direct O(n²) sum.
+        let cfg = BarnesConfig { n: 64, steps: 1, theta: 1e-9, ..Default::default() };
+        let (pos, mass) = initial_bodies(&cfg);
+        let t = seq_build(&pos, &mass);
+        for b in [0usize, 13, 63] {
+            let bh = seq_force(&t, b, &pos, &mass, cfg.theta);
+            let mut direct = [0.0f64; 3];
+            for j in 0..cfg.n {
+                if j != b {
+                    accumulate(&mut direct, &pos[b], &pos[j], mass[j]);
+                }
+            }
+            for k in 0..3 {
+                assert!(
+                    (bh[k] - direct[k]).abs() < 1e-9,
+                    "body {b} axis {k}: {} vs {}",
+                    bh[k],
+                    direct[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seq_barnes_runs_and_stays_in_box() {
+        let cfg = BarnesConfig { n: 128, steps: 2, ..Default::default() };
+        let pos = seq_barnes(&cfg);
+        for p in &pos {
+            for k in 0..3 {
+                assert!(p[k].is_finite() && (0.0..1.0).contains(&p[k]));
+            }
+        }
+    }
+}

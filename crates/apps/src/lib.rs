@@ -1,0 +1,52 @@
+//! # prescient-apps
+//!
+//! The paper's three evaluation applications (Table 1), their sequential
+//! references, and the two external baselines:
+//!
+//! * [`adaptive`] — *Adaptive*: structured adaptive mesh relaxation
+//!   computing electric potentials in a box; cells subdivide (quad-tree
+//!   refinement) where the gradient is steep, so communication grows
+//!   incrementally and load is imbalanced (paper: 128×128 mesh, 100
+//!   iterations);
+//! * [`barnes`] — *Barnes*: gravitational N-body simulation over an
+//!   oct-tree, rebuilt every time step, with unstructured tree reads in
+//!   the force phase (paper: 16384 bodies, 3 iterations);
+//! * [`water`] — *Water*: molecular dynamics with a half-shell spherical
+//!   cutoff; a molecule's position updated in one phase is read by n/2
+//!   molecules in the next — the canonical static producer–consumer
+//!   pattern (paper: 512 molecules, 20 iterations);
+//! * [`barnes::run_barnes_spmd`] — the hand-optimized SPMD Barnes baseline
+//!   modeled after the application-specific write-update protocols of
+//!   Falsafi et al. (Figure 6's fifth bar);
+//! * [`water::run_splash_water`] — the Splash-style Water baseline
+//!   (transparent shared memory, scattered force writes, no custom
+//!   protocol — Figure 7's third bar).
+//!
+//! Every application runs unmodified under both the unoptimized (plain
+//! Stache) and optimized (predictive) machines — the `phase_begin` /
+//! `phase_end` directives are no-ops under Stache — and validates against
+//! its sequential reference.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod barnes;
+pub mod water;
+
+use prescient_runtime::RunReport;
+
+/// Outcome of one application run.
+pub struct AppRun {
+    /// The measured run (main iterations only; setup is excluded).
+    pub report: RunReport,
+    /// An application-defined checksum of the final state, for
+    /// cross-version comparisons.
+    pub checksum: f64,
+}
+
+/// Relative error helper for validations.
+pub fn rel_err(a: f64, b: f64) -> f64 {
+    let denom = a.abs().max(b.abs()).max(1e-30);
+    (a - b).abs() / denom
+}

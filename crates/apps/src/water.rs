@@ -1,0 +1,504 @@
+//! **Water** — molecular dynamics with a half-shell spherical cutoff
+//! (§5.3; SPLASH's water code, simplified to a Lennard-Jones system).
+//!
+//! `n` molecules in a periodic box. Each time step has two parallel
+//! phases:
+//!
+//! 1. **interactions** — each molecule computes pair forces with the n/2
+//!    molecules following it (pairs within the cutoff radius, half the box
+//!    length). This reads the *positions* of remote molecules — a static,
+//!    repetitive producer–consumer pattern: "a molecule's position updated
+//!    in one iteration is read by n/2 other molecules in the following
+//!    iteration". Forces accumulate in private arrays and are combined
+//!    with the language-level reduction (reductions are not a predictive
+//!    protocol target, §1).
+//! 2. **advance** — owners integrate velocities and write the new
+//!    positions (owner writes that invalidate all cached copies; the
+//!    predictive protocol records and pre-invalidates/pushes them).
+//!
+//! [`run_splash_water`] is the Figure-7 baseline: the same physics
+//! restructured the way the Splash-2 code uses transparent shared memory —
+//! per-processor partial-force arrays living in shared memory and summed
+//! by owners through ordinary loads, with no protocol directives.
+
+use prescient_runtime::{Agg1D, Dist1D, Machine, MachineConfig, NodeCtx};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::AppRun;
+
+/// Water configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct WaterConfig {
+    /// Number of molecules (the paper uses 512).
+    pub n: usize,
+    /// Time steps (the paper uses 20).
+    pub steps: usize,
+    /// Integration step.
+    pub dt: f64,
+    /// RNG seed for initial conditions.
+    pub seed: u64,
+}
+
+impl Default for WaterConfig {
+    fn default() -> Self {
+        WaterConfig { n: 512, steps: 20, dt: 1e-3, seed: 0x5eed_0001 }
+    }
+}
+
+impl WaterConfig {
+    /// Box side for the configured density (reduced units, ρ = 0.8).
+    pub fn box_len(&self) -> f64 {
+        (self.n as f64 / 0.8).cbrt()
+    }
+
+    /// Cutoff radius: half the box length (§5.3).
+    pub fn cutoff(&self) -> f64 {
+        self.box_len() / 2.0
+    }
+}
+
+/// Deterministic initial state: a jittered cubic lattice with zero
+/// velocities.
+pub fn initial_positions(cfg: &WaterConfig) -> Vec<[f64; 3]> {
+    let l = cfg.box_len();
+    let per_side = (cfg.n as f64).cbrt().ceil() as usize;
+    let spacing = l / per_side as f64;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut pos = Vec::with_capacity(cfg.n);
+    'outer: for ix in 0..per_side {
+        for iy in 0..per_side {
+            for iz in 0..per_side {
+                if pos.len() == cfg.n {
+                    break 'outer;
+                }
+                let jitter = 0.05 * spacing;
+                pos.push([
+                    (ix as f64 + 0.5) * spacing + rng.gen_range(-jitter..jitter),
+                    (iy as f64 + 0.5) * spacing + rng.gen_range(-jitter..jitter),
+                    (iz as f64 + 0.5) * spacing + rng.gen_range(-jitter..jitter),
+                ]);
+            }
+        }
+    }
+    pos
+}
+
+/// Minimum-image displacement component.
+#[inline]
+fn min_image(mut d: f64, l: f64) -> f64 {
+    if d > l / 2.0 {
+        d -= l;
+    } else if d < -l / 2.0 {
+        d += l;
+    }
+    d
+}
+
+/// Lennard-Jones force magnitude over distance (f/r), truncated.
+#[inline]
+fn lj_force_over_r(r2: f64) -> f64 {
+    let inv_r2 = 1.0 / r2;
+    let s6 = inv_r2 * inv_r2 * inv_r2;
+    24.0 * inv_r2 * s6 * (2.0 * s6 - 1.0)
+}
+
+/// Should the (i, j = i+d mod n) pair be computed by molecule `i`?
+/// Half-shell rule: d in 1..=n/2, with the d == n/2 pairs (when n is even)
+/// computed only from the lower index to avoid double counting.
+#[inline]
+fn owns_pair(i: usize, d: usize, n: usize) -> bool {
+    d >= 1 && (2 * d < n || (2 * d == n && i < (i + d) % n))
+}
+
+/// Clamp a force component to keep the simplified integrator stable when
+/// the jittered lattice makes close pairs.
+#[inline]
+fn clamp_force(f: f64) -> f64 {
+    f.clamp(-1e3, 1e3)
+}
+
+/// The sequential reference. Returns final positions.
+pub fn seq_water(cfg: &WaterConfig) -> Vec<[f64; 3]> {
+    let n = cfg.n;
+    let l = cfg.box_len();
+    let rc2 = cfg.cutoff() * cfg.cutoff();
+    let mut pos = initial_positions(cfg);
+    let mut vel = vec![[0.0f64; 3]; n];
+    for _ in 0..cfg.steps {
+        let mut force = vec![[0.0f64; 3]; n];
+        for i in 0..n {
+            for d in 1..=n / 2 {
+                if !owns_pair(i, d, n) {
+                    continue;
+                }
+                let j = (i + d) % n;
+                let dx = min_image(pos[i][0] - pos[j][0], l);
+                let dy = min_image(pos[i][1] - pos[j][1], l);
+                let dz = min_image(pos[i][2] - pos[j][2], l);
+                let r2 = dx * dx + dy * dy + dz * dz;
+                if r2 < rc2 && r2 > 1e-12 {
+                    let f = lj_force_over_r(r2);
+                    let (fx, fy, fz) = (clamp_force(f * dx), clamp_force(f * dy), clamp_force(f * dz));
+                    force[i][0] += fx;
+                    force[i][1] += fy;
+                    force[i][2] += fz;
+                    force[j][0] -= fx;
+                    force[j][1] -= fy;
+                    force[j][2] -= fz;
+                }
+            }
+        }
+        for i in 0..n {
+            for k in 0..3 {
+                vel[i][k] += force[i][k] * cfg.dt;
+                pos[i][k] = (pos[i][k] + vel[i][k] * cfg.dt).rem_euclid(l);
+            }
+        }
+    }
+    pos
+}
+
+/// Checksum over positions (order-independent enough for comparisons, but
+/// computed identically everywhere).
+pub fn position_checksum(pos: &[[f64; 3]]) -> f64 {
+    pos.iter()
+        .enumerate()
+        .map(|(i, p)| (1.0 + (i % 7) as f64) * (p[0] + 2.0 * p[1] + 3.0 * p[2]))
+        .sum()
+}
+
+/// Phase ids (as the C\*\* compiler would assign for the two-phase main
+/// loop).
+const PHASE_INTERACT: u32 = 1;
+const PHASE_ADVANCE: u32 = 2;
+
+/// Run the data-parallel Water under the given machine configuration.
+/// Works unoptimized (Stache) and optimized (predictive) — the directives
+/// are no-ops in the former.
+pub fn run_water(mcfg: MachineConfig, cfg: &WaterConfig) -> AppRun {
+    let (pos, report) = water_driver(mcfg, cfg);
+    AppRun { report, checksum: position_checksum(&pos) }
+}
+
+/// Final positions from a DSM run (validation helper).
+pub fn water_final_positions(mcfg: MachineConfig, cfg: &WaterConfig) -> Vec<[f64; 3]> {
+    water_driver(mcfg, cfg).0
+}
+
+/// The shared driver: set up, run the measured main loop, gather
+/// positions.
+fn water_driver(mcfg: MachineConfig, cfg: &WaterConfig) -> (Vec<[f64; 3]>, prescient_runtime::RunReport) {
+    let n = cfg.n;
+    let l = cfg.box_len();
+    let rc2 = cfg.cutoff() * cfg.cutoff();
+    let dt = cfg.dt;
+    let steps = cfg.steps;
+    let init = initial_positions(cfg);
+
+    let mut machine = Machine::new(mcfg);
+    let px = Agg1D::<f64>::new(&machine, n, Dist1D::Block);
+    let py = Agg1D::<f64>::new(&machine, n, Dist1D::Block);
+    let pz = Agg1D::<f64>::new(&machine, n, Dist1D::Block);
+
+    // Owners write initial positions (not measured).
+    machine.run(|ctx: &mut NodeCtx| {
+        for i in px.my_range(ctx.me()) {
+            ctx.write(px.addr(i), init[i][0]);
+            ctx.write(py.addr(i), init[i][1]);
+            ctx.write(pz.addr(i), init[i][2]);
+        }
+        ctx.barrier();
+    });
+
+    let (_, report) = machine.run(|ctx: &mut NodeCtx| {
+        let mine = px.my_range(ctx.me());
+        // Private (non-shared) per-node state.
+        let mut vel = vec![[0.0f64; 3]; n];
+        for _step in 0..steps {
+            // ---- Phase 1: interactions ------------------------------
+            ctx.phase_begin(PHASE_INTERACT);
+            let mut force = vec![0.0f64; 3 * n];
+            for i in mine.clone() {
+                let xi = ctx.read::<f64>(px.addr(i));
+                let yi = ctx.read::<f64>(py.addr(i));
+                let zi = ctx.read::<f64>(pz.addr(i));
+                for d in 1..=n / 2 {
+                    if !owns_pair(i, d, n) {
+                        continue;
+                    }
+                    let j = (i + d) % n;
+                    let xj = ctx.read::<f64>(px.addr(j));
+                    let yj = ctx.read::<f64>(py.addr(j));
+                    let zj = ctx.read::<f64>(pz.addr(j));
+                    let dx = min_image(xi - xj, l);
+                    let dy = min_image(yi - yj, l);
+                    let dz = min_image(zi - zj, l);
+                    let r2 = dx * dx + dy * dy + dz * dz;
+                    // Distance check + pair bookkeeping; the in-cutoff
+                    // charge models the paper's multi-site water potential
+                    // (hundreds of flops per molecule pair), which our
+                    // simplified LJ kernel stands in for.
+                    ctx.work(30);
+                    if r2 < rc2 && r2 > 1e-12 {
+                        let f = lj_force_over_r(r2);
+                        let (fx, fy, fz) =
+                            (clamp_force(f * dx), clamp_force(f * dy), clamp_force(f * dz));
+                        ctx.work(300);
+                        force[3 * i] += fx;
+                        force[3 * i + 1] += fy;
+                        force[3 * i + 2] += fz;
+                        force[3 * j] -= fx;
+                        force[3 * j + 1] -= fy;
+                        force[3 * j + 2] -= fz;
+                    }
+                }
+            }
+            ctx.phase_end();
+
+            // ---- Reduction (language feature) -----------------------
+            ctx.allreduce_sum(&mut force);
+
+            // ---- Phase 2: advance -----------------------------------
+            ctx.phase_begin(PHASE_ADVANCE);
+            for i in mine.clone() {
+                let mut p = [
+                    ctx.read::<f64>(px.addr(i)),
+                    ctx.read::<f64>(py.addr(i)),
+                    ctx.read::<f64>(pz.addr(i)),
+                ];
+                for k in 0..3 {
+                    vel[i][k] += force[3 * i + k] * dt;
+                    p[k] = (p[k] + vel[i][k] * dt).rem_euclid(l);
+                }
+                ctx.work(12);
+                ctx.write(px.addr(i), p[0]);
+                ctx.write(py.addr(i), p[1]);
+                ctx.write(pz.addr(i), p[2]);
+            }
+            ctx.phase_end();
+        }
+    });
+
+    // Gather final positions for validation.
+    let (sums, _) = machine.run(|ctx: &mut NodeCtx| {
+        let mut out = Vec::new();
+        if ctx.me() == 0 {
+            for i in 0..n {
+                out.push([
+                    ctx.read::<f64>(px.addr(i)),
+                    ctx.read::<f64>(py.addr(i)),
+                    ctx.read::<f64>(pz.addr(i)),
+                ]);
+            }
+        }
+        ctx.barrier();
+        out
+    });
+    (sums.into_iter().next().expect("node 0"), report)
+}
+
+/// The Splash-style baseline (Figure 7's third bar): transparent shared
+/// memory only. Per-processor partial-force arrays live in shared memory
+/// (one row per node); owners sum all rows through ordinary loads. No
+/// directives, no pre-sends — run it on a Stache machine.
+pub fn run_splash_water(mcfg: MachineConfig, cfg: &WaterConfig) -> AppRun {
+    assert!(
+        !mcfg.protocol.is_predictive(),
+        "the Splash baseline uses transparent shared memory only"
+    );
+    let n = cfg.n;
+    let l = cfg.box_len();
+    let rc2 = cfg.cutoff() * cfg.cutoff();
+    let dt = cfg.dt;
+    let steps = cfg.steps;
+    let init = initial_positions(cfg);
+    let nodes = mcfg.nodes;
+
+    let mut machine = Machine::new(mcfg);
+    let px = Agg1D::<f64>::new(&machine, n, Dist1D::Block);
+    let py = Agg1D::<f64>::new(&machine, n, Dist1D::Block);
+    let pz = Agg1D::<f64>::new(&machine, n, Dist1D::Block);
+    // Per-node partial forces in shared memory: row p is node p's
+    // contribution, 3n floats (SPLASH-2's per-process arrays).
+    let partial = prescient_runtime::Agg2D::<f64>::new(
+        &machine,
+        nodes,
+        3 * n,
+        prescient_runtime::Dist2D::RowBlock,
+    );
+
+    machine.run(|ctx: &mut NodeCtx| {
+        for i in px.my_range(ctx.me()) {
+            ctx.write(px.addr(i), init[i][0]);
+            ctx.write(py.addr(i), init[i][1]);
+            ctx.write(pz.addr(i), init[i][2]);
+        }
+        ctx.barrier();
+    });
+
+    let (_, report) = machine.run(|ctx: &mut NodeCtx| {
+        let mine = px.my_range(ctx.me());
+        let me = ctx.me() as usize;
+        let mut vel = vec![[0.0f64; 3]; n];
+        for _ in 0..steps {
+            // Interactions: accumulate locally, then publish the whole
+            // partial row to shared memory (home writes).
+            let mut force = vec![0.0f64; 3 * n];
+            for i in mine.clone() {
+                let xi = ctx.read::<f64>(px.addr(i));
+                let yi = ctx.read::<f64>(py.addr(i));
+                let zi = ctx.read::<f64>(pz.addr(i));
+                for d in 1..=n / 2 {
+                    if !owns_pair(i, d, n) {
+                        continue;
+                    }
+                    let j = (i + d) % n;
+                    let xj = ctx.read::<f64>(px.addr(j));
+                    let yj = ctx.read::<f64>(py.addr(j));
+                    let zj = ctx.read::<f64>(pz.addr(j));
+                    let dx = min_image(xi - xj, l);
+                    let dy = min_image(yi - yj, l);
+                    let dz = min_image(zi - zj, l);
+                    let r2 = dx * dx + dy * dy + dz * dz;
+                    // Distance check + pair bookkeeping; the in-cutoff
+                    // charge models the paper's multi-site water potential
+                    // (hundreds of flops per molecule pair), which our
+                    // simplified LJ kernel stands in for.
+                    ctx.work(30);
+                    if r2 < rc2 && r2 > 1e-12 {
+                        let f = lj_force_over_r(r2);
+                        let (fx, fy, fz) =
+                            (clamp_force(f * dx), clamp_force(f * dy), clamp_force(f * dz));
+                        ctx.work(300);
+                        force[3 * i] += fx;
+                        force[3 * i + 1] += fy;
+                        force[3 * i + 2] += fz;
+                        force[3 * j] -= fx;
+                        force[3 * j + 1] -= fy;
+                        force[3 * j + 2] -= fz;
+                    }
+                }
+            }
+            for k in 0..3 * n {
+                ctx.write(partial.addr(me, k), force[k]);
+            }
+            ctx.barrier();
+
+            // Owners sum contributing nodes' partial rows through shared
+            // memory — the transparent-shared-memory reduction. In the
+            // half-shell decomposition only this node and the (cyclically)
+            // preceding P/2 nodes can touch our molecules, so only those
+            // rows are read (as the SPLASH code's per-molecule lock
+            // accumulation effectively does).
+            let contributors: Vec<usize> =
+                (0..=nodes / 2).map(|k| (me + nodes - k) % nodes).collect();
+            for i in mine.clone() {
+                let mut f = [0.0f64; 3];
+                for &p in &contributors {
+                    for k in 0..3 {
+                        f[k] += ctx.read::<f64>(partial.addr(p, 3 * i + k));
+                    }
+                    ctx.work(3);
+                }
+                let mut pv = [
+                    ctx.read::<f64>(px.addr(i)),
+                    ctx.read::<f64>(py.addr(i)),
+                    ctx.read::<f64>(pz.addr(i)),
+                ];
+                for k in 0..3 {
+                    vel[i][k] += f[k] * dt;
+                    pv[k] = (pv[k] + vel[i][k] * dt).rem_euclid(l);
+                }
+                ctx.work(12);
+                ctx.write(px.addr(i), pv[0]);
+                ctx.write(py.addr(i), pv[1]);
+                ctx.write(pz.addr(i), pv[2]);
+            }
+            ctx.barrier();
+        }
+    });
+
+    let (sums, _) = machine.run(|ctx: &mut NodeCtx| {
+        let mut out = Vec::new();
+        if ctx.me() == 0 {
+            for i in 0..n {
+                out.push([
+                    ctx.read::<f64>(px.addr(i)),
+                    ctx.read::<f64>(py.addr(i)),
+                    ctx.read::<f64>(pz.addr(i)),
+                ]);
+            }
+        }
+        ctx.barrier();
+        out
+    });
+    AppRun { report, checksum: position_checksum(&sums[0]) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_ownership_covers_each_pair_once() {
+        for n in [6usize, 7, 8, 16] {
+            let mut count = vec![vec![0u32; n]; n];
+            for i in 0..n {
+                for d in 1..=n / 2 {
+                    if owns_pair(i, d, n) {
+                        let j = (i + d) % n;
+                        count[i.min(j)][i.max(j)] += 1;
+                    }
+                }
+            }
+            for i in 0..n {
+                for j in i + 1..n {
+                    assert_eq!(count[i][j], 1, "pair ({i},{j}) of n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_image_wraps() {
+        let l = 10.0;
+        assert_eq!(min_image(6.0, l), -4.0);
+        assert_eq!(min_image(-6.0, l), 4.0);
+        assert_eq!(min_image(3.0, l), 3.0);
+    }
+
+    #[test]
+    fn initial_positions_in_box() {
+        let cfg = WaterConfig { n: 64, steps: 1, ..Default::default() };
+        let pos = initial_positions(&cfg);
+        assert_eq!(pos.len(), 64);
+        let l = cfg.box_len();
+        for p in &pos {
+            for k in 0..3 {
+                assert!(p[k] >= -0.5 && p[k] <= l + 0.5);
+            }
+        }
+        // Deterministic.
+        assert_eq!(pos, initial_positions(&cfg));
+    }
+
+    #[test]
+    fn seq_water_is_stable() {
+        let cfg = WaterConfig { n: 64, steps: 5, ..Default::default() };
+        let pos = seq_water(&cfg);
+        let l = cfg.box_len();
+        for p in &pos {
+            for k in 0..3 {
+                assert!(p[k].is_finite() && p[k] >= 0.0 && p[k] < l);
+            }
+        }
+    }
+
+    #[test]
+    fn lj_force_signs() {
+        // Repulsive when close (r < 2^(1/6)), attractive when farther.
+        assert!(lj_force_over_r(1.0) > 0.0);
+        assert!(lj_force_over_r(2.0) < 0.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! End-to-end application tests at test scale: every application's DSM run
+//! matches its sequential reference under both protocols, the predictive
+//! protocol reduces misses/remote wait on each, and the baselines behave
+//! as modeled.
+
+use prescient_apps::adaptive::{run_adaptive_full, seq_adaptive, AdaptiveConfig};
+use prescient_apps::barnes::{
+    barnes_final_positions, run_barnes, run_barnes_spmd, seq_barnes, BarnesConfig,
+};
+use prescient_apps::water::{
+    run_splash_water, run_water, seq_water, water_final_positions, WaterConfig,
+};
+use prescient_runtime::MachineConfig;
+
+const NODES: usize = 4;
+const BS: usize = 32;
+
+fn wcfg() -> WaterConfig {
+    WaterConfig { n: 64, steps: 4, ..Default::default() }
+}
+
+fn bcfg() -> BarnesConfig {
+    BarnesConfig { n: 192, steps: 2, ..Default::default() }
+}
+
+fn acfg() -> AdaptiveConfig {
+    AdaptiveConfig { n: 12, iters: 4, tau: 0.4, max_depth: 2, flush_every: None }
+}
+
+#[test]
+fn water_matches_sequential_under_both_protocols() {
+    let cfg = wcfg();
+    let expect = seq_water(&cfg);
+    for mcfg in [MachineConfig::stache(NODES, BS), MachineConfig::predictive(NODES, BS)] {
+        let got = water_final_positions(mcfg, &cfg);
+        for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+            for k in 0..3 {
+                assert!(
+                    (g[k] - e[k]).abs() < 1e-9,
+                    "molecule {i} axis {k}: {} vs {} (predictive={})",
+                    g[k],
+                    e[k],
+                    mcfg.protocol.is_predictive()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn water_predictive_reduces_misses() {
+    let cfg = wcfg();
+    let unopt = run_water(MachineConfig::stache(NODES, BS), &cfg);
+    let opt = run_water(MachineConfig::predictive(NODES, BS), &cfg);
+    assert_eq!(unopt.checksum, opt.checksum, "same physics either way");
+    let (mu, mo) = (unopt.report.total_stats().misses(), opt.report.total_stats().misses());
+    assert!(mo < mu / 2, "water misses: {mo} vs {mu}");
+    assert!(opt.report.mean_breakdown().wait_ns < unopt.report.mean_breakdown().wait_ns);
+    assert!(opt.report.total_stats().presend_blocks_out > 0);
+}
+
+#[test]
+fn splash_water_same_physics_no_presend() {
+    let cfg = wcfg();
+    let cc = run_water(MachineConfig::stache(NODES, BS), &cfg);
+    let splash = run_splash_water(MachineConfig::stache(NODES, BS), &cfg);
+    assert!(
+        (cc.checksum - splash.checksum).abs() < 1e-6 * cc.checksum.abs().max(1.0),
+        "{} vs {}",
+        cc.checksum,
+        splash.checksum
+    );
+    assert_eq!(splash.report.total_stats().presend_blocks_out, 0);
+    // The shared-memory reduction costs extra remote traffic.
+    assert!(
+        splash.report.total_stats().misses() > cc.report.total_stats().misses(),
+        "splash should communicate more: {} vs {}",
+        splash.report.total_stats().misses(),
+        cc.report.total_stats().misses()
+    );
+}
+
+#[test]
+fn barnes_matches_sequential_under_both_protocols() {
+    let cfg = bcfg();
+    let expect = seq_barnes(&cfg);
+    for mcfg in [MachineConfig::stache(NODES, BS), MachineConfig::predictive(NODES, BS)] {
+        let got = barnes_final_positions(mcfg, &cfg);
+        for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+            for k in 0..3 {
+                assert!(
+                    (g[k] - e[k]).abs() < 1e-9,
+                    "body {i} axis {k}: {} vs {} (predictive={})",
+                    g[k],
+                    e[k],
+                    mcfg.protocol.is_predictive()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn barnes_predictive_reduces_wait() {
+    let cfg = BarnesConfig { n: 192, steps: 3, ..Default::default() };
+    let unopt = run_barnes(MachineConfig::stache(NODES, BS), &cfg);
+    let opt = run_barnes(MachineConfig::predictive(NODES, BS), &cfg);
+    assert_eq!(unopt.checksum, opt.checksum);
+    let (mu, mo) = (unopt.report.total_stats().misses(), opt.report.total_stats().misses());
+    assert!(mo < mu, "barnes misses: {mo} vs {mu}");
+    assert!(
+        opt.report.mean_breakdown().wait_ns < unopt.report.mean_breakdown().wait_ns,
+        "wait: {} vs {}",
+        opt.report.mean_breakdown().wait_ns,
+        unopt.report.mean_breakdown().wait_ns
+    );
+}
+
+#[test]
+fn barnes_spmd_baseline_matches_and_presends() {
+    let cfg = bcfg();
+    let auto = run_barnes(MachineConfig::predictive(NODES, BS), &cfg);
+    let spmd = run_barnes_spmd(MachineConfig::predictive(NODES, BS), &cfg);
+    assert_eq!(auto.checksum, spmd.checksum, "same physics");
+    // The manual write-update schedule pushes data without any recording.
+    assert!(spmd.report.total_stats().presend_blocks_out > 0);
+    assert_eq!(spmd.report.total_stats().sched_records, 0, "no recording in SPMD mode");
+}
+
+#[test]
+fn adaptive_matches_sequential_under_both_protocols() {
+    let cfg = acfg();
+    let seq = seq_adaptive(&cfg);
+    for mcfg in [MachineConfig::stache(NODES, BS), MachineConfig::predictive(NODES, BS)] {
+        let (_, roots, depths) = run_adaptive_full(mcfg, &cfg);
+        for i in 0..cfg.n {
+            for j in 0..cfg.n {
+                let k = i * cfg.n + j;
+                assert_eq!(
+                    depths[k],
+                    seq.depths[k],
+                    "depth mismatch at ({i},{j}) predictive={}",
+                    mcfg.protocol.is_predictive()
+                );
+                assert!(
+                    (roots[k] - seq.roots[k]).abs() < 1e-12,
+                    "root mismatch at ({i},{j}): {} vs {}",
+                    roots[k],
+                    seq.roots[k]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn adaptive_predictive_reduces_wait_and_schedule_grows() {
+    let cfg = AdaptiveConfig { n: 12, iters: 6, tau: 0.4, max_depth: 2, flush_every: None };
+    let (unopt, _, _) = run_adaptive_full(MachineConfig::stache(NODES, BS), &cfg);
+    let (opt, _, depths) = run_adaptive_full(MachineConfig::predictive(NODES, BS), &cfg);
+    assert!(depths.iter().any(|&d| d > 0), "refinement must happen");
+    let (mu, mo) = (unopt.report.total_stats().misses(), opt.report.total_stats().misses());
+    assert!(mo < mu, "adaptive misses: {mo} vs {mu}");
+    assert!(opt.report.mean_breakdown().wait_ns < unopt.report.mean_breakdown().wait_ns);
+    // Incremental growth: schedules recorded entries over the run.
+    assert!(opt.report.total_stats().sched_records > 0);
+}

@@ -1,0 +1,185 @@
+//! Criterion microbenches for the core mechanisms:
+//!
+//! * `access/local_hit` — the fine-grain access-control check + copy on the
+//!   hot (hit) path;
+//! * `protocol/remote_read_miss` — a full 2-hop miss through the engine;
+//! * `protocol/producer_consumer_roundtrip` — the 4-message §3.2 pattern;
+//! * `presend/record+presend` — schedule recording and the pre-send walk;
+//! * `compiler/compile_jacobi` — the whole mini-C\*\* pipeline;
+//! * `dataflow/solve` — the bit-vector fixpoint on a deep loop nest;
+//! * `machine/barrier` — one virtual-time barrier episode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prescient_cstar::cfg::CfgBuilder;
+use prescient_cstar::dataflow::ReachingUnstructured;
+use prescient_runtime::{Agg1D, Dist1D, Machine, MachineConfig, NodeCtx};
+
+fn bench_access(c: &mut Criterion) {
+    let mut machine = Machine::new(MachineConfig::stache(2, 64));
+    let a = Agg1D::<f64>::new(&machine, 64, Dist1D::Block);
+    c.bench_function("access/local_hit", |b| {
+        b.iter_custom(|iters| {
+            let (durs, _) = machine.run(|ctx: &mut NodeCtx| {
+                let start = std::time::Instant::now();
+                if ctx.me() == 0 {
+                    let addr = a.addr(0);
+                    for i in 0..iters {
+                        ctx.write(addr, i as f64);
+                        let _: f64 = ctx.read(addr);
+                    }
+                }
+                let d = start.elapsed();
+                ctx.barrier();
+                d
+            });
+            durs[0] / 2 // two accesses per iter
+        })
+    });
+}
+
+fn bench_remote_miss(c: &mut Criterion) {
+    let mut machine = Machine::new(MachineConfig::stache(2, 64));
+    let a = Agg1D::<f64>::new(&machine, 64, Dist1D::Block);
+    c.bench_function("protocol/remote_read_miss", |b| {
+        b.iter_custom(|iters| {
+            let (durs, _) = machine.run(|ctx: &mut NodeCtx| {
+                let start = std::time::Instant::now();
+                // Node 1 reads node 0's element; node 0 rewrites it each
+                // round to force a fresh miss.
+                for i in 0..iters {
+                    if ctx.me() == 0 {
+                        ctx.write(a.addr(0), i as f64);
+                    }
+                    ctx.barrier();
+                    if ctx.me() == 1 {
+                        let _: f64 = ctx.read(a.addr(0));
+                    }
+                    ctx.barrier();
+                }
+                let d = start.elapsed();
+                ctx.barrier();
+                d
+            });
+            durs[1]
+        })
+    });
+}
+
+fn bench_producer_consumer(c: &mut Criterion) {
+    let mut machine = Machine::new(MachineConfig::stache(3, 64));
+    let a = Agg1D::<f64>::new(&machine, 64, Dist1D::Block);
+    c.bench_function("protocol/producer_consumer_roundtrip", |b| {
+        b.iter_custom(|iters| {
+            let (durs, _) = machine.run(|ctx: &mut NodeCtx| {
+                // Home is node 0; producer node 1; consumer node 2 — the
+                // full 4-message transfer of §3.2.
+                let start = std::time::Instant::now();
+                for i in 0..iters {
+                    if ctx.me() == 1 {
+                        ctx.write(a.addr(0), i as f64);
+                    }
+                    ctx.barrier();
+                    if ctx.me() == 2 {
+                        let _: f64 = ctx.read(a.addr(0));
+                    }
+                    ctx.barrier();
+                }
+                let d = start.elapsed();
+                ctx.barrier();
+                d
+            });
+            durs[2]
+        })
+    });
+}
+
+fn bench_presend(c: &mut Criterion) {
+    c.bench_function("presend/record_and_presend_64_blocks", |b| {
+        b.iter_custom(|iters| {
+            let mut machine = Machine::new(MachineConfig::predictive(2, 32));
+            let a = Agg1D::<f64>::new(&machine, 256, Dist1D::Block); // 64 blocks total
+            let (durs, _) = machine.run(|ctx: &mut NodeCtx| {
+                let start = std::time::Instant::now();
+                for _ in 0..iters {
+                    ctx.phase_begin(1);
+                    if ctx.me() == 1 {
+                        for i in 0..128 {
+                            let _: f64 = ctx.read(a.addr(i));
+                        }
+                    }
+                    ctx.phase_end();
+                    ctx.phase_begin(2);
+                    if ctx.me() == 0 {
+                        for i in a.my_range(0) {
+                            ctx.write(a.addr(i), 1.0);
+                        }
+                    }
+                    ctx.phase_end();
+                }
+                let d = start.elapsed();
+                ctx.barrier();
+                d
+            });
+            durs[0]
+        })
+    });
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    const SRC: &str = r#"
+        aggregate G[64][64] of float;
+        aggregate H[64][64] of float;
+        parallel fn sweep(g, h) {
+            h[#0][#1] = 0.25 * (g[#0-1][#1] + g[#0+1][#1] + g[#0][#1-1] + g[#0][#1+1]);
+        }
+        fn main() {
+            for it in 0 .. 100 { sweep(G, H); sweep(H, G); }
+        }
+    "#;
+    c.bench_function("compiler/compile_jacobi", |b| {
+        b.iter(|| prescient_cstar::compile::compile(std::hint::black_box(SRC)).unwrap())
+    });
+}
+
+fn bench_dataflow(c: &mut Criterion) {
+    // A deep loop nest with many aggregates: stress the fixpoint.
+    let aggs: Vec<String> = (0..32).map(|i| format!("A{i}")).collect();
+    let mut b = CfgBuilder::new(aggs.clone());
+    for depth in 0..6 {
+        b.begin_loop(&format!("l{depth}"));
+    }
+    for i in 0..32 {
+        let name = format!("A{i}");
+        b.call(&format!("f{i}"), &[(name.as_str(), false, i % 3 == 0, i % 2 == 0, i % 5 == 0)]);
+    }
+    for _ in 0..6 {
+        b.end_loop();
+    }
+    let cfg = b.finish();
+    c.bench_function("dataflow/solve_32aggs_6deep", |b| {
+        b.iter(|| ReachingUnstructured::solve(std::hint::black_box(&cfg)))
+    });
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    let mut machine = Machine::new(MachineConfig::stache(4, 64));
+    c.bench_function("machine/barrier_4nodes", |b| {
+        b.iter_custom(|iters| {
+            let (durs, _) = machine.run(|ctx: &mut NodeCtx| {
+                let start = std::time::Instant::now();
+                for _ in 0..iters {
+                    ctx.barrier();
+                }
+                start.elapsed()
+            });
+            durs[0]
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_access, bench_remote_miss, bench_producer_consumer, bench_presend, bench_compiler, bench_dataflow, bench_barrier
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Ablation: pre-send block coalescing on/off (§3.4).
+//!
+//! The pre-send phase coalesces runs of neighboring blocks with identical
+//! targets into bulk messages, amortizing per-message startup. This
+//! ablation runs Water and Adaptive with coalescing disabled and reports
+//! the message-count and pre-send-time inflation.
+
+use prescient_apps::adaptive::{run_adaptive, AdaptiveConfig};
+use prescient_apps::water::{run_water, WaterConfig};
+use prescient_bench::Scale;
+use prescient_core::PredictiveConfig;
+use prescient_runtime::{MachineConfig, ProtocolKind};
+
+fn mcfg(nodes: usize, bs: usize, coalesce: bool) -> MachineConfig {
+    MachineConfig {
+        protocol: ProtocolKind::Predictive(PredictiveConfig { coalesce, ..Default::default() }),
+        ..MachineConfig::predictive(nodes, bs)
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+
+    println!("== Ablation: pre-send coalescing ({} nodes, 32B blocks) ==\n", scale.nodes);
+    println!(
+        "{:<10} {:<10} {:>12} {:>12} {:>12} {:>12}",
+        "app", "coalesce", "presendblk", "presendmsg", "presend(ms)", "total(ms)"
+    );
+
+    let wcfg = if scale.paper {
+        WaterConfig::default()
+    } else {
+        WaterConfig { n: 128, steps: 5, ..Default::default() }
+    };
+    for coalesce in [true, false] {
+        let r = run_water(mcfg(scale.nodes, 32, coalesce), &wcfg);
+        row("water", coalesce, &r);
+    }
+
+    let acfg = if scale.paper {
+        AdaptiveConfig::default()
+    } else {
+        AdaptiveConfig { n: 24, iters: 8, tau: 0.5, max_depth: 3, flush_every: None }
+    };
+    for coalesce in [true, false] {
+        let r = run_adaptive(mcfg(scale.nodes, 32, coalesce), &acfg);
+        row("adaptive", coalesce, &r);
+    }
+}
+
+fn row(app: &str, coalesce: bool, r: &prescient_apps::AppRun) {
+    let t = r.report.total_stats();
+    let presend_ms = r.report.mean_breakdown().presend_ns as f64 / 1e6;
+    let total_ms = r.report.exec_time_ns() as f64 / 1e6;
+    println!(
+        "{app:<10} {:<10} {:>12} {:>12} {presend_ms:>12.2} {total_ms:>12.2}",
+        coalesce, t.presend_blocks_out, t.presend_msgs_out
+    );
+}

@@ -1,0 +1,67 @@
+//! Figure 7: execution time for three versions of **Water** — C\*\* with
+//! and without optimized communication, and the Splash-style version
+//! (transparent shared memory, no custom protocols). As in the paper, each
+//! version runs at its own best cache-block size (found by a small sweep).
+//!
+//! Paper's shape: the optimized version is modestly faster than the
+//! unoptimized one (1.05–1.07×) and ~1.2× faster than Splash.
+
+use prescient_apps::water::{run_splash_water, run_water, WaterConfig};
+use prescient_bench::{render_figure, speedup, Bar, Scale};
+use prescient_runtime::MachineConfig;
+
+fn best_of(
+    label: &str,
+    nodes: usize,
+    run: impl Fn(MachineConfig) -> prescient_apps::AppRun,
+    predictive: bool,
+) -> Bar {
+    let mut best: Option<(usize, prescient_apps::AppRun)> = None;
+    for bs in [32usize, 64, 128, 256, 512, 1024] {
+        let mcfg = if predictive {
+            MachineConfig::predictive(nodes, bs)
+        } else {
+            MachineConfig::stache(nodes, bs)
+        };
+        eprintln!("running {label} ({bs}B) ...");
+        let r = run(mcfg);
+        let better = match &best {
+            Some((_, b)) => r.report.exec_time_ns() < b.report.exec_time_ns(),
+            None => true,
+        };
+        if better {
+            best = Some((bs, r));
+        }
+    }
+    let (bs, run) = best.expect("at least one block size");
+    Bar { label: format!("{label} ({bs}B)"), report: run.report }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let cfg = if scale.paper {
+        WaterConfig::default() // 512 molecules, 20 steps
+    } else {
+        WaterConfig { n: 128, steps: 6, ..Default::default() }
+    };
+
+    let unopt = best_of("C** unoptimized", scale.nodes, |m| run_water(m, &cfg), false);
+    let opt = best_of("C** optimized", scale.nodes, |m| run_water(m, &cfg), true);
+    let splash =
+        best_of("Splash (transparent shm)", scale.nodes, |m| run_splash_water(m, &cfg), false);
+
+    let bars = vec![unopt, opt, splash];
+    println!(
+        "{}",
+        render_figure(
+            &format!(
+                "Figure 7: Water ({} molecules, {} steps, {} nodes; best block size per version)",
+                cfg.n, cfg.steps, scale.nodes
+            ),
+            &bars
+        )
+    );
+
+    println!("opt vs unopt: {:.2}x (paper: 1.05-1.07x)", speedup(&bars[0], &bars[1]));
+    println!("opt vs Splash: {:.2}x (paper: 1.2x)", speedup(&bars[2], &bars[1]));
+}

@@ -1,0 +1,159 @@
+//! # prescient-bench
+//!
+//! The harness that regenerates every table and figure of the paper's
+//! evaluation (§5), plus the ablations DESIGN.md calls out. One binary per
+//! experiment (`src/bin/`), Criterion microbenches in `benches/`.
+//!
+//! Every figure binary accepts:
+//!
+//! * `--paper` — run at the paper's Table 1 scale (32 nodes, full data
+//!   sets). The default is a reduced scale that preserves the figures'
+//!   *shape* while staying friendly to small CI machines.
+//! * `--nodes N` — override the node count.
+//!
+//! The output format mirrors the paper's stacked bars: per version, the
+//! total virtual execution time normalized to the fastest version, split
+//! into *remote data wait*, *predictive protocol* (pre-send), and
+//! *compute + synch*.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use prescient_runtime::RunReport;
+
+/// Command-line scale options shared by the figure binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Run at the paper's full scale.
+    pub paper: bool,
+    /// Node count (paper: 32).
+    pub nodes: usize,
+}
+
+impl Scale {
+    /// Parse from `std::env::args`: `--paper`, `--nodes N`.
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        let paper = args.iter().any(|a| a == "--paper");
+        let mut nodes = if paper { 32 } else { 8 };
+        if let Some(i) = args.iter().position(|a| a == "--nodes") {
+            nodes = args
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .expect("--nodes needs a number");
+        }
+        Scale { paper, nodes }
+    }
+}
+
+/// One measured version of a benchmark (one bar of a figure).
+pub struct Bar {
+    /// Version label, e.g. `"C** optimized (32B)"`.
+    pub label: String,
+    /// The run.
+    pub report: RunReport,
+}
+
+/// Render a figure: the paper's stacked bars, normalized to the fastest
+/// version, plus the raw protocol counters.
+pub fn render_figure(title: &str, bars: &[Bar]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    writeln!(s, "== {title} ==").unwrap();
+    let best = bars
+        .iter()
+        .map(|b| b.report.exec_time_ns())
+        .min()
+        .unwrap_or(1)
+        .max(1);
+    writeln!(
+        s,
+        "{:<34} {:>9} {:>11} {:>9} {:>9} {:>9}  {}",
+        "version", "rel.time", "total(ms)", "wait%", "presend%", "cs%", "bar"
+    )
+    .unwrap();
+    for b in bars {
+        let total = b.report.exec_time_ns().max(1);
+        let m = b.report.mean_breakdown();
+        let wait = m.wait_ns as f64 / total as f64;
+        let pre = m.presend_ns as f64 / total as f64;
+        let cs = m.compute_synch_ns() as f64 / total as f64;
+        let rel = total as f64 / best as f64;
+        let width = (rel * 30.0).round() as usize;
+        let w_w = (wait * width as f64).round() as usize;
+        let w_p = (pre * width as f64).round() as usize;
+        let w_c = width.saturating_sub(w_w + w_p);
+        writeln!(
+            s,
+            "{:<34} {:>9.2} {:>11.2} {:>8.1}% {:>8.1}% {:>8.1}%  {}{}{}",
+            b.label,
+            rel,
+            total as f64 / 1e6,
+            wait * 100.0,
+            pre * 100.0,
+            cs * 100.0,
+            "W".repeat(w_w),
+            "P".repeat(w_p),
+            "=".repeat(w_c),
+        )
+        .unwrap();
+    }
+    writeln!(s, "\n{:<34} {:>10} {:>10} {:>10} {:>10} {:>10}", "counters", "misses", "slow", "presend", "msgs", "local%")
+        .unwrap();
+    for b in bars {
+        let t = b.report.total_stats();
+        writeln!(
+            s,
+            "{:<34} {:>10} {:>10} {:>10} {:>10} {:>9.2}%",
+            b.label,
+            t.misses(),
+            t.slow_misses,
+            t.presend_blocks_out,
+            t.msgs_out,
+            b.report.local_fraction() * 100.0
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// Ratio of two bars' execution times (`a` over `b`).
+pub fn speedup(a: &Bar, b: &Bar) -> f64 {
+    a.report.exec_time_ns() as f64 / b.report.exec_time_ns() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prescient_runtime::{Machine, MachineConfig, NodeCtx};
+
+    fn tiny_report() -> RunReport {
+        let mut m = Machine::new(MachineConfig::stache(2, 32));
+        let (_, r) = m.run(|ctx: &mut NodeCtx| {
+            ctx.work(100);
+            ctx.barrier();
+        });
+        r
+    }
+
+    #[test]
+    fn render_contains_labels_and_percentages() {
+        let bars = vec![
+            Bar { label: "unopt".into(), report: tiny_report() },
+            Bar { label: "opt".into(), report: tiny_report() },
+        ];
+        let out = render_figure("test figure", &bars);
+        assert!(out.contains("test figure"));
+        assert!(out.contains("unopt"));
+        assert!(out.contains("wait%"));
+        assert!(out.contains("local%"));
+    }
+
+    #[test]
+    fn speedup_is_ratio() {
+        let a = Bar { label: "a".into(), report: tiny_report() };
+        let b = Bar { label: "b".into(), report: tiny_report() };
+        let s = speedup(&a, &b);
+        assert!(s > 0.0 && s.is_finite());
+    }
+}

@@ -1,0 +1,20 @@
+//! User-message handler codes for the predictive protocol.
+//!
+//! Tempest active messages carry a handler identifier; these constants are
+//! the predictive protocol's vocabulary on top of Stache's
+//! [`prescient_stache::msg::UserMsg`] escape hatch.
+
+/// Home → target: bulk pre-send of read-only copies. `blocks` carries the
+/// coalesced `(block, data)` run; the receiver installs all of them with a
+/// `ReadOnly` tag and acknowledges.
+pub const PRESEND_RO: u16 = 0x50;
+
+/// Home → target: bulk pre-send of writable copies (`ReadWrite` tags).
+pub const PRESEND_RW: u16 = 0x51;
+
+/// Target → home: pre-send installed; `a` = number of blocks.
+pub const PRESEND_ACK: u16 = 0x52;
+
+/// Wake-up code delivered to the home's compute thread per acknowledged
+/// pre-send message (`a` = number of blocks).
+pub const WAKE_PRESEND_ACK: u16 = 0x53;

@@ -1,0 +1,48 @@
+//! # prescient-core
+//!
+//! The paper's primary contribution: a **predictive cache-coherence
+//! protocol** that optimizes *repetitive* shared-memory communication in
+//! iterative parallel applications (§3).
+//!
+//! The protocol augments Stache in two parts:
+//!
+//! 1. **Schedule building** (§3.3, [`schedule`]): while a compiler-marked
+//!    parallel phase executes, every read/write request arriving at a home
+//!    node is recorded into that phase's *communication schedule* — which
+//!    blocks were requested, by whom, and how. Blocks both read and written
+//!    within one phase instance are marked *conflict*. Schedules grow
+//!    incrementally across iterations (new faults add entries); deletions
+//!    are not tracked, so a schedule can be flushed and rebuilt when the
+//!    pattern shrinks.
+//! 2. **Pre-sending** (§3.4, [`presend`]): at the next instance of the
+//!    phase, each home node walks its part of the schedule and transfers
+//!    data *before* the computation faults on it: read-marked blocks are
+//!    recalled from any writer and read-only copies are forwarded to all
+//!    recorded readers; write-marked blocks are torn down and a writable
+//!    copy is forwarded to the recorded writer; conflict blocks get no
+//!    action. Neighboring blocks with identical targets are *coalesced*
+//!    into bulk messages to amortize message startup. A global barrier
+//!    after the transfers leaves all block states stable before compute
+//!    resumes.
+//!
+//! The protocol is driven by two compiler-inserted directives
+//! ([`Predictive::presend_and_arm`] / [`Predictive::end_phase`]), placed by
+//! the analysis in `prescient-cstar` (§4); the runtime wraps them with
+//! barriers.
+//!
+//! [`manual`] additionally exposes hand-built schedules, used to model the
+//! paper's hand-optimized SPMD baseline (an application-specific
+//! write-update protocol in the style of Falsafi et al. [5]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codes;
+pub mod manual;
+pub mod predictive;
+pub mod presend;
+pub mod schedule;
+
+pub use predictive::{Predictive, PredictiveConfig};
+pub use presend::PresendReport;
+pub use schedule::{Action, PhaseId, PhaseSchedule, ScheduleEntry, ScheduleStore};

@@ -1,0 +1,157 @@
+//! The per-node predictive-protocol extension: schedule recording and the
+//! receiver side of pre-sends.
+//!
+//! One [`Predictive`] instance exists per node. It plugs into the Stache
+//! engine through [`prescient_stache::hooks::Hooks`]: the engine offers it
+//! every request arriving at this home node (recording, §3.3) and routes
+//! the pre-send user messages to it (§3.4). The sending side of the
+//! pre-send phase runs on the *compute* thread and lives in
+//! [`crate::presend`].
+
+use parking_lot::Mutex;
+use prescient_stache::hooks::Hooks;
+use prescient_stache::msg::{Msg, UserMsg, Wake};
+use prescient_stache::node::NodeShared;
+use prescient_tempest::tag::Tag;
+use prescient_tempest::{BlockId, NodeId, NodeSet, NodeStats};
+
+use crate::codes;
+use crate::schedule::{PhaseId, ScheduleStore};
+
+/// Tuning knobs for the predictive protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictiveConfig {
+    /// Coalesce runs of neighboring blocks with identical targets into one
+    /// bulk message (§3.4). Disable for the ablation study.
+    pub coalesce: bool,
+    /// Upper bound on blocks per bulk message.
+    pub max_bulk_blocks: usize,
+    /// Pre-send conflict blocks toward their first stable state instead of
+    /// skipping them — the optional policy §3.4 sketches. Off by default,
+    /// matching the paper's implementation.
+    pub anticipate_conflicts: bool,
+}
+
+impl Default for PredictiveConfig {
+    fn default() -> Self {
+        PredictiveConfig { coalesce: true, max_bulk_blocks: 256, anticipate_conflicts: false }
+    }
+}
+
+pub(crate) struct PredState {
+    /// Phase currently recording, if any.
+    pub recording: Option<PhaseId>,
+    /// This home node's slice of every phase's schedule.
+    pub store: ScheduleStore,
+}
+
+/// Per-node predictive-protocol state: one per node, shared between that
+/// node's protocol-handler thread (recording, pre-send receive) and compute
+/// thread (pre-send drive, directives).
+pub struct Predictive {
+    pub(crate) cfg: PredictiveConfig,
+    pub(crate) state: Mutex<PredState>,
+}
+
+impl Predictive {
+    /// Create the extension state for one node.
+    pub fn new(cfg: PredictiveConfig) -> Predictive {
+        Predictive {
+            cfg,
+            state: Mutex::new(PredState { recording: None, store: ScheduleStore::default() }),
+        }
+    }
+
+    /// The configuration this instance was built with.
+    pub fn config(&self) -> PredictiveConfig {
+        self.cfg
+    }
+
+    /// Directive: start recording `phase` and advance its instance
+    /// counter. Must be called *after* the pre-send for the phase and its
+    /// stability barrier (the runtime's `phase_begin` wraps this).
+    pub fn arm(&self, phase: PhaseId) {
+        let mut st = self.state.lock();
+        st.store.phase_mut(phase).cur_iter += 1;
+        st.recording = Some(phase);
+    }
+
+    /// Directive: stop recording.
+    ///
+    /// Must be called *between two barriers* at the end of the phase (the
+    /// runtime's `phase_end` does this): after the first barrier every
+    /// requester has received its reply, so every in-phase request has been
+    /// recorded at its home; the second barrier keeps other nodes'
+    /// post-phase traffic from being misrecorded into this phase.
+    pub fn end_phase(&self) {
+        self.state.lock().recording = None;
+    }
+
+    /// Discard one phase's schedule (rebuild policy for patterns with many
+    /// deletions, §3.3).
+    pub fn flush(&self, phase: PhaseId) {
+        self.state.lock().store.flush(phase);
+    }
+
+    /// Number of schedule entries currently held for `phase` at this node.
+    pub fn entries(&self, phase: PhaseId) -> usize {
+        self.state.lock().store.phase(phase).map_or(0, |p| p.entries.len())
+    }
+
+    /// Number of conflict-marked entries for `phase` at this node.
+    pub fn conflicts(&self, phase: PhaseId) -> usize {
+        self.state.lock().store.phase(phase).map_or(0, |p| p.conflicts())
+    }
+}
+
+impl Hooks for Predictive {
+    fn on_home_request(
+        &self,
+        node: &NodeShared,
+        block: BlockId,
+        requester: NodeId,
+        excl: bool,
+    ) -> bool {
+        let mut st = self.state.lock();
+        let Some(phase) = st.recording else { return false };
+        let sched = st.store.phase_mut(phase);
+        if excl {
+            sched.record_write(block, requester);
+        } else {
+            sched.record_read(block, requester);
+        }
+        NodeStats::bump(&node.stats.sched_records);
+        true
+    }
+
+    fn on_user(&self, node: &NodeShared, src: NodeId, msg: UserMsg) {
+        match msg.code {
+            codes::PRESEND_RO | codes::PRESEND_RW => {
+                let tag = if msg.code == codes::PRESEND_RW { Tag::ReadWrite } else { Tag::ReadOnly };
+                let count = msg.blocks.len() as u64;
+                {
+                    let mut mem = node.mem.lock();
+                    for (block, data) in &msg.blocks {
+                        mem.install(*block, data, tag, true);
+                    }
+                }
+                NodeStats::add(&node.stats.presend_blocks_in, count);
+                node.send(src, Msg::User(UserMsg::simple(codes::PRESEND_ACK, count)));
+            }
+            codes::PRESEND_ACK => {
+                // Forward to the pre-send driver blocked on the compute
+                // thread.
+                node.wake(Wake::User { code: codes::WAKE_PRESEND_ACK, a: msg.a });
+            }
+            other => panic!("node {}: unknown user-message code {other:#x}", node.me),
+        }
+    }
+}
+
+/// A read-only description of one pre-send push, used by the driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Push {
+    pub block: BlockId,
+    pub targets: NodeSet,
+    pub excl: bool,
+}

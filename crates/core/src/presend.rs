@@ -1,0 +1,283 @@
+//! The pre-send phase (§3.4): the home-node driver.
+//!
+//! At the start of a new instance of a recorded phase, each node walks its
+//! slice of the phase's communication schedule and executes the anticipated
+//! coherence actions early:
+//!
+//! * **read-marked** blocks: any current writer is torn down (the home
+//!   issues the same recall the default protocol would) and read-only
+//!   copies are forwarded to every recorded reader that does not already
+//!   hold one;
+//! * **write-marked** blocks: all other copies are invalidated and a
+//!   writable copy is forwarded to the recorded writer;
+//! * **conflict** blocks: no action.
+//!
+//! Runs of neighboring blocks with identical targets are coalesced into
+//! single bulk messages to amortize message startup. Every bulk message is
+//! acknowledged by its receiver; the driver returns only after all
+//! acknowledgements, and the runtime then executes the global barrier that
+//! leaves every block state stable before compute resumes (§3.4).
+//!
+//! The driver runs on the node's *compute* thread — it may block (its
+//! tear-downs reuse the ordinary blocking fetch path), while all handler
+//! work stays non-blocking.
+
+use crossbeam::channel::Receiver;
+use prescient_stache::engine::fetch;
+use prescient_stache::msg::{Msg, UserMsg, Wake};
+use prescient_stache::node::NodeShared;
+
+use prescient_stache::dir::DirState;
+use prescient_tempest::tag::Tag;
+use prescient_tempest::{NodeSet, NodeStats};
+
+use crate::codes;
+use crate::predictive::{Predictive, Push};
+use crate::schedule::{Action, PhaseId};
+
+/// What one node's pre-send did, with its virtual-time bill.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PresendReport {
+    /// Block copies forwarded (blocks × targets).
+    pub blocks_pushed: u64,
+    /// Bulk messages sent.
+    pub msgs: u64,
+    /// Bytes forwarded.
+    pub bytes: u64,
+    /// Blocking tear-down fetches (recalls/invalidations of stale copies).
+    pub ensure_fetches: u64,
+    /// Conflict entries skipped.
+    pub skipped_conflicts: u64,
+    /// Virtual time spent (billed to the figures' "Predictive protocol"
+    /// bar segment).
+    pub vtime_ns: u64,
+}
+
+/// Execute the pre-send for `phase` on this node. Returns after all
+/// pushed copies are installed and acknowledged.
+pub fn presend(
+    pred: &Predictive,
+    n: &NodeShared,
+    wake_rx: &Receiver<Wake>,
+    stash: &mut Vec<Wake>,
+    phase: PhaseId,
+) -> PresendReport {
+    let me = n.me;
+    let mut report = PresendReport::default();
+
+    // Snapshot this node's schedule slice in block order.
+    let entries = {
+        let st = pred.state.lock();
+        match st.store.phase(phase) {
+            Some(p) => p.sorted_entries(),
+            None => return report,
+        }
+    };
+
+    // Pass 1: tear down stale copies (blocking, via the ordinary fault
+    // path) and build the push list.
+    let mut pushes: Vec<Push> = Vec::new();
+    for (block, entry) in entries {
+        match entry.action_with(pred.cfg.anticipate_conflicts) {
+            Action::Conflict => {
+                report.skipped_conflicts += 1;
+            }
+            Action::Read => {
+                let readers = entry.readers.without(me);
+                let state = dir_state(n, block);
+                if matches!(state, DirState::Exclusive(_)) {
+                    // Recall the writer's copy home (it stays a sharer).
+                    let info = fetch(n, wake_rx, block, false, stash);
+                    report.ensure_fetches += 1;
+                    report.vtime_ns += n.cost.ensure_ns(info.bytes);
+                }
+                let sharers = match dir_state(n, block) {
+                    DirState::Shared(s) => s,
+                    _ => NodeSet::EMPTY,
+                };
+                let targets = readers.minus(sharers);
+                if !targets.is_empty() {
+                    pushes.push(Push { block, targets, excl: false });
+                }
+            }
+            Action::Write => {
+                let writer = entry.writer.expect("write action without writer");
+                let state = dir_state(n, block);
+                if writer == me {
+                    // Prefetch ownership home.
+                    if !matches!(state, DirState::Uncached) {
+                        let info = fetch(n, wake_rx, block, true, stash);
+                        report.ensure_fetches += 1;
+                        report.vtime_ns += n.cost.ensure_ns(info.bytes);
+                    }
+                } else if state == DirState::Exclusive(writer) {
+                    // The writer already owns it; nothing to do.
+                } else {
+                    if !matches!(state, DirState::Uncached) {
+                        let info = fetch(n, wake_rx, block, true, stash);
+                        report.ensure_fetches += 1;
+                        report.vtime_ns += n.cost.ensure_ns(info.bytes);
+                    }
+                    pushes.push(Push { block, targets: NodeSet::single(writer), excl: true });
+                }
+            }
+        }
+    }
+
+    // Pass 2: group into bulk messages and push.
+    let groups = group_pushes(&pushes, pred.cfg.coalesce, pred.cfg.max_bulk_blocks);
+    let mut outstanding = 0u64;
+    for group in &groups {
+        let first = group[0];
+        let payload: Vec<_> = {
+            let mut dir = n.dir.lock();
+            let mut mem = n.mem.lock();
+            group
+                .iter()
+                .map(|p| {
+                    let e = dir.entry(p.block).or_default();
+                    debug_assert!(!e.is_busy(), "pre-send raced a busy entry");
+                    if p.excl {
+                        let w = p.targets.iter().next().expect("excl push without target");
+                        e.state = DirState::Exclusive(w);
+                        mem.set_tag(p.block, Tag::Invalid);
+                    } else {
+                        let existing = match e.state {
+                            DirState::Shared(s) => s,
+                            _ => NodeSet::EMPTY,
+                        };
+                        e.state = DirState::Shared(existing.union(p.targets));
+                        mem.set_tag(p.block, Tag::ReadOnly);
+                    }
+                    (p.block, mem.snapshot(p.block))
+                })
+                .collect()
+        };
+        let payload_bytes: u64 = payload.iter().map(|(_, d)| d.len() as u64).sum();
+        let code = if first.excl { codes::PRESEND_RW } else { codes::PRESEND_RO };
+        for t in first.targets.iter() {
+            n.send(
+                t,
+                Msg::User(UserMsg {
+                    code,
+                    a: payload.len() as u64,
+                    block: first.block,
+                    set: first.targets,
+                    node: me,
+                    blocks: payload.clone(),
+                }),
+            );
+            outstanding += 1;
+            report.msgs += 1;
+            report.blocks_pushed += payload.len() as u64;
+            report.bytes += payload_bytes;
+        }
+    }
+
+    NodeStats::add(&n.stats.presend_blocks_out, report.blocks_pushed);
+    NodeStats::add(&n.stats.presend_msgs_out, report.msgs);
+    NodeStats::add(&n.stats.presend_bytes_out, report.bytes);
+
+    // Pass 3: wait for every bulk message to be acknowledged so that all
+    // states are stable at the coming barrier.
+    let mut acked = 0u64;
+    stash.retain(|w| match w {
+        Wake::User { code: codes::WAKE_PRESEND_ACK, .. } => {
+            acked += 1;
+            false
+        }
+        _ => true,
+    });
+    while acked < outstanding {
+        match wake_rx.recv().expect("protocol thread terminated during pre-send") {
+            Wake::User { code: codes::WAKE_PRESEND_ACK, .. } => acked += 1,
+            other => panic!("unexpected wake during pre-send ack wait: {other:?}"),
+        }
+    }
+
+    report.vtime_ns += n.cost.bulk_ns(report.msgs, report.blocks_pushed, report.bytes);
+    report
+}
+
+fn dir_state(n: &NodeShared, block: prescient_tempest::BlockId) -> DirState {
+    n.dir.lock().get(&block).map_or(DirState::Uncached, |e| {
+        debug_assert!(!e.is_busy(), "pre-send observed a busy entry");
+        e.state
+    })
+}
+
+/// Group pushes into bulk messages: a group is a run of *neighboring*
+/// blocks with identical targets and kind (or a singleton when coalescing
+/// is disabled).
+fn group_pushes(pushes: &[Push], coalesce: bool, max: usize) -> Vec<Vec<Push>> {
+    let mut groups: Vec<Vec<Push>> = Vec::new();
+    for &p in pushes {
+        if coalesce {
+            if let Some(last) = groups.last_mut() {
+                let prev = *last.last().expect("groups are non-empty");
+                if prev.block.next() == p.block
+                    && prev.targets == p.targets
+                    && prev.excl == p.excl
+                    && last.len() < max
+                {
+                    last.push(p);
+                    continue;
+                }
+            }
+        }
+        groups.push(vec![p]);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prescient_tempest::BlockId;
+
+    fn push(b: u64, targets: NodeSet, excl: bool) -> Push {
+        Push { block: BlockId(b), targets, excl }
+    }
+
+    #[test]
+    fn coalesces_neighbor_runs() {
+        let t = NodeSet::single(3);
+        let pushes = vec![push(10, t, false), push(11, t, false), push(12, t, false), push(20, t, false)];
+        let groups = group_pushes(&pushes, true, 256);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].len(), 3);
+        assert_eq!(groups[1].len(), 1);
+    }
+
+    #[test]
+    fn different_targets_break_runs() {
+        let a = NodeSet::single(1);
+        let b = NodeSet::single(2);
+        let pushes = vec![push(10, a, false), push(11, b, false), push(12, b, false)];
+        let groups = group_pushes(&pushes, true, 256);
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn kind_change_breaks_runs() {
+        let t = NodeSet::single(1);
+        let pushes = vec![push(10, t, false), push(11, t, true)];
+        assert_eq!(group_pushes(&pushes, true, 256).len(), 2);
+    }
+
+    #[test]
+    fn no_coalescing_means_singletons() {
+        let t = NodeSet::single(1);
+        let pushes = vec![push(10, t, false), push(11, t, false)];
+        assert_eq!(group_pushes(&pushes, false, 256).len(), 2);
+    }
+
+    #[test]
+    fn max_bulk_respected() {
+        let t = NodeSet::single(1);
+        let pushes: Vec<Push> = (0..10).map(|i| push(i, t, false)).collect();
+        let groups = group_pushes(&pushes, true, 4);
+        assert_eq!(groups.len(), 3);
+        assert!(groups.iter().all(|g| g.len() <= 4));
+    }
+}

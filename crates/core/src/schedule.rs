@@ -1,0 +1,300 @@
+//! Communication schedules (§3.3).
+//!
+//! A schedule is distributed: each home node stores entries only for its
+//! own blocks. Per parallel phase (identified by a compiler-assigned
+//! [`PhaseId`]) and per block, the schedule records who read and who wrote,
+//! at which phase *instance* (iteration). Entries accumulate across
+//! iterations — the incremental growth that lets the protocol track
+//! adaptive applications — and are only discarded by an explicit
+//! [`ScheduleStore::flush`].
+
+use std::collections::HashMap;
+
+use prescient_tempest::{BlockId, NodeId, NodeSet};
+
+/// Identifies one compiler-marked parallel phase.
+pub type PhaseId = u32;
+
+/// The pre-send action recorded for a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Forward read-only copies to the recorded readers.
+    Read,
+    /// Forward a writable copy to the recorded writer.
+    Write,
+    /// Read and written within one phase instance (false sharing or task
+    /// conflict): the protocol takes no action (§3.4).
+    Conflict,
+}
+
+/// Schedule entry for one block within one phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScheduleEntry {
+    /// All nodes that ever read-requested the block in this phase.
+    pub readers: NodeSet,
+    /// The most recent write-requester, if any.
+    pub writer: Option<NodeId>,
+    /// Phase instance of the most recent read request.
+    pub read_iter: u64,
+    /// Phase instance of the most recent write request.
+    pub write_iter: u64,
+    /// Sticky conflict mark.
+    pub conflict: bool,
+    /// Was the *first* request of the most recent instance a write? Used
+    /// by the optional conflict-anticipation policy (§3.4's "anticipate
+    /// the first stable block state before the conflict occurred").
+    pub first_was_write: bool,
+    /// Instance stamp for `first_was_write`.
+    pub first_stamp: u64,
+}
+
+impl ScheduleEntry {
+    /// The action the pre-send phase will take for this entry (conflicts
+    /// get no action, §3.4).
+    pub fn action(&self) -> Action {
+        self.action_with(false)
+    }
+
+    /// Action under an explicit conflict policy. With `anticipate` set,
+    /// conflict blocks are pre-sent toward their *first stable state* —
+    /// the kind of the first request in the most recent instance — the
+    /// optional policy §3.4 sketches; otherwise conflicts get no action.
+    pub fn action_with(&self, anticipate: bool) -> Action {
+        if self.conflict {
+            if !anticipate {
+                return Action::Conflict;
+            }
+            if self.first_was_write && self.writer.is_some() {
+                return Action::Write;
+            }
+            if self.readers.is_empty() {
+                // Never read; anticipation degenerates to the writer.
+                return if self.writer.is_some() { Action::Write } else { Action::Conflict };
+            }
+            return Action::Read;
+        }
+        if self.writer.is_some() && self.write_iter >= self.read_iter {
+            Action::Write
+        } else {
+            Action::Read
+        }
+    }
+
+    fn stamp_first(&mut self, iter: u64, write: bool) {
+        if self.first_stamp != iter {
+            self.first_stamp = iter;
+            self.first_was_write = write;
+        }
+    }
+}
+
+/// One phase's schedule at one home node.
+#[derive(Debug, Default)]
+pub struct PhaseSchedule {
+    /// Recorded entries, by block.
+    pub entries: HashMap<BlockId, ScheduleEntry>,
+    /// Current phase instance, advanced by each `presend_and_arm`.
+    pub cur_iter: u64,
+    /// Total record events (diagnostics).
+    pub records: u64,
+}
+
+impl PhaseSchedule {
+    /// Record a read request for `block` from `requester`.
+    pub fn record_read(&mut self, block: BlockId, requester: NodeId) {
+        let it = self.cur_iter;
+        let e = self.entries.entry(block).or_default();
+        e.stamp_first(it, false);
+        e.readers.insert(requester);
+        e.read_iter = it;
+        if e.write_iter == it && e.writer.is_some() {
+            e.conflict = true;
+        }
+        self.records += 1;
+    }
+
+    /// Record a write request for `block` from `requester`.
+    pub fn record_write(&mut self, block: BlockId, requester: NodeId) {
+        let it = self.cur_iter;
+        let e = self.entries.entry(block).or_default();
+        e.stamp_first(it, true);
+        e.writer = Some(requester);
+        e.write_iter = it;
+        if e.read_iter == it && !e.readers.is_empty() {
+            e.conflict = true;
+        }
+        self.records += 1;
+    }
+
+    /// Entries in ascending block order — the order the pre-send walk uses
+    /// so that neighboring blocks coalesce (§3.4).
+    pub fn sorted_entries(&self) -> Vec<(BlockId, ScheduleEntry)> {
+        let mut v: Vec<_> = self.entries.iter().map(|(b, e)| (*b, *e)).collect();
+        v.sort_unstable_by_key(|(b, _)| *b);
+        v
+    }
+
+    /// Number of conflict-marked entries.
+    pub fn conflicts(&self) -> usize {
+        self.entries.values().filter(|e| e.conflict).count()
+    }
+}
+
+/// All phases' schedules at one home node.
+#[derive(Debug, Default)]
+pub struct ScheduleStore {
+    phases: HashMap<PhaseId, PhaseSchedule>,
+}
+
+impl ScheduleStore {
+    /// Access (creating on demand) the schedule of `phase`.
+    pub fn phase_mut(&mut self, phase: PhaseId) -> &mut PhaseSchedule {
+        self.phases.entry(phase).or_default()
+    }
+
+    /// Read-only view, if the phase has ever recorded anything.
+    pub fn phase(&self, phase: PhaseId) -> Option<&PhaseSchedule> {
+        self.phases.get(&phase)
+    }
+
+    /// Discard a phase's schedule so it is rebuilt from scratch — the
+    /// paper's answer to communication patterns with many deletions
+    /// (§3.3).
+    pub fn flush(&mut self, phase: PhaseId) {
+        self.phases.remove(&phase);
+    }
+
+    /// Total entries across all phases (diagnostics).
+    pub fn total_entries(&self) -> usize {
+        self.phases.values().map(|p| p.entries.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const B: BlockId = BlockId(42);
+
+    #[test]
+    fn read_entry_accumulates_readers() {
+        let mut p = PhaseSchedule::default();
+        p.cur_iter = 1;
+        p.record_read(B, 3);
+        p.record_read(B, 5);
+        let e = p.entries[&B];
+        assert_eq!(e.readers.len(), 2);
+        assert_eq!(e.action(), Action::Read);
+        assert!(!e.conflict);
+    }
+
+    #[test]
+    fn write_entry() {
+        let mut p = PhaseSchedule::default();
+        p.cur_iter = 1;
+        p.record_write(B, 7);
+        assert_eq!(p.entries[&B].action(), Action::Write);
+        assert_eq!(p.entries[&B].writer, Some(7));
+    }
+
+    #[test]
+    fn same_iteration_read_write_conflicts() {
+        let mut p = PhaseSchedule::default();
+        p.cur_iter = 4;
+        p.record_read(B, 1);
+        p.record_write(B, 2);
+        assert!(p.entries[&B].conflict);
+        assert_eq!(p.entries[&B].action(), Action::Conflict);
+    }
+
+    #[test]
+    fn cross_iteration_read_write_is_not_conflict() {
+        let mut p = PhaseSchedule::default();
+        p.cur_iter = 1;
+        p.record_write(B, 2);
+        p.cur_iter = 2;
+        p.record_read(B, 1);
+        let e = p.entries[&B];
+        assert!(!e.conflict);
+        // Read is more recent: pre-send forwards read-only copies.
+        assert_eq!(e.action(), Action::Read);
+    }
+
+    #[test]
+    fn most_recent_kind_wins() {
+        let mut p = PhaseSchedule::default();
+        p.cur_iter = 1;
+        p.record_read(B, 1);
+        p.cur_iter = 2;
+        p.record_write(B, 3);
+        assert_eq!(p.entries[&B].action(), Action::Write);
+    }
+
+    #[test]
+    fn sorted_walk_order() {
+        let mut p = PhaseSchedule::default();
+        p.record_read(BlockId(9), 0);
+        p.record_read(BlockId(2), 0);
+        p.record_read(BlockId(5), 0);
+        let order: Vec<u64> = p.sorted_entries().iter().map(|(b, _)| b.0).collect();
+        assert_eq!(order, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn flush_discards() {
+        let mut s = ScheduleStore::default();
+        s.phase_mut(1).record_read(B, 0);
+        s.phase_mut(2).record_read(B, 0);
+        assert_eq!(s.total_entries(), 2);
+        s.flush(1);
+        assert!(s.phase(1).is_none());
+        assert_eq!(s.total_entries(), 1);
+    }
+
+    #[test]
+    fn anticipation_uses_first_stable_state() {
+        // write-then-read conflict: anticipation grants toward the writer.
+        let mut p = PhaseSchedule::default();
+        p.cur_iter = 1;
+        p.record_write(B, 2);
+        p.record_read(B, 1);
+        let e = p.entries[&B];
+        assert_eq!(e.action(), Action::Conflict, "default policy skips");
+        assert_eq!(e.action_with(true), Action::Write, "first state was the writer's");
+
+        // read-then-write conflict: anticipation forwards to the readers.
+        let mut p = PhaseSchedule::default();
+        p.cur_iter = 1;
+        p.record_read(B, 1);
+        p.record_write(B, 2);
+        let e = p.entries[&B];
+        assert_eq!(e.action_with(true), Action::Read);
+    }
+
+    #[test]
+    fn anticipation_tracks_most_recent_instance() {
+        // Iteration 1: read first; iteration 2: write first. The most
+        // recent instance decides.
+        let mut p = PhaseSchedule::default();
+        p.cur_iter = 1;
+        p.record_read(B, 1);
+        p.record_write(B, 2);
+        p.cur_iter = 2;
+        p.record_write(B, 2);
+        p.record_read(B, 1);
+        assert_eq!(p.entries[&B].action_with(true), Action::Write);
+    }
+
+    #[test]
+    fn incremental_growth() {
+        // New requests in later iterations extend, never replace.
+        let mut p = PhaseSchedule::default();
+        p.cur_iter = 1;
+        p.record_read(B, 1);
+        p.cur_iter = 2;
+        p.record_read(B, 2);
+        p.record_read(BlockId(43), 4);
+        assert_eq!(p.entries.len(), 2);
+        assert_eq!(p.entries[&B].readers.len(), 2, "old readers retained (no deletions)");
+    }
+}

@@ -1,0 +1,486 @@
+//! End-to-end tests of the predictive protocol on a live emulated machine:
+//! schedules are recorded during iteration 1 and pre-sends eliminate misses
+//! from iteration 2 on, for producer–consumer and migratory patterns;
+//! conflicts are skipped; incremental growth and flush behave as §3.3
+//! describes.
+//!
+//! Test programs follow the paper's phase discipline: a datum is produced
+//! in one parallel phase and consumed in another (writing and reading the
+//! same block within one phase instance is exactly the *conflict* case).
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver};
+use prescient_core::manual::ManualEntry;
+use prescient_core::presend::presend;
+use prescient_core::{Predictive, PredictiveConfig};
+use prescient_stache::{fetch, spawn_protocol, Msg, NodeShared, Wake};
+use prescient_tempest::fabric::Fabric;
+use prescient_tempest::{CostModel, NodeId, NodeSet};
+use prescient_tempest::{GAddr, GlobalLayout, Prim, VBarrier};
+
+struct TestNode {
+    shared: Arc<NodeShared>,
+    pred: Arc<Predictive>,
+    wake_rx: Receiver<Wake>,
+    stash: Vec<Wake>,
+    barrier: Arc<VBarrier>,
+}
+
+impl TestNode {
+    fn read_u64(&mut self, addr: GAddr) -> (u64, u32) {
+        let mut faults = 0;
+        loop {
+            let mut buf = [0u8; 8];
+            let r = self.shared.mem.lock().read_in_block(addr, &mut buf);
+            match r {
+                Ok(()) => return (u64::load(&buf), faults),
+                Err(f) => {
+                    faults += 1;
+                    fetch(&self.shared, &self.wake_rx, f.block, false, &mut self.stash);
+                }
+            }
+        }
+    }
+
+    fn write_u64(&mut self, addr: GAddr, v: u64) -> u32 {
+        let mut faults = 0;
+        let mut buf = [0u8; 8];
+        v.store(&mut buf);
+        loop {
+            let r = self.shared.mem.lock().write_in_block(addr, &buf);
+            match r {
+                Ok(()) => return faults,
+                Err(f) => {
+                    faults += 1;
+                    fetch(&self.shared, &self.wake_rx, f.block, true, &mut self.stash);
+                }
+            }
+        }
+    }
+
+    /// The runtime's `phase_begin` directive: pre-send, stability barrier,
+    /// arm recording.
+    fn phase_begin(&mut self, phase: u32) {
+        self.barrier.wait(0);
+        presend(&self.pred, &self.shared, &self.wake_rx, &mut self.stash, phase);
+        self.barrier.wait(0);
+        self.pred.arm(phase);
+    }
+
+    /// The runtime's `phase_end` directive: barrier (all in-phase
+    /// requests recorded), disarm, barrier (all nodes disarmed).
+    fn phase_end(&mut self) {
+        self.barrier.wait(0);
+        self.pred.end_phase();
+        self.barrier.wait(0);
+    }
+}
+
+struct TestMachine {
+    nodes: Vec<TestNode>,
+    joins: Vec<JoinHandle<()>>,
+}
+
+fn machine(n: usize, block_size: usize) -> TestMachine {
+    machine_cfg(n, block_size, PredictiveConfig::default())
+}
+
+fn machine_cfg(n: usize, block_size: usize, cfg: PredictiveConfig) -> TestMachine {
+    let layout = GlobalLayout::new(n, block_size);
+    let cost = CostModel::default();
+    let barrier = Arc::new(VBarrier::new(n));
+    let mut nodes = Vec::new();
+    let mut joins = Vec::new();
+    for ep in Fabric::new::<Msg>(n) {
+        let (wake_tx, wake_rx) = unbounded();
+        let shared = Arc::new(NodeShared::new(layout, cost, ep.net().clone(), wake_tx));
+        let pred = Arc::new(Predictive::new(cfg));
+        joins.push(spawn_protocol(Arc::clone(&shared), ep, Arc::clone(&pred) as _));
+        nodes.push(TestNode {
+            shared,
+            pred,
+            wake_rx,
+            stash: Vec::new(),
+            barrier: Arc::clone(&barrier),
+        });
+    }
+    TestMachine { nodes, joins }
+}
+
+impl TestMachine {
+    fn shutdown(self) {
+        for n in &self.nodes {
+            n.shared.send(n.shared.me, Msg::Shutdown);
+        }
+        for j in self.joins {
+            j.join().unwrap();
+        }
+    }
+
+    /// Run `f(node_id, node)` on every node concurrently, SPMD style.
+    fn spmd<F>(self, f: F) -> TestMachine
+    where
+        F: Fn(NodeId, &mut TestNode) + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let joins = self.joins;
+        let handles: Vec<_> = self
+            .nodes
+            .into_iter()
+            .map(|mut tn| {
+                let f = Arc::clone(&f);
+                std::thread::spawn(move || {
+                    f(tn.shared.me, &mut tn);
+                    tn
+                })
+            })
+            .collect();
+        let nodes = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        TestMachine { nodes, joins }
+    }
+}
+
+const W: u32 = 1; // producer phase
+const R: u32 = 2; // consumer phase
+
+/// Producer–consumer across two phases: node 1 writes a value homed at
+/// node 0 in phase W; node 2 reads it in phase R. After the recording
+/// iteration, pre-sends must make both the write and the read hit locally.
+#[test]
+fn producer_consumer_becomes_local_after_recording() {
+    let m = machine(3, 32);
+    let addr = m.nodes[0].shared.mem.lock().alloc(8, 8);
+
+    let log: Arc<parking_lot::Mutex<Vec<(u64, u32, u32)>>> =
+        Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let l2 = Arc::clone(&log);
+
+    let m = m.spmd(move |me, tn| {
+        for iter in 0..5u64 {
+            let mut wf = 0;
+            let mut rf = 0;
+            tn.phase_begin(W);
+            if me == 1 {
+                wf = tn.write_u64(addr, 100 + iter);
+            }
+            tn.phase_end();
+            tn.phase_begin(R);
+            if me == 2 {
+                let (v, f) = tn.read_u64(addr);
+                assert_eq!(v, 100 + iter);
+                rf = f;
+            }
+            tn.phase_end();
+            if me == 1 || me == 2 {
+                l2.lock().push((iter, wf, rf));
+            }
+        }
+    });
+
+    let log = log.lock();
+    for &(iter, wf, rf) in log.iter() {
+        if iter >= 1 {
+            assert_eq!(wf, 0, "producer write must hit after pre-send (iter {iter})");
+            assert_eq!(rf, 0, "consumer read must hit after pre-send (iter {iter})");
+        }
+    }
+    let iter0_faults: u32 = log.iter().filter(|e| e.0 == 0).map(|e| e.1 + e.2).sum();
+    assert!(iter0_faults >= 2, "recording iteration must fault");
+    // No conflicts: production and consumption are in distinct phases.
+    drop(log);
+    assert_eq!(m.nodes[0].pred.conflicts(W), 0);
+    assert_eq!(m.nodes[0].pred.conflicts(R), 0);
+    m.shutdown();
+}
+
+/// Read+write of the same block in one phase instance marks it conflict;
+/// the protocol then takes no pre-send action and the faults persist
+/// (correct, just unoptimized — §3.4).
+#[test]
+fn conflict_blocks_get_no_action() {
+    let m = machine(3, 32);
+    let addr = m.nodes[0].shared.mem.lock().alloc(8, 8);
+
+    let fault_log: Arc<parking_lot::Mutex<Vec<u32>>> = Arc::new(parking_lot::Mutex::new(vec![]));
+    let fl = Arc::clone(&fault_log);
+
+    let m = m.spmd(move |me, tn| {
+        for iter in 0..4u64 {
+            tn.phase_begin(9);
+            // Node 1 writes and node 2 reads within the SAME phase
+            // instance (serialized by an internal barrier so values are
+            // deterministic, but one phase as far as the schedule goes).
+            if me == 1 {
+                tn.write_u64(addr, iter);
+            }
+            tn.barrier.wait(0);
+            if me == 2 {
+                let (_, f) = tn.read_u64(addr);
+                if iter > 0 {
+                    fl.lock().push(f);
+                }
+            }
+            tn.phase_end();
+        }
+    });
+
+    assert_eq!(m.nodes[0].pred.conflicts(9), 1, "home must mark the block conflict");
+    let faults = fault_log.lock();
+    assert!(faults.iter().all(|&f| f > 0), "conflict block must not be pre-sent: {faults:?}");
+    drop(faults);
+    m.shutdown();
+}
+
+/// Incremental growth: a reader that joins at iteration 2 faults once and
+/// is served by pre-sends from iteration 3 on.
+#[test]
+fn incremental_schedule_adds_new_readers() {
+    let m = machine(4, 32);
+    let addr = m.nodes[0].shared.mem.lock().alloc(8, 8);
+
+    let log: Arc<parking_lot::Mutex<Vec<(u64, NodeId, u32)>>> =
+        Arc::new(parking_lot::Mutex::new(vec![]));
+    let l2 = Arc::clone(&log);
+
+    let m = m.spmd(move |me, tn| {
+        for iter in 0..6u64 {
+            tn.phase_begin(W);
+            if me == 1 {
+                tn.write_u64(addr, iter);
+            }
+            tn.phase_end();
+            tn.phase_begin(R);
+            let late_joiner = me == 3 && iter >= 2;
+            if me == 2 || late_joiner {
+                let (v, f) = tn.read_u64(addr);
+                assert_eq!(v, iter);
+                l2.lock().push((iter, me, f));
+            }
+            tn.phase_end();
+        }
+    });
+
+    let log = log.lock();
+    for &(iter, me, f) in log.iter() {
+        if me == 2 && iter >= 1 {
+            assert_eq!(f, 0, "established reader faults at iter {iter}");
+        }
+        if me == 3 {
+            match iter {
+                2 => assert_eq!(f, 1, "late joiner must fault once on arrival"),
+                i if i >= 3 => assert_eq!(f, 0, "late joiner served by pre-send at iter {i}"),
+                _ => {}
+            }
+        }
+    }
+    drop(log);
+    m.shutdown();
+}
+
+/// Flushing a schedule reverts the phase to fault-and-record behavior.
+#[test]
+fn flush_rebuilds_schedule() {
+    let m = machine(3, 32);
+    let addr = m.nodes[0].shared.mem.lock().alloc(8, 8);
+
+    let log: Arc<parking_lot::Mutex<Vec<(u64, u32)>>> = Arc::new(parking_lot::Mutex::new(vec![]));
+    let l2 = Arc::clone(&log);
+
+    let m = m.spmd(move |me, tn| {
+        for iter in 0..6u64 {
+            if iter == 3 {
+                tn.pred.flush(W);
+                tn.pred.flush(R);
+            }
+            tn.phase_begin(W);
+            if me == 1 {
+                tn.write_u64(addr, iter);
+            }
+            tn.phase_end();
+            tn.phase_begin(R);
+            if me == 2 {
+                let (_, f) = tn.read_u64(addr);
+                l2.lock().push((iter, f));
+            }
+            tn.phase_end();
+        }
+    });
+
+    let mut entries = log.lock().clone();
+    entries.sort_unstable();
+    let faults: Vec<u32> = entries.into_iter().map(|(_, f)| f).collect();
+    // iter 0: fault (cold). iters 1,2: pre-sent. iter 3: fault again
+    // (flushed). iters 4,5: pre-sent again.
+    assert_eq!(faults, vec![1, 0, 0, 1, 0, 0]);
+    m.shutdown();
+}
+
+/// Contiguous blocks pushed to one reader coalesce into fewer bulk
+/// messages; disabling coalescing sends one message per block.
+#[test]
+fn coalescing_reduces_message_count() {
+    for coalesce in [true, false] {
+        let cfg = PredictiveConfig { coalesce, ..Default::default() };
+        let m = machine_cfg(2, 32, cfg);
+        // 16 contiguous blocks homed at node 0, hand-scheduled for reader 1
+        // (the SPMD/manual-protocol path also covers install_manual here).
+        let base = m.nodes[0].shared.mem.lock().alloc(16 * 32, 32);
+        let entries: Vec<_> = (0..16u64)
+            .map(|i| (base.add(i * 32).block(32), ManualEntry::Readers(NodeSet::single(1))))
+            .collect();
+        m.nodes[0].pred.install_manual(4, entries);
+
+        let m = m.spmd(move |me, tn| {
+            tn.phase_begin(4);
+            if me == 1 {
+                for i in 0..16u64 {
+                    let (_, f) = tn.read_u64(base.add(i * 32));
+                    assert_eq!(f, 0, "manually scheduled block {i} must be pre-sent");
+                }
+            }
+            tn.phase_end();
+        });
+
+        let s0 = m.nodes[0].shared.stats.snapshot();
+        assert_eq!(s0.presend_blocks_out, 16, "coalesce={coalesce}");
+        if coalesce {
+            assert_eq!(s0.presend_msgs_out, 1, "one bulk message for the run");
+        } else {
+            assert_eq!(s0.presend_msgs_out, 16, "one message per block without coalescing");
+        }
+        let s1 = m.nodes[1].shared.stats.snapshot();
+        assert_eq!(s1.presend_blocks_in, 16);
+        m.shutdown();
+    }
+}
+
+/// The §3.4 optional policy: with conflict anticipation enabled, a
+/// write-then-read conflict block is pre-granted toward its first stable
+/// state (the writer), so the writer stops faulting while the reader
+/// still pays demand misses.
+#[test]
+fn conflict_anticipation_pregrants_first_state() {
+    let cfg = PredictiveConfig { anticipate_conflicts: true, ..Default::default() };
+    let m = machine_cfg(3, 32, cfg);
+    let addr = m.nodes[0].shared.mem.lock().alloc(8, 8);
+
+    let log: Arc<parking_lot::Mutex<Vec<(u64, u32, u32)>>> =
+        Arc::new(parking_lot::Mutex::new(vec![]));
+    let l2 = Arc::clone(&log);
+
+    let m = m.spmd(move |me, tn| {
+        for iter in 0..5u64 {
+            tn.phase_begin(9);
+            // Writer first, reader second, same phase instance: conflict.
+            if me == 1 {
+                tn.write_u64(addr, iter);
+            }
+            tn.barrier.wait(0);
+            let mut rf = 0;
+            if me == 2 {
+                let (v, f) = tn.read_u64(addr);
+                assert_eq!(v, iter);
+                rf = f;
+            }
+            tn.phase_end();
+            if me == 1 || me == 2 {
+                // write faults are observed via a second write probe: record reader faults only
+                l2.lock().push((iter, me as u32, rf));
+            }
+        }
+    });
+
+    assert_eq!(m.nodes[0].pred.conflicts(9), 1, "block is conflict-marked");
+    // The writer is pre-granted: its writes hit from iteration 1 on. We
+    // verify through the stats: write misses stop accumulating.
+    let s1 = m.nodes[1].shared.stats.snapshot();
+    assert!(
+        s1.write_misses <= 2,
+        "writer pre-granted under anticipation: {} write misses",
+        s1.write_misses
+    );
+    // The reader still faults every iteration (it is on the losing side of
+    // the anticipated state).
+    let log = log.lock();
+    let reader_faults: u32 = log.iter().filter(|e| e.1 == 2).map(|e| e.2).sum();
+    assert!(reader_faults >= 4, "reader keeps faulting: {reader_faults}");
+    drop(log);
+    m.shutdown();
+}
+
+/// Migratory pattern: ownership of a block moves to the recorded writer
+/// ahead of its write.
+#[test]
+fn migratory_write_is_present_to_writer() {
+    let m = machine(3, 32);
+    let addr = m.nodes[0].shared.mem.lock().alloc(8, 8);
+
+    let log: Arc<parking_lot::Mutex<Vec<(u64, u32)>>> = Arc::new(parking_lot::Mutex::new(vec![]));
+    let l2 = Arc::clone(&log);
+
+    let m = m.spmd(move |me, tn| {
+        for iter in 0..4u64 {
+            tn.phase_begin(3);
+            if me == 2 {
+                // Node 2 increments the remotely homed counter each
+                // iteration (migratory/owner-compute pattern).
+                let (v, _) = tn.read_u64(addr);
+                let f = tn.write_u64(addr, v + 1);
+                l2.lock().push((iter, f));
+            }
+            tn.phase_end();
+        }
+    });
+
+    let log = log.lock();
+    for &(iter, f) in log.iter() {
+        if iter >= 1 {
+            assert_eq!(f, 0, "write must be pre-granted at iter {iter}");
+        }
+    }
+    drop(log);
+    let mut n0 = m.nodes.into_iter().next().unwrap();
+    let (v, _) = n0.read_u64(addr);
+    assert_eq!(v, 4);
+    n0.shared.send(0, Msg::Shutdown);
+    n0.shared.send(1, Msg::Shutdown);
+    n0.shared.send(2, Msg::Shutdown);
+}
+
+/// The redundant pre-send diagnostic: a reader recorded once but absent in
+/// later iterations keeps receiving (unused) copies, because schedules do
+/// not track deletions (§3.3).
+#[test]
+fn deletions_are_not_tracked() {
+    let m = machine(3, 32);
+    let addr = m.nodes[0].shared.mem.lock().alloc(8, 8);
+
+    let m = m.spmd(move |me, tn| {
+        for iter in 0..4u64 {
+            tn.phase_begin(W);
+            if me == 1 {
+                tn.write_u64(addr, iter);
+            }
+            tn.phase_end();
+            tn.phase_begin(R);
+            if me == 2 && iter == 0 {
+                // Reads only in the first iteration, then never again.
+                tn.read_u64(addr);
+            }
+            tn.phase_end();
+        }
+    });
+
+    // Node 2 received pre-sent copies for iterations it never read in.
+    let s2 = m.nodes[2].shared.stats.snapshot();
+    assert!(
+        s2.presend_blocks_in >= 2,
+        "stale reader keeps receiving copies: {}",
+        s2.presend_blocks_in
+    );
+    let unused = m.nodes[2].shared.mem.lock().unused_presends();
+    assert_eq!(unused, 1, "the last pre-sent copy was never read");
+    m.shutdown();
+}

@@ -1,0 +1,142 @@
+//! Property tests on communication schedules: conflict marking, action
+//! selection, incremental growth monotonicity, and the coalescing
+//! grouping invariants.
+
+use prescient_core::schedule::{Action, PhaseSchedule};
+use prescient_tempest::{BlockId, NodeId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Read(u64, NodeId),
+    Write(u64, NodeId),
+    NextIter,
+}
+
+fn ev_strategy() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        (0u64..8, 0u16..8).prop_map(|(b, n)| Ev::Read(b, n)),
+        (0u64..8, 0u16..8).prop_map(|(b, n)| Ev::Write(b, n)),
+        Just(Ev::NextIter),
+    ]
+}
+
+proptest! {
+    /// A block is conflict-marked iff some single iteration saw both a
+    /// read and a write of it.
+    #[test]
+    fn conflict_iff_same_iteration_read_and_write(evs in proptest::collection::vec(ev_strategy(), 0..60)) {
+        let mut sched = PhaseSchedule::default();
+        sched.cur_iter = 1;
+        let mut iter = 1u64;
+        use std::collections::HashMap;
+        let mut per_iter: HashMap<(u64, u64), (bool, bool)> = HashMap::new();
+        for ev in &evs {
+            match ev {
+                Ev::Read(b, n) => {
+                    sched.record_read(BlockId(*b), *n);
+                    per_iter.entry((*b, iter)).or_default().0 = true;
+                }
+                Ev::Write(b, n) => {
+                    sched.record_write(BlockId(*b), *n);
+                    per_iter.entry((*b, iter)).or_default().1 = true;
+                }
+                Ev::NextIter => {
+                    iter += 1;
+                    sched.cur_iter = iter;
+                }
+            }
+        }
+        for b in 0..8u64 {
+            let expect_conflict = (1..=iter).any(|it| {
+                matches!(per_iter.get(&(b, it)), Some((true, true)))
+            });
+            let got = sched.entries.get(&BlockId(b)).map(|e| e.conflict).unwrap_or(false);
+            prop_assert_eq!(got, expect_conflict, "block {}", b);
+        }
+    }
+
+    /// Readers only accumulate (no deletions), and every recorded reader
+    /// stays in the entry forever.
+    #[test]
+    fn readers_grow_monotonically(evs in proptest::collection::vec(ev_strategy(), 0..60)) {
+        let mut sched = PhaseSchedule::default();
+        sched.cur_iter = 1;
+        let mut seen: std::collections::HashMap<u64, std::collections::BTreeSet<NodeId>> =
+            Default::default();
+        for ev in &evs {
+            match ev {
+                Ev::Read(b, n) => {
+                    sched.record_read(BlockId(*b), *n);
+                    seen.entry(*b).or_default().insert(*n);
+                }
+                Ev::Write(b, n) => sched.record_write(BlockId(*b), *n),
+                Ev::NextIter => sched.cur_iter += 1,
+            }
+            for (b, readers) in &seen {
+                let e = sched.entries[&BlockId(*b)];
+                for r in readers {
+                    prop_assert!(e.readers.contains(*r), "reader {} lost from block {}", r, b);
+                }
+            }
+        }
+    }
+
+    /// The pre-send action is Conflict exactly for conflict entries, Write
+    /// iff the most recent recording was a write, Read otherwise.
+    #[test]
+    fn action_follows_recency(evs in proptest::collection::vec(ev_strategy(), 1..60)) {
+        let mut sched = PhaseSchedule::default();
+        sched.cur_iter = 1;
+        let mut last_kind: std::collections::HashMap<u64, (bool, u64, u64)> = Default::default();
+        let mut iter = 1u64;
+        for ev in &evs {
+            match ev {
+                Ev::Read(b, n) => {
+                    sched.record_read(BlockId(*b), *n);
+                    let e = last_kind.entry(*b).or_insert((false, 0, 0));
+                    e.1 = iter; // read_iter
+                }
+                Ev::Write(b, n) => {
+                    sched.record_write(BlockId(*b), *n);
+                    let e = last_kind.entry(*b).or_insert((false, 0, 0));
+                    e.0 = true; // wrote at least once
+                    e.2 = iter; // write_iter
+                }
+                Ev::NextIter => {
+                    iter += 1;
+                    sched.cur_iter = iter;
+                }
+            }
+        }
+        for (b, (wrote, read_iter, write_iter)) in last_kind {
+            let e = sched.entries[&BlockId(b)];
+            if e.conflict {
+                prop_assert_eq!(e.action(), Action::Conflict);
+            } else if wrote && write_iter >= read_iter {
+                prop_assert_eq!(e.action(), Action::Write, "block {}", b);
+            } else {
+                prop_assert_eq!(e.action(), Action::Read, "block {}", b);
+            }
+        }
+    }
+
+    /// sorted_entries is sorted, complete, and duplicate-free.
+    #[test]
+    fn sorted_entries_is_a_permutation(evs in proptest::collection::vec(ev_strategy(), 0..60)) {
+        let mut sched = PhaseSchedule::default();
+        sched.cur_iter = 1;
+        for ev in &evs {
+            match ev {
+                Ev::Read(b, n) => sched.record_read(BlockId(*b), *n),
+                Ev::Write(b, n) => sched.record_write(BlockId(*b), *n),
+                Ev::NextIter => sched.cur_iter += 1,
+            }
+        }
+        let sorted = sched.sorted_entries();
+        prop_assert_eq!(sorted.len(), sched.entries.len());
+        for w in sorted.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "strictly ascending blocks");
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Abstract syntax of mini-C\*\*.
+
+/// Element type of an aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElemTy {
+    /// 64-bit float (`float`).
+    Float,
+    /// 64-bit integer (`int`).
+    Int,
+}
+
+/// A global aggregate declaration: `aggregate Name[d0] of float;` or
+/// `aggregate Name[d0][d1] of int;`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggDecl {
+    /// Instance name.
+    pub name: String,
+    /// Dimensions (1 or 2 entries).
+    pub dims: Vec<usize>,
+    /// Element type.
+    pub ty: ElemTy,
+}
+
+/// A parallel function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParFn {
+    /// Function name.
+    pub name: String,
+    /// Parameter names; each is bound to an aggregate at the call site.
+    /// The first parameter is the `parallel` aggregate: the function runs
+    /// once per element of it, with `#0`/`#1` naming that element.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// Statements (usable in parallel-function bodies).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let x = expr;` — a local scalar binding.
+    Let(String, Expr),
+    /// `x = expr;` — assignment to a local.
+    AssignLocal(String, Expr),
+    /// `agg[i0](<[i1]>) = expr;` — a store to an aggregate element.
+    AssignAgg {
+        /// Target aggregate (parameter name inside a parallel function).
+        agg: String,
+        /// Index expressions, one per dimension.
+        idx: Vec<Expr>,
+        /// Stored value.
+        value: Expr,
+    },
+    /// `if cond { .. } else { .. }`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `for v in lo .. hi { .. }` — a counted sequential loop.
+    For {
+        /// Loop variable.
+        var: String,
+        /// Inclusive lower bound expression.
+        lo: Expr,
+        /// Exclusive upper bound expression.
+        hi: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+}
+
+/// Statements of the sequential `main` function.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeqStmt {
+    /// A parallel-function call: `name(aggArg, ...);`.
+    Call {
+        /// Callee parallel function.
+        func: String,
+        /// Aggregate arguments, by declaration name.
+        args: Vec<String>,
+    },
+    /// `for v in lo .. hi { .. }` over sequential statements.
+    For {
+        /// Loop variable (available for diagnostics only; the analysis
+        /// does not depend on trip counts).
+        var: String,
+        /// Constant bounds.
+        lo: i64,
+        /// Exclusive upper bound.
+        hi: i64,
+        /// Body.
+        body: Vec<SeqStmt>,
+    },
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Float literal.
+    Num(f64),
+    /// Integer literal.
+    Int(i64),
+    /// Local variable or loop variable.
+    Var(String),
+    /// Pseudo-variable `#k`: position of the own element along dimension k.
+    Pos(usize),
+    /// Aggregate element read: `agg[i0](<[i1]>)`.
+    AggRead {
+        /// Source aggregate (parameter name).
+        agg: String,
+        /// Index expressions.
+        idx: Vec<Expr>,
+    },
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Built-in call: `abs(e)`, `min(a,b)`, `max(a,b)`, `sqrt(e)`.
+    Builtin(Builtin, Vec<Expr>),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%` (integers)
+    Mod,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// Built-in functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    /// Absolute value.
+    Abs,
+    /// Minimum of two values.
+    Min,
+    /// Maximum of two values.
+    Max,
+    /// Square root.
+    Sqrt,
+}
+
+/// A whole program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Global aggregate declarations.
+    pub aggs: Vec<AggDecl>,
+    /// Parallel functions.
+    pub funcs: Vec<ParFn>,
+    /// The sequential main body.
+    pub main: Vec<SeqStmt>,
+}
+
+impl Program {
+    /// Look up an aggregate declaration by name.
+    pub fn agg(&self, name: &str) -> Option<&AggDecl> {
+        self.aggs.iter().find(|a| a.name == name)
+    }
+
+    /// Look up a parallel function by name.
+    pub fn func(&self, name: &str) -> Option<&ParFn> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+}

@@ -1,0 +1,383 @@
+//! The sequential control-flow graph of `main`, annotated with parallel
+//! function access summaries (§4.3, Figure 4).
+//!
+//! Nodes are parallel-function call sites plus loop-structure markers;
+//! edges capture the flow of the (loop-nested) sequential program. The
+//! graph can be built from a parsed program or by hand through
+//! [`CfgBuilder`] — the latter is how the Barnes main loop of Figure 4 and
+//! the three evaluation applications feed their phase structure to the
+//! same placement analysis the DSL compiler uses.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{Program, SeqStmt};
+use crate::lexer::ParseError;
+use crate::sema::{AccessSummary, ParamAccess};
+
+/// One parallel call site with its per-aggregate access classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Callee name (diagnostic).
+    pub func: String,
+    /// Stable call-site id (execution order of first appearance).
+    pub id: usize,
+    /// Access classification per aggregate *instance* (argument), merged
+    /// over all parameters bound to that instance.
+    pub access: BTreeMap<String, ParamAccess>,
+}
+
+impl CallSite {
+    /// Does this call perform any unstructured access?
+    pub fn any_unstructured(&self) -> bool {
+        self.access.values().any(|a| a.unstructured())
+    }
+
+    /// Does this call only perform home accesses?
+    pub fn home_only(&self) -> bool {
+        !self.any_unstructured()
+    }
+}
+
+/// A CFG node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CfgNode {
+    /// Function entry.
+    Entry,
+    /// Function exit.
+    Exit,
+    /// A parallel call site.
+    Call(CallSite),
+    /// Head of a loop (join point of entry and back edge).
+    LoopHead {
+        /// Loop label (diagnostic).
+        label: String,
+    },
+}
+
+/// One item of the structured (region) view of `main`, used by the
+/// directive planner, which needs the loop nesting the flat CFG edges do
+/// not expose.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegionItem {
+    /// A parallel call, by call-site id.
+    Call(usize),
+    /// A counted loop.
+    Loop {
+        /// Label (the loop variable).
+        label: String,
+        /// Trip bounds `lo..hi` when known (parsed programs); `None` for
+        /// hand-built analysis-only CFGs.
+        trip: Option<(i64, i64)>,
+        /// Body items.
+        body: Vec<RegionItem>,
+    },
+}
+
+/// The annotated sequential CFG.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Nodes; index 0 is `Entry`.
+    pub nodes: Vec<CfgNode>,
+    /// Successor lists.
+    pub succs: Vec<Vec<usize>>,
+    /// Predecessor lists.
+    pub preds: Vec<Vec<usize>>,
+    /// Entry node index.
+    pub entry: usize,
+    /// Exit node index.
+    pub exit: usize,
+    /// The aggregate-name universe (bit positions for the dataflow).
+    pub aggs: Vec<String>,
+    /// Structured view of the program (loop nesting), parallel to the flat
+    /// graph.
+    pub regions: Vec<RegionItem>,
+    /// Map call-site id → CFG node index.
+    pub call_node: Vec<usize>,
+}
+
+impl Cfg {
+    /// Bit position of an aggregate name.
+    pub fn agg_bit(&self, name: &str) -> Option<usize> {
+        self.aggs.iter().position(|a| a == name)
+    }
+
+    /// All call-site node indices in order.
+    pub fn call_nodes(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| matches!(self.nodes[i], CfgNode::Call(_)))
+            .collect()
+    }
+
+    /// The call site at node `i`, if any.
+    pub fn call(&self, i: usize) -> Option<&CallSite> {
+        match &self.nodes[i] {
+            CfgNode::Call(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Build the CFG of a parsed program using its function summaries.
+    pub fn from_program(
+        p: &Program,
+        summaries: &BTreeMap<String, AccessSummary>,
+    ) -> Result<Cfg, ParseError> {
+        let mut b = CfgBuilder::new(p.aggs.iter().map(|a| a.name.clone()));
+        fn walk(
+            b: &mut CfgBuilder,
+            p: &Program,
+            summaries: &BTreeMap<String, AccessSummary>,
+            stmts: &[SeqStmt],
+        ) -> Result<(), ParseError> {
+            for s in stmts {
+                match s {
+                    SeqStmt::Call { func, args } => {
+                        let f = p.func(func).ok_or_else(|| ParseError {
+                            msg: format!("unknown function `{func}`"),
+                            line: 0,
+                        })?;
+                        let sum = &summaries[func];
+                        // Map parameter summaries onto argument instances.
+                        let mut access: BTreeMap<String, ParamAccess> = BTreeMap::new();
+                        for (param, arg) in f.params.iter().zip(args) {
+                            let pa = sum.get(param);
+                            let e = access.entry(arg.clone()).or_default();
+                            e.home_read |= pa.home_read;
+                            e.home_write |= pa.home_write;
+                            e.nonhome_read |= pa.nonhome_read;
+                            e.nonhome_write |= pa.nonhome_write;
+                        }
+                        b.call_with(func, access);
+                    }
+                    SeqStmt::For { var, lo, hi, body } => {
+                        b.begin_loop_counted(var, *lo, *hi);
+                        walk(b, p, summaries, body)?;
+                        b.end_loop();
+                    }
+                }
+            }
+            Ok(())
+        }
+        walk(&mut b, p, summaries, &p.main)?;
+        Ok(b.finish())
+    }
+}
+
+/// Hand-construction of annotated CFGs.
+pub struct CfgBuilder {
+    nodes: Vec<CfgNode>,
+    succs: Vec<Vec<usize>>,
+    /// Node(s) whose control flow falls through to the next added node.
+    frontier: Vec<usize>,
+    /// Stack of open loops: (head index, region body so far, label, trip).
+    loops: Vec<(usize, Vec<RegionItem>, String, Option<(i64, i64)>)>,
+    /// Region items of the current (innermost open) sequence.
+    region: Vec<RegionItem>,
+    call_node: Vec<usize>,
+    aggs: Vec<String>,
+    next_call_id: usize,
+}
+
+impl CfgBuilder {
+    /// Start a builder over the given aggregate universe.
+    pub fn new(aggs: impl IntoIterator<Item = String>) -> CfgBuilder {
+        CfgBuilder {
+            nodes: vec![CfgNode::Entry],
+            succs: vec![vec![]],
+            frontier: vec![0],
+            loops: vec![],
+            region: vec![],
+            call_node: vec![],
+            aggs: aggs.into_iter().collect(),
+            next_call_id: 0,
+        }
+    }
+
+    fn add(&mut self, n: CfgNode) -> usize {
+        let i = self.nodes.len();
+        self.nodes.push(n);
+        self.succs.push(vec![]);
+        for &f in &self.frontier {
+            self.succs[f].push(i);
+        }
+        self.frontier = vec![i];
+        i
+    }
+
+    /// Append a call with explicit per-aggregate accesses.
+    pub fn call_with(&mut self, func: &str, access: BTreeMap<String, ParamAccess>) -> usize {
+        for a in access.keys() {
+            assert!(self.aggs.iter().any(|x| x == a), "aggregate `{a}` not in universe");
+        }
+        let id = self.next_call_id;
+        self.next_call_id += 1;
+        let node = self.add(CfgNode::Call(CallSite { func: func.to_string(), id, access }));
+        self.call_node.push(node);
+        self.region.push(RegionItem::Call(id));
+        node
+    }
+
+    /// Convenience: append a call described as
+    /// `(aggregate, home_read, home_write, nonhome_read, nonhome_write)`
+    /// tuples.
+    pub fn call(&mut self, func: &str, accesses: &[(&str, bool, bool, bool, bool)]) -> usize {
+        let mut map = BTreeMap::new();
+        for &(agg, hr, hw, nr, nw) in accesses {
+            map.insert(
+                agg.to_string(),
+                ParamAccess { home_read: hr, home_write: hw, nonhome_read: nr, nonhome_write: nw },
+            );
+        }
+        self.call_with(func, map)
+    }
+
+    /// Open a loop; subsequent nodes are the body. (Analysis-only loops
+    /// have no trip count — see [`CfgBuilder::begin_loop_counted`].)
+    pub fn begin_loop(&mut self, label: &str) -> usize {
+        self.begin_loop_inner(label, None)
+    }
+
+    /// Open a counted loop `lo..hi` (executable by the interpreter).
+    pub fn begin_loop_counted(&mut self, label: &str, lo: i64, hi: i64) -> usize {
+        self.begin_loop_inner(label, Some((lo, hi)))
+    }
+
+    fn begin_loop_inner(&mut self, label: &str, trip: Option<(i64, i64)>) -> usize {
+        let head = self.add(CfgNode::LoopHead { label: label.to_string() });
+        let outer_region = std::mem::take(&mut self.region);
+        self.loops.push((head, outer_region, label.to_string(), trip));
+        head
+    }
+
+    /// Close the innermost loop (adds the back edge; fall-through continues
+    /// after the loop).
+    pub fn end_loop(&mut self) {
+        let (head, outer_region, label, trip) =
+            self.loops.pop().expect("end_loop without begin_loop");
+        for &f in &self.frontier {
+            self.succs[f].push(head);
+        }
+        let body = std::mem::replace(&mut self.region, outer_region);
+        self.region.push(RegionItem::Loop { label, trip, body });
+        // Control continues from the loop head (the not-taken branch).
+        self.frontier = vec![head];
+    }
+
+    /// Finish: add the exit node and compute predecessors.
+    pub fn finish(mut self) -> Cfg {
+        assert!(self.loops.is_empty(), "unclosed loop");
+        let exit = self.add(CfgNode::Exit);
+        let mut preds = vec![vec![]; self.nodes.len()];
+        for (i, ss) in self.succs.iter().enumerate() {
+            for &s in ss {
+                preds[s].push(i);
+            }
+        }
+        Cfg {
+            nodes: self.nodes,
+            succs: self.succs,
+            preds,
+            entry: 0,
+            exit,
+            aggs: self.aggs,
+            regions: self.region,
+            call_node: self.call_node,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::sema::analyze_program;
+
+    #[test]
+    fn straight_line_cfg() {
+        let mut b = CfgBuilder::new(["A".to_string()]);
+        let c1 = b.call("f", &[("A", false, true, false, false)]);
+        let c2 = b.call("g", &[("A", true, false, false, false)]);
+        let cfg = b.finish();
+        assert_eq!(cfg.succs[cfg.entry], vec![c1]);
+        assert_eq!(cfg.succs[c1], vec![c2]);
+        assert_eq!(cfg.succs[c2], vec![cfg.exit]);
+        assert_eq!(cfg.preds[c2], vec![c1]);
+    }
+
+    #[test]
+    fn loop_back_edge() {
+        let mut b = CfgBuilder::new(["A".to_string()]);
+        let head = b.begin_loop("it");
+        let c = b.call("f", &[("A", false, false, true, false)]);
+        b.end_loop();
+        let cfg = b.finish();
+        // head → body call and head → exit; call → head (back edge).
+        assert!(cfg.succs[head].contains(&c));
+        assert!(cfg.succs[c].contains(&head));
+        assert!(cfg.succs[head].contains(&cfg.exit));
+    }
+
+    #[test]
+    fn from_program_maps_params_to_args() {
+        let src = r#"
+            aggregate G[8][8] of float;
+            aggregate H[8][8] of float;
+            parallel fn sweep(g, h) {
+                h[#0][#1] = 0.25 * (g[#0-1][#1] + g[#0+1][#1] + g[#0][#1-1] + g[#0][#1+1]);
+            }
+            fn main() {
+                for it in 0 .. 10 {
+                    sweep(G, H);
+                    sweep(H, G);
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let sums = analyze_program(&p).unwrap();
+        let cfg = Cfg::from_program(&p, &sums).unwrap();
+        let calls = cfg.call_nodes();
+        assert_eq!(calls.len(), 2);
+        // First call: G read-nonhome, H written-home.
+        let c0 = cfg.call(calls[0]).unwrap();
+        assert!(c0.access["G"].nonhome_read);
+        assert!(c0.access["H"].home_write);
+        // Second call swaps roles.
+        let c1 = cfg.call(calls[1]).unwrap();
+        assert!(c1.access["H"].nonhome_read);
+        assert!(c1.access["G"].home_write);
+        assert_eq!(cfg.agg_bit("G"), Some(0));
+        assert_eq!(cfg.agg_bit("H"), Some(1));
+    }
+
+    #[test]
+    fn same_instance_bound_twice_merges() {
+        let src = r#"
+            aggregate A[8] of float;
+            parallel fn f(x, y) {
+                x[#0] = y[#0 - 1];
+            }
+            fn main() { f(A, A); }
+        "#;
+        let p = parse(src).unwrap();
+        let sums = analyze_program(&p).unwrap();
+        let cfg = Cfg::from_program(&p, &sums).unwrap();
+        let c = cfg.call(cfg.call_nodes()[0]).unwrap();
+        let a = c.access["A"];
+        assert!(a.home_write && a.nonhome_read);
+    }
+
+    #[test]
+    fn nested_loops() {
+        let mut b = CfgBuilder::new(["T".to_string()]);
+        b.begin_loop("outer");
+        b.call("build", &[("T", false, false, false, true)]);
+        b.begin_loop("inner");
+        b.call("com", &[("T", true, true, false, false)]);
+        b.end_loop();
+        b.call("force", &[("T", false, false, true, false)]);
+        b.end_loop();
+        let cfg = b.finish();
+        assert_eq!(cfg.call_nodes().len(), 3);
+        // Exit reachable.
+        assert!(cfg.succs.iter().flatten().any(|&s| s == cfg.exit));
+    }
+}

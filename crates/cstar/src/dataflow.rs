@@ -1,0 +1,192 @@
+//! The *reaching unstructured accesses* dataflow problem (§4.3).
+//!
+//! For each aggregate at each program point: may cached copies of its
+//! elements exist on remote processors because of unstructured accesses?
+//! Analogous to reaching definitions; computed with an iterative bit-vector
+//! worklist over the sequential CFG — forward direction, any-path (union)
+//! confluence.
+//!
+//! Transfer functions at a parallel call, per aggregate (the paper's three
+//! rules):
+//!
+//! 1. owner (home) writes **kill** — the remote copies are invalidated;
+//! 2. unstructured writes **kill then gen** — old copies are invalidated
+//!    but new remote copies appear;
+//! 3. unstructured reads **gen** (and do not kill — multiple readers).
+
+use crate::cfg::{Cfg, CfgNode};
+
+/// A bit-vector over the CFG's aggregate universe (≤ 64 aggregates, which
+/// is ample for the paper's programs).
+pub type BitVec = u64;
+
+/// The dataflow solution: IN and OUT sets per CFG node.
+#[derive(Debug, Clone)]
+pub struct ReachingUnstructured {
+    /// IN\[n\]: aggregates whose remote copies may exist just before `n`.
+    pub input: Vec<BitVec>,
+    /// OUT\[n\].
+    pub output: Vec<BitVec>,
+}
+
+/// GEN/KILL for one call node.
+fn transfer(cfg: &Cfg, node: usize) -> (BitVec, BitVec) {
+    let mut gen = 0u64;
+    let mut kill = 0u64;
+    if let CfgNode::Call(c) = &cfg.nodes[node] {
+        for (agg, pa) in &c.access {
+            let bit = 1u64
+                << cfg
+                    .agg_bit(agg)
+                    .unwrap_or_else(|| panic!("aggregate `{agg}` missing from universe"));
+            if pa.home_write || pa.nonhome_write {
+                kill |= bit;
+            }
+            if pa.nonhome_read || pa.nonhome_write {
+                gen |= bit;
+            }
+        }
+    }
+    (gen, kill)
+}
+
+impl ReachingUnstructured {
+    /// Solve the problem for `cfg`.
+    pub fn solve(cfg: &Cfg) -> ReachingUnstructured {
+        assert!(cfg.aggs.len() <= 64, "more than 64 aggregates");
+        let n = cfg.nodes.len();
+        let transfers: Vec<(BitVec, BitVec)> = (0..n).map(|i| transfer(cfg, i)).collect();
+        let mut input = vec![0u64; n];
+        let mut output = vec![0u64; n];
+        // Worklist, seeded with all nodes in order.
+        let mut work: std::collections::VecDeque<usize> = (0..n).collect();
+        let mut queued = vec![true; n];
+        while let Some(i) = work.pop_front() {
+            queued[i] = false;
+            let in_i = cfg.preds[i].iter().fold(0u64, |acc, &p| acc | output[p]);
+            let (gen, kill) = transfers[i];
+            let out_i = (in_i & !kill) | gen;
+            input[i] = in_i;
+            if out_i != output[i] {
+                output[i] = out_i;
+                for &s in &cfg.succs[i] {
+                    if !queued[s] {
+                        queued[s] = true;
+                        work.push_back(s);
+                    }
+                }
+            }
+        }
+        ReachingUnstructured { input, output }
+    }
+
+    /// Is aggregate bit `bit` reached-by-unstructured at the entry of node
+    /// `n`?
+    pub fn reaches(&self, node: usize, bit: usize) -> bool {
+        self.input[node] & (1u64 << bit) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::CfgBuilder;
+
+    fn universe(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// read-nonhome(A); then owner-write(A): the second call must be
+    /// reached by A's unstructured accesses.
+    #[test]
+    fn unstructured_read_reaches_owner_write() {
+        let mut b = CfgBuilder::new(universe(&["A"]));
+        let c1 = b.call("reader", &[("A", false, false, true, false)]);
+        let c2 = b.call("writer", &[("A", false, true, false, false)]);
+        let cfg = b.finish();
+        let sol = ReachingUnstructured::solve(&cfg);
+        assert!(!sol.reaches(c1, 0), "nothing reaches the first call");
+        assert!(sol.reaches(c2, 0), "reader's copies reach the writer");
+        // The owner write kills: after c2 nothing is cached remotely.
+        assert_eq!(sol.output[c2], 0);
+    }
+
+    /// Owner writes kill the property.
+    #[test]
+    fn owner_write_kills() {
+        let mut b = CfgBuilder::new(universe(&["A"]));
+        let _r = b.call("reader", &[("A", false, false, true, false)]);
+        let _w = b.call("writer", &[("A", false, true, false, false)]);
+        let after = b.call("reader2", &[("A", false, false, true, false)]);
+        let cfg = b.finish();
+        let sol = ReachingUnstructured::solve(&cfg);
+        assert!(!sol.reaches(after, 0), "owner write invalidates remote copies");
+    }
+
+    /// Unstructured writes kill then gen.
+    #[test]
+    fn unstructured_write_kills_and_gens() {
+        let mut b = CfgBuilder::new(universe(&["A"]));
+        let _r = b.call("reader", &[("A", false, false, true, false)]);
+        let w = b.call("scatter", &[("A", false, false, false, true)]);
+        let cfg = b.finish();
+        let sol = ReachingUnstructured::solve(&cfg);
+        assert!(sol.reaches(w, 0));
+        assert_ne!(sol.output[w], 0, "scatter leaves new remote copies");
+    }
+
+    /// Loop fixpoint: an unstructured read inside a loop reaches the loop
+    /// head (via the back edge) and everything after the loop.
+    #[test]
+    fn loop_fixpoint_propagates_around_back_edge() {
+        let mut b = CfgBuilder::new(universe(&["A"]));
+        let head = b.begin_loop("it");
+        let r = b.call("reader", &[("A", false, false, true, false)]);
+        b.end_loop();
+        let after = b.call("writer", &[("A", false, true, false, false)]);
+        let cfg = b.finish();
+        let sol = ReachingUnstructured::solve(&cfg);
+        assert!(sol.reaches(r, 0), "second iteration sees the first's reads");
+        assert!(sol.reaches(head, 0) || sol.input[head] != 0);
+        assert!(sol.reaches(after, 0));
+    }
+
+    /// Independent aggregates do not interfere.
+    #[test]
+    fn aggregates_are_independent() {
+        let mut b = CfgBuilder::new(universe(&["A", "B"]));
+        let _ra = b.call("reader", &[("A", false, false, true, false)]);
+        let wb = b.call("writerB", &[("B", false, true, false, false)]);
+        let cfg = b.finish();
+        let sol = ReachingUnstructured::solve(&cfg);
+        assert!(sol.reaches(wb, 0), "A still reaches");
+        assert!(!sol.reaches(wb, 1), "B was never unstructured");
+    }
+
+    /// Any-path analysis: a kill inside a loop body does not stop the
+    /// property from reaching past the loop, because the zero-trip path
+    /// skips the body. (Conservative, as the paper intends: wrongly
+    /// keeping the property only adds a harmless directive.)
+    #[test]
+    fn loop_kill_does_not_block_the_zero_trip_path() {
+        let mut b = CfgBuilder::new(universe(&["tree", "bodies"]));
+        let _build = b.call("build", &[("tree", false, false, true, true), ("bodies", true, false, false, false)]);
+        b.begin_loop("com");
+        let com = b.call("center_of_mass", &[("tree", true, true, false, false)]);
+        b.end_loop();
+        let force = b.call(
+            "forces",
+            &[("tree", false, false, true, false), ("bodies", false, true, true, false)],
+        );
+        let cfg = b.finish();
+        let sol = ReachingUnstructured::solve(&cfg);
+        let tree_bit = cfg.agg_bit("tree").unwrap();
+        // build's unstructured writes reach the com loop...
+        assert!(sol.reaches(com, tree_bit));
+        // ...and still reach forces along the loop-skip edge (any-path).
+        assert!(sol.reaches(force, tree_bit));
+        // On the fall-through path out of the body, the owner write killed
+        // the property.
+        assert_eq!(sol.output[com], 0);
+    }
+}

@@ -1,0 +1,469 @@
+//! DSM-backed interpreter for compiled mini-C\*\* programs.
+//!
+//! Executes the directive-annotated op sequence on a `prescient-runtime`
+//! machine, SPMD style: every node runs `main` (replicated sequential
+//! control flow); a parallel call runs its body once per *owned* element of
+//! the parallel aggregate, with `#0`/`#1` bound to the element position,
+//! and ends with the data-parallel barrier. The compiler-placed
+//! `phase_begin`/`phase_end` directives drive the predictive protocol.
+
+use std::collections::BTreeMap;
+
+use prescient_runtime::{Agg1D, Agg2D, Dist1D, Dist2D, Machine, NodeCtx, RunReport};
+use prescient_tempest::GAddr;
+
+use crate::ast::{BinOp, Builtin, ElemTy, Expr, ParFn, Stmt};
+use crate::compile::CompiledProgram;
+use crate::directives::ExecOp;
+
+/// A scalar value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Float.
+    F(f64),
+    /// Integer.
+    I(i64),
+}
+
+impl Value {
+    /// As float (ints promote).
+    pub fn as_f(self) -> f64 {
+        match self {
+            Value::F(v) => v,
+            Value::I(v) => v as f64,
+        }
+    }
+
+    /// As integer index (floats are a runtime error).
+    pub fn as_index(self) -> i64 {
+        match self {
+            Value::I(v) => v,
+            Value::F(v) => panic!("float {v} used as index"),
+        }
+    }
+
+    /// Truthiness (nonzero).
+    pub fn truthy(self) -> bool {
+        match self {
+            Value::F(v) => v != 0.0,
+            Value::I(v) => v != 0,
+        }
+    }
+}
+
+/// A materialized aggregate on the machine.
+pub enum AggStore {
+    /// 1-D float.
+    F1(Agg1D<f64>),
+    /// 1-D int.
+    I1(Agg1D<i64>),
+    /// 2-D float.
+    F2(Agg2D<f64>),
+    /// 2-D int.
+    I2(Agg2D<i64>),
+}
+
+impl AggStore {
+    /// Dimensions.
+    pub fn dims(&self) -> Vec<usize> {
+        match self {
+            AggStore::F1(a) => vec![a.len()],
+            AggStore::I1(a) => vec![a.len()],
+            AggStore::F2(a) => vec![a.rows(), a.cols()],
+            AggStore::I2(a) => vec![a.rows(), a.cols()],
+        }
+    }
+
+    /// Element type.
+    pub fn ty(&self) -> ElemTy {
+        match self {
+            AggStore::F1(_) | AggStore::F2(_) => ElemTy::Float,
+            AggStore::I1(_) | AggStore::I2(_) => ElemTy::Int,
+        }
+    }
+
+    fn addr(&self, idx: &[i64]) -> GAddr {
+        let dims = self.dims();
+        assert_eq!(idx.len(), dims.len(), "aggregate rank mismatch");
+        for (k, (&i, &d)) in idx.iter().zip(&dims).enumerate() {
+            assert!(
+                i >= 0 && (i as usize) < d,
+                "index {i} out of bounds for dimension {k} of size {d}"
+            );
+        }
+        match self {
+            AggStore::F1(a) => a.addr(idx[0] as usize),
+            AggStore::I1(a) => a.addr(idx[0] as usize),
+            AggStore::F2(a) => a.addr(idx[0] as usize, idx[1] as usize),
+            AggStore::I2(a) => a.addr(idx[0] as usize, idx[1] as usize),
+        }
+    }
+
+    fn read(&self, ctx: &mut NodeCtx, idx: &[i64]) -> Value {
+        let addr = self.addr(idx);
+        match self.ty() {
+            ElemTy::Float => Value::F(ctx.read::<f64>(addr)),
+            ElemTy::Int => Value::I(ctx.read::<i64>(addr)),
+        }
+    }
+
+    fn write(&self, ctx: &mut NodeCtx, idx: &[i64], v: Value) {
+        let addr = self.addr(idx);
+        match self.ty() {
+            ElemTy::Float => ctx.write(addr, v.as_f()),
+            ElemTy::Int => ctx.write(addr, v.as_index()),
+        }
+    }
+
+    /// Element positions owned by `node`, as index vectors.
+    fn owned(&self, node: prescient_tempest::NodeId) -> Vec<Vec<i64>> {
+        match self {
+            AggStore::F1(a) => a.my_range(node).map(|i| vec![i as i64]).collect(),
+            AggStore::I1(a) => a.my_range(node).map(|i| vec![i as i64]).collect(),
+            AggStore::F2(a) => {
+                let cols = a.cols();
+                a.my_rows(node)
+                    .flat_map(|i| (0..cols).map(move |j| vec![i as i64, j as i64]))
+                    .collect()
+            }
+            AggStore::I2(a) => {
+                let cols = a.cols();
+                a.my_rows(node)
+                    .flat_map(|i| (0..cols).map(move |j| vec![i as i64, j as i64]))
+                    .collect()
+            }
+        }
+    }
+}
+
+/// All of a program's aggregates, materialized.
+pub type AggMap = BTreeMap<String, AggStore>;
+
+/// Allocate every aggregate of `prog` on `machine` (1-D: block
+/// distribution; 2-D: row-block).
+pub fn materialize(machine: &Machine, prog: &CompiledProgram) -> AggMap {
+    let mut m = AggMap::new();
+    for d in &prog.program.aggs {
+        let store = match (d.dims.len(), d.ty) {
+            (1, ElemTy::Float) => AggStore::F1(Agg1D::new(machine, d.dims[0], Dist1D::Block)),
+            (1, ElemTy::Int) => AggStore::I1(Agg1D::new(machine, d.dims[0], Dist1D::Block)),
+            (2, ElemTy::Float) => {
+                AggStore::F2(Agg2D::new(machine, d.dims[0], d.dims[1], Dist2D::RowBlock))
+            }
+            (2, ElemTy::Int) => {
+                AggStore::I2(Agg2D::new(machine, d.dims[0], d.dims[1], Dist2D::RowBlock))
+            }
+            _ => unreachable!("parser enforces 1-D/2-D"),
+        };
+        m.insert(d.name.clone(), store);
+    }
+    m
+}
+
+/// Run a compiled program on `machine`.
+///
+/// `init` runs SPMD before `main` (each node initializes the elements it
+/// owns); it may be a no-op. Returns the run report of the `main`
+/// execution only.
+pub fn run_program<F>(machine: &mut Machine, prog: &CompiledProgram, aggs: &AggMap, init: F) -> RunReport
+where
+    F: Fn(&mut NodeCtx, &AggMap) + Sync,
+{
+    // Initialization run (not measured).
+    machine.run(|ctx| {
+        init(ctx, aggs);
+        ctx.barrier();
+    });
+
+    let (_, report) = machine.run(|ctx| exec_main(ctx, prog, aggs));
+    report
+}
+
+/// Execute the op sequence on one node.
+fn exec_main(ctx: &mut NodeCtx, prog: &CompiledProgram, aggs: &AggMap) {
+    let ops = &prog.plan.ops;
+    // Precompute matching LoopEnd for each LoopBegin.
+    let mut match_end = vec![usize::MAX; ops.len()];
+    let mut stack = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            ExecOp::LoopBegin { .. } => stack.push(i),
+            ExecOp::LoopEnd => {
+                let b = stack.pop().expect("unbalanced loops");
+                match_end[b] = i;
+            }
+            _ => {}
+        }
+    }
+
+    let mut pc = 0usize;
+    let mut loops: Vec<(usize, i64, i64)> = Vec::new(); // (begin pc, cur, hi)
+    while pc < ops.len() {
+        match &ops[pc] {
+            ExecOp::PhaseBegin(p) => ctx.phase_begin(*p),
+            ExecOp::PhaseEnd(_) => ctx.phase_end(),
+            ExecOp::Call(id) => {
+                let (func, args) = &prog.call_sites[*id];
+                let f = prog.program.func(func).expect("checked at compile time");
+                run_parallel_call(ctx, prog, aggs, f, args);
+                ctx.barrier(); // implicit end-of-parallel-phase barrier
+            }
+            ExecOp::LoopBegin { lo, hi, .. } => {
+                if lo >= hi {
+                    pc = match_end[pc];
+                } else {
+                    loops.push((pc, *lo, *hi));
+                }
+            }
+            ExecOp::LoopEnd => {
+                let (begin, cur, hi) = loops.pop().expect("loop stack underflow");
+                let next = cur + 1;
+                if next < hi {
+                    loops.push((begin, next, hi));
+                    pc = begin;
+                }
+            }
+        }
+        pc += 1;
+    }
+}
+
+/// Run one parallel call over this node's owned elements.
+fn run_parallel_call(
+    ctx: &mut NodeCtx,
+    _prog: &CompiledProgram,
+    aggs: &AggMap,
+    f: &ParFn,
+    args: &[String],
+) {
+    // Bind parameter names to aggregate stores.
+    let bind: BTreeMap<&str, &AggStore> = f
+        .params
+        .iter()
+        .zip(args)
+        .map(|(p, a)| (p.as_str(), &aggs[a]))
+        .collect();
+    let par_agg = bind[f.params[0].as_str()];
+    for pos in par_agg.owned(ctx.me()) {
+        let mut env = Env { bind: &bind, pos: &pos, locals: Vec::new(), ctx };
+        env.stmts(&f.body);
+    }
+}
+
+struct Env<'a, 'c> {
+    bind: &'a BTreeMap<&'a str, &'a AggStore>,
+    pos: &'a [i64],
+    locals: Vec<(String, Value)>,
+    ctx: &'c mut NodeCtx,
+}
+
+impl Env<'_, '_> {
+    fn lookup(&self, name: &str) -> Value {
+        self.locals
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("unknown local `{name}`"))
+    }
+
+    fn set(&mut self, name: &str, v: Value) {
+        if let Some(slot) = self.locals.iter_mut().rev().find(|(n, _)| n == name) {
+            slot.1 = v;
+        } else {
+            panic!("assignment to unbound local `{name}`");
+        }
+    }
+
+    fn stmts(&mut self, body: &[Stmt]) {
+        for s in body {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Let(name, e) => {
+                let v = self.eval(e);
+                self.locals.push((name.clone(), v));
+            }
+            Stmt::AssignLocal(name, e) => {
+                let v = self.eval(e);
+                self.set(name, v);
+            }
+            Stmt::AssignAgg { agg, idx, value } => {
+                let idxs: Vec<i64> = idx.iter().map(|e| self.eval(e).as_index()).collect();
+                let v = self.eval(value);
+                self.bind[agg.as_str()].write(self.ctx, &idxs, v);
+            }
+            Stmt::If(c, t, e) => {
+                let depth = self.locals.len();
+                if self.eval(c).truthy() {
+                    self.stmts(t);
+                } else {
+                    self.stmts(e);
+                }
+                self.locals.truncate(depth);
+            }
+            Stmt::For { var, lo, hi, body } => {
+                let lo = self.eval(lo).as_index();
+                let hi = self.eval(hi).as_index();
+                let depth = self.locals.len();
+                self.locals.push((var.clone(), Value::I(lo)));
+                for i in lo..hi {
+                    let slot = self.locals.len() - 1;
+                    self.locals[slot].1 = Value::I(i);
+                    let inner = self.locals.len();
+                    self.stmts(body);
+                    self.locals.truncate(inner);
+                }
+                self.locals.truncate(depth);
+            }
+        }
+    }
+
+    fn eval(&mut self, e: &Expr) -> Value {
+        match e {
+            Expr::Num(v) => Value::F(*v),
+            Expr::Int(v) => Value::I(*v),
+            Expr::Var(name) => self.lookup(name),
+            Expr::Pos(k) => {
+                assert!(*k < self.pos.len(), "#{k} used in a {}-D context", self.pos.len());
+                Value::I(self.pos[*k])
+            }
+            Expr::AggRead { agg, idx } => {
+                let idxs: Vec<i64> = idx.iter().map(|e| self.eval(e).as_index()).collect();
+                self.bind[agg.as_str()].read(self.ctx, &idxs)
+            }
+            Expr::Neg(a) => {
+                self.ctx.work(1);
+                match self.eval(a) {
+                    Value::F(v) => Value::F(-v),
+                    Value::I(v) => Value::I(-v),
+                }
+            }
+            Expr::Bin(op, a, b) => {
+                let va = self.eval(a);
+                let vb = self.eval(b);
+                self.ctx.work(1);
+                eval_bin(*op, va, vb)
+            }
+            Expr::Builtin(b, args) => {
+                let vs: Vec<Value> = args.iter().map(|a| self.eval(a)).collect();
+                self.ctx.work(1);
+                match b {
+                    Builtin::Abs => match vs[0] {
+                        Value::F(v) => Value::F(v.abs()),
+                        Value::I(v) => Value::I(v.abs()),
+                    },
+                    Builtin::Sqrt => Value::F(vs[0].as_f().sqrt()),
+                    Builtin::Min => num2(vs[0], vs[1], f64::min, i64::min),
+                    Builtin::Max => num2(vs[0], vs[1], f64::max, i64::max),
+                }
+            }
+        }
+    }
+}
+
+fn num2(a: Value, b: Value, ff: fn(f64, f64) -> f64, fi: fn(i64, i64) -> i64) -> Value {
+    match (a, b) {
+        (Value::I(x), Value::I(y)) => Value::I(fi(x, y)),
+        _ => Value::F(ff(a.as_f(), b.as_f())),
+    }
+}
+
+fn eval_bin(op: BinOp, a: Value, b: Value) -> Value {
+    use BinOp::*;
+    match op {
+        Add | Sub | Mul | Div => match (a, b) {
+            (Value::I(x), Value::I(y)) => Value::I(match op {
+                Add => x + y,
+                Sub => x - y,
+                Mul => x * y,
+                Div => x / y,
+                _ => unreachable!(),
+            }),
+            _ => {
+                let (x, y) = (a.as_f(), b.as_f());
+                Value::F(match op {
+                    Add => x + y,
+                    Sub => x - y,
+                    Mul => x * y,
+                    Div => x / y,
+                    _ => unreachable!(),
+                })
+            }
+        },
+        Mod => Value::I(a.as_index() % b.as_index()),
+        Lt | Le | Gt | Ge | Eq | Ne => {
+            let (x, y) = (a.as_f(), b.as_f());
+            let r = match op {
+                Lt => x < y,
+                Le => x <= y,
+                Gt => x > y,
+                Ge => x >= y,
+                Eq => x == y,
+                Ne => x != y,
+                _ => unreachable!(),
+            };
+            Value::I(r as i64)
+        }
+    }
+}
+
+/// Gather a float aggregate's contents (row-major) by reading it from node
+/// 0 — a testing/diagnostic convenience.
+pub fn read_aggregate_f64(machine: &mut Machine, aggs: &AggMap, name: &str) -> Vec<f64> {
+    let store = &aggs[name];
+    let dims = store.dims();
+    let (results, _) = machine.run(|ctx| {
+        let mut out = Vec::new();
+        if ctx.me() == 0 {
+            match dims.len() {
+                1 => {
+                    for i in 0..dims[0] {
+                        out.push(store.read(ctx, &[i as i64]).as_f());
+                    }
+                }
+                _ => {
+                    for i in 0..dims[0] {
+                        for j in 0..dims[1] {
+                            out.push(store.read(ctx, &[i as i64, j as i64]).as_f());
+                        }
+                    }
+                }
+            }
+        }
+        ctx.barrier();
+        out
+    });
+    results.into_iter().next().expect("node 0 result")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_semantics() {
+        assert_eq!(Value::I(3).as_f(), 3.0);
+        assert_eq!(Value::F(2.5).as_f(), 2.5);
+        assert!(Value::I(1).truthy());
+        assert!(!Value::F(0.0).truthy());
+    }
+
+    #[test]
+    fn bin_promotion() {
+        assert_eq!(eval_bin(BinOp::Add, Value::I(1), Value::I(2)), Value::I(3));
+        assert_eq!(eval_bin(BinOp::Add, Value::I(1), Value::F(2.5)), Value::F(3.5));
+        assert_eq!(eval_bin(BinOp::Div, Value::I(7), Value::I(2)), Value::I(3));
+        assert_eq!(eval_bin(BinOp::Lt, Value::I(1), Value::F(2.0)), Value::I(1));
+        assert_eq!(eval_bin(BinOp::Mod, Value::I(7), Value::I(3)), Value::I(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "used as index")]
+    fn float_index_rejected() {
+        Value::F(1.5).as_index();
+    }
+}

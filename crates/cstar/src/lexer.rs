@@ -1,0 +1,261 @@
+//! Tokenizer for mini-C\*\*.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal (contains `.` or exponent).
+    Float(f64),
+    /// `#0`, `#1`, ... — position pseudo-variable.
+    Pos(usize),
+    /// Punctuation / operator.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::Pos(k) => write!(f, "#{k}"),
+            Tok::Punct(p) => write!(f, "`{p}`"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token plus its source line (1-based), for error messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A lexing or parsing error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub msg: String,
+    /// Source line (1-based).
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+const PUNCTS: &[&str] = &[
+    "..", "<=", ">=", "==", "!=", "(", ")", "[", "]", "{", "}", ",", ";", ":", "=", "+", "-",
+    "*", "/", "%", "<", ">",
+];
+
+/// Tokenize `src`. Comments run from `//` to end of line.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == '/' {
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '#' {
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                j += 1;
+            }
+            if j == i + 1 {
+                return Err(ParseError { msg: "expected digit after '#'".into(), line });
+            }
+            let k: usize = bytes[i + 1..j]
+                .iter()
+                .collect::<String>()
+                .parse()
+                .map_err(|_| ParseError { msg: "bad position index".into(), line })?;
+            out.push(SpannedTok { tok: Tok::Pos(k), line });
+            i = j;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut j = i;
+            let mut is_float = false;
+            while j < bytes.len()
+                && (bytes[j].is_ascii_digit()
+                    || bytes[j] == '.'
+                    || bytes[j] == 'e'
+                    || bytes[j] == 'E'
+                    || (is_float && (bytes[j] == '+' || bytes[j] == '-') && matches!(bytes[j - 1], 'e' | 'E')))
+            {
+                if bytes[j] == '.' {
+                    // `..` is the range operator, not a float dot.
+                    if j + 1 < bytes.len() && bytes[j + 1] == '.' {
+                        break;
+                    }
+                    is_float = true;
+                } else if bytes[j] == 'e' || bytes[j] == 'E' {
+                    is_float = true;
+                }
+                j += 1;
+            }
+            let text: String = bytes[i..j].iter().collect();
+            let tok = if is_float {
+                Tok::Float(text.parse().map_err(|_| ParseError {
+                    msg: format!("bad float literal `{text}`"),
+                    line,
+                })?)
+            } else {
+                Tok::Int(text.parse().map_err(|_| ParseError {
+                    msg: format!("bad int literal `{text}`"),
+                    line,
+                })?)
+            };
+            out.push(SpannedTok { tok, line });
+            i = j;
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut j = i;
+            while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_') {
+                j += 1;
+            }
+            out.push(SpannedTok { tok: Tok::Ident(bytes[i..j].iter().collect()), line });
+            i = j;
+            continue;
+        }
+        let rest: String = bytes[i..bytes.len().min(i + 2)].iter().collect();
+        let mut matched = false;
+        for p in PUNCTS {
+            if rest.starts_with(p) {
+                out.push(SpannedTok { tok: Tok::Punct(p), line });
+                i += p.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return Err(ParseError { msg: format!("unexpected character `{c}`"), line });
+        }
+    }
+    out.push(SpannedTok { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn idents_and_keywords() {
+        assert_eq!(
+            toks("aggregate Grid of float"),
+            vec![
+                Tok::Ident("aggregate".into()),
+                Tok::Ident("Grid".into()),
+                Tok::Ident("of".into()),
+                Tok::Ident("float".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42"), vec![Tok::Int(42), Tok::Eof]);
+        assert_eq!(toks("0.25"), vec![Tok::Float(0.25), Tok::Eof]);
+        assert_eq!(toks("1e3"), vec![Tok::Float(1000.0), Tok::Eof]);
+    }
+
+    #[test]
+    fn range_vs_float_dot() {
+        assert_eq!(toks("0 .. 100"), vec![Tok::Int(0), Tok::Punct(".."), Tok::Int(100), Tok::Eof]);
+        assert_eq!(toks("0..100"), vec![Tok::Int(0), Tok::Punct(".."), Tok::Int(100), Tok::Eof]);
+    }
+
+    #[test]
+    fn position_pseudovars() {
+        assert_eq!(
+            toks("g[#0-1][#1]"),
+            vec![
+                Tok::Ident("g".into()),
+                Tok::Punct("["),
+                Tok::Pos(0),
+                Tok::Punct("-"),
+                Tok::Int(1),
+                Tok::Punct("]"),
+                Tok::Punct("["),
+                Tok::Pos(1),
+                Tok::Punct("]"),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(toks("a // comment\n b"), vec![
+            Tok::Ident("a".into()),
+            Tok::Ident("b".into()),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn two_char_ops() {
+        assert_eq!(
+            toks("a <= b != c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("<="),
+                Tok::Ident("b".into()),
+                Tok::Punct("!="),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("#x").is_err());
+    }
+
+    #[test]
+    fn lines_tracked() {
+        let ts = lex("a\nb\n\nc").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 4);
+    }
+}

@@ -1,0 +1,58 @@
+//! # prescient-cstar
+//!
+//! A miniature **C\*\*** — the large-grain data-parallel language of Larus,
+//! Richards & Viswanathan — together with the paper's compiler analysis
+//! (§4) and a DSM-backed interpreter.
+//!
+//! The language core (Figures 1–3 of the paper):
+//!
+//! * *Aggregates*: global 1-D/2-D collections of `float`/`int` elements
+//!   (`aggregate Grid[128][128] of float;`);
+//! * *parallel functions*: invoked once per element of their `parallel`
+//!   aggregate argument; the pseudo-variables `#0`/`#1` name the element's
+//!   position, so `g[#0-1][#1]` is a neighbor access and `d[nbr[#0]]` an
+//!   indirection (unstructured) access;
+//! * a sequential `main` with counted loops and parallel-function calls.
+//!
+//! The compiler pipeline:
+//!
+//! 1. [`lexer`]/[`parser`] → AST ([`ast`]);
+//! 2. [`sema`] — per parallel function, a context-insensitive summary of
+//!    aggregate accesses, each classified `Read`/`Write` ×
+//!    `Home`/`NonHome` (§4.2);
+//! 3. [`cfg`] — the sequential control-flow graph of `main`, annotated with
+//!    those summaries (also constructible by hand, as for Figure 4's
+//!    Barnes loop);
+//! 4. [`dataflow`] — an iterative bit-vector framework computing *reaching
+//!    unstructured accesses*: forward, any-path, with the three transfer
+//!    functions of §4.3 (owner writes kill; unstructured writes kill and
+//!    gen; unstructured reads gen);
+//! 5. [`directives`] — placement of `phase_begin`/`phase_end` directives at
+//!    parallel calls that need communication schedules, with the
+//!    coalescing/hoisting optimization for home-only neighbors and loops;
+//! 6. [`interp`] — execution of the compiled program on a
+//!    `prescient-runtime` machine, where the placed directives drive the
+//!    predictive protocol.
+//!
+//! [`compile::compile`] runs stages 1–5; [`interp::run_program`] runs the
+//! result.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod cfg;
+pub mod compile;
+pub mod dataflow;
+pub mod directives;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+pub mod sema;
+
+pub use ast::Program;
+pub use cfg::{Cfg, CfgNode};
+pub use compile::{compile, CompiledProgram};
+pub use dataflow::ReachingUnstructured;
+pub use directives::{DirectivePlan, PhaseAssignment};
+pub use sema::{AccessKind, AccessSummary, Locality};

@@ -1,0 +1,489 @@
+//! Recursive-descent parser for mini-C\*\*.
+
+use crate::ast::*;
+use crate::lexer::{lex, ParseError, SpannedTok, Tok};
+
+/// Parse a whole program from source text.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { msg: msg.into(), line: self.line() })
+    }
+
+    fn expect_punct(&mut self, p: &'static str) -> Result<(), ParseError> {
+        if self.peek() == &Tok::Punct(p) {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected `{p}`, found {}", self.peek()))
+        }
+    }
+
+    fn eat_punct(&mut self, p: &'static str) -> bool {
+        if self.peek() == &Tok::Punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => self.err(format!("expected `{kw}`, found {other}")),
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw) && {
+            self.bump();
+            true
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn int_lit(&mut self) -> Result<i64, ParseError> {
+        match self.bump() {
+            Tok::Int(v) => Ok(v),
+            other => self.err(format!("expected integer literal, found {other}")),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program { aggs: vec![], funcs: vec![], main: vec![] };
+        let mut saw_main = false;
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Ident(s) if s == "aggregate" => prog.aggs.push(self.agg_decl()?),
+                Tok::Ident(s) if s == "parallel" => prog.funcs.push(self.par_fn()?),
+                Tok::Ident(s) if s == "fn" => {
+                    if saw_main {
+                        return self.err("duplicate `fn main`");
+                    }
+                    prog.main = self.main_fn()?;
+                    saw_main = true;
+                }
+                other => return self.err(format!("expected a declaration, found {other}")),
+            }
+        }
+        if !saw_main {
+            return self.err("missing `fn main`");
+        }
+        Ok(prog)
+    }
+
+    fn agg_decl(&mut self) -> Result<AggDecl, ParseError> {
+        self.expect_kw("aggregate")?;
+        let name = self.ident()?;
+        let mut dims = Vec::new();
+        while self.eat_punct("[") {
+            let d = self.int_lit()?;
+            if d <= 0 {
+                return self.err("aggregate dimension must be positive");
+            }
+            dims.push(d as usize);
+            self.expect_punct("]")?;
+        }
+        if dims.is_empty() || dims.len() > 2 {
+            return self.err("aggregates are 1-D or 2-D");
+        }
+        self.expect_kw("of")?;
+        let ty = match self.ident()?.as_str() {
+            "float" => ElemTy::Float,
+            "int" => ElemTy::Int,
+            other => return self.err(format!("unknown element type `{other}`")),
+        };
+        self.expect_punct(";")?;
+        Ok(AggDecl { name, dims, ty })
+    }
+
+    fn par_fn(&mut self) -> Result<ParFn, ParseError> {
+        self.expect_kw("parallel")?;
+        self.expect_kw("fn")?;
+        let name = self.ident()?;
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                params.push(self.ident()?);
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        if params.is_empty() {
+            return self.err("a parallel function needs at least its parallel aggregate");
+        }
+        let body = self.block()?;
+        Ok(ParFn { name, params, body })
+    }
+
+    fn main_fn(&mut self) -> Result<Vec<SeqStmt>, ParseError> {
+        self.expect_kw("fn")?;
+        self.expect_kw("main")?;
+        self.expect_punct("(")?;
+        self.expect_punct(")")?;
+        self.expect_punct("{")?;
+        let mut body = Vec::new();
+        while !self.eat_punct("}") {
+            body.push(self.seq_stmt()?);
+        }
+        Ok(body)
+    }
+
+    fn seq_stmt(&mut self) -> Result<SeqStmt, ParseError> {
+        if self.eat_kw("for") {
+            let var = self.ident()?;
+            self.expect_kw("in")?;
+            let lo = self.int_lit()?;
+            self.expect_punct("..")?;
+            let hi = self.int_lit()?;
+            self.expect_punct("{")?;
+            let mut body = Vec::new();
+            while !self.eat_punct("}") {
+                body.push(self.seq_stmt()?);
+            }
+            Ok(SeqStmt::For { var, lo, hi, body })
+        } else {
+            let func = self.ident()?;
+            self.expect_punct("(")?;
+            let mut args = Vec::new();
+            if !self.eat_punct(")") {
+                loop {
+                    args.push(self.ident()?);
+                    if self.eat_punct(")") {
+                        break;
+                    }
+                    self.expect_punct(",")?;
+                }
+            }
+            self.expect_punct(";")?;
+            Ok(SeqStmt::Call { func, args })
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_punct("{")?;
+        let mut body = Vec::new();
+        while !self.eat_punct("}") {
+            body.push(self.stmt()?);
+        }
+        Ok(body)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.eat_kw("let") {
+            let name = self.ident()?;
+            self.expect_punct("=")?;
+            let e = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Let(name, e));
+        }
+        if self.eat_kw("if") {
+            let cond = self.expr()?;
+            let then = self.block()?;
+            let els = if self.eat_kw("else") { self.block()? } else { vec![] };
+            return Ok(Stmt::If(cond, then, els));
+        }
+        if self.eat_kw("for") {
+            let var = self.ident()?;
+            self.expect_kw("in")?;
+            let lo = self.expr()?;
+            self.expect_punct("..")?;
+            let hi = self.expr()?;
+            let body = self.block()?;
+            return Ok(Stmt::For { var, lo, hi, body });
+        }
+        // Assignment: `name = e;` or `name[i](<[j]>) = e;`
+        let name = self.ident()?;
+        if self.eat_punct("[") {
+            let mut idx = vec![self.expr()?];
+            self.expect_punct("]")?;
+            if self.eat_punct("[") {
+                idx.push(self.expr()?);
+                self.expect_punct("]")?;
+            }
+            self.expect_punct("=")?;
+            let value = self.expr()?;
+            self.expect_punct(";")?;
+            Ok(Stmt::AssignAgg { agg: name, idx, value })
+        } else {
+            self.expect_punct("=")?;
+            let e = self.expr()?;
+            self.expect_punct(";")?;
+            Ok(Stmt::AssignLocal(name, e))
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::Punct("<") => Some(BinOp::Lt),
+            Tok::Punct("<=") => Some(BinOp::Le),
+            Tok::Punct(">") => Some(BinOp::Gt),
+            Tok::Punct(">=") => Some(BinOp::Ge),
+            Tok::Punct("==") => Some(BinOp::Eq),
+            Tok::Punct("!=") => Some(BinOp::Ne),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.add_expr()?;
+            Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct("+") => BinOp::Add,
+                Tok::Punct("-") => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct("*") => BinOp::Mul,
+                Tok::Punct("/") => BinOp::Div,
+                Tok::Punct("%") => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_punct("-") {
+            Ok(Expr::Neg(Box::new(self.unary()?)))
+        } else {
+            self.atom()
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Tok::Float(v) => Ok(Expr::Num(v)),
+            Tok::Int(v) => Ok(Expr::Int(v)),
+            Tok::Pos(k) => {
+                if k > 1 {
+                    return self.err("only #0 and #1 are supported");
+                }
+                Ok(Expr::Pos(k))
+            }
+            Tok::Punct("(") => {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if self.eat_punct("(") {
+                    let b = match name.as_str() {
+                        "abs" => Builtin::Abs,
+                        "min" => Builtin::Min,
+                        "max" => Builtin::Max,
+                        "sqrt" => Builtin::Sqrt,
+                        other => return self.err(format!("unknown function `{other}`")),
+                    };
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_punct(")") {
+                                break;
+                            }
+                            self.expect_punct(",")?;
+                        }
+                    }
+                    let want = match b {
+                        Builtin::Abs | Builtin::Sqrt => 1,
+                        Builtin::Min | Builtin::Max => 2,
+                    };
+                    if args.len() != want {
+                        return self.err(format!("`{name}` takes {want} argument(s)"));
+                    }
+                    Ok(Expr::Builtin(b, args))
+                } else if self.eat_punct("[") {
+                    let mut idx = vec![self.expr()?];
+                    self.expect_punct("]")?;
+                    if self.eat_punct("[") {
+                        idx.push(self.expr()?);
+                        self.expect_punct("]")?;
+                    }
+                    Ok(Expr::AggRead { agg: name, idx })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => self.err(format!("unexpected token {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STENCIL: &str = r#"
+        // Figure 2: a 4-point stencil in mini-C**
+        aggregate Grid[16][16] of float;
+        aggregate Next[16][16] of float;
+
+        parallel fn sweep(g, h) {
+            h[#0][#1] = 0.25 * (g[#0-1][#1] + g[#0+1][#1] + g[#0][#1-1] + g[#0][#1+1]);
+        }
+
+        fn main() {
+            for it in 0 .. 10 {
+                sweep(Grid, Next);
+                sweep(Next, Grid);
+            }
+        }
+    "#;
+
+    #[test]
+    fn parses_stencil() {
+        let p = parse(STENCIL).unwrap();
+        assert_eq!(p.aggs.len(), 2);
+        assert_eq!(p.aggs[0].dims, vec![16, 16]);
+        assert_eq!(p.funcs.len(), 1);
+        assert_eq!(p.funcs[0].params, vec!["g", "h"]);
+        assert_eq!(p.main.len(), 1);
+        match &p.main[0] {
+            SeqStmt::For { lo, hi, body, .. } => {
+                assert_eq!((*lo, *hi), (0, 10));
+                assert_eq!(body.len(), 2);
+            }
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_unstructured_update() {
+        // Figure 3: unstructured mesh update via an indirection array.
+        let src = r#"
+            aggregate Primal[100] of float;
+            aggregate Dual[100] of float;
+            aggregate Nbr[100] of int;
+
+            parallel fn update(primal, dual, nbr) {
+                let k = nbr[#0];
+                primal[#0] = primal[#0] + 0.5 * dual[k];
+            }
+
+            fn main() {
+                for t in 0 .. 5 { update(Primal, Dual, Nbr); }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let f = p.func("update").unwrap();
+        assert_eq!(f.params.len(), 3);
+        assert!(matches!(&f.body[0], Stmt::Let(k, Expr::AggRead { agg, .. }) if k == "k" && agg == "nbr"));
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = r#"
+            aggregate A[10] of float;
+            parallel fn f(a) {
+                if a[#0] > 1.0 {
+                    a[#0] = a[#0] / 2.0;
+                } else {
+                    for i in 0 .. 3 {
+                        a[#0] = a[#0] + 1.0;
+                    }
+                }
+            }
+            fn main() { f(A); }
+        "#;
+        let p = parse(src).unwrap();
+        assert!(matches!(&p.func("f").unwrap().body[0], Stmt::If(..)));
+    }
+
+    #[test]
+    fn parses_builtins() {
+        let src = r#"
+            aggregate A[4] of float;
+            parallel fn f(a) { a[#0] = max(abs(a[#0]), sqrt(2.0)); }
+            fn main() { f(A); }
+        "#;
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn rejects_missing_main() {
+        assert!(parse("aggregate A[4] of float;").is_err());
+    }
+
+    #[test]
+    fn rejects_three_dims() {
+        assert!(parse("aggregate A[2][2][2] of float; fn main() {}").is_err());
+    }
+
+    #[test]
+    fn rejects_pos_beyond_two() {
+        let src = r#"
+            aggregate A[4] of float;
+            parallel fn f(a) { a[#2] = 1.0; }
+            fn main() { f(A); }
+        "#;
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn error_carries_line() {
+        let err = parse("aggregate A[4] of float;\n\nbogus").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+}

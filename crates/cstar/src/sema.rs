@@ -1,0 +1,422 @@
+//! Parallel-function analysis: access-pattern summaries (§4.2).
+//!
+//! For each parallel function, the compiler compiles a context-insensitive
+//! list of all aggregate member accesses that potentially require
+//! communication. Each access is conservatively categorized as a **Home**
+//! access — the invocation's *own* element, i.e. an index that is exactly
+//! the position pseudo-variable in every dimension — or a **Non-Home**
+//! access (neighbor offsets, indirection through values, loop variables —
+//! anything else). Reads and writes are tracked separately.
+//!
+//! The paper's example (Figure 3's `update`): summary
+//! `{(primal, Write, Home), (dual, Read, NonHome)}` — which this module's
+//! tests reproduce verbatim.
+
+use std::collections::BTreeMap;
+
+use crate::ast::*;
+use crate::lexer::ParseError;
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessKind {
+    /// Load of an aggregate element.
+    Read,
+    /// Store to an aggregate element.
+    Write,
+}
+
+/// Home (own element) vs. Non-Home (anything else).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Locality {
+    /// The invocation's own element: never requires communication.
+    Home,
+    /// Potentially someone else's element: potentially unstructured
+    /// communication.
+    NonHome,
+}
+
+/// Summary of one parallel function's accesses to one aggregate
+/// *parameter*.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParamAccess {
+    /// Home reads occur.
+    pub home_read: bool,
+    /// Home (owner) writes occur.
+    pub home_write: bool,
+    /// Unstructured (non-home) reads occur.
+    pub nonhome_read: bool,
+    /// Unstructured (non-home) writes occur.
+    pub nonhome_write: bool,
+}
+
+impl ParamAccess {
+    /// Any access at all?
+    pub fn any(&self) -> bool {
+        self.home_read || self.home_write || self.nonhome_read || self.nonhome_write
+    }
+
+    /// Any unstructured access?
+    pub fn unstructured(&self) -> bool {
+        self.nonhome_read || self.nonhome_write
+    }
+
+    /// Render as the paper's notation, e.g. `Write/Home, Read/NonHome`.
+    pub fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        if self.home_read {
+            parts.push("Read/Home");
+        }
+        if self.home_write {
+            parts.push("Write/Home");
+        }
+        if self.nonhome_read {
+            parts.push("Read/NonHome");
+        }
+        if self.nonhome_write {
+            parts.push("Write/NonHome");
+        }
+        parts.join(", ")
+    }
+}
+
+/// Access summary of one parallel function: per parameter name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AccessSummary {
+    /// Per-parameter access classification (ordered for stable output).
+    pub params: BTreeMap<String, ParamAccess>,
+}
+
+impl AccessSummary {
+    /// The access record for a parameter (default if absent).
+    pub fn get(&self, param: &str) -> ParamAccess {
+        self.params.get(param).copied().unwrap_or_default()
+    }
+
+    /// Does the function perform any unstructured access?
+    pub fn any_unstructured(&self) -> bool {
+        self.params.values().any(|p| p.unstructured())
+    }
+
+    /// Is every access a home access?
+    pub fn home_only(&self) -> bool {
+        !self.any_unstructured()
+    }
+}
+
+/// Analyze one parallel function (checking names along the way).
+pub fn analyze_fn(f: &ParFn) -> Result<AccessSummary, ParseError> {
+    let mut an = Analyzer { f, sum: AccessSummary::default(), locals: Vec::new() };
+    for p in &f.params {
+        an.sum.params.insert(p.clone(), ParamAccess::default());
+    }
+    an.stmts(&f.body)?;
+    Ok(an.sum)
+}
+
+struct Analyzer<'a> {
+    f: &'a ParFn,
+    sum: AccessSummary,
+    locals: Vec<String>,
+}
+
+impl<'a> Analyzer<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { msg: format!("in `{}`: {}", self.f.name, msg.into()), line: 0 })
+    }
+
+    fn record(&mut self, agg: &str, kind: AccessKind, loc: Locality) -> Result<(), ParseError> {
+        let Some(p) = self.sum.params.get_mut(agg) else {
+            return self.err(format!("`{agg}` is not a parameter"));
+        };
+        match (kind, loc) {
+            (AccessKind::Read, Locality::Home) => p.home_read = true,
+            (AccessKind::Write, Locality::Home) => p.home_write = true,
+            (AccessKind::Read, Locality::NonHome) => p.nonhome_read = true,
+            (AccessKind::Write, Locality::NonHome) => p.nonhome_write = true,
+        }
+        Ok(())
+    }
+
+    /// An index vector is a *home* index iff it is exactly
+    /// `[#0]` / `[#0][#1]` — the own position, unmodified.
+    fn classify(idx: &[Expr]) -> Locality {
+        let home = idx
+            .iter()
+            .enumerate()
+            .all(|(k, e)| matches!(e, Expr::Pos(p) if *p == k));
+        if home {
+            Locality::Home
+        } else {
+            Locality::NonHome
+        }
+    }
+
+    fn stmts(&mut self, body: &[Stmt]) -> Result<(), ParseError> {
+        for s in body {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), ParseError> {
+        match s {
+            Stmt::Let(name, e) => {
+                self.expr(e)?;
+                self.locals.push(name.clone());
+            }
+            Stmt::AssignLocal(name, e) => {
+                if !self.locals.iter().any(|l| l == name) && !self.is_loop_var(name) {
+                    return self.err(format!("assignment to unknown local `{name}`"));
+                }
+                self.expr(e)?;
+            }
+            Stmt::AssignAgg { agg, idx, value } => {
+                for i in idx {
+                    self.expr(i)?;
+                }
+                self.expr(value)?;
+                self.record(agg, AccessKind::Write, Self::classify(idx))?;
+            }
+            Stmt::If(c, t, e) => {
+                self.expr(c)?;
+                self.stmts(t)?;
+                self.stmts(e)?;
+            }
+            Stmt::For { var, lo, hi, body } => {
+                self.expr(lo)?;
+                self.expr(hi)?;
+                self.locals.push(var.clone());
+                self.stmts(body)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn is_loop_var(&self, _name: &str) -> bool {
+        false // loop vars are pushed into `locals` when entered
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<(), ParseError> {
+        match e {
+            Expr::Num(_) | Expr::Int(_) | Expr::Pos(_) => Ok(()),
+            Expr::Var(name) => {
+                if self.locals.iter().any(|l| l == name) {
+                    Ok(())
+                } else if self.sum.params.contains_key(name) {
+                    self.err(format!("aggregate `{name}` used without an index"))
+                } else {
+                    self.err(format!("unknown variable `{name}`"))
+                }
+            }
+            Expr::AggRead { agg, idx } => {
+                for i in idx {
+                    self.expr(i)?;
+                }
+                self.record(agg, AccessKind::Read, Analyzer::classify(idx))
+            }
+            Expr::Bin(_, a, b) => {
+                self.expr(a)?;
+                self.expr(b)
+            }
+            Expr::Neg(a) => self.expr(a),
+            Expr::Builtin(_, args) => {
+                for a in args {
+                    self.expr(a)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Analyze every parallel function in a program and validate call sites
+/// (arity, aggregate names, dimension agreement between the call's
+/// aggregates and the function's index usage is checked dynamically by the
+/// interpreter).
+pub fn analyze_program(p: &Program) -> Result<BTreeMap<String, AccessSummary>, ParseError> {
+    let mut out = BTreeMap::new();
+    for f in &p.funcs {
+        out.insert(f.name.clone(), analyze_fn(f)?);
+    }
+    // Validate main's call sites.
+    fn walk(p: &Program, stmts: &[SeqStmt]) -> Result<(), ParseError> {
+        for s in stmts {
+            match s {
+                SeqStmt::Call { func, args } => {
+                    let Some(f) = p.func(func) else {
+                        return Err(ParseError {
+                            msg: format!("call to unknown parallel function `{func}`"),
+                            line: 0,
+                        });
+                    };
+                    if f.params.len() != args.len() {
+                        return Err(ParseError {
+                            msg: format!(
+                                "`{func}` takes {} aggregate(s), called with {}",
+                                f.params.len(),
+                                args.len()
+                            ),
+                            line: 0,
+                        });
+                    }
+                    for a in args {
+                        if p.agg(a).is_none() {
+                            return Err(ParseError {
+                                msg: format!("unknown aggregate `{a}` in call to `{func}`"),
+                                line: 0,
+                            });
+                        }
+                    }
+                }
+                SeqStmt::For { body, .. } => walk(p, body)?,
+            }
+        }
+        Ok(())
+    }
+    walk(p, &p.main)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn figure3_summary() {
+        // The paper §4.2: "the summary access list of function update
+        // contains two elements, (primal, Write, Home) and
+        // (dual, Read, NonHome)".
+        let src = r#"
+            aggregate Primal[100] of float;
+            aggregate Dual[100] of float;
+            aggregate Nbr[100] of int;
+            parallel fn update(primal, dual, nbr) {
+                let k = nbr[#0];
+                primal[#0] = primal[#0] + 0.5 * dual[k];
+            }
+            fn main() { update(Primal, Dual, Nbr); }
+        "#;
+        let p = parse(src).unwrap();
+        let sums = analyze_program(&p).unwrap();
+        let s = &sums["update"];
+        let primal = s.get("primal");
+        assert!(primal.home_write && primal.home_read);
+        assert!(!primal.unstructured());
+        let dual = s.get("dual");
+        assert!(dual.nonhome_read);
+        assert!(!dual.home_read && !dual.home_write && !dual.nonhome_write);
+        assert_eq!(dual.describe(), "Read/NonHome");
+        let nbr = s.get("nbr");
+        assert!(nbr.home_read && !nbr.unstructured());
+    }
+
+    #[test]
+    fn stencil_neighbors_are_nonhome() {
+        let src = r#"
+            aggregate G[8][8] of float;
+            aggregate H[8][8] of float;
+            parallel fn sweep(g, h) {
+                h[#0][#1] = 0.25 * (g[#0-1][#1] + g[#0+1][#1] + g[#0][#1-1] + g[#0][#1+1]);
+            }
+            fn main() { sweep(G, H); }
+        "#;
+        let p = parse(src).unwrap();
+        let s = &analyze_program(&p).unwrap()["sweep"];
+        assert!(s.get("g").nonhome_read, "neighbor reads are unstructured");
+        assert!(!s.get("g").home_write);
+        assert!(s.get("h").home_write, "own-element store is an owner write");
+        assert!(!s.get("h").unstructured());
+    }
+
+    #[test]
+    fn swapped_positions_are_nonhome() {
+        // g[#1][#0] is a transpose access, not the own element.
+        let src = r#"
+            aggregate G[8][8] of float;
+            parallel fn t(g) { g[#0][#1] = g[#1][#0]; }
+            fn main() { t(G); }
+        "#;
+        let p = parse(src).unwrap();
+        let s = &analyze_program(&p).unwrap()["t"];
+        assert!(s.get("g").nonhome_read);
+        assert!(s.get("g").home_write);
+    }
+
+    #[test]
+    fn indirect_write_is_unstructured() {
+        let src = r#"
+            aggregate A[16] of float;
+            aggregate P[16] of int;
+            parallel fn scatter(a, p) { a[p[#0]] = 1.0; }
+            fn main() { scatter(A, P); }
+        "#;
+        let p = parse(src).unwrap();
+        let s = &analyze_program(&p).unwrap()["scatter"];
+        assert!(s.get("a").nonhome_write);
+        assert!(s.get("p").home_read);
+    }
+
+    #[test]
+    fn home_only_function() {
+        let src = r#"
+            aggregate A[16] of float;
+            parallel fn scale(a) { a[#0] = a[#0] * 2.0; }
+            fn main() { scale(A); }
+        "#;
+        let p = parse(src).unwrap();
+        let s = &analyze_program(&p).unwrap()["scale"];
+        assert!(s.home_only());
+    }
+
+    #[test]
+    fn unknown_variable_rejected() {
+        let src = r#"
+            aggregate A[4] of float;
+            parallel fn f(a) { a[#0] = y; }
+            fn main() { f(A); }
+        "#;
+        let p = parse(src).unwrap();
+        assert!(analyze_program(&p).is_err());
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        let src = r#"
+            aggregate A[4] of float;
+            parallel fn f(a) { a[#0] = 1.0; }
+            fn main() { f(A, A); }
+        "#;
+        let p = parse(src).unwrap();
+        assert!(analyze_program(&p).is_err());
+    }
+
+    #[test]
+    fn unknown_aggregate_in_call_rejected() {
+        let src = r#"
+            aggregate A[4] of float;
+            parallel fn f(a) { a[#0] = 1.0; }
+            fn main() { f(B); }
+        "#;
+        let p = parse(src).unwrap();
+        assert!(analyze_program(&p).is_err());
+    }
+
+    #[test]
+    fn loop_variable_usable_as_index() {
+        let src = r#"
+            aggregate A[8] of float;
+            parallel fn f(a) {
+                for i in 0 .. 3 {
+                    a[i] = a[i] + 1.0;
+                }
+            }
+            fn main() { f(A); }
+        "#;
+        let p = parse(src).unwrap();
+        let s = &analyze_program(&p).unwrap()["f"];
+        // Loop-indexed accesses are conservatively non-home.
+        assert!(s.get("a").nonhome_read && s.get("a").nonhome_write);
+    }
+}

@@ -1,0 +1,327 @@
+//! End-to-end compiler tests: parse → analyze → place directives →
+//! interpret on a live DSM machine, under both protocols, checking results
+//! against sequential expectations and checking that the *compiler-placed*
+//! directives (not hand annotations) drive the predictive protocol.
+
+use prescient_cstar::compile::compile;
+use prescient_cstar::interp::{materialize, read_aggregate_f64, run_program};
+use prescient_runtime::{Machine, MachineConfig};
+
+const JACOBI: &str = r#"
+    aggregate G[16][16] of float;
+    aggregate H[16][16] of float;
+
+    parallel fn sweep(g, h) {
+        if #0 > 0 {
+            if #0 < 15 {
+                if #1 > 0 {
+                    if #1 < 15 {
+                        h[#0][#1] = 0.25 * (g[#0-1][#1] + g[#0+1][#1] + g[#0][#1-1] + g[#0][#1+1]);
+                    }
+                }
+            }
+        }
+    }
+
+    fn main() {
+        for it in 0 .. 4 {
+            sweep(G, H);
+            sweep(H, G);
+        }
+    }
+"#;
+
+/// Sequential reference for the Jacobi program above (interior sweeps,
+/// boundary held at its initial values; note H starts equal to G so
+/// untouched boundary cells agree).
+fn jacobi_reference(n: usize, iters: usize, init: impl Fn(usize, usize) -> f64) -> Vec<f64> {
+    let mut g: Vec<f64> = (0..n * n).map(|k| init(k / n, k % n)).collect();
+    let mut h = g.clone();
+    for _ in 0..iters {
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                h[i * n + j] =
+                    0.25 * (g[(i - 1) * n + j] + g[(i + 1) * n + j] + g[i * n + j - 1] + g[i * n + j + 1]);
+            }
+        }
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                g[i * n + j] =
+                    0.25 * (h[(i - 1) * n + j] + h[(i + 1) * n + j] + h[i * n + j - 1] + h[i * n + j + 1]);
+            }
+        }
+    }
+    g
+}
+
+fn init_value(i: usize, j: usize) -> f64 {
+    (i * 31 + j * 7) as f64 % 17.0
+}
+
+fn run_jacobi(cfg: MachineConfig) -> (Vec<f64>, prescient_runtime::RunReport) {
+    let prog = compile(JACOBI).expect("compiles");
+    let mut machine = Machine::new(cfg);
+    let aggs = materialize(&machine, &prog);
+    let report = run_program(&mut machine, &prog, &aggs, |ctx, aggs| {
+        // Owners initialize both grids identically.
+        use prescient_cstar::interp::AggStore;
+        for name in ["G", "H"] {
+            if let AggStore::F2(a) = &aggs[name] {
+                for i in a.my_rows(ctx.me()) {
+                    for j in 0..a.cols() {
+                        ctx.write(a.addr(i, j), init_value(i, j));
+                    }
+                }
+            }
+        }
+    });
+    let vals = read_aggregate_f64(&mut machine, &aggs, "G");
+    (vals, report)
+}
+
+#[test]
+fn compiled_jacobi_matches_reference_under_both_protocols() {
+    let expect = jacobi_reference(16, 4, init_value);
+    for cfg in [MachineConfig::stache(4, 32), MachineConfig::predictive(4, 32)] {
+        let (got, _) = run_jacobi(cfg);
+        for (k, (&g, &e)) in got.iter().zip(&expect).enumerate() {
+            assert!(
+                (g - e).abs() < 1e-12,
+                "cell {k}: {g} vs {e} (predictive={})",
+                cfg.protocol.is_predictive()
+            );
+        }
+    }
+}
+
+#[test]
+fn compiled_directives_drive_presend() {
+    let (_, unopt) = run_jacobi(MachineConfig::stache(4, 32));
+    let (_, opt) = run_jacobi(MachineConfig::predictive(4, 32));
+    let mu = unopt.total_stats().misses();
+    let mo = opt.total_stats().misses();
+    assert!(mo < mu, "compiler-placed directives must reduce misses: {mo} vs {mu}");
+    assert!(opt.total_stats().presend_blocks_out > 0, "pre-sends must have happened");
+    assert!(opt.mean_breakdown().wait_ns < unopt.mean_breakdown().wait_ns);
+}
+
+/// Figure 3's unstructured bipartite-mesh update, with an indirection
+/// array: the compiler cannot see the pattern, but the predictive
+/// protocol learns it at run time.
+#[test]
+fn unstructured_mesh_update_via_indirection() {
+    let src = r#"
+        aggregate Primal[64] of float;
+        aggregate Dual[64] of float;
+        aggregate Nbr[64] of int;
+
+        parallel fn update(primal, dual, nbr) {
+            let k = nbr[#0];
+            primal[#0] = primal[#0] + 0.5 * dual[k];
+        }
+
+        parallel fn relax_dual(dual, primal, nbr) {
+            let k = nbr[#0];
+            dual[#0] = 0.9 * dual[#0] + 0.1 * primal[k];
+        }
+
+        fn main() {
+            for t in 0 .. 5 {
+                update(Primal, Dual, Nbr);
+                relax_dual(Dual, Primal, Nbr);
+            }
+        }
+    "#;
+    let prog = compile(src).unwrap();
+    // Both calls are unstructured: two phases.
+    assert_eq!(prog.plan.assignment.n_phases, 2);
+
+    let n = 64usize;
+    // A fixed scrambled neighbor map (deterministic, crosses partitions).
+    let nbr = |i: usize| -> i64 { ((i * 37 + 11) % n) as i64 };
+
+    let run = |cfg: MachineConfig| -> (Vec<f64>, prescient_runtime::RunReport) {
+        let mut machine = Machine::new(cfg);
+        let aggs = materialize(&machine, &prog);
+        let report = run_program(&mut machine, &prog, &aggs, |ctx, aggs| {
+            use prescient_cstar::interp::AggStore;
+            if let AggStore::F1(a) = &aggs["Primal"] {
+                for i in a.my_range(ctx.me()) {
+                    ctx.write(a.addr(i), i as f64);
+                }
+            }
+            if let AggStore::F1(a) = &aggs["Dual"] {
+                for i in a.my_range(ctx.me()) {
+                    ctx.write(a.addr(i), (2 * i) as f64);
+                }
+            }
+            if let AggStore::I1(a) = &aggs["Nbr"] {
+                for i in a.my_range(ctx.me()) {
+                    ctx.write(a.addr(i), nbr(i));
+                }
+            }
+        });
+        let vals = read_aggregate_f64(&mut machine, &aggs, "Primal");
+        (vals, report)
+    };
+
+    // Sequential reference.
+    let mut primal: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let mut dual: Vec<f64> = (0..n).map(|i| (2 * i) as f64).collect();
+    for _ in 0..5 {
+        let d0 = dual.clone();
+        for i in 0..n {
+            primal[i] += 0.5 * d0[nbr(i) as usize];
+        }
+        let p0 = primal.clone();
+        for i in 0..n {
+            dual[i] = 0.9 * dual[i] + 0.1 * p0[nbr(i) as usize];
+        }
+    }
+
+    let (got_u, rep_u) = run(MachineConfig::stache(4, 32));
+    let (got_o, rep_o) = run(MachineConfig::predictive(4, 32));
+    for k in 0..n {
+        assert!((got_u[k] - primal[k]).abs() < 1e-9, "unopt cell {k}");
+        assert!((got_o[k] - primal[k]).abs() < 1e-9, "opt cell {k}");
+    }
+    // The learned schedule must shrink misses for the irregular pattern.
+    assert!(
+        rep_o.total_stats().misses() < rep_u.total_stats().misses(),
+        "{} vs {}",
+        rep_o.total_stats().misses(),
+        rep_u.total_stats().misses()
+    );
+}
+
+/// A home-only program needs no directives at all, and both protocols
+/// behave identically (no pre-sends, no misses after initialization).
+#[test]
+fn home_only_program_gets_no_directives() {
+    let src = r#"
+        aggregate A[32] of float;
+        parallel fn scale(a) { a[#0] = a[#0] * 1.5; }
+        fn main() {
+            for t in 0 .. 3 { scale(A); }
+        }
+    "#;
+    let prog = compile(src).unwrap();
+    assert_eq!(prog.plan.assignment.n_phases, 0, "no communication, no phases");
+
+    let mut machine = Machine::new(MachineConfig::predictive(2, 32));
+    let aggs = materialize(&machine, &prog);
+    let report = run_program(&mut machine, &prog, &aggs, |ctx, aggs| {
+        use prescient_cstar::interp::AggStore;
+        if let AggStore::F1(a) = &aggs["A"] {
+            for i in a.my_range(ctx.me()) {
+                ctx.write(a.addr(i), 2.0);
+            }
+        }
+    });
+    assert_eq!(report.total_stats().misses(), 0, "home-only program never misses");
+    assert_eq!(report.total_stats().presend_blocks_out, 0);
+    let vals = read_aggregate_f64(&mut machine, &aggs, "A");
+    assert!(vals.iter().all(|&v| (v - 2.0 * 1.5f64.powi(3)).abs() < 1e-12));
+}
+
+/// Integer aggregates work end to end (the indirection arrays of adaptive
+/// codes).
+#[test]
+fn integer_aggregates_roundtrip() {
+    let src = r#"
+        aggregate P[16] of int;
+        parallel fn bump(p) { p[#0] = p[#0] + 2; }
+        fn main() { for t in 0 .. 4 { bump(P); } }
+    "#;
+    let prog = compile(src).unwrap();
+    let mut machine = Machine::new(MachineConfig::stache(2, 32));
+    let aggs = materialize(&machine, &prog);
+    run_program(&mut machine, &prog, &aggs, |ctx, aggs| {
+        use prescient_cstar::interp::AggStore;
+        if let AggStore::I1(a) = &aggs["P"] {
+            for i in a.my_range(ctx.me()) {
+                ctx.write(a.addr(i), i as i64);
+            }
+        }
+    });
+    let vals = read_aggregate_f64(&mut machine, &aggs, "P");
+    for (i, v) in vals.iter().enumerate() {
+        assert_eq!(*v, (i + 8) as f64);
+    }
+}
+
+/// Control flow inside parallel functions: `for` loops and `if/else`
+/// evaluate correctly through the DSM (a blur that only touches cells
+/// above a threshold, with an inner smoothing loop).
+#[test]
+fn dsl_control_flow_executes() {
+    let src = r#"
+        aggregate A[24] of float;
+        parallel fn sharpen(a) {
+            if a[#0] > 4.0 {
+                for t in 0 .. 3 {
+                    a[#0] = a[#0] - 1.0;
+                }
+            } else {
+                a[#0] = a[#0] + 0.5;
+            }
+        }
+        fn main() { for it in 0 .. 2 { sharpen(A); } }
+    "#;
+    let prog = compile(src).unwrap();
+    let mut machine = Machine::new(MachineConfig::stache(3, 32));
+    let aggs = materialize(&machine, &prog);
+    run_program(&mut machine, &prog, &aggs, |ctx, aggs| {
+        use prescient_cstar::interp::AggStore;
+        if let AggStore::F1(a) = &aggs["A"] {
+            for i in a.my_range(ctx.me()) {
+                ctx.write(a.addr(i), i as f64);
+            }
+        }
+    });
+    let got = read_aggregate_f64(&mut machine, &aggs, "A");
+    // Sequential model.
+    let mut a: Vec<f64> = (0..24).map(|i| i as f64).collect();
+    for _ in 0..2 {
+        for v in a.iter_mut() {
+            if *v > 4.0 {
+                *v -= 3.0;
+            } else {
+                *v += 0.5;
+            }
+        }
+    }
+    for (k, (&g, &e)) in got.iter().zip(&a).enumerate() {
+        assert!((g - e).abs() < 1e-12, "cell {k}: {g} vs {e}");
+    }
+}
+
+/// Modulo, comparisons and builtins through the interpreter.
+#[test]
+fn dsl_builtins_and_mod() {
+    let src = r#"
+        aggregate A[16] of int;
+        parallel fn f(a) {
+            let v = a[#0];
+            a[#0] = max(v % 5, min(v, 3)) + abs(0 - 1);
+        }
+        fn main() { f(A); }
+    "#;
+    let prog = compile(src).unwrap();
+    let mut machine = Machine::new(MachineConfig::stache(2, 32));
+    let aggs = materialize(&machine, &prog);
+    run_program(&mut machine, &prog, &aggs, |ctx, aggs| {
+        use prescient_cstar::interp::AggStore;
+        if let AggStore::I1(a) = &aggs["A"] {
+            for i in a.my_range(ctx.me()) {
+                ctx.write(a.addr(i), i as i64);
+            }
+        }
+    });
+    let got = read_aggregate_f64(&mut machine, &aggs, "A");
+    for (i, &g) in got.iter().enumerate() {
+        let v = i as i64;
+        let expect = (v % 5).max(v.min(3)) + 1;
+        assert_eq!(g, expect as f64, "cell {i}");
+    }
+}

@@ -1,0 +1,78 @@
+//! Machine configuration.
+
+use prescient_core::PredictiveConfig;
+use prescient_tempest::CostModel;
+
+/// Which coherence protocol the machine runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProtocolKind {
+    /// Plain Stache (write-invalidate). The `phase_begin`/`phase_end`
+    /// directives degrade to the natural end-of-phase barrier — this is the
+    /// paper's *unoptimized* configuration.
+    Stache,
+    /// Stache plus the predictive protocol: directives record schedules and
+    /// pre-send data — the paper's *optimized* configuration.
+    Predictive(PredictiveConfig),
+}
+
+impl ProtocolKind {
+    /// Default optimized configuration.
+    pub fn predictive() -> ProtocolKind {
+        ProtocolKind::Predictive(PredictiveConfig::default())
+    }
+
+    /// Is the predictive protocol active?
+    pub fn is_predictive(&self) -> bool {
+        matches!(self, ProtocolKind::Predictive(_))
+    }
+}
+
+/// Configuration of one emulated machine.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineConfig {
+    /// Number of nodes (the paper's machine has 32).
+    pub nodes: usize,
+    /// Cache-block size in bytes (the paper sweeps 32–1024).
+    pub block_size: usize,
+    /// Virtual-time cost constants.
+    pub cost: CostModel,
+    /// Coherence protocol.
+    pub protocol: ProtocolKind,
+}
+
+impl MachineConfig {
+    /// An unoptimized (plain Stache) machine.
+    pub fn stache(nodes: usize, block_size: usize) -> MachineConfig {
+        MachineConfig {
+            nodes,
+            block_size,
+            cost: CostModel::default(),
+            protocol: ProtocolKind::Stache,
+        }
+    }
+
+    /// An optimized (predictive protocol) machine.
+    pub fn predictive(nodes: usize, block_size: usize) -> MachineConfig {
+        MachineConfig {
+            nodes,
+            block_size,
+            cost: CostModel::default(),
+            protocol: ProtocolKind::predictive(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let u = MachineConfig::stache(4, 32);
+        assert!(!u.protocol.is_predictive());
+        let o = MachineConfig::predictive(4, 32);
+        assert!(o.protocol.is_predictive());
+        assert_eq!(o.nodes, 4);
+        assert_eq!(o.block_size, 32);
+    }
+}

@@ -1,0 +1,280 @@
+//! The per-node execution context inside an SPMD program.
+//!
+//! `NodeCtx` is each compute thread's handle on the machine. Every shared
+//! access goes through the fine-grain access-control check; faults block
+//! the thread on the protocol (remote data wait), exactly as in Blizzard.
+//! The context keeps the node's virtual clock, split into the paper's bar
+//! segments: compute, remote-data wait, predictive protocol (pre-send),
+//! and synchronization.
+
+use std::sync::Arc;
+
+use crossbeam::channel::Receiver;
+use prescient_core::presend::presend;
+use prescient_core::{PhaseId, Predictive};
+use prescient_stache::engine::fetch;
+use prescient_stache::{NodeShared, Wake};
+use prescient_tempest::{CostModel, GAddr, NodeId, NodeStats, Prim, TimeBreakdown, VBarrier};
+
+use crate::machine::ReduceScratch;
+
+/// Per-node program context. One exists per compute thread per run.
+pub struct NodeCtx {
+    shared: Arc<NodeShared>,
+    pred: Option<Arc<Predictive>>,
+    wake_rx: Receiver<Wake>,
+    stash: Vec<Wake>,
+    barrier: Arc<VBarrier>,
+    reduce: Arc<ReduceScratch>,
+    reduce_round: u64,
+    cost: CostModel,
+    t: TimeBreakdown,
+}
+
+impl NodeCtx {
+    pub(crate) fn new(
+        shared: Arc<NodeShared>,
+        pred: Option<Arc<Predictive>>,
+        wake_rx: Receiver<Wake>,
+        barrier: Arc<VBarrier>,
+        reduce: Arc<ReduceScratch>,
+    ) -> NodeCtx {
+        let cost = shared.cost;
+        NodeCtx {
+            shared,
+            pred,
+            wake_rx,
+            stash: Vec::new(),
+            barrier,
+            reduce,
+            reduce_round: 0,
+            cost,
+            t: TimeBreakdown::default(),
+        }
+    }
+
+    /// This node's id.
+    pub fn me(&self) -> NodeId {
+        self.shared.me
+    }
+
+    /// Number of nodes in the machine.
+    pub fn nodes(&self) -> usize {
+        self.shared.nodes()
+    }
+
+    /// Cache-block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.shared.block_size()
+    }
+
+    /// Is the predictive protocol active?
+    pub fn is_predictive(&self) -> bool {
+        self.pred.is_some()
+    }
+
+    /// This node's virtual clock (ns since run start).
+    pub fn now_ns(&self) -> u64 {
+        self.t.total_ns()
+    }
+
+    /// The underlying predictive state (e.g. for manual schedules).
+    pub fn predictive(&self) -> Option<&Arc<Predictive>> {
+        self.pred.as_ref()
+    }
+
+    /// Direct access to the node's shared state (diagnostics, tests).
+    pub fn node(&self) -> &Arc<NodeShared> {
+        &self.shared
+    }
+
+    // ----- shared-memory access ------------------------------------------
+
+    /// Read a primitive from shared memory (fine-grain checked; faults are
+    /// serviced by the coherence protocol and billed as remote wait).
+    pub fn read<T: Prim>(&mut self, addr: GAddr) -> T {
+        NodeStats::bump(&self.shared.stats.reads);
+        self.t.compute_ns += self.cost.local_access_ns;
+        let mut buf = [0u8; 16];
+        let buf = &mut buf[..T::BYTES];
+        loop {
+            let r = self.shared.mem.lock().read_in_block(addr, buf);
+            match r {
+                Ok(()) => return T::load(buf),
+                Err(f) => self.miss(f.block, false),
+            }
+        }
+    }
+
+    /// Write a primitive to shared memory.
+    pub fn write<T: Prim>(&mut self, addr: GAddr, v: T) {
+        NodeStats::bump(&self.shared.stats.writes);
+        self.t.compute_ns += self.cost.local_access_ns;
+        let mut buf = [0u8; 16];
+        let buf = &mut buf[..T::BYTES];
+        v.store(buf);
+        loop {
+            let r = self.shared.mem.lock().write_in_block(addr, buf);
+            match r {
+                Ok(()) => return,
+                Err(f) => self.miss(f.block, true),
+            }
+        }
+    }
+
+    fn miss(&mut self, block: prescient_tempest::BlockId, excl: bool) {
+        let info = fetch(&self.shared, &self.wake_rx, block, excl, &mut self.stash);
+        if excl {
+            NodeStats::bump(&self.shared.stats.write_misses);
+        } else {
+            NodeStats::bump(&self.shared.stats.read_misses);
+        }
+        if info.extra_hops > 0 {
+            NodeStats::bump(&self.shared.stats.slow_misses);
+        }
+        let home = self.shared.layout.home_of_block(block);
+        self.t.wait_ns += if home == self.me() {
+            self.cost.local_fault_ns(info.extra_hops, info.bytes, info.recorded)
+        } else {
+            self.cost.miss_ns(info.extra_hops, info.bytes, info.recorded)
+        };
+    }
+
+    /// Charge `flops` units of application arithmetic to the virtual clock.
+    pub fn work(&mut self, flops: u64) {
+        self.t.compute_ns += flops * self.cost.flop_ns;
+    }
+
+    /// Allocate shared memory from this node's heap (homed here). Usable
+    /// during phases — this is how Adaptive grows quad-trees and Barnes
+    /// builds its local tree arenas.
+    pub fn alloc_local(&mut self, bytes: u64, align: u64) -> GAddr {
+        self.t.compute_ns += self.cost.local_access_ns;
+        self.shared.mem.lock().alloc(bytes, align)
+    }
+
+    // ----- synchronization ------------------------------------------------
+
+    /// Global barrier; the stall is billed as synchronization time.
+    pub fn barrier(&mut self) {
+        let out = self.barrier.wait(self.t.total_ns());
+        self.t.synch_ns += out.stall_ns + self.cost.barrier_ns;
+    }
+
+    /// Global barrier billed to the pre-send segment (used inside the
+    /// predictive directives, whose whole cost the paper reports as
+    /// "Predictive protocol").
+    fn barrier_presend(&mut self) {
+        let out = self.barrier.wait(self.t.total_ns());
+        self.t.presend_ns += out.stall_ns + self.cost.barrier_ns;
+    }
+
+    // ----- compiler directives (§4.3) -------------------------------------
+
+    /// `phase_begin(id)` — the compiler-inserted directive before a
+    /// parallel phase with potentially repetitive communication: pre-send
+    /// according to the phase's recorded schedule, synchronize so all block
+    /// states are stable, then arm recording for this instance.
+    ///
+    /// Under plain Stache this is a no-op (the unoptimized program).
+    pub fn phase_begin(&mut self, phase: PhaseId) {
+        let Some(pred) = self.pred.clone() else { return };
+        self.barrier_presend();
+        let rep = presend(&pred, &self.shared, &self.wake_rx, &mut self.stash, phase);
+        self.t.presend_ns += rep.vtime_ns;
+        self.barrier_presend();
+        pred.arm(phase);
+    }
+
+    /// `phase_end()` — close the current parallel phase. Under plain
+    /// Stache, just the phase's natural closing barrier; under the
+    /// predictive protocol, additionally stop recording (between two
+    /// barriers, so every in-phase request lands in the schedule and no
+    /// post-phase request does).
+    pub fn phase_end(&mut self) {
+        match self.pred.clone() {
+            None => self.barrier(),
+            Some(pred) => {
+                self.barrier();
+                pred.end_phase();
+                self.barrier_presend();
+            }
+        }
+    }
+
+    /// Execute a phase's pre-send *without* arming recording: the
+    /// hand-optimized-protocol mode, where the application installed a
+    /// manual schedule (Falsafi-style write-update push) and pays no
+    /// schedule-building overhead. The caller still closes the phase with
+    /// an ordinary barrier.
+    pub fn presend_only(&mut self, phase: PhaseId) {
+        let Some(pred) = self.pred.clone() else { return };
+        self.barrier_presend();
+        let rep = presend(&pred, &self.shared, &self.wake_rx, &mut self.stash, phase);
+        self.t.presend_ns += rep.vtime_ns;
+        self.barrier_presend();
+    }
+
+    /// Flush one phase's schedule on this node (rebuild policy, §3.3).
+    pub fn flush_schedule(&mut self, phase: PhaseId) {
+        if let Some(p) = &self.pred {
+            p.flush(phase);
+        }
+    }
+
+    // ----- reductions (language feature, outside the protocol) -----------
+
+    /// All-reduce: element-wise sum of `vals` across all nodes; every node
+    /// receives the result in place. Deterministic: contributions are
+    /// summed in node order, independent of arrival order. Billed as a
+    /// log-depth message combining tree plus the barriers'
+    /// synchronization.
+    pub fn allreduce_sum(&mut self, vals: &mut [f64]) {
+        self.reduce_round += 1;
+        let round = self.reduce_round;
+        let me = self.me() as usize;
+        self.barrier();
+        {
+            let mut st = self.reduce.state.lock();
+            if st.zeroed_round < round {
+                st.zeroed_round = round;
+                for c in st.contrib.iter_mut() {
+                    c.clear();
+                }
+            }
+            st.contrib[me].extend_from_slice(vals);
+        }
+        self.barrier();
+        {
+            let st = self.reduce.state.lock();
+            vals.fill(0.0);
+            for c in &st.contrib {
+                assert_eq!(c.len(), vals.len(), "mismatched allreduce lengths");
+                for (v, x) in vals.iter_mut().zip(c.iter()) {
+                    *v += *x;
+                }
+            }
+        }
+        // Cost: a combining tree of depth log2(P).
+        let rounds = (self.nodes().max(2) as f64).log2().ceil() as u64;
+        let bytes = (vals.len() * 8) as u64;
+        self.t.compute_ns += rounds * (self.cost.msg_startup_ns + bytes * self.cost.per_byte_ns);
+    }
+
+    /// All-reduce max of a single value.
+    pub fn allreduce_max(&mut self, val: f64) -> f64 {
+        // Implemented over the sum scratch via max-trick is unsound;
+        // use a second pass: negate-sum does not give max, so do it with
+        // the same scratch but a dedicated slot per node.
+        let me = self.me() as usize;
+        let n = self.nodes();
+        let mut slots = vec![0.0; n];
+        slots[me] = val;
+        self.allreduce_sum(&mut slots);
+        slots.into_iter().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    pub(crate) fn finish(self) -> (TimeBreakdown, Receiver<Wake>) {
+        (self.t, self.wake_rx)
+    }
+}

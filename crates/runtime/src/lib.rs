@@ -1,0 +1,34 @@
+//! # prescient-runtime
+//!
+//! The data-parallel runtime beneath C\*\*-style programs: it assembles an
+//! emulated multi-node machine over the Tempest substrate, runs SPMD
+//! compute threads against the Stache/predictive coherence protocols, and
+//! exposes the abstractions the compiler targets:
+//!
+//! * [`Machine`] — builds the fabric, nodes (two threads each: compute +
+//!   protocol handler), and the chosen protocol; runs SPMD programs and
+//!   collects the per-node execution-time breakdown of the paper's figures;
+//! * [`NodeCtx`] — the per-node view inside a program: typed shared-memory
+//!   access with fine-grain access-control checks and fault handling,
+//!   virtual-time charging, barriers, reductions, local allocation, and the
+//!   two compiler directives `phase_begin` / `phase_end` that drive the
+//!   predictive protocol;
+//! * [`agg`] — distributed aggregates (1-D and 2-D arrays of primitives)
+//!   with the block / row-block / tiled computation distributions of §4.1;
+//! * [`report`] — run reports mirroring the paper's stacked bars (remote
+//!   data wait / predictive protocol / compute + synch).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod config;
+pub mod ctx;
+pub mod machine;
+pub mod report;
+
+pub use agg::{Agg1D, Agg2D, Dist1D, Dist2D};
+pub use config::{MachineConfig, ProtocolKind};
+pub use ctx::NodeCtx;
+pub use machine::Machine;
+pub use report::{NodeReport, RunReport};

@@ -1,0 +1,213 @@
+//! The emulated machine: node assembly, SPMD execution, reduction scratch.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver};
+use parking_lot::Mutex;
+use prescient_core::Predictive;
+use prescient_stache::{spawn_protocol, Msg, NoHooks, NodeShared, Wake};
+use prescient_tempest::fabric::Fabric;
+use prescient_tempest::{GAddr, GlobalLayout, NodeId, VBarrier};
+
+use crate::config::{MachineConfig, ProtocolKind};
+use crate::ctx::NodeCtx;
+use crate::report::{NodeReport, RunReport};
+
+/// Scratch space for runtime reductions (a C\*\* language feature, handled
+/// outside the coherence protocol — §1 notes reductions are not a
+/// predictive-protocol target).
+pub(crate) struct ReduceScratch {
+    pub(crate) state: Mutex<ReduceState>,
+}
+
+pub(crate) struct ReduceState {
+    /// Round whose contribution slots are currently valid.
+    pub(crate) zeroed_round: u64,
+    /// One contribution vector per node; summed in node order at read-out
+    /// so the reduction is deterministic regardless of arrival order.
+    pub(crate) contrib: Vec<Vec<f64>>,
+}
+
+/// An emulated multi-node machine.
+///
+/// Protocol-handler threads persist for the machine's lifetime; each
+/// [`Machine::run`] call spawns fresh compute threads executing the given
+/// SPMD program.
+pub struct Machine {
+    cfg: MachineConfig,
+    layout: GlobalLayout,
+    shareds: Vec<Arc<NodeShared>>,
+    preds: Option<Vec<Arc<Predictive>>>,
+    wake_rxs: Vec<Option<Receiver<Wake>>>,
+    barrier: Arc<VBarrier>,
+    reduce: Arc<ReduceScratch>,
+    joins: Vec<JoinHandle<()>>,
+}
+
+impl Machine {
+    /// Build a machine: fabric, per-node state, and protocol threads.
+    pub fn new(cfg: MachineConfig) -> Machine {
+        let layout = GlobalLayout::new(cfg.nodes, cfg.block_size);
+        let mut shareds = Vec::with_capacity(cfg.nodes);
+        let mut wake_rxs = Vec::with_capacity(cfg.nodes);
+        let mut joins = Vec::with_capacity(cfg.nodes);
+        let mut preds = match cfg.protocol {
+            ProtocolKind::Predictive(_) => Some(Vec::with_capacity(cfg.nodes)),
+            ProtocolKind::Stache => None,
+        };
+        for ep in Fabric::new::<Msg>(cfg.nodes) {
+            let (wake_tx, wake_rx) = unbounded();
+            let shared = Arc::new(NodeShared::new(layout, cfg.cost, ep.net().clone(), wake_tx));
+            let join = match cfg.protocol {
+                ProtocolKind::Predictive(pcfg) => {
+                    let pred = Arc::new(Predictive::new(pcfg));
+                    let j = spawn_protocol(Arc::clone(&shared), ep, Arc::clone(&pred) as _);
+                    preds.as_mut().expect("predictive mode").push(pred);
+                    j
+                }
+                ProtocolKind::Stache => spawn_protocol(Arc::clone(&shared), ep, Arc::new(NoHooks)),
+            };
+            shareds.push(shared);
+            wake_rxs.push(Some(wake_rx));
+            joins.push(join);
+        }
+        Machine {
+            cfg,
+            layout,
+            shareds,
+            preds,
+            wake_rxs,
+            barrier: Arc::new(VBarrier::new(cfg.nodes)),
+            reduce: Arc::new(ReduceScratch {
+                state: Mutex::new(ReduceState {
+                    zeroed_round: 0,
+                    contrib: vec![Vec::new(); cfg.nodes],
+                }),
+            }),
+            joins,
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The address-space layout.
+    pub fn layout(&self) -> GlobalLayout {
+        self.layout
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.cfg.nodes
+    }
+
+    /// Allocate `bytes` of shared memory homed at `node` (driver-side
+    /// allocation, before or between runs).
+    pub fn alloc_on(&self, node: NodeId, bytes: u64, align: u64) -> GAddr {
+        self.shareds[node as usize].mem.lock().alloc(bytes, align)
+    }
+
+    /// The predictive-protocol state of `node`, if the machine runs the
+    /// predictive protocol (used for manual schedules and diagnostics).
+    pub fn predictive(&self, node: NodeId) -> Option<&Arc<Predictive>> {
+        self.preds.as_ref().map(|p| &p[node as usize])
+    }
+
+    /// Verify all coherence invariants (single writer / valid sharers /
+    /// data agreement — see `prescient_stache::check`). Only meaningful
+    /// between runs, when the machine is quiescent. Panics with the list
+    /// of violations if any invariant is broken.
+    pub fn assert_coherent(&self) {
+        let violations = prescient_stache::check_coherence(&self.shareds);
+        assert!(violations.is_empty(), "coherence violations: {violations:#?}");
+    }
+
+    /// Run an SPMD program: `f` executes concurrently on every node's
+    /// compute thread. Returns each node's result plus the run report with
+    /// the paper's time breakdown.
+    pub fn run<R, F>(&mut self, f: F) -> (Vec<R>, RunReport)
+    where
+        R: Send,
+        F: Fn(&mut NodeCtx) -> R + Sync,
+    {
+        let wall_start = Instant::now();
+        let stats0: Vec<_> = self.shareds.iter().map(|s| s.stats.snapshot()).collect();
+        let rxs: Vec<Receiver<Wake>> =
+            self.wake_rxs.iter_mut().map(|o| o.take().expect("machine already running")).collect();
+
+        let mut out: Vec<(R, prescient_tempest::TimeBreakdown, Receiver<Wake>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = rxs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, rx)| {
+                        let f = &f;
+                        let shared = Arc::clone(&self.shareds[i]);
+                        let pred = self.preds.as_ref().map(|p| Arc::clone(&p[i]));
+                        let barrier = Arc::clone(&self.barrier);
+                        let reduce = Arc::clone(&self.reduce);
+                        scope.spawn(move || {
+                            let mut ctx = NodeCtx::new(shared, pred, rx, barrier, reduce);
+                            let r = f(&mut ctx);
+                            let (breakdown, rx) = ctx.finish();
+                            (r, breakdown, rx)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("compute thread panicked")).collect()
+            });
+
+        let mut results = Vec::with_capacity(out.len());
+        let mut per_node = Vec::with_capacity(out.len());
+        for (i, (r, breakdown, rx)) in out.drain(..).enumerate() {
+            self.wake_rxs[i] = Some(rx);
+            results.push(r);
+            let stats = self.shareds[i].stats.snapshot();
+            per_node.push(NodeReport {
+                node: i as NodeId,
+                breakdown,
+                stats: diff(&stats, &stats0[i]),
+                unused_presends: self.shareds[i].mem.lock().unused_presends() as u64,
+            });
+        }
+        (results, RunReport { per_node, wall: wall_start.elapsed() })
+    }
+}
+
+fn diff(
+    a: &prescient_tempest::stats::StatsSnapshot,
+    b: &prescient_tempest::stats::StatsSnapshot,
+) -> prescient_tempest::stats::StatsSnapshot {
+    use prescient_tempest::stats::StatsSnapshot;
+    StatsSnapshot {
+        reads: a.reads - b.reads,
+        writes: a.writes - b.writes,
+        read_misses: a.read_misses - b.read_misses,
+        write_misses: a.write_misses - b.write_misses,
+        slow_misses: a.slow_misses - b.slow_misses,
+        invals_in: a.invals_in - b.invals_in,
+        recalls_in: a.recalls_in - b.recalls_in,
+        msgs_out: a.msgs_out - b.msgs_out,
+        presend_blocks_out: a.presend_blocks_out - b.presend_blocks_out,
+        presend_msgs_out: a.presend_msgs_out - b.presend_msgs_out,
+        presend_bytes_out: a.presend_bytes_out - b.presend_bytes_out,
+        presend_blocks_in: a.presend_blocks_in - b.presend_blocks_in,
+        sched_records: a.sched_records - b.sched_records,
+        presend_races: a.presend_races - b.presend_races,
+    }
+}
+
+impl Drop for Machine {
+    fn drop(&mut self) {
+        for s in &self.shareds {
+            s.send(s.me, Msg::Shutdown);
+        }
+        for j in self.joins.drain(..) {
+            let _ = j.join();
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Run reports: the paper's execution-time breakdown per node and machine.
+
+use std::time::Duration;
+
+use prescient_tempest::stats::StatsSnapshot;
+use prescient_tempest::{NodeId, TimeBreakdown};
+
+/// One node's contribution to a run.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeReport {
+    /// Node id.
+    pub node: NodeId,
+    /// Virtual-time breakdown (compute / wait / pre-send / synch).
+    pub breakdown: TimeBreakdown,
+    /// Protocol event counters for this run.
+    pub stats: StatsSnapshot,
+    /// Blocks pre-sent to this node but never accessed (redundant
+    /// pre-sends, cumulative at run end).
+    pub unused_presends: u64,
+}
+
+/// A whole-machine run report.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Per-node reports, indexed by node id.
+    pub per_node: Vec<NodeReport>,
+    /// Host wall-clock time of the run (diagnostic only; the figures use
+    /// virtual time).
+    pub wall: Duration,
+}
+
+impl RunReport {
+    /// The machine's execution time: the maximum node virtual time (all
+    /// programs end with a barrier, so nodes agree up to the final stall).
+    pub fn exec_time_ns(&self) -> u64 {
+        self.per_node.iter().map(|n| n.breakdown.total_ns()).max().unwrap_or(0)
+    }
+
+    /// Machine-wide breakdown: per-segment *average* over nodes, so the
+    /// segments sum to (roughly) the execution time, as in the paper's
+    /// stacked bars.
+    pub fn mean_breakdown(&self) -> TimeBreakdown {
+        let n = self.per_node.len().max(1) as u64;
+        let sum = self
+            .per_node
+            .iter()
+            .fold(TimeBreakdown::default(), |acc, r| acc.merge(&r.breakdown));
+        TimeBreakdown {
+            compute_ns: sum.compute_ns / n,
+            wait_ns: sum.wait_ns / n,
+            presend_ns: sum.presend_ns / n,
+            synch_ns: sum.synch_ns / n,
+        }
+    }
+
+    /// Machine-wide event totals.
+    pub fn total_stats(&self) -> StatsSnapshot {
+        self.per_node
+            .iter()
+            .fold(StatsSnapshot::default(), |acc, r| acc.merge(&r.stats))
+    }
+
+    /// Fraction of shared accesses satisfied locally.
+    pub fn local_fraction(&self) -> f64 {
+        self.total_stats().local_fraction()
+    }
+
+    /// Render the paper-style stacked bar as a one-line summary:
+    /// `total | wait / presend / compute+synch` in milliseconds of virtual
+    /// time.
+    pub fn bar_line(&self) -> String {
+        let b = self.mean_breakdown();
+        format!(
+            "total {:>10.3} ms | remote-wait {:>10.3} | presend {:>9.3} | compute+synch {:>10.3}",
+            self.exec_time_ns() as f64 / 1e6,
+            b.wait_ns as f64 / 1e6,
+            b.presend_ns as f64 / 1e6,
+            b.compute_synch_ns() as f64 / 1e6,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(breakdowns: Vec<TimeBreakdown>) -> RunReport {
+        RunReport {
+            per_node: breakdowns
+                .into_iter()
+                .enumerate()
+                .map(|(i, b)| NodeReport {
+                    node: i as NodeId,
+                    breakdown: b,
+                    stats: StatsSnapshot::default(),
+                    unused_presends: 0,
+                })
+                .collect(),
+            wall: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn exec_time_is_max() {
+        let r = report(vec![
+            TimeBreakdown { compute_ns: 10, wait_ns: 0, presend_ns: 0, synch_ns: 0 },
+            TimeBreakdown { compute_ns: 30, wait_ns: 5, presend_ns: 0, synch_ns: 0 },
+        ]);
+        assert_eq!(r.exec_time_ns(), 35);
+    }
+
+    #[test]
+    fn mean_breakdown_averages() {
+        let r = report(vec![
+            TimeBreakdown { compute_ns: 10, wait_ns: 20, presend_ns: 2, synch_ns: 0 },
+            TimeBreakdown { compute_ns: 30, wait_ns: 0, presend_ns: 4, synch_ns: 8 },
+        ]);
+        let b = r.mean_breakdown();
+        assert_eq!(b.compute_ns, 20);
+        assert_eq!(b.wait_ns, 10);
+        assert_eq!(b.presend_ns, 3);
+        assert_eq!(b.synch_ns, 4);
+    }
+
+    #[test]
+    fn bar_line_formats() {
+        let r = report(vec![TimeBreakdown {
+            compute_ns: 1_000_000,
+            wait_ns: 2_000_000,
+            presend_ns: 0,
+            synch_ns: 0,
+        }]);
+        let line = r.bar_line();
+        assert!(line.contains("remote-wait"));
+        assert!(line.contains("3.000 ms"));
+    }
+}

@@ -1,0 +1,344 @@
+//! End-to-end runtime tests: SPMD programs on live machines, comparing
+//! unoptimized (Stache) and optimized (predictive) runs for correctness and
+//! for the paper's headline effects (fewer misses, less remote wait).
+
+use prescient_runtime::{Agg1D, Agg2D, Dist1D, Dist2D, Machine, MachineConfig, NodeCtx};
+
+/// Double-buffered 1-D Jacobi relaxation: the canonical nearest-neighbor
+/// repetitive producer–consumer pattern (source read in one phase, updated
+/// in the other). Returns the final array (in `a`) and the run report.
+fn run_relaxation(
+    cfg: MachineConfig,
+    n: usize,
+    iters: usize,
+) -> (Vec<f64>, prescient_runtime::RunReport) {
+    let mut m = Machine::new(cfg);
+    let a = Agg1D::<f64>::new(&m, n, Dist1D::Block);
+    let b = Agg1D::<f64>::new(&m, n, Dist1D::Block);
+
+    // Initialize: a[i] = i, done by owners.
+    let (_, _) = m.run(|ctx: &mut NodeCtx| {
+        for i in a.my_range(ctx.me()) {
+            ctx.write(a.addr(i), i as f64);
+            ctx.write(b.addr(i), i as f64);
+        }
+        ctx.barrier();
+    });
+
+    let sweep = |ctx: &mut NodeCtx, src: &Agg1D<f64>, dst: &Agg1D<f64>| {
+        for i in src.my_range(ctx.me()) {
+            let v = if i > 0 && i + 1 < n {
+                let l: f64 = ctx.read(src.addr(i - 1));
+                let r: f64 = ctx.read(src.addr(i + 1));
+                ctx.work(2);
+                0.5 * (l + r)
+            } else {
+                ctx.read(src.addr(i))
+            };
+            ctx.write(dst.addr(i), v);
+        }
+    };
+
+    let (_, report) = m.run(|ctx: &mut NodeCtx| {
+        for _it in 0..iters {
+            ctx.phase_begin(1);
+            sweep(ctx, &a, &b);
+            ctx.phase_end();
+            ctx.phase_begin(2);
+            sweep(ctx, &b, &a);
+            ctx.phase_end();
+        }
+    });
+
+    // Gather the result (node 0 reads everything).
+    let (vals, _) = m.run(|ctx: &mut NodeCtx| {
+        let mut out = Vec::new();
+        if ctx.me() == 0 {
+            for i in 0..n {
+                out.push(ctx.read::<f64>(a.addr(i)));
+            }
+        }
+        ctx.barrier();
+        out
+    });
+    (vals[0].clone(), report)
+}
+
+/// Sequential reference of the same relaxation (two Jacobi half-sweeps per
+/// iteration).
+fn seq_relaxation(n: usize, iters: usize) -> Vec<f64> {
+    let mut a: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let mut b = a.clone();
+    for _ in 0..iters {
+        for i in 1..n - 1 {
+            b[i] = 0.5 * (a[i - 1] + a[i + 1]);
+        }
+        for i in 1..n - 1 {
+            a[i] = 0.5 * (b[i - 1] + b[i + 1]);
+        }
+    }
+    a
+}
+
+#[test]
+fn relaxation_matches_sequential_under_both_protocols() {
+    let n = 64;
+    let iters = 4;
+    let expect = seq_relaxation(n, iters);
+    for cfg in [MachineConfig::stache(4, 32), MachineConfig::predictive(4, 32)] {
+        let (got, _) = run_relaxation(cfg, n, iters);
+        for i in 0..n {
+            assert!(
+                (got[i] - expect[i]).abs() < 1e-12,
+                "mismatch at {i}: {} vs {} (predictive={})",
+                got[i],
+                expect[i],
+                cfg.protocol.is_predictive()
+            );
+        }
+    }
+}
+
+#[test]
+fn predictive_eliminates_steady_state_misses() {
+    let n = 64;
+    let iters = 6;
+    let (_, unopt) = run_relaxation(MachineConfig::stache(4, 32), n, iters);
+    let (_, opt) = run_relaxation(MachineConfig::predictive(4, 32), n, iters);
+
+    let mu = unopt.total_stats().misses();
+    let mo = opt.total_stats().misses();
+    assert!(
+        mo < mu / 2,
+        "optimized run must eliminate most misses: {mo} vs {mu}"
+    );
+    assert!(
+        opt.mean_breakdown().wait_ns < unopt.mean_breakdown().wait_ns / 2,
+        "remote wait must drop: {} vs {}",
+        opt.mean_breakdown().wait_ns,
+        unopt.mean_breakdown().wait_ns
+    );
+    assert!(opt.local_fraction() > unopt.local_fraction());
+    // And the pre-sends actually happened.
+    assert!(opt.total_stats().presend_blocks_out > 0);
+    assert_eq!(unopt.total_stats().presend_blocks_out, 0);
+}
+
+#[test]
+fn twod_stencil_rowblock_correctness() {
+    // One Jacobi sweep on a 2-D grid (Figure 2's stencil), row-block
+    // distributed; checks the halo rows cross node boundaries correctly.
+    let rows = 16;
+    let cols = 8;
+    let mut m = Machine::new(MachineConfig::predictive(4, 32));
+    let g = Agg2D::<f64>::new(&m, rows, cols, Dist2D::RowBlock);
+    let h = Agg2D::<f64>::new(&m, rows, cols, Dist2D::RowBlock);
+
+    m.run(|ctx: &mut NodeCtx| {
+        for i in g.my_rows(ctx.me()) {
+            for j in 0..cols {
+                ctx.write(g.addr(i, j), (i * cols + j) as f64);
+            }
+        }
+        ctx.barrier();
+    });
+
+    m.run(|ctx: &mut NodeCtx| {
+        for _iter in 0..3 {
+            ctx.phase_begin(1);
+            for i in g.my_rows(ctx.me()) {
+                for j in 0..cols {
+                    if i > 0 && i + 1 < rows && j > 0 && j + 1 < cols {
+                        let up: f64 = ctx.read(g.addr(i - 1, j));
+                        let dn: f64 = ctx.read(g.addr(i + 1, j));
+                        let le: f64 = ctx.read(g.addr(i, j - 1));
+                        let ri: f64 = ctx.read(g.addr(i, j + 1));
+                        ctx.work(4);
+                        ctx.write(h.addr(i, j), 0.25 * (up + dn + le + ri));
+                    } else {
+                        let v: f64 = ctx.read(g.addr(i, j));
+                        ctx.write(h.addr(i, j), v);
+                    }
+                }
+            }
+            ctx.phase_end();
+            // copy back
+            ctx.phase_begin(2);
+            for i in g.my_rows(ctx.me()) {
+                for j in 0..cols {
+                    let v: f64 = ctx.read(h.addr(i, j));
+                    ctx.write(g.addr(i, j), v);
+                }
+            }
+            ctx.phase_end();
+        }
+    });
+
+    // Sequential reference.
+    let mut a: Vec<f64> = (0..rows * cols).map(|k| k as f64).collect();
+    for _ in 0..3 {
+        let mut b = a.clone();
+        for i in 1..rows - 1 {
+            for j in 1..cols - 1 {
+                b[i * cols + j] = 0.25
+                    * (a[(i - 1) * cols + j]
+                        + a[(i + 1) * cols + j]
+                        + a[i * cols + j - 1]
+                        + a[i * cols + j + 1]);
+            }
+        }
+        a = b;
+    }
+
+    let (vals, _) = m.run(|ctx: &mut NodeCtx| {
+        let mut out = Vec::new();
+        if ctx.me() == 0 {
+            for i in 0..rows {
+                for j in 0..cols {
+                    out.push(ctx.read::<f64>(g.addr(i, j)));
+                }
+            }
+        }
+        ctx.barrier();
+        out
+    });
+    for (k, (&got, &want)) in vals[0].iter().zip(a.iter()).enumerate() {
+        assert!((got - want).abs() < 1e-12, "cell {k}: {got} vs {want}");
+    }
+}
+
+#[test]
+fn allreduce_sums_across_nodes() {
+    let mut m = Machine::new(MachineConfig::stache(4, 32));
+    let (results, _) = m.run(|ctx: &mut NodeCtx| {
+        let me = ctx.me() as f64;
+        let mut v = vec![me, 2.0 * me, 1.0];
+        ctx.allreduce_sum(&mut v);
+        v
+    });
+    for r in &results {
+        assert_eq!(r, &vec![6.0, 12.0, 4.0]); // 0+1+2+3, doubled, count
+    }
+}
+
+#[test]
+fn allreduce_repeated_rounds() {
+    let mut m = Machine::new(MachineConfig::stache(3, 32));
+    let (results, _) = m.run(|ctx: &mut NodeCtx| {
+        let mut acc = 0.0;
+        for round in 0..5u64 {
+            let mut v = vec![(ctx.me() as u64 + round) as f64];
+            ctx.allreduce_sum(&mut v);
+            acc += v[0];
+        }
+        acc
+    });
+    // Each round sums (0+1+2) + 3*round.
+    let expect: f64 = (0..5u64).map(|r| 3.0 + 3.0 * r as f64).sum();
+    for r in results {
+        assert_eq!(r, expect);
+    }
+}
+
+#[test]
+fn allreduce_max_picks_maximum() {
+    let mut m = Machine::new(MachineConfig::stache(4, 32));
+    let (results, _) = m.run(|ctx: &mut NodeCtx| ctx.allreduce_max(ctx.me() as f64 * 1.5));
+    for r in results {
+        assert_eq!(r, 4.5);
+    }
+}
+
+#[test]
+fn dynamic_local_alloc_is_shared() {
+    // A node allocates a record during a phase; other nodes can read it.
+    let mut m = Machine::new(MachineConfig::stache(3, 32));
+    let (addrs, _) = m.run(|ctx: &mut NodeCtx| {
+        let a = if ctx.me() == 2 {
+            let a = ctx.alloc_local(8, 8);
+            ctx.write(a, 777u64);
+            a.0
+        } else {
+            0
+        };
+        ctx.barrier();
+        a
+    });
+    let addr = prescient_tempest::GAddr(addrs[2]);
+    let (vals, _) = m.run(move |ctx: &mut NodeCtx| {
+        let v: u64 = ctx.read(addr);
+        ctx.barrier();
+        v
+    });
+    assert_eq!(vals, vec![777, 777, 777]);
+}
+
+#[test]
+fn vtime_breakdown_is_consistent() {
+    let (_, report) = run_relaxation(MachineConfig::predictive(4, 32), 64, 3);
+    for nr in &report.per_node {
+        let b = nr.breakdown;
+        assert_eq!(
+            b.total_ns(),
+            b.compute_ns + b.wait_ns + b.presend_ns + b.synch_ns,
+            "breakdown must sum"
+        );
+        assert!(b.compute_ns > 0, "compute time must be charged");
+    }
+    // Deterministic virtual time: all nodes end at (nearly) the same
+    // virtual instant because the program ends with a barrier.
+    let totals: Vec<u64> = report.per_node.iter().map(|n| n.breakdown.total_ns()).collect();
+    let max = *totals.iter().max().unwrap();
+    let min = *totals.iter().min().unwrap();
+    assert!(max - min <= 1, "final barrier aligns clocks: {totals:?}");
+}
+
+#[test]
+fn machine_stays_coherent_after_runs() {
+    // Run the stencil under both protocols and verify the global
+    // single-writer / data-agreement invariants at quiescence.
+    for cfg in [MachineConfig::stache(4, 32), MachineConfig::predictive(4, 32)] {
+        let n = 64;
+        let mut m = Machine::new(cfg);
+        let a = Agg1D::<f64>::new(&m, n, Dist1D::Block);
+        let b = Agg1D::<f64>::new(&m, n, Dist1D::Block);
+        m.run(|ctx: &mut NodeCtx| {
+            for i in a.my_range(ctx.me()) {
+                ctx.write(a.addr(i), i as f64);
+                ctx.write(b.addr(i), 0.0);
+            }
+            ctx.barrier();
+        });
+        m.assert_coherent();
+        m.run(|ctx: &mut NodeCtx| {
+            for _ in 0..4 {
+                ctx.phase_begin(1);
+                for i in a.my_range(ctx.me()) {
+                    let l = if i > 0 { ctx.read::<f64>(a.addr(i - 1)) } else { 0.0 };
+                    ctx.write(b.addr(i), l + 1.0);
+                }
+                ctx.phase_end();
+                ctx.phase_begin(2);
+                for i in a.my_range(ctx.me()) {
+                    let v: f64 = ctx.read(b.addr(i));
+                    ctx.write(a.addr(i), v);
+                }
+                ctx.phase_end();
+            }
+        });
+        m.assert_coherent();
+    }
+}
+
+#[test]
+fn deterministic_virtual_time_across_runs() {
+    // Same program, same config → identical virtual-time totals.
+    let (_, r1) = run_relaxation(MachineConfig::predictive(4, 32), 64, 4);
+    let (_, r2) = run_relaxation(MachineConfig::predictive(4, 32), 64, 4);
+    assert_eq!(r1.exec_time_ns(), r2.exec_time_ns());
+    assert_eq!(
+        r1.total_stats().misses(),
+        r2.total_stats().misses(),
+        "miss counts must be deterministic for barrier-structured programs"
+    );
+}

@@ -1,0 +1,110 @@
+//! Home-node directory state.
+//!
+//! The home node of each block tracks who holds copies: either nobody (the
+//! block is *uncached*, only home memory is current), a set of read-only
+//! *sharers*, or a single remote *exclusive owner*. A handler that must wait
+//! for remote action (a recall or an invalidation round) parks the entry in
+//! a transient [`Busy`] state and queues later requests; handlers therefore
+//! never block, which keeps the two-threads-per-node emulation deadlock-free.
+//!
+//! Invariants maintained by the engine:
+//!
+//! * `Uncached` ⇔ home tag is `ReadWrite` and no remote copies exist;
+//! * `Shared(S)`, `S ≠ ∅` ⇔ home tag is `ReadOnly`, every `s ∈ S` holds (or
+//!   is being sent) a `ReadOnly` copy; the home is never a member of `S`;
+//! * `Exclusive(o)` ⇔ home tag is `Invalid`, `o ≠ home` holds (or is being
+//!   sent) the only writable copy and home memory may be stale.
+
+use std::collections::{HashMap, VecDeque};
+
+use prescient_tempest::{BlockId, NodeId, NodeSet};
+
+/// Stable directory states of one block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DirState {
+    /// No remote copies; home memory is current and writable at home.
+    #[default]
+    Uncached,
+    /// Remote read-only copies at the given (non-empty, home-excluded) set.
+    Shared(NodeSet),
+    /// A single remote node holds the writable copy; home memory is stale.
+    Exclusive(NodeId),
+}
+
+/// A queued coherence request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingReq {
+    /// Requesting node.
+    pub requester: NodeId,
+    /// Wants a writable copy.
+    pub excl: bool,
+    /// The home's hooks recorded this request (schedule building).
+    pub recorded: bool,
+}
+
+/// Transient state of an in-flight multi-hop operation.
+#[derive(Debug)]
+pub enum Busy {
+    /// Waiting for `RecallData` from the current exclusive owner; the
+    /// queued request is then granted.
+    Recall {
+        /// Request to grant once data returns.
+        req: PendingReq,
+        /// Owner being recalled (for diagnostics).
+        owner: NodeId,
+    },
+    /// Waiting for `remaining` invalidation acknowledgements; the queued
+    /// request is then granted.
+    Invals {
+        /// Request to grant once all acks arrive.
+        req: PendingReq,
+        /// Outstanding acks.
+        remaining: u32,
+    },
+}
+
+/// Directory entry for one home block.
+#[derive(Debug, Default)]
+pub struct DirEntry {
+    /// Stable state.
+    pub state: DirState,
+    /// In-flight operation, if any. While busy, new requests queue in
+    /// `waiters`.
+    pub busy: Option<Busy>,
+    /// Requests queued behind the busy operation, FIFO.
+    pub waiters: VecDeque<PendingReq>,
+}
+
+impl DirEntry {
+    /// Is a multi-hop operation in flight?
+    pub fn is_busy(&self) -> bool {
+        self.busy.is_some()
+    }
+}
+
+/// The home directory: entries exist only for blocks that ever left the
+/// default `Uncached` state.
+pub type DirMap = HashMap<BlockId, DirEntry>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_uncached_idle() {
+        let e = DirEntry::default();
+        assert_eq!(e.state, DirState::Uncached);
+        assert!(!e.is_busy());
+        assert!(e.waiters.is_empty());
+    }
+
+    #[test]
+    fn busy_flag() {
+        let mut e = DirEntry::default();
+        e.busy = Some(Busy::Invals {
+            req: PendingReq { requester: 1, excl: true, recorded: false },
+            remaining: 3,
+        });
+        assert!(e.is_busy());
+    }
+}

@@ -1,0 +1,389 @@
+//! The Stache protocol handlers and the compute-side fault path.
+//!
+//! All coherence traffic — including a node's faults on its *own* home
+//! blocks — travels as messages through the fabric and is processed by
+//! protocol-handler threads, so there is exactly one code path. Handlers
+//! never block: multi-hop operations (recalls, invalidation rounds) park
+//! the directory entry in a transient [`Busy`] state and queue later
+//! requests.
+//!
+//! Message patterns (§3.1–3.2 of the paper):
+//!
+//! * 2-hop read: requester → home (`GetShared`), home → requester
+//!   (`Grant` + data);
+//! * 4-hop producer/consumer transfer: consumer → home (`GetShared`),
+//!   home → producer (`Recall`), producer → home (`RecallData`),
+//!   home → consumer (`Grant`) — the write-invalidate inefficiency the
+//!   predictive protocol removes;
+//! * write to shared data: home sends `Invalidate` to every sharer and
+//!   grants only after all `InvalAck`s (sequential consistency).
+
+use std::sync::Arc;
+
+use crossbeam::channel::Receiver;
+use prescient_tempest::tag::Tag;
+use prescient_tempest::{BlockId, NodeId, NodeSet, NodeStats};
+
+use crate::dir::{Busy, DirEntry, DirState, PendingReq};
+use crate::hooks::Hooks;
+use crate::msg::{Msg, Wake};
+use crate::node::NodeShared;
+
+/// Outcome of one granted fetch, as seen by the compute thread; input to
+/// the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrantInfo {
+    /// Protocol hops beyond the minimal request–response pair.
+    pub extra_hops: u32,
+    /// Data bytes moved (0 for upgrades / home-local grants).
+    pub bytes: usize,
+    /// The home recorded the request into a communication schedule.
+    pub recorded: bool,
+}
+
+/// The per-node protocol engine: Stache handlers plus the extension hooks.
+pub struct Engine {
+    hooks: Arc<dyn Hooks>,
+}
+
+impl Engine {
+    /// Create an engine with the given extension.
+    pub fn new(hooks: Arc<dyn Hooks>) -> Engine {
+        Engine { hooks }
+    }
+
+    /// Handle one message; returns `false` on shutdown.
+    pub fn handle(&self, n: &NodeShared, src: NodeId, msg: Msg) -> bool {
+        match msg {
+            Msg::GetShared { block } => {
+                let recorded = self.hooks.on_home_request(n, block, src, false);
+                self.request(n, block, PendingReq { requester: src, excl: false, recorded });
+            }
+            Msg::GetExcl { block } => {
+                let recorded = self.hooks.on_home_request(n, block, src, true);
+                self.request(n, block, PendingReq { requester: src, excl: true, recorded });
+            }
+            Msg::Recall { block, inval } => self.on_recall(n, src, block, inval),
+            Msg::RecallData { block, data } => self.on_recall_data(n, block, data),
+            Msg::Invalidate { block } => self.on_invalidate(n, src, block),
+            Msg::InvalAck { block } => self.on_inval_ack(n, block),
+            Msg::Grant { block, excl, data, extra_hops, recorded } => {
+                self.on_grant(n, src, block, excl, data, extra_hops, recorded)
+            }
+            Msg::User(um) => self.hooks.on_user(n, src, um),
+            Msg::Shutdown => return false,
+        }
+        true
+    }
+
+    /// A `GetShared`/`GetExcl` arrived at this home node.
+    fn request(&self, n: &NodeShared, block: BlockId, req: PendingReq) {
+        debug_assert_eq!(n.layout.home_of_block(block), n.me, "request routed to non-home");
+        let mut dir = n.dir.lock();
+        let e = dir.entry(block).or_default();
+        if e.is_busy() {
+            e.waiters.push_back(req);
+            return;
+        }
+        self.dispatch(n, e, block, req);
+        Self::drain(self, n, e, block);
+    }
+
+    /// Process one request against a non-busy entry. May leave the entry
+    /// busy. Caller holds the dir lock.
+    fn dispatch(&self, n: &NodeShared, e: &mut DirEntry, block: BlockId, req: PendingReq) {
+        debug_assert!(!e.is_busy());
+        match e.state {
+            DirState::Uncached => {
+                if req.requester == n.me {
+                    // Home fault on an uncached block: only reachable from
+                    // the pre-send driver's ensure step; the tag is already
+                    // adequate. Re-grant locally.
+                    self.grant(n, e, block, req, false, 0);
+                } else if req.excl {
+                    n.mem.lock().set_tag(block, Tag::Invalid);
+                    e.state = DirState::Exclusive(req.requester);
+                    self.grant(n, e, block, req, true, 0);
+                } else {
+                    n.mem.lock().set_tag(block, Tag::ReadOnly);
+                    e.state = DirState::Shared(NodeSet::single(req.requester));
+                    self.grant(n, e, block, req, true, 0);
+                }
+            }
+            DirState::Shared(s) => {
+                if !req.excl {
+                    if req.requester == n.me {
+                        // Home tag is ReadOnly in Shared: readable already.
+                        self.grant(n, e, block, req, false, 0);
+                    } else {
+                        if s.contains(req.requester) {
+                            // Already a sharer (e.g. raced with a pre-send):
+                            // re-send data; harmless and diagnostic-counted.
+                            NodeStats::bump(&n.stats.presend_races);
+                        }
+                        e.state = DirState::Shared(s.union(NodeSet::single(req.requester)));
+                        self.grant(n, e, block, req, true, 0);
+                    }
+                } else {
+                    let upgrade = s.contains(req.requester);
+                    let others = s.without(req.requester);
+                    if others.is_empty() {
+                        self.finalize_excl(n, e, block, req, upgrade, 0);
+                    } else {
+                        for o in others.iter() {
+                            n.send(o, Msg::Invalidate { block });
+                        }
+                        e.busy = Some(Busy::Invals {
+                            req,
+                            remaining: others.len() as u32,
+                        });
+                        // `upgrade` is re-derived at completion from whether
+                        // the requester kept a copy: sharers other than the
+                        // requester were invalidated, so remember it inline.
+                        if upgrade {
+                            // Stash by re-encoding the state: the requester
+                            // remains the only sharer until completion.
+                            e.state = DirState::Shared(NodeSet::single(req.requester));
+                        } else {
+                            e.state = DirState::Shared(NodeSet::EMPTY);
+                        }
+                    }
+                }
+            }
+            DirState::Exclusive(owner) => {
+                debug_assert_ne!(owner, req.requester, "exclusive owner should not fault");
+                n.send(owner, Msg::Recall { block, inval: req.excl });
+                e.busy = Some(Busy::Recall { req, owner });
+            }
+        }
+    }
+
+    /// Complete an exclusive grant once no conflicting copies remain.
+    /// `upgrade`: the requester already holds current data.
+    fn finalize_excl(
+        &self,
+        n: &NodeShared,
+        e: &mut DirEntry,
+        block: BlockId,
+        req: PendingReq,
+        upgrade: bool,
+        extra_hops: u32,
+    ) {
+        if req.requester == n.me {
+            n.mem.lock().set_tag(block, Tag::ReadWrite);
+            e.state = DirState::Uncached;
+            self.grant_nodata(n, block, req, extra_hops);
+        } else {
+            e.state = DirState::Exclusive(req.requester);
+            if upgrade {
+                n.mem.lock().set_tag(block, Tag::Invalid);
+                self.grant_nodata(n, block, req, extra_hops);
+            } else {
+                let mut mem = n.mem.lock();
+                let data = mem.snapshot(block);
+                mem.set_tag(block, Tag::Invalid);
+                drop(mem);
+                n.send(
+                    req.requester,
+                    Msg::Grant {
+                        block,
+                        excl: true,
+                        data: Some(data),
+                        extra_hops,
+                        recorded: req.recorded,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Grant a request. `with_data`: ship the home's current block bytes.
+    fn grant(
+        &self,
+        n: &NodeShared,
+        _e: &mut DirEntry,
+        block: BlockId,
+        req: PendingReq,
+        with_data: bool,
+        extra_hops: u32,
+    ) {
+        let data = if with_data { Some(n.mem.lock().snapshot(block)) } else { None };
+        n.send(
+            req.requester,
+            Msg::Grant { block, excl: req.excl, data, extra_hops, recorded: req.recorded },
+        );
+    }
+
+    fn grant_nodata(&self, n: &NodeShared, block: BlockId, req: PendingReq, extra_hops: u32) {
+        n.send(
+            req.requester,
+            Msg::Grant { block, excl: req.excl, data: None, extra_hops, recorded: req.recorded },
+        );
+    }
+
+    /// Serve queued requests until the entry goes busy again or the queue
+    /// empties. Caller holds the dir lock.
+    fn drain(&self, n: &NodeShared, e: &mut DirEntry, block: BlockId) {
+        while !e.is_busy() {
+            let Some(next) = e.waiters.pop_front() else { break };
+            self.dispatch(n, e, block, next);
+        }
+    }
+
+    /// Owner side of a recall: give the block back to the home.
+    fn on_recall(&self, n: &NodeShared, home: NodeId, block: BlockId, inval: bool) {
+        let mut mem = n.mem.lock();
+        NodeStats::bump(&n.stats.recalls_in);
+        debug_assert!(
+            mem.probe(block).readable(),
+            "node {} recalled for {:?} it does not hold",
+            n.me,
+            block
+        );
+        let data = mem.snapshot(block);
+        mem.set_tag(block, if inval { Tag::Invalid } else { Tag::ReadOnly });
+        drop(mem);
+        n.send(home, Msg::RecallData { block, data });
+    }
+
+    /// Home side: recalled data returned; complete the parked request.
+    fn on_recall_data(&self, n: &NodeShared, block: BlockId, data: Box<[u8]>) {
+        let mut dir = n.dir.lock();
+        let e = dir.get_mut(&block).expect("recall data for unknown entry");
+        let Some(Busy::Recall { req, owner }) = e.busy.take() else {
+            panic!("node {}: RecallData for {:?} without recall in flight", n.me, block);
+        };
+        if req.excl {
+            // Owner was invalidated. Home memory gets the fresh data but
+            // stays Invalid unless the requester is the home itself.
+            if req.requester == n.me {
+                n.mem.lock().install(block, &data, Tag::ReadWrite, false);
+                e.state = DirState::Uncached;
+                self.grant_nodata(n, block, req, 1);
+            } else {
+                n.mem.lock().install(block, &data, Tag::Invalid, false);
+                e.state = DirState::Exclusive(req.requester);
+                n.send(
+                    req.requester,
+                    Msg::Grant {
+                        block,
+                        excl: true,
+                        data: Some(data),
+                        extra_hops: 1,
+                        recorded: req.recorded,
+                    },
+                );
+            }
+        } else {
+            // Owner was downgraded and stays a sharer.
+            n.mem.lock().install(block, &data, Tag::ReadOnly, false);
+            if req.requester == n.me {
+                e.state = DirState::Shared(NodeSet::single(owner));
+                self.grant_nodata(n, block, req, 1);
+            } else {
+                let mut s = NodeSet::single(owner);
+                s.insert(req.requester);
+                e.state = DirState::Shared(s);
+                n.send(
+                    req.requester,
+                    Msg::Grant {
+                        block,
+                        excl: false,
+                        data: Some(data),
+                        extra_hops: 1,
+                        recorded: req.recorded,
+                    },
+                );
+            }
+        }
+        self.drain(n, e, block);
+    }
+
+    /// Sharer side of an invalidation.
+    fn on_invalidate(&self, n: &NodeShared, home: NodeId, block: BlockId) {
+        let mut mem = n.mem.lock();
+        NodeStats::bump(&n.stats.invals_in);
+        mem.set_tag(block, Tag::Invalid);
+        drop(mem);
+        n.send(home, Msg::InvalAck { block });
+    }
+
+    /// Home side: one invalidation acknowledged.
+    fn on_inval_ack(&self, n: &NodeShared, block: BlockId) {
+        let mut dir = n.dir.lock();
+        let e = dir.get_mut(&block).expect("ack for unknown entry");
+        let Some(Busy::Invals { req, remaining }) = e.busy.take() else {
+            panic!("node {}: InvalAck for {:?} without invals in flight", n.me, block);
+        };
+        if remaining > 1 {
+            e.busy = Some(Busy::Invals { req, remaining: remaining - 1 });
+            return;
+        }
+        // All sharers gone; `dispatch` encoded whether the requester kept a
+        // copy in the residual Shared set.
+        let upgrade = matches!(e.state, DirState::Shared(s) if s.contains(req.requester));
+        self.finalize_excl(n, e, block, req, upgrade, 1);
+        self.drain(n, e, block);
+    }
+
+    /// Requester side: install the granted copy and wake the compute thread.
+    ///
+    /// Home-local grants (`src == me`) carry no data and must NOT touch the
+    /// tag here: the dispatching handler already set it atomically under
+    /// the directory lock, and by the time this (self-queued) message is
+    /// processed a later waiter may have been granted the block — flipping
+    /// the tag now would resurrect a revoked copy and lose that waiter's
+    /// writes. The compute thread's retry loop re-faults if its grant was
+    /// overtaken.
+    fn on_grant(
+        &self,
+        n: &NodeShared,
+        src: NodeId,
+        block: BlockId,
+        excl: bool,
+        data: Option<Box<[u8]>>,
+        extra_hops: u32,
+        recorded: bool,
+    ) {
+        let bytes = data.as_ref().map_or(0, |d| d.len());
+        if src == n.me {
+            debug_assert!(data.is_none(), "local grants never carry data");
+        } else {
+            let tag = if excl { Tag::ReadWrite } else { Tag::ReadOnly };
+            let mut mem = n.mem.lock();
+            match data {
+                Some(d) => mem.install(block, &d, tag, false),
+                None => mem.set_tag(block, tag),
+            }
+        }
+        n.wake(Wake::Grant { block, excl, extra_hops, bytes, recorded });
+    }
+}
+
+/// Compute-side fault path: request `block` from its home and block until
+/// granted.
+///
+/// `stash` collects extension wake-ups ([`Wake::User`]) that arrive while
+/// we wait (e.g. pre-send acknowledgements addressed to the pre-send
+/// driver); the caller processes them afterwards.
+pub fn fetch(
+    n: &NodeShared,
+    wake_rx: &Receiver<Wake>,
+    block: BlockId,
+    excl: bool,
+    stash: &mut Vec<Wake>,
+) -> GrantInfo {
+    let home = n.layout.home_of_block(block);
+    n.send(home, if excl { Msg::GetExcl { block } } else { Msg::GetShared { block } });
+    loop {
+        let w = wake_rx.recv().expect("protocol thread terminated during fetch");
+        match w {
+            Wake::Grant { block: b, excl: e, extra_hops, bytes, recorded } => {
+                debug_assert_eq!(b, block, "grant for a different block");
+                debug_assert_eq!(e, excl, "grant of a different kind");
+                return GrantInfo { extra_hops, bytes, recorded };
+            }
+            Wake::User { .. } => stash.push(w),
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Protocol message vocabulary.
+//!
+//! Two channels exist per node: the fabric inbox, carrying [`Msg`] between
+//! protocol handlers, and the *wake* channel, carrying [`Wake`] from a
+//! node's protocol-handler thread to its (blocked) compute thread.
+
+use prescient_tempest::{BlockId, NodeId, NodeSet};
+
+/// A message between protocol handlers.
+#[derive(Debug)]
+pub enum Msg {
+    /// Requester → home: ask for a read-only copy of `block`.
+    GetShared {
+        /// Requested block.
+        block: BlockId,
+    },
+    /// Requester → home: ask for a writable copy of `block`.
+    GetExcl {
+        /// Requested block.
+        block: BlockId,
+    },
+    /// Home → exclusive owner: give the block back.
+    Recall {
+        /// Recalled block.
+        block: BlockId,
+        /// `true`: invalidate the owner's copy; `false`: downgrade it to
+        /// read-only (the owner stays a sharer).
+        inval: bool,
+    },
+    /// Owner → home: the recalled block's current data.
+    RecallData {
+        /// The block.
+        block: BlockId,
+        /// Its bytes at the owner.
+        data: Box<[u8]>,
+    },
+    /// Home → sharer: drop your read-only copy.
+    Invalidate {
+        /// The block.
+        block: BlockId,
+    },
+    /// Sharer → home: copy dropped.
+    InvalAck {
+        /// The block.
+        block: BlockId,
+    },
+    /// Home → requester: access granted. The requester's protocol handler
+    /// installs the data (when present) and wakes the compute thread.
+    Grant {
+        /// The block.
+        block: BlockId,
+        /// Writable (`true`) or read-only (`false`) grant.
+        excl: bool,
+        /// Block contents; `None` for upgrades and home-local grants where
+        /// the requester already holds current data.
+        data: Option<Box<[u8]>>,
+        /// Protocol hops beyond the minimal request–response pair (recall
+        /// or invalidation rounds); drives the cost model.
+        extra_hops: u32,
+        /// Whether the home recorded this request in a communication
+        /// schedule (predictive protocol active), which adds handler cost.
+        recorded: bool,
+    },
+    /// An extension (user-level protocol) message — Tempest active-message
+    /// style: a handler code plus an uninterpreted payload.
+    User(UserMsg),
+    /// Stop the protocol-handler thread (machine teardown).
+    Shutdown,
+}
+
+/// Payload of an extension message. The base protocol routes these to the
+/// installed [`crate::hooks::Hooks`] without interpreting them.
+#[derive(Debug)]
+pub struct UserMsg {
+    /// Extension-defined handler code.
+    pub code: u16,
+    /// Small scalar argument (phase ids, counts, ...).
+    pub a: u64,
+    /// Block argument.
+    pub block: BlockId,
+    /// Node-set argument (e.g. target readers of a push).
+    pub set: NodeSet,
+    /// Node argument (e.g. target writer).
+    pub node: NodeId,
+    /// Bulk data: blocks with their bytes (pre-send / update payloads).
+    pub blocks: Vec<(BlockId, Box<[u8]>)>,
+}
+
+impl UserMsg {
+    /// A user message with a code and scalar only.
+    pub fn simple(code: u16, a: u64) -> UserMsg {
+        UserMsg {
+            code,
+            a,
+            block: BlockId(0),
+            set: NodeSet::EMPTY,
+            node: 0,
+            blocks: Vec::new(),
+        }
+    }
+}
+
+/// A wake-up delivered from a node's protocol thread to its compute thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// A previously requested block was granted and installed.
+    Grant {
+        /// The block.
+        block: BlockId,
+        /// Writable grant?
+        excl: bool,
+        /// Extra protocol hops incurred (cost model input).
+        extra_hops: u32,
+        /// Data bytes moved (0 for upgrades).
+        bytes: usize,
+        /// Home recorded the request in a schedule.
+        recorded: bool,
+    },
+    /// Extension wake-up (e.g. one pre-send push acknowledged).
+    User {
+        /// Extension-defined code.
+        code: u16,
+        /// Scalar payload.
+        a: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_msg_simple() {
+        let m = UserMsg::simple(7, 99);
+        assert_eq!(m.code, 7);
+        assert_eq!(m.a, 99);
+        assert!(m.blocks.is_empty());
+        assert!(m.set.is_empty());
+    }
+}

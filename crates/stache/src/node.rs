@@ -1,0 +1,107 @@
+//! Per-node shared state and the protocol-handler thread.
+//!
+//! Each emulated node runs **two** OS threads, mirroring Blizzard on the
+//! CM-5: a *compute* thread executing the application (and blocking on its
+//! own access faults) and a *protocol-handler* thread draining the node's
+//! network inbox (Blizzard ran handlers from the network interrupt). Both
+//! threads share this [`NodeShared`] bundle.
+//!
+//! Lock ordering: `dir` before `mem`; extension-internal locks (e.g. the
+//! schedule store) are leaf locks and are never held while acquiring `dir`
+//! or `mem`.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+use prescient_tempest::fabric::{Endpoint, Net};
+use prescient_tempest::{CostModel, GlobalLayout, NodeId, NodeMem, NodeStats};
+
+use crate::dir::DirMap;
+use crate::engine::Engine;
+use crate::hooks::Hooks;
+use crate::msg::{Msg, Wake};
+
+/// State shared between a node's compute thread and its protocol-handler
+/// thread (and readable by extensions).
+pub struct NodeShared {
+    /// This node's id.
+    pub me: NodeId,
+    /// Machine layout (node count, block size, homes).
+    pub layout: GlobalLayout,
+    /// Virtual-time cost constants.
+    pub cost: CostModel,
+    /// Block store: home memory plus cached remote blocks.
+    pub mem: Mutex<NodeMem>,
+    /// Home directory for this node's blocks.
+    pub dir: Mutex<DirMap>,
+    /// Event counters.
+    pub stats: NodeStats,
+    net: Net<Msg>,
+    wake_tx: Sender<Wake>,
+}
+
+impl NodeShared {
+    /// Assemble the shared state for node `me`.
+    pub fn new(
+        layout: GlobalLayout,
+        cost: CostModel,
+        net: Net<Msg>,
+        wake_tx: Sender<Wake>,
+    ) -> NodeShared {
+        let me = net.me();
+        NodeShared {
+            me,
+            layout,
+            cost,
+            mem: Mutex::new(NodeMem::new(layout, me)),
+            dir: Mutex::new(DirMap::new()),
+            stats: NodeStats::default(),
+            net,
+            wake_tx,
+        }
+    }
+
+    /// Send a protocol message to `dst`, counting it.
+    pub fn send(&self, dst: NodeId, msg: Msg) {
+        NodeStats::bump(&self.stats.msgs_out);
+        self.net.send(dst, msg);
+    }
+
+    /// Wake this node's compute thread.
+    pub fn wake(&self, w: Wake) {
+        // Failure means the compute side hung up (teardown); harmless.
+        let _ = self.wake_tx.send(w);
+    }
+
+    /// Number of nodes in the machine.
+    pub fn nodes(&self) -> usize {
+        self.layout.nodes
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.layout.block_size
+    }
+}
+
+/// Start the protocol-handler thread for a node: drains `endpoint`,
+/// dispatching every message through the engine until `Msg::Shutdown`.
+pub fn spawn_protocol(
+    shared: Arc<NodeShared>,
+    endpoint: Endpoint<Msg>,
+    hooks: Arc<dyn Hooks>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("proto-{}", shared.me))
+        .spawn(move || {
+            let engine = Engine::new(hooks);
+            while let Some(env) = endpoint.recv() {
+                if !engine.handle(&shared, env.src, env.msg) {
+                    break;
+                }
+            }
+        })
+        .expect("spawn protocol thread")
+}

@@ -1,0 +1,202 @@
+//! Property-based coherence torture: random phase-structured access
+//! programs run on a live machine must always observe the values a simple
+//! sequential memory model predicts.
+//!
+//! Programs are sequences of *phases* (barrier-separated), each phase
+//! either a write round (each address written by at most one node) or a
+//! read round (arbitrary nodes read arbitrary addresses) — the
+//! data-parallel discipline under which sequential consistency makes the
+//! outcome deterministic.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver};
+use parking_lot::Mutex;
+use prescient_stache::{fetch, spawn_protocol, Msg, NoHooks, NodeShared, Wake};
+use prescient_tempest::fabric::Fabric;
+use prescient_tempest::{CostModel, GAddr, GlobalLayout, NodeId, Prim, VBarrier};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Phase {
+    /// `(address index, writer node, value)` — distinct address indices.
+    Writes(Vec<(usize, NodeId, u64)>),
+    /// `(address index, reader node)`.
+    Reads(Vec<(usize, NodeId)>),
+}
+
+fn phase_strategy(n_addrs: usize, nodes: u16) -> impl Strategy<Value = Phase> {
+    let writes = proptest::collection::btree_map(0..n_addrs, (0..nodes, any::<u64>()), 1..6)
+        .prop_map(|m| Phase::Writes(m.into_iter().map(|(a, (w, v))| (a, w, v)).collect()));
+    let reads = proptest::collection::vec((0..n_addrs, 0..nodes), 1..10).prop_map(Phase::Reads);
+    prop_oneof![writes, reads]
+}
+
+struct TestNode {
+    shared: Arc<NodeShared>,
+    wake_rx: Receiver<Wake>,
+    stash: Vec<Wake>,
+}
+
+fn build_machine(nodes: usize, block_size: usize) -> (Vec<TestNode>, Vec<JoinHandle<()>>) {
+    let layout = GlobalLayout::new(nodes, block_size);
+    let mut tns = Vec::new();
+    let mut joins = Vec::new();
+    for ep in Fabric::new::<Msg>(nodes) {
+        let (wake_tx, wake_rx) = unbounded();
+        let shared =
+            Arc::new(NodeShared::new(layout, CostModel::default(), ep.net().clone(), wake_tx));
+        joins.push(spawn_protocol(Arc::clone(&shared), ep, Arc::new(NoHooks)));
+        tns.push(TestNode { shared, wake_rx, stash: Vec::new() });
+    }
+    (tns, joins)
+}
+
+fn run_torture(nodes: usize, block_size: usize, phases: Vec<Phase>) {
+    let (mut tns, _joins) = build_machine(nodes, block_size);
+
+    // Address pool: a few addresses homed on every node, some sharing
+    // blocks (consecutive words) to exercise false sharing.
+    let mut addrs: Vec<GAddr> = Vec::new();
+    for tn in &tns {
+        let base = tn.shared.mem.lock().alloc(8 * 4, 8);
+        for k in 0..4 {
+            addrs.push(base.add(8 * k));
+        }
+    }
+    let n_addrs = addrs.len();
+    let addrs = Arc::new(addrs);
+
+    // Sequential model.
+    let mut model = vec![0u64; n_addrs];
+
+    let barrier = Arc::new(VBarrier::new(nodes));
+    let failures: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // Precompute each phase clamped to the address pool.
+    let phases: Vec<Phase> = phases
+        .into_iter()
+        .map(|p| match p {
+            Phase::Writes(ws) => {
+                Phase::Writes(ws.into_iter().map(|(a, w, v)| (a % n_addrs, w, v)).collect())
+            }
+            Phase::Reads(rs) => {
+                Phase::Reads(rs.into_iter().map(|(a, r)| (a % n_addrs, r)).collect())
+            }
+        })
+        .collect();
+
+    // Expected values after each phase, for the readers to check.
+    let mut expects: Vec<Vec<u64>> = Vec::with_capacity(phases.len());
+    for p in &phases {
+        if let Phase::Writes(ws) = p {
+            for &(a, _, v) in ws {
+                model[a] = v;
+            }
+        }
+        expects.push(model.clone());
+    }
+    let phases = Arc::new(phases);
+    let expects = Arc::new(expects);
+
+    std::thread::scope(|scope| {
+        for tn in tns.iter_mut() {
+            let me = tn.shared.me;
+            let phases = Arc::clone(&phases);
+            let expects = Arc::clone(&expects);
+            let addrs = Arc::clone(&addrs);
+            let barrier = Arc::clone(&barrier);
+            let failures = Arc::clone(&failures);
+            let shared = Arc::clone(&tn.shared);
+            let wake_rx = tn.wake_rx.clone();
+            scope.spawn(move || {
+                let mut stash = Vec::new();
+                for (pi, phase) in phases.iter().enumerate() {
+                    match phase {
+                        Phase::Writes(ws) => {
+                            for &(a, w, v) in ws {
+                                if w == me {
+                                    let mut buf = [0u8; 8];
+                                    v.store(&mut buf);
+                                    loop {
+                                        let r = shared.mem.lock().write_in_block(addrs[a], &buf);
+                                        match r {
+                                            Ok(()) => break,
+                                            Err(f) => {
+                                                fetch(&shared, &wake_rx, f.block, true, &mut stash);
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        Phase::Reads(rs) => {
+                            for &(a, r) in rs {
+                                if r == me {
+                                    let mut buf = [0u8; 8];
+                                    loop {
+                                        let res = shared.mem.lock().read_in_block(addrs[a], &mut buf);
+                                        match res {
+                                            Ok(()) => break,
+                                            Err(f) => {
+                                                fetch(&shared, &wake_rx, f.block, false, &mut stash);
+                                            }
+                                        }
+                                    }
+                                    let got = u64::load(&buf);
+                                    let want = expects[pi][a];
+                                    if got != want {
+                                        failures.lock().push(format!(
+                                            "phase {pi}: node {me} read addr[{a}] = {got}, expected {want}"
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    barrier.wait(0);
+                }
+            });
+        }
+    });
+
+    // With every compute thread done, the machine is quiescent: all
+    // coherence invariants must hold globally.
+    let shareds: Vec<_> = tns.iter().map(|tn| Arc::clone(&tn.shared)).collect();
+    let invariant_violations = prescient_stache::check_coherence(&shareds);
+
+    for tn in &tns {
+        tn.shared.send(tn.shared.me, Msg::Shutdown);
+    }
+    let fails = failures.lock();
+    assert!(fails.is_empty(), "coherence violations: {:#?}", *fails);
+    assert!(invariant_violations.is_empty(), "invariant violations: {invariant_violations:#?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn coherence_holds_under_random_phase_programs(
+        phases in proptest::collection::vec(phase_strategy(12, 3), 1..14),
+        block_size in prop_oneof![Just(32usize), Just(64), Just(128)],
+    ) {
+        run_torture(3, block_size, phases);
+    }
+}
+
+/// A regression-style deterministic case: interleaved writers and readers
+/// with false sharing inside one block.
+#[test]
+fn deterministic_false_sharing_case() {
+    let phases = vec![
+        Phase::Writes(vec![(0, 0, 11), (1, 1, 22), (2, 2, 33)]),
+        Phase::Reads(vec![(0, 2), (1, 0), (2, 1)]),
+        Phase::Writes(vec![(0, 2, 44), (3, 0, 55)]),
+        Phase::Reads(vec![(0, 0), (0, 1), (3, 2), (1, 2)]),
+        Phase::Writes(vec![(1, 0, 66)]),
+        Phase::Reads(vec![(1, 1), (0, 1)]),
+    ];
+    run_torture(3, 32, phases);
+}

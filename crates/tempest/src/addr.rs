@@ -1,0 +1,128 @@
+//! Global addresses and cache-block identifiers.
+//!
+//! The shared address space is a flat 64-bit space. It is carved into
+//! fixed-size *cache blocks* — the granularity at which Tempest performs
+//! access control and at which the coherence protocols move data. The paper
+//! evaluates block sizes between 32 and 1024 bytes; [`crate::layout`] decides
+//! which node is each block's *home*.
+
+use std::fmt;
+
+/// A global (shared) address.
+///
+/// All shared data — aggregate elements, tree nodes, molecule records — is
+/// named by a `GAddr`. Local, private data never enters this space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GAddr(pub u64);
+
+impl GAddr {
+    /// The null address. Address 0 is never allocated, so `GAddr::NULL`
+    /// serves as the "no pointer" sentinel in shared data structures
+    /// (e.g. absent quad-tree or oct-tree children).
+    pub const NULL: GAddr = GAddr(0);
+
+    /// Returns `true` if this is the null sentinel.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The block containing this address, for a given block size.
+    ///
+    /// `block_size` must be a power of two.
+    #[inline]
+    pub fn block(self, block_size: usize) -> BlockId {
+        debug_assert!(block_size.is_power_of_two());
+        BlockId(self.0 >> block_size.trailing_zeros())
+    }
+
+    /// Byte offset of this address within its block.
+    #[inline]
+    pub fn offset_in_block(self, block_size: usize) -> usize {
+        debug_assert!(block_size.is_power_of_two());
+        (self.0 & (block_size as u64 - 1)) as usize
+    }
+
+    /// The address `bytes` past this one.
+    #[inline]
+    pub fn add(self, bytes: u64) -> GAddr {
+        GAddr(self.0 + bytes)
+    }
+}
+
+impl fmt::Debug for GAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{:#x}", self.0)
+    }
+}
+
+/// Identifies one cache block: the block *number* (`address / block_size`).
+///
+/// A `BlockId` is only meaningful together with the machine's block size,
+/// which is fixed for the lifetime of a machine.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u64);
+
+impl BlockId {
+    /// The first address covered by this block.
+    #[inline]
+    pub fn base(self, block_size: usize) -> GAddr {
+        GAddr(self.0 << block_size.trailing_zeros())
+    }
+
+    /// The block immediately after this one in the address space.
+    ///
+    /// Consecutive blocks matter to the predictive protocol, which coalesces
+    /// runs of neighboring blocks into single bulk messages (§3.4).
+    #[inline]
+    pub fn next(self) -> BlockId {
+        BlockId(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_of_address() {
+        let a = GAddr(0x1000);
+        assert_eq!(a.block(32), BlockId(0x1000 / 32));
+        assert_eq!(a.block(1024), BlockId(4));
+        assert_eq!(a.offset_in_block(32), 0);
+        assert_eq!(GAddr(0x1007).offset_in_block(32), 7);
+    }
+
+    #[test]
+    fn block_base_roundtrip() {
+        for bs in [32usize, 64, 128, 256, 512, 1024] {
+            let a = GAddr(123456);
+            let b = a.block(bs);
+            let base = b.base(bs);
+            assert!(base.0 <= a.0 && a.0 < base.0 + bs as u64);
+            assert_eq!(base.offset_in_block(bs), 0);
+        }
+    }
+
+    #[test]
+    fn null_sentinel() {
+        assert!(GAddr::NULL.is_null());
+        assert!(!GAddr(8).is_null());
+    }
+
+    #[test]
+    fn neighboring_blocks() {
+        assert_eq!(BlockId(7).next(), BlockId(8));
+    }
+
+    #[test]
+    fn add_advances() {
+        assert_eq!(GAddr(16).add(16), GAddr(32));
+    }
+}

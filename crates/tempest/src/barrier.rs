@@ -1,0 +1,127 @@
+//! A virtual-time-aware global barrier.
+//!
+//! Parallel phases are separated by barriers (§1). Besides rendezvousing
+//! the compute threads, the barrier aggregates each participant's virtual
+//! clock: everyone leaves at `max(arrival times) + barrier cost`, and each
+//! node learns its own stall gap, which the runtime books as
+//! synchronization time. This is how the reproduction observes the paper's
+//! §5.1 effect — pre-sending evens out remote-wait imbalance and thereby
+//! shrinks synchronization time on lightly loaded processors.
+
+use parking_lot::{Condvar, Mutex};
+
+/// Result of one barrier episode for one participant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierOut {
+    /// Maximum arrival virtual time over all participants.
+    pub max_arrival_ns: u64,
+    /// This participant's stall: `max_arrival_ns - own arrival`.
+    pub stall_ns: u64,
+}
+
+struct Inner {
+    arrived: usize,
+    generation: u64,
+    cur_max: u64,
+    published_max: u64,
+}
+
+/// A reusable barrier for a fixed set of participants.
+pub struct VBarrier {
+    n: usize,
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl VBarrier {
+    /// Create a barrier for `n` participants.
+    pub fn new(n: usize) -> VBarrier {
+        assert!(n >= 1);
+        VBarrier {
+            n,
+            inner: Mutex::new(Inner { arrived: 0, generation: 0, cur_max: 0, published_max: 0 }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Number of participants.
+    pub fn parties(&self) -> usize {
+        self.n
+    }
+
+    /// Arrive with one's current virtual time; blocks until all `n`
+    /// participants have arrived.
+    pub fn wait(&self, arrival_ns: u64) -> BarrierOut {
+        let mut g = self.inner.lock();
+        g.cur_max = g.cur_max.max(arrival_ns);
+        g.arrived += 1;
+        if g.arrived == self.n {
+            g.published_max = g.cur_max;
+            g.cur_max = 0;
+            g.arrived = 0;
+            g.generation += 1;
+            self.cv.notify_all();
+        } else {
+            let gen = g.generation;
+            while g.generation == gen {
+                self.cv.wait(&mut g);
+            }
+        }
+        let max = g.published_max;
+        BarrierOut { max_arrival_ns: max, stall_ns: max - arrival_ns }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_party() {
+        let b = VBarrier::new(1);
+        let out = b.wait(42);
+        assert_eq!(out.max_arrival_ns, 42);
+        assert_eq!(out.stall_ns, 0);
+    }
+
+    #[test]
+    fn aggregates_max_across_threads() {
+        let b = Arc::new(VBarrier::new(4));
+        let mut handles = vec![];
+        for i in 0..4u64 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || b.wait(i * 10)));
+        }
+        let outs: Vec<BarrierOut> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for out in &outs {
+            assert_eq!(out.max_arrival_ns, 30);
+        }
+        let mut stalls: Vec<u64> = outs.iter().map(|o| o.stall_ns).collect();
+        stalls.sort_unstable();
+        assert_eq!(stalls, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn reusable_across_generations() {
+        let b = Arc::new(VBarrier::new(2));
+        let b2 = Arc::clone(&b);
+        let t = std::thread::spawn(move || {
+            let mut outs = vec![];
+            for round in 0..10u64 {
+                outs.push(b2.wait(round * 2));
+            }
+            outs
+        });
+        let mut outs = vec![];
+        for round in 0..10u64 {
+            outs.push(b.wait(round * 3));
+        }
+        let theirs = t.join().unwrap();
+        for round in 0..10usize {
+            let expect = (round as u64 * 2).max(round as u64 * 3);
+            assert_eq!(outs[round].max_arrival_ns, expect);
+            assert_eq!(theirs[round].max_arrival_ns, expect);
+        }
+    }
+}

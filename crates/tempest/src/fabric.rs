@@ -1,0 +1,181 @@
+//! The message fabric: the emulated interconnection network.
+//!
+//! Plays the role of the CM-5 data network. Each node owns one inbox; any
+//! node (compute or protocol-handler thread) may send to any inbox.
+//! Messages from a single sender to a single receiver arrive in order
+//! (point-to-point FIFO), which the coherence protocols rely on — e.g. a
+//! data grant sent to a node is observed before a later recall of the same
+//! block.
+//!
+//! The fabric is generic in its payload type: Tempest itself does not know
+//! the coherence vocabulary, just as the real Tempest interface shipped
+//! uninterpreted active messages to user-level handlers.
+
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::NodeId;
+
+/// One in-flight message.
+#[derive(Debug)]
+pub struct Envelope<M> {
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Protocol payload.
+    pub msg: M,
+}
+
+/// A cloneable handle that can inject messages into any node's inbox on
+/// behalf of node `me`.
+pub struct Net<M> {
+    me: NodeId,
+    txs: Arc<[Sender<Envelope<M>>]>,
+}
+
+impl<M> Clone for Net<M> {
+    fn clone(&self) -> Self {
+        Net { me: self.me, txs: Arc::clone(&self.txs) }
+    }
+}
+
+impl<M: Send> Net<M> {
+    /// The node this handle sends as.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Number of nodes on the fabric.
+    pub fn nodes(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Send `msg` to `dst` (self-sends are allowed and used by the
+    /// protocols to keep one code path for local and remote faults).
+    pub fn send(&self, dst: NodeId, msg: M) {
+        let env = Envelope { src: self.me, dst, msg };
+        // A send can only fail after the destination endpoint was dropped,
+        // which happens during machine teardown; losing messages then is
+        // harmless.
+        let _ = self.txs[dst as usize].send(env);
+    }
+}
+
+/// A node's receiving endpoint plus its sending handle.
+pub struct Endpoint<M> {
+    /// This endpoint's node id.
+    pub me: NodeId,
+    rx: Receiver<Envelope<M>>,
+    net: Net<M>,
+}
+
+impl<M: Send> Endpoint<M> {
+    /// Block until a message arrives. Returns `None` when the fabric shut
+    /// down (all senders dropped).
+    pub fn recv(&self) -> Option<Envelope<M>> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        self.rx.try_recv().ok()
+    }
+
+    /// The sending handle for this node.
+    pub fn net(&self) -> &Net<M> {
+        &self.net
+    }
+}
+
+/// Construct a fabric for `n` nodes, returning one endpoint per node.
+pub struct Fabric;
+
+impl Fabric {
+    /// Build the endpoints. Endpoint `i` receives everything addressed to
+    /// node `i`.
+    pub fn new<M: Send>(n: usize) -> Vec<Endpoint<M>> {
+        let mut txs = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<Envelope<M>>();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let txs: Arc<[Sender<Envelope<M>>]> = txs.into();
+        rxs.into_iter()
+            .enumerate()
+            .map(|(i, rx)| Endpoint {
+                me: i as NodeId,
+                rx,
+                net: Net { me: i as NodeId, txs: Arc::clone(&txs) },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_fifo() {
+        let eps = Fabric::new::<u32>(2);
+        let (a, b) = (&eps[0], &eps[1]);
+        for i in 0..100 {
+            a.net().send(1, i);
+        }
+        for i in 0..100 {
+            let env = b.recv().unwrap();
+            assert_eq!(env.src, 0);
+            assert_eq!(env.msg, i);
+        }
+    }
+
+    #[test]
+    fn self_send() {
+        let eps = Fabric::new::<&'static str>(1);
+        eps[0].net().send(0, "hello");
+        assert_eq!(eps[0].recv().unwrap().msg, "hello");
+    }
+
+    #[test]
+    fn cross_thread() {
+        let mut eps = Fabric::new::<u64>(3);
+        let e2 = eps.pop().unwrap();
+        let e1 = eps.pop().unwrap();
+        let e0 = eps.pop().unwrap();
+        let t1 = std::thread::spawn(move || {
+            for i in 0..50 {
+                e1.net().send(2, 100 + i);
+            }
+        });
+        let t0 = std::thread::spawn(move || {
+            for i in 0..50 {
+                e0.net().send(2, i);
+            }
+        });
+        let mut from0 = vec![];
+        let mut from1 = vec![];
+        for _ in 0..100 {
+            let env = e2.recv().unwrap();
+            if env.src == 0 {
+                from0.push(env.msg);
+            } else {
+                from1.push(env.msg);
+            }
+        }
+        t0.join().unwrap();
+        t1.join().unwrap();
+        // Per-sender FIFO even under interleaving.
+        assert_eq!(from0, (0..50).collect::<Vec<_>>());
+        assert_eq!(from1, (100..150).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_recv_empty() {
+        let eps = Fabric::new::<u8>(1);
+        assert!(eps[0].try_recv().is_none());
+    }
+}

@@ -1,0 +1,124 @@
+//! Global address-space layout: which node is each block's *home*.
+//!
+//! Stache maps each shared cache block to a home node, where the block
+//! initially resides and where its directory entry is kept (§3.1). We carve
+//! the 64-bit address space into one large *heap segment per node*; a
+//! block's home is the node whose segment contains it.
+//!
+//! This makes data distribution a pure allocation decision: the C\*\*
+//! runtime places each aggregate partition (and each dynamically allocated
+//! tree node) in the heap of the node that should own it, so "home" and
+//! "owner of the partition" coincide — just as the paper's page-granularity
+//! distribution achieves.
+
+use crate::{BlockId, GAddr, NodeId};
+
+/// Size of each node's heap segment in bytes of address space.
+///
+/// This is virtual naming space, not physical memory: blocks are
+/// materialized lazily on first touch.
+pub const NODE_HEAP_BYTES: u64 = 1 << 32; // 4 GiB of naming space per node
+
+/// The global address-space layout of one machine.
+#[derive(Clone, Copy, Debug)]
+pub struct GlobalLayout {
+    /// Number of nodes in the machine.
+    pub nodes: usize,
+    /// Cache-block size in bytes (power of two; the paper uses 32–1024).
+    pub block_size: usize,
+}
+
+impl GlobalLayout {
+    /// Create a layout. `block_size` must be a power of two ≥ 8 and `nodes`
+    /// must be between 1 and [`crate::MAX_NODES`].
+    pub fn new(nodes: usize, block_size: usize) -> GlobalLayout {
+        assert!(nodes >= 1 && nodes <= crate::MAX_NODES, "node count {nodes} out of range");
+        assert!(
+            block_size.is_power_of_two() && block_size >= 8,
+            "block size {block_size} must be a power of two >= 8"
+        );
+        GlobalLayout { nodes, block_size }
+    }
+
+    /// First usable address of `node`'s heap segment.
+    ///
+    /// Node 0's segment skips its first block so that address 0 can serve
+    /// as the [`GAddr::NULL`] sentinel.
+    #[inline]
+    pub fn heap_base(&self, node: NodeId) -> GAddr {
+        let base = node as u64 * NODE_HEAP_BYTES;
+        if node == 0 {
+            GAddr(base + self.block_size as u64)
+        } else {
+            GAddr(base)
+        }
+    }
+
+    /// Exclusive upper bound of `node`'s heap segment.
+    #[inline]
+    pub fn heap_end(&self, node: NodeId) -> GAddr {
+        GAddr((node as u64 + 1) * NODE_HEAP_BYTES)
+    }
+
+    /// The home node of an address.
+    #[inline]
+    pub fn home_of(&self, addr: GAddr) -> NodeId {
+        let n = (addr.0 / NODE_HEAP_BYTES) as usize;
+        debug_assert!(n < self.nodes, "address {addr:?} outside any node heap");
+        n as NodeId
+    }
+
+    /// The home node of a block.
+    #[inline]
+    pub fn home_of_block(&self, block: BlockId) -> NodeId {
+        self.home_of(block.base(self.block_size))
+    }
+
+    /// The block containing `addr` under this layout's block size.
+    #[inline]
+    pub fn block_of(&self, addr: GAddr) -> BlockId {
+        addr.block(self.block_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homes_partition_the_space() {
+        let l = GlobalLayout::new(4, 64);
+        assert_eq!(l.home_of(l.heap_base(0)), 0);
+        assert_eq!(l.home_of(l.heap_base(3)), 3);
+        assert_eq!(l.home_of(GAddr(NODE_HEAP_BYTES + 8)), 1);
+    }
+
+    #[test]
+    fn node0_base_skips_null_block() {
+        let l = GlobalLayout::new(2, 32);
+        assert!(l.heap_base(0).0 >= 32);
+        assert!(!l.heap_base(0).is_null());
+    }
+
+    #[test]
+    fn block_home_matches_addr_home() {
+        let l = GlobalLayout::new(8, 128);
+        for n in 0..8u16 {
+            let a = l.heap_base(n).add(12345 * 128);
+            assert_eq!(l.home_of(a), n);
+            assert_eq!(l.home_of_block(l.block_of(a)), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_block_size() {
+        GlobalLayout::new(2, 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_node_count() {
+        GlobalLayout::new(65, 32);
+    }
+}

@@ -1,0 +1,65 @@
+//! # prescient-tempest
+//!
+//! Fine-grain distributed-shared-memory *substrate*, modeled on the Tempest
+//! parallel-programming interface and its Blizzard implementation on the
+//! Thinking Machines CM-5 (Reinhardt, Larus & Wood, ISCA '94; Schoinas et
+//! al., ASPLOS VI).
+//!
+//! Tempest provides mechanisms, not policy:
+//!
+//! * a **global address space** carved into fixed-size *cache blocks*
+//!   (32–1024 bytes), each with a *home node* ([`layout`]),
+//! * **fine-grain access control**: every shared-memory access checks a
+//!   per-block tag ([`tag::Tag`]); inappropriate accesses *fault* into a
+//!   user-level protocol handler (the original Blizzard-S inserted the same
+//!   software checks before shared loads and stores by editing executables —
+//!   our explicit check is the identical mechanism),
+//! * **messaging** between nodes ([`fabric`]), playing the role of the CM-5
+//!   data network; a message's payload is interpreted by the receiving
+//!   node's protocol handler thread, mirroring Tempest active messages,
+//! * per-node **block storage** ([`mem`]) backing both home memory and the
+//!   remote-block cache (the "stache" region),
+//! * a deterministic **virtual-time cost model** ([`cost`]) that converts
+//!   observed protocol events (local hits, remote misses, bulk transfers,
+//!   barrier gaps) into CM-5-calibrated time so the paper's execution-time
+//!   breakdowns can be regenerated on stock hardware, and
+//! * **statistics** ([`stats`]) and a virtual-time-aware **barrier**
+//!   ([`barrier`]).
+//!
+//! Coherence *policy* lives above this crate: `prescient-stache` implements
+//! the default sequentially-consistent write-invalidate protocol and
+//! `prescient-core` implements the paper's predictive protocol on top of it.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod barrier;
+pub mod cost;
+pub mod fabric;
+pub mod layout;
+pub mod mem;
+pub mod nodeset;
+pub mod prim;
+pub mod stats;
+pub mod tag;
+
+pub use addr::{BlockId, GAddr};
+pub use barrier::VBarrier;
+pub use cost::CostModel;
+pub use fabric::{Endpoint, Fabric};
+pub use layout::GlobalLayout;
+pub use mem::{LocalBlock, NodeMem};
+pub use nodeset::NodeSet;
+pub use prim::Prim;
+pub use stats::{NodeStats, TimeBreakdown};
+pub use tag::Tag;
+
+/// Identifies one node (processor) of the emulated machine.
+///
+/// The paper's machine is a 32-processor CM-5; [`NodeSet`] supports up to 64
+/// nodes, which bounds `NodeId` to `0..64`.
+pub type NodeId = u16;
+
+/// Maximum number of nodes supported by the substrate (bounded by the
+/// [`NodeSet`] bitmask width).
+pub const MAX_NODES: usize = 64;

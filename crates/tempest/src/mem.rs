@@ -1,0 +1,288 @@
+//! Per-node block storage: home memory, the remote-block cache ("stache"),
+//! and the node-local shared-heap allocator.
+//!
+//! Each node stores, in one table, every cache block it currently holds a
+//! copy of: blocks whose home it is (materialized lazily, zero-filled, with
+//! a `ReadWrite` tag — a block "resides initially at its home node") and
+//! remote blocks installed by the coherence protocol with an appropriate
+//! tag. Blizzard backed this cache with ordinary main memory and performed
+//! no capacity evictions at the working-set sizes of the paper's programs;
+//! we adopt the same simplification.
+
+use std::collections::HashMap;
+
+use crate::tag::{Access, Tag};
+use crate::{BlockId, GAddr, GlobalLayout, NodeId};
+
+/// One cache block held by a node.
+#[derive(Debug)]
+pub struct LocalBlock {
+    /// Current access-control tag.
+    pub tag: Tag,
+    /// The block's data. Always exactly `block_size` bytes.
+    pub data: Box<[u8]>,
+    /// `true` while the block was installed by a predictive pre-send and has
+    /// not yet been accessed; used to measure useful vs. redundant
+    /// pre-sends.
+    pub presend_unused: bool,
+}
+
+/// An access fault: the tag did not permit the access.
+///
+/// Faults are vectored to the coherence protocol, which obtains an
+/// appropriate copy and retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// The faulting block.
+    pub block: BlockId,
+    /// The kind of access that faulted.
+    pub access: Access,
+    /// Tag observed at fault time.
+    pub observed: Tag,
+}
+
+/// Per-node block store plus the node's bump allocator for its segment of
+/// the shared heap.
+pub struct NodeMem {
+    layout: GlobalLayout,
+    me: NodeId,
+    blocks: HashMap<BlockId, LocalBlock>,
+    alloc_next: u64,
+    alloc_end: u64,
+}
+
+impl NodeMem {
+    /// Create the store for node `me`.
+    pub fn new(layout: GlobalLayout, me: NodeId) -> NodeMem {
+        NodeMem {
+            layout,
+            me,
+            blocks: HashMap::new(),
+            alloc_next: layout.heap_base(me).0,
+            alloc_end: layout.heap_end(me).0,
+        }
+    }
+
+    /// The node this store belongs to.
+    pub fn node(&self) -> NodeId {
+        self.me
+    }
+
+    /// The machine layout this store was created with.
+    pub fn layout(&self) -> GlobalLayout {
+        self.layout
+    }
+
+    /// Is this node the home of `block`?
+    #[inline]
+    pub fn is_home(&self, block: BlockId) -> bool {
+        self.layout.home_of_block(block) == self.me
+    }
+
+    /// Allocate `bytes` of shared memory from this node's heap segment,
+    /// aligned to `align` (a power of two). The returned region is homed at
+    /// this node.
+    ///
+    /// Allocations of at most one block never straddle a block boundary, so
+    /// small records (tree nodes, molecules' fields) are reachable with
+    /// single-block transfers.
+    pub fn alloc(&mut self, bytes: u64, align: u64) -> GAddr {
+        assert!(align.is_power_of_two());
+        let bs = self.layout.block_size as u64;
+        let mut a = (self.alloc_next + align - 1) & !(align - 1);
+        if bytes <= bs {
+            let first_block = a / bs;
+            let last_block = (a + bytes - 1) / bs;
+            if first_block != last_block {
+                a = last_block * bs; // skip to the next block boundary
+            }
+        }
+        assert!(
+            a + bytes <= self.alloc_end,
+            "node {} shared heap exhausted ({} bytes requested)",
+            self.me,
+            bytes
+        );
+        self.alloc_next = a + bytes;
+        GAddr(a)
+    }
+
+    /// Current tag for `block` on this node (`Invalid` if the node holds no
+    /// copy).
+    #[inline]
+    pub fn probe(&self, block: BlockId) -> Tag {
+        match self.blocks.get(&block) {
+            Some(b) => b.tag,
+            None if self.is_home(block) => Tag::ReadWrite, // lazily materialized
+            None => Tag::Invalid,
+        }
+    }
+
+    /// Get the block, materializing it (zero-filled, `ReadWrite`) when this
+    /// node is its home and it has not been touched yet.
+    pub fn block_mut(&mut self, block: BlockId) -> &mut LocalBlock {
+        let bs = self.layout.block_size;
+        let home = self.is_home(block);
+        self.blocks.entry(block).or_insert_with(|| LocalBlock {
+            tag: if home { Tag::ReadWrite } else { Tag::Invalid },
+            data: vec![0u8; bs].into_boxed_slice(),
+            presend_unused: false,
+        })
+    }
+
+    /// Immutable view of a block, if present.
+    pub fn get(&self, block: BlockId) -> Option<&LocalBlock> {
+        self.blocks.get(&block)
+    }
+
+    /// Set the access tag of a block (materializing home blocks on demand).
+    pub fn set_tag(&mut self, block: BlockId, tag: Tag) {
+        self.block_mut(block).tag = tag;
+    }
+
+    /// Install a copy of a remote block with the given tag, as done by the
+    /// protocol when a data reply or pre-send arrives.
+    pub fn install(&mut self, block: BlockId, data: &[u8], tag: Tag, presend: bool) {
+        let b = self.block_mut(block);
+        b.data.copy_from_slice(data);
+        b.tag = tag;
+        b.presend_unused = presend;
+    }
+
+    /// Read `buf.len()` bytes starting at `addr`. The read must not cross a
+    /// block boundary. On success the bytes are copied into `buf`; on an
+    /// access fault nothing is copied and the fault is returned.
+    pub fn read_in_block(&mut self, addr: GAddr, buf: &mut [u8]) -> Result<(), Fault> {
+        let bs = self.layout.block_size;
+        let block = addr.block(bs);
+        let off = addr.offset_in_block(bs);
+        debug_assert!(off + buf.len() <= bs, "read crosses block boundary");
+        let b = self.block_mut(block);
+        if !b.tag.readable() {
+            return Err(Fault { block, access: Access::Read, observed: b.tag });
+        }
+        b.presend_unused = false;
+        buf.copy_from_slice(&b.data[off..off + buf.len()]);
+        Ok(())
+    }
+
+    /// Write `bytes` starting at `addr`. The write must not cross a block
+    /// boundary. On an access fault nothing is written.
+    pub fn write_in_block(&mut self, addr: GAddr, bytes: &[u8]) -> Result<(), Fault> {
+        let bs = self.layout.block_size;
+        let block = addr.block(bs);
+        let off = addr.offset_in_block(bs);
+        debug_assert!(off + bytes.len() <= bs, "write crosses block boundary");
+        let b = self.block_mut(block);
+        if !b.tag.writable() {
+            return Err(Fault { block, access: Access::Write, observed: b.tag });
+        }
+        b.presend_unused = false;
+        b.data[off..off + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Copy of a block's current data (for protocol data replies).
+    pub fn snapshot(&mut self, block: BlockId) -> Box<[u8]> {
+        self.block_mut(block).data.clone()
+    }
+
+    /// Number of blocks currently materialized on this node.
+    pub fn resident_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Count of blocks installed by pre-send that were never accessed
+    /// (redundant pre-sends, §5.1's "larger amounts of data, some of which
+    /// may be redundant").
+    pub fn unused_presends(&self) -> usize {
+        self.blocks.values().filter(|b| b.presend_unused).count()
+    }
+
+    /// Iterate over all materialized blocks (diagnostics, invariant
+    /// checking).
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &LocalBlock)> {
+        self.blocks.iter().map(|(b, lb)| (*b, lb))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> NodeMem {
+        NodeMem::new(GlobalLayout::new(4, 32), 1)
+    }
+
+    #[test]
+    fn home_blocks_materialize_writable() {
+        let mut m = mem();
+        let a = m.alloc(8, 8);
+        assert_eq!(m.layout().home_of(a), 1);
+        let mut buf = [0u8; 8];
+        m.read_in_block(a, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 8]);
+        m.write_in_block(a, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        m.read_in_block(a, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn remote_blocks_fault_until_installed() {
+        let mut m = mem();
+        // An address homed at node 2.
+        let l = m.layout();
+        let remote = l.heap_base(2);
+        let mut buf = [0u8; 8];
+        let err = m.read_in_block(remote, &mut buf).unwrap_err();
+        assert_eq!(err.access, Access::Read);
+        assert_eq!(err.observed, Tag::Invalid);
+
+        let data = vec![7u8; 32];
+        m.install(l.block_of(remote), &data, Tag::ReadOnly, false);
+        m.read_in_block(remote, &mut buf).unwrap();
+        assert_eq!(buf, [7u8; 8]);
+        // Still not writable.
+        assert!(m.write_in_block(remote, &[0u8; 4]).is_err());
+    }
+
+    #[test]
+    fn alloc_no_straddle() {
+        let mut m = mem();
+        let _ = m.alloc(24, 8);
+        // Next 16-byte record would straddle the 32-byte boundary: it must
+        // be pushed to the next block.
+        let b = m.alloc(16, 8);
+        assert_eq!(b.offset_in_block(32), 0);
+    }
+
+    #[test]
+    fn alloc_alignment() {
+        let mut m = mem();
+        let a = m.alloc(1, 1);
+        let b = m.alloc(8, 8);
+        assert_eq!(b.0 % 8, 0);
+        assert!(b.0 > a.0);
+    }
+
+    #[test]
+    fn presend_tracking() {
+        let mut m = mem();
+        let l = m.layout();
+        let remote = l.heap_base(3);
+        m.install(l.block_of(remote), &vec![1u8; 32], Tag::ReadOnly, true);
+        assert_eq!(m.unused_presends(), 1);
+        let mut buf = [0u8; 4];
+        m.read_in_block(remote, &mut buf).unwrap();
+        assert_eq!(m.unused_presends(), 0);
+    }
+
+    #[test]
+    fn probe_tags() {
+        let mut m = mem();
+        let own = m.alloc(8, 8);
+        let l = m.layout();
+        assert_eq!(m.probe(l.block_of(own)), Tag::ReadWrite);
+        assert_eq!(m.probe(l.block_of(l.heap_base(2))), Tag::Invalid);
+    }
+}

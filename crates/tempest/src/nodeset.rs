@@ -1,0 +1,198 @@
+//! Compact sets of nodes.
+//!
+//! Directory entries (the sharer list of a block) and communication-schedule
+//! entries (the recorded readers of a block) both need small, cheap sets of
+//! node ids. With the paper's 32-processor machine — and at most
+//! [`crate::MAX_NODES`] = 64 nodes here — a single `u64` bitmask suffices.
+
+use std::fmt;
+
+use crate::NodeId;
+
+/// A set of node ids represented as a 64-bit mask.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct NodeSet(pub u64);
+
+impl NodeSet {
+    /// The empty set.
+    pub const EMPTY: NodeSet = NodeSet(0);
+
+    /// A set containing a single node.
+    #[inline]
+    pub fn single(n: NodeId) -> NodeSet {
+        debug_assert!((n as usize) < crate::MAX_NODES);
+        NodeSet(1u64 << n)
+    }
+
+    /// The set `{0, 1, .., n-1}` of all nodes of an `n`-node machine.
+    #[inline]
+    pub fn all(n: usize) -> NodeSet {
+        debug_assert!(n <= crate::MAX_NODES);
+        if n == 64 {
+            NodeSet(u64::MAX)
+        } else {
+            NodeSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Is the set empty?
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of nodes in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, n: NodeId) -> bool {
+        self.0 & (1u64 << n) != 0
+    }
+
+    /// Insert a node (in place).
+    #[inline]
+    pub fn insert(&mut self, n: NodeId) {
+        self.0 |= 1u64 << n;
+    }
+
+    /// Remove a node (in place).
+    #[inline]
+    pub fn remove(&mut self, n: NodeId) {
+        self.0 &= !(1u64 << n);
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(self, other: NodeSet) -> NodeSet {
+        NodeSet(self.0 | other.0)
+    }
+
+    /// Set difference (`self \ other`).
+    #[inline]
+    pub fn minus(self, other: NodeSet) -> NodeSet {
+        NodeSet(self.0 & !other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub fn intersect(self, other: NodeSet) -> NodeSet {
+        NodeSet(self.0 & other.0)
+    }
+
+    /// Remove one node, returning the new set.
+    #[inline]
+    pub fn without(self, n: NodeId) -> NodeSet {
+        NodeSet(self.0 & !(1u64 << n))
+    }
+
+    /// Iterate over the members in ascending order.
+    #[inline]
+    pub fn iter(self) -> NodeSetIter {
+        NodeSetIter(self.0)
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        let mut s = NodeSet::EMPTY;
+        for n in iter {
+            s.insert(n);
+        }
+        s
+    }
+}
+
+impl IntoIterator for NodeSet {
+    type Item = NodeId;
+    type IntoIter = NodeSetIter;
+    fn into_iter(self) -> NodeSetIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of a [`NodeSet`], ascending.
+pub struct NodeSetIter(u64);
+
+impl Iterator for NodeSetIter {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let n = self.0.trailing_zeros() as NodeId;
+            self.0 &= self.0 - 1;
+            Some(n)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for NodeSetIter {}
+
+impl fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let mut s = NodeSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(3);
+        s.insert(17);
+        s.insert(3);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(3));
+        assert!(s.contains(17));
+        assert!(!s.contains(4));
+        s.remove(3);
+        assert!(!s.contains(3));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn all_and_iter() {
+        let s = NodeSet::all(5);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(NodeSet::all(64).len(), 64);
+        assert_eq!(NodeSet::all(0).len(), 0);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: NodeSet = [0u16, 1, 2, 3].into_iter().collect();
+        let b: NodeSet = [2u16, 3, 4].into_iter().collect();
+        assert_eq!(a.union(b), [0u16, 1, 2, 3, 4].into_iter().collect());
+        assert_eq!(a.minus(b), [0u16, 1].into_iter().collect());
+        assert_eq!(a.intersect(b), [2u16, 3].into_iter().collect());
+        assert_eq!(a.without(0), [1u16, 2, 3].into_iter().collect());
+    }
+
+    #[test]
+    fn single() {
+        let s = NodeSet::single(31);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(31));
+    }
+
+    #[test]
+    fn iterator_len() {
+        let s = NodeSet::all(10);
+        assert_eq!(s.iter().len(), 10);
+    }
+}

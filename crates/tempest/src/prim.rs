@@ -1,0 +1,69 @@
+//! Primitive value types storable in shared memory.
+//!
+//! Shared memory holds raw bytes; aggregate elements and record fields are
+//! encoded as fixed-width little-endian primitives. `Prim` is the safe,
+//! no-`unsafe` equivalent of a "plain old data" marker: each implementation
+//! defines its byte width and its (de)serialization into a block.
+
+/// A fixed-width primitive that can live in DSM blocks.
+pub trait Prim: Copy + Default + PartialEq + std::fmt::Debug + Send + 'static {
+    /// Encoded width in bytes. Always a power of two so that values never
+    /// straddle cache-block boundaries when naturally aligned.
+    const BYTES: usize;
+
+    /// Encode into `out` (`out.len() == Self::BYTES`).
+    fn store(self, out: &mut [u8]);
+
+    /// Decode from `src` (`src.len() == Self::BYTES`).
+    fn load(src: &[u8]) -> Self;
+}
+
+macro_rules! impl_prim {
+    ($($t:ty),*) => {$(
+        impl Prim for $t {
+            const BYTES: usize = std::mem::size_of::<$t>();
+
+            #[inline]
+            fn store(self, out: &mut [u8]) {
+                out.copy_from_slice(&self.to_le_bytes());
+            }
+
+            #[inline]
+            fn load(src: &[u8]) -> Self {
+                <$t>::from_le_bytes(src.try_into().expect("width mismatch"))
+            }
+        }
+    )*};
+}
+
+impl_prim!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Prim>(v: T) {
+        let mut buf = vec![0u8; T::BYTES];
+        v.store(&mut buf);
+        assert_eq!(T::load(&buf), v);
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip(0x12u8);
+        roundtrip(0x1234u16);
+        roundtrip(0xdead_beefu32);
+        roundtrip(0xdead_beef_cafe_f00du64);
+        roundtrip(-42i32);
+        roundtrip(-42i64);
+        roundtrip(3.25f32);
+        roundtrip(-1.0e300f64);
+    }
+
+    #[test]
+    fn widths_are_powers_of_two() {
+        assert_eq!(<u8 as Prim>::BYTES, 1);
+        assert_eq!(<f64 as Prim>::BYTES, 8);
+        assert!(<u32 as Prim>::BYTES.is_power_of_two());
+    }
+}

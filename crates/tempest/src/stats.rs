@@ -1,0 +1,219 @@
+//! Per-node event counters and the execution-time breakdown.
+//!
+//! The paper's performance graphs (Figures 5–7) split each bar into three
+//! sections: *remote data wait*, *predictive protocol* (pre-send phase), and
+//! *compute + synch*. [`TimeBreakdown`] carries exactly those sections (with
+//! compute and synch kept separate so the synchronization effect in §5.1 can
+//! be observed); [`NodeStats`] counts the underlying protocol events.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Event counters for one node. All counters are cumulative over the run and
+/// safe to update from both the compute and the protocol-handler thread.
+#[derive(Debug, Default)]
+pub struct NodeStats {
+    /// Shared-memory loads issued by the compute thread.
+    pub reads: AtomicU64,
+    /// Shared-memory stores issued by the compute thread.
+    pub writes: AtomicU64,
+    /// Read faults that required a remote request.
+    pub read_misses: AtomicU64,
+    /// Write faults that required a remote request (including upgrades).
+    pub write_misses: AtomicU64,
+    /// Misses that needed extra hops (recall from an owner or an
+    /// invalidation round) — the expensive 3/4-message transfers of §3.2.
+    pub slow_misses: AtomicU64,
+    /// Invalidation requests this node serviced.
+    pub invals_in: AtomicU64,
+    /// Recall/downgrade requests this node serviced.
+    pub recalls_in: AtomicU64,
+    /// Protocol messages this node sent (all kinds).
+    pub msgs_out: AtomicU64,
+    /// Blocks this node pre-sent as a home node.
+    pub presend_blocks_out: AtomicU64,
+    /// Bulk messages used for those pre-sends (≤ blocks; smaller when
+    /// coalescing merges neighbors).
+    pub presend_msgs_out: AtomicU64,
+    /// Bytes this node pre-sent.
+    pub presend_bytes_out: AtomicU64,
+    /// Blocks installed on this node by pre-sends from other homes.
+    pub presend_blocks_in: AtomicU64,
+    /// Schedule entries recorded at this node (as home).
+    pub sched_records: AtomicU64,
+    /// Faulting accesses that found the block already installed by a
+    /// pre-send earlier in the same phase — should stay 0; a diagnostic.
+    pub presend_races: AtomicU64,
+}
+
+impl NodeStats {
+    /// Increment a counter by 1.
+    #[inline]
+    pub fn bump(c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment a counter by `n`.
+    #[inline]
+    pub fn add(c: &AtomicU64, n: u64) {
+        c.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A plain-value snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        StatsSnapshot {
+            reads: g(&self.reads),
+            writes: g(&self.writes),
+            read_misses: g(&self.read_misses),
+            write_misses: g(&self.write_misses),
+            slow_misses: g(&self.slow_misses),
+            invals_in: g(&self.invals_in),
+            recalls_in: g(&self.recalls_in),
+            msgs_out: g(&self.msgs_out),
+            presend_blocks_out: g(&self.presend_blocks_out),
+            presend_msgs_out: g(&self.presend_msgs_out),
+            presend_bytes_out: g(&self.presend_bytes_out),
+            presend_blocks_in: g(&self.presend_blocks_in),
+            sched_records: g(&self.sched_records),
+            presend_races: g(&self.presend_races),
+        }
+    }
+}
+
+/// Plain-value copy of [`NodeStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)] // field meanings documented on NodeStats
+pub struct StatsSnapshot {
+    pub reads: u64,
+    pub writes: u64,
+    pub read_misses: u64,
+    pub write_misses: u64,
+    pub slow_misses: u64,
+    pub invals_in: u64,
+    pub recalls_in: u64,
+    pub msgs_out: u64,
+    pub presend_blocks_out: u64,
+    pub presend_msgs_out: u64,
+    pub presend_bytes_out: u64,
+    pub presend_blocks_in: u64,
+    pub sched_records: u64,
+    pub presend_races: u64,
+}
+
+impl StatsSnapshot {
+    /// Total misses (read + write).
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// Total accesses (reads + writes).
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Fraction of accesses satisfied locally (the quantity the predictive
+    /// protocol raises — abstract's "number of shared-data requests
+    /// satisfied locally").
+    pub fn local_fraction(&self) -> f64 {
+        if self.accesses() == 0 {
+            1.0
+        } else {
+            1.0 - self.misses() as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Element-wise sum, for machine-wide totals.
+    pub fn merge(&self, o: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            reads: self.reads + o.reads,
+            writes: self.writes + o.writes,
+            read_misses: self.read_misses + o.read_misses,
+            write_misses: self.write_misses + o.write_misses,
+            slow_misses: self.slow_misses + o.slow_misses,
+            invals_in: self.invals_in + o.invals_in,
+            recalls_in: self.recalls_in + o.recalls_in,
+            msgs_out: self.msgs_out + o.msgs_out,
+            presend_blocks_out: self.presend_blocks_out + o.presend_blocks_out,
+            presend_msgs_out: self.presend_msgs_out + o.presend_msgs_out,
+            presend_bytes_out: self.presend_bytes_out + o.presend_bytes_out,
+            presend_blocks_in: self.presend_blocks_in + o.presend_blocks_in,
+            sched_records: self.sched_records + o.sched_records,
+            presend_races: self.presend_races + o.presend_races,
+        }
+    }
+}
+
+/// Virtual-time breakdown of one node's execution, mirroring the paper's
+/// stacked bars.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimeBreakdown {
+    /// Computation: arithmetic plus local (hit) shared-memory accesses.
+    pub compute_ns: u64,
+    /// Time blocked waiting for non-local memory accesses ("Remote data
+    /// wait" in the figures).
+    pub wait_ns: u64,
+    /// Time spent in the pre-send phase of the predictive protocol.
+    pub presend_ns: u64,
+    /// Time stalled at barriers waiting for other nodes.
+    pub synch_ns: u64,
+}
+
+impl TimeBreakdown {
+    /// Total virtual time.
+    pub fn total_ns(&self) -> u64 {
+        self.compute_ns + self.wait_ns + self.presend_ns + self.synch_ns
+    }
+
+    /// The paper's third bar segment: compute and synchronization combined.
+    pub fn compute_synch_ns(&self) -> u64 {
+        self.compute_ns + self.synch_ns
+    }
+
+    /// Element-wise sum.
+    pub fn merge(&self, o: &TimeBreakdown) -> TimeBreakdown {
+        TimeBreakdown {
+            compute_ns: self.compute_ns + o.compute_ns,
+            wait_ns: self.wait_ns + o.wait_ns,
+            presend_ns: self.presend_ns + o.presend_ns,
+            synch_ns: self.synch_ns + o.synch_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_merge() {
+        let s = NodeStats::default();
+        NodeStats::bump(&s.reads);
+        NodeStats::bump(&s.reads);
+        NodeStats::bump(&s.read_misses);
+        NodeStats::add(&s.msgs_out, 5);
+        let snap = s.snapshot();
+        assert_eq!(snap.reads, 2);
+        assert_eq!(snap.misses(), 1);
+        assert_eq!(snap.msgs_out, 5);
+        let twice = snap.merge(&snap);
+        assert_eq!(twice.reads, 4);
+        assert_eq!(twice.msgs_out, 10);
+    }
+
+    #[test]
+    fn local_fraction() {
+        let mut snap = StatsSnapshot::default();
+        assert_eq!(snap.local_fraction(), 1.0);
+        snap.reads = 10;
+        snap.read_misses = 2;
+        assert!((snap.local_fraction() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let t = TimeBreakdown { compute_ns: 10, wait_ns: 20, presend_ns: 5, synch_ns: 7 };
+        assert_eq!(t.total_ns(), 42);
+        assert_eq!(t.compute_synch_ns(), 17);
+        assert_eq!(t.merge(&t).total_ns(), 84);
+    }
+}

@@ -1,0 +1,78 @@
+//! Fine-grain access-control tags.
+//!
+//! Tempest attaches an access tag to every cache block present on a node.
+//! Accesses are checked against the tag; an inappropriate access (a read of
+//! an `Invalid` block, a write to an `Invalid` or `ReadOnly` block) *faults*
+//! and is vectored to the node's user-level protocol handler, exactly as in
+//! Blizzard (§3.1 of the paper).
+
+/// The access-control state of one cache block on one node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Tag {
+    /// No valid copy. Any access faults.
+    #[default]
+    Invalid,
+    /// A valid read-only copy. Reads succeed at full speed; writes fault.
+    ReadOnly,
+    /// A valid writable copy (this node is the exclusive owner). All
+    /// accesses succeed at full speed.
+    ReadWrite,
+}
+
+impl Tag {
+    /// May this block be read without faulting?
+    #[inline]
+    pub fn readable(self) -> bool {
+        !matches!(self, Tag::Invalid)
+    }
+
+    /// May this block be written without faulting?
+    #[inline]
+    pub fn writable(self) -> bool {
+        matches!(self, Tag::ReadWrite)
+    }
+}
+
+/// The two kinds of shared-memory access, used when classifying faults and
+/// when recording communication-schedule entries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Access {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl Access {
+    /// Does `tag` permit this access?
+    #[inline]
+    pub fn permitted(self, tag: Tag) -> bool {
+        match self {
+            Access::Read => tag.readable(),
+            Access::Write => tag.writable(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permissions() {
+        assert!(!Tag::Invalid.readable());
+        assert!(!Tag::Invalid.writable());
+        assert!(Tag::ReadOnly.readable());
+        assert!(!Tag::ReadOnly.writable());
+        assert!(Tag::ReadWrite.readable());
+        assert!(Tag::ReadWrite.writable());
+    }
+
+    #[test]
+    fn access_check() {
+        assert!(Access::Read.permitted(Tag::ReadOnly));
+        assert!(!Access::Write.permitted(Tag::ReadOnly));
+        assert!(Access::Write.permitted(Tag::ReadWrite));
+        assert!(!Access::Read.permitted(Tag::Invalid));
+    }
+}

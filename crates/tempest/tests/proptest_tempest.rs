@@ -1,0 +1,105 @@
+//! Property tests for the substrate primitives: NodeSet vs a model set,
+//! address/block math, allocator invariants, and Prim roundtrips.
+
+use std::collections::BTreeSet;
+
+use prescient_tempest::{GAddr, GlobalLayout, NodeMem, NodeSet, Prim};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn nodeset_matches_btreeset_model(ops in proptest::collection::vec((0u16..64, any::<bool>()), 0..200)) {
+        let mut s = NodeSet::EMPTY;
+        let mut model = BTreeSet::new();
+        for (n, insert) in ops {
+            if insert {
+                s.insert(n);
+                model.insert(n);
+            } else {
+                s.remove(n);
+                model.remove(&n);
+            }
+            prop_assert_eq!(s.len(), model.len());
+            prop_assert_eq!(s.is_empty(), model.is_empty());
+        }
+        let collected: Vec<u16> = s.iter().collect();
+        let expected: Vec<u16> = model.into_iter().collect();
+        prop_assert_eq!(collected, expected, "iteration ascending and complete");
+    }
+
+    #[test]
+    fn nodeset_algebra_matches_model(
+        a in proptest::collection::btree_set(0u16..64, 0..32),
+        b in proptest::collection::btree_set(0u16..64, 0..32),
+    ) {
+        let sa: NodeSet = a.iter().copied().collect();
+        let sb: NodeSet = b.iter().copied().collect();
+        let union: BTreeSet<u16> = a.union(&b).copied().collect();
+        let inter: BTreeSet<u16> = a.intersection(&b).copied().collect();
+        let minus: BTreeSet<u16> = a.difference(&b).copied().collect();
+        prop_assert_eq!(sa.union(sb).iter().collect::<BTreeSet<_>>(), union);
+        prop_assert_eq!(sa.intersect(sb).iter().collect::<BTreeSet<_>>(), inter);
+        prop_assert_eq!(sa.minus(sb).iter().collect::<BTreeSet<_>>(), minus);
+    }
+
+    #[test]
+    fn block_math_consistent(
+        addr in 1u64..(1 << 40),
+        shift in 3u32..11, // block sizes 8..1024
+    ) {
+        let bs = 1usize << shift;
+        let a = GAddr(addr);
+        let b = a.block(bs);
+        let base = b.base(bs);
+        prop_assert!(base.0 <= a.0);
+        prop_assert!(a.0 < base.0 + bs as u64);
+        prop_assert_eq!(base.offset_in_block(bs), 0);
+        prop_assert_eq!(a.offset_in_block(bs) as u64, a.0 - base.0);
+        // Neighboring block bases differ by exactly the block size.
+        prop_assert_eq!(b.next().base(bs).0, base.0 + bs as u64);
+    }
+
+    #[test]
+    fn allocator_never_overlaps_or_straddles(
+        sizes in proptest::collection::vec((1u64..100, 0u32..4), 1..40),
+        shift in 5u32..9,
+    ) {
+        let bs = 1usize << shift;
+        let layout = GlobalLayout::new(3, bs);
+        let mut mem = NodeMem::new(layout, 1);
+        let mut regions: Vec<(u64, u64)> = Vec::new();
+        for (bytes, align_pow) in sizes {
+            let align = 1u64 << align_pow;
+            let a = mem.alloc(bytes, align);
+            prop_assert_eq!(a.0 % align, 0, "alignment respected");
+            prop_assert_eq!(layout.home_of(a), 1, "allocation homed locally");
+            // Small allocations never straddle a block boundary.
+            if bytes as usize <= bs {
+                let end = a.0 + bytes - 1;
+                prop_assert_eq!(a.block(bs), GAddr(end).block(bs), "no straddle");
+            }
+            for &(s, e) in &regions {
+                prop_assert!(a.0 + bytes <= s || a.0 >= e, "no overlap");
+            }
+            regions.push((a.0, a.0 + bytes));
+        }
+    }
+
+    #[test]
+    fn prim_f64_roundtrip(v in any::<f64>()) {
+        let mut buf = [0u8; 8];
+        v.store(&mut buf);
+        let back = f64::load(&buf);
+        // NaN-safe comparison via bits.
+        prop_assert_eq!(back.to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn prim_u64_i64_roundtrip(v in any::<u64>(), w in any::<i64>()) {
+        let mut buf = [0u8; 8];
+        v.store(&mut buf);
+        prop_assert_eq!(u64::load(&buf), v);
+        w.store(&mut buf);
+        prop_assert_eq!(i64::load(&buf), w);
+    }
+}

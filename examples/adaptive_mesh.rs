@@ -1,0 +1,49 @@
+//! The Adaptive application end to end: a refining mesh whose
+//! communication pattern grows incrementally, comparing the unoptimized
+//! and predictive runs and validating both against the sequential
+//! reference.
+//!
+//! Run with: `cargo run --example adaptive_mesh`
+
+use prescient::apps::adaptive::{run_adaptive_full, seq_adaptive, AdaptiveConfig};
+use prescient::runtime::MachineConfig;
+
+fn main() {
+    let cfg = AdaptiveConfig { n: 24, iters: 10, tau: 0.5, max_depth: 3, flush_every: None };
+    println!(
+        "Adaptive mesh: {}x{} cells, {} iterations, refinement up to depth {}\n",
+        cfg.n, cfg.iters, cfg.iters, cfg.max_depth
+    );
+
+    let seq = seq_adaptive(&cfg);
+    let refined = seq.depths.iter().filter(|&&d| d > 0).count();
+    println!(
+        "sequential reference: {refined} of {} cells refined ({} at max depth)\n",
+        cfg.n * cfg.n,
+        seq.depths.iter().filter(|&&d| d == cfg.max_depth).count()
+    );
+
+    for mcfg in [MachineConfig::stache(8, 32), MachineConfig::predictive(8, 32)] {
+        let name =
+            if mcfg.protocol.is_predictive() { "predictive (optimized)" } else { "write-invalidate" };
+        let (run, roots, depths) = run_adaptive_full(mcfg, &cfg);
+
+        // Validate against the reference.
+        let mut max_err: f64 = 0.0;
+        for k in 0..cfg.n * cfg.n {
+            assert_eq!(depths[k], seq.depths[k], "refinement pattern must match");
+            max_err = max_err.max((roots[k] - seq.roots[k]).abs());
+        }
+
+        let t = run.report.total_stats();
+        println!("{name}:");
+        println!("  max |field error| vs sequential: {max_err:.3e}");
+        println!("  remote misses: {}  pre-sent blocks: {}", t.misses(), t.presend_blocks_out);
+        println!("  {}", run.report.bar_line());
+        println!();
+    }
+
+    println!("note how the optimized run converts demand misses into pre-sends,");
+    println!("and how new refinements keep extending the schedule (incremental");
+    println!("growth, §3.3) — one fault per new boundary block, then pre-sent.");
+}

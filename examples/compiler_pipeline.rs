@@ -1,0 +1,113 @@
+//! The full compiler pipeline on the paper's own examples: parse the
+//! mini-C\*\* programs of Figures 2 and 3, show the access summaries
+//! (§4.2), the reaching-unstructured-accesses dataflow, the placed
+//! directives (§4.3) — then actually execute the unstructured-mesh program
+//! on an emulated machine under both protocols.
+//!
+//! Run with: `cargo run --example compiler_pipeline`
+
+use prescient::cstar::compile::compile;
+use prescient::cstar::directives::render_plan;
+use prescient::cstar::interp::{materialize, read_aggregate_f64, run_program, AggStore};
+use prescient::runtime::{Machine, MachineConfig};
+
+/// Figure 2: the 4-point stencil.
+const STENCIL: &str = r#"
+    aggregate Grid[32][32] of float;
+    aggregate Next[32][32] of float;
+
+    parallel fn sweep(g, h) {
+        if #0 > 0 { if #0 < 31 { if #1 > 0 { if #1 < 31 {
+            h[#0][#1] = 0.25 * (g[#0-1][#1] + g[#0+1][#1] + g[#0][#1-1] + g[#0][#1+1]);
+        } } } }
+    }
+
+    fn main() {
+        for it in 0 .. 10 {
+            sweep(Grid, Next);
+            sweep(Next, Grid);
+        }
+    }
+"#;
+
+/// Figure 3: the unstructured bipartite-mesh update, with indirection.
+const UNSTRUCTURED: &str = r#"
+    aggregate Primal[128] of float;
+    aggregate Dual[128] of float;
+    aggregate Nbr[128] of int;
+
+    parallel fn update(primal, dual, nbr) {
+        let k = nbr[#0];
+        primal[#0] = primal[#0] + 0.5 * dual[k];
+    }
+
+    parallel fn relax(dual, primal, nbr) {
+        let k = nbr[#0];
+        dual[#0] = 0.9 * dual[#0] + 0.1 * primal[k];
+    }
+
+    fn main() {
+        for t in 0 .. 6 {
+            update(Primal, Dual, Nbr);
+            relax(Dual, Primal, Nbr);
+        }
+    }
+"#;
+
+fn show(name: &str, src: &str) -> prescient::cstar::compile::CompiledProgram {
+    let prog = compile(src).expect("compiles");
+    println!("=== {name} ===\n");
+    println!("access summaries (§4.2):");
+    for (f, sum) in &prog.summaries {
+        for (param, pa) in &sum.params {
+            if pa.any() {
+                println!("  {f}({param}): {}", pa.describe());
+            }
+        }
+    }
+    println!("\ndirective placement (§4.3): {} phase(s)", prog.plan.assignment.n_phases);
+    print!("{}", render_plan(&prog.cfg, &prog.plan));
+    println!();
+    prog
+}
+
+fn main() {
+    show("Figure 2: stencil", STENCIL);
+    let prog = show("Figure 3: unstructured mesh update", UNSTRUCTURED);
+
+    // Execute the unstructured program for real.
+    println!("=== executing the Figure-3 program on 4 emulated nodes ===\n");
+    let scramble = |i: usize| ((i * 53 + 17) % 128) as i64;
+    for cfg in [MachineConfig::stache(4, 32), MachineConfig::predictive(4, 32)] {
+        let mut machine = Machine::new(cfg);
+        let aggs = materialize(&machine, &prog);
+        let report = run_program(&mut machine, &prog, &aggs, |ctx, aggs| {
+            if let AggStore::F1(a) = &aggs["Primal"] {
+                for i in a.my_range(ctx.me()) {
+                    ctx.write(a.addr(i), i as f64);
+                }
+            }
+            if let AggStore::F1(a) = &aggs["Dual"] {
+                for i in a.my_range(ctx.me()) {
+                    ctx.write(a.addr(i), (i % 13) as f64);
+                }
+            }
+            if let AggStore::I1(a) = &aggs["Nbr"] {
+                for i in a.my_range(ctx.me()) {
+                    ctx.write(a.addr(i), scramble(i));
+                }
+            }
+        });
+        let primal = read_aggregate_f64(&mut machine, &aggs, "Primal");
+        let checksum: f64 = primal.iter().sum();
+        println!(
+            "{}: misses={} presend={} local={:.2}%  checksum={checksum:.6}",
+            if cfg.protocol.is_predictive() { "predictive " } else { "unoptimized" },
+            report.total_stats().misses(),
+            report.total_stats().presend_blocks_out,
+            report.local_fraction() * 100.0,
+        );
+    }
+    println!("\nidentical checksums, far fewer misses: the protocol learned the");
+    println!("indirection pattern at run time — no inspector/executor needed.");
+}

@@ -1,0 +1,74 @@
+//! Quickstart: build a small emulated DSM machine, run an iterative
+//! producer–consumer computation under the plain write-invalidate protocol
+//! and under the predictive protocol, and watch the remote misses vanish
+//! after the first (recording) iteration.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use prescient::runtime::{Agg1D, Dist1D, Machine, MachineConfig, NodeCtx};
+
+fn simulate(cfg: MachineConfig) -> prescient::runtime::RunReport {
+    let mut machine = Machine::new(cfg);
+    let n = 256;
+    // A distributed array: each of the nodes owns a contiguous partition.
+    let a = Agg1D::<f64>::new(&machine, n, Dist1D::Block);
+    let b = Agg1D::<f64>::new(&machine, n, Dist1D::Block);
+
+    // Initialize (owners write their own elements; not measured).
+    machine.run(|ctx: &mut NodeCtx| {
+        for i in a.my_range(ctx.me()) {
+            ctx.write(a.addr(i), i as f64);
+            ctx.write(b.addr(i), 0.0);
+        }
+        ctx.barrier();
+    });
+
+    // The measured main loop: a double-buffered nearest-neighbor sweep.
+    // `phase_begin`/`phase_end` are the compiler directives of the paper:
+    // under plain Stache they degrade to the ordinary end-of-phase
+    // barrier, under the predictive protocol they record a communication
+    // schedule in iteration 1 and pre-send data from iteration 2 on.
+    let (_, report) = machine.run(|ctx: &mut NodeCtx| {
+        for _iter in 0..8 {
+            ctx.phase_begin(1);
+            for i in a.my_range(ctx.me()) {
+                let left = if i > 0 { ctx.read::<f64>(a.addr(i - 1)) } else { 0.0 };
+                let right = if i + 1 < n { ctx.read::<f64>(a.addr(i + 1)) } else { 0.0 };
+                ctx.work(2);
+                ctx.write(b.addr(i), 0.5 * (left + right));
+            }
+            ctx.phase_end();
+
+            ctx.phase_begin(2);
+            for i in a.my_range(ctx.me()) {
+                let v = ctx.read::<f64>(b.addr(i));
+                ctx.write(a.addr(i), v);
+            }
+            ctx.phase_end();
+        }
+    });
+    report
+}
+
+fn main() {
+    println!("quickstart: 4 nodes, 32-byte cache blocks, 8 iterations\n");
+
+    let unopt = simulate(MachineConfig::stache(4, 32));
+    let opt = simulate(MachineConfig::predictive(4, 32));
+
+    for (name, r) in [("write-invalidate (unoptimized)", &unopt), ("predictive (optimized)", &opt)] {
+        let t = r.total_stats();
+        println!("{name}:");
+        println!("  remote misses        : {}", t.misses());
+        println!("  blocks pre-sent      : {}", t.presend_blocks_out);
+        println!("  local hit fraction   : {:.3}%", r.local_fraction() * 100.0);
+        println!("  virtual time         : {}", r.bar_line());
+        println!();
+    }
+
+    let speedup = unopt.exec_time_ns() as f64 / opt.exec_time_ns() as f64;
+    println!(
+        "the predictive protocol eliminated {:.0}% of misses → {speedup:.2}x faster",
+        (1.0 - opt.total_stats().misses() as f64 / unopt.total_stats().misses() as f64) * 100.0
+    );
+}

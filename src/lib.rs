@@ -1,0 +1,65 @@
+//! # Prescient
+//!
+//! A from-scratch reproduction of *Compiler-directed Shared-Memory
+//! Communication for Iterative Parallel Applications* (Viswanathan &
+//! Larus, Supercomputing 1996): a fine-grain software distributed shared
+//! memory with a **predictive cache-coherence protocol**, driven by a
+//! data-parallel **mini-C\*\* compiler** that places protocol directives
+//! at parallel phases with potentially repetitive communication.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`tempest`] — the DSM substrate (blocks, access control, messaging,
+//!   virtual-time cost model);
+//! * [`stache`] — the default sequentially-consistent write-invalidate
+//!   protocol;
+//! * [`predictive`] — the paper's contribution: communication-schedule
+//!   recording and pre-sending;
+//! * [`runtime`] — machines, node contexts, distributed aggregates,
+//!   reductions;
+//! * [`cstar`] — the mini-C\*\* language, the compiler analyses of §4, and
+//!   the DSM-backed interpreter;
+//! * [`apps`] — the paper's evaluation applications (Adaptive, Barnes,
+//!   Water) with sequential references and baselines.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use prescient::runtime::{Agg1D, Dist1D, Machine, MachineConfig, NodeCtx};
+//!
+//! // A 4-node machine with 32-byte blocks running the predictive protocol.
+//! let mut machine = Machine::new(MachineConfig::predictive(4, 32));
+//! let src = Agg1D::<f64>::new(&machine, 64, Dist1D::Block);
+//! let dst = Agg1D::<f64>::new(&machine, 64, Dist1D::Block);
+//!
+//! let (_, report) = machine.run(|ctx: &mut NodeCtx| {
+//!     for _iter in 0..4 {
+//!         // Phase 1: read neighbors of `src` (crosses partitions at the
+//!         // edges), write own elements of `dst`.
+//!         ctx.phase_begin(1); // compiler directive: pre-send + record
+//!         for i in src.my_range(ctx.me()) {
+//!             let left = if i > 0 { ctx.read::<f64>(src.addr(i - 1)) } else { 0.0 };
+//!             ctx.write(dst.addr(i), left + 1.0);
+//!         }
+//!         ctx.phase_end();
+//!         // Phase 2: copy back (owner writes invalidate cached copies —
+//!         // recorded, then pre-invalidated in later iterations).
+//!         ctx.phase_begin(2);
+//!         for i in src.my_range(ctx.me()) {
+//!             let v = ctx.read::<f64>(dst.addr(i));
+//!             ctx.write(src.addr(i), v);
+//!         }
+//!         ctx.phase_end();
+//!     }
+//! });
+//! // After the first (recording) iteration the boundary reads are
+//! // pre-sent and hit locally.
+//! assert!(report.local_fraction() > 0.99);
+//! ```
+
+pub use prescient_apps as apps;
+pub use prescient_core as predictive;
+pub use prescient_cstar as cstar;
+pub use prescient_runtime as runtime;
+pub use prescient_stache as stache;
+pub use prescient_tempest as tempest;

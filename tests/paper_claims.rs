@@ -1,0 +1,128 @@
+//! Cross-crate integration tests asserting the paper's headline claims at
+//! test scale — the same checks EXPERIMENTS.md records at figure scale.
+
+use prescient::apps::adaptive::{run_adaptive_full, AdaptiveConfig};
+use prescient::apps::barnes::{run_barnes, BarnesConfig};
+use prescient::apps::water::{run_water, WaterConfig};
+use prescient::cstar::compile::compile;
+use prescient::runtime::MachineConfig;
+
+const NODES: usize = 4;
+
+/// Abstract: "a predictive protocol increases the number of shared-data
+/// requests satisfied locally, thus reducing the remote data access
+/// latency" — on all three applications.
+#[test]
+fn predictive_raises_local_fraction_on_all_three_apps() {
+    let wcfg = WaterConfig { n: 64, steps: 4, ..Default::default() };
+    let bcfg = BarnesConfig { n: 192, steps: 2, ..Default::default() };
+    let acfg = AdaptiveConfig { n: 12, iters: 5, tau: 0.4, max_depth: 2, flush_every: None };
+
+    let pairs = [
+        (
+            "water",
+            run_water(MachineConfig::stache(NODES, 32), &wcfg).report,
+            run_water(MachineConfig::predictive(NODES, 32), &wcfg).report,
+        ),
+        (
+            "barnes",
+            run_barnes(MachineConfig::stache(NODES, 32), &bcfg).report,
+            run_barnes(MachineConfig::predictive(NODES, 32), &bcfg).report,
+        ),
+        (
+            "adaptive",
+            run_adaptive_full(MachineConfig::stache(NODES, 32), &acfg).0.report,
+            run_adaptive_full(MachineConfig::predictive(NODES, 32), &acfg).0.report,
+        ),
+    ];
+
+    for (app, unopt, opt) in pairs {
+        assert!(
+            opt.local_fraction() > unopt.local_fraction(),
+            "{app}: local fraction must rise ({} vs {})",
+            opt.local_fraction(),
+            unopt.local_fraction()
+        );
+        assert!(
+            opt.mean_breakdown().wait_ns < unopt.mean_breakdown().wait_ns,
+            "{app}: remote wait must drop"
+        );
+    }
+}
+
+/// §5.4: the predictive protocol works best at small blocks; larger blocks
+/// help the unoptimized program (spatial locality).
+#[test]
+fn block_size_tradeoff_shape() {
+    let bcfg = BarnesConfig { n: 256, steps: 2, ..Default::default() };
+    let unopt_32 = run_barnes(MachineConfig::stache(NODES, 32), &bcfg).report;
+    let unopt_512 = run_barnes(MachineConfig::stache(NODES, 512), &bcfg).report;
+    // Spatial locality: big blocks slash unoptimized misses.
+    assert!(
+        unopt_512.total_stats().misses() < unopt_32.total_stats().misses() / 2,
+        "{} vs {}",
+        unopt_512.total_stats().misses(),
+        unopt_32.total_stats().misses()
+    );
+    // And the pre-send advantage (relative wait reduction) is largest at
+    // small blocks.
+    let opt_32 = run_barnes(MachineConfig::predictive(NODES, 32), &bcfg).report;
+    let saved_32 =
+        unopt_32.mean_breakdown().wait_ns as f64 - opt_32.mean_breakdown().wait_ns as f64;
+    assert!(saved_32 > 0.0);
+}
+
+/// §4: the compiler, not the programmer, places the directives — and the
+/// placement is what drives the protocol. A program whose phases are all
+/// home-only gets no directives and no pre-sends.
+#[test]
+fn compiler_places_directives_only_where_needed() {
+    let comm = compile(
+        r#"
+        aggregate A[32] of float;
+        aggregate B[32] of float;
+        parallel fn gather(a, b) { a[#0] = a[#0] + b[31 - #0]; }
+        fn main() { for t in 0 .. 4 { gather(A, B); } }
+        "#,
+    )
+    .unwrap();
+    assert_eq!(comm.plan.assignment.n_phases, 1);
+
+    let local = compile(
+        r#"
+        aggregate A[32] of float;
+        parallel fn scale(a) { a[#0] = a[#0] * 2.0; }
+        fn main() { for t in 0 .. 4 { scale(A); } }
+        "#,
+    )
+    .unwrap();
+    assert_eq!(local.plan.assignment.n_phases, 0);
+}
+
+/// End-to-end determinism: virtual time and protocol counters of a
+/// figure-style run are bit-identical across repetitions (the property
+/// that makes the figure harness reproducible).
+#[test]
+fn figure_runs_are_deterministic() {
+    let wcfg = WaterConfig { n: 64, steps: 3, ..Default::default() };
+    let a = run_water(MachineConfig::predictive(NODES, 32), &wcfg);
+    let b = run_water(MachineConfig::predictive(NODES, 32), &wcfg);
+    assert_eq!(a.checksum, b.checksum);
+    assert_eq!(a.report.exec_time_ns(), b.report.exec_time_ns());
+    assert_eq!(a.report.total_stats().misses(), b.report.total_stats().misses());
+    assert_eq!(
+        a.report.total_stats().presend_blocks_out,
+        b.report.total_stats().presend_blocks_out
+    );
+}
+
+/// The pre-send phase never leaves protocol state inconsistent: no
+/// "presend race" diagnostics fire, and every pre-sent block is a block
+/// some node later finds locally.
+#[test]
+fn presend_is_race_free() {
+    let acfg = AdaptiveConfig { n: 12, iters: 6, tau: 0.4, max_depth: 2, flush_every: None };
+    let (run, _, _) = run_adaptive_full(MachineConfig::predictive(NODES, 32), &acfg);
+    assert_eq!(run.report.total_stats().presend_races, 0);
+    assert!(run.report.total_stats().presend_blocks_out > 0);
+}
