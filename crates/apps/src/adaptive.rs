@@ -157,10 +157,20 @@ pub fn update_cell<M: Mesh>(m: &mut M, i: usize, j: usize) {
     let mut sum = 0.0;
     for a in 0..s {
         for b in 0..s {
-            let up = if a > 0 { old[(a - 1) * s + b] } else { boundary_value(m, i, j, Side::Up, b, s) };
-            let dn = if a + 1 < s { old[(a + 1) * s + b] } else { boundary_value(m, i, j, Side::Down, b, s) };
-            let le = if b > 0 { old[a * s + b - 1] } else { boundary_value(m, i, j, Side::Left, a, s) };
-            let ri = if b + 1 < s { old[a * s + b + 1] } else { boundary_value(m, i, j, Side::Right, a, s) };
+            let up =
+                if a > 0 { old[(a - 1) * s + b] } else { boundary_value(m, i, j, Side::Up, b, s) };
+            let dn = if a + 1 < s {
+                old[(a + 1) * s + b]
+            } else {
+                boundary_value(m, i, j, Side::Down, b, s)
+            };
+            let le =
+                if b > 0 { old[a * s + b - 1] } else { boundary_value(m, i, j, Side::Left, a, s) };
+            let ri = if b + 1 < s {
+                old[a * s + b + 1]
+            } else {
+                boundary_value(m, i, j, Side::Right, a, s)
+            };
             let v = 0.25 * (up + dn + le + ri);
             m.work(5);
             m.set_slab(i, j, s, a, b, v);
@@ -401,8 +411,13 @@ pub fn run_adaptive_full(
 
     let (_, report) = machine.run(|ctx: &mut NodeCtx| {
         let rows = aggs.depth.my_rows(ctx.me());
-        let interior =
-            |i: usize| -> std::ops::Range<usize> { if i == 0 || i == n - 1 { 0..0 } else { 1..n - 1 } };
+        let interior = |i: usize| -> std::ops::Range<usize> {
+            if i == 0 || i == n - 1 {
+                0..0
+            } else {
+                1..n - 1
+            }
+        };
         for iter in 0..iters {
             if let Some(k) = cfg.flush_every {
                 if iter > 0 && iter % k == 0 {
@@ -524,7 +539,8 @@ mod tests {
         let cfg = small();
         let mut m = SeqMesh::new(&cfg);
         let (i, j) = (5, 5);
-        let expect = 0.25 * (m.root(i - 1, j) + m.root(i + 1, j) + m.root(i, j - 1) + m.root(i, j + 1));
+        let expect =
+            0.25 * (m.root(i - 1, j) + m.root(i + 1, j) + m.root(i, j - 1) + m.root(i, j + 1));
         update_cell(&mut m, i, j);
         assert_eq!(m.root(i, j), expect);
     }

@@ -99,11 +99,7 @@ pub fn region_of(p: &[f64; 3]) -> usize {
 #[inline]
 fn region_corner(r: usize) -> [f64; 3] {
     let g = GRID as f64;
-    [
-        (r % GRID) as f64 / g,
-        ((r / GRID) % GRID) as f64 / g,
-        (r / (GRID * GRID)) as f64 / g,
-    ]
+    [(r % GRID) as f64 / g, ((r / GRID) % GRID) as f64 / g, (r / (GRID * GRID)) as f64 / g]
 }
 
 const SOFTENING2: f64 = 1e-6;
@@ -373,9 +369,8 @@ fn setup(machine: &Machine, cfg: &BarnesConfig) -> BarnesShared {
     // cells per node is ample for random data (a body insertion allocates
     // at most MAX_DEPTH cells, amortized ~1).
     let arena_cells = (4 * n / nodes + 64) as u64;
-    let arena_base = (0..nodes)
-        .map(|p| machine.alloc_on(p as u16, arena_cells * CELL_BYTES, 8))
-        .collect();
+    let arena_base =
+        (0..nodes).map(|p| machine.alloc_on(p as u16, arena_cells * CELL_BYTES, 8)).collect();
     BarnesShared {
         px: Agg1D::new(machine, n, Dist1D::Block),
         py: Agg1D::new(machine, n, Dist1D::Block),
@@ -507,10 +502,8 @@ fn barnes_driver(
             }
             pred.install_manual(PHASE_BUILD, entries.clone());
             // ...and return exclusive ownership before the advance phase.
-            let writeback: Vec<_> = entries
-                .iter()
-                .map(|(b, _)| (*b, ManualEntry::Writer(p as u16)))
-                .collect();
+            let writeback: Vec<_> =
+                entries.iter().map(|(b, _)| (*b, ManualEntry::Writer(p as u16))).collect();
             pred.install_manual(PHASE_ADVANCE, writeback);
         }
     }
@@ -785,10 +778,8 @@ mod tests {
         let cfg = BarnesConfig { n: 256, steps: 1, ..Default::default() };
         let (pos, mass) = initial_bodies(&cfg);
         let t = seq_build(&pos, &mass);
-        let total: f64 = (0..REGIONS)
-            .filter_map(|r| t.roots[r])
-            .map(|root| t.cells[root].mass)
-            .sum();
+        let total: f64 =
+            (0..REGIONS).filter_map(|r| t.roots[r]).map(|root| t.cells[root].mass).sum();
         let expect: f64 = mass.iter().sum();
         assert!((total - expect).abs() < 1e-12, "{total} vs {expect}");
     }

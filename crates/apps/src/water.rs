@@ -139,7 +139,8 @@ pub fn seq_water(cfg: &WaterConfig) -> Vec<[f64; 3]> {
                 let r2 = dx * dx + dy * dy + dz * dz;
                 if r2 < rc2 && r2 > 1e-12 {
                     let f = lj_force_over_r(r2);
-                    let (fx, fy, fz) = (clamp_force(f * dx), clamp_force(f * dy), clamp_force(f * dz));
+                    let (fx, fy, fz) =
+                        (clamp_force(f * dx), clamp_force(f * dy), clamp_force(f * dz));
                     force[i][0] += fx;
                     force[i][1] += fy;
                     force[i][2] += fz;
@@ -188,7 +189,10 @@ pub fn water_final_positions(mcfg: MachineConfig, cfg: &WaterConfig) -> Vec<[f64
 
 /// The shared driver: set up, run the measured main loop, gather
 /// positions.
-fn water_driver(mcfg: MachineConfig, cfg: &WaterConfig) -> (Vec<[f64; 3]>, prescient_runtime::RunReport) {
+fn water_driver(
+    mcfg: MachineConfig,
+    cfg: &WaterConfig,
+) -> (Vec<[f64; 3]>, prescient_runtime::RunReport) {
     let n = cfg.n;
     let l = cfg.box_len();
     let rc2 = cfg.cutoff() * cfg.cutoff();

@@ -19,7 +19,10 @@ fn main() {
         AdaptiveConfig { n: 24, iters: 12, tau: 0.5, max_depth: 3, flush_every: None }
     };
 
-    println!("== Ablation: incremental schedules vs flush-and-rebuild ({} nodes) ==\n", scale.nodes);
+    println!(
+        "== Ablation: incremental schedules vs flush-and-rebuild ({} nodes) ==\n",
+        scale.nodes
+    );
     println!(
         "{:<16} {:>10} {:>12} {:>12} {:>12} {:>12}",
         "policy", "misses", "presendblk", "unused", "records", "total(ms)"

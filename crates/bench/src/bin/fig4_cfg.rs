@@ -14,10 +14,7 @@ fn barnes_cfg() -> prescient_cstar::cfg::Cfg {
     b.begin_loop("step");
     // load_tree: insert bodies into the shared oct-tree (unstructured
     // reads+writes of tree cells; home reads of positions).
-    b.call(
-        "load_tree",
-        &[("tree", false, false, true, true), ("pos", true, false, false, false)],
-    );
+    b.call("load_tree", &[("tree", false, false, true, true), ("pos", true, false, false, false)]);
     // center_of_mass: upward pass over own subtrees — home accesses only,
     // in a per-level loop.
     b.begin_loop("level");

@@ -17,7 +17,10 @@ fn main() {
     let sizes = [32usize, 64, 128, 256, 512, 1024];
 
     println!("== Block-size sweep ({} nodes) ==", scale.nodes);
-    println!("{:<10} {:>6}  {:>14} {:>14} {:>9}", "app", "block", "unopt(ms)", "opt(ms)", "opt/unopt");
+    println!(
+        "{:<10} {:>6}  {:>14} {:>14} {:>9}",
+        "app", "block", "unopt(ms)", "opt(ms)", "opt/unopt"
+    );
 
     let wcfg = if scale.paper {
         WaterConfig::default()

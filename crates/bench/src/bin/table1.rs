@@ -15,24 +15,39 @@ fn main() {
             "Adaptive",
             "Structured adaptive mesh",
             "128x128 mesh, 100 iterations",
-            if scale.paper { "128x128 mesh, 100 iterations".to_string() } else { "32x32 mesh, 10 iterations".to_string() },
+            if scale.paper {
+                "128x128 mesh, 100 iterations".to_string()
+            } else {
+                "32x32 mesh, 10 iterations".to_string()
+            },
         ),
         (
             "Barnes",
             "Gravitational N-body simulation",
             "16384 bodies, 3 iterations",
-            if scale.paper { "16384 bodies, 3 iterations".to_string() } else { "1024 bodies, 2 iterations".to_string() },
+            if scale.paper {
+                "16384 bodies, 3 iterations".to_string()
+            } else {
+                "1024 bodies, 2 iterations".to_string()
+            },
         ),
         (
             "Water",
             "Molecular dynamics",
             "512 molecules, 20 iterations",
-            if scale.paper { "512 molecules, 20 iterations".to_string() } else { "128 molecules, 6 iterations".to_string() },
+            if scale.paper {
+                "512 molecules, 20 iterations".to_string()
+            } else {
+                "128 molecules, 6 iterations".to_string()
+            },
         ),
     ];
     for (p, d, ds, run) in rows {
         println!("{p:<10} {d:<36} {ds:<30} {run:<30}");
     }
-    println!("\nMachine: {} emulated nodes (paper: 32-processor CM-5 under Blizzard).", scale.nodes);
+    println!(
+        "\nMachine: {} emulated nodes (paper: 32-processor CM-5 under Blizzard).",
+        scale.nodes
+    );
     println!("Pass --paper for the full Table 1 data sets.");
 }

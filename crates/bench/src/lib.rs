@@ -37,10 +37,7 @@ impl Scale {
         let paper = args.iter().any(|a| a == "--paper");
         let mut nodes = if paper { 32 } else { 8 };
         if let Some(i) = args.iter().position(|a| a == "--nodes") {
-            nodes = args
-                .get(i + 1)
-                .and_then(|v| v.parse().ok())
-                .expect("--nodes needs a number");
+            nodes = args.get(i + 1).and_then(|v| v.parse().ok()).expect("--nodes needs a number");
         }
         Scale { paper, nodes }
     }
@@ -60,12 +57,7 @@ pub fn render_figure(title: &str, bars: &[Bar]) -> String {
     use std::fmt::Write;
     let mut s = String::new();
     writeln!(s, "== {title} ==").unwrap();
-    let best = bars
-        .iter()
-        .map(|b| b.report.exec_time_ns())
-        .min()
-        .unwrap_or(1)
-        .max(1);
+    let best = bars.iter().map(|b| b.report.exec_time_ns()).min().unwrap_or(1).max(1);
     writeln!(
         s,
         "{:<34} {:>9} {:>11} {:>9} {:>9} {:>9}  {}",
@@ -98,8 +90,12 @@ pub fn render_figure(title: &str, bars: &[Bar]) -> String {
         )
         .unwrap();
     }
-    writeln!(s, "\n{:<34} {:>10} {:>10} {:>10} {:>10} {:>10}", "counters", "misses", "slow", "presend", "msgs", "local%")
-        .unwrap();
+    writeln!(
+        s,
+        "\n{:<34} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "counters", "misses", "slow", "presend", "msgs", "local%"
+    )
+    .unwrap();
     for b in bars {
         let t = b.report.total_stats();
         writeln!(

@@ -6,15 +6,21 @@
 
 /// Home → target: bulk pre-send of read-only copies. `blocks` carries the
 /// coalesced `(block, data)` run; the receiver installs all of them with a
-/// `ReadOnly` tag and acknowledges.
+/// `ReadOnly` tag and acknowledges. `a` = push id (unique per sender,
+/// echoed in the ack; duplicates are re-acked without re-installing),
+/// `b` = the sender's pre-send epoch (stale-epoch pushes are dropped).
 pub const PRESEND_RO: u16 = 0x50;
 
 /// Home → target: bulk pre-send of writable copies (`ReadWrite` tags).
+/// Same `a`/`b` discipline as [`PRESEND_RO`].
 pub const PRESEND_RW: u16 = 0x51;
 
-/// Target → home: pre-send installed; `a` = number of blocks.
+/// Target → home: pre-send installed. `a` = push id being acknowledged,
+/// `b` = how many of the installed blocks overwrote a previously pre-sent
+/// copy that was never read (useless pre-sends, fed to schedule health).
 pub const PRESEND_ACK: u16 = 0x52;
 
 /// Wake-up code delivered to the home's compute thread per acknowledged
-/// pre-send message (`a` = number of blocks).
+/// pre-send message (`a` = push id, `b` = useless count; see
+/// [`PRESEND_ACK`]).
 pub const WAKE_PRESEND_ACK: u16 = 0x53;

@@ -43,6 +43,6 @@ pub mod predictive;
 pub mod presend;
 pub mod schedule;
 
-pub use predictive::{Predictive, PredictiveConfig};
+pub use predictive::{DegradeConfig, PhaseHealth, Predictive, PredictiveConfig};
 pub use presend::PresendReport;
 pub use schedule::{Action, PhaseId, PhaseSchedule, ScheduleEntry, ScheduleStore};

@@ -1,5 +1,6 @@
-//! The per-node predictive-protocol extension: schedule recording and the
-//! receiver side of pre-sends.
+//! The per-node predictive-protocol extension: schedule recording, the
+//! receiver side of pre-sends, and the schedule-health / degradation
+//! machinery.
 //!
 //! One [`Predictive`] instance exists per node. It plugs into the Stache
 //! engine through [`prescient_stache::hooks::Hooks`]: the engine offers it
@@ -7,6 +8,44 @@
 //! the pre-send user messages to it (§3.4). The sending side of the
 //! pre-send phase runs on the *compute* thread and lives in
 //! [`crate::presend`].
+//!
+//! # Pre-send idempotency under a faulty fabric
+//!
+//! Pre-send pushes travel over the same fabric as everything else, so they
+//! can be delayed, duplicated or dropped. Two mechanisms make the exchange
+//! idempotent:
+//!
+//! * **Push ids** (`UserMsg.a`): every push carries a node-locally unique
+//!   id; the receiver remembers which `(sender, id)` pairs it has installed
+//!   this window and answers repeats with a fresh ack *without*
+//!   re-installing — so a duplicated push cannot double-count the
+//!   "overwrote an unread copy" signal, and a lost ack is repaired by the
+//!   driver retransmitting the push. The driver in turn keys its
+//!   outstanding set by id, so duplicated acks are ignored.
+//! * **Epoch stamps** (`UserMsg.b`): each node keeps a pre-send epoch
+//!   counter, advanced once per pre-send window *after* the stability
+//!   barrier (every node has completed the same number of windows at every
+//!   barrier, so all nodes agree on the epoch). A push stamped with an old
+//!   epoch is a straggler duplicate from a previous window whose original
+//!   was already acknowledged — it is dropped without an ack (counted as
+//!   `presend_stale_in`). It cannot be a *first* delivery: the driver does
+//!   not pass its window's ack wait until every push is acked.
+//!
+//! # Graceful degradation
+//!
+//! Each phase's schedule is a *prediction*; when the application's access
+//! pattern shifts, the schedule pushes data nobody wants. Every pre-sent
+//! copy that is recalled/invalidated before being read, or overwritten by
+//! the next window's push while still unread, counts as a **useless
+//! pre-send** against the phase that pushed it. When the useless ratio
+//! exceeds [`DegradeConfig::useless_threshold_pct`] for
+//! [`DegradeConfig::consecutive`] consecutive instances, the phase
+//! *degrades*: its schedule is flushed and the phase runs as plain Stache
+//! for [`DegradeConfig::backoff_instances`] instances, after which
+//! recording re-arms and the schedule is rebuilt from live traffic.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 use prescient_stache::hooks::Hooks;
@@ -17,6 +56,30 @@ use prescient_tempest::{BlockId, NodeId, NodeSet, NodeStats};
 
 use crate::codes;
 use crate::schedule::{PhaseId, ScheduleStore};
+
+/// Degradation policy for the predictive protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradeConfig {
+    /// Master switch. Off = never degrade (the paper's behavior).
+    pub enabled: bool,
+    /// An instance is *bad* when `useless * 100 >= threshold * pushed`.
+    pub useless_threshold_pct: u32,
+    /// Number of consecutive bad instances before the phase degrades.
+    pub consecutive: u32,
+    /// Instances the phase spends as plain Stache before recording re-arms.
+    pub backoff_instances: u64,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig {
+            enabled: true,
+            useless_threshold_pct: 50,
+            consecutive: 3,
+            backoff_instances: 4,
+        }
+    }
+}
 
 /// Tuning knobs for the predictive protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,11 +93,43 @@ pub struct PredictiveConfig {
     /// skipping them — the optional policy §3.4 sketches. Off by default,
     /// matching the paper's implementation.
     pub anticipate_conflicts: bool,
+    /// Schedule-health / degradation policy.
+    pub degrade: DegradeConfig,
 }
 
 impl Default for PredictiveConfig {
     fn default() -> Self {
-        PredictiveConfig { coalesce: true, max_bulk_blocks: 256, anticipate_conflicts: false }
+        PredictiveConfig {
+            coalesce: true,
+            max_bulk_blocks: 256,
+            anticipate_conflicts: false,
+            degrade: DegradeConfig::default(),
+        }
+    }
+}
+
+/// Schedule health for one phase at this node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseHealth {
+    /// Pre-send windows this node has started for the phase (including
+    /// skipped ones while degraded).
+    pub instances: u64,
+    /// Block copies pushed by the most recent non-skipped window.
+    pub last_pushed: u64,
+    /// Useless pre-sends charged to the phase since the last window.
+    pub useless: u64,
+    /// Consecutive instances whose useless ratio exceeded the threshold.
+    pub consecutive_bad: u32,
+    /// The phase runs as plain Stache until `instances` reaches this.
+    pub degraded_until: u64,
+    /// Times this phase has degraded.
+    pub degrade_events: u64,
+}
+
+impl PhaseHealth {
+    /// Whether the phase is currently degraded.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded_until > self.instances
     }
 }
 
@@ -43,6 +138,17 @@ pub(crate) struct PredState {
     pub recording: Option<PhaseId>,
     /// This home node's slice of every phase's schedule.
     pub store: ScheduleStore,
+    /// Per-phase schedule health (driven by `crate::presend`).
+    pub health: HashMap<PhaseId, PhaseHealth>,
+    /// Which phase pushed each block last, for charging teardown waste.
+    pub pushed_by: HashMap<BlockId, PhaseId>,
+    /// Next pre-send push id (node-local; uniqueness per sender is enough).
+    pub next_push_id: u64,
+    /// `(sender, push id)` pairs already installed in the current pre-send
+    /// window; repeats are re-acked without re-installing. The stored value
+    /// is the useless count the original ack reported, echoed on re-acks so
+    /// a lost ack does not lose the signal. Cleared on every epoch bump.
+    pub done_pushes: HashMap<(NodeId, u64), u64>,
 }
 
 /// Per-node predictive-protocol state: one per node, shared between that
@@ -51,6 +157,10 @@ pub(crate) struct PredState {
 pub struct Predictive {
     pub(crate) cfg: PredictiveConfig,
     pub(crate) state: Mutex<PredState>,
+    /// Pre-send window epoch; see the module docs. Advanced only by the
+    /// compute thread (after the stability barrier), read by the protocol
+    /// thread when validating incoming pushes.
+    epoch: AtomicU64,
 }
 
 impl Predictive {
@@ -58,13 +168,35 @@ impl Predictive {
     pub fn new(cfg: PredictiveConfig) -> Predictive {
         Predictive {
             cfg,
-            state: Mutex::new(PredState { recording: None, store: ScheduleStore::default() }),
+            state: Mutex::new(PredState {
+                recording: None,
+                store: ScheduleStore::default(),
+                health: HashMap::new(),
+                pushed_by: HashMap::new(),
+                next_push_id: 1,
+                done_pushes: HashMap::new(),
+            }),
+            epoch: AtomicU64::new(1),
         }
     }
 
     /// The configuration this instance was built with.
     pub fn config(&self) -> PredictiveConfig {
         self.cfg
+    }
+
+    /// The current pre-send epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Advance the pre-send epoch. The runtime calls this once per pre-send
+    /// window, *after* the stability barrier — at that point every push of
+    /// the closing window has been acknowledged, so anything still carrying
+    /// the old epoch is a duplicate.
+    pub fn bump_epoch(&self) {
+        self.state.lock().done_pushes.clear();
+        self.epoch.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Directive: start recording `phase` and advance its instance
@@ -102,6 +234,21 @@ impl Predictive {
     pub fn conflicts(&self, phase: PhaseId) -> usize {
         self.state.lock().store.phase(phase).map_or(0, |p| p.conflicts())
     }
+
+    /// This node's schedule health for `phase`.
+    pub fn health(&self, phase: PhaseId) -> PhaseHealth {
+        self.state.lock().health.get(&phase).copied().unwrap_or_default()
+    }
+
+    /// Whether `phase` is currently degraded at this node.
+    pub fn is_degraded(&self, phase: PhaseId) -> bool {
+        self.state.lock().health.get(&phase).is_some_and(PhaseHealth::is_degraded)
+    }
+
+    /// Times `phase` has degraded at this node.
+    pub fn degrade_events(&self, phase: PhaseId) -> u64 {
+        self.state.lock().health.get(&phase).map_or(0, |h| h.degrade_events)
+    }
 }
 
 impl Hooks for Predictive {
@@ -114,6 +261,11 @@ impl Hooks for Predictive {
     ) -> bool {
         let mut st = self.state.lock();
         let Some(phase) = st.recording else { return false };
+        // A degraded phase runs as plain Stache: no recording until the
+        // backoff expires and the schedule can be rebuilt from scratch.
+        if st.health.get(&phase).is_some_and(PhaseHealth::is_degraded) {
+            return false;
+        }
         let sched = st.store.phase_mut(phase);
         if excl {
             sched.record_write(block, requester);
@@ -127,23 +279,61 @@ impl Hooks for Predictive {
     fn on_user(&self, node: &NodeShared, src: NodeId, msg: UserMsg) {
         match msg.code {
             codes::PRESEND_RO | codes::PRESEND_RW => {
-                let tag = if msg.code == codes::PRESEND_RW { Tag::ReadWrite } else { Tag::ReadOnly };
+                if msg.b != self.epoch() {
+                    // Straggler duplicate from an already-completed window
+                    // (see the module docs for why it cannot be a first
+                    // delivery). No ack: nobody is waiting for one.
+                    NodeStats::bump(&node.stats.presend_stale_in);
+                    return;
+                }
+                let push_id = msg.a;
+                if let Some(&useless) = self.state.lock().done_pushes.get(&(src, push_id)) {
+                    // Duplicate within the window (fabric dup, or the
+                    // driver retransmitting because our ack was lost).
+                    // Re-ack with the original useless count; do not
+                    // re-install.
+                    NodeStats::bump(&node.stats.presend_stale_in);
+                    let mut ack = UserMsg::simple(codes::PRESEND_ACK, push_id);
+                    ack.b = useless;
+                    node.send(src, Msg::User(ack));
+                    return;
+                }
+                let tag =
+                    if msg.code == codes::PRESEND_RW { Tag::ReadWrite } else { Tag::ReadOnly };
                 let count = msg.blocks.len() as u64;
+                let mut useless = 0u64;
                 {
                     let mut mem = node.mem.lock();
                     for (block, data) in &msg.blocks {
-                        mem.install(*block, data, tag, true);
+                        if mem.install(*block, data, tag, true) {
+                            // Overwrote a copy pushed earlier that was
+                            // never read: a useless pre-send, reported
+                            // back to the pushing home via the ack.
+                            useless += 1;
+                        }
                     }
                 }
+                self.state.lock().done_pushes.insert((src, push_id), useless);
                 NodeStats::add(&node.stats.presend_blocks_in, count);
-                node.send(src, Msg::User(UserMsg::simple(codes::PRESEND_ACK, count)));
+                let mut ack = UserMsg::simple(codes::PRESEND_ACK, push_id);
+                ack.b = useless;
+                node.send(src, Msg::User(ack));
             }
             codes::PRESEND_ACK => {
                 // Forward to the pre-send driver blocked on the compute
-                // thread.
-                node.wake(Wake::User { code: codes::WAKE_PRESEND_ACK, a: msg.a });
+                // thread: `a` echoes the push id, `b` reports how many of
+                // the blocks the previous window pushed were still unread.
+                node.wake(Wake::User { code: codes::WAKE_PRESEND_ACK, a: msg.a, b: msg.b });
             }
             other => panic!("node {}: unknown user-message code {other:#x}", node.me),
+        }
+    }
+
+    fn on_presend_wasted(&self, node: &NodeShared, block: BlockId) {
+        NodeStats::bump(&node.stats.presend_useless);
+        let mut st = self.state.lock();
+        if let Some(&phase) = st.pushed_by.get(&block) {
+            st.health.entry(phase).or_default().useless += 1;
         }
     }
 }

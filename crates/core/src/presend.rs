@@ -18,18 +18,31 @@
 //! acknowledgements, and the runtime then executes the global barrier that
 //! leaves every block state stable before compute resumes (§3.4).
 //!
+//! Under a faulty fabric the ack wait doubles as the retransmission layer:
+//! each push carries a unique id and the current pre-send epoch, and any id
+//! still unacknowledged when the wait times out is re-sent verbatim (the
+//! receiver de-duplicates by id — see [`crate::predictive`]'s module docs).
+//!
+//! The driver also maintains the phase's **schedule health**: before doing
+//! any work it scores the previous instance (useless pre-sends vs blocks
+//! pushed) and, if the schedule has been mostly wrong for several
+//! consecutive instances, degrades the phase to plain Stache for a backoff
+//! period (see [`crate::predictive::DegradeConfig`]).
+//!
 //! The driver runs on the node's *compute* thread — it may block (its
 //! tear-downs reuse the ordinary blocking fetch path), while all handler
 //! work stays non-blocking.
 
-use crossbeam::channel::Receiver;
+use std::collections::HashMap;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError};
 use prescient_stache::engine::fetch;
 use prescient_stache::msg::{Msg, UserMsg, Wake};
 use prescient_stache::node::NodeShared;
 
 use prescient_stache::dir::DirState;
 use prescient_tempest::tag::Tag;
-use prescient_tempest::{NodeSet, NodeStats};
+use prescient_tempest::{NodeId, NodeSet, NodeStats};
 
 use crate::codes;
 use crate::predictive::{Predictive, Push};
@@ -48,9 +61,44 @@ pub struct PresendReport {
     pub ensure_fetches: u64,
     /// Conflict entries skipped.
     pub skipped_conflicts: u64,
+    /// The phase was degraded and the window skipped entirely.
+    pub degraded: bool,
+    /// Push retransmissions needed to get every push acknowledged.
+    pub retransmits: u64,
     /// Virtual time spent (billed to the figures' "Predictive protocol"
     /// bar segment).
     pub vtime_ns: u64,
+}
+
+/// Score the previous instance and decide whether this window runs.
+/// Returns `true` if the phase is degraded (the caller must skip).
+fn health_gate(pred: &Predictive, n: &NodeShared, phase: PhaseId) -> bool {
+    let dc = pred.cfg.degrade;
+    let mut guard = pred.state.lock();
+    let st = &mut *guard;
+    let h = st.health.entry(phase).or_default();
+    h.instances += 1;
+    if dc.enabled && h.last_pushed > 0 {
+        let bad = h.useless * 100 >= u64::from(dc.useless_threshold_pct) * h.last_pushed;
+        if bad {
+            h.consecutive_bad += 1;
+        } else {
+            h.consecutive_bad = 0;
+        }
+    }
+    // The window's accounting starts fresh either way.
+    h.useless = 0;
+    h.last_pushed = 0;
+    if dc.enabled && !h.is_degraded() && h.consecutive_bad >= dc.consecutive {
+        h.consecutive_bad = 0;
+        h.degraded_until = h.instances + dc.backoff_instances;
+        h.degrade_events += 1;
+        NodeStats::bump(&n.stats.degrade_events);
+        st.store.flush(phase);
+        st.pushed_by.retain(|_, p| *p != phase);
+        return true;
+    }
+    h.is_degraded()
 }
 
 /// Execute the pre-send for `phase` on this node. Returns after all
@@ -64,6 +112,11 @@ pub fn presend(
 ) -> PresendReport {
     let me = n.me;
     let mut report = PresendReport::default();
+
+    if health_gate(pred, n, phase) {
+        report.degraded = true;
+        return report;
+    }
 
     // Snapshot this node's schedule slice in block order.
     let entries = {
@@ -124,9 +177,13 @@ pub fn presend(
         }
     }
 
-    // Pass 2: group into bulk messages and push.
+    // Pass 2: group into bulk messages and push. Every message carries a
+    // unique push id (`a`) and the current epoch (`b`) so the exchange
+    // survives duplication and loss; unacked messages are kept verbatim
+    // for retransmission.
+    let epoch = pred.epoch();
     let groups = group_pushes(&pushes, pred.cfg.coalesce, pred.cfg.max_bulk_blocks);
-    let mut outstanding = 0u64;
+    let mut outstanding: HashMap<u64, (NodeId, UserMsg)> = HashMap::new();
     for group in &groups {
         let first = group[0];
         let payload: Vec<_> = {
@@ -135,7 +192,7 @@ pub fn presend(
             group
                 .iter()
                 .map(|p| {
-                    let e = dir.entry(p.block).or_default();
+                    let e = dir.entry(p.block);
                     debug_assert!(!e.is_busy(), "pre-send raced a busy entry");
                     if p.excl {
                         let w = p.targets.iter().next().expect("excl push without target");
@@ -156,18 +213,23 @@ pub fn presend(
         let payload_bytes: u64 = payload.iter().map(|(_, d)| d.len() as u64).sum();
         let code = if first.excl { codes::PRESEND_RW } else { codes::PRESEND_RO };
         for t in first.targets.iter() {
-            n.send(
-                t,
-                Msg::User(UserMsg {
-                    code,
-                    a: payload.len() as u64,
-                    block: first.block,
-                    set: first.targets,
-                    node: me,
-                    blocks: payload.clone(),
-                }),
-            );
-            outstanding += 1;
+            let id = {
+                let mut st = pred.state.lock();
+                let id = st.next_push_id;
+                st.next_push_id += 1;
+                id
+            };
+            let m = UserMsg {
+                code,
+                a: id,
+                b: epoch,
+                block: first.block,
+                set: first.targets,
+                node: me,
+                blocks: payload.clone(),
+            };
+            n.send(t, Msg::User(m.clone()));
+            outstanding.insert(id, (t, m));
             report.msgs += 1;
             report.blocks_pushed += payload.len() as u64;
             report.bytes += payload_bytes;
@@ -179,28 +241,72 @@ pub fn presend(
     NodeStats::add(&n.stats.presend_bytes_out, report.bytes);
 
     // Pass 3: wait for every bulk message to be acknowledged so that all
-    // states are stable at the coming barrier.
-    let mut acked = 0u64;
+    // states are stable at the coming barrier, retransmitting unacked
+    // pushes on timeout. `useless` accumulates the receivers' reports of
+    // previously-pushed copies that were overwritten while still unread.
+    let mut useless = 0u64;
     stash.retain(|w| match w {
-        Wake::User { code: codes::WAKE_PRESEND_ACK, .. } => {
-            acked += 1;
+        Wake::User { code: codes::WAKE_PRESEND_ACK, a, b } => {
+            if outstanding.remove(a).is_some() {
+                useless += b;
+            }
             false
         }
         _ => true,
     });
-    while acked < outstanding {
-        match wake_rx.recv().expect("protocol thread terminated during pre-send") {
-            Wake::User { code: codes::WAKE_PRESEND_ACK, .. } => acked += 1,
-            other => panic!("unexpected wake during pre-send ack wait: {other:?}"),
+    let mut rounds = 0u32;
+    while !outstanding.is_empty() {
+        match wake_rx.recv_timeout(n.retry.timeout) {
+            Ok(Wake::User { code: codes::WAKE_PRESEND_ACK, a, b }) => {
+                // `remove` de-duplicates: an ack for an id that has already
+                // been acked (its push was duplicated in flight) is inert.
+                if outstanding.remove(&a).is_some() {
+                    useless += b;
+                }
+            }
+            // A stale grant wake can slip in if a duplicated grant for an
+            // earlier fetch raced its teardown; it carries nothing we need.
+            Ok(Wake::Grant { .. }) => {}
+            Ok(other) => panic!("unexpected wake during pre-send ack wait: {other:?}"),
+            Err(RecvTimeoutError::Timeout) => {
+                rounds += 1;
+                assert!(
+                    rounds <= n.retry.max_retries,
+                    "node {me}: {} pre-send pushes unacked after {rounds} rounds (machine wedged)",
+                    outstanding.len()
+                );
+                for (t, m) in outstanding.values() {
+                    n.send(*t, Msg::User(m.clone()));
+                    report.retransmits += 1;
+                }
+                NodeStats::add(&n.stats.presend_retries, outstanding.len() as u64);
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                panic!("protocol thread terminated during pre-send")
+            }
         }
     }
+
+    // Feed the schedule-health accounting: what this window pushed, what
+    // the receivers said about the previous window's pushes, and which
+    // phase to charge when one of this window's copies is torn down unread.
+    {
+        let mut st = pred.state.lock();
+        for p in &pushes {
+            st.pushed_by.insert(p.block, phase);
+        }
+        let h = st.health.entry(phase).or_default();
+        h.last_pushed = report.blocks_pushed;
+        h.useless += useless;
+    }
+    NodeStats::add(&n.stats.presend_useless, useless);
 
     report.vtime_ns += n.cost.bulk_ns(report.msgs, report.blocks_pushed, report.bytes);
     report
 }
 
 fn dir_state(n: &NodeShared, block: prescient_tempest::BlockId) -> DirState {
-    n.dir.lock().get(&block).map_or(DirState::Uncached, |e| {
+    n.dir.lock().get(block).map_or(DirState::Uncached, |e| {
         debug_assert!(!e.is_busy(), "pre-send observed a busy entry");
         e.state
     })
@@ -242,7 +348,8 @@ mod tests {
     #[test]
     fn coalesces_neighbor_runs() {
         let t = NodeSet::single(3);
-        let pushes = vec![push(10, t, false), push(11, t, false), push(12, t, false), push(20, t, false)];
+        let pushes =
+            vec![push(10, t, false), push(11, t, false), push(12, t, false), push(20, t, false)];
         let groups = group_pushes(&pushes, true, 256);
         assert_eq!(groups.len(), 2);
         assert_eq!(groups[0].len(), 3);

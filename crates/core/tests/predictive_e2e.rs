@@ -14,7 +14,7 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{unbounded, Receiver};
 use prescient_core::manual::ManualEntry;
 use prescient_core::presend::presend;
-use prescient_core::{Predictive, PredictiveConfig};
+use prescient_core::{DegradeConfig, Predictive, PredictiveConfig};
 use prescient_stache::{fetch, spawn_protocol, Msg, NodeShared, Wake};
 use prescient_tempest::fabric::Fabric;
 use prescient_tempest::{CostModel, NodeId, NodeSet};
@@ -60,13 +60,14 @@ impl TestNode {
         }
     }
 
-    /// The runtime's `phase_begin` directive: pre-send, stability barrier,
-    /// arm recording.
+    /// The runtime's `phase_begin` directive: pre-send, arm recording,
+    /// stability barrier (arming precedes the barrier so every home is
+    /// recording before any node can fault on this instance).
     fn phase_begin(&mut self, phase: u32) {
         self.barrier.wait(0);
         presend(&self.pred, &self.shared, &self.wake_rx, &mut self.stash, phase);
-        self.barrier.wait(0);
         self.pred.arm(phase);
+        self.barrier.wait(0);
     }
 
     /// The runtime's `phase_end` directive: barrier (all in-phase
@@ -482,5 +483,92 @@ fn deletions_are_not_tracked() {
     );
     let unused = m.nodes[2].shared.mem.lock().unused_presends();
     assert_eq!(unused, 1, "the last pre-sent copy was never read");
+    m.shutdown();
+}
+
+/// Graceful degradation: a reader recorded once but never returning makes
+/// every later pre-send useless. After `consecutive` bad instances the
+/// home flushes the phase's schedule and stops recording for
+/// `backoff_instances` (bounding the waste the test above diagnoses);
+/// when the backoff lapses, a returning reader is re-recorded and served
+/// by pre-sends again.
+#[test]
+fn useless_presends_trigger_degradation_then_rearm() {
+    let m = machine(3, 32); // degradation on by default: 50% / 3 bad / backoff 4
+    let addr = m.nodes[0].shared.mem.lock().alloc(8, 8);
+
+    let log: Arc<parking_lot::Mutex<Vec<(u64, u32)>>> = Arc::new(parking_lot::Mutex::new(vec![]));
+    let l2 = Arc::clone(&log);
+
+    let m = m.spmd(move |me, tn| {
+        for iter in 0..13u64 {
+            tn.phase_begin(W);
+            if me == 1 {
+                tn.write_u64(addr, iter);
+            }
+            tn.phase_end();
+            tn.phase_begin(R);
+            if me == 2 && (iter == 0 || iter >= 10) {
+                let (v, f) = tn.read_u64(addr);
+                assert_eq!(v, iter);
+                l2.lock().push((iter, f));
+            }
+            tn.phase_end();
+        }
+    });
+
+    // Exactly one degradation event at the home, resolved by the end; the
+    // healthy producer phase is untouched.
+    assert_eq!(m.nodes[0].pred.degrade_events(R), 1, "R must degrade once");
+    assert!(!m.nodes[0].pred.is_degraded(R), "backoff must have lapsed");
+    assert_eq!(m.nodes[0].pred.degrade_events(W), 0, "W stays healthy");
+
+    let mut entries = log.lock().clone();
+    entries.sort_unstable();
+    let faults: Vec<u32> = entries.into_iter().map(|(_, f)| f).collect();
+    // iter 0: cold fault, recorded. iter 10: the schedule was flushed by
+    // degradation, so the returning reader faults once and is re-recorded.
+    // iters 11, 12: pre-sent again.
+    assert_eq!(faults, vec![1, 1, 0, 0]);
+
+    // The useless stream was cut: without degradation the reader would be
+    // pushed a copy in each of iters 1..=12.
+    let s2 = m.nodes[2].shared.stats.snapshot();
+    assert!(s2.presend_blocks_in <= 7, "waste must be bounded: {} pushes", s2.presend_blocks_in);
+    let s0 = m.nodes[0].shared.stats.snapshot();
+    assert!(s0.presend_useless >= 3, "home must have observed the useless acks");
+    assert_eq!(s0.degrade_events, 1);
+    m.shutdown();
+}
+
+/// Baseline for the degradation test: with the policy disabled, the
+/// (correct but wasteful) push stream continues for the whole run.
+#[test]
+fn degradation_disabled_keeps_pushing() {
+    let cfg = PredictiveConfig {
+        degrade: DegradeConfig { enabled: false, ..Default::default() },
+        ..Default::default()
+    };
+    let m = machine_cfg(3, 32, cfg);
+    let addr = m.nodes[0].shared.mem.lock().alloc(8, 8);
+
+    let m = m.spmd(move |me, tn| {
+        for iter in 0..11u64 {
+            tn.phase_begin(W);
+            if me == 1 {
+                tn.write_u64(addr, iter);
+            }
+            tn.phase_end();
+            tn.phase_begin(R);
+            if me == 2 && iter == 0 {
+                tn.read_u64(addr);
+            }
+            tn.phase_end();
+        }
+    });
+
+    assert_eq!(m.nodes[0].pred.degrade_events(R), 0);
+    let s2 = m.nodes[2].shared.stats.snapshot();
+    assert!(s2.presend_blocks_in >= 9, "stream never stops: {} pushes", s2.presend_blocks_in);
     m.shutdown();
 }

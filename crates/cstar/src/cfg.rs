@@ -103,9 +103,7 @@ impl Cfg {
 
     /// All call-site node indices in order.
     pub fn call_nodes(&self) -> Vec<usize> {
-        (0..self.nodes.len())
-            .filter(|&i| matches!(self.nodes[i], CfgNode::Call(_)))
-            .collect()
+        (0..self.nodes.len()).filter(|&i| matches!(self.nodes[i], CfgNode::Call(_))).collect()
     }
 
     /// The call site at node `i`, if any.

@@ -170,7 +170,10 @@ mod tests {
     #[test]
     fn loop_kill_does_not_block_the_zero_trip_path() {
         let mut b = CfgBuilder::new(universe(&["tree", "bodies"]));
-        let _build = b.call("build", &[("tree", false, false, true, true), ("bodies", true, false, false, false)]);
+        let _build = b.call(
+            "build",
+            &[("tree", false, false, true, true), ("bodies", true, false, false, false)],
+        );
         b.begin_loop("com");
         let com = b.call("center_of_mass", &[("tree", true, true, false, false)]);
         b.end_loop();

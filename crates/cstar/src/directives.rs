@@ -51,11 +51,7 @@ pub struct PhaseAssignment {
 impl PhaseAssignment {
     /// Calls assigned to `phase`, in program order.
     pub fn calls_of_phase(&self, phase: PhaseId) -> Vec<usize> {
-        self.calls
-            .iter()
-            .filter(|(_, d)| d.phase == Some(phase))
-            .map(|(id, _)| *id)
-            .collect()
+        self.calls.iter().filter(|(_, d)| d.phase == Some(phase)).map(|(id, _)| *id).collect()
     }
 }
 
@@ -539,7 +535,10 @@ mod tests {
         let mut b = CfgBuilder::new(universe(&["tree", "pos", "acc"]));
         b.begin_loop("step");
         // load_tree: insert bodies (unstructured writes into the tree).
-        b.call("load_tree", &[("tree", false, false, true, true), ("pos", true, false, false, false)]);
+        b.call(
+            "load_tree",
+            &[("tree", false, false, true, true), ("pos", true, false, false, false)],
+        );
         // center-of-mass: home-only upward pass, in a loop per level
         // (needs a schedule by rule 1: owner writes of the tree reached by
         // load_tree's unstructured writes).
@@ -549,10 +548,17 @@ mod tests {
         // forces: unstructured tree+position reads, home accel writes.
         b.call(
             "forces",
-            &[("tree", false, false, true, false), ("pos", false, false, true, false), ("acc", false, true, false, false)],
+            &[
+                ("tree", false, false, true, false),
+                ("pos", false, false, true, false),
+                ("acc", false, true, false, false),
+            ],
         );
         // advance: owner-writes positions (reached by forces' reads).
-        b.call("advance", &[("pos", false, true, false, false), ("acc", true, false, false, false)]);
+        b.call(
+            "advance",
+            &[("pos", false, true, false, false), ("acc", true, false, false, false)],
+        );
         b.end_loop();
         let (cfg, plan) = plan_of(b, true);
 

@@ -165,7 +165,12 @@ pub fn materialize(machine: &Machine, prog: &CompiledProgram) -> AggMap {
 /// `init` runs SPMD before `main` (each node initializes the elements it
 /// owns); it may be a no-op. Returns the run report of the `main`
 /// execution only.
-pub fn run_program<F>(machine: &mut Machine, prog: &CompiledProgram, aggs: &AggMap, init: F) -> RunReport
+pub fn run_program<F>(
+    machine: &mut Machine,
+    prog: &CompiledProgram,
+    aggs: &AggMap,
+    init: F,
+) -> RunReport
 where
     F: Fn(&mut NodeCtx, &AggMap) + Sync,
 {
@@ -237,12 +242,8 @@ fn run_parallel_call(
     args: &[String],
 ) {
     // Bind parameter names to aggregate stores.
-    let bind: BTreeMap<&str, &AggStore> = f
-        .params
-        .iter()
-        .zip(args)
-        .map(|(p, a)| (p.as_str(), &aggs[a]))
-        .collect();
+    let bind: BTreeMap<&str, &AggStore> =
+        f.params.iter().zip(args).map(|(p, a)| (p.as_str(), &aggs[a])).collect();
     let par_agg = bind[f.params[0].as_str()];
     for pos in par_agg.owned(ctx.me()) {
         let mut env = Env { bind: &bind, pos: &pos, locals: Vec::new(), ctx };

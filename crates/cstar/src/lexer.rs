@@ -59,8 +59,8 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 const PUNCTS: &[&str] = &[
-    "..", "<=", ">=", "==", "!=", "(", ")", "[", "]", "{", "}", ",", ";", ":", "=", "+", "-",
-    "*", "/", "%", "<", ">",
+    "..", "<=", ">=", "==", "!=", "(", ")", "[", "]", "{", "}", ",", ";", ":", "=", "+", "-", "*",
+    "/", "%", "<", ">",
 ];
 
 /// Tokenize `src`. Comments run from `//` to end of line.
@@ -111,7 +111,9 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
                     || bytes[j] == '.'
                     || bytes[j] == 'e'
                     || bytes[j] == 'E'
-                    || (is_float && (bytes[j] == '+' || bytes[j] == '-') && matches!(bytes[j - 1], 'e' | 'E')))
+                    || (is_float
+                        && (bytes[j] == '+' || bytes[j] == '-')
+                        && matches!(bytes[j - 1], 'e' | 'E')))
             {
                 if bytes[j] == '.' {
                     // `..` is the range operator, not a float dot.
@@ -125,17 +127,18 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
                 j += 1;
             }
             let text: String = bytes[i..j].iter().collect();
-            let tok = if is_float {
-                Tok::Float(text.parse().map_err(|_| ParseError {
-                    msg: format!("bad float literal `{text}`"),
-                    line,
-                })?)
-            } else {
-                Tok::Int(text.parse().map_err(|_| ParseError {
-                    msg: format!("bad int literal `{text}`"),
-                    line,
-                })?)
-            };
+            let tok =
+                if is_float {
+                    Tok::Float(text.parse().map_err(|_| ParseError {
+                        msg: format!("bad float literal `{text}`"),
+                        line,
+                    })?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| ParseError {
+                        msg: format!("bad int literal `{text}`"),
+                        line,
+                    })?)
+                };
             out.push(SpannedTok { tok, line });
             i = j;
             continue;
@@ -223,11 +226,10 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(toks("a // comment\n b"), vec![
-            Tok::Ident("a".into()),
-            Tok::Ident("b".into()),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("a // comment\n b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
     }
 
     #[test]

@@ -429,7 +429,9 @@ mod tests {
         let p = parse(src).unwrap();
         let f = p.func("update").unwrap();
         assert_eq!(f.params.len(), 3);
-        assert!(matches!(&f.body[0], Stmt::Let(k, Expr::AggRead { agg, .. }) if k == "k" && agg == "nbr"));
+        assert!(
+            matches!(&f.body[0], Stmt::Let(k, Expr::AggRead { agg, .. }) if k == "k" && agg == "nbr")
+        );
     }
 
     #[test]

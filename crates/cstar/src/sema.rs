@@ -141,10 +141,7 @@ impl<'a> Analyzer<'a> {
     /// An index vector is a *home* index iff it is exactly
     /// `[#0]` / `[#0][#1]` — the own position, unmodified.
     fn classify(idx: &[Expr]) -> Locality {
-        let home = idx
-            .iter()
-            .enumerate()
-            .all(|(k, e)| matches!(e, Expr::Pos(p) if *p == k));
+        let home = idx.iter().enumerate().all(|(k, e)| matches!(e, Expr::Pos(p) if *p == k));
         if home {
             Locality::Home
         } else {

@@ -40,14 +40,20 @@ fn jacobi_reference(n: usize, iters: usize, init: impl Fn(usize, usize) -> f64) 
     for _ in 0..iters {
         for i in 1..n - 1 {
             for j in 1..n - 1 {
-                h[i * n + j] =
-                    0.25 * (g[(i - 1) * n + j] + g[(i + 1) * n + j] + g[i * n + j - 1] + g[i * n + j + 1]);
+                h[i * n + j] = 0.25
+                    * (g[(i - 1) * n + j]
+                        + g[(i + 1) * n + j]
+                        + g[i * n + j - 1]
+                        + g[i * n + j + 1]);
             }
         }
         for i in 1..n - 1 {
             for j in 1..n - 1 {
-                g[i * n + j] =
-                    0.25 * (h[(i - 1) * n + j] + h[(i + 1) * n + j] + h[i * n + j - 1] + h[i * n + j + 1]);
+                g[i * n + j] = 0.25
+                    * (h[(i - 1) * n + j]
+                        + h[(i + 1) * n + j]
+                        + h[i * n + j - 1]
+                        + h[i * n + j + 1]);
             }
         }
     }

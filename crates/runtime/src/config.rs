@@ -1,7 +1,8 @@
 //! Machine configuration.
 
 use prescient_core::PredictiveConfig;
-use prescient_tempest::CostModel;
+use prescient_stache::RetryConfig;
+use prescient_tempest::{CostModel, FaultPlan};
 
 /// Which coherence protocol the machine runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,6 +39,16 @@ pub struct MachineConfig {
     pub cost: CostModel,
     /// Coherence protocol.
     pub protocol: ProtocolKind,
+    /// Fabric fault injection; `None` (or an inactive plan) is a perfect
+    /// fabric. Chaos tests use [`FaultPlan::chaos`].
+    pub faults: Option<FaultPlan>,
+    /// Compute-side request retry policy (timeouts matter only when the
+    /// fabric can drop or delay messages).
+    pub retry: RetryConfig,
+    /// Run the whole-machine coherence check after every [`run`]
+    /// (`crate::Machine::run`) returns; panics on violations. Cheap for
+    /// test-sized machines, intended for chaos tests.
+    pub validate: bool,
 }
 
 impl MachineConfig {
@@ -48,17 +59,36 @@ impl MachineConfig {
             block_size,
             cost: CostModel::default(),
             protocol: ProtocolKind::Stache,
+            faults: None,
+            retry: RetryConfig::default(),
+            validate: false,
         }
     }
 
     /// An optimized (predictive protocol) machine.
     pub fn predictive(nodes: usize, block_size: usize) -> MachineConfig {
         MachineConfig {
-            nodes,
-            block_size,
-            cost: CostModel::default(),
             protocol: ProtocolKind::predictive(),
+            ..MachineConfig::stache(nodes, block_size)
         }
+    }
+
+    /// Inject faults into the fabric.
+    pub fn with_faults(mut self, plan: FaultPlan) -> MachineConfig {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Override the request retry policy.
+    pub fn with_retry(mut self, retry: RetryConfig) -> MachineConfig {
+        self.retry = retry;
+        self
+    }
+
+    /// Check coherence invariants after every run.
+    pub fn validated(mut self) -> MachineConfig {
+        self.validate = true;
+        self
     }
 }
 
@@ -70,9 +100,18 @@ mod tests {
     fn constructors() {
         let u = MachineConfig::stache(4, 32);
         assert!(!u.protocol.is_predictive());
+        assert!(u.faults.is_none());
+        assert!(!u.validate);
         let o = MachineConfig::predictive(4, 32);
         assert!(o.protocol.is_predictive());
         assert_eq!(o.nodes, 4);
         assert_eq!(o.block_size, 32);
+    }
+
+    #[test]
+    fn builders() {
+        let c = MachineConfig::stache(4, 32).with_faults(FaultPlan::chaos(7)).validated();
+        assert!(c.faults.expect("plan").is_active());
+        assert!(c.validate);
     }
 }

@@ -138,6 +138,9 @@ impl NodeCtx {
         } else {
             self.cost.miss_ns(info.extra_hops, info.bytes, info.recorded)
         };
+        // Re-issued requests (lost or late replies on a faulty fabric) are
+        // billed on top of the ordinary miss cost.
+        self.t.wait_ns += u64::from(info.retries) * self.cost.retry_ns;
     }
 
     /// Charge `flops` units of application arithmetic to the virtual clock.
@@ -182,8 +185,16 @@ impl NodeCtx {
         self.barrier_presend();
         let rep = presend(&pred, &self.shared, &self.wake_rx, &mut self.stash, phase);
         self.t.presend_ns += rep.vtime_ns;
-        self.barrier_presend();
+        // Arm BEFORE the stability barrier: no compute thread can issue a
+        // demand fetch while every node is still inside this directive, and
+        // barrier exit then proves every home is recording — a consumer
+        // that faults right after the barrier always gets recorded.
         pred.arm(phase);
+        self.barrier_presend();
+        // Epoch advance must follow the stability barrier: barrier exit
+        // proves every node's pushes were acknowledged, so any push still
+        // carrying the old epoch is a duplicate and can be rejected.
+        pred.bump_epoch();
     }
 
     /// `phase_end()` — close the current parallel phase. Under plain
@@ -213,6 +224,7 @@ impl NodeCtx {
         let rep = presend(&pred, &self.shared, &self.wake_rx, &mut self.stash, phase);
         self.t.presend_ns += rep.vtime_ns;
         self.barrier_presend();
+        pred.bump_epoch();
     }
 
     /// Flush one phase's schedule on this node (rebuild policy, §3.3).

@@ -8,8 +8,8 @@ use crossbeam::channel::{unbounded, Receiver};
 use parking_lot::Mutex;
 use prescient_core::Predictive;
 use prescient_stache::{spawn_protocol, Msg, NoHooks, NodeShared, Wake};
-use prescient_tempest::fabric::Fabric;
-use prescient_tempest::{GAddr, GlobalLayout, NodeId, VBarrier};
+use prescient_tempest::fabric::{Fabric, FabricCtl};
+use prescient_tempest::{FaultStats, GAddr, GlobalLayout, NodeId, VBarrier};
 
 use crate::config::{MachineConfig, ProtocolKind};
 use crate::ctx::NodeCtx;
@@ -43,6 +43,8 @@ pub struct Machine {
     wake_rxs: Vec<Option<Receiver<Wake>>>,
     barrier: Arc<VBarrier>,
     reduce: Arc<ReduceScratch>,
+    fault_stats: Option<Arc<FaultStats>>,
+    ctl: Arc<FabricCtl>,
     joins: Vec<JoinHandle<()>>,
 }
 
@@ -57,9 +59,23 @@ impl Machine {
             ProtocolKind::Predictive(_) => Some(Vec::with_capacity(cfg.nodes)),
             ProtocolKind::Stache => None,
         };
-        for ep in Fabric::new::<Msg>(cfg.nodes) {
+        let (endpoints, fault_stats) = match cfg.faults {
+            Some(plan) if plan.is_active() => {
+                let (eps, fs) = Fabric::new_faulty::<Msg>(cfg.nodes, plan);
+                (eps, Some(fs))
+            }
+            _ => (Fabric::new::<Msg>(cfg.nodes), None),
+        };
+        let ctl = endpoints[0].ctl().clone();
+        for ep in endpoints {
             let (wake_tx, wake_rx) = unbounded();
-            let shared = Arc::new(NodeShared::new(layout, cfg.cost, ep.net().clone(), wake_tx));
+            let shared = Arc::new(NodeShared::new_with_retry(
+                layout,
+                cfg.cost,
+                ep.net().clone(),
+                wake_tx,
+                cfg.retry,
+            ));
             let join = match cfg.protocol {
                 ProtocolKind::Predictive(pcfg) => {
                     let pred = Arc::new(Predictive::new(pcfg));
@@ -86,6 +102,8 @@ impl Machine {
                     contrib: vec![Vec::new(); cfg.nodes],
                 }),
             }),
+            fault_stats,
+            ctl,
             joins,
         }
     }
@@ -103,6 +121,11 @@ impl Machine {
     /// Number of nodes.
     pub fn nodes(&self) -> usize {
         self.cfg.nodes
+    }
+
+    /// Per-link fault counters, when the machine runs a faulty fabric.
+    pub fn fault_stats(&self) -> Option<&Arc<FaultStats>> {
+        self.fault_stats.as_ref()
     }
 
     /// Allocate `bytes` of shared memory homed at `node` (driver-side
@@ -161,6 +184,14 @@ impl Machine {
                 handles.into_iter().map(|h| h.join().expect("compute thread panicked")).collect()
             });
 
+        if self.cfg.validate {
+            // All compute threads have joined and every fetch/pre-send
+            // completed, so the machine is quiescent (straggler duplicates
+            // still parked in the fault layer cannot change protocol state
+            // — the handlers reject them by seqno/op/epoch).
+            self.assert_coherent();
+        }
+
         let mut results = Vec::with_capacity(out.len());
         let mut per_node = Vec::with_capacity(out.len());
         for (i, (r, breakdown, rx)) in out.drain(..).enumerate() {
@@ -170,7 +201,7 @@ impl Machine {
             per_node.push(NodeReport {
                 node: i as NodeId,
                 breakdown,
-                stats: diff(&stats, &stats0[i]),
+                stats: stats.sub(&stats0[i]),
                 unused_presends: self.shareds[i].mem.lock().unused_presends() as u64,
             });
         }
@@ -178,31 +209,12 @@ impl Machine {
     }
 }
 
-fn diff(
-    a: &prescient_tempest::stats::StatsSnapshot,
-    b: &prescient_tempest::stats::StatsSnapshot,
-) -> prescient_tempest::stats::StatsSnapshot {
-    use prescient_tempest::stats::StatsSnapshot;
-    StatsSnapshot {
-        reads: a.reads - b.reads,
-        writes: a.writes - b.writes,
-        read_misses: a.read_misses - b.read_misses,
-        write_misses: a.write_misses - b.write_misses,
-        slow_misses: a.slow_misses - b.slow_misses,
-        invals_in: a.invals_in - b.invals_in,
-        recalls_in: a.recalls_in - b.recalls_in,
-        msgs_out: a.msgs_out - b.msgs_out,
-        presend_blocks_out: a.presend_blocks_out - b.presend_blocks_out,
-        presend_msgs_out: a.presend_msgs_out - b.presend_msgs_out,
-        presend_bytes_out: a.presend_bytes_out - b.presend_bytes_out,
-        presend_blocks_in: a.presend_blocks_in - b.presend_blocks_in,
-        sched_records: a.sched_records - b.sched_records,
-        presend_races: a.presend_races - b.presend_races,
-    }
-}
-
 impl Drop for Machine {
     fn drop(&mut self) {
+        // Signal teardown before the shutdown messages fan out: any
+        // in-flight traffic addressed to a node whose handler has already
+        // exited is legitimate teardown loss from here on.
+        self.ctl.mark_closing();
         for s in &self.shareds {
             s.send(s.me, Msg::Shutdown);
         }

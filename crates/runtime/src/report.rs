@@ -41,10 +41,8 @@ impl RunReport {
     /// stacked bars.
     pub fn mean_breakdown(&self) -> TimeBreakdown {
         let n = self.per_node.len().max(1) as u64;
-        let sum = self
-            .per_node
-            .iter()
-            .fold(TimeBreakdown::default(), |acc, r| acc.merge(&r.breakdown));
+        let sum =
+            self.per_node.iter().fold(TimeBreakdown::default(), |acc, r| acc.merge(&r.breakdown));
         TimeBreakdown {
             compute_ns: sum.compute_ns / n,
             wait_ns: sum.wait_ns / n,
@@ -55,9 +53,7 @@ impl RunReport {
 
     /// Machine-wide event totals.
     pub fn total_stats(&self) -> StatsSnapshot {
-        self.per_node
-            .iter()
-            .fold(StatsSnapshot::default(), |acc, r| acc.merge(&r.stats))
+        self.per_node.iter().fold(StatsSnapshot::default(), |acc, r| acc.merge(&r.stats))
     }
 
     /// Fraction of shared accesses satisfied locally.

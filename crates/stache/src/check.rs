@@ -53,14 +53,15 @@ pub fn check_coherence(nodes: &[Arc<NodeShared>]) -> Vec<String> {
         let home_node = &nodes[home as usize];
         let state = {
             let dir = home_node.dir.lock();
-            match dir.get(&block) {
+            match dir.get(block) {
                 Some(e) => {
                     if e.is_busy() {
                         violations.push(format!("{block:?}: home {home} entry busy at quiescence"));
                     }
                     if !e.waiters.is_empty() {
-                        violations
-                            .push(format!("{block:?}: home {home} has queued waiters at quiescence"));
+                        violations.push(format!(
+                            "{block:?}: home {home} has queued waiters at quiescence"
+                        ));
                     }
                     e.state
                 }
@@ -68,11 +69,7 @@ pub fn check_coherence(nodes: &[Arc<NodeShared>]) -> Vec<String> {
             }
         };
         let tag_of = |p: usize| -> Tag {
-            tags[p]
-                .iter()
-                .find(|(b, _)| *b == block)
-                .map(|(_, t)| *t)
-                .unwrap_or(Tag::Invalid)
+            tags[p].iter().find(|(b, _)| *b == block).map(|(_, t)| *t).unwrap_or(Tag::Invalid)
         };
         let home_tag = {
             let mem = home_node.mem.lock();
@@ -82,9 +79,8 @@ pub fn check_coherence(nodes: &[Arc<NodeShared>]) -> Vec<String> {
         match state {
             DirState::Uncached => {
                 if !home_tag.readable() {
-                    violations.push(format!(
-                        "{block:?}: Uncached but home {home} tag is {home_tag:?}"
-                    ));
+                    violations
+                        .push(format!("{block:?}: Uncached but home {home} tag is {home_tag:?}"));
                 }
                 for p in 0..n {
                     if p != home as usize && tag_of(p).readable() {
@@ -97,9 +93,8 @@ pub fn check_coherence(nodes: &[Arc<NodeShared>]) -> Vec<String> {
             }
             DirState::Shared(s) => {
                 if home_tag.writable() || !home_tag.readable() {
-                    violations.push(format!(
-                        "{block:?}: Shared but home {home} tag is {home_tag:?}"
-                    ));
+                    violations
+                        .push(format!("{block:?}: Shared but home {home} tag is {home_tag:?}"));
                 }
                 let home_data = home_node.mem.lock().get(block).map(|b| b.data.clone());
                 for p in 0..n {

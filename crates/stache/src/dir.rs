@@ -14,6 +14,12 @@
 //!   is being sent) a `ReadOnly` copy; the home is never a member of `S`;
 //! * `Exclusive(o)` ⇔ home tag is `Invalid`, `o ≠ home` holds (or is being
 //!   sent) the only writable copy and home memory may be stale.
+//!
+//! On top of the per-block entries, [`Directory`] keeps the home's
+//! reliability state: the last accepted sequence number per requester
+//! (duplicate-request suppression) and the allocator for recall /
+//! invalidation operation ids (stale-reply suppression). See
+//! [`crate::msg`] for how both travel.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -40,6 +46,10 @@ pub struct PendingReq {
     pub excl: bool,
     /// The home's hooks recorded this request (schedule building).
     pub recorded: bool,
+    /// Sequence number the eventual grant must echo. Updated in place when
+    /// the requester retries while the request is parked, so the grant
+    /// matches the requester's latest attempt.
+    pub seq: u64,
 }
 
 /// Transient state of an in-flight multi-hop operation.
@@ -50,16 +60,21 @@ pub enum Busy {
     Recall {
         /// Request to grant once data returns.
         req: PendingReq,
-        /// Owner being recalled (for diagnostics).
+        /// Owner being recalled.
         owner: NodeId,
+        /// Id of this recall round; stale replies are ignored.
+        op: u64,
     },
-    /// Waiting for `remaining` invalidation acknowledgements; the queued
-    /// request is then granted.
+    /// Waiting for invalidation acknowledgements from `pending`; the
+    /// queued request is then granted.
     Invals {
         /// Request to grant once all acks arrive.
         req: PendingReq,
-        /// Outstanding acks.
-        remaining: u32,
+        /// Sharers whose acks are still outstanding (tracked as a set, not
+        /// a count, so duplicated acks cannot double-decrement).
+        pending: NodeSet,
+        /// Id of this invalidation round; stale acks are ignored.
+        op: u64,
     },
 }
 
@@ -82,9 +97,68 @@ impl DirEntry {
     }
 }
 
-/// The home directory: entries exist only for blocks that ever left the
-/// default `Uncached` state.
-pub type DirMap = HashMap<BlockId, DirEntry>;
+/// The home directory: per-block entries (existing only for blocks that
+/// ever left the default `Uncached` state) plus the home's reliability
+/// bookkeeping.
+#[derive(Debug, Default)]
+pub struct Directory {
+    entries: HashMap<BlockId, DirEntry>,
+    /// Last accepted request seq per requester. A node issues at most one
+    /// coherence request at a time, so one watermark per requester is
+    /// enough to reject duplicates and overtaken retransmissions.
+    last_seq: HashMap<NodeId, u64>,
+    next_op: u64,
+}
+
+impl Directory {
+    /// An empty directory.
+    pub fn new() -> Directory {
+        Directory { entries: HashMap::new(), last_seq: HashMap::new(), next_op: 1 }
+    }
+
+    /// The entry for `block`, created in its default (`Uncached`, idle)
+    /// state if absent.
+    pub fn entry(&mut self, block: BlockId) -> &mut DirEntry {
+        self.entries.entry(block).or_default()
+    }
+
+    /// The entry for `block`, if it ever left the default state.
+    pub fn get(&self, block: BlockId) -> Option<&DirEntry> {
+        self.entries.get(&block)
+    }
+
+    /// Mutable view of an existing entry.
+    pub fn get_mut(&mut self, block: BlockId) -> Option<&mut DirEntry> {
+        self.entries.get_mut(&block)
+    }
+
+    /// Admit a request with sequence number `seq` from `requester`:
+    /// returns `true` (and advances the watermark) iff it is newer than
+    /// everything accepted from that requester so far. Duplicates and
+    /// originals overtaken by their own retry return `false`.
+    pub fn accept_seq(&mut self, requester: NodeId, seq: u64) -> bool {
+        let last = self.last_seq.entry(requester).or_insert(0);
+        if seq > *last {
+            *last = seq;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Allocate a home-unique id for a recall / invalidation round.
+    pub fn alloc_op(&mut self) -> u64 {
+        let op = self.next_op;
+        self.next_op += 1;
+        op
+    }
+
+    /// Iterate over all materialized entries (diagnostics, invariant
+    /// checking).
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, &DirEntry)> {
+        self.entries.iter().map(|(b, e)| (*b, e))
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -102,9 +176,28 @@ mod tests {
     fn busy_flag() {
         let mut e = DirEntry::default();
         e.busy = Some(Busy::Invals {
-            req: PendingReq { requester: 1, excl: true, recorded: false },
-            remaining: 3,
+            req: PendingReq { requester: 1, excl: true, recorded: false, seq: 1 },
+            pending: NodeSet::single(2),
+            op: 1,
         });
         assert!(e.is_busy());
+    }
+
+    #[test]
+    fn seq_watermark_rejects_duplicates() {
+        let mut d = Directory::new();
+        assert!(d.accept_seq(3, 1));
+        assert!(!d.accept_seq(3, 1), "exact duplicate rejected");
+        assert!(d.accept_seq(3, 5), "retry with a fresh seq accepted");
+        assert!(!d.accept_seq(3, 4), "overtaken original rejected");
+        assert!(d.accept_seq(4, 1), "watermarks are per requester");
+    }
+
+    #[test]
+    fn ops_are_unique() {
+        let mut d = Directory::new();
+        let a = d.alloc_op();
+        let b = d.alloc_op();
+        assert_ne!(a, b);
     }
 }

@@ -17,17 +17,41 @@
 //!   predictive protocol removes;
 //! * write to shared data: home sends `Invalidate` to every sharer and
 //!   grants only after all `InvalAck`s (sequential consistency).
+//!
+//! # Fault tolerance
+//!
+//! The handlers survive message delay, duplication, and loss on any
+//! inter-node link, provided each link delivers what it does deliver in
+//! FIFO order (`FifoMode::Preserving`; see DESIGN.md for why Stache
+//! fundamentally needs point-to-point ordering between a grant and a later
+//! recall/invalidation of the same block). The machinery:
+//!
+//! * requests carry per-requester **seqnos**; homes drop anything not newer
+//!   than the last accepted seq from that requester, so duplicates and
+//!   overtaken retransmissions are idempotent;
+//! * the compute-side [`fetch`] re-issues its request (with a fresh seq)
+//!   when no grant arrives within [`crate::node::RetryConfig::timeout`];
+//!   grants echo the seq, and installs are gated on the seq still being
+//!   the outstanding one, so a superseded grant can never clobber memory;
+//! * recall / invalidation rounds carry home-unique **op ids**; owners
+//!   answer re-sent recalls from a recorded reply (idempotent even for
+//!   modified data), sharers ack invalidations unconditionally, and the
+//!   home ignores replies whose op does not match the round in flight;
+//! * a retry or duplicate request arriving at a busy entry **nudges** the
+//!   stalled round (re-sends the outstanding `Recall`/`Invalidate`s),
+//!   which both recovers dropped messages and generates the link traffic
+//!   that flushes event-count-based delays.
 
 use std::sync::Arc;
 
-use crossbeam::channel::Receiver;
+use crossbeam::channel::{Receiver, RecvTimeoutError};
 use prescient_tempest::tag::Tag;
 use prescient_tempest::{BlockId, NodeId, NodeSet, NodeStats};
 
-use crate::dir::{Busy, DirEntry, DirState, PendingReq};
+use crate::dir::{Busy, DirEntry, DirState, Directory, PendingReq};
 use crate::hooks::Hooks;
 use crate::msg::{Msg, Wake};
-use crate::node::NodeShared;
+use crate::node::{NodeShared, RecallReply};
 
 /// Outcome of one granted fetch, as seen by the compute thread; input to
 /// the cost model.
@@ -39,6 +63,9 @@ pub struct GrantInfo {
     pub bytes: usize,
     /// The home recorded the request into a communication schedule.
     pub recorded: bool,
+    /// Times the request was re-issued before being granted (0 on a
+    /// healthy fabric).
+    pub retries: u32,
 }
 
 /// The per-node protocol engine: Stache handlers plus the extension hooks.
@@ -55,20 +82,16 @@ impl Engine {
     /// Handle one message; returns `false` on shutdown.
     pub fn handle(&self, n: &NodeShared, src: NodeId, msg: Msg) -> bool {
         match msg {
-            Msg::GetShared { block } => {
-                let recorded = self.hooks.on_home_request(n, block, src, false);
-                self.request(n, block, PendingReq { requester: src, excl: false, recorded });
+            Msg::GetShared { block, seq } => self.on_request(n, src, block, false, seq),
+            Msg::GetExcl { block, seq } => self.on_request(n, src, block, true, seq),
+            Msg::Recall { block, inval, op } => self.on_recall(n, src, block, inval, op),
+            Msg::RecallData { block, data, op, unused } => {
+                self.on_recall_data(n, src, block, data, op, unused)
             }
-            Msg::GetExcl { block } => {
-                let recorded = self.hooks.on_home_request(n, block, src, true);
-                self.request(n, block, PendingReq { requester: src, excl: true, recorded });
-            }
-            Msg::Recall { block, inval } => self.on_recall(n, src, block, inval),
-            Msg::RecallData { block, data } => self.on_recall_data(n, block, data),
-            Msg::Invalidate { block } => self.on_invalidate(n, src, block),
-            Msg::InvalAck { block } => self.on_inval_ack(n, block),
-            Msg::Grant { block, excl, data, extra_hops, recorded } => {
-                self.on_grant(n, src, block, excl, data, extra_hops, recorded)
+            Msg::Invalidate { block, op } => self.on_invalidate(n, src, block, op),
+            Msg::InvalAck { block, op, unused } => self.on_inval_ack(n, src, block, op, unused),
+            Msg::Grant { block, excl, data, extra_hops, recorded, seq } => {
+                self.on_grant(n, src, block, excl, data, extra_hops, recorded, seq)
             }
             Msg::User(um) => self.hooks.on_user(n, src, um),
             Msg::Shutdown => return false,
@@ -77,83 +100,157 @@ impl Engine {
     }
 
     /// A `GetShared`/`GetExcl` arrived at this home node.
-    fn request(&self, n: &NodeShared, block: BlockId, req: PendingReq) {
+    fn on_request(&self, n: &NodeShared, src: NodeId, block: BlockId, excl: bool, seq: u64) {
         debug_assert_eq!(n.layout.home_of_block(block), n.me, "request routed to non-home");
         let mut dir = n.dir.lock();
-        let e = dir.entry(block).or_default();
-        if e.is_busy() {
-            e.waiters.push_back(req);
+        if !dir.accept_seq(src, seq) {
+            // Duplicate or overtaken retransmission. Idempotent: the
+            // original was (or will be) served. Still nudge a stalled
+            // round — the duplicate proves the requester is waiting.
+            NodeStats::bump(&n.stats.dup_reqs_in);
+            self.nudge(n, &dir, block);
             return;
         }
-        self.dispatch(n, e, block, req);
-        Self::drain(self, n, e, block);
+        // A fresh seq from a requester that is already parked here is a
+        // retry: refresh the seq its grant must echo, don't re-queue.
+        if let Some(e) = dir.get_mut(block) {
+            let mut parked = false;
+            if let Some(Busy::Recall { req, .. } | Busy::Invals { req, .. }) = &mut e.busy {
+                if req.requester == src {
+                    debug_assert_eq!(req.excl, excl, "retry changed its kind");
+                    req.seq = seq;
+                    parked = true;
+                }
+            }
+            if !parked {
+                if let Some(w) = e.waiters.iter_mut().find(|w| w.requester == src) {
+                    debug_assert_eq!(w.excl, excl, "retry changed its kind");
+                    w.seq = seq;
+                    parked = true;
+                }
+            }
+            if parked {
+                self.nudge(n, &dir, block);
+                return;
+            }
+        }
+        // Genuinely new request.
+        let recorded = self.hooks.on_home_request(n, block, src, excl);
+        let req = PendingReq { requester: src, excl, recorded, seq };
+        if dir.entry(block).is_busy() {
+            dir.entry(block).waiters.push_back(req);
+            self.nudge(n, &dir, block);
+            return;
+        }
+        self.dispatch(n, &mut dir, block, req);
+        self.drain(n, &mut dir, block);
+    }
+
+    /// Re-send the messages of a stalled multi-hop round, if any. Safe to
+    /// call at any time: receivers answer re-sent recalls/invalidations
+    /// idempotently and the home filters replies by op id. Doubles as the
+    /// liveness engine under event-count-based delays — every nudge is
+    /// link traffic that advances stalled links.
+    fn nudge(&self, n: &NodeShared, dir: &Directory, block: BlockId) {
+        let Some(e) = dir.get(block) else { return };
+        match &e.busy {
+            Some(Busy::Recall { req, owner, op }) => {
+                n.send(*owner, Msg::Recall { block, inval: req.excl, op: *op });
+            }
+            Some(Busy::Invals { pending, op, .. }) => {
+                for s in pending.iter() {
+                    n.send(s, Msg::Invalidate { block, op: *op });
+                }
+            }
+            None => {}
+        }
     }
 
     /// Process one request against a non-busy entry. May leave the entry
     /// busy. Caller holds the dir lock.
-    fn dispatch(&self, n: &NodeShared, e: &mut DirEntry, block: BlockId, req: PendingReq) {
-        debug_assert!(!e.is_busy());
-        match e.state {
+    fn dispatch(&self, n: &NodeShared, dir: &mut Directory, block: BlockId, req: PendingReq) {
+        debug_assert!(!dir.entry(block).is_busy());
+        let state = dir.entry(block).state;
+        match state {
             DirState::Uncached => {
+                let e = dir.entry(block);
                 if req.requester == n.me {
                     // Home fault on an uncached block: only reachable from
-                    // the pre-send driver's ensure step; the tag is already
+                    // the pre-send driver's ensure step or a retry whose
+                    // original grant already completed; the tag is already
                     // adequate. Re-grant locally.
-                    self.grant(n, e, block, req, false, 0);
+                    self.grant(n, block, req, false, 0);
                 } else if req.excl {
                     n.mem.lock().set_tag(block, Tag::Invalid);
                     e.state = DirState::Exclusive(req.requester);
-                    self.grant(n, e, block, req, true, 0);
+                    self.grant(n, block, req, true, 0);
                 } else {
                     n.mem.lock().set_tag(block, Tag::ReadOnly);
                     e.state = DirState::Shared(NodeSet::single(req.requester));
-                    self.grant(n, e, block, req, true, 0);
+                    self.grant(n, block, req, true, 0);
                 }
             }
             DirState::Shared(s) => {
                 if !req.excl {
                     if req.requester == n.me {
                         // Home tag is ReadOnly in Shared: readable already.
-                        self.grant(n, e, block, req, false, 0);
+                        self.grant(n, block, req, false, 0);
                     } else {
                         if s.contains(req.requester) {
-                            // Already a sharer (e.g. raced with a pre-send):
-                            // re-send data; harmless and diagnostic-counted.
+                            // Already a sharer (raced with a pre-send, or
+                            // retrying a lost grant): re-send the data;
+                            // harmless and diagnostic-counted.
                             NodeStats::bump(&n.stats.presend_races);
                         }
-                        e.state = DirState::Shared(s.union(NodeSet::single(req.requester)));
-                        self.grant(n, e, block, req, true, 0);
+                        dir.entry(block).state =
+                            DirState::Shared(s.union(NodeSet::single(req.requester)));
+                        self.grant(n, block, req, true, 0);
                     }
                 } else {
                     let upgrade = s.contains(req.requester);
                     let others = s.without(req.requester);
                     if others.is_empty() {
+                        let e = dir.entry(block);
                         self.finalize_excl(n, e, block, req, upgrade, 0);
                     } else {
+                        let op = dir.alloc_op();
                         for o in others.iter() {
-                            n.send(o, Msg::Invalidate { block });
+                            n.send(o, Msg::Invalidate { block, op });
                         }
-                        e.busy = Some(Busy::Invals {
-                            req,
-                            remaining: others.len() as u32,
-                        });
-                        // `upgrade` is re-derived at completion from whether
-                        // the requester kept a copy: sharers other than the
-                        // requester were invalidated, so remember it inline.
-                        if upgrade {
-                            // Stash by re-encoding the state: the requester
-                            // remains the only sharer until completion.
-                            e.state = DirState::Shared(NodeSet::single(req.requester));
+                        let e = dir.entry(block);
+                        e.busy = Some(Busy::Invals { req, pending: others, op });
+                        // Whether the requester keeps a copy (upgrade) is
+                        // re-derived at completion from the residual set.
+                        e.state = DirState::Shared(if upgrade {
+                            NodeSet::single(req.requester)
                         } else {
-                            e.state = DirState::Shared(NodeSet::EMPTY);
-                        }
+                            NodeSet::EMPTY
+                        });
                     }
                 }
             }
+            DirState::Exclusive(owner) if owner == req.requester => {
+                // The owner re-requesting its own block means its grant
+                // was lost in flight (an owner holding the block never
+                // faults), so it never wrote and home memory is current:
+                // serve the retry directly from home memory.
+                let e = dir.entry(block);
+                if req.excl {
+                    self.grant(n, block, req, true, 0);
+                } else {
+                    // A shared retry while Exclusive(requester) is
+                    // unreachable under FIFO delivery (a fetch retries
+                    // with its original kind) but safe to serve: downgrade
+                    // the never-consumed grant.
+                    n.mem.lock().set_tag(block, Tag::ReadOnly);
+                    e.state = DirState::Shared(NodeSet::single(req.requester));
+                    self.grant(n, block, req, true, 0);
+                }
+            }
             DirState::Exclusive(owner) => {
-                debug_assert_ne!(owner, req.requester, "exclusive owner should not fault");
-                n.send(owner, Msg::Recall { block, inval: req.excl });
-                e.busy = Some(Busy::Recall { req, owner });
+                let op = dir.alloc_op();
+                n.send(owner, Msg::Recall { block, inval: req.excl, op });
+                dir.entry(block).busy = Some(Busy::Recall { req, owner, op });
             }
         }
     }
@@ -191,6 +288,7 @@ impl Engine {
                         data: Some(data),
                         extra_hops,
                         recorded: req.recorded,
+                        seq: req.seq,
                     },
                 );
             }
@@ -201,7 +299,6 @@ impl Engine {
     fn grant(
         &self,
         n: &NodeShared,
-        _e: &mut DirEntry,
         block: BlockId,
         req: PendingReq,
         with_data: bool,
@@ -210,120 +307,227 @@ impl Engine {
         let data = if with_data { Some(n.mem.lock().snapshot(block)) } else { None };
         n.send(
             req.requester,
-            Msg::Grant { block, excl: req.excl, data, extra_hops, recorded: req.recorded },
+            Msg::Grant {
+                block,
+                excl: req.excl,
+                data,
+                extra_hops,
+                recorded: req.recorded,
+                seq: req.seq,
+            },
         );
     }
 
     fn grant_nodata(&self, n: &NodeShared, block: BlockId, req: PendingReq, extra_hops: u32) {
         n.send(
             req.requester,
-            Msg::Grant { block, excl: req.excl, data: None, extra_hops, recorded: req.recorded },
+            Msg::Grant {
+                block,
+                excl: req.excl,
+                data: None,
+                extra_hops,
+                recorded: req.recorded,
+                seq: req.seq,
+            },
         );
     }
 
     /// Serve queued requests until the entry goes busy again or the queue
     /// empties. Caller holds the dir lock.
-    fn drain(&self, n: &NodeShared, e: &mut DirEntry, block: BlockId) {
-        while !e.is_busy() {
+    fn drain(&self, n: &NodeShared, dir: &mut Directory, block: BlockId) {
+        loop {
+            let e = dir.entry(block);
+            if e.is_busy() {
+                break;
+            }
             let Some(next) = e.waiters.pop_front() else { break };
-            self.dispatch(n, e, block, next);
+            self.dispatch(n, dir, block, next);
         }
     }
 
     /// Owner side of a recall: give the block back to the home.
-    fn on_recall(&self, n: &NodeShared, home: NodeId, block: BlockId, inval: bool) {
-        let mut mem = n.mem.lock();
+    ///
+    /// Idempotent: if this node no longer holds the block, the recorded
+    /// reply for the same round is re-shipped (the first reply was lost);
+    /// if no reply was ever produced for this round, the node never
+    /// received the granted copy in the first place (the grant was lost)
+    /// and it answers `None`, telling the home its own memory is current.
+    fn on_recall(&self, n: &NodeShared, home: NodeId, block: BlockId, inval: bool, op: u64) {
         NodeStats::bump(&n.stats.recalls_in);
-        debug_assert!(
-            mem.probe(block).readable(),
-            "node {} recalled for {:?} it does not hold",
-            n.me,
-            block
-        );
-        let data = mem.snapshot(block);
-        mem.set_tag(block, if inval { Tag::Invalid } else { Tag::ReadOnly });
-        drop(mem);
-        n.send(home, Msg::RecallData { block, data });
+        let mut mem = n.mem.lock();
+        if mem.probe(block).readable() {
+            let b = mem.block_mut(block);
+            let unused = b.presend_unused;
+            b.presend_unused = false; // copy is going away; waste is accounted at the home
+            let data = mem.snapshot(block);
+            mem.set_tag(block, if inval { Tag::Invalid } else { Tag::ReadOnly });
+            drop(mem);
+            n.recalled.lock().insert(block, RecallReply { op, data: data.clone(), unused });
+            n.send(home, Msg::RecallData { block, data: Some(data), op, unused });
+        } else {
+            drop(mem);
+            let replay = n.recalled.lock().get(&block).filter(|r| r.op == op).cloned();
+            match replay {
+                Some(r) => n.send(
+                    home,
+                    Msg::RecallData { block, data: Some(r.data), op, unused: r.unused },
+                ),
+                None => n.send(home, Msg::RecallData { block, data: None, op, unused: false }),
+            }
+        }
     }
 
     /// Home side: recalled data returned; complete the parked request.
-    fn on_recall_data(&self, n: &NodeShared, block: BlockId, data: Box<[u8]>) {
+    fn on_recall_data(
+        &self,
+        n: &NodeShared,
+        src: NodeId,
+        block: BlockId,
+        data: Option<Box<[u8]>>,
+        op: u64,
+        unused: bool,
+    ) {
         let mut dir = n.dir.lock();
-        let e = dir.get_mut(&block).expect("recall data for unknown entry");
-        let Some(Busy::Recall { req, owner }) = e.busy.take() else {
-            panic!("node {}: RecallData for {:?} without recall in flight", n.me, block);
-        };
+        let live = matches!(
+            dir.get(block).and_then(|e| e.busy.as_ref()),
+            Some(Busy::Recall { op: o, .. }) if *o == op
+        );
+        if !live {
+            // Reply to a round that already completed (duplicate or
+            // re-sent recall answered twice).
+            NodeStats::bump(&n.stats.stale_msgs_in);
+            return;
+        }
+        let e = dir.get_mut(block).expect("checked above");
+        let Some(Busy::Recall { req, owner, .. }) = e.busy.take() else { unreachable!() };
+        debug_assert_eq!(owner, src, "recall answered by a non-owner");
+        if unused {
+            self.hooks.on_presend_wasted(n, block);
+        }
         if req.excl {
-            // Owner was invalidated. Home memory gets the fresh data but
+            // Owner was invalidated. Home memory gets the fresh data (or
+            // was already current if the owner never held the copy) but
             // stays Invalid unless the requester is the home itself.
             if req.requester == n.me {
-                n.mem.lock().install(block, &data, Tag::ReadWrite, false);
+                let mut mem = n.mem.lock();
+                match &data {
+                    Some(d) => {
+                        mem.install(block, d, Tag::ReadWrite, false);
+                    }
+                    None => mem.set_tag(block, Tag::ReadWrite),
+                }
+                drop(mem);
                 e.state = DirState::Uncached;
                 self.grant_nodata(n, block, req, 1);
             } else {
-                n.mem.lock().install(block, &data, Tag::Invalid, false);
+                let payload = match data {
+                    Some(d) => {
+                        n.mem.lock().install(block, &d, Tag::Invalid, false);
+                        d
+                    }
+                    // Owner never received its grant: home memory is
+                    // current (tag already Invalid under Exclusive).
+                    None => n.mem.lock().snapshot(block),
+                };
                 e.state = DirState::Exclusive(req.requester);
                 n.send(
                     req.requester,
                     Msg::Grant {
                         block,
                         excl: true,
-                        data: Some(data),
+                        data: Some(payload),
                         extra_hops: 1,
                         recorded: req.recorded,
+                        seq: req.seq,
                     },
                 );
             }
         } else {
-            // Owner was downgraded and stays a sharer.
-            n.mem.lock().install(block, &data, Tag::ReadOnly, false);
+            // Downgrade: the owner keeps a read-only copy — unless it
+            // never received the block at all (`None` reply).
+            match &data {
+                Some(d) => {
+                    n.mem.lock().install(block, d, Tag::ReadOnly, false);
+                }
+                None => n.mem.lock().set_tag(block, Tag::ReadOnly),
+            }
+            let kept = data.is_some();
             if req.requester == n.me {
-                e.state = DirState::Shared(NodeSet::single(owner));
+                if kept {
+                    e.state = DirState::Shared(NodeSet::single(owner));
+                } else {
+                    n.mem.lock().set_tag(block, Tag::ReadWrite);
+                    e.state = DirState::Uncached;
+                }
                 self.grant_nodata(n, block, req, 1);
             } else {
-                let mut s = NodeSet::single(owner);
+                let mut s = if kept { NodeSet::single(owner) } else { NodeSet::EMPTY };
                 s.insert(req.requester);
                 e.state = DirState::Shared(s);
+                let payload = n.mem.lock().snapshot(block);
                 n.send(
                     req.requester,
                     Msg::Grant {
                         block,
                         excl: false,
-                        data: Some(data),
+                        data: Some(payload),
                         extra_hops: 1,
                         recorded: req.recorded,
+                        seq: req.seq,
                     },
                 );
             }
         }
-        self.drain(n, e, block);
+        self.drain(n, &mut dir, block);
     }
 
-    /// Sharer side of an invalidation.
-    fn on_invalidate(&self, n: &NodeShared, home: NodeId, block: BlockId) {
-        let mut mem = n.mem.lock();
+    /// Sharer side of an invalidation. Acks unconditionally (the home
+    /// filters by op and pending set); only touches the tag if the node
+    /// actually holds a read-only copy, so a stale duplicate can never
+    /// destroy a copy granted later.
+    fn on_invalidate(&self, n: &NodeShared, home: NodeId, block: BlockId, op: u64) {
         NodeStats::bump(&n.stats.invals_in);
-        mem.set_tag(block, Tag::Invalid);
+        let mut mem = n.mem.lock();
+        let b = mem.block_mut(block);
+        let unused = b.tag == Tag::ReadOnly && b.presend_unused;
+        if b.tag == Tag::ReadOnly {
+            b.tag = Tag::Invalid;
+            b.presend_unused = false;
+        }
         drop(mem);
-        n.send(home, Msg::InvalAck { block });
+        n.send(home, Msg::InvalAck { block, op, unused });
     }
 
     /// Home side: one invalidation acknowledged.
-    fn on_inval_ack(&self, n: &NodeShared, block: BlockId) {
+    fn on_inval_ack(&self, n: &NodeShared, src: NodeId, block: BlockId, op: u64, unused: bool) {
         let mut dir = n.dir.lock();
-        let e = dir.get_mut(&block).expect("ack for unknown entry");
-        let Some(Busy::Invals { req, remaining }) = e.busy.take() else {
-            panic!("node {}: InvalAck for {:?} without invals in flight", n.me, block);
+        let accepted = match dir.get_mut(block).and_then(|e| e.busy.as_mut()) {
+            Some(Busy::Invals { pending, op: o, .. }) if *o == op && pending.contains(src) => {
+                *pending = pending.without(src);
+                true
+            }
+            _ => false,
         };
-        if remaining > 1 {
-            e.busy = Some(Busy::Invals { req, remaining: remaining - 1 });
+        if !accepted {
+            NodeStats::bump(&n.stats.stale_msgs_in);
             return;
         }
-        // All sharers gone; `dispatch` encoded whether the requester kept a
-        // copy in the residual Shared set.
-        let upgrade = matches!(e.state, DirState::Shared(s) if s.contains(req.requester));
-        self.finalize_excl(n, e, block, req, upgrade, 1);
-        self.drain(n, e, block);
+        if unused {
+            self.hooks.on_presend_wasted(n, block);
+        }
+        let done = matches!(
+            dir.get(block).and_then(|e| e.busy.as_ref()),
+            Some(Busy::Invals { pending, .. }) if pending.is_empty()
+        );
+        if done {
+            let e = dir.get_mut(block).expect("checked above");
+            let Some(Busy::Invals { req, .. }) = e.busy.take() else { unreachable!() };
+            // All sharers gone; `dispatch` encoded whether the requester
+            // kept a copy in the residual Shared set.
+            let upgrade = matches!(e.state, DirState::Shared(s) if s.contains(req.requester));
+            self.finalize_excl(n, e, block, req, upgrade, 1);
+            self.drain(n, &mut dir, block);
+        }
     }
 
     /// Requester side: install the granted copy and wake the compute thread.
@@ -335,6 +539,13 @@ impl Engine {
     /// the tag now would resurrect a revoked copy and lose that waiter's
     /// writes. The compute thread's retry loop re-faults if its grant was
     /// overtaken.
+    ///
+    /// Remote grants install only while their seq is still the node's
+    /// outstanding fetch (checked under the `mem` lock, which [`fetch`]
+    /// also holds when clearing it): a grant superseded by a retry, or a
+    /// duplicate of a consumed grant, must never overwrite memory the
+    /// compute thread may already be writing.
+    #[allow(clippy::too_many_arguments)]
     fn on_grant(
         &self,
         n: &NodeShared,
@@ -344,24 +555,37 @@ impl Engine {
         data: Option<Box<[u8]>>,
         extra_hops: u32,
         recorded: bool,
+        seq: u64,
     ) {
         let bytes = data.as_ref().map_or(0, |d| d.len());
         if src == n.me {
             debug_assert!(data.is_none(), "local grants never carry data");
         } else {
-            let tag = if excl { Tag::ReadWrite } else { Tag::ReadOnly };
             let mut mem = n.mem.lock();
+            if n.outstanding() != seq {
+                drop(mem);
+                NodeStats::bump(&n.stats.stale_grants_in);
+                return;
+            }
+            let tag = if excl { Tag::ReadWrite } else { Tag::ReadOnly };
             match data {
-                Some(d) => mem.install(block, &d, tag, false),
+                Some(d) => {
+                    mem.install(block, &d, tag, false);
+                }
                 None => mem.set_tag(block, tag),
             }
+            drop(mem);
+            // A fresh copy supersedes any recorded recall reply.
+            n.recalled.lock().remove(&block);
         }
-        n.wake(Wake::Grant { block, excl, extra_hops, bytes, recorded });
+        n.wake(Wake::Grant { block, excl, extra_hops, bytes, recorded, seq });
     }
 }
 
 /// Compute-side fault path: request `block` from its home and block until
-/// granted.
+/// granted. Re-issues the request (with a fresh seq) every
+/// [`crate::node::RetryConfig::timeout`] without an answer, so lost
+/// requests, lost grants, and stalled multi-hop rounds all recover.
 ///
 /// `stash` collects extension wake-ups ([`Wake::User`]) that arrive while
 /// we wait (e.g. pre-send acknowledgements addressed to the pre-send
@@ -374,16 +598,51 @@ pub fn fetch(
     stash: &mut Vec<Wake>,
 ) -> GrantInfo {
     let home = n.layout.home_of_block(block);
-    n.send(home, if excl { Msg::GetExcl { block } } else { Msg::GetShared { block } });
+    let mut retries: u32 = 0;
     loop {
-        let w = wake_rx.recv().expect("protocol thread terminated during fetch");
-        match w {
-            Wake::Grant { block: b, excl: e, extra_hops, bytes, recorded } => {
-                debug_assert_eq!(b, block, "grant for a different block");
-                debug_assert_eq!(e, excl, "grant of a different kind");
-                return GrantInfo { extra_hops, bytes, recorded };
+        let seq = n.next_seq();
+        n.set_outstanding(seq);
+        n.send(
+            home,
+            if excl { Msg::GetExcl { block, seq } } else { Msg::GetShared { block, seq } },
+        );
+        loop {
+            match wake_rx.recv_timeout(n.retry.timeout) {
+                Ok(Wake::Grant { block: b, excl: e, extra_hops, bytes, recorded, seq: s }) => {
+                    if s != seq {
+                        // A grant from a superseded attempt; the handler
+                        // already refused to install it.
+                        continue;
+                    }
+                    debug_assert_eq!(b, block, "grant for a different block");
+                    debug_assert_eq!(e, excl, "grant of a different kind");
+                    {
+                        // Clear under the mem lock: from here on, a late
+                        // duplicate of this grant must not install.
+                        let _mem = n.mem.lock();
+                        n.clear_outstanding();
+                    }
+                    if retries > 0 {
+                        NodeStats::add(&n.stats.retries, u64::from(retries));
+                    }
+                    return GrantInfo { extra_hops, bytes, recorded, retries };
+                }
+                Ok(w @ Wake::User { .. }) => stash.push(w),
+                Err(RecvTimeoutError::Timeout) => {
+                    retries += 1;
+                    assert!(
+                        retries <= n.retry.max_retries,
+                        "node {}: no grant for {:?} after {} retries (machine wedged)",
+                        n.me,
+                        block,
+                        retries - 1
+                    );
+                    break; // re-issue with a fresh seq
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("protocol thread terminated during fetch")
+                }
             }
-            Wake::User { .. } => stash.push(w),
         }
     }
 }

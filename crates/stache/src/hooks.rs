@@ -26,11 +26,24 @@ pub trait Hooks: Send + Sync + 'static {
     /// `requester` arrived at this home node for `block`. Return `true` if
     /// the extension recorded the request (adds the schedule-building
     /// handler cost to the eventual grant).
-    fn on_home_request(&self, node: &NodeShared, block: BlockId, requester: NodeId, excl: bool)
-        -> bool;
+    fn on_home_request(
+        &self,
+        node: &NodeShared,
+        block: BlockId,
+        requester: NodeId,
+        excl: bool,
+    ) -> bool;
 
     /// An extension message arrived from `src`.
     fn on_user(&self, node: &NodeShared, src: NodeId, msg: UserMsg);
+
+    /// A pre-sent copy of `block` was torn down (recalled or invalidated)
+    /// without ever being accessed — a *useless* pre-send. Called at the
+    /// block's home with the directory lock held; extensions use it to
+    /// feed their schedule-health / degradation accounting. Default: no-op.
+    fn on_presend_wasted(&self, node: &NodeShared, block: BlockId) {
+        let _ = (node, block);
+    }
 }
 
 /// The null extension: plain Stache, nothing recorded, user messages are a

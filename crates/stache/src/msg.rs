@@ -3,21 +3,41 @@
 //! Two channels exist per node: the fabric inbox, carrying [`Msg`] between
 //! protocol handlers, and the *wake* channel, carrying [`Wake`] from a
 //! node's protocol-handler thread to its (blocked) compute thread.
+//!
+//! Two kinds of identifiers make the vocabulary safe on a faulty fabric:
+//!
+//! * **Sequence numbers** (`seq`): every request a compute thread issues
+//!   carries a value from its node's monotonic stream, and each *retry* of
+//!   a request draws a fresh one. Homes accept a request only if its seq is
+//!   newer than the last one accepted from that requester (duplicates and
+//!   out-of-date retransmissions are ignored), and the grant echoes the
+//!   seq so the requester can discard grants its own retry has overtaken.
+//! * **Operation ids** (`op`): every recall / invalidation round a home
+//!   starts is tagged with a home-unique id, echoed by the replies, so the
+//!   home ignores replies to rounds that already completed and owners can
+//!   answer re-sent recalls idempotently.
+//!
+//! All payloads are `Clone` because a faulty fabric may duplicate them in
+//! flight.
 
 use prescient_tempest::{BlockId, NodeId, NodeSet};
 
 /// A message between protocol handlers.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum Msg {
     /// Requester → home: ask for a read-only copy of `block`.
     GetShared {
         /// Requested block.
         block: BlockId,
+        /// Requester's sequence number (fresh per retry).
+        seq: u64,
     },
     /// Requester → home: ask for a writable copy of `block`.
     GetExcl {
         /// Requested block.
         block: BlockId,
+        /// Requester's sequence number (fresh per retry).
+        seq: u64,
     },
     /// Home → exclusive owner: give the block back.
     Recall {
@@ -26,23 +46,38 @@ pub enum Msg {
         /// `true`: invalidate the owner's copy; `false`: downgrade it to
         /// read-only (the owner stays a sharer).
         inval: bool,
+        /// Home-unique id of this recall round.
+        op: u64,
     },
-    /// Owner → home: the recalled block's current data.
+    /// Owner → home: reply to a recall.
     RecallData {
         /// The block.
         block: BlockId,
-        /// Its bytes at the owner.
-        data: Box<[u8]>,
+        /// Its bytes at the owner; `None` when the owner never received
+        /// the granted copy (the grant was lost in flight), in which case
+        /// the home's own memory is still current.
+        data: Option<Box<[u8]>>,
+        /// Echo of the recall round's id.
+        op: u64,
+        /// The recalled copy was installed by a pre-send and never
+        /// accessed (a useless pre-send, fed to the degradation policy).
+        unused: bool,
     },
     /// Home → sharer: drop your read-only copy.
     Invalidate {
         /// The block.
         block: BlockId,
+        /// Home-unique id of this invalidation round.
+        op: u64,
     },
     /// Sharer → home: copy dropped.
     InvalAck {
         /// The block.
         block: BlockId,
+        /// Echo of the invalidation round's id.
+        op: u64,
+        /// The invalidated copy was an unread pre-send.
+        unused: bool,
     },
     /// Home → requester: access granted. The requester's protocol handler
     /// installs the data (when present) and wakes the compute thread.
@@ -60,6 +95,9 @@ pub enum Msg {
         /// Whether the home recorded this request in a communication
         /// schedule (predictive protocol active), which adds handler cost.
         recorded: bool,
+        /// Echo of the request's sequence number; the requester discards
+        /// grants that no longer match its outstanding request.
+        seq: u64,
     },
     /// An extension (user-level protocol) message — Tempest active-message
     /// style: a handler code plus an uninterpreted payload.
@@ -70,12 +108,14 @@ pub enum Msg {
 
 /// Payload of an extension message. The base protocol routes these to the
 /// installed [`crate::hooks::Hooks`] without interpreting them.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct UserMsg {
     /// Extension-defined handler code.
     pub code: u16,
-    /// Small scalar argument (phase ids, counts, ...).
+    /// Small scalar argument (phase ids, counts, push ids, ...).
     pub a: u64,
+    /// Second scalar argument (epoch stamps, waste counts, ...).
+    pub b: u64,
     /// Block argument.
     pub block: BlockId,
     /// Node-set argument (e.g. target readers of a push).
@@ -92,6 +132,7 @@ impl UserMsg {
         UserMsg {
             code,
             a,
+            b: 0,
             block: BlockId(0),
             set: NodeSet::EMPTY,
             node: 0,
@@ -115,6 +156,9 @@ pub enum Wake {
         bytes: usize,
         /// Home recorded the request in a schedule.
         recorded: bool,
+        /// Sequence number of the request this grant answers; the fetch
+        /// loop discards wake-ups from superseded attempts.
+        seq: u64,
     },
     /// Extension wake-up (e.g. one pre-send push acknowledged).
     User {
@@ -122,6 +166,8 @@ pub enum Wake {
         code: u16,
         /// Scalar payload.
         a: u64,
+        /// Second scalar payload.
+        b: u64,
     },
 }
 
@@ -134,6 +180,7 @@ mod tests {
         let m = UserMsg::simple(7, 99);
         assert_eq!(m.code, 7);
         assert_eq!(m.a, 99);
+        assert_eq!(m.b, 0);
         assert!(m.blocks.is_empty());
         assert!(m.set.is_empty());
     }

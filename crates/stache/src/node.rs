@@ -6,22 +6,59 @@
 //! network inbox (Blizzard ran handlers from the network interrupt). Both
 //! threads share this [`NodeShared`] bundle.
 //!
-//! Lock ordering: `dir` before `mem`; extension-internal locks (e.g. the
-//! schedule store) are leaf locks and are never held while acquiring `dir`
-//! or `mem`.
+//! Lock ordering: `dir` before extension-internal locks (e.g. the
+//! predictive protocol's schedule/health state) before `mem`; `recalled`
+//! is a leaf lock never held together with any of them.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crossbeam::channel::Sender;
 use parking_lot::Mutex;
 use prescient_tempest::fabric::{Endpoint, Net};
-use prescient_tempest::{CostModel, GlobalLayout, NodeId, NodeMem, NodeStats};
+use prescient_tempest::{BlockId, CostModel, GlobalLayout, NodeId, NodeMem, NodeStats};
 
-use crate::dir::DirMap;
+use crate::dir::Directory;
 use crate::engine::Engine;
 use crate::hooks::Hooks;
 use crate::msg::{Msg, Wake};
+
+/// Compute-side request retry policy. The timeout is wall-clock (it bounds
+/// how long a blocked fetch waits for a grant that a faulty fabric may
+/// have dropped); its *virtual-time* cost is billed separately as
+/// `CostModel::retry_ns` per retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// How long a fetch waits for its grant before re-issuing the request.
+    pub timeout: Duration,
+    /// Upper bound on re-issues of one fetch before declaring the machine
+    /// wedged (panics; only reachable if the fabric drops everything or a
+    /// protocol bug loses a request).
+    pub max_retries: u32,
+}
+
+impl Default for RetryConfig {
+    fn default() -> RetryConfig {
+        RetryConfig { timeout: Duration::from_millis(200), max_retries: 50 }
+    }
+}
+
+/// The recorded reply to the last recall this node answered for a block:
+/// re-sent verbatim if the same recall round asks again (its first reply
+/// was lost), so recall replies are idempotent and modified data cannot be
+/// lost or resurrected by retransmissions.
+#[derive(Debug, Clone)]
+pub struct RecallReply {
+    /// Recall round the reply answered.
+    pub op: u64,
+    /// Bytes shipped home.
+    pub data: Box<[u8]>,
+    /// The copy was an unread pre-send.
+    pub unused: bool,
+}
 
 /// State shared between a node's compute thread and its protocol-handler
 /// thread (and readable by extensions).
@@ -32,35 +69,83 @@ pub struct NodeShared {
     pub layout: GlobalLayout,
     /// Virtual-time cost constants.
     pub cost: CostModel,
+    /// Request retry policy.
+    pub retry: RetryConfig,
     /// Block store: home memory plus cached remote blocks.
     pub mem: Mutex<NodeMem>,
     /// Home directory for this node's blocks.
-    pub dir: Mutex<DirMap>,
+    pub dir: Mutex<Directory>,
+    /// Per-block record of the last recall reply sent (see [`RecallReply`]).
+    pub recalled: Mutex<HashMap<BlockId, RecallReply>>,
     /// Event counters.
     pub stats: NodeStats,
+    /// Next request sequence number (monotonic; 0 is never issued).
+    seq: AtomicU64,
+    /// Seq of the fetch in flight on the compute thread (0 = none). Grants
+    /// that do not match are stale and must not install.
+    outstanding: AtomicU64,
     net: Net<Msg>,
     wake_tx: Sender<Wake>,
 }
 
 impl NodeShared {
-    /// Assemble the shared state for node `me`.
+    /// Assemble the shared state for node `me` with the default retry
+    /// policy.
     pub fn new(
         layout: GlobalLayout,
         cost: CostModel,
         net: Net<Msg>,
         wake_tx: Sender<Wake>,
     ) -> NodeShared {
+        NodeShared::new_with_retry(layout, cost, net, wake_tx, RetryConfig::default())
+    }
+
+    /// Assemble the shared state with an explicit retry policy.
+    pub fn new_with_retry(
+        layout: GlobalLayout,
+        cost: CostModel,
+        net: Net<Msg>,
+        wake_tx: Sender<Wake>,
+        retry: RetryConfig,
+    ) -> NodeShared {
         let me = net.me();
         NodeShared {
             me,
             layout,
             cost,
+            retry,
             mem: Mutex::new(NodeMem::new(layout, me)),
-            dir: Mutex::new(DirMap::new()),
+            dir: Mutex::new(Directory::new()),
+            recalled: Mutex::new(HashMap::new()),
             stats: NodeStats::default(),
+            seq: AtomicU64::new(1),
+            outstanding: AtomicU64::new(0),
             net,
             wake_tx,
         }
+    }
+
+    /// Draw the next request sequence number.
+    pub fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Declare `seq` as the fetch in flight.
+    pub fn set_outstanding(&self, seq: u64) {
+        self.outstanding.store(seq, Ordering::Release);
+    }
+
+    /// The fetch in flight (0 = none). To stay race-free against grant
+    /// installation, the compute thread clears this while holding the
+    /// `mem` lock and the grant handler reads it under the same lock.
+    pub fn outstanding(&self) -> u64 {
+        self.outstanding.load(Ordering::Acquire)
+    }
+
+    /// Clear the fetch in flight. Call with the `mem` lock held (see
+    /// [`NodeShared::outstanding`]).
+    pub fn clear_outstanding(&self) {
+        self.outstanding.store(0, Ordering::Release);
     }
 
     /// Send a protocol message to `dst`, counting it.
@@ -88,6 +173,11 @@ impl NodeShared {
 
 /// Start the protocol-handler thread for a node: drains `endpoint`,
 /// dispatching every message through the engine until `Msg::Shutdown`.
+///
+/// On exit the thread marks the fabric as closing before its endpoint is
+/// dropped: from the first `Shutdown` onward, in-flight traffic addressed
+/// to exited nodes (e.g. duplicates released by the fault layer) is
+/// legitimate teardown loss rather than a protocol bug.
 pub fn spawn_protocol(
     shared: Arc<NodeShared>,
     endpoint: Endpoint<Msg>,
@@ -102,6 +192,7 @@ pub fn spawn_protocol(
                     break;
                 }
             }
+            endpoint.ctl().mark_closing();
         })
         .expect("spawn protocol thread")
 }

@@ -10,12 +10,13 @@
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver};
 use parking_lot::Mutex;
-use prescient_stache::{fetch, spawn_protocol, Msg, NoHooks, NodeShared, Wake};
+use prescient_stache::{fetch, spawn_protocol, Msg, NoHooks, NodeShared, RetryConfig, Wake};
 use prescient_tempest::fabric::Fabric;
-use prescient_tempest::{CostModel, GAddr, GlobalLayout, NodeId, Prim, VBarrier};
+use prescient_tempest::{CostModel, FaultPlan, GAddr, GlobalLayout, NodeId, Prim, VBarrier};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -39,14 +40,30 @@ struct TestNode {
     stash: Vec<Wake>,
 }
 
-fn build_machine(nodes: usize, block_size: usize) -> (Vec<TestNode>, Vec<JoinHandle<()>>) {
+fn build_machine(
+    nodes: usize,
+    block_size: usize,
+    plan: Option<FaultPlan>,
+) -> (Vec<TestNode>, Vec<JoinHandle<()>>) {
     let layout = GlobalLayout::new(nodes, block_size);
+    let eps = match plan {
+        Some(p) if p.is_active() => Fabric::new_faulty::<Msg>(nodes, p).0,
+        _ => Fabric::new::<Msg>(nodes),
+    };
+    // Short wall-clock retry timeout so dropped/stalled messages are
+    // re-issued quickly under fault injection.
+    let retry = RetryConfig { timeout: Duration::from_millis(25), max_retries: 400 };
     let mut tns = Vec::new();
     let mut joins = Vec::new();
-    for ep in Fabric::new::<Msg>(nodes) {
+    for ep in eps {
         let (wake_tx, wake_rx) = unbounded();
-        let shared =
-            Arc::new(NodeShared::new(layout, CostModel::default(), ep.net().clone(), wake_tx));
+        let shared = Arc::new(NodeShared::new_with_retry(
+            layout,
+            CostModel::default(),
+            ep.net().clone(),
+            wake_tx,
+            retry,
+        ));
         joins.push(spawn_protocol(Arc::clone(&shared), ep, Arc::new(NoHooks)));
         tns.push(TestNode { shared, wake_rx, stash: Vec::new() });
     }
@@ -54,7 +71,16 @@ fn build_machine(nodes: usize, block_size: usize) -> (Vec<TestNode>, Vec<JoinHan
 }
 
 fn run_torture(nodes: usize, block_size: usize, phases: Vec<Phase>) {
-    let (mut tns, _joins) = build_machine(nodes, block_size);
+    run_torture_faulty(nodes, block_size, phases, None);
+}
+
+fn run_torture_faulty(
+    nodes: usize,
+    block_size: usize,
+    phases: Vec<Phase>,
+    plan: Option<FaultPlan>,
+) {
+    let (mut tns, _joins) = build_machine(nodes, block_size, plan);
 
     // Address pool: a few addresses homed on every node, some sharing
     // blocks (consecutive words) to exercise false sharing.
@@ -184,6 +210,31 @@ proptest! {
     ) {
         run_torture(3, block_size, phases);
     }
+
+    /// Duplicated delivery: every protocol message may arrive twice, in
+    /// order. The (requester, seq) watermark, recall-round op ids, and
+    /// epoch-stamped pre-sends must make all of them idempotent.
+    #[test]
+    fn coherence_holds_under_duplicated_delivery(
+        phases in proptest::collection::vec(phase_strategy(12, 3), 1..10),
+        seed in any::<u64>(),
+        dup in 100u16..=1000,
+    ) {
+        run_torture_faulty(3, 32, phases, Some(FaultPlan::new(seed).duplicating(dup)));
+    }
+
+    /// Delayed (FIFO-preserving) delivery plus duplicates: stalled links
+    /// release under later traffic and retries; values never diverge.
+    #[test]
+    fn coherence_holds_under_delayed_delivery(
+        phases in proptest::collection::vec(phase_strategy(12, 3), 1..10),
+        seed in any::<u64>(),
+        delay in 50u16..400,
+        max_delay in 1u32..4,
+    ) {
+        let plan = FaultPlan::new(seed).delaying(delay, max_delay).duplicating(60);
+        run_torture_faulty(3, 32, phases, Some(plan));
+    }
 }
 
 /// A regression-style deterministic case: interleaved writers and readers
@@ -199,4 +250,21 @@ fn deterministic_false_sharing_case() {
         Phase::Reads(vec![(1, 1), (0, 1)]),
     ];
     run_torture(3, 32, phases);
+}
+
+/// Pinned fault-injection case (regression seed): the same false-sharing
+/// program with every message duplicated and links stalling — the shape
+/// that exercises duplicate recalls against a busy directory entry.
+#[test]
+fn deterministic_false_sharing_case_under_faults() {
+    let phases = vec![
+        Phase::Writes(vec![(0, 0, 11), (1, 1, 22), (2, 2, 33)]),
+        Phase::Reads(vec![(0, 2), (1, 0), (2, 1)]),
+        Phase::Writes(vec![(0, 2, 44), (3, 0, 55)]),
+        Phase::Reads(vec![(0, 0), (0, 1), (3, 2), (1, 2)]),
+        Phase::Writes(vec![(1, 0, 66)]),
+        Phase::Reads(vec![(1, 1), (0, 1)]),
+    ];
+    let plan = FaultPlan::new(0xC0FFEE).duplicating(1000).delaying(150, 3).dropping(60);
+    run_torture_faulty(3, 32, phases, Some(plan));
 }

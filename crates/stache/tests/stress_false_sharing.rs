@@ -5,12 +5,12 @@
 //! the block had been re-granted to a waiter, silently losing the home's
 //! writes.
 
-use std::sync::Arc;
 use crossbeam::channel::{unbounded, Receiver};
 use parking_lot::Mutex;
 use prescient_stache::{fetch, spawn_protocol, Msg, NoHooks, NodeShared, Wake};
 use prescient_tempest::fabric::Fabric;
 use prescient_tempest::{CostModel, GAddr, GlobalLayout, Prim, VBarrier};
+use std::sync::Arc;
 
 #[test]
 fn false_sharing_stress() {
@@ -20,7 +20,8 @@ fn false_sharing_stress() {
         let mut tns = Vec::new();
         for ep in Fabric::new::<Msg>(nodes) {
             let (tx, rx) = unbounded();
-            let shared = Arc::new(NodeShared::new(layout, CostModel::default(), ep.net().clone(), tx));
+            let shared =
+                Arc::new(NodeShared::new(layout, CostModel::default(), ep.net().clone(), tx));
             spawn_protocol(Arc::clone(&shared), ep, Arc::new(NoHooks));
             tns.push((shared, rx));
         }

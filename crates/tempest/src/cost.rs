@@ -53,6 +53,9 @@ pub struct CostModel {
     /// Cost of one global barrier (the CM-5 had a hardware barrier
     /// network).
     pub barrier_ns: u64,
+    /// Time a compute thread waits before re-issuing an unanswered
+    /// coherence request (charged once per retry on top of the miss cost).
+    pub retry_ns: u64,
 }
 
 impl Default for CostModel {
@@ -69,6 +72,7 @@ impl Default for CostModel {
             presend_block_ns: 3_000,
             record_ns: 2_000,
             barrier_ns: 10_000,
+            retry_ns: 150_000,
         }
     }
 }

@@ -5,20 +5,25 @@
 //! Messages from a single sender to a single receiver arrive in order
 //! (point-to-point FIFO), which the coherence protocols rely on — e.g. a
 //! data grant sent to a node is observed before a later recall of the same
-//! block.
+//! block. An optional fault layer (see [`crate::faults`]) can delay,
+//! duplicate, or drop messages between distinct nodes according to a
+//! seeded, deterministic plan.
 //!
 //! The fabric is generic in its payload type: Tempest itself does not know
 //! the coherence vocabulary, just as the real Tempest interface shipped
 //! uninterpreted active messages to user-level handlers.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 
+use crate::faults::{FaultPlan, FaultState};
+use crate::stats::FaultStats;
 use crate::NodeId;
 
 /// One in-flight message.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Envelope<M> {
     /// Sending node.
     pub src: NodeId,
@@ -28,16 +33,53 @@ pub struct Envelope<M> {
     pub msg: M,
 }
 
+/// Shared teardown state of one fabric. A send can only fail after the
+/// destination endpoint was dropped; that is legitimate during machine
+/// teardown but a protocol bug at any other time, so the machine layer
+/// marks the fabric as closing before dropping endpoints and the fabric
+/// counts (and, in debug builds, asserts on) drops.
+#[derive(Debug, Default)]
+pub struct FabricCtl {
+    closing: AtomicBool,
+    teardown_drops: AtomicU64,
+}
+
+impl FabricCtl {
+    /// Declare that teardown has begun: endpoints may now disappear and
+    /// sends to them be dropped without it being a bug.
+    pub fn mark_closing(&self) {
+        self.closing.store(true, Ordering::Release);
+    }
+
+    /// Has teardown begun?
+    pub fn is_closing(&self) -> bool {
+        self.closing.load(Ordering::Acquire)
+    }
+
+    /// Number of messages dropped because their destination endpoint was
+    /// already gone.
+    pub fn teardown_drops(&self) -> u64 {
+        self.teardown_drops.load(Ordering::Relaxed)
+    }
+}
+
 /// A cloneable handle that can inject messages into any node's inbox on
 /// behalf of node `me`.
 pub struct Net<M> {
     me: NodeId,
     txs: Arc<[Sender<Envelope<M>>]>,
+    ctl: Arc<FabricCtl>,
+    faults: Option<Arc<FaultState<M>>>,
 }
 
 impl<M> Clone for Net<M> {
     fn clone(&self) -> Self {
-        Net { me: self.me, txs: Arc::clone(&self.txs) }
+        Net {
+            me: self.me,
+            txs: Arc::clone(&self.txs),
+            ctl: Arc::clone(&self.ctl),
+            faults: self.faults.clone(),
+        }
     }
 }
 
@@ -52,15 +94,51 @@ impl<M: Send> Net<M> {
         self.txs.len()
     }
 
-    /// Send `msg` to `dst` (self-sends are allowed and used by the
-    /// protocols to keep one code path for local and remote faults).
-    pub fn send(&self, dst: NodeId, msg: M) {
-        let env = Envelope { src: self.me, dst, msg };
-        // A send can only fail after the destination endpoint was dropped,
-        // which happens during machine teardown; losing messages then is
-        // harmless.
-        let _ = self.txs[dst as usize].send(env);
+    /// The fabric's shared teardown state.
+    pub fn ctl(&self) -> &Arc<FabricCtl> {
+        &self.ctl
     }
+
+    /// Send `msg` to `dst` (self-sends are allowed and used by the
+    /// protocols to keep one code path for local and remote faults). On a
+    /// faulty fabric the message may be delayed, duplicated, or dropped —
+    /// except self-sends, which are always delivered intact.
+    pub fn send(&self, dst: NodeId, msg: M)
+    where
+        M: Clone,
+    {
+        let env = Envelope { src: self.me, dst, msg };
+        match &self.faults {
+            Some(f) => f.process(env, &mut |e| self.deliver(e)),
+            None => self.deliver(env),
+        }
+    }
+
+    fn deliver(&self, env: Envelope<M>) {
+        let dst = env.dst as usize;
+        if self.txs[dst].send(env).is_err() {
+            // The destination endpoint is gone. Legitimate only once the
+            // machine has signalled teardown.
+            self.ctl.teardown_drops.fetch_add(1, Ordering::Relaxed);
+            debug_assert!(
+                self.ctl.is_closing(),
+                "message to node {dst} dropped before teardown was signalled"
+            );
+        }
+    }
+}
+
+/// Result of a non-blocking receive: distinguishes "no message yet" from
+/// "fabric gone", so protocol loops can stop instead of spinning on a dead
+/// channel.
+#[derive(Debug)]
+pub enum TryRecv<M> {
+    /// A message arrived.
+    Msg(Envelope<M>),
+    /// The inbox is currently empty.
+    Empty,
+    /// All senders dropped; no message will ever arrive again.
+    Closed,
 }
 
 /// A node's receiving endpoint plus its sending handle.
@@ -79,13 +157,22 @@ impl<M: Send> Endpoint<M> {
     }
 
     /// Non-blocking receive.
-    pub fn try_recv(&self) -> Option<Envelope<M>> {
-        self.rx.try_recv().ok()
+    pub fn try_recv(&self) -> TryRecv<M> {
+        match self.rx.try_recv() {
+            Ok(env) => TryRecv::Msg(env),
+            Err(TryRecvError::Empty) => TryRecv::Empty,
+            Err(TryRecvError::Disconnected) => TryRecv::Closed,
+        }
     }
 
     /// The sending handle for this node.
     pub fn net(&self) -> &Net<M> {
         &self.net
+    }
+
+    /// The fabric's shared teardown state.
+    pub fn ctl(&self) -> &Arc<FabricCtl> {
+        self.net.ctl()
     }
 }
 
@@ -96,6 +183,25 @@ impl Fabric {
     /// Build the endpoints. Endpoint `i` receives everything addressed to
     /// node `i`.
     pub fn new<M: Send>(n: usize) -> Vec<Endpoint<M>> {
+        Fabric::build(n, None).0
+    }
+
+    /// Build a fabric whose inter-node links run through the fault layer
+    /// described by `plan`. Also returns the per-link fault counters.
+    pub fn new_faulty<M: Send + Clone>(
+        n: usize,
+        plan: FaultPlan,
+    ) -> (Vec<Endpoint<M>>, Arc<FaultStats>) {
+        let faults = Arc::new(FaultState::new(n, plan));
+        let stats = Arc::clone(faults.stats());
+        let (eps, _) = Fabric::build(n, Some(faults));
+        (eps, stats)
+    }
+
+    fn build<M: Send>(
+        n: usize,
+        faults: Option<Arc<FaultState<M>>>,
+    ) -> (Vec<Endpoint<M>>, Arc<FabricCtl>) {
         let mut txs = Vec::with_capacity(n);
         let mut rxs = Vec::with_capacity(n);
         for _ in 0..n {
@@ -104,14 +210,22 @@ impl Fabric {
             rxs.push(rx);
         }
         let txs: Arc<[Sender<Envelope<M>>]> = txs.into();
-        rxs.into_iter()
+        let ctl = Arc::new(FabricCtl::default());
+        let eps = rxs
+            .into_iter()
             .enumerate()
             .map(|(i, rx)| Endpoint {
                 me: i as NodeId,
                 rx,
-                net: Net { me: i as NodeId, txs: Arc::clone(&txs) },
+                net: Net {
+                    me: i as NodeId,
+                    txs: Arc::clone(&txs),
+                    ctl: Arc::clone(&ctl),
+                    faults: faults.clone(),
+                },
             })
-            .collect()
+            .collect();
+        (eps, ctl)
     }
 }
 
@@ -174,8 +288,97 @@ mod tests {
     }
 
     #[test]
-    fn try_recv_empty() {
-        let eps = Fabric::new::<u8>(1);
-        assert!(eps[0].try_recv().is_none());
+    fn try_recv_distinguishes_empty_from_closed() {
+        let eps = Fabric::new::<u8>(2);
+        assert!(matches!(eps[0].try_recv(), TryRecv::Empty));
+        eps[1].net().send(0, 9);
+        assert!(matches!(eps[0].try_recv(), TryRecv::Msg(Envelope { msg: 9, .. })));
+        assert!(matches!(eps[0].try_recv(), TryRecv::Empty));
+        // Every endpoint's net holds all senders, so Closed only shows up
+        // once every net is gone; split the receiver out to observe it.
+        let mut eps = eps;
+        let Endpoint { rx, .. } = eps.remove(0);
+        drop(eps);
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Disconnected)));
+    }
+
+    #[test]
+    fn teardown_drops_are_counted_after_closing() {
+        let mut eps = Fabric::new::<u8>(2);
+        let e1 = eps.pop().unwrap();
+        let e0 = eps.pop().unwrap();
+        let net0 = e0.net().clone();
+        net0.ctl().mark_closing();
+        drop(e1);
+        net0.send(1, 42);
+        assert_eq!(net0.ctl().teardown_drops(), 1);
+        drop(e0);
+    }
+
+    #[test]
+    fn faulty_fabric_preserving_keeps_per_link_fifo() {
+        let plan = FaultPlan::new(77).delaying(200, 4).duplicating(100);
+        let (eps, stats) = Fabric::new_faulty::<u32>(2, plan);
+        for i in 0..500 {
+            eps[0].net().send(1, i);
+        }
+        let mut got = Vec::new();
+        while let TryRecv::Msg(env) = eps[1].try_recv() {
+            got.push(env.msg);
+        }
+        let mut dedup = got.clone();
+        dedup.dedup();
+        let mut sorted = dedup.clone();
+        sorted.sort_unstable();
+        assert_eq!(dedup, sorted, "preserving mode must keep FIFO per link");
+        let s = stats.link(0, 1).snapshot();
+        assert!(s.delayed > 0 && s.duplicated > 0, "plan must have fired: {s:?}");
+    }
+
+    #[test]
+    fn faulty_fabric_duplicates_arrive() {
+        let plan = FaultPlan::new(13).duplicating(1000); // every message doubled
+        let (eps, stats) = Fabric::new_faulty::<u32>(2, plan);
+        for i in 0..10 {
+            eps[0].net().send(1, i);
+        }
+        let mut got = Vec::new();
+        while let TryRecv::Msg(env) = eps[1].try_recv() {
+            got.push(env.msg);
+        }
+        let expect: Vec<u32> = (0..10).flat_map(|i| [i, i]).collect();
+        assert_eq!(got, expect);
+        assert_eq!(stats.link(0, 1).snapshot().duplicated, 10);
+    }
+
+    #[test]
+    fn faulty_fabric_never_touches_self_sends() {
+        let plan = FaultPlan::new(1).dropping(1000);
+        let (eps, stats) = Fabric::new_faulty::<u32>(2, plan);
+        for i in 0..50 {
+            eps[0].net().send(0, i);
+        }
+        let mut got = Vec::new();
+        while let TryRecv::Msg(env) = eps[0].try_recv() {
+            got.push(env.msg);
+        }
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+        assert_eq!(stats.total().dropped, 0);
+    }
+
+    #[test]
+    fn faulty_fabric_violating_mode_reorders() {
+        let plan = FaultPlan::new(5).delaying(400, 6).fifo_violating();
+        let (eps, _) = Fabric::new_faulty::<u32>(2, plan);
+        for i in 0..1000 {
+            eps[0].net().send(1, i);
+        }
+        let mut got = Vec::new();
+        while let TryRecv::Msg(env) = eps[1].try_recv() {
+            got.push(env.msg);
+        }
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_ne!(got, sorted, "violating mode must produce at least one overtake");
     }
 }

@@ -1,0 +1,401 @@
+//! Deterministic fault injection for the message fabric.
+//!
+//! A [`FaultPlan`] describes, per (src, dst) link, how often messages are
+//! delayed, duplicated, or dropped. Decisions are drawn from a per-link
+//! [`SplitMix64`] stream seeded from the plan's seed, so the *schedule* of
+//! fault decisions (the fate of the k-th send on each link) is reproducible
+//! from the seed alone. Which protocol message happens to be the k-th send
+//! on a link still depends on thread interleaving — the plan makes the
+//! adversary deterministic, not the execution.
+//!
+//! Two delay disciplines are supported (the distinction the chaos tests use
+//! to document each protocol's ordering requirements):
+//!
+//! * [`FifoMode::Preserving`] — a delayed message stalls the *whole link*:
+//!   later messages on the same link queue behind it, so point-to-point
+//!   FIFO order is preserved. Duplicates are delivered back-to-back.
+//!   Stache's directory protocol tolerates this mode (plus drops and
+//!   duplicates) given the seqno/retry machinery in `prescient-stache`.
+//! * [`FifoMode::Violating`] — a delayed message is held *individually*
+//!   while later messages overtake it. This breaks the point-to-point FIFO
+//!   guarantee Stache's grant/recall ordering relies on; it exists so tests
+//!   can demonstrate which invariants the protocol actually needs.
+//!
+//! Delays are measured in subsequent *send events on the same link*: a
+//! message delayed by `k` is released once `k` further sends hit that link.
+//! This keeps the fault layer free of wall-clock time (fully deterministic
+//! given a send sequence) and guarantees that retransmissions — which are
+//! themselves sends — eventually flush a stalled link.
+//!
+//! Self-sends (`src == dst`) are never faulted: they model a node's local
+//! hand-off to its own protocol handler, not network traffic, and the
+//! protocols rely on them for shutdown and home-local grants.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::fabric::Envelope;
+use crate::stats::FaultStats;
+
+/// A small, fast, seedable PRNG (SplitMix64). Used instead of an external
+/// RNG crate so fault schedules are stable across toolchains and the fabric
+/// keeps zero extra dependencies.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Bernoulli draw with probability `per_mille`/1000.
+    pub fn chance(&mut self, per_mille: u16) -> bool {
+        per_mille > 0 && self.next_u64() % 1000 < u64::from(per_mille)
+    }
+
+    /// Uniform draw in `1..=max` (returns 1 when `max <= 1`).
+    pub fn up_to(&mut self, max: u32) -> u32 {
+        if max <= 1 {
+            1
+        } else {
+            1 + (self.next_u64() % u64::from(max)) as u32
+        }
+    }
+}
+
+/// Ordering discipline of injected delays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FifoMode {
+    /// A delayed message stalls its whole link; point-to-point FIFO holds.
+    Preserving,
+    /// A delayed message is overtaken by later ones; FIFO is violated.
+    Violating,
+}
+
+/// A seeded, deterministic description of the faults to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the per-link decision streams.
+    pub seed: u64,
+    /// Probability (per mille) that a message is delayed.
+    pub delay_per_mille: u16,
+    /// Maximum delay, in subsequent send events on the same link.
+    pub max_delay: u32,
+    /// Probability (per mille) that a message is duplicated.
+    pub dup_per_mille: u16,
+    /// Probability (per mille) that a message is dropped.
+    pub drop_per_mille: u16,
+    /// Delay ordering discipline.
+    pub fifo: FifoMode,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a base for the builders).
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            delay_per_mille: 0,
+            max_delay: 0,
+            dup_per_mille: 0,
+            drop_per_mille: 0,
+            fifo: FifoMode::Preserving,
+        }
+    }
+
+    /// The default chaos mix: FIFO-preserving delays, duplicates, and drops.
+    pub fn chaos(seed: u64) -> FaultPlan {
+        FaultPlan::new(seed).delaying(100, 3).duplicating(60).dropping(25)
+    }
+
+    /// Delay messages with the given probability, up to `max_delay` link
+    /// send events.
+    pub fn delaying(mut self, per_mille: u16, max_delay: u32) -> FaultPlan {
+        self.delay_per_mille = per_mille;
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Duplicate messages with the given probability.
+    pub fn duplicating(mut self, per_mille: u16) -> FaultPlan {
+        self.dup_per_mille = per_mille;
+        self
+    }
+
+    /// Drop messages with the given probability.
+    pub fn dropping(mut self, per_mille: u16) -> FaultPlan {
+        self.drop_per_mille = per_mille;
+        self
+    }
+
+    /// Switch delays to the FIFO-violating discipline.
+    pub fn fifo_violating(mut self) -> FaultPlan {
+        self.fifo = FifoMode::Violating;
+        self
+    }
+
+    /// Does this plan inject anything at all?
+    pub fn is_active(&self) -> bool {
+        self.delay_per_mille > 0 || self.dup_per_mille > 0 || self.drop_per_mille > 0
+    }
+}
+
+/// Per-message fate drawn from a link's decision stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Decision {
+    Deliver,
+    Drop,
+    Duplicate,
+    Delay(u32),
+}
+
+fn decide(rng: &mut SplitMix64, plan: &FaultPlan) -> Decision {
+    if rng.chance(plan.drop_per_mille) {
+        Decision::Drop
+    } else if rng.chance(plan.dup_per_mille) {
+        Decision::Duplicate
+    } else if rng.chance(plan.delay_per_mille) {
+        Decision::Delay(rng.up_to(plan.max_delay))
+    } else {
+        Decision::Deliver
+    }
+}
+
+/// Mutable per-link state: the decision stream plus held (delayed) traffic.
+struct Link<M> {
+    rng: SplitMix64,
+    /// Send events seen on this link.
+    events: u64,
+    /// FIFO-preserving mode: event count until which the link is stalled.
+    stall_until: u64,
+    /// Held messages. In `Preserving` mode the per-entry release event is
+    /// unused (the whole queue releases at `stall_until`); in `Violating`
+    /// mode each entry carries its own release event.
+    held: VecDeque<(u64, Envelope<M>)>,
+}
+
+/// The fault layer of one fabric: per-link decision streams, held traffic,
+/// and counters.
+pub struct FaultState<M> {
+    plan: FaultPlan,
+    n: usize,
+    links: Vec<Mutex<Link<M>>>,
+    stats: Arc<FaultStats>,
+}
+
+impl<M: Clone> FaultState<M> {
+    /// Build the fault layer for an `n`-node fabric.
+    pub fn new(n: usize, plan: FaultPlan) -> FaultState<M> {
+        let mut links = Vec::with_capacity(n * n);
+        for i in 0..n * n {
+            // Mix the link index into the seed so links get distinct streams.
+            let mut seeder =
+                SplitMix64::new(plan.seed ^ (i as u64).wrapping_mul(0xa076_1d64_78bd_642f));
+            links.push(Mutex::new(Link {
+                rng: SplitMix64::new(seeder.next_u64()),
+                events: 0,
+                stall_until: 0,
+                held: VecDeque::new(),
+            }));
+        }
+        FaultState { plan, n, links, stats: Arc::new(FaultStats::new(n)) }
+    }
+
+    /// The plan this layer was built with.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+
+    /// Per-link fault counters.
+    pub fn stats(&self) -> &Arc<FaultStats> {
+        &self.stats
+    }
+
+    /// Pass one envelope through the fault layer. `deliver` is invoked for
+    /// every copy that comes out (possibly zero, possibly several including
+    /// releases of previously held messages). Called with the link lock
+    /// held, so per-link delivery order is atomic.
+    pub fn process(&self, env: Envelope<M>, deliver: &mut dyn FnMut(Envelope<M>)) {
+        if env.src == env.dst {
+            deliver(env); // local hand-off, never faulted
+            return;
+        }
+        let idx = env.src as usize * self.n + env.dst as usize;
+        let lf = self.stats.link(env.src, env.dst);
+        let mut l = self.links[idx].lock();
+        l.events += 1;
+        match decide(&mut l.rng, &self.plan) {
+            Decision::Drop => lf.count_dropped(),
+            Decision::Delay(k) => {
+                lf.count_delayed();
+                let release = l.events + u64::from(k);
+                match self.plan.fifo {
+                    FifoMode::Preserving => {
+                        l.stall_until = l.stall_until.max(release);
+                        l.held.push_back((0, env));
+                    }
+                    FifoMode::Violating => l.held.push_back((release, env)),
+                }
+            }
+            d @ (Decision::Deliver | Decision::Duplicate) => {
+                let dup = d == Decision::Duplicate;
+                if dup {
+                    lf.count_duplicated();
+                }
+                // While the link is stalled in FIFO-preserving mode, even
+                // undelayed messages must queue behind the held ones.
+                let stalled = self.plan.fifo == FifoMode::Preserving && !l.held.is_empty();
+                if stalled {
+                    if dup {
+                        l.held.push_back((0, env.clone()));
+                    }
+                    l.held.push_back((0, env));
+                } else {
+                    if dup {
+                        deliver(env.clone());
+                    }
+                    deliver(env);
+                }
+            }
+        }
+        // Release whatever is due.
+        match self.plan.fifo {
+            FifoMode::Preserving => {
+                if l.events >= l.stall_until {
+                    while let Some((_, e)) = l.held.pop_front() {
+                        lf.count_released();
+                        deliver(e);
+                    }
+                }
+            }
+            FifoMode::Violating => {
+                let mut i = 0;
+                while i < l.held.len() {
+                    if l.held[i].0 <= l.events {
+                        let (_, e) = l.held.remove(i).expect("index in bounds");
+                        lf.count_released();
+                        deliver(e);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(src: u16, dst: u16, msg: u32) -> Envelope<u32> {
+        Envelope { src, dst, msg }
+    }
+
+    fn run_plan(plan: FaultPlan, count: u32) -> Vec<u32> {
+        let fs = FaultState::new(2, plan);
+        let mut out = Vec::new();
+        for i in 0..count {
+            fs.process(env(0, 1, i), &mut |e| out.push(e.msg));
+        }
+        out
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_ne!(SplitMix64::new(1).next_u64(), SplitMix64::new(2).next_u64());
+    }
+
+    #[test]
+    fn no_fault_plan_is_transparent() {
+        let out = run_plan(FaultPlan::new(7), 50);
+        assert_eq!(out, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn same_seed_same_fate() {
+        let plan = FaultPlan::chaos(1234);
+        assert_eq!(run_plan(plan, 500), run_plan(plan, 500));
+    }
+
+    #[test]
+    fn preserving_mode_keeps_order() {
+        let plan = FaultPlan::new(99).delaying(300, 4).duplicating(150);
+        let out = run_plan(plan, 1000);
+        // Duplicates are adjacent and delays stall the link, so the
+        // delivered sequence (with duplicates collapsed) is sorted.
+        let mut dedup = out.clone();
+        dedup.dedup();
+        let mut sorted = dedup.clone();
+        sorted.sort_unstable();
+        assert_eq!(dedup, sorted, "FIFO-preserving delivery must stay ordered");
+    }
+
+    #[test]
+    fn violating_mode_reorders() {
+        let plan = FaultPlan::new(5).delaying(400, 6).fifo_violating();
+        let out = run_plan(plan, 1000);
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_ne!(out, sorted, "expected at least one overtake");
+    }
+
+    #[test]
+    fn drops_are_counted_and_lost() {
+        let plan = FaultPlan::new(11).dropping(500);
+        let fs = FaultState::new(2, plan);
+        let mut out = Vec::new();
+        for i in 0..1000 {
+            fs.process(env(0, 1, i), &mut |e| out.push(e.msg));
+        }
+        let dropped = fs.stats().link(0, 1).snapshot().dropped;
+        assert!(dropped > 300, "a 50% drop rate must drop plenty, got {dropped}");
+        assert_eq!(out.len() as u64, 1000 - dropped);
+    }
+
+    #[test]
+    fn self_sends_bypass_faults() {
+        let fs = FaultState::new(2, FaultPlan::new(3).dropping(1000));
+        let mut out = Vec::new();
+        for i in 0..100 {
+            fs.process(env(1, 1, i), &mut |e| out.push(e.msg));
+        }
+        assert_eq!(out.len(), 100);
+        assert_eq!(fs.stats().total().dropped, 0);
+    }
+
+    #[test]
+    fn delayed_messages_eventually_release() {
+        let plan = FaultPlan::new(21).delaying(500, 3);
+        let fs = FaultState::new(2, plan);
+        let mut out = Vec::new();
+        for i in 0..200 {
+            fs.process(env(0, 1, i), &mut |e| out.push(e.msg));
+        }
+        let s = fs.stats().link(0, 1).snapshot();
+        assert!(s.delayed > 0);
+        // Everything delayed so far has either been released or is still
+        // held awaiting further traffic; pushing more traffic flushes it.
+        for i in 200..400 {
+            fs.process(env(0, 1, i), &mut |e| out.push(e.msg));
+        }
+        let s = fs.stats().link(0, 1).snapshot();
+        assert!(s.released >= s.delayed.saturating_sub(3), "stalls must flush under traffic");
+    }
+}

@@ -36,6 +36,7 @@ pub mod addr;
 pub mod barrier;
 pub mod cost;
 pub mod fabric;
+pub mod faults;
 pub mod layout;
 pub mod mem;
 pub mod nodeset;
@@ -46,12 +47,13 @@ pub mod tag;
 pub use addr::{BlockId, GAddr};
 pub use barrier::VBarrier;
 pub use cost::CostModel;
-pub use fabric::{Endpoint, Fabric};
+pub use fabric::{Endpoint, Fabric, FabricCtl, TryRecv};
+pub use faults::{FaultPlan, FifoMode, SplitMix64};
 pub use layout::GlobalLayout;
 pub use mem::{LocalBlock, NodeMem};
 pub use nodeset::NodeSet;
 pub use prim::Prim;
-pub use stats::{NodeStats, TimeBreakdown};
+pub use stats::{FaultStats, NodeStats, TimeBreakdown};
 pub use tag::Tag;
 
 /// Identifies one node (processor) of the emulated machine.

@@ -141,12 +141,16 @@ impl NodeMem {
     }
 
     /// Install a copy of a remote block with the given tag, as done by the
-    /// protocol when a data reply or pre-send arrives.
-    pub fn install(&mut self, block: BlockId, data: &[u8], tag: Tag, presend: bool) {
+    /// protocol when a data reply or pre-send arrives. Returns `true` if
+    /// the install overwrote a pre-sent copy that was never accessed — a
+    /// "useless pre-send" signal fed to the degradation policy.
+    pub fn install(&mut self, block: BlockId, data: &[u8], tag: Tag, presend: bool) -> bool {
         let b = self.block_mut(block);
+        let wasted = b.presend_unused;
         b.data.copy_from_slice(data);
         b.tag = tag;
         b.presend_unused = presend;
+        wasted
     }
 
     /// Read `buf.len()` bytes starting at `addr`. The read must not cross a

@@ -1,12 +1,17 @@
-//! Per-node event counters and the execution-time breakdown.
+//! Per-node event counters, per-link fault counters, and the execution-time
+//! breakdown.
 //!
 //! The paper's performance graphs (Figures 5–7) split each bar into three
 //! sections: *remote data wait*, *predictive protocol* (pre-send phase), and
 //! *compute + synch*. [`TimeBreakdown`] carries exactly those sections (with
 //! compute and synch kept separate so the synchronization effect in §5.1 can
 //! be observed); [`NodeStats`] counts the underlying protocol events.
+//! [`FaultStats`] counts, per (src, dst) link, what the fabric's fault layer
+//! (`crate::faults`) did to traffic.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::NodeId;
 
 /// Event counters for one node. All counters are cumulative over the run and
 /// safe to update from both the compute and the protocol-handler thread.
@@ -41,8 +46,33 @@ pub struct NodeStats {
     /// Schedule entries recorded at this node (as home).
     pub sched_records: AtomicU64,
     /// Faulting accesses that found the block already installed by a
-    /// pre-send earlier in the same phase — should stay 0; a diagnostic.
+    /// pre-send earlier in the same phase — should stay 0 on a fault-free
+    /// fabric; a diagnostic.
     pub presend_races: AtomicU64,
+    /// Coherence requests this node's compute thread re-issued after a
+    /// reply timeout.
+    pub retries: AtomicU64,
+    /// Pre-send bulk messages this node retransmitted after an ack timeout.
+    pub presend_retries: AtomicU64,
+    /// Duplicate or stale requests (seqno not newer than the last accepted
+    /// one from that requester) this home ignored.
+    pub dup_reqs_in: AtomicU64,
+    /// Stale protocol messages (recall data, invalidation acks, recalls of
+    /// blocks no longer held) ignored because their operation id did not
+    /// match any operation in flight.
+    pub stale_msgs_in: AtomicU64,
+    /// Grants discarded because their seqno no longer matched the fetch
+    /// in flight (a retry had superseded them).
+    pub stale_grants_in: AtomicU64,
+    /// Pre-send installs rejected because they arrived outside their
+    /// pre-send window (stale duplicates of acknowledged pushes).
+    pub presend_stale_in: AtomicU64,
+    /// Useless pre-sends charged to this node as a home: copies it pushed
+    /// that were torn down or overwritten without ever being accessed.
+    pub presend_useless: AtomicU64,
+    /// Times the degradation policy flushed one of this home's phase
+    /// schedules and fell back to plain Stache.
+    pub degrade_events: AtomicU64,
 }
 
 impl NodeStats {
@@ -76,6 +106,14 @@ impl NodeStats {
             presend_blocks_in: g(&self.presend_blocks_in),
             sched_records: g(&self.sched_records),
             presend_races: g(&self.presend_races),
+            retries: g(&self.retries),
+            presend_retries: g(&self.presend_retries),
+            dup_reqs_in: g(&self.dup_reqs_in),
+            stale_msgs_in: g(&self.stale_msgs_in),
+            stale_grants_in: g(&self.stale_grants_in),
+            presend_stale_in: g(&self.presend_stale_in),
+            presend_useless: g(&self.presend_useless),
+            degrade_events: g(&self.degrade_events),
         }
     }
 }
@@ -98,6 +136,43 @@ pub struct StatsSnapshot {
     pub presend_blocks_in: u64,
     pub sched_records: u64,
     pub presend_races: u64,
+    pub retries: u64,
+    pub presend_retries: u64,
+    pub dup_reqs_in: u64,
+    pub stale_msgs_in: u64,
+    pub stale_grants_in: u64,
+    pub presend_stale_in: u64,
+    pub presend_useless: u64,
+    pub degrade_events: u64,
+}
+
+macro_rules! per_field {
+    ($a:ident, $b:ident, $op:tt) => {
+        StatsSnapshot {
+            reads: $a.reads $op $b.reads,
+            writes: $a.writes $op $b.writes,
+            read_misses: $a.read_misses $op $b.read_misses,
+            write_misses: $a.write_misses $op $b.write_misses,
+            slow_misses: $a.slow_misses $op $b.slow_misses,
+            invals_in: $a.invals_in $op $b.invals_in,
+            recalls_in: $a.recalls_in $op $b.recalls_in,
+            msgs_out: $a.msgs_out $op $b.msgs_out,
+            presend_blocks_out: $a.presend_blocks_out $op $b.presend_blocks_out,
+            presend_msgs_out: $a.presend_msgs_out $op $b.presend_msgs_out,
+            presend_bytes_out: $a.presend_bytes_out $op $b.presend_bytes_out,
+            presend_blocks_in: $a.presend_blocks_in $op $b.presend_blocks_in,
+            sched_records: $a.sched_records $op $b.sched_records,
+            presend_races: $a.presend_races $op $b.presend_races,
+            retries: $a.retries $op $b.retries,
+            presend_retries: $a.presend_retries $op $b.presend_retries,
+            dup_reqs_in: $a.dup_reqs_in $op $b.dup_reqs_in,
+            stale_msgs_in: $a.stale_msgs_in $op $b.stale_msgs_in,
+            stale_grants_in: $a.stale_grants_in $op $b.stale_grants_in,
+            presend_stale_in: $a.presend_stale_in $op $b.presend_stale_in,
+            presend_useless: $a.presend_useless $op $b.presend_useless,
+            degrade_events: $a.degrade_events $op $b.degrade_events,
+        }
+    };
 }
 
 impl StatsSnapshot {
@@ -124,22 +199,107 @@ impl StatsSnapshot {
 
     /// Element-wise sum, for machine-wide totals.
     pub fn merge(&self, o: &StatsSnapshot) -> StatsSnapshot {
-        StatsSnapshot {
-            reads: self.reads + o.reads,
-            writes: self.writes + o.writes,
-            read_misses: self.read_misses + o.read_misses,
-            write_misses: self.write_misses + o.write_misses,
-            slow_misses: self.slow_misses + o.slow_misses,
-            invals_in: self.invals_in + o.invals_in,
-            recalls_in: self.recalls_in + o.recalls_in,
-            msgs_out: self.msgs_out + o.msgs_out,
-            presend_blocks_out: self.presend_blocks_out + o.presend_blocks_out,
-            presend_msgs_out: self.presend_msgs_out + o.presend_msgs_out,
-            presend_bytes_out: self.presend_bytes_out + o.presend_bytes_out,
-            presend_blocks_in: self.presend_blocks_in + o.presend_blocks_in,
-            sched_records: self.sched_records + o.sched_records,
-            presend_races: self.presend_races + o.presend_races,
+        per_field!(self, o, +)
+    }
+
+    /// Element-wise difference (`self - o`), for per-run deltas from
+    /// cumulative counters.
+    pub fn sub(&self, o: &StatsSnapshot) -> StatsSnapshot {
+        per_field!(self, o, -)
+    }
+}
+
+/// Fault counters for one (src, dst) link of the fabric.
+#[derive(Debug, Default)]
+pub struct LinkFaults {
+    delayed: AtomicU64,
+    duplicated: AtomicU64,
+    dropped: AtomicU64,
+    released: AtomicU64,
+}
+
+impl LinkFaults {
+    /// Count one delayed message.
+    pub fn count_delayed(&self) {
+        self.delayed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one duplicated message.
+    pub fn count_duplicated(&self) {
+        self.duplicated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one dropped message.
+    pub fn count_dropped(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one held message released back onto the link.
+    pub fn count_released(&self) {
+        self.released.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Plain-value copy of the counters.
+    pub fn snapshot(&self) -> LinkFaultsSnapshot {
+        LinkFaultsSnapshot {
+            delayed: self.delayed.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            released: self.released.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// Plain-value copy of [`LinkFaults`]. Messages held by a stalled link at
+/// teardown show up as `delayed - released` (plus any message queued behind
+/// them, which is also counted as released when the stall flushes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct LinkFaultsSnapshot {
+    pub delayed: u64,
+    pub duplicated: u64,
+    pub dropped: u64,
+    pub released: u64,
+}
+
+impl LinkFaultsSnapshot {
+    /// Element-wise sum.
+    pub fn merge(&self, o: &LinkFaultsSnapshot) -> LinkFaultsSnapshot {
+        LinkFaultsSnapshot {
+            delayed: self.delayed + o.delayed,
+            duplicated: self.duplicated + o.duplicated,
+            dropped: self.dropped + o.dropped,
+            released: self.released + o.released,
+        }
+    }
+}
+
+/// Per-link fault counters for a whole fabric (row-major: `src * n + dst`).
+#[derive(Debug)]
+pub struct FaultStats {
+    n: usize,
+    links: Vec<LinkFaults>,
+}
+
+impl FaultStats {
+    /// Zeroed counters for an `n`-node fabric.
+    pub fn new(n: usize) -> FaultStats {
+        FaultStats { n, links: (0..n * n).map(|_| LinkFaults::default()).collect() }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Counters of the (src, dst) link.
+    pub fn link(&self, src: NodeId, dst: NodeId) -> &LinkFaults {
+        &self.links[src as usize * self.n + dst as usize]
+    }
+
+    /// Sum over all links.
+    pub fn total(&self) -> LinkFaultsSnapshot {
+        self.links.iter().fold(LinkFaultsSnapshot::default(), |acc, l| acc.merge(&l.snapshot()))
     }
 }
 
@@ -201,12 +361,39 @@ mod tests {
     }
 
     #[test]
+    fn sub_gives_deltas() {
+        let s = NodeStats::default();
+        NodeStats::add(&s.retries, 3);
+        NodeStats::add(&s.msgs_out, 10);
+        let before = s.snapshot();
+        NodeStats::add(&s.retries, 2);
+        NodeStats::add(&s.dup_reqs_in, 7);
+        let after = s.snapshot();
+        let d = after.sub(&before);
+        assert_eq!(d.retries, 2);
+        assert_eq!(d.dup_reqs_in, 7);
+        assert_eq!(d.msgs_out, 0);
+    }
+
+    #[test]
     fn local_fraction() {
         let mut snap = StatsSnapshot::default();
         assert_eq!(snap.local_fraction(), 1.0);
         snap.reads = 10;
         snap.read_misses = 2;
         assert!((snap.local_fraction() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_stats_per_link() {
+        let f = FaultStats::new(3);
+        f.link(0, 1).count_dropped();
+        f.link(0, 1).count_dropped();
+        f.link(2, 0).count_delayed();
+        assert_eq!(f.link(0, 1).snapshot().dropped, 2);
+        assert_eq!(f.link(1, 0).snapshot().dropped, 0);
+        let t = f.total();
+        assert_eq!((t.dropped, t.delayed), (2, 1));
     }
 
     #[test]

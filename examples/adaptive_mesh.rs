@@ -24,8 +24,11 @@ fn main() {
     );
 
     for mcfg in [MachineConfig::stache(8, 32), MachineConfig::predictive(8, 32)] {
-        let name =
-            if mcfg.protocol.is_predictive() { "predictive (optimized)" } else { "write-invalidate" };
+        let name = if mcfg.protocol.is_predictive() {
+            "predictive (optimized)"
+        } else {
+            "write-invalidate"
+        };
         let (run, roots, depths) = run_adaptive_full(mcfg, &cfg);
 
         // Validate against the reference.

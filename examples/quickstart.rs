@@ -56,7 +56,8 @@ fn main() {
     let unopt = simulate(MachineConfig::stache(4, 32));
     let opt = simulate(MachineConfig::predictive(4, 32));
 
-    for (name, r) in [("write-invalidate (unoptimized)", &unopt), ("predictive (optimized)", &opt)] {
+    for (name, r) in [("write-invalidate (unoptimized)", &unopt), ("predictive (optimized)", &opt)]
+    {
         let t = r.total_stats();
         println!("{name}:");
         println!("  remote misses        : {}", t.misses());

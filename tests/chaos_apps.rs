@@ -1,0 +1,57 @@
+//! Application-level chaos: the three mini-apps run to completion on an
+//! 8-node machine whose fabric delays, duplicates, and drops messages
+//! (fixed seed, FIFO-preserving), with the whole-machine coherence check
+//! asserted at teardown (`validated()`), and produce checksums bit-equal
+//! to the fault-free run — the protocol's retry/dedup machinery makes the
+//! faults invisible to the application.
+
+use std::time::Duration;
+
+use prescient::apps::adaptive::{run_adaptive_full, AdaptiveConfig};
+use prescient::apps::barnes::{run_barnes, BarnesConfig};
+use prescient::apps::water::{run_water, WaterConfig};
+use prescient::runtime::MachineConfig;
+use prescient::stache::RetryConfig;
+use prescient::tempest::FaultPlan;
+
+const NODES: usize = 8;
+const SEED: u64 = 0xC0FFEE;
+
+/// Chaos machine: delay + duplication + drops, short retry timeout, and
+/// the coherence invariants checked after the run.
+fn chaos(block: usize) -> MachineConfig {
+    MachineConfig::predictive(NODES, block)
+        .with_faults(FaultPlan::chaos(SEED))
+        .with_retry(RetryConfig { timeout: Duration::from_millis(25), max_retries: 400 })
+        .validated()
+}
+
+fn clean(block: usize) -> MachineConfig {
+    MachineConfig::predictive(NODES, block).validated()
+}
+
+#[test]
+fn water_is_bit_identical_under_chaos() {
+    let cfg = WaterConfig { n: 48, steps: 3, ..Default::default() };
+    let a = run_water(clean(32), &cfg);
+    let b = run_water(chaos(32), &cfg);
+    assert_eq!(a.checksum, b.checksum, "chaos must not change water's results");
+}
+
+#[test]
+fn barnes_is_bit_identical_under_chaos() {
+    let cfg = BarnesConfig { n: 128, steps: 2, ..Default::default() };
+    let a = run_barnes(clean(32), &cfg);
+    let b = run_barnes(chaos(32), &cfg);
+    assert_eq!(a.checksum, b.checksum, "chaos must not change barnes' results");
+}
+
+#[test]
+fn adaptive_is_bit_identical_under_chaos() {
+    let cfg = AdaptiveConfig { n: 12, iters: 4, tau: 0.4, max_depth: 2, flush_every: None };
+    let (a, ra, da) = run_adaptive_full(clean(32), &cfg);
+    let (b, rb, db) = run_adaptive_full(chaos(32), &cfg);
+    assert_eq!(a.checksum, b.checksum, "chaos must not change adaptive's results");
+    assert_eq!(ra, rb, "refined roots must match element-wise");
+    assert_eq!(da, db, "refinement depths must match element-wise");
+}

@@ -99,21 +99,32 @@ fn compiler_places_directives_only_where_needed() {
     assert_eq!(local.plan.assignment.n_phases, 0);
 }
 
-/// End-to-end determinism: virtual time and protocol counters of a
-/// figure-style run are bit-identical across repetitions (the property
-/// that makes the figure harness reproducible).
+/// End-to-end reproducibility of a figure-style run.
+///
+/// Application *results* are bit-deterministic (reductions sum in node
+/// order; the protocol keeps sequential consistency regardless of message
+/// interleaving). Virtual time and the miss/pre-send split are not:
+/// concurrent requests race to their home node, and which one is processed
+/// first — or whether a block arrives by pre-send before or after the
+/// consumer faults on it — depends on OS scheduling. What *is* invariant
+/// is the total data movement (a block reaches its consumer either by
+/// pre-send or by miss) and the execution time up to the jitter those
+/// races introduce. This test pins exactly those invariants; asserting
+/// bit-identical virtual time was a long-standing flake.
 #[test]
 fn figure_runs_are_deterministic() {
     let wcfg = WaterConfig { n: 64, steps: 3, ..Default::default() };
     let a = run_water(MachineConfig::predictive(NODES, 32), &wcfg);
     let b = run_water(MachineConfig::predictive(NODES, 32), &wcfg);
-    assert_eq!(a.checksum, b.checksum);
-    assert_eq!(a.report.exec_time_ns(), b.report.exec_time_ns());
-    assert_eq!(a.report.total_stats().misses(), b.report.total_stats().misses());
-    assert_eq!(
-        a.report.total_stats().presend_blocks_out,
-        b.report.total_stats().presend_blocks_out
-    );
+    assert_eq!(a.checksum, b.checksum, "results must be bit-identical");
+
+    let (sa, sb) = (a.report.total_stats(), b.report.total_stats());
+    let moved = |s: &prescient::tempest::stats::StatsSnapshot| s.misses() + s.presend_blocks_out;
+    assert_eq!(moved(&sa), moved(&sb), "total blocks moved (miss + pre-send) must match");
+
+    let (ta, tb) = (a.report.exec_time_ns() as f64, b.report.exec_time_ns() as f64);
+    let rel = (ta - tb).abs() / ta.max(tb);
+    assert!(rel < 0.10, "virtual times diverged by {:.1}% ({} vs {})", rel * 100.0, ta, tb);
 }
 
 /// The pre-send phase never leaves protocol state inconsistent: no
