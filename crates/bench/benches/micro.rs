@@ -157,7 +157,7 @@ fn bench_dataflow(c: &mut Criterion) {
     }
     let cfg = b.finish();
     c.bench_function("dataflow/solve_32aggs_6deep", |b| {
-        b.iter(|| ReachingUnstructured::solve(std::hint::black_box(&cfg)))
+        b.iter(|| ReachingUnstructured::solve(std::hint::black_box(&cfg)).unwrap())
     });
 }
 

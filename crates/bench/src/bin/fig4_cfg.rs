@@ -4,37 +4,10 @@
 //! coalescing optimization that leaves a *single* directive covering the
 //! whole center-of-mass loop.
 
-use prescient_cstar::cfg::CfgBuilder;
+use prescient_bench::cfg_models::barnes_cfg;
 use prescient_cstar::dataflow::ReachingUnstructured;
 use prescient_cstar::directives::{place_directives, render_plan};
-
-fn barnes_cfg() -> prescient_cstar::cfg::Cfg {
-    let universe = ["tree", "pos", "acc"].map(String::from);
-    let mut b = CfgBuilder::new(universe);
-    b.begin_loop("step");
-    // load_tree: insert bodies into the shared oct-tree (unstructured
-    // reads+writes of tree cells; home reads of positions).
-    b.call("load_tree", &[("tree", false, false, true, true), ("pos", true, false, false, false)]);
-    // center_of_mass: upward pass over own subtrees — home accesses only,
-    // in a per-level loop.
-    b.begin_loop("level");
-    b.call("center_of_mass", &[("tree", true, true, false, false)]);
-    b.end_loop();
-    // forces: unstructured tree and position reads; home acceleration
-    // writes.
-    b.call(
-        "forces",
-        &[
-            ("tree", false, false, true, false),
-            ("pos", false, false, true, false),
-            ("acc", false, true, false, false),
-        ],
-    );
-    // advance: owner-writes positions (invalidating force-phase copies).
-    b.call("advance", &[("pos", false, true, false, false), ("acc", true, false, false, false)]);
-    b.end_loop();
-    b.finish()
-}
+use prescient_cstar::lint::audit_plan;
 
 fn main() {
     let cfg = barnes_cfg();
@@ -61,7 +34,7 @@ fn main() {
         }
     }
 
-    let sol = ReachingUnstructured::solve(&cfg);
+    let sol = ReachingUnstructured::solve(&cfg).expect("barnes universe fits the bit-vector");
     println!("\n== Reaching unstructured accesses (at each call's entry) ==\n");
     for &n in &cfg.call_nodes() {
         let c = cfg.call(n).unwrap();
@@ -90,4 +63,13 @@ fn main() {
          inside the center-of-mass loop, re-executed every level).",
         unopt.assignment.n_phases
     );
+
+    println!("\n== Plan audit (cstar-lint W001/W002) ==\n");
+    let findings = audit_plan(&cfg, &sol, &plan.assignment);
+    if findings.is_empty() {
+        println!("  no findings");
+    }
+    for d in &findings {
+        println!("  {d}");
+    }
 }

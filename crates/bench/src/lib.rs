@@ -19,6 +19,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cfg_models;
+
 use prescient_runtime::RunReport;
 
 /// Command-line scale options shared by the figure binaries.

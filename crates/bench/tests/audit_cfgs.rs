@@ -1,0 +1,39 @@
+//! Audit the compiler's directive placement over the hand-built CFG models
+//! of the paper's applications with the plan-level lints (W001/W002).
+//!
+//! Expected picture (recorded in EXPERIMENTS.md): every placed directive is
+//! live (no W002 anywhere); the only phase conflict is Barnes' tree-build
+//! phase, whose unstructured tree reads+writes are exactly the §3.4
+//! conflict case the paper discusses; adaptive (by its separate red/black
+//! aggregates) and water are fully conflict-free.
+
+use prescient_bench::cfg_models::{adaptive_cfg, barnes_cfg, water_cfg};
+use prescient_cstar::directives::place_directives;
+use prescient_cstar::{audit_plan, Cfg, Diagnostic, ReachingUnstructured};
+
+fn audit(cfg: &Cfg) -> Vec<Diagnostic> {
+    let sol = ReachingUnstructured::solve(cfg).expect("small universes");
+    let plan = place_directives(cfg, &sol, true);
+    audit_plan(cfg, &sol, &plan.assignment)
+}
+
+#[test]
+fn barnes_flags_only_the_tree_build_conflict() {
+    let ds = audit(&barnes_cfg());
+    assert_eq!(ds.len(), 1, "{ds:#?}");
+    assert_eq!(ds[0].code, "W001");
+    assert!(ds[0].message.contains("`tree`"), "{}", ds[0].message);
+    assert!(ds[0].notes.iter().any(|n| n.contains("load_tree")), "{ds:#?}");
+}
+
+#[test]
+fn adaptive_placement_is_conflict_free() {
+    let ds = audit(&adaptive_cfg());
+    assert!(ds.is_empty(), "{ds:#?}");
+}
+
+#[test]
+fn water_placement_is_conflict_free() {
+    let ds = audit(&water_cfg());
+    assert!(ds.is_empty(), "{ds:#?}");
+}

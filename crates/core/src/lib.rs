@@ -42,7 +42,9 @@ pub mod manual;
 pub mod predictive;
 pub mod presend;
 pub mod schedule;
+pub mod tap;
 
 pub use predictive::{DegradeConfig, PhaseHealth, Predictive, PredictiveConfig};
 pub use presend::PresendReport;
 pub use schedule::{Action, PhaseId, PhaseSchedule, ScheduleEntry, ScheduleStore};
+pub use tap::{AccessTap, TapEvent};

@@ -54,8 +54,11 @@ use prescient_stache::node::NodeShared;
 use prescient_tempest::tag::Tag;
 use prescient_tempest::{BlockId, NodeId, NodeSet, NodeStats};
 
+use std::sync::Arc;
+
 use crate::codes;
 use crate::schedule::{PhaseId, ScheduleStore};
+use crate::tap::AccessTap;
 
 /// Degradation policy for the predictive protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -161,6 +164,9 @@ pub struct Predictive {
     /// compute thread (after the stability barrier), read by the protocol
     /// thread when validating incoming pushes.
     epoch: AtomicU64,
+    /// Optional schedule-oracle tap: logs every home request, before and
+    /// independent of the recording/degradation gates.
+    tap: Mutex<Option<Arc<AccessTap>>>,
 }
 
 impl Predictive {
@@ -177,7 +183,13 @@ impl Predictive {
                 done_pushes: HashMap::new(),
             }),
             epoch: AtomicU64::new(1),
+            tap: Mutex::new(None),
         }
+    }
+
+    /// Install (or remove) the schedule-oracle recording tap.
+    pub fn set_tap(&self, tap: Option<Arc<AccessTap>>) {
+        *self.tap.lock() = tap;
     }
 
     /// The configuration this instance was built with.
@@ -249,6 +261,14 @@ impl Predictive {
     pub fn degrade_events(&self, phase: PhaseId) -> u64 {
         self.state.lock().health.get(&phase).map_or(0, |h| h.degrade_events)
     }
+
+    /// Export this node's slice of every phase's schedule (stable order) —
+    /// consumed by the schedule oracle's static↔dynamic diff.
+    pub fn export_schedules(
+        &self,
+    ) -> Vec<(PhaseId, Vec<(BlockId, crate::schedule::ScheduleEntry)>)> {
+        self.state.lock().store.export()
+    }
 }
 
 impl Hooks for Predictive {
@@ -259,6 +279,12 @@ impl Hooks for Predictive {
         requester: NodeId,
         excl: bool,
     ) -> bool {
+        // The oracle tap sees *every* request, even when the protocol is
+        // not recording (unarmed, degraded, or stripped of phases by a
+        // buggy compiler — exactly the cases the oracle must observe).
+        if let Some(tap) = self.tap.lock().as_ref() {
+            tap.record(block, requester, excl);
+        }
         let mut st = self.state.lock();
         let Some(phase) = st.recording else { return false };
         // A degraded phase runs as plain Stache: no recording until the

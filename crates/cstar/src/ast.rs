@@ -1,5 +1,7 @@
 //! Abstract syntax of mini-C\*\*.
 
+use crate::diag::Span;
+
 /// Element type of an aggregate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ElemTy {
@@ -19,6 +21,8 @@ pub struct AggDecl {
     pub dims: Vec<usize>,
     /// Element type.
     pub ty: ElemTy,
+    /// Source region of the declaration's name.
+    pub span: Span,
 }
 
 /// A parallel function definition.
@@ -32,6 +36,8 @@ pub struct ParFn {
     pub params: Vec<String>,
     /// Body statements.
     pub body: Vec<Stmt>,
+    /// Source region of the function's name.
+    pub span: Span,
 }
 
 /// Statements (usable in parallel-function bodies).
@@ -49,6 +55,8 @@ pub enum Stmt {
         idx: Vec<Expr>,
         /// Stored value.
         value: Expr,
+        /// Source region of the whole store target (`agg[..]`).
+        span: Span,
     },
     /// `if cond { .. } else { .. }`.
     If(Expr, Vec<Stmt>, Vec<Stmt>),
@@ -74,6 +82,8 @@ pub enum SeqStmt {
         func: String,
         /// Aggregate arguments, by declaration name.
         args: Vec<String>,
+        /// Source region of the call (callee name through closing paren).
+        span: Span,
     },
     /// `for v in lo .. hi { .. }` over sequential statements.
     For {
@@ -106,6 +116,8 @@ pub enum Expr {
         agg: String,
         /// Index expressions.
         idx: Vec<Expr>,
+        /// Source region of the whole read (`agg[..]`).
+        span: Span,
     },
     /// Binary operation.
     Bin(BinOp, Box<Expr>, Box<Expr>),

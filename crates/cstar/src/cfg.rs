@@ -128,7 +128,7 @@ impl Cfg {
         ) -> Result<(), ParseError> {
             for s in stmts {
                 match s {
-                    SeqStmt::Call { func, args } => {
+                    SeqStmt::Call { func, args, .. } => {
                         let f = p.func(func).ok_or_else(|| ParseError {
                             msg: format!("unknown function `{func}`"),
                             line: 0,

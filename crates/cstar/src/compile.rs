@@ -5,9 +5,10 @@ use std::collections::BTreeMap;
 use crate::ast::{Program, SeqStmt};
 use crate::cfg::Cfg;
 use crate::dataflow::ReachingUnstructured;
+use crate::diag::Diagnostic;
 use crate::directives::{place_directives, DirectivePlan};
 use crate::lexer::ParseError;
-use crate::sema::{analyze_program, AccessSummary};
+use crate::sema::{analyze_program_with, AccessSummary, ClassifyRules};
 
 /// A fully compiled mini-C\*\* program: AST, summaries, annotated CFG,
 /// dataflow solution, and the directive plan the interpreter executes.
@@ -34,10 +35,21 @@ pub fn compile(src: &str) -> Result<CompiledProgram, ParseError> {
 
 /// Compile with explicit control over the §4.3 coalescing optimization.
 pub fn compile_with(src: &str, coalesce: bool) -> Result<CompiledProgram, ParseError> {
-    let program = crate::parser::parse(src)?;
-    let summaries = analyze_program(&program)?;
-    let cfg = Cfg::from_program(&program, &summaries)?;
-    let reaching = ReachingUnstructured::solve(&cfg);
+    compile_diag(src, coalesce, ClassifyRules::default()).map_err(ParseError::from)
+}
+
+/// Compile with span-carrying diagnostics and explicit classification
+/// rules (the oracle mutation test weakens them; everything else passes
+/// [`ClassifyRules::default`]).
+pub fn compile_diag(
+    src: &str,
+    coalesce: bool,
+    rules: ClassifyRules,
+) -> Result<CompiledProgram, Diagnostic> {
+    let program = crate::parser::parse_diag(src)?;
+    let summaries = analyze_program_with(&program, rules)?;
+    let cfg = Cfg::from_program(&program, &summaries).map_err(Diagnostic::from)?;
+    let reaching = ReachingUnstructured::solve(&cfg)?;
     let plan = place_directives(&cfg, &reaching, coalesce);
 
     // Collect call sites in the same order the CFG assigned ids.
@@ -45,7 +57,7 @@ pub fn compile_with(src: &str, coalesce: bool) -> Result<CompiledProgram, ParseE
     fn walk(stmts: &[SeqStmt], out: &mut Vec<(String, Vec<String>)>) {
         for s in stmts {
             match s {
-                SeqStmt::Call { func, args } => out.push((func.clone(), args.clone())),
+                SeqStmt::Call { func, args, .. } => out.push((func.clone(), args.clone())),
                 SeqStmt::For { body, .. } => walk(body, out),
             }
         }

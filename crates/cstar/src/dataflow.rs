@@ -15,6 +15,7 @@
 //! 3. unstructured reads **gen** (and do not kill — multiple readers).
 
 use crate::cfg::{Cfg, CfgNode};
+use crate::diag::{codes, Diagnostic};
 
 /// A bit-vector over the CFG's aggregate universe (≤ 64 aggregates, which
 /// is ample for the paper's programs).
@@ -29,16 +30,25 @@ pub struct ReachingUnstructured {
     pub output: Vec<BitVec>,
 }
 
-/// GEN/KILL for one call node.
-fn transfer(cfg: &Cfg, node: usize) -> (BitVec, BitVec) {
+/// GEN/KILL for one call node. An aggregate absent from the CFG's universe
+/// is an internal inconsistency, reported as `E005` rather than a panic.
+fn transfer(cfg: &Cfg, node: usize) -> Result<(BitVec, BitVec), Diagnostic> {
     let mut gen = 0u64;
     let mut kill = 0u64;
     if let CfgNode::Call(c) = &cfg.nodes[node] {
         for (agg, pa) in &c.access {
-            let bit = 1u64
-                << cfg
-                    .agg_bit(agg)
-                    .unwrap_or_else(|| panic!("aggregate `{agg}` missing from universe"));
+            let Some(b) = cfg.agg_bit(agg) else {
+                return Err(Diagnostic::error(
+                    codes::DATAFLOW_UNIVERSE,
+                    format!("aggregate `{agg}` missing from the dataflow universe"),
+                )
+                .with_note(format!(
+                    "call `{}` (node {node}) accesses it, but the CFG universe is [{}]",
+                    c.func,
+                    cfg.aggs.join(", ")
+                )));
+            };
+            let bit = 1u64 << b;
             if pa.home_write || pa.nonhome_write {
                 kill |= bit;
             }
@@ -47,15 +57,27 @@ fn transfer(cfg: &Cfg, node: usize) -> (BitVec, BitVec) {
             }
         }
     }
-    (gen, kill)
+    Ok((gen, kill))
 }
 
 impl ReachingUnstructured {
-    /// Solve the problem for `cfg`.
-    pub fn solve(cfg: &Cfg) -> ReachingUnstructured {
-        assert!(cfg.aggs.len() <= 64, "more than 64 aggregates");
+    /// Solve the problem for `cfg`. Fails with `E005` if a call accesses an
+    /// aggregate outside the CFG's universe, or `E006` if the universe
+    /// exceeds the 64-aggregate bit-vector.
+    pub fn solve(cfg: &Cfg) -> Result<ReachingUnstructured, Diagnostic> {
+        if cfg.aggs.len() > 64 {
+            return Err(Diagnostic::error(
+                codes::AGG_LIMIT,
+                format!(
+                    "program declares {} aggregates; the dataflow bit-vector supports at most 64",
+                    cfg.aggs.len()
+                ),
+            )
+            .with_note("split the program or widen `BitVec` in dataflow.rs"));
+        }
         let n = cfg.nodes.len();
-        let transfers: Vec<(BitVec, BitVec)> = (0..n).map(|i| transfer(cfg, i)).collect();
+        let transfers: Vec<(BitVec, BitVec)> =
+            (0..n).map(|i| transfer(cfg, i)).collect::<Result<_, _>>()?;
         let mut input = vec![0u64; n];
         let mut output = vec![0u64; n];
         // Worklist, seeded with all nodes in order.
@@ -77,7 +99,7 @@ impl ReachingUnstructured {
                 }
             }
         }
-        ReachingUnstructured { input, output }
+        Ok(ReachingUnstructured { input, output })
     }
 
     /// Is aggregate bit `bit` reached-by-unstructured at the entry of node
@@ -104,7 +126,7 @@ mod tests {
         let c1 = b.call("reader", &[("A", false, false, true, false)]);
         let c2 = b.call("writer", &[("A", false, true, false, false)]);
         let cfg = b.finish();
-        let sol = ReachingUnstructured::solve(&cfg);
+        let sol = ReachingUnstructured::solve(&cfg).unwrap();
         assert!(!sol.reaches(c1, 0), "nothing reaches the first call");
         assert!(sol.reaches(c2, 0), "reader's copies reach the writer");
         // The owner write kills: after c2 nothing is cached remotely.
@@ -119,7 +141,7 @@ mod tests {
         let _w = b.call("writer", &[("A", false, true, false, false)]);
         let after = b.call("reader2", &[("A", false, false, true, false)]);
         let cfg = b.finish();
-        let sol = ReachingUnstructured::solve(&cfg);
+        let sol = ReachingUnstructured::solve(&cfg).unwrap();
         assert!(!sol.reaches(after, 0), "owner write invalidates remote copies");
     }
 
@@ -130,7 +152,7 @@ mod tests {
         let _r = b.call("reader", &[("A", false, false, true, false)]);
         let w = b.call("scatter", &[("A", false, false, false, true)]);
         let cfg = b.finish();
-        let sol = ReachingUnstructured::solve(&cfg);
+        let sol = ReachingUnstructured::solve(&cfg).unwrap();
         assert!(sol.reaches(w, 0));
         assert_ne!(sol.output[w], 0, "scatter leaves new remote copies");
     }
@@ -145,7 +167,7 @@ mod tests {
         b.end_loop();
         let after = b.call("writer", &[("A", false, true, false, false)]);
         let cfg = b.finish();
-        let sol = ReachingUnstructured::solve(&cfg);
+        let sol = ReachingUnstructured::solve(&cfg).unwrap();
         assert!(sol.reaches(r, 0), "second iteration sees the first's reads");
         assert!(sol.reaches(head, 0) || sol.input[head] != 0);
         assert!(sol.reaches(after, 0));
@@ -158,9 +180,19 @@ mod tests {
         let _ra = b.call("reader", &[("A", false, false, true, false)]);
         let wb = b.call("writerB", &[("B", false, true, false, false)]);
         let cfg = b.finish();
-        let sol = ReachingUnstructured::solve(&cfg);
+        let sol = ReachingUnstructured::solve(&cfg).unwrap();
         assert!(sol.reaches(wb, 0), "A still reaches");
         assert!(!sol.reaches(wb, 1), "B was never unstructured");
+    }
+
+    /// More than 64 aggregates is now a diagnostic, not an abort.
+    #[test]
+    fn aggregate_limit_is_a_diagnostic() {
+        let names: Vec<String> = (0..65).map(|i| format!("A{i}")).collect();
+        let cfg = CfgBuilder::new(names).finish();
+        let d = ReachingUnstructured::solve(&cfg).unwrap_err();
+        assert_eq!(d.code, "E006");
+        assert!(d.message.contains("65"));
     }
 
     /// Any-path analysis: a kill inside a loop body does not stop the
@@ -182,7 +214,7 @@ mod tests {
             &[("tree", false, false, true, false), ("bodies", false, true, true, false)],
         );
         let cfg = b.finish();
-        let sol = ReachingUnstructured::solve(&cfg);
+        let sol = ReachingUnstructured::solve(&cfg).unwrap();
         let tree_bit = cfg.agg_bit("tree").unwrap();
         // build's unstructured writes reach the com loop...
         assert!(sol.reaches(com, tree_bit));

@@ -1,0 +1,713 @@
+//! Span-carrying diagnostics for the mini-C\*\* compiler.
+//!
+//! Every front-end error and lint is a [`Diagnostic`]: a stable code
+//! (`E0xx` hard errors, `W0xx` lints), a severity, a primary message, zero
+//! or more labeled source spans, and free-form notes. Diagnostics render
+//! two ways: a rustc-style caret-annotated text form ([`Diagnostic::render`])
+//! and a line-oriented JSON form ([`Diagnostic::to_json`]) that
+//! [`Diagnostic::from_json_array`] parses back losslessly (the round-trip
+//! the `cstar-lint --json` mode relies on). The JSON codec is hand-rolled
+//! so the compiler crate stays dependency-free.
+//!
+//! # Code catalog
+//!
+//! | Code | Meaning | Paper anchor |
+//! |------|---------|--------------|
+//! | E001 | lexical error | — |
+//! | E002 | syntax error | — |
+//! | E003 | name error inside a parallel function | §4.2 |
+//! | E004 | invalid parallel call site (arity, unknown callee/aggregate) | §4.2 |
+//! | E005 | aggregate missing from the dataflow universe | §4.3 |
+//! | E006 | aggregate-universe overflow (> 64 aggregates) | §4.3 |
+//! | E007 | schedule-oracle soundness violation (dynamic access not covered statically) | §4.2 |
+//! | W001 | phase-conflict: one phase both reads and writes an aggregate | §3.4 |
+//! | W002 | dead directive: scheduled call no unstructured access reaches | §4.3 |
+//! | W003 | constant neighbor offset exceeds the aggregate extents | §4.2 |
+//! | W004 | unused aggregate / written but never read | — |
+//! | W005 | index expression fed by a non-home read | §3.3 |
+//! | W006 | schedule-oracle precision: a predicted access was never observed | §3.4 |
+
+use std::fmt;
+
+use crate::lexer::ParseError;
+
+/// Stable diagnostic codes (see the module-level catalog).
+pub mod codes {
+    /// Lexical error.
+    pub const LEX: &str = "E001";
+    /// Syntax error.
+    pub const PARSE: &str = "E002";
+    /// Name error inside a parallel function.
+    pub const NAME: &str = "E003";
+    /// Invalid parallel call site.
+    pub const CALL: &str = "E004";
+    /// Aggregate missing from the dataflow universe.
+    pub const DATAFLOW_UNIVERSE: &str = "E005";
+    /// More than 64 aggregates (bit-vector overflow).
+    pub const AGG_LIMIT: &str = "E006";
+    /// Schedule-oracle soundness violation.
+    pub const ORACLE_SOUNDNESS: &str = "E007";
+    /// Phase jointly reads and writes one aggregate.
+    pub const PHASE_CONFLICT: &str = "W001";
+    /// Directive placed at a call nothing unstructured reaches.
+    pub const DEAD_DIRECTIVE: &str = "W002";
+    /// Constant neighbor offset exceeds the declared extents.
+    pub const STATIC_OOB: &str = "W003";
+    /// Unused aggregate, or written but never read.
+    pub const UNUSED_AGG: &str = "W004";
+    /// Index expression fed by a non-home read.
+    pub const UNSTRUCTURED_INDEX: &str = "W005";
+    /// Statically predicted access never observed dynamically.
+    pub const ORACLE_PRECISION: &str = "W006";
+}
+
+/// A source region in character offsets (the lexer works on `char`
+/// indices), with the 1-based line of its start for span-less consumers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Span {
+    /// Start offset (inclusive, in chars).
+    pub lo: u32,
+    /// End offset (exclusive, in chars).
+    pub hi: u32,
+    /// 1-based source line of `lo`.
+    pub line: u32,
+}
+
+impl Span {
+    /// A span covering `lo..hi` starting on `line`.
+    pub fn new(lo: usize, hi: usize, line: u32) -> Span {
+        Span { lo: lo as u32, hi: hi.max(lo) as u32, line }
+    }
+
+    /// A single-character span.
+    pub fn point(at: usize, line: u32) -> Span {
+        Span::new(at, at + 1, line)
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+            line: if self.lo <= other.lo { self.line } else { other.line },
+        }
+    }
+}
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// A lint: the program compiles, but is suspicious.
+    Warning,
+    /// A hard error: the program is rejected.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case keyword used in rendered and JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One labeled source span of a diagnostic. The first label is primary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Label {
+    /// Where.
+    pub span: Span,
+    /// What to say under the carets (may be empty).
+    pub text: String,
+}
+
+/// A compiler diagnostic: code, severity, message, labeled spans, notes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code (`E0xx` / `W0xx`, see [`codes`]).
+    pub code: String,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Primary message.
+    pub message: String,
+    /// Labeled spans; the first, if any, is the primary location.
+    pub labels: Vec<Label>,
+    /// Free-form notes rendered after the snippet.
+    pub notes: Vec<String>,
+    /// Source file the spans refer to, when known.
+    pub file: Option<String>,
+}
+
+impl Diagnostic {
+    /// A new error diagnostic.
+    pub fn error(code: &str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code: code.to_string(),
+            severity: Severity::Error,
+            message: message.into(),
+            labels: Vec::new(),
+            notes: Vec::new(),
+            file: None,
+        }
+    }
+
+    /// A new warning (lint) diagnostic.
+    pub fn warning(code: &str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic { severity: Severity::Warning, ..Diagnostic::error(code, message) }
+    }
+
+    /// Attach an unlabeled span.
+    pub fn with_span(self, span: Span) -> Diagnostic {
+        self.with_label(span, "")
+    }
+
+    /// Attach a labeled span.
+    pub fn with_label(mut self, span: Span, text: impl Into<String>) -> Diagnostic {
+        self.labels.push(Label { span, text: text.into() });
+        self
+    }
+
+    /// Attach a note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Attach the source-file name.
+    pub fn with_file(mut self, file: impl Into<String>) -> Diagnostic {
+        self.file = Some(file.into());
+        self
+    }
+
+    /// The primary span, if any.
+    pub fn primary_span(&self) -> Option<Span> {
+        self.labels.first().map(|l| l.span)
+    }
+
+    /// 1-based line of the primary span (0 when span-less) — what the
+    /// legacy [`ParseError`] shim reports.
+    pub fn line(&self) -> u32 {
+        self.primary_span().map_or(0, |s| s.line)
+    }
+
+    /// Is this a hard error?
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+
+    /// Render the rustc-style caret form against the source text. `file`
+    /// is used when the diagnostic carries no file name of its own.
+    pub fn render(&self, src: &str, file: &str) -> String {
+        let file = self.file.as_deref().unwrap_or(file);
+        let mut out = format!("{}[{}]: {}\n", self.severity.as_str(), self.code, self.message);
+        let lines = SourceLines::new(src);
+        for label in &self.labels {
+            lines.render_label(&mut out, file, label);
+        }
+        for note in &self.notes {
+            out.push_str("  = note: ");
+            out.push_str(note);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render a batch of diagnostics, blank-line separated.
+    pub fn render_all(diags: &[Diagnostic], src: &str, file: &str) -> String {
+        let mut out = String::new();
+        for (i, d) in diags.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            out.push_str(&d.render(src, file));
+        }
+        out
+    }
+
+    /// The JSON object form (one line, stable key order).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        json_kv(&mut s, "code", &self.code);
+        s.push(',');
+        json_kv(&mut s, "severity", self.severity.as_str());
+        s.push(',');
+        json_kv(&mut s, "message", &self.message);
+        if let Some(f) = &self.file {
+            s.push(',');
+            json_kv(&mut s, "file", f);
+        }
+        s.push_str(",\"labels\":[");
+        for (i, l) in self.labels.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"lo\":{},\"hi\":{},\"line\":{},",
+                l.span.lo, l.span.hi, l.span.line
+            ));
+            json_kv(&mut s, "text", &l.text);
+            s.push('}');
+        }
+        s.push_str("],\"notes\":[");
+        for (i, n) in self.notes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            json_str(&mut s, n);
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// A JSON array of diagnostics.
+    pub fn json_array(diags: &[Diagnostic]) -> String {
+        let mut s = String::from("[");
+        for (i, d) in diags.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&d.to_json());
+        }
+        s.push(']');
+        s
+    }
+
+    /// Parse a JSON array produced by [`Diagnostic::json_array`] back into
+    /// diagnostics (the `--json` round-trip).
+    pub fn from_json_array(input: &str) -> Result<Vec<Diagnostic>, String> {
+        let value = JsonParser::parse(input)?;
+        let arr = value.as_array().ok_or("expected a top-level array")?;
+        let mut out = Vec::with_capacity(arr.len());
+        for v in arr {
+            out.push(Diagnostic::from_json_value(v)?);
+        }
+        Ok(out)
+    }
+
+    fn from_json_value(v: &Json) -> Result<Diagnostic, String> {
+        let obj = v.as_object().ok_or("expected a diagnostic object")?;
+        let get_str = |k: &str| -> Result<String, String> {
+            obj.iter()
+                .find(|(key, _)| key == k)
+                .and_then(|(_, v)| v.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field `{k}`"))
+        };
+        let severity = match get_str("severity")?.as_str() {
+            "warning" => Severity::Warning,
+            "error" => Severity::Error,
+            other => return Err(format!("unknown severity `{other}`")),
+        };
+        let mut d = Diagnostic {
+            code: get_str("code")?,
+            severity,
+            message: get_str("message")?,
+            labels: Vec::new(),
+            notes: Vec::new(),
+            file: obj
+                .iter()
+                .find(|(k, _)| k == "file")
+                .and_then(|(_, v)| v.as_str())
+                .map(str::to_string),
+        };
+        if let Some((_, labels)) = obj.iter().find(|(k, _)| k == "labels") {
+            for l in labels.as_array().ok_or("`labels` must be an array")? {
+                let lo = l.field_u32("lo")?;
+                let hi = l.field_u32("hi")?;
+                let line = l.field_u32("line")?;
+                let text = l
+                    .as_object()
+                    .and_then(|o| o.iter().find(|(k, _)| k == "text"))
+                    .and_then(|(_, v)| v.as_str())
+                    .unwrap_or("")
+                    .to_string();
+                d.labels.push(Label { span: Span { lo, hi, line }, text });
+            }
+        }
+        if let Some((_, notes)) = obj.iter().find(|(k, _)| k == "notes") {
+            for n in notes.as_array().ok_or("`notes` must be an array")? {
+                d.notes.push(n.as_str().ok_or("notes must be strings")?.to_string());
+            }
+        }
+        Ok(d)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity.as_str(), self.code, self.message)?;
+        if let Some(s) = self.primary_span() {
+            write!(f, " (line {})", s.line)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// The legacy stringly error shim: existing `parse`/`compile` callers keep
+/// compiling while new code consumes [`Diagnostic`] directly.
+impl From<Diagnostic> for ParseError {
+    fn from(d: Diagnostic) -> ParseError {
+        ParseError { line: d.line(), msg: d.message }
+    }
+}
+
+/// Lift a legacy error into the diagnostics engine (span-less).
+impl From<ParseError> for Diagnostic {
+    fn from(e: ParseError) -> Diagnostic {
+        let mut d = Diagnostic::error(codes::PARSE, e.msg);
+        if e.line > 0 {
+            d = d.with_note(format!("at line {}", e.line));
+        }
+        d
+    }
+}
+
+// ---------------------------------------------------------------------
+// Caret rendering
+// ---------------------------------------------------------------------
+
+/// Char-offset index of a source text's line starts.
+struct SourceLines {
+    chars: Vec<char>,
+    /// Char offset at which each 0-based line starts.
+    starts: Vec<usize>,
+}
+
+impl SourceLines {
+    fn new(src: &str) -> SourceLines {
+        let chars: Vec<char> = src.chars().collect();
+        let mut starts = vec![0usize];
+        for (i, &c) in chars.iter().enumerate() {
+            if c == '\n' {
+                starts.push(i + 1);
+            }
+        }
+        SourceLines { chars, starts }
+    }
+
+    /// The text of 1-based line `n` (no trailing newline).
+    fn line_text(&self, n: u32) -> Option<(usize, String)> {
+        let idx = (n as usize).checked_sub(1)?;
+        let &start = self.starts.get(idx)?;
+        let end = self
+            .chars
+            .iter()
+            .skip(start)
+            .position(|&c| c == '\n')
+            .map_or(self.chars.len(), |p| start + p);
+        Some((start, self.chars[start..end].iter().collect()))
+    }
+
+    fn render_label(&self, out: &mut String, file: &str, label: &Label) {
+        let span = label.span;
+        let Some((line_start, text)) = self.line_text(span.line) else {
+            // Spanless or out-of-range: emit the location header only.
+            out.push_str(&format!("  --> {file}\n"));
+            if !label.text.is_empty() {
+                out.push_str(&format!("   = {}\n", label.text));
+            }
+            return;
+        };
+        let col = (span.lo as usize).saturating_sub(line_start) + 1;
+        let width = ((span.hi as usize).min(line_start + text.chars().count()))
+            .saturating_sub(span.lo as usize)
+            .max(1);
+        let num = span.line.to_string();
+        let gutter = " ".repeat(num.len());
+        out.push_str(&format!("  --> {file}:{}:{col}\n", span.line));
+        out.push_str(&format!("{gutter} |\n"));
+        out.push_str(&format!("{num} | {text}\n"));
+        out.push_str(&format!(
+            "{gutter} | {}{}{}{}\n",
+            " ".repeat(col - 1),
+            "^".repeat(width),
+            if label.text.is_empty() { "" } else { " " },
+            label.text
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON codec (emit + parse of the subset this module produces)
+// ---------------------------------------------------------------------
+
+fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_kv(out: &mut String, key: &str, val: &str) {
+    json_str(out, key);
+    out.push(':');
+    json_str(out, val);
+}
+
+/// A parsed JSON value (only what the emitter produces).
+enum Json {
+    Null,
+    Bool,
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn field_u32(&self, key: &str) -> Result<u32, String> {
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == key))
+            .and_then(|(_, v)| match v {
+                Json::Num(n) if *n >= 0.0 => Some(*n as u32),
+                _ => None,
+            })
+            .ok_or_else(|| format!("missing numeric field `{key}`"))
+    }
+}
+
+struct JsonParser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl JsonParser {
+    fn parse(input: &str) -> Result<Json, String> {
+        let mut p = JsonParser { chars: input.chars().collect(), pos: 0 };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.chars.len() {
+            return Err(format!("trailing garbage at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<char, String> {
+        self.skip_ws();
+        self.chars.get(self.pos).copied().ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn eat(&mut self, c: char) -> Result<(), String> {
+        if self.peek()? == c {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{c}` at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            '{' => self.object(),
+            '[' => self.array(),
+            '"' => Ok(Json::Str(self.string()?)),
+            't' => self.keyword("true", Json::Bool),
+            'f' => self.keyword("false", Json::Bool),
+            'n' => self.keyword("null", Json::Null),
+            c if c == '-' || c.is_ascii_digit() => self.number(),
+            c => Err(format!("unexpected `{c}` at offset {}", self.pos)),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str, v: Json) -> Result<Json, String> {
+        self.skip_ws();
+        for c in kw.chars() {
+            if self.chars.get(self.pos) != Some(&c) {
+                return Err(format!("bad keyword at offset {}", self.pos));
+            }
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .chars
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+        {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<f64>().map(Json::Num).map_err(|_| format!("bad number `{text}`"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat('"')?;
+        let mut out = String::new();
+        loop {
+            let c = *self.chars.get(self.pos).ok_or_else(|| "unterminated string".to_string())?;
+            self.pos += 1;
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let e = *self
+                        .chars
+                        .get(self.pos)
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match e {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        'r' => out.push('\r'),
+                        'b' => out.push('\u{8}'),
+                        'f' => out.push('\u{c}'),
+                        'u' => {
+                            if self.pos + 4 > self.chars.len() {
+                                return Err("truncated \\u escape".to_string());
+                            }
+                            let hex: String = self.chars[self.pos..self.pos + 4].iter().collect();
+                            self.pos += 4;
+                            let cp = u32::from_str_radix(&hex, 16)
+                                .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("unknown escape `\\{other}`")),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat('[')?;
+        let mut out = Vec::new();
+        if self.peek()? == ']' {
+            self.pos += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            out.push(self.value()?);
+            match self.peek()? {
+                ',' => self.pos += 1,
+                ']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(out));
+                }
+                c => return Err(format!("expected `,` or `]`, found `{c}`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat('{')?;
+        let mut out = Vec::new();
+        if self.peek()? == '}' {
+            self.pos += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.eat(':')?;
+            let val = self.value()?;
+            out.push((key, val));
+            match self.peek()? {
+                ',' => self.pos += 1,
+                '}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(out));
+                }
+                c => return Err(format!("expected `,` or `}}`, found `{c}`")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_has_caret_under_span() {
+        let src = "aggregate A[4] of float;\nbogus here\n";
+        let d = Diagnostic::error(codes::PARSE, "expected a declaration, found `bogus`")
+            .with_label(Span::new(25, 30, 2), "not a declaration");
+        let r = d.render(src, "t.cstar");
+        assert!(r.contains("error[E002]"), "{r}");
+        assert!(r.contains("t.cstar:2:1"), "{r}");
+        assert!(r.contains("2 | bogus here"), "{r}");
+        assert!(r.contains("^^^^^ not a declaration"), "{r}");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let d1 = Diagnostic::warning(codes::PHASE_CONFLICT, "phase 1 reads and writes `A`")
+            .with_label(Span::new(3, 9, 1), "read \"here\"")
+            .with_label(Span::new(12, 14, 2), "write here\nand there")
+            .with_note("the predictive protocol will self-disable (§3.4)")
+            .with_file("x.cstar");
+        let d2 = Diagnostic::error(codes::LEX, "unexpected character `$`");
+        let json = Diagnostic::json_array(&[d1.clone(), d2.clone()]);
+        let back = Diagnostic::from_json_array(&json).unwrap();
+        assert_eq!(back, vec![d1, d2]);
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(Diagnostic::from_json_array("{").is_err());
+        assert!(Diagnostic::from_json_array("[1]").is_err());
+        assert!(Diagnostic::from_json_array("[] trailing").is_err());
+    }
+
+    #[test]
+    fn parse_error_shim_carries_line() {
+        let d =
+            Diagnostic::error(codes::NAME, "unknown variable `y`").with_span(Span::new(10, 11, 7));
+        let e: ParseError = d.into();
+        assert_eq!(e.line, 7);
+        assert_eq!(e.msg, "unknown variable `y`");
+    }
+
+    #[test]
+    fn spanless_renders_header_only() {
+        let d = Diagnostic::warning(codes::DEAD_DIRECTIVE, "dead directive at call `f`");
+        let r = d.render("", "t.cstar");
+        assert_eq!(r, "warning[W002]: dead directive at call `f`\n");
+    }
+}

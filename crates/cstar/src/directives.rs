@@ -387,7 +387,7 @@ mod tests {
 
     fn plan_of(b: CfgBuilder, coalesce: bool) -> (Cfg, DirectivePlan) {
         let cfg = b.finish();
-        let sol = ReachingUnstructured::solve(&cfg);
+        let sol = ReachingUnstructured::solve(&cfg).unwrap();
         let plan = place_directives(&cfg, &sol, coalesce);
         (cfg, plan)
     }

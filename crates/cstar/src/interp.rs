@@ -8,7 +8,9 @@
 //! `phase_begin`/`phase_end` directives drive the predictive protocol.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
+use prescient_core::AccessTap;
 use prescient_runtime::{Agg1D, Agg2D, Dist1D, Dist2D, Machine, NodeCtx, RunReport};
 use prescient_tempest::GAddr;
 
@@ -82,7 +84,7 @@ impl AggStore {
         }
     }
 
-    fn addr(&self, idx: &[i64]) -> GAddr {
+    pub(crate) fn addr(&self, idx: &[i64]) -> GAddr {
         let dims = self.dims();
         assert_eq!(idx.len(), dims.len(), "aggregate rank mismatch");
         for (k, (&i, &d)) in idx.iter().zip(&dims).enumerate() {
@@ -180,12 +182,49 @@ where
         ctx.barrier();
     });
 
-    let (_, report) = machine.run(|ctx| exec_main(ctx, prog, aggs));
+    let (_, report) = machine.run(|ctx| exec_main(ctx, prog, aggs, None));
     report
 }
 
-/// Execute the op sequence on one node.
-fn exec_main(ctx: &mut NodeCtx, prog: &CompiledProgram, aggs: &AggMap) {
+/// Run a compiled program with the schedule-oracle tap attached: every
+/// home-node request during `main` is logged into `tap`, labeled with the
+/// call-site id the interpreter was executing. The tap is installed after
+/// the (unlabeled) `init` run and removed before returning.
+pub fn run_program_traced<F>(
+    machine: &mut Machine,
+    prog: &CompiledProgram,
+    aggs: &AggMap,
+    init: F,
+    tap: &Arc<AccessTap>,
+) -> RunReport
+where
+    F: Fn(&mut NodeCtx, &AggMap) + Sync,
+{
+    machine.run(|ctx| {
+        init(ctx, aggs);
+        ctx.barrier();
+    });
+
+    machine.install_tap(tap);
+    let (_, report) = machine.run(|ctx| exec_main(ctx, prog, aggs, Some(tap)));
+    machine.remove_tap();
+    tap.clear_call();
+    report
+}
+
+/// Execute the op sequence on one node. With a tap, the shared call label
+/// is set before each parallel call; all nodes write the same value, and
+/// the per-call barrier orders label changes against the next call's
+/// requests (the label is deliberately *not* cleared between calls — a
+/// slow node's clear could race a fast node's next set).
+///
+/// The label *is* cleared at each `phase_begin`: the directive's schedule
+/// replay (ownership prefetches, recalls) goes through the ordinary fault
+/// path and would otherwise be attributed to the previous call. Clearing
+/// there is race-free — the post-call barrier has retired every labeled
+/// request, and the directive's own stability barrier retires the replay
+/// fetches before any node can set the next call's label.
+fn exec_main(ctx: &mut NodeCtx, prog: &CompiledProgram, aggs: &AggMap, tap: Option<&AccessTap>) {
     let ops = &prog.plan.ops;
     // Precompute matching LoopEnd for each LoopBegin.
     let mut match_end = vec![usize::MAX; ops.len()];
@@ -205,9 +244,17 @@ fn exec_main(ctx: &mut NodeCtx, prog: &CompiledProgram, aggs: &AggMap) {
     let mut loops: Vec<(usize, i64, i64)> = Vec::new(); // (begin pc, cur, hi)
     while pc < ops.len() {
         match &ops[pc] {
-            ExecOp::PhaseBegin(p) => ctx.phase_begin(*p),
+            ExecOp::PhaseBegin(p) => {
+                if let Some(t) = tap {
+                    t.clear_call();
+                }
+                ctx.phase_begin(*p);
+            }
             ExecOp::PhaseEnd(_) => ctx.phase_end(),
             ExecOp::Call(id) => {
+                if let Some(t) = tap {
+                    t.set_call(*id as u64);
+                }
                 let (func, args) = &prog.call_sites[*id];
                 let f = prog.program.func(func).expect("checked at compile time");
                 run_parallel_call(ctx, prog, aggs, f, args);
@@ -292,7 +339,7 @@ impl Env<'_, '_> {
                 let v = self.eval(e);
                 self.set(name, v);
             }
-            Stmt::AssignAgg { agg, idx, value } => {
+            Stmt::AssignAgg { agg, idx, value, .. } => {
                 let idxs: Vec<i64> = idx.iter().map(|e| self.eval(e).as_index()).collect();
                 let v = self.eval(value);
                 self.bind[agg.as_str()].write(self.ctx, &idxs, v);
@@ -332,7 +379,7 @@ impl Env<'_, '_> {
                 assert!(*k < self.pos.len(), "#{k} used in a {}-D context", self.pos.len());
                 Value::I(self.pos[*k])
             }
-            Expr::AggRead { agg, idx } => {
+            Expr::AggRead { agg, idx, .. } => {
                 let idxs: Vec<i64> = idx.iter().map(|e| self.eval(e).as_index()).collect();
                 self.bind[agg.as_str()].read(self.ctx, &idxs)
             }
@@ -410,6 +457,38 @@ fn eval_bin(op: BinOp, a: Value, b: Value) -> Value {
             Value::I(r as i64)
         }
     }
+}
+
+/// A deterministic SPMD initializer: each node fills the elements it owns
+/// from a splitmix64 stream keyed by `seed`, the aggregate's position in
+/// the map, and the element index — contents are independent of node count
+/// and run order. Floats land in `[0, 1)`; ints are reduced modulo the
+/// aggregate's leading extent, so int aggregates can safely be used as
+/// index tables (the schedule oracle's default workload).
+pub fn seeded_init(seed: u64) -> impl Fn(&mut NodeCtx, &AggMap) + Sync {
+    move |ctx, aggs| {
+        for (k, store) in aggs.values().enumerate() {
+            let extent = store.dims()[0] as u64;
+            for pos in store.owned(ctx.me()) {
+                let lin = pos
+                    .iter()
+                    .fold(0u64, |acc, &i| acc.wrapping_mul(0x100_0003).wrapping_add(i as u64));
+                let r = splitmix64(seed ^ (k as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ lin);
+                let v = match store.ty() {
+                    ElemTy::Float => Value::F((r >> 11) as f64 / (1u64 << 53) as f64),
+                    ElemTy::Int => Value::I((r % extent.max(1)) as i64),
+                };
+                store.write(ctx, &pos, v);
+            }
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 /// Gather a float aggregate's contents (row-major) by reading it from node

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::diag::{codes, Diagnostic, Span};
+
 /// A lexical token.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Tok {
@@ -32,13 +34,15 @@ impl fmt::Display for Tok {
     }
 }
 
-/// A token plus its source line (1-based), for error messages.
+/// A token plus its source span (char offsets) and line, for diagnostics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpannedTok {
     /// The token.
     pub tok: Tok,
-    /// Source line.
+    /// Source line (1-based; kept for span-less consumers).
     pub line: u32,
+    /// Source region in char offsets.
+    pub span: Span,
 }
 
 /// A lexing or parsing error.
@@ -64,11 +68,19 @@ const PUNCTS: &[&str] = &[
 ];
 
 /// Tokenize `src`. Comments run from `//` to end of line.
+///
+/// Legacy entry point; [`lex_diag`] returns span-carrying diagnostics.
 pub fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
+    lex_diag(src).map_err(ParseError::from)
+}
+
+/// Tokenize `src`, reporting failures as `E001` diagnostics with spans.
+pub fn lex_diag(src: &str) -> Result<Vec<SpannedTok>, Diagnostic> {
     let mut out = Vec::new();
     let mut line: u32 = 1;
     let bytes: Vec<char> = src.chars().collect();
     let mut i = 0;
+    let err = |msg: String, span: Span| Diagnostic::error(codes::LEX, msg).with_span(span);
     while i < bytes.len() {
         let c = bytes[i];
         if c == '\n' {
@@ -92,14 +104,14 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
                 j += 1;
             }
             if j == i + 1 {
-                return Err(ParseError { msg: "expected digit after '#'".into(), line });
+                return Err(err("expected digit after '#'".into(), Span::point(i, line)));
             }
             let k: usize = bytes[i + 1..j]
                 .iter()
                 .collect::<String>()
                 .parse()
-                .map_err(|_| ParseError { msg: "bad position index".into(), line })?;
-            out.push(SpannedTok { tok: Tok::Pos(k), line });
+                .map_err(|_| err("bad position index".into(), Span::new(i, j, line)))?;
+            out.push(SpannedTok { tok: Tok::Pos(k), line, span: Span::new(i, j, line) });
             i = j;
             continue;
         }
@@ -127,19 +139,15 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
                 j += 1;
             }
             let text: String = bytes[i..j].iter().collect();
-            let tok =
-                if is_float {
-                    Tok::Float(text.parse().map_err(|_| ParseError {
-                        msg: format!("bad float literal `{text}`"),
-                        line,
-                    })?)
-                } else {
-                    Tok::Int(text.parse().map_err(|_| ParseError {
-                        msg: format!("bad int literal `{text}`"),
-                        line,
-                    })?)
-                };
-            out.push(SpannedTok { tok, line });
+            let span = Span::new(i, j, line);
+            let tok = if is_float {
+                Tok::Float(
+                    text.parse().map_err(|_| err(format!("bad float literal `{text}`"), span))?,
+                )
+            } else {
+                Tok::Int(text.parse().map_err(|_| err(format!("bad int literal `{text}`"), span))?)
+            };
+            out.push(SpannedTok { tok, line, span });
             i = j;
             continue;
         }
@@ -148,7 +156,11 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
             while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_') {
                 j += 1;
             }
-            out.push(SpannedTok { tok: Tok::Ident(bytes[i..j].iter().collect()), line });
+            out.push(SpannedTok {
+                tok: Tok::Ident(bytes[i..j].iter().collect()),
+                line,
+                span: Span::new(i, j, line),
+            });
             i = j;
             continue;
         }
@@ -156,17 +168,21 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
         let mut matched = false;
         for p in PUNCTS {
             if rest.starts_with(p) {
-                out.push(SpannedTok { tok: Tok::Punct(p), line });
+                out.push(SpannedTok {
+                    tok: Tok::Punct(p),
+                    line,
+                    span: Span::new(i, i + p.len(), line),
+                });
                 i += p.len();
                 matched = true;
                 break;
             }
         }
         if !matched {
-            return Err(ParseError { msg: format!("unexpected character `{c}`"), line });
+            return Err(err(format!("unexpected character `{c}`"), Span::point(i, line)));
         }
     }
-    out.push(SpannedTok { tok: Tok::Eof, line });
+    out.push(SpannedTok { tok: Tok::Eof, line, span: Span::point(bytes.len(), line) });
     Ok(out)
 }
 
@@ -251,6 +267,22 @@ mod tests {
     fn error_on_garbage() {
         assert!(lex("a $ b").is_err());
         assert!(lex("#x").is_err());
+    }
+
+    #[test]
+    fn spans_cover_tokens() {
+        let ts = lex("ab + #12").unwrap();
+        assert_eq!((ts[0].span.lo, ts[0].span.hi), (0, 2));
+        assert_eq!((ts[1].span.lo, ts[1].span.hi), (3, 4));
+        assert_eq!((ts[2].span.lo, ts[2].span.hi), (5, 8));
+    }
+
+    #[test]
+    fn lex_diag_spans_errors() {
+        let d = lex_diag("a\n $").unwrap_err();
+        assert_eq!(d.code, "E001");
+        let s = d.primary_span().expect("span");
+        assert_eq!((s.lo, s.line), (3, 2));
     }
 
     #[test]

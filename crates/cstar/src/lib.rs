@@ -36,23 +36,46 @@
 //!
 //! [`compile::compile`] runs stages 1–5; [`interp::run_program`] runs the
 //! result.
+//!
+//! On top of the pipeline sit the static-analysis tools (the `cstar-lint`
+//! engine):
+//!
+//! * [`diag`] — span-carrying diagnostics with stable `E0xx`/`W0xx` codes,
+//!   caret-style text rendering, and a lossless JSON form;
+//! * [`lint`] — the W001–W005 lint suite over the AST, the annotated CFG,
+//!   and the directive plan (phase conflicts, dead directives, static
+//!   bounds, unused aggregates, remote-fed indices);
+//! * [`oracle`] — the static↔dynamic schedule oracle: runs the compiled
+//!   program on a small predictive machine with a recording tap and diffs
+//!   the observed request stream against the static summaries (E007
+//!   soundness, W006 precision).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Diagnostics are deliberately rich (spans, labels, notes) and travel only
+// the cold error path of `Result<_, Diagnostic>`; boxing them would noise
+// up every frontend signature for no measurable win.
+#![allow(clippy::result_large_err)]
 
 pub mod ast;
 pub mod cfg;
 pub mod compile;
 pub mod dataflow;
+pub mod diag;
 pub mod directives;
 pub mod interp;
 pub mod lexer;
+pub mod lint;
+pub mod oracle;
 pub mod parser;
 pub mod sema;
 
 pub use ast::Program;
 pub use cfg::{Cfg, CfgNode};
-pub use compile::{compile, CompiledProgram};
+pub use compile::{compile, compile_diag, CompiledProgram};
 pub use dataflow::ReachingUnstructured;
+pub use diag::{codes, Diagnostic, Severity, Span};
 pub use directives::{DirectivePlan, PhaseAssignment};
-pub use sema::{AccessKind, AccessSummary, Locality};
+pub use lint::{audit_plan, lint_program};
+pub use oracle::{run_oracle, run_oracle_compiled, OracleConfig, OracleReport};
+pub use sema::{AccessKind, AccessSummary, ClassifyRules, Locality};

@@ -1,11 +1,19 @@
 //! Recursive-descent parser for mini-C\*\*.
 
 use crate::ast::*;
-use crate::lexer::{lex, ParseError, SpannedTok, Tok};
+use crate::diag::{codes, Diagnostic, Span};
+use crate::lexer::{lex_diag, ParseError, SpannedTok, Tok};
 
 /// Parse a whole program from source text.
+///
+/// Legacy entry point; [`parse_diag`] returns span-carrying diagnostics.
 pub fn parse(src: &str) -> Result<Program, ParseError> {
-    let toks = lex(src)?;
+    parse_diag(src).map_err(ParseError::from)
+}
+
+/// Parse a whole program, reporting failures as `E001`/`E002` diagnostics.
+pub fn parse_diag(src: &str) -> Result<Program, Diagnostic> {
+    let toks = lex_diag(src)?;
     let mut p = Parser { toks, pos: 0 };
     p.program()
 }
@@ -20,8 +28,12 @@ impl Parser {
         &self.toks[self.pos].tok
     }
 
-    fn line(&self) -> u32 {
-        self.toks[self.pos].line
+    fn span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.toks[self.pos.saturating_sub(1)].span
     }
 
     fn bump(&mut self) -> Tok {
@@ -32,11 +44,11 @@ impl Parser {
         t
     }
 
-    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { msg: msg.into(), line: self.line() })
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, Diagnostic> {
+        Err(Diagnostic::error(codes::PARSE, msg).with_span(self.span()))
     }
 
-    fn expect_punct(&mut self, p: &'static str) -> Result<(), ParseError> {
+    fn expect_punct(&mut self, p: &'static str) -> Result<(), Diagnostic> {
         if self.peek() == &Tok::Punct(p) {
             self.bump();
             Ok(())
@@ -54,7 +66,7 @@ impl Parser {
         }
     }
 
-    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+    fn expect_kw(&mut self, kw: &str) -> Result<(), Diagnostic> {
         match self.peek() {
             Tok::Ident(s) if s == kw => {
                 self.bump();
@@ -71,21 +83,32 @@ impl Parser {
         }
     }
 
-    fn ident(&mut self) -> Result<String, ParseError> {
-        match self.bump() {
-            Tok::Ident(s) => Ok(s),
+    fn ident_sp(&mut self) -> Result<(String, Span), Diagnostic> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                let sp = self.span();
+                self.bump();
+                Ok((s, sp))
+            }
             other => self.err(format!("expected identifier, found {other}")),
         }
     }
 
-    fn int_lit(&mut self) -> Result<i64, ParseError> {
-        match self.bump() {
-            Tok::Int(v) => Ok(v),
-            other => self.err(format!("expected integer literal, found {other}")),
+    fn ident(&mut self) -> Result<String, Diagnostic> {
+        self.ident_sp().map(|(s, _)| s)
+    }
+
+    fn int_lit(&mut self) -> Result<i64, Diagnostic> {
+        match *self.peek() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(v)
+            }
+            ref other => self.err(format!("expected integer literal, found {other}")),
         }
     }
 
-    fn program(&mut self) -> Result<Program, ParseError> {
+    fn program(&mut self) -> Result<Program, Diagnostic> {
         let mut prog = Program { aggs: vec![], funcs: vec![], main: vec![] };
         let mut saw_main = false;
         loop {
@@ -109,9 +132,9 @@ impl Parser {
         Ok(prog)
     }
 
-    fn agg_decl(&mut self) -> Result<AggDecl, ParseError> {
+    fn agg_decl(&mut self) -> Result<AggDecl, Diagnostic> {
         self.expect_kw("aggregate")?;
-        let name = self.ident()?;
+        let (name, span) = self.ident_sp()?;
         let mut dims = Vec::new();
         while self.eat_punct("[") {
             let d = self.int_lit()?;
@@ -125,19 +148,26 @@ impl Parser {
             return self.err("aggregates are 1-D or 2-D");
         }
         self.expect_kw("of")?;
-        let ty = match self.ident()?.as_str() {
-            "float" => ElemTy::Float,
-            "int" => ElemTy::Int,
-            other => return self.err(format!("unknown element type `{other}`")),
+        let ty = match self.peek().clone() {
+            Tok::Ident(s) if s == "float" => {
+                self.bump();
+                ElemTy::Float
+            }
+            Tok::Ident(s) if s == "int" => {
+                self.bump();
+                ElemTy::Int
+            }
+            Tok::Ident(other) => return self.err(format!("unknown element type `{other}`")),
+            other => return self.err(format!("expected identifier, found {other}")),
         };
         self.expect_punct(";")?;
-        Ok(AggDecl { name, dims, ty })
+        Ok(AggDecl { name, dims, ty, span })
     }
 
-    fn par_fn(&mut self) -> Result<ParFn, ParseError> {
+    fn par_fn(&mut self) -> Result<ParFn, Diagnostic> {
         self.expect_kw("parallel")?;
         self.expect_kw("fn")?;
-        let name = self.ident()?;
+        let (name, span) = self.ident_sp()?;
         self.expect_punct("(")?;
         let mut params = Vec::new();
         if !self.eat_punct(")") {
@@ -153,10 +183,10 @@ impl Parser {
             return self.err("a parallel function needs at least its parallel aggregate");
         }
         let body = self.block()?;
-        Ok(ParFn { name, params, body })
+        Ok(ParFn { name, params, body, span })
     }
 
-    fn main_fn(&mut self) -> Result<Vec<SeqStmt>, ParseError> {
+    fn main_fn(&mut self) -> Result<Vec<SeqStmt>, Diagnostic> {
         self.expect_kw("fn")?;
         self.expect_kw("main")?;
         self.expect_punct("(")?;
@@ -169,7 +199,7 @@ impl Parser {
         Ok(body)
     }
 
-    fn seq_stmt(&mut self) -> Result<SeqStmt, ParseError> {
+    fn seq_stmt(&mut self) -> Result<SeqStmt, Diagnostic> {
         if self.eat_kw("for") {
             let var = self.ident()?;
             self.expect_kw("in")?;
@@ -183,7 +213,7 @@ impl Parser {
             }
             Ok(SeqStmt::For { var, lo, hi, body })
         } else {
-            let func = self.ident()?;
+            let (func, start) = self.ident_sp()?;
             self.expect_punct("(")?;
             let mut args = Vec::new();
             if !self.eat_punct(")") {
@@ -195,12 +225,13 @@ impl Parser {
                     self.expect_punct(",")?;
                 }
             }
+            let span = start.to(self.prev_span());
             self.expect_punct(";")?;
-            Ok(SeqStmt::Call { func, args })
+            Ok(SeqStmt::Call { func, args, span })
         }
     }
 
-    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+    fn block(&mut self) -> Result<Vec<Stmt>, Diagnostic> {
         self.expect_punct("{")?;
         let mut body = Vec::new();
         while !self.eat_punct("}") {
@@ -209,7 +240,7 @@ impl Parser {
         Ok(body)
     }
 
-    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+    fn stmt(&mut self) -> Result<Stmt, Diagnostic> {
         if self.eat_kw("let") {
             let name = self.ident()?;
             self.expect_punct("=")?;
@@ -233,7 +264,7 @@ impl Parser {
             return Ok(Stmt::For { var, lo, hi, body });
         }
         // Assignment: `name = e;` or `name[i](<[j]>) = e;`
-        let name = self.ident()?;
+        let (name, start) = self.ident_sp()?;
         if self.eat_punct("[") {
             let mut idx = vec![self.expr()?];
             self.expect_punct("]")?;
@@ -241,10 +272,11 @@ impl Parser {
                 idx.push(self.expr()?);
                 self.expect_punct("]")?;
             }
+            let span = start.to(self.prev_span());
             self.expect_punct("=")?;
             let value = self.expr()?;
             self.expect_punct(";")?;
-            Ok(Stmt::AssignAgg { agg: name, idx, value })
+            Ok(Stmt::AssignAgg { agg: name, idx, value, span })
         } else {
             self.expect_punct("=")?;
             let e = self.expr()?;
@@ -253,7 +285,7 @@ impl Parser {
         }
     }
 
-    fn expr(&mut self) -> Result<Expr, ParseError> {
+    fn expr(&mut self) -> Result<Expr, Diagnostic> {
         let lhs = self.add_expr()?;
         let op = match self.peek() {
             Tok::Punct("<") => Some(BinOp::Lt),
@@ -273,7 +305,7 @@ impl Parser {
         }
     }
 
-    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+    fn add_expr(&mut self) -> Result<Expr, Diagnostic> {
         let mut lhs = self.mul_expr()?;
         loop {
             let op = match self.peek() {
@@ -288,7 +320,7 @@ impl Parser {
         Ok(lhs)
     }
 
-    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+    fn mul_expr(&mut self) -> Result<Expr, Diagnostic> {
         let mut lhs = self.unary()?;
         loop {
             let op = match self.peek() {
@@ -304,7 +336,7 @@ impl Parser {
         Ok(lhs)
     }
 
-    fn unary(&mut self) -> Result<Expr, ParseError> {
+    fn unary(&mut self) -> Result<Expr, Diagnostic> {
         if self.eat_punct("-") {
             Ok(Expr::Neg(Box::new(self.unary()?)))
         } else {
@@ -312,13 +344,15 @@ impl Parser {
         }
     }
 
-    fn atom(&mut self) -> Result<Expr, ParseError> {
+    fn atom(&mut self) -> Result<Expr, Diagnostic> {
+        let start = self.span();
         match self.bump() {
             Tok::Float(v) => Ok(Expr::Num(v)),
             Tok::Int(v) => Ok(Expr::Int(v)),
             Tok::Pos(k) => {
                 if k > 1 {
-                    return self.err("only #0 and #1 are supported");
+                    return Err(Diagnostic::error(codes::PARSE, "only #0 and #1 are supported")
+                        .with_span(start));
                 }
                 Ok(Expr::Pos(k))
             }
@@ -334,7 +368,13 @@ impl Parser {
                         "min" => Builtin::Min,
                         "max" => Builtin::Max,
                         "sqrt" => Builtin::Sqrt,
-                        other => return self.err(format!("unknown function `{other}`")),
+                        other => {
+                            return Err(Diagnostic::error(
+                                codes::PARSE,
+                                format!("unknown function `{other}`"),
+                            )
+                            .with_span(start))
+                        }
                     };
                     let mut args = Vec::new();
                     if !self.eat_punct(")") {
@@ -351,7 +391,11 @@ impl Parser {
                         Builtin::Min | Builtin::Max => 2,
                     };
                     if args.len() != want {
-                        return self.err(format!("`{name}` takes {want} argument(s)"));
+                        return Err(Diagnostic::error(
+                            codes::PARSE,
+                            format!("`{name}` takes {want} argument(s)"),
+                        )
+                        .with_span(start.to(self.prev_span())));
                     }
                     Ok(Expr::Builtin(b, args))
                 } else if self.eat_punct("[") {
@@ -361,12 +405,13 @@ impl Parser {
                         idx.push(self.expr()?);
                         self.expect_punct("]")?;
                     }
-                    Ok(Expr::AggRead { agg: name, idx })
+                    Ok(Expr::AggRead { agg: name, idx, span: start.to(self.prev_span()) })
                 } else {
                     Ok(Expr::Var(name))
                 }
             }
-            other => self.err(format!("unexpected token {other}")),
+            other => Err(Diagnostic::error(codes::PARSE, format!("unexpected token {other}"))
+                .with_span(start)),
         }
     }
 }
@@ -487,5 +532,36 @@ mod tests {
     fn error_carries_line() {
         let err = parse("aggregate A[4] of float;\n\nbogus").unwrap_err();
         assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn diag_error_carries_span() {
+        let d = parse_diag("aggregate A[4] of float;\n\nbogus").unwrap_err();
+        assert_eq!(d.code, "E002");
+        let s = d.primary_span().expect("span");
+        assert_eq!(s.line, 3);
+        assert_eq!((s.lo, s.hi), (26, 31));
+    }
+
+    #[test]
+    fn call_and_read_spans_cover_source() {
+        let src = "aggregate A[4] of float;\nparallel fn f(a) { a[#0] = a[#0+1]; }\nfn main() { f(A); }\n";
+        let p = parse(src).unwrap();
+        let chars: Vec<char> = src.chars().collect();
+        let slice = |sp: Span| -> String { chars[sp.lo as usize..sp.hi as usize].iter().collect() };
+        match &p.main[0] {
+            SeqStmt::Call { span, .. } => assert_eq!(slice(*span), "f(A)"),
+            other => panic!("expected call, got {other:?}"),
+        }
+        match &p.funcs[0].body[0] {
+            Stmt::AssignAgg { span, value, .. } => {
+                assert_eq!(slice(*span), "a[#0]");
+                match value {
+                    Expr::AggRead { span, .. } => assert_eq!(slice(*span), "a[#0+1]"),
+                    other => panic!("expected read, got {other:?}"),
+                }
+            }
+            other => panic!("expected store, got {other:?}"),
+        }
     }
 }

@@ -11,10 +11,16 @@
 //! The paper's example (Figure 3's `update`): summary
 //! `{(primal, Write, Home), (dual, Read, NonHome)}` — which this module's
 //! tests reproduce verbatim.
+//!
+//! Besides the boolean per-parameter rollup ([`ParamAccess`]), the analyzer
+//! records every individual access with its source span ([`AccessSite`]) —
+//! the raw material for the lint suite and the schedule oracle's
+//! static↔dynamic diff.
 
 use std::collections::BTreeMap;
 
 use crate::ast::*;
+use crate::diag::{codes, Diagnostic, Span};
 use crate::lexer::ParseError;
 
 /// Read or write.
@@ -80,11 +86,27 @@ impl ParamAccess {
     }
 }
 
+/// One concrete aggregate access inside a parallel-function body, with its
+/// source span — what the lints and the schedule oracle point at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessSite {
+    /// Parameter name accessed.
+    pub param: String,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Home or non-home index.
+    pub loc: Locality,
+    /// Where in the source.
+    pub span: Span,
+}
+
 /// Access summary of one parallel function: per parameter name.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AccessSummary {
     /// Per-parameter access classification (ordered for stable output).
     pub params: BTreeMap<String, ParamAccess>,
+    /// Every individual access, in body order, with spans.
+    pub sites: Vec<AccessSite>,
 }
 
 impl AccessSummary {
@@ -102,11 +124,63 @@ impl AccessSummary {
     pub fn home_only(&self) -> bool {
         !self.any_unstructured()
     }
+
+    /// The first recorded site matching `param`, `kind`, `loc`, if any.
+    pub fn site(&self, param: &str, kind: AccessKind, loc: Locality) -> Option<&AccessSite> {
+        self.sites.iter().find(|s| s.param == param && s.kind == kind && s.loc == loc)
+    }
+}
+
+/// Tunable classification rules — the oracle mutation test's hook.
+///
+/// The default rules are the paper's: an index is Home iff it is exactly
+/// the position pseudo-variable in every dimension. Setting
+/// [`ClassifyRules::const_offset_is_home`] deliberately *weakens* the
+/// analysis (constant neighbor offsets like `g[#0-1]` get misclassified as
+/// Home); the schedule oracle must catch the resulting unsoundness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassifyRules {
+    /// TEST-ONLY weakening: treat `#k ± c` indices as Home accesses.
+    pub const_offset_is_home: bool,
+}
+
+impl ClassifyRules {
+    /// Classify an index vector under these rules.
+    pub fn classify(&self, idx: &[Expr]) -> Locality {
+        let dim_ok = |k: usize, e: &Expr| -> bool {
+            match e {
+                Expr::Pos(p) => *p == k,
+                Expr::Bin(BinOp::Add | BinOp::Sub, a, b) if self.const_offset_is_home => {
+                    matches!(&**a, Expr::Pos(p) if *p == k) && matches!(&**b, Expr::Int(_))
+                }
+                _ => false,
+            }
+        };
+        if idx.iter().enumerate().all(|(k, e)| dim_ok(k, e)) {
+            Locality::Home
+        } else {
+            Locality::NonHome
+        }
+    }
+}
+
+/// Classify an index vector under the paper's (sound) default rules.
+pub fn classify_index(idx: &[Expr]) -> Locality {
+    ClassifyRules::default().classify(idx)
 }
 
 /// Analyze one parallel function (checking names along the way).
+///
+/// Legacy entry point; [`analyze_fn_with`] returns span-carrying
+/// diagnostics and accepts [`ClassifyRules`].
 pub fn analyze_fn(f: &ParFn) -> Result<AccessSummary, ParseError> {
-    let mut an = Analyzer { f, sum: AccessSummary::default(), locals: Vec::new() };
+    analyze_fn_with(f, ClassifyRules::default()).map_err(ParseError::from)
+}
+
+/// Analyze one parallel function under the given classification rules,
+/// reporting name errors as `E003` diagnostics.
+pub fn analyze_fn_with(f: &ParFn, rules: ClassifyRules) -> Result<AccessSummary, Diagnostic> {
+    let mut an = Analyzer { f, rules, sum: AccessSummary::default(), locals: Vec::new() };
     for p in &f.params {
         an.sum.params.insert(p.clone(), ParamAccess::default());
     }
@@ -116,18 +190,26 @@ pub fn analyze_fn(f: &ParFn) -> Result<AccessSummary, ParseError> {
 
 struct Analyzer<'a> {
     f: &'a ParFn,
+    rules: ClassifyRules,
     sum: AccessSummary,
     locals: Vec<String>,
 }
 
 impl<'a> Analyzer<'a> {
-    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { msg: format!("in `{}`: {}", self.f.name, msg.into()), line: 0 })
+    fn err<T>(&self, msg: impl Into<String>, span: Span) -> Result<T, Diagnostic> {
+        Err(Diagnostic::error(codes::NAME, format!("in `{}`: {}", self.f.name, msg.into()))
+            .with_span(if span == Span::default() { self.f.span } else { span }))
     }
 
-    fn record(&mut self, agg: &str, kind: AccessKind, loc: Locality) -> Result<(), ParseError> {
+    fn record(
+        &mut self,
+        agg: &str,
+        kind: AccessKind,
+        loc: Locality,
+        span: Span,
+    ) -> Result<(), Diagnostic> {
         let Some(p) = self.sum.params.get_mut(agg) else {
-            return self.err(format!("`{agg}` is not a parameter"));
+            return self.err(format!("`{agg}` is not a parameter"), span);
         };
         match (kind, loc) {
             (AccessKind::Read, Locality::Home) => p.home_read = true,
@@ -135,45 +217,37 @@ impl<'a> Analyzer<'a> {
             (AccessKind::Read, Locality::NonHome) => p.nonhome_read = true,
             (AccessKind::Write, Locality::NonHome) => p.nonhome_write = true,
         }
+        self.sum.sites.push(AccessSite { param: agg.to_string(), kind, loc, span });
         Ok(())
     }
 
-    /// An index vector is a *home* index iff it is exactly
-    /// `[#0]` / `[#0][#1]` — the own position, unmodified.
-    fn classify(idx: &[Expr]) -> Locality {
-        let home = idx.iter().enumerate().all(|(k, e)| matches!(e, Expr::Pos(p) if *p == k));
-        if home {
-            Locality::Home
-        } else {
-            Locality::NonHome
-        }
-    }
-
-    fn stmts(&mut self, body: &[Stmt]) -> Result<(), ParseError> {
+    fn stmts(&mut self, body: &[Stmt]) -> Result<(), Diagnostic> {
         for s in body {
             self.stmt(s)?;
         }
         Ok(())
     }
 
-    fn stmt(&mut self, s: &Stmt) -> Result<(), ParseError> {
+    fn stmt(&mut self, s: &Stmt) -> Result<(), Diagnostic> {
         match s {
             Stmt::Let(name, e) => {
                 self.expr(e)?;
                 self.locals.push(name.clone());
             }
             Stmt::AssignLocal(name, e) => {
-                if !self.locals.iter().any(|l| l == name) && !self.is_loop_var(name) {
-                    return self.err(format!("assignment to unknown local `{name}`"));
+                if !self.locals.iter().any(|l| l == name) {
+                    return self
+                        .err(format!("assignment to unknown local `{name}`"), Span::default());
                 }
                 self.expr(e)?;
             }
-            Stmt::AssignAgg { agg, idx, value } => {
+            Stmt::AssignAgg { agg, idx, value, span } => {
                 for i in idx {
                     self.expr(i)?;
                 }
                 self.expr(value)?;
-                self.record(agg, AccessKind::Write, Self::classify(idx))?;
+                let loc = self.rules.classify(idx);
+                self.record(agg, AccessKind::Write, loc, *span)?;
             }
             Stmt::If(c, t, e) => {
                 self.expr(c)?;
@@ -190,27 +264,24 @@ impl<'a> Analyzer<'a> {
         Ok(())
     }
 
-    fn is_loop_var(&self, _name: &str) -> bool {
-        false // loop vars are pushed into `locals` when entered
-    }
-
-    fn expr(&mut self, e: &Expr) -> Result<(), ParseError> {
+    fn expr(&mut self, e: &Expr) -> Result<(), Diagnostic> {
         match e {
             Expr::Num(_) | Expr::Int(_) | Expr::Pos(_) => Ok(()),
             Expr::Var(name) => {
                 if self.locals.iter().any(|l| l == name) {
                     Ok(())
                 } else if self.sum.params.contains_key(name) {
-                    self.err(format!("aggregate `{name}` used without an index"))
+                    self.err(format!("aggregate `{name}` used without an index"), Span::default())
                 } else {
-                    self.err(format!("unknown variable `{name}`"))
+                    self.err(format!("unknown variable `{name}`"), Span::default())
                 }
             }
-            Expr::AggRead { agg, idx } => {
+            Expr::AggRead { agg, idx, span } => {
                 for i in idx {
                     self.expr(i)?;
                 }
-                self.record(agg, AccessKind::Read, Analyzer::classify(idx))
+                let loc = self.rules.classify(idx);
+                self.record(agg, AccessKind::Read, loc, *span)
             }
             Expr::Bin(_, a, b) => {
                 self.expr(a)?;
@@ -228,41 +299,57 @@ impl<'a> Analyzer<'a> {
 }
 
 /// Analyze every parallel function in a program and validate call sites
-/// (arity, aggregate names, dimension agreement between the call's
+/// (arity, aggregate names; dimension agreement between the call's
 /// aggregates and the function's index usage is checked dynamically by the
 /// interpreter).
+///
+/// Legacy entry point; [`analyze_program_with`] returns span-carrying
+/// diagnostics and accepts [`ClassifyRules`].
 pub fn analyze_program(p: &Program) -> Result<BTreeMap<String, AccessSummary>, ParseError> {
+    analyze_program_with(p, ClassifyRules::default()).map_err(ParseError::from)
+}
+
+/// Analyze a program under the given classification rules, reporting call
+/// site errors as `E004` diagnostics with spans.
+pub fn analyze_program_with(
+    p: &Program,
+    rules: ClassifyRules,
+) -> Result<BTreeMap<String, AccessSummary>, Diagnostic> {
     let mut out = BTreeMap::new();
     for f in &p.funcs {
-        out.insert(f.name.clone(), analyze_fn(f)?);
+        out.insert(f.name.clone(), analyze_fn_with(f, rules)?);
     }
     // Validate main's call sites.
-    fn walk(p: &Program, stmts: &[SeqStmt]) -> Result<(), ParseError> {
+    fn walk(p: &Program, stmts: &[SeqStmt]) -> Result<(), Diagnostic> {
         for s in stmts {
             match s {
-                SeqStmt::Call { func, args } => {
+                SeqStmt::Call { func, args, span } => {
                     let Some(f) = p.func(func) else {
-                        return Err(ParseError {
-                            msg: format!("call to unknown parallel function `{func}`"),
-                            line: 0,
-                        });
+                        return Err(Diagnostic::error(
+                            codes::CALL,
+                            format!("call to unknown parallel function `{func}`"),
+                        )
+                        .with_label(*span, "not a parallel function"));
                     };
                     if f.params.len() != args.len() {
-                        return Err(ParseError {
-                            msg: format!(
+                        return Err(Diagnostic::error(
+                            codes::CALL,
+                            format!(
                                 "`{func}` takes {} aggregate(s), called with {}",
                                 f.params.len(),
                                 args.len()
                             ),
-                            line: 0,
-                        });
+                        )
+                        .with_span(*span)
+                        .with_label(f.span, "declared here"));
                     }
                     for a in args {
                         if p.agg(a).is_none() {
-                            return Err(ParseError {
-                                msg: format!("unknown aggregate `{a}` in call to `{func}`"),
-                                line: 0,
-                            });
+                            return Err(Diagnostic::error(
+                                codes::CALL,
+                                format!("unknown aggregate `{a}` in call to `{func}`"),
+                            )
+                            .with_span(*span));
                         }
                     }
                 }
@@ -415,5 +502,38 @@ mod tests {
         let s = &analyze_program(&p).unwrap()["f"];
         // Loop-indexed accesses are conservatively non-home.
         assert!(s.get("a").nonhome_read && s.get("a").nonhome_write);
+    }
+
+    #[test]
+    fn sites_carry_spans() {
+        let src = "aggregate G[8] of float;\nparallel fn f(g) { g[#0] = g[#0-1]; }\nfn main() { f(G); }\n";
+        let p = parse(src).unwrap();
+        let s = &analyze_program(&p).unwrap()["f"];
+        let read = s.site("g", AccessKind::Read, Locality::NonHome).expect("read site");
+        let chars: Vec<char> = src.chars().collect();
+        let text: String = chars[read.span.lo as usize..read.span.hi as usize].iter().collect();
+        assert_eq!(text, "g[#0-1]");
+        assert!(s.site("g", AccessKind::Write, Locality::Home).is_some());
+    }
+
+    #[test]
+    fn weakened_rules_misclassify_const_offsets() {
+        let src = "aggregate G[8] of float;\nparallel fn f(g) { g[#0] = g[#0-1]; }\nfn main() { f(G); }\n";
+        let p = parse(src).unwrap();
+        let weak = ClassifyRules { const_offset_is_home: true };
+        let s = &analyze_program_with(&p, weak).unwrap()["f"];
+        // The deliberately unsound rule hides the neighbor read.
+        assert!(!s.get("g").nonhome_read);
+        assert!(s.get("g").home_read);
+    }
+
+    #[test]
+    fn call_site_errors_have_spans() {
+        let src =
+            "aggregate A[4] of float;\nparallel fn f(a) { a[#0] = 1.0; }\nfn main() { g(A); }\n";
+        let p = parse(src).unwrap();
+        let d = analyze_program_with(&p, ClassifyRules::default()).unwrap_err();
+        assert_eq!(d.code, "E004");
+        assert_eq!(d.primary_span().expect("span").line, 3);
     }
 }

@@ -1,0 +1,165 @@
+//! Golden UI tests for the diagnostics engine and the lint suite.
+//!
+//! Every fixture under `tests/lints/` pairs a `.cstar` source with a
+//! `.expected` file holding the rendered diagnostics, compared **verbatim**.
+//! Diagnostics without a natural source fixture (W002, E005, E006 — they
+//! arise from hand-built CFGs or generated programs) are constructed
+//! in-test and still golden-compared. Regenerate all expected files with
+//! `BLESS=1 cargo test -p prescient-cstar --test lints`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use prescient_cstar::cfg::CfgBuilder;
+use prescient_cstar::directives::{place_directives, CallDecision};
+use prescient_cstar::sema::ClassifyRules;
+use prescient_cstar::{audit_plan, compile_diag, lint_program, Diagnostic, ReachingUnstructured};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/lints")
+}
+
+/// Compare `rendered` against `tests/lints/{name}.expected` verbatim, or
+/// rewrite the expected file under `BLESS=1`.
+fn check_rendered(name: &str, rendered: &str) {
+    let path = fixture_dir().join(format!("{name}.expected"));
+    if std::env::var_os("BLESS").is_some() {
+        fs::write(&path, rendered).expect("write blessed expectation");
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing {}: {e}\nrun with BLESS=1 to create it", path.display())
+    });
+    assert_eq!(rendered, expected, "golden mismatch for `{name}` (rerun with BLESS=1 to accept)");
+}
+
+/// Diagnostics of a source fixture: the compile error, or the lints.
+fn fixture_diags(name: &str) -> (String, Vec<Diagnostic>) {
+    let src =
+        fs::read_to_string(fixture_dir().join(format!("{name}.cstar"))).expect("fixture source");
+    let ds = match compile_diag(&src, true, ClassifyRules::default()) {
+        Err(d) => vec![d],
+        Ok(prog) => lint_program(&prog),
+    };
+    (src, ds)
+}
+
+fn check_fixture(name: &str, expect_codes: &[&str]) {
+    let (src, ds) = fixture_diags(name);
+    let got: Vec<&str> = ds.iter().map(|d| d.code.as_str()).collect();
+    assert_eq!(got, expect_codes, "{name}: {ds:#?}");
+    let file = format!("tests/lints/{name}.cstar");
+    check_rendered(name, &Diagnostic::render_all(&ds, &src, &file));
+}
+
+#[test]
+fn w001_phase_conflict() {
+    check_fixture("w001", &["W001"]);
+}
+
+#[test]
+fn w003_static_out_of_bounds() {
+    check_fixture("w003", &["W003", "W003"]);
+}
+
+#[test]
+fn w004_unused_aggregates() {
+    check_fixture("w004", &["W004", "W004"]);
+}
+
+#[test]
+fn w005_remote_fed_index() {
+    check_fixture("w005", &["W005"]);
+}
+
+#[test]
+fn e001_lex_error() {
+    check_fixture("e001", &["E001"]);
+}
+
+#[test]
+fn e002_parse_error() {
+    check_fixture("e002", &["E002"]);
+}
+
+#[test]
+fn e003_name_error() {
+    check_fixture("e003", &["E003"]);
+}
+
+#[test]
+fn e004_bad_call() {
+    check_fixture("e004", &["E004"]);
+}
+
+#[test]
+fn w002_dead_directive_from_forced_plan() {
+    // Home-only program: the compiler never schedules it; force a schedule
+    // by hand, as a buggy compiler pass would.
+    let mut b = CfgBuilder::new(["A".to_string()]);
+    b.call("scale", &[("A", true, true, false, false)]);
+    let cfg = b.finish();
+    let sol = ReachingUnstructured::solve(&cfg).unwrap();
+    let mut plan = place_directives(&cfg, &sol, true);
+    plan.assignment.calls.insert(0, CallDecision { needs: true, home_only: true, phase: Some(1) });
+    plan.assignment.n_phases = 1;
+    let ds = audit_plan(&cfg, &sol, &plan.assignment);
+    assert_eq!(ds.len(), 1, "{ds:#?}");
+    assert_eq!(ds[0].code, "W002");
+    check_rendered("w002", &Diagnostic::render_all(&ds, "", "<hand-built cfg>"));
+}
+
+#[test]
+fn e005_universe_mismatch() {
+    // A call accessing an aggregate outside the CFG's universe. The
+    // builder refuses to construct this, so shrink the universe after the
+    // fact — the inconsistency a buggy compiler pass would introduce.
+    let mut b = CfgBuilder::new(["A".to_string(), "B".to_string()]);
+    b.call("f", &[("B", false, false, true, false)]);
+    let mut cfg = b.finish();
+    cfg.aggs = vec!["A".to_string()];
+    let err = ReachingUnstructured::solve(&cfg).unwrap_err();
+    assert_eq!(err.code, "E005");
+    check_rendered("e005", &err.render("", "<hand-built cfg>"));
+}
+
+#[test]
+fn e006_aggregate_limit() {
+    let mut src = String::new();
+    for i in 0..65 {
+        src.push_str(&format!("aggregate A{i}[8] of float;\n"));
+    }
+    src.push_str("parallel fn f(a) { a[#0] = 0.0; }\nfn main() { f(A0); }\n");
+    let err = compile_diag(&src, true, ClassifyRules::default()).unwrap_err();
+    assert_eq!(err.code, "E006");
+    check_rendered("e006", &err.render(&src, "<generated>"));
+}
+
+#[test]
+fn clean_examples_are_silent() {
+    for name in ["jacobi", "relax", "transport"] {
+        let path =
+            Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("../../examples/{name}.cstar"));
+        let src = fs::read_to_string(&path).expect("example source");
+        let prog = compile_diag(&src, true, ClassifyRules::default())
+            .unwrap_or_else(|e| panic!("{name} failed to compile: {e}"));
+        let ds = lint_program(&prog);
+        assert!(ds.is_empty(), "{name} should be lint-clean: {ds:#?}");
+    }
+}
+
+#[test]
+fn fixture_diagnostics_round_trip_through_json() {
+    let mut all = Vec::new();
+    for name in ["w001", "w003", "w004", "w005", "e001", "e003"] {
+        let (_, mut ds) = fixture_diags(name);
+        for d in &mut ds {
+            *d = d.clone().with_file(format!("tests/lints/{name}.cstar"));
+        }
+        all.extend(ds);
+    }
+    assert!(!all.is_empty());
+    let json = Diagnostic::json_array(&all);
+    let back = Diagnostic::from_json_array(&json).expect("parse back");
+    assert_eq!(back, all, "JSON round-trip must be lossless");
+}

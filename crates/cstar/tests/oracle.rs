@@ -1,0 +1,82 @@
+//! Schedule-oracle integration tests: the unmodified compiler passes the
+//! oracle on the paper's mini-apps with zero soundness errors, and the
+//! mutation hook (deliberately weakened Home/NonHome classification) is
+//! caught as an E007 naming the aggregate and the phase.
+
+use std::fs;
+use std::path::Path;
+
+use prescient_cstar::sema::ClassifyRules;
+use prescient_cstar::{run_oracle, Diagnostic, OracleConfig};
+
+fn example(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("../../examples/{name}.cstar"));
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn cfg() -> OracleConfig {
+    OracleConfig { nodes: 4, block_size: 8, seed: 0x5eed }
+}
+
+#[test]
+fn mini_apps_pass_the_oracle_with_sound_summaries() {
+    for name in ["jacobi", "relax", "transport"] {
+        let report = run_oracle(&example(name), &cfg(), ClassifyRules::default())
+            .unwrap_or_else(|e| panic!("{name} failed to compile: {e}"));
+        assert!(
+            report.observed_events > 0,
+            "{name}: the oracle run must actually observe communication"
+        );
+        assert_eq!(
+            report.soundness_errors(),
+            0,
+            "{name}: sound compiler must have no E007s: {:#?}",
+            report.diagnostics
+        );
+    }
+}
+
+#[test]
+fn weakened_classification_is_caught_as_unsound() {
+    // The mutation hook: `g[#0-1]` misclassified as a Home access. The
+    // compiler then predicts no non-home reads and places no directives;
+    // the dynamic boundary traffic must surface as E007.
+    let rules = ClassifyRules { const_offset_is_home: true };
+    let report = run_oracle(&example("jacobi"), &cfg(), rules).expect("compiles");
+    assert!(
+        report.soundness_errors() > 0,
+        "weakened sema must be flagged: {:#?}",
+        report.diagnostics
+    );
+    let e = report.diagnostics.iter().find(|d| d.code == "E007").expect("an E007 diagnostic");
+    assert!(
+        e.message.contains("`G`") || e.message.contains("`H`"),
+        "E007 must name the aggregate: {}",
+        e.message
+    );
+    assert!(e.message.contains("phase"), "E007 must name the phase: {}", e.message);
+    assert!(e.message.contains("sweep"), "E007 must name the call: {}", e.message);
+}
+
+#[test]
+fn oracle_diagnostics_round_trip_through_json() {
+    let rules = ClassifyRules { const_offset_is_home: true };
+    let report = run_oracle(&example("jacobi"), &cfg(), rules).expect("compiles");
+    assert!(!report.diagnostics.is_empty());
+    let json = Diagnostic::json_array(&report.diagnostics);
+    let back = Diagnostic::from_json_array(&json).expect("parse back");
+    assert_eq!(back, report.diagnostics);
+}
+
+#[test]
+fn oracle_reports_precision_statistics() {
+    let report = run_oracle(&example("relax"), &cfg(), ClassifyRules::default()).expect("compiles");
+    assert!(report.predictions > 0, "relax predicts non-home traffic");
+    let r = report.imprecision_ratio();
+    assert!((0.0..=1.0).contains(&r), "ratio in [0,1]: {r}");
+    assert_eq!(
+        report.diagnostics.iter().filter(|d| d.code == "W006").count(),
+        report.unobserved,
+        "one W006 per unobserved prediction"
+    );
+}

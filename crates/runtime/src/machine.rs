@@ -6,7 +6,7 @@ use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver};
 use parking_lot::Mutex;
-use prescient_core::Predictive;
+use prescient_core::{AccessTap, Predictive};
 use prescient_stache::{spawn_protocol, Msg, NoHooks, NodeShared, Wake};
 use prescient_tempest::fabric::{Fabric, FabricCtl};
 use prescient_tempest::{FaultStats, GAddr, GlobalLayout, NodeId, VBarrier};
@@ -138,6 +138,27 @@ impl Machine {
     /// predictive protocol (used for manual schedules and diagnostics).
     pub fn predictive(&self, node: NodeId) -> Option<&Arc<Predictive>> {
         self.preds.as_ref().map(|p| &p[node as usize])
+    }
+
+    /// Install a schedule-oracle recording tap on every node's predictive
+    /// protocol (no-op under plain Stache, returning `false`). The tap
+    /// observes every home-node request regardless of the protocol's
+    /// recording state; remove it with [`Machine::remove_tap`].
+    pub fn install_tap(&self, tap: &Arc<AccessTap>) -> bool {
+        let Some(preds) = self.preds.as_ref() else { return false };
+        for p in preds {
+            p.set_tap(Some(Arc::clone(tap)));
+        }
+        true
+    }
+
+    /// Remove a previously installed recording tap from every node.
+    pub fn remove_tap(&self) {
+        if let Some(preds) = self.preds.as_ref() {
+            for p in preds {
+                p.set_tap(None);
+            }
+        }
     }
 
     /// Verify all coherence invariants (single writer / valid sharers /
