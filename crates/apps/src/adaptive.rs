@@ -358,11 +358,11 @@ impl Mesh for DsmMesh<'_, '_> {
         self.n
     }
     fn root(&mut self, i: usize, j: usize) -> f64 {
-        let agg = if (i + j) % 2 == 0 { &self.aggs.red } else { &self.aggs.black };
+        let agg = if (i + j).is_multiple_of(2) { &self.aggs.red } else { &self.aggs.black };
         self.ctx.read(agg.addr(i, j / 2))
     }
     fn set_root(&mut self, i: usize, j: usize, v: f64) {
-        let agg = if (i + j) % 2 == 0 { &self.aggs.red } else { &self.aggs.black };
+        let agg = if (i + j).is_multiple_of(2) { &self.aggs.red } else { &self.aggs.black };
         self.ctx.write(agg.addr(i, j / 2), v);
     }
     fn depth(&mut self, i: usize, j: usize) -> u32 {

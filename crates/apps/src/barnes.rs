@@ -244,6 +244,7 @@ fn accumulate(acc: &mut [f64; 3], p: &[f64; 3], q: &[f64; 3], m: f64) {
 fn seq_force(t: &SeqTree, b: usize, pos: &[[f64; 3]], mass: &[f64], theta: f64) -> [f64; 3] {
     let mut acc = [0.0f64; 3];
     let rsize = 1.0 / GRID as f64;
+    #[allow(clippy::too_many_arguments)]
     fn walk(
         t: &SeqTree,
         cell: usize,
@@ -362,13 +363,83 @@ struct BarnesShared {
     arena_cells: u64,
 }
 
-fn setup(machine: &Machine, cfg: &BarnesConfig) -> BarnesShared {
+/// Count the cells one region's tree allocates for the given bodies — the
+/// same insertion walk as the build phase, on private memory. Used to size
+/// the per-node arenas: the clustered initial conditions pack thousands of
+/// bodies into a single region, so the uniform `4n/P` estimate is wrong at
+/// paper scale (n=16384 exhausts it and the build phase panics).
+fn count_region_cells(pos: &[[f64; 3]], r: usize) -> u64 {
+    let rsize = 1.0 / GRID as f64;
+    let corner0 = region_corner(r);
+    // Children words per cell: 0 empty, odd = body, even nonzero = cell
+    // index * 2 + 2 (a private re-encoding of the shared-arena scheme).
+    let mut cells: Vec<[u64; 8]> = Vec::new();
+    let mut root: Option<usize> = None;
+    for (b, p) in pos.iter().enumerate() {
+        if region_of(p) != r {
+            continue;
+        }
+        let root_idx = match root {
+            Some(i) => i,
+            None => {
+                cells.push([0; 8]);
+                root = Some(cells.len() - 1);
+                cells.len() - 1
+            }
+        };
+        let mut cell = root_idx;
+        let mut corner = corner0;
+        let mut size = rsize;
+        let mut depth = 0;
+        loop {
+            let (oi, oc) = octant(p, &corner, size);
+            let w = cells[cell][oi];
+            if w == 0 {
+                cells[cell][oi] = (b as u64) << 1 | 1;
+                break;
+            } else if w & 1 == 0 {
+                cell = (w / 2 - 1) as usize;
+                corner = oc;
+                size /= 2.0;
+                depth += 1;
+            } else {
+                if depth >= MAX_DEPTH {
+                    break;
+                }
+                let other = (w >> 1) as usize;
+                cells.push([0; 8]);
+                let nc = cells.len() - 1;
+                cells[cell][oi] = (nc as u64) * 2 + 2;
+                let (ooi, _) = octant(&pos[other], &oc, size / 2.0);
+                cells[nc][ooi] = (other as u64) << 1 | 1;
+                cell = nc;
+                corner = oc;
+                size /= 2.0;
+                depth += 1;
+            }
+        }
+    }
+    cells.len() as u64
+}
+
+fn setup(machine: &Machine, cfg: &BarnesConfig, init_pos: &[[f64; 3]]) -> BarnesShared {
     let n = cfg.n;
     let nodes = machine.nodes();
-    // Arena capacity: every region tree could hold all its bodies; 4n/P
-    // cells per node is ample for random data (a body insertion allocates
-    // at most MAX_DEPTH cells, amortized ~1).
-    let arena_cells = (4 * n / nodes + 64) as u64;
+    // Arena capacity: 4n/P cells per node covers near-uniform data (a body
+    // insertion allocates amortized ~1 cell). Clustered data can blow past
+    // that on the node owning the dense region, so take the larger of the
+    // uniform estimate and the measured per-node demand for the initial
+    // bodies (plus 25% + 16 slack for drift between regions). The uniform
+    // value is kept whenever it suffices so that the address layout — and
+    // with it the recorded traffic counters — is unchanged at the scales
+    // that already fit.
+    let uniform = (4 * n / nodes + 64) as u64;
+    let mut per_node = vec![0u64; nodes];
+    for r in 0..REGIONS {
+        per_node[r % nodes] += count_region_cells(init_pos, r);
+    }
+    let needed = per_node.iter().copied().max().unwrap_or(0);
+    let arena_cells = if needed <= uniform { uniform } else { needed + needed / 4 + 16 };
     let arena_base =
         (0..nodes).map(|p| machine.alloc_on(p as u16, arena_cells * CELL_BYTES, 8)).collect();
     BarnesShared {
@@ -461,7 +532,7 @@ fn barnes_driver(
     let (init_pos, init_mass) = initial_bodies(cfg);
 
     let mut machine = Machine::new(mcfg);
-    let sh = setup(&machine, cfg);
+    let sh = setup(&machine, cfg, &init_pos);
     let nodes = machine.nodes();
 
     // Initialization (not measured).
@@ -782,6 +853,38 @@ mod tests {
             (0..REGIONS).filter_map(|r| t.roots[r]).map(|root| t.cells[root].mass).sum();
         let expect: f64 = mass.iter().sum();
         assert!((total - expect).abs() < 1e-12, "{total} vs {expect}");
+    }
+
+    #[test]
+    fn cell_count_matches_seq_build() {
+        // The arena-sizing walk must allocate exactly as many cells as the
+        // real insertion does, region by region — including at the paper's
+        // clustered n=16384, where the uniform 4n/P estimate falls short.
+        for n in [128usize, 1024, 16384] {
+            let cfg = BarnesConfig { n, steps: 1, ..Default::default() };
+            let (pos, mass) = initial_bodies(&cfg);
+            let t = seq_build(&pos, &mass);
+            let counted: u64 = (0..REGIONS).map(|r| count_region_cells(&pos, r)).sum();
+            assert_eq!(counted, t.cells.len() as u64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn paper_scale_arena_fits_clustered_regions() {
+        // Regression for the paper-scale build panic: the densest node's
+        // region trees need more cells than the uniform estimate, and the
+        // occupancy-based capacity must cover them with slack.
+        let cfg = BarnesConfig::default(); // n = 16384
+        let (pos, _) = initial_bodies(&cfg);
+        let nodes = 32;
+        let uniform = (4 * cfg.n / nodes + 64) as u64;
+        let mut per_node = vec![0u64; nodes];
+        for r in 0..REGIONS {
+            per_node[r % nodes] += count_region_cells(&pos, r);
+        }
+        let needed = *per_node.iter().max().unwrap();
+        assert!(needed > uniform, "clustered demand {needed} should exceed uniform {uniform}");
+        assert!(needed + needed / 4 + 16 > needed, "slack must be positive");
     }
 
     #[test]

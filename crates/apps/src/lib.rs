@@ -1,3 +1,7 @@
+// Index-based loops over small fixed-size vectors are the clearest idiom
+// for the numeric kernels here.
+#![allow(clippy::needless_range_loop)]
+
 //! # prescient-apps
 //!
 //! The paper's three evaluation applications (Table 1), their sequential

@@ -7,12 +7,15 @@
 //! * `presend/record+presend` — schedule recording and the pre-send walk;
 //! * `compiler/compile_jacobi` — the whole mini-C\*\* pipeline;
 //! * `dataflow/solve` — the bit-vector fixpoint on a deep loop nest;
-//! * `machine/barrier` — one virtual-time barrier episode.
+//! * `machine/barrier` — one virtual-time barrier episode;
+//! * `mem/*` — the flat paged arena in isolation: block lookup on the hit
+//!   path, tag probe, data reply snapshot, and the dense block walk.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use prescient_cstar::cfg::CfgBuilder;
 use prescient_cstar::dataflow::ReachingUnstructured;
 use prescient_runtime::{Agg1D, Dist1D, Machine, MachineConfig, NodeCtx};
+use prescient_tempest::{GlobalLayout, NodeMem};
 
 fn bench_access(c: &mut Criterion) {
     let mut machine = Machine::new(MachineConfig::stache(2, 64));
@@ -177,9 +180,47 @@ fn bench_barrier(c: &mut Criterion) {
     });
 }
 
+fn bench_mem(c: &mut Criterion) {
+    let layout = GlobalLayout::new(4, 32);
+    // A store with 1024 resident home blocks (4 arena pages), written so
+    // every slot is materialized.
+    let mut mem = NodeMem::new(layout, 0);
+    let base = mem.alloc(1024 * 32, 32);
+    for i in 0..1024u64 {
+        mem.write_in_block(base.add(i * 32), &[i as u8; 8]).unwrap();
+    }
+    let addrs: Vec<_> = (0..1024u64).map(|i| base.add(i * 32)).collect();
+    let blocks: Vec<_> = addrs.iter().map(|a| a.block(32)).collect();
+
+    c.bench_function("mem/block_lookup_hit", |b| {
+        let mut i = 0usize;
+        let mut buf = [0u8; 8];
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            mem.read_in_block(std::hint::black_box(addrs[i]), &mut buf).unwrap();
+            buf
+        })
+    });
+    c.bench_function("mem/probe", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            mem.probe(std::hint::black_box(blocks[i]))
+        })
+    });
+    c.bench_function("mem/snapshot_resident", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            mem.snapshot(std::hint::black_box(blocks[i]))
+        })
+    });
+    c.bench_function("mem/iter_blocks_1k_resident", |b| b.iter(|| mem.iter_blocks().count()));
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench_access, bench_remote_miss, bench_producer_consumer, bench_presend, bench_compiler, bench_dataflow, bench_barrier
+    targets = bench_access, bench_remote_miss, bench_producer_consumer, bench_presend, bench_compiler, bench_dataflow, bench_barrier, bench_mem
 }
 criterion_main!(benches);

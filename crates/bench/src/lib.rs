@@ -62,8 +62,8 @@ pub fn render_figure(title: &str, bars: &[Bar]) -> String {
     let best = bars.iter().map(|b| b.report.exec_time_ns()).min().unwrap_or(1).max(1);
     writeln!(
         s,
-        "{:<34} {:>9} {:>11} {:>9} {:>9} {:>9}  {}",
-        "version", "rel.time", "total(ms)", "wait%", "presend%", "cs%", "bar"
+        "{:<34} {:>9} {:>11} {:>9} {:>9} {:>9}  bar",
+        "version", "rel.time", "total(ms)", "wait%", "presend%", "cs%"
     )
     .unwrap();
     for b in bars {

@@ -327,20 +327,16 @@ impl Hooks for Predictive {
                 let tag =
                     if msg.code == codes::PRESEND_RW { Tag::ReadWrite } else { Tag::ReadOnly };
                 let count = msg.blocks.len() as u64;
-                let mut useless = 0u64;
-                {
-                    let mut mem = node.mem.lock();
-                    for (block, data) in &msg.blocks {
-                        if mem.install(*block, data, tag, true) {
-                            // Overwrote a copy pushed earlier that was
-                            // never read: a useless pre-send, reported
-                            // back to the pushing home via the ack.
-                            useless += 1;
-                        }
-                    }
-                }
+                let bytes: u64 = msg.blocks.iter().map(|(_, d)| d.len() as u64).sum();
+                // Batched upcall: all N blocks of the bulk message install
+                // under one lock acquisition. The returned count is how
+                // many installs overwrote a copy pushed earlier that was
+                // never read — useless pre-sends, reported back to the
+                // pushing home via the ack.
+                let useless = node.mem.lock().install_bulk(&msg.blocks, tag, true);
                 self.state.lock().done_pushes.insert((src, push_id), useless);
                 NodeStats::add(&node.stats.presend_blocks_in, count);
+                NodeStats::add(&node.stats.data_bytes_in, bytes);
                 let mut ack = UserMsg::simple(codes::PRESEND_ACK, push_id);
                 ack.b = useless;
                 node.send(src, Msg::User(ack));

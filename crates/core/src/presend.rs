@@ -34,6 +34,7 @@
 //! work stays non-blocking.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 use prescient_stache::engine::fetch;
@@ -137,15 +138,20 @@ pub fn presend(
             }
             Action::Read => {
                 let readers = entry.readers.without(me);
+                // `None` (a multi-hop round in flight — e.g. a delayed
+                // demand request that arrived mid-window on a faulty
+                // fabric) is handled like Exclusive: the blocking ensure
+                // fetch serializes behind the round and leaves the block
+                // home-readable.
                 let state = dir_state(n, block);
-                if matches!(state, DirState::Exclusive(_)) {
+                if !matches!(state, Some(DirState::Uncached | DirState::Shared(_))) {
                     // Recall the writer's copy home (it stays a sharer).
                     let info = fetch(n, wake_rx, block, false, stash);
                     report.ensure_fetches += 1;
                     report.vtime_ns += n.cost.ensure_ns(info.bytes);
                 }
                 let sharers = match dir_state(n, block) {
-                    DirState::Shared(s) => s,
+                    Some(DirState::Shared(s)) => s,
                     _ => NodeSet::EMPTY,
                 };
                 let targets = readers.minus(sharers);
@@ -158,15 +164,15 @@ pub fn presend(
                 let state = dir_state(n, block);
                 if writer == me {
                     // Prefetch ownership home.
-                    if !matches!(state, DirState::Uncached) {
+                    if !matches!(state, Some(DirState::Uncached)) {
                         let info = fetch(n, wake_rx, block, true, stash);
                         report.ensure_fetches += 1;
                         report.vtime_ns += n.cost.ensure_ns(info.bytes);
                     }
-                } else if state == DirState::Exclusive(writer) {
+                } else if state == Some(DirState::Exclusive(writer)) {
                     // The writer already owns it; nothing to do.
                 } else {
-                    if !matches!(state, DirState::Uncached) {
+                    if !matches!(state, Some(DirState::Uncached)) {
                         let info = fetch(n, wake_rx, block, true, stash);
                         report.ensure_fetches += 1;
                         report.vtime_ns += n.cost.ensure_ns(info.bytes);
@@ -181,35 +187,66 @@ pub fn presend(
     // unique push id (`a`) and the current epoch (`b`) so the exchange
     // survives duplication and loss; unacked messages are kept verbatim
     // for retransmission.
+    //
+    // Each push is *revalidated* under the directory lock before it is
+    // committed: between pass 1 (which observed and tore down directory
+    // state without holding the lock across the whole walk) and pass 2, a
+    // demand request from another node may have won the block — leaving
+    // the entry busy, or Exclusive at a node the schedule never predicted.
+    // Blindly pushing then would hand out copies that violate the
+    // single-writer invariant. Stale pushes are dropped (counted in
+    // `presend_aborted`); the demand path already did, or will do, the
+    // transfer.
+    //
+    // The payload is snapshotted once per group into an `Arc` list; the
+    // per-target fan-out and the retransmission store clone refcounts, not
+    // block bytes.
     let epoch = pred.epoch();
     let groups = group_pushes(&pushes, pred.cfg.coalesce, pred.cfg.max_bulk_blocks);
     let mut outstanding: HashMap<u64, (NodeId, UserMsg)> = HashMap::new();
+    let mut sent: Vec<Push> = Vec::with_capacity(pushes.len());
+    let mut aborted = 0u64;
     for group in &groups {
         let first = group[0];
-        let payload: Vec<_> = {
+        let payload: Arc<[(prescient_tempest::BlockId, Arc<[u8]>)]> = {
             let mut dir = n.dir.lock();
             let mut mem = n.mem.lock();
-            group
-                .iter()
-                .map(|p| {
-                    let e = dir.entry(p.block);
-                    debug_assert!(!e.is_busy(), "pre-send raced a busy entry");
-                    if p.excl {
-                        let w = p.targets.iter().next().expect("excl push without target");
-                        e.state = DirState::Exclusive(w);
-                        mem.set_tag(p.block, Tag::Invalid);
+            let mut kept = Vec::with_capacity(group.len());
+            for p in group {
+                let e = dir.entry(p.block);
+                let stale = e.is_busy()
+                    || if p.excl {
+                        // Pass 1 tore the block down to Uncached; anything
+                        // else means a demand request got there first.
+                        e.state != DirState::Uncached
                     } else {
-                        let existing = match e.state {
-                            DirState::Shared(s) => s,
-                            _ => NodeSet::EMPTY,
-                        };
-                        e.state = DirState::Shared(existing.union(p.targets));
-                        mem.set_tag(p.block, Tag::ReadOnly);
-                    }
-                    (p.block, mem.snapshot(p.block))
-                })
-                .collect()
+                        // A read push only conflicts with a writer.
+                        matches!(e.state, DirState::Exclusive(_))
+                    };
+                if stale {
+                    aborted += 1;
+                    continue;
+                }
+                if p.excl {
+                    let w = p.targets.iter().next().expect("excl push without target");
+                    e.state = DirState::Exclusive(w);
+                    mem.set_tag(p.block, Tag::Invalid);
+                } else {
+                    let existing = match e.state {
+                        DirState::Shared(s) => s,
+                        _ => NodeSet::EMPTY,
+                    };
+                    e.state = DirState::Shared(existing.union(p.targets));
+                    mem.set_tag(p.block, Tag::ReadOnly);
+                }
+                kept.push((p.block, mem.snapshot(p.block)));
+                sent.push(*p);
+            }
+            kept.into()
         };
+        if payload.is_empty() {
+            continue;
+        }
         let payload_bytes: u64 = payload.iter().map(|(_, d)| d.len() as u64).sum();
         let code = if first.excl { codes::PRESEND_RW } else { codes::PRESEND_RO };
         for t in first.targets.iter() {
@@ -226,7 +263,7 @@ pub fn presend(
                 block: first.block,
                 set: first.targets,
                 node: me,
-                blocks: payload.clone(),
+                blocks: Arc::clone(&payload),
             };
             n.send(t, Msg::User(m.clone()));
             outstanding.insert(id, (t, m));
@@ -235,6 +272,7 @@ pub fn presend(
             report.bytes += payload_bytes;
         }
     }
+    NodeStats::add(&n.stats.presend_aborted, aborted);
 
     NodeStats::add(&n.stats.presend_blocks_out, report.blocks_pushed);
     NodeStats::add(&n.stats.presend_msgs_out, report.msgs);
@@ -292,7 +330,10 @@ pub fn presend(
     // phase to charge when one of this window's copies is torn down unread.
     {
         let mut st = pred.state.lock();
-        for p in &pushes {
+        // Only pushes that actually went out are this window's: an aborted
+        // push must not charge a later teardown of the demand-path copy to
+        // this phase's schedule health.
+        for p in &sent {
             st.pushed_by.insert(p.block, phase);
         }
         let h = st.health.entry(phase).or_default();
@@ -305,11 +346,17 @@ pub fn presend(
     report
 }
 
-fn dir_state(n: &NodeShared, block: prescient_tempest::BlockId) -> DirState {
-    n.dir.lock().get(block).map_or(DirState::Uncached, |e| {
-        debug_assert!(!e.is_busy(), "pre-send observed a busy entry");
-        e.state
-    })
+/// The block's directory state, or `None` if a multi-hop round is in
+/// flight. Pass 1 used to `debug_assert!` that never happens, but a delayed
+/// demand request released by a faulty fabric mid-window makes it real:
+/// callers must treat `None` as "state unknown, serialize via a fetch".
+fn dir_state(n: &NodeShared, block: prescient_tempest::BlockId) -> Option<DirState> {
+    let dir = n.dir.lock();
+    match dir.get(block) {
+        None => Some(DirState::Uncached),
+        Some(e) if e.is_busy() => None,
+        Some(e) => Some(e.state),
+    }
 }
 
 /// Group pushes into bulk messages: a group is a run of *neighboring*

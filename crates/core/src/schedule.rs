@@ -189,6 +189,8 @@ impl ScheduleStore {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::field_reassign_with_default)]
+
     use super::*;
 
     const B: BlockId = BlockId(42);

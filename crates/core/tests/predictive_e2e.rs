@@ -38,7 +38,7 @@ impl TestNode {
                 Ok(()) => return (u64::load(&buf), faults),
                 Err(f) => {
                     faults += 1;
-                    fetch(&self.shared, &self.wake_rx, f.block, false, &mut self.stash);
+                    fetch(&self.shared, &self.wake_rx, f.fault().block, false, &mut self.stash);
                 }
             }
         }
@@ -54,7 +54,7 @@ impl TestNode {
                 Ok(()) => return faults,
                 Err(f) => {
                     faults += 1;
-                    fetch(&self.shared, &self.wake_rx, f.block, true, &mut self.stash);
+                    fetch(&self.shared, &self.wake_rx, f.fault().block, true, &mut self.stash);
                 }
             }
         }

@@ -1,0 +1,163 @@
+//! Property test for the pre-send ↔ recall interleaving (satellite of the
+//! hot-path PR): random programs that alternate pre-send rounds of a
+//! manual schedule with demand writes (which recall or invalidate the
+//! pushed copies) and demand reads must always observe the values a
+//! sequential model predicts, and must leave the machine coherent.
+//!
+//! The concurrent stress twin lives in `presend_race.rs`; this file
+//! explores many orderings of the same ingredients deterministically, so a
+//! shrunken counterexample is replayable.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver};
+use prescient_core::manual::ManualEntry;
+use prescient_core::presend::presend;
+use prescient_core::{DegradeConfig, Predictive, PredictiveConfig};
+use prescient_stache::{check_coherence, fetch, spawn_protocol, Msg, NodeShared, Wake};
+use prescient_tempest::fabric::Fabric;
+use prescient_tempest::{CostModel, GAddr, GlobalLayout, NodeId, NodeSet, Prim};
+use proptest::prelude::*;
+
+const NODES: usize = 4;
+const BLOCKS: usize = 6;
+
+/// One step of the interleaved program. All blocks are homed at node 0,
+/// which also runs the pre-send rounds.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Node 0 executes one pre-send window of the manual schedule.
+    Presend,
+    /// `(block index, writer node, value)` — a demand write; if the block
+    /// was pre-sent earlier, this recalls/invalidates the pushed copies.
+    Write(usize, NodeId, u64),
+    /// `(block index, reader node)` — must observe the model's value.
+    Read(usize, NodeId),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => Just(Op::Presend),
+        3 => (0..BLOCKS, 1..NODES as NodeId, any::<u64>()).prop_map(|(b, w, v)| Op::Write(b, w, v)),
+        3 => (0..BLOCKS, 0..NODES as NodeId).prop_map(|(b, r)| Op::Read(b, r)),
+    ]
+}
+
+struct TestNode {
+    shared: Arc<NodeShared>,
+    pred: Arc<Predictive>,
+    wake_rx: Receiver<Wake>,
+    stash: Vec<Wake>,
+}
+
+impl TestNode {
+    fn read_u64(&mut self, addr: GAddr) -> u64 {
+        loop {
+            let mut buf = [0u8; 8];
+            let r = self.shared.mem.lock().read_in_block(addr, &mut buf);
+            match r {
+                Ok(()) => return u64::load(&buf),
+                Err(e) => {
+                    fetch(&self.shared, &self.wake_rx, e.fault().block, false, &mut self.stash);
+                }
+            }
+        }
+    }
+
+    fn write_u64(&mut self, addr: GAddr, v: u64) {
+        let mut buf = [0u8; 8];
+        v.store(&mut buf);
+        loop {
+            let r = self.shared.mem.lock().write_in_block(addr, &buf);
+            match r {
+                Ok(()) => return,
+                Err(e) => {
+                    fetch(&self.shared, &self.wake_rx, e.fault().block, true, &mut self.stash);
+                }
+            }
+        }
+    }
+}
+
+fn build_machine() -> (Vec<TestNode>, Vec<JoinHandle<()>>) {
+    let layout = GlobalLayout::new(NODES, 32);
+    let cfg = PredictiveConfig {
+        degrade: DegradeConfig { enabled: false, ..DegradeConfig::default() },
+        ..PredictiveConfig::default()
+    };
+    let mut tns = Vec::new();
+    let mut joins = Vec::new();
+    for ep in Fabric::new::<Msg>(NODES) {
+        let (wake_tx, wake_rx) = unbounded();
+        let shared =
+            Arc::new(NodeShared::new(layout, CostModel::default(), ep.net().clone(), wake_tx));
+        let pred = Arc::new(Predictive::new(cfg));
+        joins.push(spawn_protocol(Arc::clone(&shared), ep, Arc::clone(&pred) as _));
+        tns.push(TestNode { shared, pred, wake_rx, stash: Vec::new() });
+    }
+    (tns, joins)
+}
+
+fn run_program(ops: Vec<Op>) {
+    let (mut tns, joins) = build_machine();
+    let addrs: Vec<GAddr> = {
+        let mut mem = tns[0].shared.mem.lock();
+        (0..BLOCKS).map(|_| mem.alloc(32, 32)).collect()
+    };
+    let layout = tns[0].shared.layout;
+    // The manual schedule pushes read-only copies of every block to nodes
+    // 1 and 2 each window (node 3 stays a demand-only consumer).
+    tns[0].pred.install_manual(
+        1,
+        addrs.iter().map(|a| {
+            (layout.block_of(*a), ManualEntry::Readers([1u16, 2].into_iter().collect::<NodeSet>()))
+        }),
+    );
+
+    let mut model = [0u64; BLOCKS];
+    for op in ops {
+        match op {
+            Op::Presend => {
+                let tn = &mut tns[0];
+                presend(&tn.pred, &tn.shared, &tn.wake_rx, &mut tn.stash, 1);
+            }
+            Op::Write(b, w, v) => {
+                tns[w as usize].write_u64(addrs[b], v);
+                model[b] = v;
+            }
+            Op::Read(b, r) => {
+                let got = tns[r as usize].read_u64(addrs[b]);
+                assert_eq!(
+                    got, model[b],
+                    "node {r} read stale data from block {b} (pre-send leaked a stale copy)"
+                );
+            }
+        }
+    }
+
+    // Quiesced (ops are sequential; every push was acknowledged before the
+    // pre-send returned): the invariants must hold.
+    let shareds: Vec<Arc<NodeShared>> = tns.iter().map(|t| Arc::clone(&t.shared)).collect();
+    let violations = check_coherence(&shareds);
+    assert!(violations.is_empty(), "coherence violations: {violations:#?}");
+
+    for tn in &tns {
+        tn.shared.send(tn.shared.me, Msg::Shutdown);
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Random interleavings of pre-send rounds, recalls (via demand
+    /// writes), and demand reads preserve sequential semantics and every
+    /// coherence invariant.
+    #[test]
+    fn presend_interleaved_with_recalls(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        run_program(ops);
+    }
+}

@@ -167,6 +167,7 @@ pub struct CfgBuilder {
     /// Node(s) whose control flow falls through to the next added node.
     frontier: Vec<usize>,
     /// Stack of open loops: (head index, region body so far, label, trip).
+    #[allow(clippy::type_complexity)]
     loops: Vec<(usize, Vec<RegionItem>, String, Option<(i64, i64)>)>,
     /// Region items of the current (innermost open) sequence.
     region: Vec<RegionItem>,

@@ -170,6 +170,7 @@ struct Group {
 
 impl Planner {
     /// Plan one item sequence; returns its op stream.
+    #[allow(clippy::only_used_in_recursion)]
     fn plan_seq(&mut self, cfg: &Cfg, items: &[RegionItem]) -> Vec<ExecOp> {
         let mut out: Vec<ExecOp> = Vec::new();
         let mut cur: Option<Group> = None;

@@ -101,7 +101,9 @@ impl NodeCtx {
             let r = self.shared.mem.lock().read_in_block(addr, buf);
             match r {
                 Ok(()) => return T::load(buf),
-                Err(f) => self.miss(f.block, false),
+                // `fault()` panics on a boundary-crossing access, which no
+                // protocol action can repair (a runtime layout bug).
+                Err(e) => self.miss(e.fault().block, false),
             }
         }
     }
@@ -117,7 +119,7 @@ impl NodeCtx {
             let r = self.shared.mem.lock().write_in_block(addr, buf);
             match r {
                 Ok(()) => return,
-                Err(f) => self.miss(f.block, true),
+                Err(e) => self.miss(e.fault().block, true),
             }
         }
     }

@@ -40,7 +40,7 @@ pub fn check_coherence(nodes: &[Arc<NodeShared>]) -> Vec<String> {
     let mut tags: Vec<Vec<(BlockId, Tag)>> = Vec::with_capacity(n);
     for node in nodes {
         let mem = node.mem.lock();
-        tags.push(mem.iter_blocks().map(|(b, lb)| (b, lb.tag)).collect());
+        tags.push(mem.iter_blocks().collect());
     }
 
     // Union of all blocks seen anywhere.
@@ -96,7 +96,8 @@ pub fn check_coherence(nodes: &[Arc<NodeShared>]) -> Vec<String> {
                     violations
                         .push(format!("{block:?}: Shared but home {home} tag is {home_tag:?}"));
                 }
-                let home_data = home_node.mem.lock().get(block).map(|b| b.data.clone());
+                let home_data = home_node.mem.lock().data(block).map(<[u8]>::to_vec);
+                #[allow(clippy::needless_range_loop)]
                 for p in 0..n {
                     if p == home as usize {
                         continue;
@@ -113,7 +114,7 @@ pub fn check_coherence(nodes: &[Arc<NodeShared>]) -> Vec<String> {
                     }
                     if t.readable() {
                         // Data agreement: every valid copy equals home memory.
-                        let copy = nodes[p].mem.lock().get(block).map(|b| b.data.clone());
+                        let copy = nodes[p].mem.lock().data(block).map(<[u8]>::to_vec);
                         if let (Some(h), Some(c)) = (&home_data, &copy) {
                             if h != c {
                                 violations.push(format!(

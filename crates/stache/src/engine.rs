@@ -356,13 +356,12 @@ impl Engine {
         NodeStats::bump(&n.stats.recalls_in);
         let mut mem = n.mem.lock();
         if mem.probe(block).readable() {
-            let b = mem.block_mut(block);
-            let unused = b.presend_unused;
-            b.presend_unused = false; // copy is going away; waste is accounted at the home
+            let unused = mem.presend_unused(block);
+            mem.clear_presend_unused(block); // copy is going away; waste is accounted at the home
             let data = mem.snapshot(block);
             mem.set_tag(block, if inval { Tag::Invalid } else { Tag::ReadOnly });
             drop(mem);
-            n.recalled.lock().insert(block, RecallReply { op, data: data.clone(), unused });
+            n.recalled.lock().insert(block, RecallReply { op, data: Arc::clone(&data), unused });
             n.send(home, Msg::RecallData { block, data: Some(data), op, unused });
         } else {
             drop(mem);
@@ -383,7 +382,7 @@ impl Engine {
         n: &NodeShared,
         src: NodeId,
         block: BlockId,
-        data: Option<Box<[u8]>>,
+        data: Option<Arc<[u8]>>,
         op: u64,
         unused: bool,
     ) {
@@ -412,7 +411,8 @@ impl Engine {
                 let mut mem = n.mem.lock();
                 match &data {
                     Some(d) => {
-                        mem.install(block, d, Tag::ReadWrite, false);
+                        mem.install(block, &d[..], Tag::ReadWrite, false);
+                        NodeStats::add(&n.stats.data_bytes_in, d.len() as u64);
                     }
                     None => mem.set_tag(block, Tag::ReadWrite),
                 }
@@ -422,7 +422,8 @@ impl Engine {
             } else {
                 let payload = match data {
                     Some(d) => {
-                        n.mem.lock().install(block, &d, Tag::Invalid, false);
+                        n.mem.lock().install(block, &d[..], Tag::Invalid, false);
+                        NodeStats::add(&n.stats.data_bytes_in, d.len() as u64);
                         d
                     }
                     // Owner never received its grant: home memory is
@@ -447,7 +448,8 @@ impl Engine {
             // never received the block at all (`None` reply).
             match &data {
                 Some(d) => {
-                    n.mem.lock().install(block, d, Tag::ReadOnly, false);
+                    n.mem.lock().install(block, &d[..], Tag::ReadOnly, false);
+                    NodeStats::add(&n.stats.data_bytes_in, d.len() as u64);
                 }
                 None => n.mem.lock().set_tag(block, Tag::ReadOnly),
             }
@@ -488,11 +490,13 @@ impl Engine {
     fn on_invalidate(&self, n: &NodeShared, home: NodeId, block: BlockId, op: u64) {
         NodeStats::bump(&n.stats.invals_in);
         let mut mem = n.mem.lock();
-        let b = mem.block_mut(block);
-        let unused = b.tag == Tag::ReadOnly && b.presend_unused;
-        if b.tag == Tag::ReadOnly {
-            b.tag = Tag::Invalid;
-            b.presend_unused = false;
+        // Probe-based (never materializes): a stale duplicate for a block
+        // this node no longer (or never) holds must not install anything.
+        let held = mem.data(block).is_some() && mem.probe(block) == Tag::ReadOnly;
+        let unused = held && mem.presend_unused(block);
+        if held {
+            mem.set_tag(block, Tag::Invalid);
+            mem.clear_presend_unused(block);
         }
         drop(mem);
         n.send(home, Msg::InvalAck { block, op, unused });
@@ -552,7 +556,7 @@ impl Engine {
         src: NodeId,
         block: BlockId,
         excl: bool,
-        data: Option<Box<[u8]>>,
+        data: Option<Arc<[u8]>>,
         extra_hops: u32,
         recorded: bool,
         seq: u64,
@@ -570,7 +574,8 @@ impl Engine {
             let tag = if excl { Tag::ReadWrite } else { Tag::ReadOnly };
             match data {
                 Some(d) => {
-                    mem.install(block, &d, tag, false);
+                    mem.install(block, &d[..], tag, false);
+                    NodeStats::add(&n.stats.data_bytes_in, d.len() as u64);
                 }
                 None => mem.set_tag(block, tag),
             }

@@ -18,7 +18,12 @@
 //!   answer re-sent recalls idempotently.
 //!
 //! All payloads are `Clone` because a faulty fabric may duplicate them in
-//! flight.
+//! flight. Data payloads are `Arc<[u8]>`, snapshotted once at the sender:
+//! cloning a message for fan-out, duplication, or retransmission storage
+//! bumps a refcount instead of copying block bytes (the zero-copy send
+//! path).
+
+use std::sync::Arc;
 
 use prescient_tempest::{BlockId, NodeId, NodeSet};
 
@@ -56,7 +61,7 @@ pub enum Msg {
         /// Its bytes at the owner; `None` when the owner never received
         /// the granted copy (the grant was lost in flight), in which case
         /// the home's own memory is still current.
-        data: Option<Box<[u8]>>,
+        data: Option<Arc<[u8]>>,
         /// Echo of the recall round's id.
         op: u64,
         /// The recalled copy was installed by a pre-send and never
@@ -88,7 +93,7 @@ pub enum Msg {
         excl: bool,
         /// Block contents; `None` for upgrades and home-local grants where
         /// the requester already holds current data.
-        data: Option<Box<[u8]>>,
+        data: Option<Arc<[u8]>>,
         /// Protocol hops beyond the minimal request–response pair (recall
         /// or invalidation rounds); drives the cost model.
         extra_hops: u32,
@@ -123,7 +128,10 @@ pub struct UserMsg {
     /// Node argument (e.g. target writer).
     pub node: NodeId,
     /// Bulk data: blocks with their bytes (pre-send / update payloads).
-    pub blocks: Vec<(BlockId, Box<[u8]>)>,
+    /// Doubly shared: the outer `Arc` lets the per-target fan-out and the
+    /// retransmission store reuse one payload list, and each block's bytes
+    /// are themselves an `Arc` snapshot.
+    pub blocks: Arc<[(BlockId, Arc<[u8]>)]>,
 }
 
 impl UserMsg {
@@ -136,7 +144,7 @@ impl UserMsg {
             block: BlockId(0),
             set: NodeSet::EMPTY,
             node: 0,
-            blocks: Vec::new(),
+            blocks: Arc::new([]),
         }
     }
 }

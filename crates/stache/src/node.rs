@@ -54,8 +54,9 @@ impl Default for RetryConfig {
 pub struct RecallReply {
     /// Recall round the reply answered.
     pub op: u64,
-    /// Bytes shipped home.
-    pub data: Box<[u8]>,
+    /// Bytes shipped home (shared with the in-flight reply; re-sending is
+    /// a refcount bump).
+    pub data: Arc<[u8]>,
     /// The copy was an unread pre-send.
     pub unused: bool,
 }

@@ -162,6 +162,7 @@ fn run_program(
     }
 
     let barrier = Arc::new(VBarrier::new(nodes));
+    #[allow(clippy::type_complexity)]
     let observations: Arc<Mutex<Vec<(usize, usize, NodeId, u64)>>> =
         Arc::new(Mutex::new(Vec::new()));
     let phases = Arc::new(phases);
@@ -191,7 +192,7 @@ fn run_program(
                                         match r {
                                             Ok(()) => break,
                                             Err(f) => {
-                                                fetch(&shared, &wake_rx, f.block, true, &mut stash);
+                                                fetch(&shared, &wake_rx, f.fault().block, true, &mut stash);
                                             }
                                         }
                                     }
@@ -208,7 +209,7 @@ fn run_program(
                                         match res {
                                             Ok(()) => break,
                                             Err(f) => {
-                                                fetch(&shared, &wake_rx, f.block, false, &mut stash);
+                                                fetch(&shared, &wake_rx, f.fault().block, false, &mut stash);
                                             }
                                         }
                                     }
@@ -316,7 +317,7 @@ fn duplicated_requests_are_idempotent() {
             Ok(()) => break,
             Err(f) => {
                 let tn = &mut tns[0];
-                fetch(&tn.shared, &tn.wake_rx, f.block, true, &mut tn.stash);
+                fetch(&tn.shared, &tn.wake_rx, f.fault().block, true, &mut tn.stash);
             }
         }
     }

@@ -150,7 +150,7 @@ fn run_torture_faulty(
                                         match r {
                                             Ok(()) => break,
                                             Err(f) => {
-                                                fetch(&shared, &wake_rx, f.block, true, &mut stash);
+                                                fetch(&shared, &wake_rx, f.fault().block, true, &mut stash);
                                             }
                                         }
                                     }
@@ -166,7 +166,7 @@ fn run_torture_faulty(
                                         match res {
                                             Ok(()) => break,
                                             Err(f) => {
-                                                fetch(&shared, &wake_rx, f.block, false, &mut stash);
+                                                fetch(&shared, &wake_rx, f.fault().block, false, &mut stash);
                                             }
                                         }
                                     }

@@ -58,7 +58,7 @@ fn read_u64(tn: &mut TestNode, addr: GAddr) -> (u64, u32) {
             Ok(()) => return (u64::load(&buf), faults),
             Err(f) => {
                 faults += 1;
-                fetch(&tn.shared, &tn.wake_rx, f.block, false, &mut tn.stash);
+                fetch(&tn.shared, &tn.wake_rx, f.fault().block, false, &mut tn.stash);
             }
         }
     }
@@ -74,7 +74,7 @@ fn write_u64(tn: &mut TestNode, addr: GAddr, v: u64) -> u32 {
             Ok(()) => return faults,
             Err(f) => {
                 faults += 1;
-                fetch(&tn.shared, &tn.wake_rx, f.block, true, &mut tn.stash);
+                fetch(&tn.shared, &tn.wake_rx, f.fault().block, true, &mut tn.stash);
             }
         }
     }
@@ -163,7 +163,7 @@ fn upgrade_moves_no_data() {
     9u64.store(&mut buf);
     let fault = m.nodes[1].shared.mem.lock().write_in_block(addr, &buf).unwrap_err();
     let tn = &mut m.nodes[1];
-    let info = fetch(&tn.shared, &tn.wake_rx, fault.block, true, &mut tn.stash);
+    let info = fetch(&tn.shared, &tn.wake_rx, fault.fault().block, true, &mut tn.stash);
     assert_eq!(info.bytes, 0, "upgrade grant carries no data");
     assert_eq!(write_u64(&mut m.nodes[1], addr, 9), 0);
     assert_eq!(read_u64(&mut m.nodes[0], addr).0, 9);

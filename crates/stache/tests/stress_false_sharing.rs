@@ -42,7 +42,7 @@ fn false_sharing_stress() {
                             let res = sh.mem.lock().write_in_block(a, &buf);
                             match res {
                                 Ok(()) => break,
-                                Err(f) => { fetch(sh, rx, f.block, true, stash); }
+                                Err(f) => { fetch(sh, rx, f.fault().block, true, stash); }
                             }
                         }
                     };
@@ -52,7 +52,7 @@ fn false_sharing_stress() {
                             let res = sh.mem.lock().read_in_block(a, &mut buf);
                             match res {
                                 Ok(()) => return u64::load(&buf),
-                                Err(f) => { fetch(sh, rx, f.block, false, stash); }
+                                Err(f) => { fetch(sh, rx, f.fault().block, false, stash); }
                             }
                         }
                     };

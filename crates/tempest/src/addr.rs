@@ -45,6 +45,7 @@ impl GAddr {
 
     /// The address `bytes` past this one.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, bytes: u64) -> GAddr {
         GAddr(self.0 + bytes)
     }

@@ -182,6 +182,7 @@ pub struct Fabric;
 impl Fabric {
     /// Build the endpoints. Endpoint `i` receives everything addressed to
     /// node `i`.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new<M: Send>(n: usize) -> Vec<Endpoint<M>> {
         Fabric::build(n, None).0
     }

@@ -32,7 +32,7 @@ impl GlobalLayout {
     /// Create a layout. `block_size` must be a power of two ≥ 8 and `nodes`
     /// must be between 1 and [`crate::MAX_NODES`].
     pub fn new(nodes: usize, block_size: usize) -> GlobalLayout {
-        assert!(nodes >= 1 && nodes <= crate::MAX_NODES, "node count {nodes} out of range");
+        assert!((1..=crate::MAX_NODES).contains(&nodes), "node count {nodes} out of range");
         assert!(
             block_size.is_power_of_two() && block_size >= 8,
             "block size {block_size} must be a power of two >= 8"

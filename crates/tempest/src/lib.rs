@@ -50,7 +50,7 @@ pub use cost::CostModel;
 pub use fabric::{Endpoint, Fabric, FabricCtl, TryRecv};
 pub use faults::{FaultPlan, FifoMode, SplitMix64};
 pub use layout::GlobalLayout;
-pub use mem::{LocalBlock, NodeMem};
+pub use mem::{Fault, MemError, NodeMem};
 pub use nodeset::NodeSet;
 pub use prim::Prim;
 pub use stats::{FaultStats, NodeStats, TimeBreakdown};

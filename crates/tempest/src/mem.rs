@@ -1,31 +1,50 @@
 //! Per-node block storage: home memory, the remote-block cache ("stache"),
 //! and the node-local shared-heap allocator.
 //!
-//! Each node stores, in one table, every cache block it currently holds a
-//! copy of: blocks whose home it is (materialized lazily, zero-filled, with
-//! a `ReadWrite` tag — a block "resides initially at its home node") and
-//! remote blocks installed by the coherence protocol with an appropriate
-//! tag. Blizzard backed this cache with ordinary main memory and performed
-//! no capacity evictions at the working-set sizes of the paper's programs;
-//! we adopt the same simplification.
+//! Each node stores every cache block it currently holds a copy of: blocks
+//! whose home it is (materialized lazily, zero-filled, with a `ReadWrite`
+//! tag — a block "resides initially at its home node") and remote blocks
+//! installed by the coherence protocol with an appropriate tag. Blizzard
+//! backed this cache with ordinary main memory and performed no capacity
+//! evictions at the working-set sizes of the paper's programs; we adopt the
+//! same simplification.
+//!
+//! # Flat segment-indexed paged arena
+//!
+//! The store is *not* a hash table. A [`crate::BlockId`] is globally dense
+//! within each node's heap segment (the bump allocator hands out addresses
+//! from the segment base upward), so a block resolves to a storage slot
+//! with pure index arithmetic:
+//!
+//! ```text
+//! segment = block >> log2(blocks_per_segment)   (the block's home node)
+//! rel     = block &  (blocks_per_segment - 1)
+//! page    = rel >> log2(PAGE_BLOCKS),  slot = rel & (PAGE_BLOCKS - 1)
+//! ```
+//!
+//! Each segment owns a lazily grown table of fixed-size *pages*; a page
+//! packs `PAGE_BLOCKS` blocks' bytes into one contiguous buffer plus one
+//! metadata byte per block (tag, present bit, unread-pre-send bit). Hot
+//! accesses are two shifts, two masks and two bounds checks; residency and
+//! unread-pre-send counts are maintained on the transitions, so
+//! [`NodeMem::resident_blocks`] and [`NodeMem::unused_presends`] are O(1)
+//! and iteration for invariant checks walks dense pages instead of hashing.
+//!
+//! [`NodeMem::snapshot`] is non-materializing: snapshotting a never-touched
+//! home block returns the canonical zero block without installing anything,
+//! so protocol data replies cannot inflate residency or pollute
+//! unread-pre-send accounting (they used to, via the lazy `block_mut`
+//! path).
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
+use crate::layout::NODE_HEAP_BYTES;
 use crate::tag::{Access, Tag};
 use crate::{BlockId, GAddr, GlobalLayout, NodeId};
 
-/// One cache block held by a node.
-#[derive(Debug)]
-pub struct LocalBlock {
-    /// Current access-control tag.
-    pub tag: Tag,
-    /// The block's data. Always exactly `block_size` bytes.
-    pub data: Box<[u8]>,
-    /// `true` while the block was installed by a predictive pre-send and has
-    /// not yet been accessed; used to measure useful vs. redundant
-    /// pre-sends.
-    pub presend_unused: bool,
-}
+/// Blocks per arena page (power of two).
+pub const PAGE_BLOCKS: usize = 256;
+const PAGE_SHIFT: u32 = PAGE_BLOCKS.trailing_zeros();
 
 /// An access fault: the tag did not permit the access.
 ///
@@ -41,12 +60,127 @@ pub struct Fault {
     pub observed: Tag,
 }
 
+/// Why a checked shared-memory access did not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// The block's tag did not permit the access; vector to the protocol
+    /// and retry.
+    Fault(Fault),
+    /// The access straddles a cache-block boundary — a layout bug in the
+    /// caller, never serviceable by the protocol. Reported as a proper
+    /// error in every build profile (it used to be a `debug_assert!`, which
+    /// in release builds decayed into a slice-index panic or a short copy).
+    CrossesBoundary {
+        /// First byte of the access.
+        addr: GAddr,
+        /// Access length in bytes.
+        len: usize,
+    },
+}
+
+impl From<Fault> for MemError {
+    fn from(f: Fault) -> MemError {
+        MemError::Fault(f)
+    }
+}
+
+impl MemError {
+    /// The access fault, for callers that route every error to the
+    /// protocol. Panics with a diagnosable message on a boundary-crossing
+    /// access, which no protocol action can repair.
+    pub fn fault(self) -> Fault {
+        match self {
+            MemError::Fault(f) => f,
+            MemError::CrossesBoundary { addr, len } => {
+                panic!("{len}-byte access at {addr:?} crosses a cache-block boundary")
+            }
+        }
+    }
+}
+
+// Slot metadata byte: bits 0–1 tag, bit 2 present, bit 3 unread pre-send.
+const META_TAG_MASK: u8 = 0b011;
+const META_PRESENT: u8 = 0b100;
+const META_UNUSED: u8 = 0b1000;
+
+#[inline]
+fn tag_code(tag: Tag) -> u8 {
+    match tag {
+        Tag::Invalid => 0,
+        Tag::ReadOnly => 1,
+        Tag::ReadWrite => 2,
+    }
+}
+
+#[inline]
+fn code_tag(code: u8) -> Tag {
+    match code & META_TAG_MASK {
+        0 => Tag::Invalid,
+        1 => Tag::ReadOnly,
+        _ => Tag::ReadWrite,
+    }
+}
+
+/// One arena page: `PAGE_BLOCKS` blocks of data plus a metadata byte each.
+struct Page {
+    /// `PAGE_BLOCKS * block_size` bytes, zero-initialized.
+    data: Box<[u8]>,
+    /// Per-slot metadata.
+    meta: [u8; PAGE_BLOCKS],
+}
+
+impl Page {
+    fn new(block_size: usize) -> Page {
+        Page {
+            data: vec![0u8; PAGE_BLOCKS * block_size].into_boxed_slice(),
+            meta: [0; PAGE_BLOCKS],
+        }
+    }
+
+    #[inline]
+    fn present(&self, slot: usize) -> bool {
+        self.meta[slot] & META_PRESENT != 0
+    }
+
+    #[inline]
+    fn tag(&self, slot: usize) -> Tag {
+        code_tag(self.meta[slot])
+    }
+
+    #[inline]
+    fn unused(&self, slot: usize) -> bool {
+        self.meta[slot] & META_UNUSED != 0
+    }
+
+    #[inline]
+    fn block(&self, slot: usize, bs: usize) -> &[u8] {
+        &self.data[slot * bs..(slot + 1) * bs]
+    }
+
+    #[inline]
+    fn block_mut(&mut self, slot: usize, bs: usize) -> &mut [u8] {
+        &mut self.data[slot * bs..(slot + 1) * bs]
+    }
+}
+
 /// Per-node block store plus the node's bump allocator for its segment of
 /// the shared heap.
 pub struct NodeMem {
     layout: GlobalLayout,
     me: NodeId,
-    blocks: HashMap<BlockId, LocalBlock>,
+    /// `log2(blocks per heap segment)`; a block's segment (= home node) and
+    /// in-segment offset fall out of one shift and one mask.
+    seg_shift: u32,
+    /// One page table per node heap segment, grown lazily to the highest
+    /// touched page.
+    segs: Vec<Vec<Option<Box<Page>>>>,
+    /// Blocks currently materialized (maintained on transitions; O(1)).
+    resident: usize,
+    /// Materialized blocks whose unread-pre-send bit is set (O(1)).
+    unused: usize,
+    /// The canonical zero block, shared by non-materializing snapshots of
+    /// untouched home blocks.
+    zero: Arc<[u8]>,
     alloc_next: u64,
     alloc_end: u64,
 }
@@ -54,10 +188,15 @@ pub struct NodeMem {
 impl NodeMem {
     /// Create the store for node `me`.
     pub fn new(layout: GlobalLayout, me: NodeId) -> NodeMem {
+        let blocks_per_seg = NODE_HEAP_BYTES / layout.block_size as u64;
         NodeMem {
             layout,
             me,
-            blocks: HashMap::new(),
+            seg_shift: blocks_per_seg.trailing_zeros(),
+            segs: (0..layout.nodes).map(|_| Vec::new()).collect(),
+            resident: 0,
+            unused: 0,
+            zero: vec![0u8; layout.block_size].into(),
             alloc_next: layout.heap_base(me).0,
             alloc_end: layout.heap_end(me).0,
         }
@@ -107,37 +246,94 @@ impl NodeMem {
         GAddr(a)
     }
 
+    /// Segment index and in-segment block offset of `block`.
+    #[inline]
+    fn locate(&self, block: BlockId) -> (usize, usize, usize) {
+        let seg = (block.0 >> self.seg_shift) as usize;
+        assert!(seg < self.segs.len(), "{block:?} outside any node heap segment");
+        let rel = block.0 & ((1u64 << self.seg_shift) - 1);
+        ((seg), (rel >> PAGE_SHIFT) as usize, (rel & (PAGE_BLOCKS as u64 - 1)) as usize)
+    }
+
+    /// The page and slot holding `block`, if its page was ever allocated.
+    #[inline]
+    fn page(&self, block: BlockId) -> Option<(&Page, usize)> {
+        let (seg, page, slot) = self.locate(block);
+        match self.segs[seg].get(page) {
+            Some(Some(p)) => Some((p, slot)),
+            _ => None,
+        }
+    }
+
+    /// Materialize `block`'s slot (zero-filled; tag `ReadWrite` at home,
+    /// `Invalid` elsewhere) and return its page and slot index.
+    fn materialize(&mut self, block: BlockId) -> (&mut Page, usize) {
+        let (seg, page, slot) = self.locate(block);
+        let home = self.is_home(block);
+        let bs = self.layout.block_size;
+        let pages = &mut self.segs[seg];
+        if pages.len() <= page {
+            pages.resize_with(page + 1, || None);
+        }
+        let p = pages[page].get_or_insert_with(|| Box::new(Page::new(bs)));
+        if p.meta[slot] & META_PRESENT == 0 {
+            p.meta[slot] =
+                META_PRESENT | tag_code(if home { Tag::ReadWrite } else { Tag::Invalid });
+            self.resident += 1;
+        }
+        (p, slot)
+    }
+
+    /// Flip `block`'s unread-pre-send bit, keeping the O(1) count in step.
+    /// The slot must be present.
+    #[inline]
+    fn set_unused_bit(p: &mut Page, slot: usize, unused_count: &mut usize, v: bool) {
+        let was = p.meta[slot] & META_UNUSED != 0;
+        if v && !was {
+            p.meta[slot] |= META_UNUSED;
+            *unused_count += 1;
+        } else if !v && was {
+            p.meta[slot] &= !META_UNUSED;
+            *unused_count -= 1;
+        }
+    }
+
     /// Current tag for `block` on this node (`Invalid` if the node holds no
     /// copy).
     #[inline]
     pub fn probe(&self, block: BlockId) -> Tag {
-        match self.blocks.get(&block) {
-            Some(b) => b.tag,
-            None if self.is_home(block) => Tag::ReadWrite, // lazily materialized
-            None => Tag::Invalid,
+        match self.page(block) {
+            Some((p, slot)) if p.present(slot) => p.tag(slot),
+            _ if self.is_home(block) => Tag::ReadWrite, // lazily materialized
+            _ => Tag::Invalid,
         }
     }
 
-    /// Get the block, materializing it (zero-filled, `ReadWrite`) when this
-    /// node is its home and it has not been touched yet.
-    pub fn block_mut(&mut self, block: BlockId) -> &mut LocalBlock {
+    /// Borrow a block's current bytes, if the block is materialized.
+    pub fn data(&self, block: BlockId) -> Option<&[u8]> {
         let bs = self.layout.block_size;
-        let home = self.is_home(block);
-        self.blocks.entry(block).or_insert_with(|| LocalBlock {
-            tag: if home { Tag::ReadWrite } else { Tag::Invalid },
-            data: vec![0u8; bs].into_boxed_slice(),
-            presend_unused: false,
-        })
+        self.page(block).filter(|(p, slot)| p.present(*slot)).map(|(p, slot)| p.block(slot, bs))
     }
 
-    /// Immutable view of a block, if present.
-    pub fn get(&self, block: BlockId) -> Option<&LocalBlock> {
-        self.blocks.get(&block)
+    /// Was `block` installed by a pre-send and never accessed since?
+    pub fn presend_unused(&self, block: BlockId) -> bool {
+        self.page(block).is_some_and(|(p, slot)| p.unused(slot))
     }
 
-    /// Set the access tag of a block (materializing home blocks on demand).
+    /// Clear `block`'s unread-pre-send bit (the copy is being recalled or
+    /// invalidated; waste is accounted at the home).
+    pub fn clear_presend_unused(&mut self, block: BlockId) {
+        let (seg, page, slot) = self.locate(block);
+        if let Some(Some(p)) = self.segs[seg].get_mut(page) {
+            Self::set_unused_bit(p, slot, &mut self.unused, false);
+        }
+    }
+
+    /// Set the access tag of a block (materializing it on demand:
+    /// zero-filled home blocks start `ReadWrite`, remote ones `Invalid`).
     pub fn set_tag(&mut self, block: BlockId, tag: Tag) {
-        self.block_mut(block).tag = tag;
+        let (p, slot) = self.materialize(block);
+        p.meta[slot] = (p.meta[slot] & !META_TAG_MASK) | tag_code(tag);
     }
 
     /// Install a copy of a remote block with the given tag, as done by the
@@ -145,68 +341,122 @@ impl NodeMem {
     /// the install overwrote a pre-sent copy that was never accessed — a
     /// "useless pre-send" signal fed to the degradation policy.
     pub fn install(&mut self, block: BlockId, data: &[u8], tag: Tag, presend: bool) -> bool {
-        let b = self.block_mut(block);
-        let wasted = b.presend_unused;
-        b.data.copy_from_slice(data);
-        b.tag = tag;
-        b.presend_unused = presend;
+        let bs = self.layout.block_size;
+        debug_assert_eq!(data.len(), bs, "install payload is not one block");
+        let mut unused = self.unused;
+        let (p, slot) = self.materialize(block);
+        let wasted = p.unused(slot);
+        p.block_mut(slot, bs).copy_from_slice(data);
+        p.meta[slot] = (p.meta[slot] & !META_TAG_MASK) | tag_code(tag);
+        Self::set_unused_bit(p, slot, &mut unused, presend);
+        self.unused = unused;
+        wasted
+    }
+
+    /// Install a bulk pre-send payload under one borrow: N blocks, one
+    /// upcall. Returns how many installs overwrote a pre-sent copy that was
+    /// never accessed (the "useless pre-send" count the ack reports).
+    pub fn install_bulk(
+        &mut self,
+        blocks: &[(BlockId, Arc<[u8]>)],
+        tag: Tag,
+        presend: bool,
+    ) -> u64 {
+        let mut wasted = 0u64;
+        for (block, data) in blocks {
+            if self.install(*block, data, tag, presend) {
+                wasted += 1;
+            }
+        }
         wasted
     }
 
     /// Read `buf.len()` bytes starting at `addr`. The read must not cross a
     /// block boundary. On success the bytes are copied into `buf`; on an
     /// access fault nothing is copied and the fault is returned.
-    pub fn read_in_block(&mut self, addr: GAddr, buf: &mut [u8]) -> Result<(), Fault> {
+    pub fn read_in_block(&mut self, addr: GAddr, buf: &mut [u8]) -> Result<(), MemError> {
         let bs = self.layout.block_size;
         let block = addr.block(bs);
         let off = addr.offset_in_block(bs);
-        debug_assert!(off + buf.len() <= bs, "read crosses block boundary");
-        let b = self.block_mut(block);
-        if !b.tag.readable() {
-            return Err(Fault { block, access: Access::Read, observed: b.tag });
+        if off + buf.len() > bs {
+            return Err(MemError::CrossesBoundary { addr, len: buf.len() });
         }
-        b.presend_unused = false;
-        buf.copy_from_slice(&b.data[off..off + buf.len()]);
+        let observed = self.probe(block);
+        if !observed.readable() {
+            return Err(Fault { block, access: Access::Read, observed }.into());
+        }
+        let mut unused = self.unused;
+        let (p, slot) = self.materialize(block);
+        Self::set_unused_bit(p, slot, &mut unused, false);
+        buf.copy_from_slice(&p.block(slot, bs)[off..off + buf.len()]);
+        self.unused = unused;
         Ok(())
     }
 
     /// Write `bytes` starting at `addr`. The write must not cross a block
     /// boundary. On an access fault nothing is written.
-    pub fn write_in_block(&mut self, addr: GAddr, bytes: &[u8]) -> Result<(), Fault> {
+    pub fn write_in_block(&mut self, addr: GAddr, bytes: &[u8]) -> Result<(), MemError> {
         let bs = self.layout.block_size;
         let block = addr.block(bs);
         let off = addr.offset_in_block(bs);
-        debug_assert!(off + bytes.len() <= bs, "write crosses block boundary");
-        let b = self.block_mut(block);
-        if !b.tag.writable() {
-            return Err(Fault { block, access: Access::Write, observed: b.tag });
+        if off + bytes.len() > bs {
+            return Err(MemError::CrossesBoundary { addr, len: bytes.len() });
         }
-        b.presend_unused = false;
-        b.data[off..off + bytes.len()].copy_from_slice(bytes);
+        let observed = self.probe(block);
+        if !observed.writable() {
+            return Err(Fault { block, access: Access::Write, observed }.into());
+        }
+        let mut unused = self.unused;
+        let (p, slot) = self.materialize(block);
+        Self::set_unused_bit(p, slot, &mut unused, false);
+        p.block_mut(slot, bs)[off..off + bytes.len()].copy_from_slice(bytes);
+        self.unused = unused;
         Ok(())
     }
 
-    /// Copy of a block's current data (for protocol data replies).
-    pub fn snapshot(&mut self, block: BlockId) -> Box<[u8]> {
-        self.block_mut(block).data.clone()
+    /// Copy of a block's current data (for protocol data replies), shared
+    /// behind an `Arc` so fan-out and retransmission never re-copy the
+    /// bytes.
+    ///
+    /// Non-materializing: snapshotting a block this node holds no copy of
+    /// returns the canonical zero block (the content a home block
+    /// materializes with) without installing anything.
+    pub fn snapshot(&self, block: BlockId) -> Arc<[u8]> {
+        match self.data(block) {
+            Some(d) => Arc::from(d),
+            None => Arc::clone(&self.zero),
+        }
     }
 
-    /// Number of blocks currently materialized on this node.
+    /// Number of blocks currently materialized on this node. O(1).
     pub fn resident_blocks(&self) -> usize {
-        self.blocks.len()
+        self.resident
     }
 
     /// Count of blocks installed by pre-send that were never accessed
     /// (redundant pre-sends, §5.1's "larger amounts of data, some of which
-    /// may be redundant").
+    /// may be redundant"). O(1).
     pub fn unused_presends(&self) -> usize {
-        self.blocks.values().filter(|b| b.presend_unused).count()
+        self.unused
     }
 
-    /// Iterate over all materialized blocks (diagnostics, invariant
-    /// checking).
-    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &LocalBlock)> {
-        self.blocks.iter().map(|(b, lb)| (*b, lb))
+    /// Iterate over all materialized blocks and their tags (diagnostics,
+    /// invariant checking). Walks dense pages — no hashing.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, Tag)> + '_ {
+        let seg_shift = self.seg_shift;
+        self.segs.iter().enumerate().flat_map(move |(seg, pages)| {
+            pages
+                .iter()
+                .enumerate()
+                .filter_map(|(pi, p)| p.as_ref().map(move |p| (pi, p)))
+                .flat_map(move |(pi, page)| {
+                    (0..PAGE_BLOCKS).filter(|&slot| page.present(slot)).map(move |slot| {
+                        let id =
+                            ((seg as u64) << seg_shift) | ((pi as u64) << PAGE_SHIFT) | slot as u64;
+                        (BlockId(id), page.tag(slot))
+                    })
+                })
+        })
     }
 }
 
@@ -238,7 +488,7 @@ mod tests {
         let l = m.layout();
         let remote = l.heap_base(2);
         let mut buf = [0u8; 8];
-        let err = m.read_in_block(remote, &mut buf).unwrap_err();
+        let err = m.read_in_block(remote, &mut buf).unwrap_err().fault();
         assert_eq!(err.access, Access::Read);
         assert_eq!(err.observed, Tag::Invalid);
 
@@ -248,6 +498,16 @@ mod tests {
         assert_eq!(buf, [7u8; 8]);
         // Still not writable.
         assert!(m.write_in_block(remote, &[0u8; 4]).is_err());
+    }
+
+    #[test]
+    fn faulting_access_does_not_materialize() {
+        let mut m = mem();
+        let l = m.layout();
+        let mut buf = [0u8; 8];
+        assert!(m.read_in_block(l.heap_base(2), &mut buf).is_err());
+        assert!(m.write_in_block(l.heap_base(3), &buf).is_err());
+        assert_eq!(m.resident_blocks(), 0, "faults must not install blocks");
     }
 
     #[test]
@@ -274,7 +534,7 @@ mod tests {
         let mut m = mem();
         let l = m.layout();
         let remote = l.heap_base(3);
-        m.install(l.block_of(remote), &vec![1u8; 32], Tag::ReadOnly, true);
+        m.install(l.block_of(remote), &[1u8; 32], Tag::ReadOnly, true);
         assert_eq!(m.unused_presends(), 1);
         let mut buf = [0u8; 4];
         m.read_in_block(remote, &mut buf).unwrap();
@@ -288,5 +548,98 @@ mod tests {
         let l = m.layout();
         assert_eq!(m.probe(l.block_of(own)), Tag::ReadWrite);
         assert_eq!(m.probe(l.block_of(l.heap_base(2))), Tag::Invalid);
+    }
+
+    #[test]
+    fn snapshot_does_not_materialize() {
+        // Regression: a protocol data reply for a never-touched home block
+        // used to lazily install a zero-filled ReadWrite copy, inflating
+        // resident_blocks() on non-home nodes via the same path.
+        let mut m = mem();
+        let a = m.alloc(8, 8);
+        let l = m.layout();
+        let snap = m.snapshot(l.block_of(a));
+        assert!(snap.iter().all(|&b| b == 0), "untouched home block snapshots as zeros");
+        assert_eq!(snap.len(), 32);
+        assert_eq!(m.resident_blocks(), 0, "snapshot must not install the block");
+        assert_eq!(m.unused_presends(), 0);
+
+        // A materialized block snapshots its real bytes.
+        m.write_in_block(a, &[9u8; 8]).unwrap();
+        let snap = m.snapshot(l.block_of(a));
+        assert_eq!(&snap[..8], &[9u8; 8]);
+        assert_eq!(m.resident_blocks(), 1);
+    }
+
+    #[test]
+    fn boundary_crossing_is_a_proper_error() {
+        // Satellite: must hold in BOTH build profiles (no debug_assert).
+        let mut m = mem();
+        let a = m.alloc(32, 8); // a whole block
+        let cross = a.add(28); // 8 bytes from here straddle the boundary
+        let mut buf = [0u8; 8];
+        match m.read_in_block(cross, &mut buf) {
+            Err(MemError::CrossesBoundary { addr, len }) => {
+                assert_eq!(addr, cross);
+                assert_eq!(len, 8);
+            }
+            other => panic!("expected CrossesBoundary, got {other:?}"),
+        }
+        match m.write_in_block(cross, &buf) {
+            Err(MemError::CrossesBoundary { .. }) => {}
+            other => panic!("expected CrossesBoundary, got {other:?}"),
+        }
+        // Nothing was installed or copied.
+        assert_eq!(m.resident_blocks(), 0);
+    }
+
+    #[test]
+    fn install_bulk_counts_waste() {
+        let mut m = mem();
+        let l = m.layout();
+        let b0 = l.block_of(l.heap_base(2));
+        let b1 = b0.next();
+        let payload: Vec<(BlockId, Arc<[u8]>)> =
+            vec![(b0, vec![1u8; 32].into()), (b1, vec![2u8; 32].into())];
+        assert_eq!(m.install_bulk(&payload, Tag::ReadOnly, true), 0);
+        assert_eq!(m.unused_presends(), 2);
+        // Read one block; re-push both: exactly one was still unread.
+        let mut buf = [0u8; 8];
+        m.read_in_block(b0.base(32), &mut buf).unwrap();
+        assert_eq!(m.install_bulk(&payload, Tag::ReadOnly, true), 1);
+        assert_eq!(m.unused_presends(), 2);
+    }
+
+    #[test]
+    fn iter_blocks_walks_materialized_slots() {
+        let mut m = mem();
+        let l = m.layout();
+        let a = m.alloc(8, 8);
+        m.write_in_block(a, &[1u8; 8]).unwrap();
+        m.install(l.block_of(l.heap_base(3)), &[5u8; 32], Tag::ReadOnly, false);
+        let mut seen: Vec<(BlockId, Tag)> = m.iter_blocks().collect();
+        seen.sort_by_key(|(b, _)| b.0);
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0], (l.block_of(a), Tag::ReadWrite));
+        assert_eq!(seen[1], (l.block_of(l.heap_base(3)), Tag::ReadOnly));
+        assert_eq!(m.resident_blocks(), 2);
+    }
+
+    #[test]
+    fn lookup_is_stable_across_page_boundaries() {
+        let mut m = mem();
+        let l = m.layout();
+        // Touch blocks straddling several pages of segment 2.
+        let base = l.block_of(l.heap_base(2));
+        for i in [0u64, 1, PAGE_BLOCKS as u64 - 1, PAGE_BLOCKS as u64, 3 * PAGE_BLOCKS as u64 + 7] {
+            let b = BlockId(base.0 + i);
+            m.install(b, &[i as u8; 32], Tag::ReadOnly, false);
+        }
+        for i in [0u64, 1, PAGE_BLOCKS as u64 - 1, PAGE_BLOCKS as u64, 3 * PAGE_BLOCKS as u64 + 7] {
+            let b = BlockId(base.0 + i);
+            assert_eq!(m.probe(b), Tag::ReadOnly);
+            assert_eq!(m.data(b).unwrap(), &vec![i as u8; 32][..]);
+        }
+        assert_eq!(m.resident_blocks(), 5);
     }
 }

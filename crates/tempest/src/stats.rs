@@ -67,6 +67,13 @@ pub struct NodeStats {
     /// Pre-send installs rejected because they arrived outside their
     /// pre-send window (stale duplicates of acknowledged pushes).
     pub presend_stale_in: AtomicU64,
+    /// Pushes this home dropped at the pass-2 revalidation because the
+    /// directory state had changed since pass 1 recorded them (entry went
+    /// busy, or a demand request won the block in between).
+    pub presend_aborted: AtomicU64,
+    /// Data bytes installed into this node's memory from protocol messages
+    /// (grants, recalled data, pre-send payloads).
+    pub data_bytes_in: AtomicU64,
     /// Useless pre-sends charged to this node as a home: copies it pushed
     /// that were torn down or overwritten without ever being accessed.
     pub presend_useless: AtomicU64,
@@ -112,6 +119,8 @@ impl NodeStats {
             stale_msgs_in: g(&self.stale_msgs_in),
             stale_grants_in: g(&self.stale_grants_in),
             presend_stale_in: g(&self.presend_stale_in),
+            presend_aborted: g(&self.presend_aborted),
+            data_bytes_in: g(&self.data_bytes_in),
             presend_useless: g(&self.presend_useless),
             degrade_events: g(&self.degrade_events),
         }
@@ -142,6 +151,8 @@ pub struct StatsSnapshot {
     pub stale_msgs_in: u64,
     pub stale_grants_in: u64,
     pub presend_stale_in: u64,
+    pub presend_aborted: u64,
+    pub data_bytes_in: u64,
     pub presend_useless: u64,
     pub degrade_events: u64,
 }
@@ -169,6 +180,8 @@ macro_rules! per_field {
             stale_msgs_in: $a.stale_msgs_in $op $b.stale_msgs_in,
             stale_grants_in: $a.stale_grants_in $op $b.stale_grants_in,
             presend_stale_in: $a.presend_stale_in $op $b.presend_stale_in,
+            presend_aborted: $a.presend_aborted $op $b.presend_aborted,
+            data_bytes_in: $a.data_bytes_in $op $b.data_bytes_in,
             presend_useless: $a.presend_useless $op $b.presend_useless,
             degrade_events: $a.degrade_events $op $b.degrade_events,
         }

@@ -1,0 +1,74 @@
+//! Property-based observational equivalence: the flat segment-indexed paged
+//! arena behind [`NodeMem`] behaves exactly like the seed implementation's
+//! `HashMap<BlockId, LocalBlock>` store (`model::RefStore`) under arbitrary
+//! access sequences — same tags, same bytes, same fault/boundary errors,
+//! same useless-pre-send signals, same residency accounting.
+//!
+//! The deterministic seeded twin lives in `mem_model.rs`; this driver lets
+//! proptest explore and shrink op sequences.
+
+mod model;
+
+use model::{apply_and_check, check_final, Op, RefStore};
+use prescient_tempest::{BlockId, GlobalLayout, NodeMem, Tag};
+use proptest::prelude::*;
+
+/// Blocks per heap segment for 32-byte blocks (`NODE_HEAP_BYTES / 32`).
+const BLOCKS_PER_SEG: u64 = (1u64 << 32) / 32;
+
+/// A block in one of the 4 node segments, with slot indices clustered
+/// around arena page boundaries (pages hold 256 blocks).
+fn block_strategy() -> impl Strategy<Value = BlockId> {
+    let offset = prop_oneof![
+        Just(0u64),
+        Just(1),
+        Just(2),
+        Just(127),
+        Just(255),
+        Just(256),
+        Just(257),
+        Just(300),
+        Just(511),
+        Just(512),
+    ];
+    (0u64..4, offset).prop_map(|(seg, off)| BlockId(seg * BLOCKS_PER_SEG + off))
+}
+
+fn tag_strategy() -> impl Strategy<Value = Tag> {
+    prop_oneof![Just(Tag::Invalid), Just(Tag::ReadOnly), Just(Tag::ReadWrite)]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => (block_strategy(), any::<u8>(), tag_strategy(), any::<bool>())
+            .prop_map(|(b, s, t, p)| Op::Install(b, s, t, p)),
+        1 => (block_strategy(), tag_strategy()).prop_map(|(b, t)| Op::SetTag(b, t)),
+        // Lengths beyond the 32-byte block exercise the boundary-crossing
+        // error path on both sides.
+        3 => (block_strategy(), 0usize..32, 1usize..40).prop_map(|(b, o, l)| Op::Read(b, o, l)),
+        2 => (block_strategy(), 0usize..32, 1usize..40, any::<u8>())
+            .prop_map(|(b, o, l, s)| Op::Write(b, o, l, s)),
+        1 => block_strategy().prop_map(Op::Snapshot),
+        1 => block_strategy().prop_map(Op::ClearUnused),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Every observable of the arena matches the HashMap reference model
+    /// after every step of a random op sequence, and the final dense
+    /// enumeration matches block-for-block.
+    #[test]
+    fn flat_arena_is_observationally_equivalent_to_hashmap_store(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        let layout = GlobalLayout::new(4, 32);
+        let mut mem = NodeMem::new(layout, 1);
+        let mut model = RefStore::new(layout, 1);
+        for op in &ops {
+            apply_and_check(&mut mem, &mut model, op);
+        }
+        check_final(&mem, &model);
+    }
+}

@@ -30,12 +30,27 @@ fn clean(block: usize) -> MachineConfig {
     MachineConfig::predictive(NODES, block).validated()
 }
 
+/// Total blocks moved over the fabric: demand misses plus pre-sent blocks
+/// (the paper's "amount of data moved"). Pinned equal between clean and
+/// fault-free-equivalent runs on the *clean* side of each pair below: the
+/// zero-copy send path and the flat arena must not change what moves, only
+/// how it is stored and cloned.
+fn blocks_moved(run: &prescient::apps::AppRun) -> u64 {
+    let t = run.report.total_stats();
+    t.misses() + t.presend_blocks_out
+}
+
 #[test]
 fn water_is_bit_identical_under_chaos() {
     let cfg = WaterConfig { n: 48, steps: 3, ..Default::default() };
     let a = run_water(clean(32), &cfg);
     let b = run_water(chaos(32), &cfg);
     assert_eq!(a.checksum, b.checksum, "chaos must not change water's results");
+    // The clean run's traffic is deterministic: re-running it must move
+    // exactly the same blocks (the chaos run legitimately retries more).
+    let a2 = run_water(clean(32), &cfg);
+    assert_eq!(blocks_moved(&a), blocks_moved(&a2), "clean water traffic must be deterministic");
+    assert_eq!(a.checksum, a2.checksum, "clean water reruns must be bit-identical");
 }
 
 #[test]
@@ -44,6 +59,9 @@ fn barnes_is_bit_identical_under_chaos() {
     let a = run_barnes(clean(32), &cfg);
     let b = run_barnes(chaos(32), &cfg);
     assert_eq!(a.checksum, b.checksum, "chaos must not change barnes' results");
+    let a2 = run_barnes(clean(32), &cfg);
+    assert_eq!(blocks_moved(&a), blocks_moved(&a2), "clean barnes traffic must be deterministic");
+    assert_eq!(a.checksum, a2.checksum, "clean barnes reruns must be bit-identical");
 }
 
 #[test]
@@ -54,4 +72,7 @@ fn adaptive_is_bit_identical_under_chaos() {
     assert_eq!(a.checksum, b.checksum, "chaos must not change adaptive's results");
     assert_eq!(ra, rb, "refined roots must match element-wise");
     assert_eq!(da, db, "refinement depths must match element-wise");
+    let (a2, _, _) = run_adaptive_full(clean(32), &cfg);
+    assert_eq!(blocks_moved(&a), blocks_moved(&a2), "clean adaptive traffic must be deterministic");
+    assert_eq!(a.checksum, a2.checksum, "clean adaptive reruns must be bit-identical");
 }
