@@ -9,13 +9,17 @@
 //! * `dataflow/solve` — the bit-vector fixpoint on a deep loop nest;
 //! * `machine/barrier` — one virtual-time barrier episode;
 //! * `mem/*` — the flat paged arena in isolation: block lookup on the hit
-//!   path, tag probe, data reply snapshot, and the dense block walk.
+//!   path, tag probe, data reply snapshot, and the dense block walk;
+//! * `fabric/*` — the raw wire: a 256-message burst sent one envelope per
+//!   wire op (`send_single`, the pre-batching behavior) vs. packed into
+//!   wire batches (`send_batched`), and the receive-side batch drain in
+//!   isolation (`drain`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use prescient_cstar::cfg::CfgBuilder;
 use prescient_cstar::dataflow::ReachingUnstructured;
 use prescient_runtime::{Agg1D, Dist1D, Machine, MachineConfig, NodeCtx};
-use prescient_tempest::{GlobalLayout, NodeMem};
+use prescient_tempest::{BatchConfig, Fabric, GlobalLayout, NodeMem, TryRecv};
 
 fn bench_access(c: &mut Criterion) {
     let mut machine = Machine::new(MachineConfig::stache(2, 64));
@@ -218,9 +222,76 @@ fn bench_mem(c: &mut Criterion) {
     c.bench_function("mem/iter_blocks_1k_resident", |b| b.iter(|| mem.iter_blocks().count()));
 }
 
+fn bench_fabric(c: &mut Criterion) {
+    const BURST: u64 = 256;
+
+    // One envelope per wire op (max_batch = 1): every send pays the full
+    // channel-op + wakeup cost. This is the pre-batching transport.
+    {
+        let eps = Fabric::new_with::<u64>(2, BatchConfig::off());
+        c.bench_function("fabric/send_single", |b| {
+            b.iter(|| {
+                for i in 0..BURST {
+                    eps[0].net().send(1, std::hint::black_box(i));
+                }
+                eps[0].net().flush_all();
+                let mut n = 0u64;
+                while let TryRecv::Msg(_) = eps[1].try_recv() {
+                    n += 1;
+                }
+                n
+            })
+        });
+    }
+
+    // Same burst through the egress buffers: consecutive envelopes pack
+    // into wire batches, one channel op per batch.
+    {
+        let eps = Fabric::new_with::<u64>(2, BatchConfig::new(64));
+        c.bench_function("fabric/send_batched", |b| {
+            b.iter(|| {
+                for i in 0..BURST {
+                    eps[0].net().send(1, std::hint::black_box(i));
+                }
+                eps[0].net().flush_all();
+                let mut n = 0u64;
+                while let TryRecv::Msg(_) = eps[1].try_recv() {
+                    n += 1;
+                }
+                n
+            })
+        });
+    }
+
+    // Receive side in isolation: the burst is already on the wire (sent
+    // batched, outside the timed routine); measure draining it through
+    // the endpoint's internal ring.
+    {
+        let eps = Fabric::new_with::<u64>(2, BatchConfig::new(64));
+        c.bench_function("fabric/drain", |b| {
+            b.iter_batched(
+                || {
+                    for i in 0..BURST {
+                        eps[0].net().send(1, i);
+                    }
+                    eps[0].net().flush_all();
+                },
+                |()| {
+                    let mut n = 0u64;
+                    while let TryRecv::Msg(_) = eps[1].try_recv() {
+                        n += 1;
+                    }
+                    n
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench_access, bench_remote_miss, bench_producer_consumer, bench_presend, bench_compiler, bench_dataflow, bench_barrier, bench_mem
+    targets = bench_access, bench_remote_miss, bench_producer_consumer, bench_presend, bench_compiler, bench_dataflow, bench_barrier, bench_mem, bench_fabric
 }
 criterion_main!(benches);

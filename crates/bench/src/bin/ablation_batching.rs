@@ -1,0 +1,85 @@
+//! Ablation: egress batch threshold sweep.
+//!
+//! The fabric's aggregation layer packs consecutive same-destination
+//! envelopes into wire batches; `max_batch` bounds how many pile up
+//! before the buffer is force-flushed. This ablation runs the three
+//! evaluation apps at thresholds 1 (batching off — the pre-batching
+//! transport), 4, 16, and 64 and reports the wall-clock, the wire-level
+//! batch counters, and the checksum (which must be identical down the
+//! column: batching is transport-only and cannot change results).
+//!
+//! ```text
+//! cargo run --release -p prescient-bench --bin ablation_batching -- --paper
+//! ```
+
+use std::time::Duration;
+
+use prescient_apps::adaptive::{run_adaptive, AdaptiveConfig};
+use prescient_apps::barnes::{run_barnes, BarnesConfig};
+use prescient_apps::water::{run_water, WaterConfig};
+use prescient_apps::AppRun;
+use prescient_bench::Scale;
+use prescient_runtime::MachineConfig;
+use prescient_stache::RetryConfig;
+use prescient_tempest::BatchConfig;
+
+const SWEEP: [usize; 4] = [1, 4, 16, 64];
+
+fn mcfg(nodes: usize, bs: usize, max_batch: usize) -> MachineConfig {
+    let retry = RetryConfig { timeout: Duration::from_secs(30), max_retries: 4 };
+    MachineConfig::predictive(nodes, bs).with_retry(retry).with_batch(BatchConfig::new(max_batch))
+}
+
+fn row(app: &str, max_batch: usize, r: &AppRun) {
+    let t = r.report.total_stats();
+    println!(
+        "{app:<10} {max_batch:>6} {:>10} {:>12} {:>10} {:>10.2} {:>10} {:>18}",
+        r.report.wall.as_millis(),
+        t.msgs_out,
+        r.report.wire.batches,
+        r.report.wire.mean_occupancy(),
+        r.report.wire.envelopes,
+        format!("{:016x}", r.checksum.to_bits()),
+    );
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let bs = 128;
+
+    println!("== Ablation: egress batch threshold ({} nodes, {bs}B blocks) ==\n", scale.nodes);
+    println!(
+        "{:<10} {:>6} {:>10} {:>12} {:>10} {:>10} {:>10} {:>18}",
+        "app", "batch", "wall(ms)", "msgs", "batches", "occupancy", "wiremsgs", "checksum"
+    );
+
+    let wcfg = if scale.paper {
+        WaterConfig::default()
+    } else {
+        WaterConfig { n: 128, steps: 5, ..Default::default() }
+    };
+    for max in SWEEP {
+        let r = run_water(mcfg(scale.nodes, bs, max), &wcfg);
+        row("water", max, &r);
+    }
+
+    let bcfg = if scale.paper {
+        BarnesConfig::default()
+    } else {
+        BarnesConfig { n: 512, steps: 2, ..Default::default() }
+    };
+    for max in SWEEP {
+        let r = run_barnes(mcfg(scale.nodes, bs, max), &bcfg);
+        row("barnes", max, &r);
+    }
+
+    let acfg = if scale.paper {
+        AdaptiveConfig::default()
+    } else {
+        AdaptiveConfig { n: 32, iters: 10, ..Default::default() }
+    };
+    for max in SWEEP {
+        let r = run_adaptive(mcfg(scale.nodes, bs, max), &acfg);
+        row("adaptive", max, &r);
+    }
+}

@@ -60,6 +60,12 @@ fn render(rows: &[Row], scale: Scale, block_size: usize) -> String {
         writeln!(s, "      \"misses\": {},", t.misses()).unwrap();
         writeln!(s, "      \"presend_blocks\": {},", t.presend_blocks_out).unwrap();
         writeln!(s, "      \"presend_useless\": {},", t.presend_useless).unwrap();
+        // Wire-level transport stats: batches on the fabric channels and
+        // envelopes per batch. Timing-dependent (like wall_ms), so CI only
+        // sanity-checks them (batches > 0, occupancy >= 1), never equality.
+        writeln!(s, "      \"wire_batches\": {},", r.run.report.wire.batches).unwrap();
+        writeln!(s, "      \"wire_occupancy\": {:.2},", r.run.report.wire.mean_occupancy())
+            .unwrap();
         writeln!(s, "      \"local_pct\": {:.2}", r.run.report.local_fraction() * 100.0).unwrap();
         writeln!(s, "    }}{}", if i + 1 < rows.len() { "," } else { "" }).unwrap();
     }

@@ -46,5 +46,5 @@ pub mod tap;
 
 pub use predictive::{DegradeConfig, PhaseHealth, Predictive, PredictiveConfig};
 pub use presend::PresendReport;
-pub use schedule::{Action, PhaseId, PhaseSchedule, ScheduleEntry, ScheduleStore};
+pub use schedule::{Action, PhaseId, PhaseSchedule, ReplayRun, ScheduleEntry, ScheduleStore};
 pub use tap::{AccessTap, TapEvent};

@@ -31,6 +31,14 @@
 //!   `presend_stale_in`). It cannot be a *first* delivery: the driver does
 //!   not pass its window's ack wait until every push is acked.
 //!
+//! The acks this module sends run on the protocol-handler thread, whose
+//! receive loop flushes its node's egress before every blocking wait —
+//! so under fabric batching (DESIGN.md §2.1) acks produced while
+//! draining a batch of pushes pack into one wire batch back to the
+//! driver, and no explicit flush is needed here. The *driver* side's
+//! flush obligations (after the push fan-out, before the ack wait) live
+//! in [`crate::presend`].
+//!
 //! # Graceful degradation
 //!
 //! Each phase's schedule is a *prediction*; when the application's access

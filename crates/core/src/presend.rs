@@ -119,11 +119,16 @@ pub fn presend(
         return report;
     }
 
-    // Snapshot this node's schedule slice in block order.
-    let entries = {
+    // Snapshot this node's schedule slice, run-length-encoded in block
+    // order: contiguous blocks with the same action toward the same
+    // targets collapse into one `ReplayRun`, so the walk below touches
+    // O(runs) headers (conflict runs skip in O(1)) instead of O(blocks)
+    // hash-map entries. Expansion order and per-block behavior are
+    // bit-identical to walking `sorted_entries`.
+    let runs = {
         let st = pred.state.lock();
         match st.store.phase(phase) {
-            Some(p) => p.sorted_entries(),
+            Some(p) => p.replay(pred.cfg.anticipate_conflicts),
             None => return report,
         }
     };
@@ -131,53 +136,57 @@ pub fn presend(
     // Pass 1: tear down stale copies (blocking, via the ordinary fault
     // path) and build the push list.
     let mut pushes: Vec<Push> = Vec::new();
-    for (block, entry) in entries {
-        match entry.action_with(pred.cfg.anticipate_conflicts) {
+    for run in &runs {
+        match run.action {
             Action::Conflict => {
-                report.skipped_conflicts += 1;
+                report.skipped_conflicts += run.len;
             }
             Action::Read => {
-                let readers = entry.readers.without(me);
-                // `None` (a multi-hop round in flight — e.g. a delayed
-                // demand request that arrived mid-window on a faulty
-                // fabric) is handled like Exclusive: the blocking ensure
-                // fetch serializes behind the round and leaves the block
-                // home-readable.
-                let state = dir_state(n, block);
-                if !matches!(state, Some(DirState::Uncached | DirState::Shared(_))) {
-                    // Recall the writer's copy home (it stays a sharer).
-                    let info = fetch(n, wake_rx, block, false, stash);
-                    report.ensure_fetches += 1;
-                    report.vtime_ns += n.cost.ensure_ns(info.bytes);
-                }
-                let sharers = match dir_state(n, block) {
-                    Some(DirState::Shared(s)) => s,
-                    _ => NodeSet::EMPTY,
-                };
-                let targets = readers.minus(sharers);
-                if !targets.is_empty() {
-                    pushes.push(Push { block, targets, excl: false });
+                let readers = run.readers.without(me);
+                for block in run.blocks() {
+                    // `None` (a multi-hop round in flight — e.g. a delayed
+                    // demand request that arrived mid-window on a faulty
+                    // fabric) is handled like Exclusive: the blocking
+                    // ensure fetch serializes behind the round and leaves
+                    // the block home-readable.
+                    let state = dir_state(n, block);
+                    if !matches!(state, Some(DirState::Uncached | DirState::Shared(_))) {
+                        // Recall the writer's copy home (it stays a sharer).
+                        let info = fetch(n, wake_rx, block, false, stash);
+                        report.ensure_fetches += 1;
+                        report.vtime_ns += n.cost.ensure_ns(info.bytes);
+                    }
+                    let sharers = match dir_state(n, block) {
+                        Some(DirState::Shared(s)) => s,
+                        _ => NodeSet::EMPTY,
+                    };
+                    let targets = readers.minus(sharers);
+                    if !targets.is_empty() {
+                        pushes.push(Push { block, targets, excl: false });
+                    }
                 }
             }
             Action::Write => {
-                let writer = entry.writer.expect("write action without writer");
-                let state = dir_state(n, block);
-                if writer == me {
-                    // Prefetch ownership home.
-                    if !matches!(state, Some(DirState::Uncached)) {
-                        let info = fetch(n, wake_rx, block, true, stash);
-                        report.ensure_fetches += 1;
-                        report.vtime_ns += n.cost.ensure_ns(info.bytes);
+                let writer = run.writer.expect("write run without writer");
+                for block in run.blocks() {
+                    let state = dir_state(n, block);
+                    if writer == me {
+                        // Prefetch ownership home.
+                        if !matches!(state, Some(DirState::Uncached)) {
+                            let info = fetch(n, wake_rx, block, true, stash);
+                            report.ensure_fetches += 1;
+                            report.vtime_ns += n.cost.ensure_ns(info.bytes);
+                        }
+                    } else if state == Some(DirState::Exclusive(writer)) {
+                        // The writer already owns it; nothing to do.
+                    } else {
+                        if !matches!(state, Some(DirState::Uncached)) {
+                            let info = fetch(n, wake_rx, block, true, stash);
+                            report.ensure_fetches += 1;
+                            report.vtime_ns += n.cost.ensure_ns(info.bytes);
+                        }
+                        pushes.push(Push { block, targets: NodeSet::single(writer), excl: true });
                     }
-                } else if state == Some(DirState::Exclusive(writer)) {
-                    // The writer already owns it; nothing to do.
-                } else {
-                    if !matches!(state, Some(DirState::Uncached)) {
-                        let info = fetch(n, wake_rx, block, true, stash);
-                        report.ensure_fetches += 1;
-                        report.vtime_ns += n.cost.ensure_ns(info.bytes);
-                    }
-                    pushes.push(Push { block, targets: NodeSet::single(writer), excl: true });
                 }
             }
         }
@@ -273,6 +282,9 @@ pub fn presend(
         }
     }
     NodeStats::add(&n.stats.presend_aborted, aborted);
+    // The fan-out is over and pass 3 blocks waiting for acks: everything
+    // buffered in the egress must be on the wire first.
+    n.flush_net();
 
     NodeStats::add(&n.stats.presend_blocks_out, report.blocks_pushed);
     NodeStats::add(&n.stats.presend_msgs_out, report.msgs);
@@ -317,6 +329,8 @@ pub fn presend(
                     n.send(*t, Msg::User(m.clone()));
                     report.retransmits += 1;
                 }
+                // Back to waiting: flush the retransmissions out.
+                n.flush_net();
                 NodeStats::add(&n.stats.presend_retries, outstanding.len() as u64);
             }
             Err(RecvTimeoutError::Disconnected) => {

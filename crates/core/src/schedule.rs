@@ -88,6 +88,34 @@ impl ScheduleEntry {
     }
 }
 
+/// A run of contiguous blocks whose pre-send walk is identical: same
+/// action, and — for the fields the walk actually consults — same readers
+/// (read runs) or same writer (write runs). Produced by
+/// [`PhaseSchedule::replay`]; dense schedules (the common case after a
+/// block-distributed aggregate is swept) collapse to a handful of runs,
+/// so pre-send pass 1 iterates O(runs) run headers instead of O(blocks)
+/// hash-map entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayRun {
+    /// First block of the run.
+    pub first: BlockId,
+    /// Number of consecutive blocks (`first`, `first+1`, …).
+    pub len: u64,
+    /// The action every block in the run takes.
+    pub action: Action,
+    /// Recorded readers (normalized to empty unless `action` is `Read`).
+    pub readers: NodeSet,
+    /// Recorded writer (normalized to `None` unless `action` is `Write`).
+    pub writer: Option<NodeId>,
+}
+
+impl ReplayRun {
+    /// The blocks of the run, ascending.
+    pub fn blocks(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.len).map(|i| BlockId(self.first.0 + i))
+    }
+}
+
 /// One phase's schedule at one home node.
 #[derive(Debug, Default)]
 pub struct PhaseSchedule {
@@ -132,6 +160,38 @@ impl PhaseSchedule {
         let mut v: Vec<_> = self.entries.iter().map(|(b, e)| (*b, *e)).collect();
         v.sort_unstable_by_key(|(b, _)| *b);
         v
+    }
+
+    /// The pre-send walk, run-length-encoded: entries in ascending block
+    /// order, with contiguous blocks merged into one [`ReplayRun`] when
+    /// they take the same action toward the same targets. Expanding the
+    /// runs block-by-block reproduces exactly what walking
+    /// [`PhaseSchedule::sorted_entries`] under
+    /// [`ScheduleEntry::action_with`] would do: only the fields the walk
+    /// consults are compared (readers for read runs, writer for write
+    /// runs; conflict runs always merge since they carry no targets).
+    pub fn replay(&self, anticipate: bool) -> Vec<ReplayRun> {
+        let mut keys: Vec<BlockId> = self.entries.keys().copied().collect();
+        keys.sort_unstable();
+        let mut runs: Vec<ReplayRun> = Vec::new();
+        for b in keys {
+            let e = &self.entries[&b];
+            let action = e.action_with(anticipate);
+            let readers = if action == Action::Read { e.readers } else { NodeSet::EMPTY };
+            let writer = if action == Action::Write { e.writer } else { None };
+            if let Some(last) = runs.last_mut() {
+                if last.first.0 + last.len == b.0
+                    && last.action == action
+                    && last.readers == readers
+                    && last.writer == writer
+                {
+                    last.len += 1;
+                    continue;
+                }
+            }
+            runs.push(ReplayRun { first: b, len: 1, action, readers, writer });
+        }
+        runs
     }
 
     /// Number of conflict-marked entries.
@@ -316,6 +376,116 @@ mod tests {
         p.record_write(B, 2);
         p.record_read(B, 1);
         assert_eq!(p.entries[&B].action_with(true), Action::Write);
+    }
+
+    /// Expand a replay into per-block (action, readers, writer) tuples,
+    /// normalized the way the pre-send walk consumes them.
+    fn expand(runs: &[ReplayRun]) -> Vec<(u64, Action, NodeSet, Option<NodeId>)> {
+        runs.iter()
+            .flat_map(|r| r.blocks().map(move |b| (b.0, r.action, r.readers, r.writer)))
+            .collect()
+    }
+
+    /// The uncompacted reference: walk `sorted_entries` and normalize.
+    fn reference(
+        p: &PhaseSchedule,
+        anticipate: bool,
+    ) -> Vec<(u64, Action, NodeSet, Option<NodeId>)> {
+        p.sorted_entries()
+            .into_iter()
+            .map(|(b, e)| {
+                let action = e.action_with(anticipate);
+                let readers = if action == Action::Read { e.readers } else { NodeSet::EMPTY };
+                let writer = if action == Action::Write { e.writer } else { None };
+                (b.0, action, readers, writer)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn replay_collapses_dense_read_sweep() {
+        // The common case: one consumer read every block of a contiguous
+        // slice — the whole slice is a single run.
+        let mut p = PhaseSchedule::default();
+        p.cur_iter = 1;
+        for b in 100..200 {
+            p.record_read(BlockId(b), 7);
+        }
+        let runs = p.replay(false);
+        assert_eq!(runs.len(), 1);
+        assert_eq!((runs[0].first, runs[0].len), (BlockId(100), 100));
+        assert_eq!(runs[0].action, Action::Read);
+        assert_eq!(expand(&runs), reference(&p, false));
+    }
+
+    #[test]
+    fn replay_breaks_on_gap_target_and_action() {
+        let mut p = PhaseSchedule::default();
+        p.cur_iter = 1;
+        p.record_read(BlockId(10), 1);
+        p.record_read(BlockId(11), 1);
+        p.record_read(BlockId(12), 2); // different reader set
+        p.record_write(BlockId(13), 3); // different action
+        p.record_read(BlockId(20), 1); // gap
+        let runs = p.replay(false);
+        assert_eq!(runs.len(), 4);
+        assert_eq!(expand(&runs), reference(&p, false));
+    }
+
+    #[test]
+    fn replay_merges_conflicts_regardless_of_targets() {
+        // Conflict runs carry no targets, so differing readers/writers
+        // must not break them.
+        let mut p = PhaseSchedule::default();
+        p.cur_iter = 1;
+        for b in 0..10u64 {
+            p.record_read(BlockId(b), (b % 3) as NodeId);
+            p.record_write(BlockId(b), ((b + 1) % 3) as NodeId);
+        }
+        let runs = p.replay(false);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].action, Action::Conflict);
+        assert_eq!(expand(&runs), reference(&p, false));
+    }
+
+    #[test]
+    fn replay_equivalence_on_pseudo_random_schedules() {
+        // Fuzz-style equivalence against the uncompacted walk, for both
+        // conflict policies (a compiled twin of the proptest suite).
+        use prescient_tempest::SplitMix64;
+        for seed in 0..32u64 {
+            let mut rng = SplitMix64::new(0x5EED ^ seed);
+            let mut p = PhaseSchedule::default();
+            for iter in 1..=3u64 {
+                p.cur_iter = iter;
+                for _ in 0..200 {
+                    let b = BlockId(rng.next_u64() % 96);
+                    let node = (rng.next_u64() % 5) as NodeId;
+                    if rng.next_u64() % 3 == 0 {
+                        p.record_write(b, node);
+                    } else {
+                        p.record_read(b, node);
+                    }
+                }
+            }
+            for anticipate in [false, true] {
+                let runs = p.replay(anticipate);
+                assert_eq!(
+                    expand(&runs),
+                    reference(&p, anticipate),
+                    "seed {seed} anticipate {anticipate}"
+                );
+                // RLE must actually compress a 96-block dense-ish space.
+                assert!(runs.len() <= p.entries.len());
+                for w in runs.windows(2) {
+                    let merged = w[0].first.0 + w[0].len == w[1].first.0
+                        && w[0].action == w[1].action
+                        && w[0].readers == w[1].readers
+                        && w[0].writer == w[1].writer;
+                    assert!(!merged, "adjacent runs should have been merged: {w:?}");
+                }
+            }
+        }
     }
 
     #[test]

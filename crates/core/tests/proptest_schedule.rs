@@ -3,7 +3,7 @@
 //! grouping invariants.
 
 use prescient_core::schedule::{Action, PhaseSchedule};
-use prescient_tempest::{BlockId, NodeId};
+use prescient_tempest::{BlockId, NodeId, NodeSet};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -137,6 +137,53 @@ proptest! {
         prop_assert_eq!(sorted.len(), sched.entries.len());
         for w in sorted.windows(2) {
             prop_assert!(w[0].0 < w[1].0, "strictly ascending blocks");
+        }
+    }
+
+    /// Expanding the run-length-encoded `replay` block-by-block yields
+    /// exactly the normalized `sorted_entries` walk (what the pre-send
+    /// passes consumed before compaction), and the encoding is maximal:
+    /// no two adjacent runs could have merged.
+    #[test]
+    fn replay_expands_to_sorted_walk(
+        evs in proptest::collection::vec(ev_strategy(), 0..120),
+        anticipate in any::<bool>(),
+    ) {
+        let mut sched = PhaseSchedule::default();
+        sched.cur_iter = 1;
+        for ev in &evs {
+            match ev {
+                Ev::Read(b, n) => sched.record_read(BlockId(*b), *n),
+                Ev::Write(b, n) => sched.record_write(BlockId(*b), *n),
+                Ev::NextIter => sched.cur_iter += 1,
+            }
+        }
+        let normalize = |e: &prescient_core::schedule::ScheduleEntry| {
+            let action = e.action_with(anticipate);
+            let readers = if action == Action::Read { e.readers } else { NodeSet::EMPTY };
+            let writer = if action == Action::Write { e.writer } else { None };
+            (action, readers, writer)
+        };
+        let reference: Vec<_> = sched
+            .sorted_entries()
+            .into_iter()
+            .map(|(b, e)| {
+                let (action, readers, writer) = normalize(&e);
+                (b.0, action, readers, writer)
+            })
+            .collect();
+        let runs = sched.replay(anticipate);
+        let expanded: Vec<_> = runs
+            .iter()
+            .flat_map(|r| r.blocks().map(move |b| (b.0, r.action, r.readers, r.writer)))
+            .collect();
+        prop_assert_eq!(&expanded, &reference, "replay must expand to the per-block walk");
+        for w in runs.windows(2) {
+            let mergeable = w[0].first.0 + w[0].len == w[1].first.0
+                && w[0].action == w[1].action
+                && w[0].readers == w[1].readers
+                && w[0].writer == w[1].writer;
+            prop_assert!(!mergeable, "adjacent runs must not be mergeable (maximal RLE)");
         }
     }
 }

@@ -2,7 +2,7 @@
 
 use prescient_core::PredictiveConfig;
 use prescient_stache::RetryConfig;
-use prescient_tempest::{CostModel, FaultPlan};
+use prescient_tempest::{BatchConfig, CostModel, FaultPlan};
 
 /// Which coherence protocol the machine runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,6 +49,11 @@ pub struct MachineConfig {
     /// (`crate::Machine::run`) returns; panics on violations. Cheap for
     /// test-sized machines, intended for chaos tests.
     pub validate: bool,
+    /// Fabric egress aggregation policy. Constructors take the
+    /// `PRESCIENT_BATCH` environment override when present (the CI chaos
+    /// matrix forces batching on/off through it), else the fabric default;
+    /// [`MachineConfig::with_batch`] pins it explicitly.
+    pub batch: BatchConfig,
 }
 
 impl MachineConfig {
@@ -62,6 +67,7 @@ impl MachineConfig {
             faults: None,
             retry: RetryConfig::default(),
             validate: false,
+            batch: BatchConfig::default_for_fabric(),
         }
     }
 
@@ -90,6 +96,13 @@ impl MachineConfig {
         self.validate = true;
         self
     }
+
+    /// Pin the fabric's egress aggregation policy (overrides the
+    /// environment default).
+    pub fn with_batch(mut self, batch: BatchConfig) -> MachineConfig {
+        self.batch = batch;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -113,5 +126,11 @@ mod tests {
         let c = MachineConfig::stache(4, 32).with_faults(FaultPlan::chaos(7)).validated();
         assert!(c.faults.expect("plan").is_active());
         assert!(c.validate);
+        let c = c.with_batch(BatchConfig::off());
+        assert!(!c.batch.is_batching());
+        assert_eq!(
+            MachineConfig::stache(2, 32).with_batch(BatchConfig::new(64)).batch.max_batch,
+            64
+        );
     }
 }

@@ -161,7 +161,11 @@ impl NodeCtx {
     // ----- synchronization ------------------------------------------------
 
     /// Global barrier; the stall is billed as synchronization time.
+    /// Barrier entry is a quiescence point: the node's egress buffers are
+    /// flushed before blocking, so no message this thread produced can sit
+    /// in a partial batch while every thread waits.
     pub fn barrier(&mut self) {
+        self.shared.flush_net();
         let out = self.barrier.wait(self.t.total_ns());
         self.t.synch_ns += out.stall_ns + self.cost.barrier_ns;
     }
@@ -170,6 +174,7 @@ impl NodeCtx {
     /// predictive directives, whose whole cost the paper reports as
     /// "Predictive protocol").
     fn barrier_presend(&mut self) {
+        self.shared.flush_net();
         let out = self.barrier.wait(self.t.total_ns());
         self.t.presend_ns += out.stall_ns + self.cost.barrier_ns;
     }

@@ -61,10 +61,10 @@ impl Machine {
         };
         let (endpoints, fault_stats) = match cfg.faults {
             Some(plan) if plan.is_active() => {
-                let (eps, fs) = Fabric::new_faulty::<Msg>(cfg.nodes, plan);
+                let (eps, fs) = Fabric::new_faulty_with::<Msg>(cfg.nodes, plan, cfg.batch);
                 (eps, Some(fs))
             }
-            _ => (Fabric::new::<Msg>(cfg.nodes), None),
+            _ => (Fabric::new_with::<Msg>(cfg.nodes, cfg.batch), None),
         };
         let ctl = endpoints[0].ctl().clone();
         for ep in endpoints {
@@ -180,6 +180,7 @@ impl Machine {
     {
         let wall_start = Instant::now();
         let stats0: Vec<_> = self.shareds.iter().map(|s| s.stats.snapshot()).collect();
+        let wire0 = self.ctl.wire();
         let rxs: Vec<Receiver<Wake>> =
             self.wake_rxs.iter_mut().map(|o| o.take().expect("machine already running")).collect();
 
@@ -226,7 +227,10 @@ impl Machine {
                 unused_presends: self.shareds[i].mem.lock().unused_presends() as u64,
             });
         }
-        (results, RunReport { per_node, wall: wall_start.elapsed() })
+        (
+            results,
+            RunReport { per_node, wall: wall_start.elapsed(), wire: self.ctl.wire().sub(&wire0) },
+        )
     }
 }
 
@@ -238,6 +242,9 @@ impl Drop for Machine {
         self.ctl.mark_closing();
         for s in &self.shareds {
             s.send(s.me, Msg::Shutdown);
+            // The shutdown self-send goes straight on the wire, but any
+            // stragglers still parked in this node's egress should too.
+            s.flush_net();
         }
         for j in self.joins.drain(..) {
             let _ = j.join();

@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 use prescient_tempest::stats::StatsSnapshot;
-use prescient_tempest::{NodeId, TimeBreakdown};
+use prescient_tempest::{NodeId, TimeBreakdown, WireSnapshot};
 
 /// One node's contribution to a run.
 #[derive(Debug, Clone, Copy)]
@@ -27,6 +27,10 @@ pub struct RunReport {
     /// Host wall-clock time of the run (diagnostic only; the figures use
     /// virtual time).
     pub wall: Duration,
+    /// Wire-level transport counters for this run: batches on the fabric's
+    /// channels and their mean occupancy (envelopes per batch). Like
+    /// `wall`, timing-dependent — reported, never equality-gated.
+    pub wire: WireSnapshot,
 }
 
 impl RunReport {
@@ -93,6 +97,7 @@ mod tests {
                 })
                 .collect(),
             wall: Duration::from_millis(1),
+            wire: WireSnapshot::default(),
         }
     }
 

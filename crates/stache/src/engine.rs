@@ -611,6 +611,9 @@ pub fn fetch(
             home,
             if excl { Msg::GetExcl { block, seq } } else { Msg::GetShared { block, seq } },
         );
+        // About to block on the grant: the request (and anything buffered
+        // before it) must actually be on the wire.
+        n.flush_net();
         loop {
             match wake_rx.recv_timeout(n.retry.timeout) {
                 Ok(Wake::Grant { block: b, excl: e, extra_hops, bytes, recorded, seq: s }) => {

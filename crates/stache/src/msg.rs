@@ -22,6 +22,15 @@
 //! cloning a message for fan-out, duplication, or retransmission storage
 //! bumps a refcount instead of copying block bytes (the zero-copy send
 //! path).
+//!
+//! On the wire, consecutive same-destination messages travel packed in a
+//! `WireBatch` (DESIGN.md §2.1). Batching is invisible at this layer —
+//! the vocabulary, seq/op identifiers, and per-message cost accounting
+//! all operate on individual messages — but it imposes one obligation on
+//! senders: a buffered message is not visible to its destination until
+//! the sender's egress is flushed, so any thread that is about to block
+//! waiting for a *reply* must call `NodeShared::flush_net` first (the
+//! engine and pre-send driver do; see `NodeShared::send`).
 
 use std::sync::Arc;
 

@@ -149,10 +149,20 @@ impl NodeShared {
         self.outstanding.store(0, Ordering::Release);
     }
 
-    /// Send a protocol message to `dst`, counting it.
+    /// Send a protocol message to `dst`, counting it. The message may sit
+    /// in the fabric's per-destination egress buffer until the next flush;
+    /// any code that blocks waiting for a *reply* must call
+    /// [`NodeShared::flush_net`] after its last send (the protocol thread
+    /// itself flushes automatically before blocking on an empty inbox).
     pub fn send(&self, dst: NodeId, msg: Msg) {
         NodeStats::bump(&self.stats.msgs_out);
         self.net.send(dst, msg);
+    }
+
+    /// Push every buffered outgoing message onto the wire (see
+    /// [`Net::flush_all`]). Cheap when nothing is buffered.
+    pub fn flush_net(&self) {
+        self.net.flush_all();
     }
 
     /// Wake this node's compute thread.
@@ -193,6 +203,10 @@ pub fn spawn_protocol(
                     break;
                 }
             }
+            // Replies produced while draining the final batch (before the
+            // Shutdown envelope) may still sit in the egress; push them
+            // out before this endpoint disappears.
+            shared.flush_net();
             endpoint.ctl().mark_closing();
         })
         .expect("spawn protocol thread")

@@ -7,6 +7,13 @@
 //! synchronization time. This is how the reproduction observes the paper's
 //! §5.1 effect — pre-sending evens out remote-wait imbalance and thereby
 //! shrinks synchronization time on lightly loaded processors.
+//!
+//! Barrier entry is a protocol *quiescence point*: with the fabric's
+//! egress aggregation (see [`crate::fabric`]), a participant must flush
+//! its node's egress buffers before calling [`VBarrier::wait`] — a thread
+//! never blocks while its node's egress is dirty. The barrier itself is
+//! fabric-agnostic (it rendezvouses any set of threads), so the runtime's
+//! `NodeCtx` owns that flush, not this type.
 
 use parking_lot::{Condvar, Mutex};
 

@@ -12,14 +12,41 @@
 //! The fabric is generic in its payload type: Tempest itself does not know
 //! the coherence vocabulary, just as the real Tempest interface shipped
 //! uninterpreted active messages to user-level handlers.
+//!
+//! # Egress aggregation
+//!
+//! The wire unit is not the [`Envelope`] but the [`WireBatch`]: each
+//! [`Net`] keeps a small per-destination egress buffer, and consecutive
+//! sends to the same node pack into one batch — one channel operation and
+//! at most one receiver wakeup for the whole group. This is the transport
+//! analogue of the protocol-level block coalescing of §3.4: per-message
+//! startup cost was the paper's motivating overhead, and it dominates here
+//! too once pre-sending works (a pre-send fan-out emits long runs of bulk
+//! messages to the same target back-to-back).
+//!
+//! A buffer flushes when it reaches [`BatchConfig::max_batch`] envelopes,
+//! and *must* be flushed explicitly ([`Net::flush_all`]) at every protocol
+//! quiescence point — before a thread blocks in [`Endpoint::recv`] (done
+//! automatically), before barrier entry, and before any wait for a reply
+//! whose request may still sit in the buffer. The rule that makes this
+//! deadlock-free: **a thread never blocks while its node's egress is
+//! dirty**. Batching never reorders within a link (buffers are per
+//! destination and drain in push order, with the buffer lock held across
+//! the wire send), so point-to-point FIFO is preserved by construction;
+//! the fault layer runs per-envelope *inside* the flush, so chaos
+//! semantics and per-link fault counters are unchanged. Logical traffic
+//! counters (`msgs`, bytes, blocks) keep counting envelopes; the batch
+//! layer only adds the [`FabricCtl::wire`] counters on top.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::Mutex;
 
-use crate::faults::{FaultPlan, FaultState};
-use crate::stats::FaultStats;
+use crate::faults::{FaultHook, FaultPlan, FaultState};
+use crate::stats::{FaultStats, WireSnapshot};
 use crate::NodeId;
 
 /// One in-flight message.
@@ -33,15 +60,110 @@ pub struct Envelope<M> {
     pub msg: M,
 }
 
-/// Shared teardown state of one fabric. A send can only fail after the
-/// destination endpoint was dropped; that is legitimate during machine
-/// teardown but a protocol bug at any other time, so the machine layer
-/// marks the fabric as closing before dropping endpoints and the fabric
-/// counts (and, in debug builds, asserts on) drops.
+/// What actually crosses a channel: every envelope a single flush of one
+/// (src, dst) egress buffer produced, in send order.
+#[derive(Debug, Clone)]
+pub struct WireBatch<M> {
+    /// The node all payloads were sent by.
+    pub src: NodeId,
+    /// The payloads, in per-link FIFO order.
+    pub msgs: WirePayload<M>,
+}
+
+/// A wire batch's payloads. Singletons — the demand request/reply
+/// ping-pong, which no amount of batching can aggregate — are carried
+/// inline with zero heap allocation; only genuine aggregation pays for a
+/// `Vec`.
+#[derive(Debug, Clone)]
+pub enum WirePayload<M> {
+    /// Exactly one envelope (allocation-free).
+    One(M),
+    /// Two or more envelopes, in send order.
+    Many(Vec<M>),
+}
+
+impl<M> WirePayload<M> {
+    /// Number of envelopes aboard.
+    pub fn len(&self) -> usize {
+        match self {
+            WirePayload::One(_) => 1,
+            WirePayload::Many(v) => v.len(),
+        }
+    }
+
+    /// A wire batch is never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Egress aggregation policy of a fabric.
+///
+/// `max_batch` is the force-flush threshold of each per-destination egress
+/// buffer; `1` disables aggregation (every envelope becomes its own wire
+/// batch, the pre-batching behavior). The `PRESCIENT_BATCH` environment
+/// variable overrides the default for every fabric built without an
+/// explicit config — the CI chaos matrix uses it to force batching on and
+/// off ("0", "1" or "off" disable; any other integer sets the threshold).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Flush an egress buffer once it holds this many envelopes.
+    pub max_batch: usize,
+}
+
+impl BatchConfig {
+    /// Default force-flush threshold (chosen by the batch-size ablation in
+    /// EXPERIMENTS.md; see `ablation_batching`).
+    pub const DEFAULT_MAX: usize = 16;
+
+    /// A policy flushing at `max_batch` envelopes (clamped to at least 1).
+    pub fn new(max_batch: usize) -> BatchConfig {
+        BatchConfig { max_batch: max_batch.max(1) }
+    }
+
+    /// Aggregation disabled: one wire batch per envelope.
+    pub fn off() -> BatchConfig {
+        BatchConfig { max_batch: 1 }
+    }
+
+    /// Is aggregation actually on?
+    pub fn is_batching(&self) -> bool {
+        self.max_batch > 1
+    }
+
+    /// The `PRESCIENT_BATCH` override, if set and parseable.
+    pub fn from_env() -> Option<BatchConfig> {
+        let v = std::env::var("PRESCIENT_BATCH").ok()?;
+        match v.trim() {
+            "off" | "0" | "1" => Some(BatchConfig::off()),
+            s => s.parse::<usize>().ok().map(BatchConfig::new),
+        }
+    }
+
+    /// The env override if present, else the built-in default.
+    pub fn default_for_fabric() -> BatchConfig {
+        BatchConfig::from_env().unwrap_or_default()
+    }
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig { max_batch: Self::DEFAULT_MAX }
+    }
+}
+
+/// Shared teardown state of one fabric plus the wire-level counters. A
+/// send can only fail after the destination endpoint was dropped; that is
+/// legitimate during machine teardown but a protocol bug at any other
+/// time, so the machine layer marks the fabric as closing before dropping
+/// endpoints and the fabric counts (and, in debug builds, asserts on)
+/// drops.
 #[derive(Debug, Default)]
 pub struct FabricCtl {
     closing: AtomicBool,
     teardown_drops: AtomicU64,
+    wire_batches: AtomicU64,
+    wire_msgs: AtomicU64,
 }
 
 impl FabricCtl {
@@ -61,15 +183,38 @@ impl FabricCtl {
     pub fn teardown_drops(&self) -> u64 {
         self.teardown_drops.load(Ordering::Relaxed)
     }
+
+    /// Wire-level transport counters so far: batches put on channels and
+    /// the envelopes they carried. Unlike the logical traffic counters
+    /// these depend on thread timing (how full a buffer was when a flush
+    /// hit it), so they are reported but never equality-gated.
+    pub fn wire(&self) -> WireSnapshot {
+        WireSnapshot {
+            batches: self.wire_batches.load(Ordering::Relaxed),
+            envelopes: self.wire_msgs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The per-destination egress buffers of one node, shared by every clone
+/// of its [`Net`] (both the compute and the protocol-handler thread).
+struct Egress<M> {
+    bufs: Box<[Mutex<Vec<M>>]>,
+    max: usize,
+    /// Bitmask of destinations with buffered envelopes (MAX_NODES ≤ 64),
+    /// so the flush-before-block fast path is one load when clean. All
+    /// transitions happen under the corresponding buffer lock.
+    dirty: AtomicU64,
 }
 
 /// A cloneable handle that can inject messages into any node's inbox on
 /// behalf of node `me`.
 pub struct Net<M> {
     me: NodeId,
-    txs: Arc<[Sender<Envelope<M>>]>,
+    txs: Arc<[Sender<WireBatch<M>>]>,
     ctl: Arc<FabricCtl>,
-    faults: Option<Arc<FaultState<M>>>,
+    faults: Option<Arc<dyn FaultHook<M>>>,
+    egress: Arc<Egress<M>>,
 }
 
 impl<M> Clone for Net<M> {
@@ -79,6 +224,7 @@ impl<M> Clone for Net<M> {
             txs: Arc::clone(&self.txs),
             ctl: Arc::clone(&self.ctl),
             faults: self.faults.clone(),
+            egress: Arc::clone(&self.egress),
         }
     }
 }
@@ -99,31 +245,97 @@ impl<M: Send> Net<M> {
         &self.ctl
     }
 
-    /// Send `msg` to `dst` (self-sends are allowed and used by the
-    /// protocols to keep one code path for local and remote faults). On a
-    /// faulty fabric the message may be delayed, duplicated, or dropped —
-    /// except self-sends, which are always delivered intact.
-    pub fn send(&self, dst: NodeId, msg: M)
-    where
-        M: Clone,
-    {
-        let env = Envelope { src: self.me, dst, msg };
-        match &self.faults {
-            Some(f) => f.process(env, &mut |e| self.deliver(e)),
-            None => self.deliver(env),
+    /// Queue `msg` for `dst` (self-sends are allowed and used by the
+    /// protocols to keep one code path for local and remote faults). The
+    /// envelope leaves the node when its buffer reaches the batch
+    /// threshold or at the next flush — callers must [`Net::flush_all`]
+    /// before blocking on a reply ([`Endpoint::recv`] does so itself).
+    /// On a faulty fabric the message may be delayed, duplicated, or
+    /// dropped at flush time — except self-sends, which go straight on
+    /// the wire, unbuffered and unfaulted (the fault layer's "local
+    /// hand-off" rule): a node can always reach its own handler — e.g. a
+    /// shutdown self-send — even when nothing will flush it again.
+    pub fn send(&self, dst: NodeId, msg: M) {
+        if dst == self.me {
+            self.send_wire(dst, WirePayload::One(msg));
+            return;
+        }
+        let mut buf = self.egress.bufs[dst as usize].lock();
+        buf.push(msg);
+        if buf.len() >= self.egress.max {
+            self.flush_locked(dst, &mut buf);
+        } else {
+            self.egress.dirty.fetch_or(1 << dst, Ordering::Relaxed);
         }
     }
 
-    fn deliver(&self, env: Envelope<M>) {
-        let dst = env.dst as usize;
-        if self.txs[dst].send(env).is_err() {
+    /// Flush the egress buffer of one destination.
+    pub fn flush(&self, dst: NodeId) {
+        let mut buf = self.egress.bufs[dst as usize].lock();
+        self.flush_locked(dst, &mut buf);
+    }
+
+    /// Flush every dirty egress buffer. O(1) when nothing is buffered.
+    pub fn flush_all(&self) {
+        let mut dirty = self.egress.dirty.load(Ordering::Relaxed);
+        while dirty != 0 {
+            let dst = dirty.trailing_zeros() as NodeId;
+            dirty &= dirty - 1;
+            self.flush(dst);
+        }
+    }
+
+    /// Drain one buffer into a wire batch. The buffer lock is held across
+    /// the channel send so two threads of one node can never reorder the
+    /// link (take-buffer / put-on-wire is atomic per destination).
+    fn flush_locked(&self, dst: NodeId, buf: &mut Vec<M>) {
+        self.egress.dirty.fetch_and(!(1 << dst), Ordering::Relaxed);
+        if buf.is_empty() {
+            return;
+        }
+        // `drain` (not `mem::take`) keeps the buffer's capacity, so a
+        // steady-state link allocates only when it genuinely aggregates
+        // (≥ 2 envelopes); the singleton ping-pong path allocates nothing.
+        let survivors = match &self.faults {
+            None if buf.len() == 1 => WirePayload::One(buf.pop().expect("len checked")),
+            None => WirePayload::Many(buf.drain(..).collect()),
+            Some(f) => {
+                // The fault layer sees individual envelopes, exactly as
+                // before batching: the k-th send on a link keeps the k-th
+                // fate from the seeded stream, counters fire per envelope,
+                // a delay holds back everything behind it (preserving
+                // mode) while drops and duplicates act on single
+                // envelopes. Whatever survives goes out as one batch.
+                let mut out = Vec::with_capacity(buf.len());
+                for msg in buf.drain(..) {
+                    f.process(Envelope { src: self.me, dst, msg }, &mut |e| {
+                        debug_assert_eq!(e.dst, dst, "fault layer must not reroute");
+                        out.push(e.msg);
+                    });
+                }
+                match out.len() {
+                    0 => return,
+                    1 => WirePayload::One(out.pop().expect("len checked")),
+                    _ => WirePayload::Many(out),
+                }
+            }
+        };
+        self.send_wire(dst, survivors);
+    }
+
+    fn send_wire(&self, dst: NodeId, msgs: WirePayload<M>) {
+        let n = msgs.len() as u64;
+        if self.txs[dst as usize].send(WireBatch { src: self.me, msgs }).is_err() {
             // The destination endpoint is gone. Legitimate only once the
             // machine has signalled teardown.
-            self.ctl.teardown_drops.fetch_add(1, Ordering::Relaxed);
+            self.ctl.teardown_drops.fetch_add(n, Ordering::Relaxed);
             debug_assert!(
                 self.ctl.is_closing(),
                 "message to node {dst} dropped before teardown was signalled"
             );
+        } else {
+            self.ctl.wire_batches.fetch_add(1, Ordering::Relaxed);
+            self.ctl.wire_msgs.fetch_add(n, Ordering::Relaxed);
         }
     }
 }
@@ -142,26 +354,87 @@ pub enum TryRecv<M> {
 }
 
 /// A node's receiving endpoint plus its sending handle.
+///
+/// Receives are batch-drained: one channel operation moves a whole
+/// [`WireBatch`] into an internal ring, and subsequent `recv`/`try_recv`
+/// calls pop envelopes from the ring without touching the channel.
 pub struct Endpoint<M> {
     /// This endpoint's node id.
     pub me: NodeId,
-    rx: Receiver<Envelope<M>>,
+    rx: Receiver<WireBatch<M>>,
+    ring: Mutex<VecDeque<Envelope<M>>>,
     net: Net<M>,
 }
 
 impl<M: Send> Endpoint<M> {
     /// Block until a message arrives. Returns `None` when the fabric shut
-    /// down (all senders dropped).
+    /// down (all senders dropped). Before actually blocking, flushes this
+    /// node's own egress buffers — the quiescence rule that keeps batching
+    /// deadlock-free (nothing this node produced can be stuck behind a
+    /// partial batch while it sleeps).
     pub fn recv(&self) -> Option<Envelope<M>> {
-        self.rx.recv().ok()
+        if let Some(env) = self.pop_ring() {
+            return Some(env);
+        }
+        loop {
+            match self.rx.try_recv() {
+                Ok(batch) => {
+                    if let Some(env) = self.accept(batch) {
+                        return Some(env);
+                    }
+                }
+                Err(TryRecvError::Disconnected) => return None,
+                Err(TryRecvError::Empty) => {
+                    self.net.flush_all();
+                    match self.rx.recv() {
+                        Ok(batch) => {
+                            if let Some(env) = self.accept(batch) {
+                                return Some(env);
+                            }
+                        }
+                        Err(_) => return None,
+                    }
+                }
+            }
+        }
     }
 
-    /// Non-blocking receive.
+    /// Non-blocking receive: pops the ring first, then at most one channel
+    /// operation. Does *not* flush the egress (it never blocks).
     pub fn try_recv(&self) -> TryRecv<M> {
+        if let Some(env) = self.pop_ring() {
+            return TryRecv::Msg(env);
+        }
         match self.rx.try_recv() {
-            Ok(env) => TryRecv::Msg(env),
+            Ok(batch) => match self.accept(batch) {
+                Some(env) => TryRecv::Msg(env),
+                None => TryRecv::Empty,
+            },
             Err(TryRecvError::Empty) => TryRecv::Empty,
             Err(TryRecvError::Disconnected) => TryRecv::Closed,
+        }
+    }
+
+    fn pop_ring(&self) -> Option<Envelope<M>> {
+        self.ring.lock().pop_front()
+    }
+
+    /// Unpack a wire batch into the ring and pop its first envelope.
+    /// Singletons skip the ring entirely when it is empty (the common
+    /// demand ping-pong case).
+    fn accept(&self, batch: WireBatch<M>) -> Option<Envelope<M>> {
+        let src = batch.src;
+        let mut ring = self.ring.lock();
+        match batch.msgs {
+            WirePayload::One(msg) if ring.is_empty() => Some(Envelope { src, dst: self.me, msg }),
+            WirePayload::One(msg) => {
+                ring.push_back(Envelope { src, dst: self.me, msg });
+                ring.pop_front()
+            }
+            WirePayload::Many(msgs) => {
+                ring.extend(msgs.into_iter().map(|msg| Envelope { src, dst: self.me, msg }));
+                ring.pop_front()
+            }
         }
     }
 
@@ -180,50 +453,78 @@ impl<M: Send> Endpoint<M> {
 pub struct Fabric;
 
 impl Fabric {
-    /// Build the endpoints. Endpoint `i` receives everything addressed to
-    /// node `i`.
+    /// Build the endpoints with the default (env-overridable) batch
+    /// policy. Endpoint `i` receives everything addressed to node `i`.
     #[allow(clippy::new_ret_no_self)]
     pub fn new<M: Send>(n: usize) -> Vec<Endpoint<M>> {
-        Fabric::build(n, None).0
+        Fabric::new_with(n, BatchConfig::default_for_fabric())
+    }
+
+    /// Build the endpoints with an explicit batch policy.
+    pub fn new_with<M: Send>(n: usize, batch: BatchConfig) -> Vec<Endpoint<M>> {
+        Fabric::build(n, None, batch).0
     }
 
     /// Build a fabric whose inter-node links run through the fault layer
-    /// described by `plan`. Also returns the per-link fault counters.
-    pub fn new_faulty<M: Send + Clone>(
+    /// described by `plan`, with the default (env-overridable) batch
+    /// policy. Also returns the per-link fault counters.
+    pub fn new_faulty<M: Send + Clone + 'static>(
         n: usize,
         plan: FaultPlan,
     ) -> (Vec<Endpoint<M>>, Arc<FaultStats>) {
+        Fabric::new_faulty_with(n, plan, BatchConfig::default_for_fabric())
+    }
+
+    /// Build a faulty fabric with an explicit batch policy. The `Clone`
+    /// bound lives here, not on [`Net::send`]: only the duplication fault
+    /// ever clones a payload, so clean fabrics carry non-`Clone` types.
+    pub fn new_faulty_with<M: Send + Clone + 'static>(
+        n: usize,
+        plan: FaultPlan,
+        batch: BatchConfig,
+    ) -> (Vec<Endpoint<M>>, Arc<FaultStats>) {
         let faults = Arc::new(FaultState::new(n, plan));
         let stats = Arc::clone(faults.stats());
-        let (eps, _) = Fabric::build(n, Some(faults));
+        let (eps, _) = Fabric::build(n, Some(faults as Arc<dyn FaultHook<M>>), batch);
         (eps, stats)
     }
 
     fn build<M: Send>(
         n: usize,
-        faults: Option<Arc<FaultState<M>>>,
+        faults: Option<Arc<dyn FaultHook<M>>>,
+        batch: BatchConfig,
     ) -> (Vec<Endpoint<M>>, Arc<FabricCtl>) {
+        assert!(n <= 64, "egress dirty mask caps the fabric at 64 nodes");
         let mut txs = Vec::with_capacity(n);
         let mut rxs = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = unbounded::<Envelope<M>>();
+            let (tx, rx) = unbounded::<WireBatch<M>>();
             txs.push(tx);
             rxs.push(rx);
         }
-        let txs: Arc<[Sender<Envelope<M>>]> = txs.into();
+        let txs: Arc<[Sender<WireBatch<M>>]> = txs.into();
         let ctl = Arc::new(FabricCtl::default());
         let eps = rxs
             .into_iter()
             .enumerate()
-            .map(|(i, rx)| Endpoint {
-                me: i as NodeId,
-                rx,
-                net: Net {
+            .map(|(i, rx)| {
+                let egress = Arc::new(Egress {
+                    bufs: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+                    max: batch.max_batch,
+                    dirty: AtomicU64::new(0),
+                });
+                Endpoint {
                     me: i as NodeId,
-                    txs: Arc::clone(&txs),
-                    ctl: Arc::clone(&ctl),
-                    faults: faults.clone(),
-                },
+                    rx,
+                    ring: Mutex::new(VecDeque::new()),
+                    net: Net {
+                        me: i as NodeId,
+                        txs: Arc::clone(&txs),
+                        ctl: Arc::clone(&ctl),
+                        faults: faults.clone(),
+                        egress,
+                    },
+                }
             })
             .collect();
         (eps, ctl)
@@ -236,11 +537,12 @@ mod tests {
 
     #[test]
     fn point_to_point_fifo() {
-        let eps = Fabric::new::<u32>(2);
+        let eps = Fabric::new_with::<u32>(2, BatchConfig::new(16));
         let (a, b) = (&eps[0], &eps[1]);
         for i in 0..100 {
             a.net().send(1, i);
         }
+        a.net().flush_all();
         for i in 0..100 {
             let env = b.recv().unwrap();
             assert_eq!(env.src, 0);
@@ -250,9 +552,70 @@ mod tests {
 
     #[test]
     fn self_send() {
+        // Self-sends bypass the egress buffer and go straight on the
+        // wire: visible via try_recv (which never flushes) with no
+        // explicit flush — a node can always reach its own handler.
         let eps = Fabric::new::<&'static str>(1);
         eps[0].net().send(0, "hello");
-        assert_eq!(eps[0].recv().unwrap().msg, "hello");
+        assert!(matches!(eps[0].try_recv(), TryRecv::Msg(env) if env.msg == "hello"));
+    }
+
+    #[test]
+    fn non_clone_payloads_on_clean_fabric() {
+        // `Net::send` must not demand `Clone`: only the fault layer clones.
+        struct Token(#[allow(dead_code)] Box<u64>);
+        let eps = Fabric::new::<Token>(2);
+        eps[0].net().send(1, Token(Box::new(7)));
+        eps[0].net().flush_all();
+        assert!(matches!(eps[1].try_recv(), TryRecv::Msg(_)));
+    }
+
+    #[test]
+    fn threshold_forces_flush_without_explicit_call() {
+        let eps = Fabric::new_with::<u32>(2, BatchConfig::new(4));
+        for i in 0..4 {
+            eps[0].net().send(1, i);
+        }
+        // Exactly one wire batch of 4 must already be on the channel.
+        let w = eps[0].ctl().wire();
+        assert_eq!((w.batches, w.envelopes), (1, 4));
+        for i in 0..4 {
+            assert!(matches!(eps[1].try_recv(), TryRecv::Msg(Envelope { msg, .. }) if msg == i));
+        }
+    }
+
+    #[test]
+    fn wire_counters_track_batches_and_occupancy() {
+        let eps = Fabric::new_with::<u32>(2, BatchConfig::new(64));
+        for i in 0..10 {
+            eps[0].net().send(1, i);
+        }
+        eps[0].net().flush_all();
+        eps[0].net().flush_all(); // idempotent: clean buffers send nothing
+        let w = eps[0].ctl().wire();
+        assert_eq!((w.batches, w.envelopes), (1, 10));
+        assert_eq!(w.mean_occupancy(), 10.0);
+    }
+
+    #[test]
+    fn batches_interleave_per_link_fifo_across_sources() {
+        let eps = Fabric::new_with::<u32>(3, BatchConfig::new(8));
+        for i in 0..20 {
+            eps[0].net().send(2, i);
+            eps[1].net().send(2, 100 + i);
+        }
+        eps[0].net().flush_all();
+        eps[1].net().flush_all();
+        let (mut from0, mut from1) = (vec![], vec![]);
+        while let TryRecv::Msg(env) = eps[2].try_recv() {
+            if env.src == 0 {
+                from0.push(env.msg)
+            } else {
+                from1.push(env.msg)
+            }
+        }
+        assert_eq!(from0, (0..20).collect::<Vec<_>>());
+        assert_eq!(from1, (100..120).collect::<Vec<_>>());
     }
 
     #[test]
@@ -265,11 +628,13 @@ mod tests {
             for i in 0..50 {
                 e1.net().send(2, 100 + i);
             }
+            e1.net().flush_all();
         });
         let t0 = std::thread::spawn(move || {
             for i in 0..50 {
                 e0.net().send(2, i);
             }
+            e0.net().flush_all();
         });
         let mut from0 = vec![];
         let mut from1 = vec![];
@@ -293,6 +658,7 @@ mod tests {
         let eps = Fabric::new::<u8>(2);
         assert!(matches!(eps[0].try_recv(), TryRecv::Empty));
         eps[1].net().send(0, 9);
+        eps[1].net().flush_all();
         assert!(matches!(eps[0].try_recv(), TryRecv::Msg(Envelope { msg: 9, .. })));
         assert!(matches!(eps[0].try_recv(), TryRecv::Empty));
         // Every endpoint's net holds all senders, so Closed only shows up
@@ -312,6 +678,7 @@ mod tests {
         net0.ctl().mark_closing();
         drop(e1);
         net0.send(1, 42);
+        net0.flush_all();
         assert_eq!(net0.ctl().teardown_drops(), 1);
         drop(e0);
     }
@@ -323,6 +690,7 @@ mod tests {
         for i in 0..500 {
             eps[0].net().send(1, i);
         }
+        eps[0].net().flush_all();
         let mut got = Vec::new();
         while let TryRecv::Msg(env) = eps[1].try_recv() {
             got.push(env.msg);
@@ -337,12 +705,39 @@ mod tests {
     }
 
     #[test]
+    fn batched_faulty_fabric_same_faults_as_unbatched() {
+        // Same seed, same send sequence: the k-th send on the link draws
+        // the k-th fate regardless of how sends pack into wire batches —
+        // the surviving envelope sequence is bit-identical.
+        let plan = FaultPlan::chaos(0xC0FFEE);
+        let mut runs = Vec::new();
+        for max in [1usize, 4, 16, 64] {
+            let (eps, stats) = Fabric::new_faulty_with::<u32>(2, plan, BatchConfig::new(max));
+            for i in 0..800 {
+                eps[0].net().send(1, i);
+            }
+            eps[0].net().flush_all();
+            let mut got = Vec::new();
+            while let TryRecv::Msg(env) = eps[1].try_recv() {
+                got.push(env.msg);
+            }
+            let s = stats.link(0, 1).snapshot();
+            runs.push((got, (s.delayed, s.duplicated, s.dropped)));
+        }
+        for r in &runs[1..] {
+            assert_eq!(r, &runs[0], "fault fates must not depend on batch size");
+        }
+        assert!(runs[0].1 .0 > 0 && runs[0].1 .2 > 0, "chaos plan must fire: {:?}", runs[0].1);
+    }
+
+    #[test]
     fn faulty_fabric_duplicates_arrive() {
         let plan = FaultPlan::new(13).duplicating(1000); // every message doubled
         let (eps, stats) = Fabric::new_faulty::<u32>(2, plan);
         for i in 0..10 {
             eps[0].net().send(1, i);
         }
+        eps[0].net().flush_all();
         let mut got = Vec::new();
         while let TryRecv::Msg(env) = eps[1].try_recv() {
             got.push(env.msg);
@@ -359,6 +754,7 @@ mod tests {
         for i in 0..50 {
             eps[0].net().send(0, i);
         }
+        eps[0].net().flush_all();
         let mut got = Vec::new();
         while let TryRecv::Msg(env) = eps[0].try_recv() {
             got.push(env.msg);
@@ -374,6 +770,7 @@ mod tests {
         for i in 0..1000 {
             eps[0].net().send(1, i);
         }
+        eps[0].net().flush_all();
         let mut got = Vec::new();
         while let TryRecv::Msg(env) = eps[1].try_recv() {
             got.push(env.msg);

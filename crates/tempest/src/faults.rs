@@ -172,6 +172,23 @@ fn decide(rng: &mut SplitMix64, plan: &FaultPlan) -> Decision {
     }
 }
 
+/// The object-safe face of the fault layer, as the fabric's flush path
+/// sees it. Only [`FaultState`] implements it, and only for `M: Clone` —
+/// the duplication fault must clone payloads — so a clean fabric (no
+/// fault layer installed) places no `Clone` bound on its payload type.
+pub trait FaultHook<M>: Send + Sync {
+    /// Pass one envelope through the layer; `deliver` is invoked for every
+    /// copy that comes out (possibly zero, possibly several including
+    /// releases of previously held messages).
+    fn process(&self, env: Envelope<M>, deliver: &mut dyn FnMut(Envelope<M>));
+}
+
+impl<M: Send + Clone> FaultHook<M> for FaultState<M> {
+    fn process(&self, env: Envelope<M>, deliver: &mut dyn FnMut(Envelope<M>)) {
+        FaultState::process(self, env, deliver)
+    }
+}
+
 /// Mutable per-link state: the decision stream plus held (delayed) traffic.
 struct Link<M> {
     rng: SplitMix64,

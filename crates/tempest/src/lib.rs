@@ -47,13 +47,15 @@ pub mod tag;
 pub use addr::{BlockId, GAddr};
 pub use barrier::VBarrier;
 pub use cost::CostModel;
-pub use fabric::{Endpoint, Fabric, FabricCtl, TryRecv};
-pub use faults::{FaultPlan, FifoMode, SplitMix64};
+pub use fabric::{
+    BatchConfig, Endpoint, Envelope, Fabric, FabricCtl, TryRecv, WireBatch, WirePayload,
+};
+pub use faults::{FaultHook, FaultPlan, FifoMode, SplitMix64};
 pub use layout::GlobalLayout;
 pub use mem::{Fault, MemError, NodeMem};
 pub use nodeset::NodeSet;
 pub use prim::Prim;
-pub use stats::{FaultStats, NodeStats, TimeBreakdown};
+pub use stats::{FaultStats, NodeStats, TimeBreakdown, WireSnapshot};
 pub use tag::Tag;
 
 /// Identifies one node (processor) of the emulated machine.

@@ -316,6 +316,47 @@ impl FaultStats {
     }
 }
 
+/// Wire-level transport counters of one fabric: how many [`WireBatch`]es
+/// crossed the channels and how many envelopes they carried in total
+/// (see [`FabricCtl::wire`]). Mean occupancy — envelopes per batch — is
+/// the aggregation payoff: 1.0 means batching bought nothing.
+///
+/// Unlike the logical traffic counters these numbers depend on thread
+/// timing (how full a buffer happened to be when a flush hit it), so they
+/// are reported for trend-watching but never equality-gated.
+///
+/// [`WireBatch`]: crate::fabric::WireBatch
+/// [`FabricCtl::wire`]: crate::fabric::FabricCtl::wire
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireSnapshot {
+    /// Wire batches put on channels.
+    pub batches: u64,
+    /// Envelopes those batches carried.
+    pub envelopes: u64,
+}
+
+impl WireSnapshot {
+    /// Envelopes per batch (1.0 for an idle fabric, so a no-traffic run
+    /// still reads as "no aggregation win" rather than dividing by zero).
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            1.0
+        } else {
+            self.envelopes as f64 / self.batches as f64
+        }
+    }
+
+    /// Element-wise sum.
+    pub fn merge(&self, o: &WireSnapshot) -> WireSnapshot {
+        WireSnapshot { batches: self.batches + o.batches, envelopes: self.envelopes + o.envelopes }
+    }
+
+    /// Element-wise difference (`self - o`), for before/after deltas.
+    pub fn sub(&self, o: &WireSnapshot) -> WireSnapshot {
+        WireSnapshot { batches: self.batches - o.batches, envelopes: self.envelopes - o.envelopes }
+    }
+}
+
 /// Virtual-time breakdown of one node's execution, mirroring the paper's
 /// stacked bars.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

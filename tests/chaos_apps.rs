@@ -12,7 +12,7 @@ use prescient::apps::barnes::{run_barnes, BarnesConfig};
 use prescient::apps::water::{run_water, WaterConfig};
 use prescient::runtime::MachineConfig;
 use prescient::stache::RetryConfig;
-use prescient::tempest::FaultPlan;
+use prescient::tempest::{BatchConfig, FaultPlan};
 
 const NODES: usize = 8;
 const SEED: u64 = 0xC0FFEE;
@@ -62,6 +62,49 @@ fn barnes_is_bit_identical_under_chaos() {
     let a2 = run_barnes(clean(32), &cfg);
     assert_eq!(blocks_moved(&a), blocks_moved(&a2), "clean barnes traffic must be deterministic");
     assert_eq!(a.checksum, a2.checksum, "clean barnes reruns must be bit-identical");
+}
+
+/// Egress batching must be invisible to applications: the same program on
+/// the same machine, with aggregation forced off (`max_batch = 1`, the
+/// pre-batching wire behavior) and forced on (64), produces bit-identical
+/// results — under chaos too, because the fault layer decides fates
+/// per-envelope per-link regardless of how sends pack into wire batches.
+/// On the clean pairs the logical traffic (blocks moved) is also pinned
+/// equal; chaos runs legitimately retry different amounts.
+#[test]
+fn water_is_bit_identical_with_batching_on_and_off() {
+    let cfg = WaterConfig { n: 48, steps: 3, ..Default::default() };
+    let off = run_water(clean(32).with_batch(BatchConfig::off()), &cfg);
+    let on = run_water(clean(32).with_batch(BatchConfig::new(64)), &cfg);
+    assert_eq!(off.checksum, on.checksum, "batching must not change water's results");
+    assert_eq!(blocks_moved(&off), blocks_moved(&on), "batching must not change water traffic");
+    let c_off = run_water(chaos(32).with_batch(BatchConfig::off()), &cfg);
+    let c_on = run_water(chaos(32).with_batch(BatchConfig::new(64)), &cfg);
+    assert_eq!(c_off.checksum, c_on.checksum, "batching must not change chaos water results");
+    assert_eq!(off.checksum, c_on.checksum, "chaos + batching must match the clean run");
+}
+
+#[test]
+fn barnes_is_bit_identical_with_batching_on_and_off() {
+    let cfg = BarnesConfig { n: 128, steps: 2, ..Default::default() };
+    let off = run_barnes(clean(32).with_batch(BatchConfig::off()), &cfg);
+    let on = run_barnes(clean(32).with_batch(BatchConfig::new(64)), &cfg);
+    assert_eq!(off.checksum, on.checksum, "batching must not change barnes' results");
+    assert_eq!(blocks_moved(&off), blocks_moved(&on), "batching must not change barnes traffic");
+    let c_on = run_barnes(chaos(32).with_batch(BatchConfig::new(64)), &cfg);
+    assert_eq!(off.checksum, c_on.checksum, "chaos + batching must match the clean run");
+}
+
+#[test]
+fn adaptive_is_bit_identical_with_batching_on_and_off() {
+    let cfg = AdaptiveConfig { n: 12, iters: 4, tau: 0.4, max_depth: 2, flush_every: None };
+    let (off, r_off, d_off) = run_adaptive_full(clean(32).with_batch(BatchConfig::off()), &cfg);
+    let (on, r_on, d_on) = run_adaptive_full(clean(32).with_batch(BatchConfig::new(64)), &cfg);
+    assert_eq!(off.checksum, on.checksum, "batching must not change adaptive's results");
+    assert_eq!((r_off, d_off), (r_on, d_on), "refinement must match element-wise");
+    assert_eq!(blocks_moved(&off), blocks_moved(&on), "batching must not change adaptive traffic");
+    let (c_on, ..) = run_adaptive_full(chaos(32).with_batch(BatchConfig::new(64)), &cfg);
+    assert_eq!(off.checksum, c_on.checksum, "chaos + batching must match the clean run");
 }
 
 #[test]
