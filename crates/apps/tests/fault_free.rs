@@ -1,0 +1,45 @@
+//! Fault-free e2e invariant: on a perfect fabric, the predictive
+//! protocol's pre-sends never race a demand fetch — every push either
+//! installs cleanly or is rejected as stale, but `presend_races` (a push
+//! arriving while the target is mid-fetch on the same block) must be
+//! zero for all three evaluation applications. A nonzero count on a
+//! clean fabric means the push-id/epoch handshake regressed.
+
+use prescient_apps::adaptive::{run_adaptive_full, AdaptiveConfig};
+use prescient_apps::barnes::{run_barnes, BarnesConfig};
+use prescient_apps::water::{run_water, WaterConfig};
+use prescient_runtime::MachineConfig;
+
+const NODES: usize = 4;
+const BS: usize = 32;
+
+fn mcfg() -> MachineConfig {
+    MachineConfig::predictive(NODES, BS).validated()
+}
+
+#[test]
+fn water_fault_free_has_no_presend_races() {
+    let cfg = WaterConfig { n: 64, steps: 4, ..Default::default() };
+    let run = run_water(mcfg(), &cfg);
+    let t = run.report.total_stats();
+    assert!(t.presend_blocks_out > 0, "water must pre-send at this scale");
+    assert_eq!(t.presend_races, 0, "clean fabric must not race: {t:?}");
+}
+
+#[test]
+fn barnes_fault_free_has_no_presend_races() {
+    let cfg = BarnesConfig { n: 192, steps: 2, ..Default::default() };
+    let run = run_barnes(mcfg(), &cfg);
+    let t = run.report.total_stats();
+    assert!(t.presend_blocks_out > 0, "barnes must pre-send at this scale");
+    assert_eq!(t.presend_races, 0, "clean fabric must not race: {t:?}");
+}
+
+#[test]
+fn adaptive_fault_free_has_no_presend_races() {
+    let cfg = AdaptiveConfig { n: 12, iters: 4, tau: 0.4, max_depth: 2, flush_every: None };
+    let (run, _, _) = run_adaptive_full(mcfg(), &cfg);
+    let t = run.report.total_stats();
+    assert!(t.presend_blocks_out > 0, "adaptive must pre-send at this scale");
+    assert_eq!(t.presend_races, 0, "clean fabric must not race: {t:?}");
+}

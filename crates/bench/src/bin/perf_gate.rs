@@ -33,9 +33,11 @@ struct Row {
     run: AppRun,
 }
 
-/// One JSON object per app: identity, wall/virtual time, and the traffic
-/// counters the gate watches (blocks moved = demand misses + pre-sent
-/// blocks — the paper's "amount of data moved" metric).
+/// One JSON object per app: identity, then the gated counter lines
+/// spliced verbatim from [`RunReport::gate_counters_json`] — the report
+/// serializer is the single source of truth for the counter schema
+/// (DESIGN.md §8), so the gate cannot drift from it. Timing-dependent
+/// keys (`wall_ms`, `wire_*`) are reported but never equality-gated.
 fn render(rows: &[Row], scale: Scale, block_size: usize) -> String {
     let mut s = String::new();
     writeln!(s, "{{").unwrap();
@@ -45,28 +47,11 @@ fn render(rows: &[Row], scale: Scale, block_size: usize) -> String {
     writeln!(s, "  \"block_size\": {block_size},").unwrap();
     writeln!(s, "  \"apps\": [").unwrap();
     for (i, r) in rows.iter().enumerate() {
-        let t = r.run.report.total_stats();
-        let blocks_moved = t.misses() + t.presend_blocks_out;
-        let bytes_moved = t.data_bytes_in + t.presend_bytes_out;
         writeln!(s, "    {{").unwrap();
         writeln!(s, "      \"app\": \"{}\",", r.app).unwrap();
         writeln!(s, "      \"config\": \"{}\",", r.config).unwrap();
         writeln!(s, "      \"checksum\": \"{:016x}\",", r.run.checksum.to_bits()).unwrap();
-        writeln!(s, "      \"wall_ms\": {},", r.run.report.wall.as_millis()).unwrap();
-        writeln!(s, "      \"vtime_ns\": {},", r.run.report.exec_time_ns()).unwrap();
-        writeln!(s, "      \"msgs\": {},", t.msgs_out).unwrap();
-        writeln!(s, "      \"bytes_moved\": {bytes_moved},").unwrap();
-        writeln!(s, "      \"blocks_moved\": {blocks_moved},").unwrap();
-        writeln!(s, "      \"misses\": {},", t.misses()).unwrap();
-        writeln!(s, "      \"presend_blocks\": {},", t.presend_blocks_out).unwrap();
-        writeln!(s, "      \"presend_useless\": {},", t.presend_useless).unwrap();
-        // Wire-level transport stats: batches on the fabric channels and
-        // envelopes per batch. Timing-dependent (like wall_ms), so CI only
-        // sanity-checks them (batches > 0, occupancy >= 1), never equality.
-        writeln!(s, "      \"wire_batches\": {},", r.run.report.wire.batches).unwrap();
-        writeln!(s, "      \"wire_occupancy\": {:.2},", r.run.report.wire.mean_occupancy())
-            .unwrap();
-        writeln!(s, "      \"local_pct\": {:.2}", r.run.report.local_fraction() * 100.0).unwrap();
+        writeln!(s, "{}", r.run.report.gate_counters_json("      ")).unwrap();
         writeln!(s, "    }}{}", if i + 1 < rows.len() { "," } else { "" }).unwrap();
     }
     writeln!(s, "  ]").unwrap();

@@ -60,6 +60,7 @@ use prescient_stache::hooks::Hooks;
 use prescient_stache::msg::{Msg, UserMsg, Wake};
 use prescient_stache::node::NodeShared;
 use prescient_tempest::tag::Tag;
+use prescient_tempest::trace::{pack_peer_count, EventKind};
 use prescient_tempest::{BlockId, NodeId, NodeSet, NodeStats};
 
 use std::sync::Arc;
@@ -307,6 +308,11 @@ impl Hooks for Predictive {
             sched.record_read(block, requester);
         }
         NodeStats::bump(&node.stats.sched_records);
+        node.tracer().emit(
+            EventKind::SchedRecord,
+            block.0,
+            u64::from(requester) << 1 | u64::from(excl),
+        );
         true
     }
 
@@ -345,6 +351,33 @@ impl Hooks for Predictive {
                 self.state.lock().done_pushes.insert((src, push_id), useless);
                 NodeStats::add(&node.stats.presend_blocks_in, count);
                 NodeStats::add(&node.stats.data_bytes_in, bytes);
+                if node.tracer().on() {
+                    // One install event per contiguous block run of the
+                    // payload: exact per-block install times for the
+                    // lead-time analysis at run, not block, granularity.
+                    let mut run: Option<(u64, u64)> = None; // (first, len)
+                    for (b, _) in msg.blocks.iter() {
+                        run = match run {
+                            Some((first, len)) if b.0 == first + len => Some((first, len + 1)),
+                            Some((first, len)) => {
+                                node.tracer().emit(
+                                    EventKind::PresendInstall,
+                                    first,
+                                    pack_peer_count(src, len),
+                                );
+                                Some((b.0, 1))
+                            }
+                            None => Some((b.0, 1)),
+                        };
+                    }
+                    if let Some((first, len)) = run {
+                        node.tracer().emit(
+                            EventKind::PresendInstall,
+                            first,
+                            pack_peer_count(src, len),
+                        );
+                    }
+                }
                 let mut ack = UserMsg::simple(codes::PRESEND_ACK, push_id);
                 ack.b = useless;
                 node.send(src, Msg::User(ack));

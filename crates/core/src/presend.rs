@@ -43,6 +43,7 @@ use prescient_stache::node::NodeShared;
 
 use prescient_stache::dir::DirState;
 use prescient_tempest::tag::Tag;
+use prescient_tempest::trace::{pack_counts, pack_peer_count, EventKind};
 use prescient_tempest::{NodeId, NodeSet, NodeStats};
 
 use crate::codes;
@@ -79,6 +80,11 @@ fn health_gate(pred: &Predictive, n: &NodeShared, phase: PhaseId) -> bool {
     let st = &mut *guard;
     let h = st.health.entry(phase).or_default();
     h.instances += 1;
+    if h.degraded_until != 0 && h.degraded_until == h.instances {
+        // The backoff just expired: this window runs again and recording
+        // re-arms when the runtime arms the phase.
+        n.tracer().emit(EventKind::Rearm, u64::from(phase), h.instances);
+    }
     if dc.enabled && h.last_pushed > 0 {
         let bad = h.useless * 100 >= u64::from(dc.useless_threshold_pct) * h.last_pushed;
         if bad {
@@ -95,6 +101,8 @@ fn health_gate(pred: &Predictive, n: &NodeShared, phase: PhaseId) -> bool {
         h.degraded_until = h.instances + dc.backoff_instances;
         h.degrade_events += 1;
         NodeStats::bump(&n.stats.degrade_events);
+        n.tracer().emit(EventKind::Degrade, u64::from(phase), h.degraded_until);
+        n.tracer().emit(EventKind::SchedFlush, u64::from(phase), 0);
         st.store.flush(phase);
         st.pushed_by.retain(|_, p| *p != phase);
         return true;
@@ -132,6 +140,7 @@ pub fn presend(
             None => return report,
         }
     };
+    n.tracer().emit(EventKind::SchedReplay, u64::from(phase), runs.len() as u64);
 
     // Pass 1: tear down stale copies (blocking, via the ordinary fault
     // path) and build the push list.
@@ -212,6 +221,11 @@ pub fn presend(
     // block bytes.
     let epoch = pred.epoch();
     let groups = group_pushes(&pushes, pred.cfg.coalesce, pred.cfg.max_bulk_blocks);
+    n.tracer().emit(
+        EventKind::SchedCoalesce,
+        u64::from(phase),
+        pack_counts(pushes.len() as u64, groups.len() as u64),
+    );
     let mut outstanding: HashMap<u64, (NodeId, UserMsg)> = HashMap::new();
     let mut sent: Vec<Push> = Vec::with_capacity(pushes.len());
     let mut aborted = 0u64;
@@ -274,6 +288,7 @@ pub fn presend(
                 node: me,
                 blocks: Arc::clone(&payload),
             };
+            n.tracer().emit(EventKind::PresendPush, id, pack_peer_count(t, payload.len() as u64));
             n.send(t, Msg::User(m.clone()));
             outstanding.insert(id, (t, m));
             report.msgs += 1;
@@ -320,6 +335,11 @@ pub fn presend(
             Ok(other) => panic!("unexpected wake during pre-send ack wait: {other:?}"),
             Err(RecvTimeoutError::Timeout) => {
                 rounds += 1;
+                n.tracer().emit(
+                    EventKind::PresendRetry,
+                    outstanding.len() as u64,
+                    u64::from(rounds),
+                );
                 assert!(
                     rounds <= n.retry.max_retries,
                     "node {me}: {} pre-send pushes unacked after {rounds} rounds (machine wedged)",

@@ -461,7 +461,7 @@ mod tests {
                 for _ in 0..200 {
                     let b = BlockId(rng.next_u64() % 96);
                     let node = (rng.next_u64() % 5) as NodeId;
-                    if rng.next_u64() % 3 == 0 {
+                    if rng.next_u64().is_multiple_of(3) {
                         p.record_write(b, node);
                     } else {
                         p.record_read(b, node);

@@ -2,7 +2,7 @@
 
 use prescient_core::PredictiveConfig;
 use prescient_stache::RetryConfig;
-use prescient_tempest::{BatchConfig, CostModel, FaultPlan};
+use prescient_tempest::{BatchConfig, CostModel, FaultPlan, TraceConfig};
 
 /// Which coherence protocol the machine runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,6 +54,12 @@ pub struct MachineConfig {
     /// matrix forces batching on/off through it), else the fabric default;
     /// [`MachineConfig::with_batch`] pins it explicitly.
     pub batch: BatchConfig,
+    /// Protocol event tracing. Constructors take the `PRESCIENT_TRACE`
+    /// environment override when present (off otherwise — tracing is
+    /// zero-cost when disabled); [`MachineConfig::with_trace`] pins it
+    /// explicitly. On teardown a traced machine exports the merged event
+    /// stream (see `crate::Machine`).
+    pub trace: TraceConfig,
 }
 
 impl MachineConfig {
@@ -68,6 +74,7 @@ impl MachineConfig {
             retry: RetryConfig::default(),
             validate: false,
             batch: BatchConfig::default_for_fabric(),
+            trace: TraceConfig::default_for_machine(),
         }
     }
 
@@ -101,6 +108,12 @@ impl MachineConfig {
     /// environment default).
     pub fn with_batch(mut self, batch: BatchConfig) -> MachineConfig {
         self.batch = batch;
+        self
+    }
+
+    /// Pin the tracing policy (overrides the environment default).
+    pub fn with_trace(mut self, trace: TraceConfig) -> MachineConfig {
+        self.trace = trace;
         self
     }
 }

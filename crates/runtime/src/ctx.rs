@@ -14,6 +14,7 @@ use prescient_core::presend::presend;
 use prescient_core::{PhaseId, Predictive};
 use prescient_stache::engine::fetch;
 use prescient_stache::{NodeShared, Wake};
+use prescient_tempest::trace::{pack_fault_end, EventKind};
 use prescient_tempest::{CostModel, GAddr, NodeId, NodeStats, Prim, TimeBreakdown, VBarrier};
 
 use crate::machine::ReduceScratch;
@@ -29,6 +30,9 @@ pub struct NodeCtx {
     reduce_round: u64,
     cost: CostModel,
     t: TimeBreakdown,
+    /// Phase currently open via `phase_begin` (0 outside any phase);
+    /// trace events are attributed to it.
+    cur_phase: PhaseId,
 }
 
 impl NodeCtx {
@@ -50,6 +54,19 @@ impl NodeCtx {
             reduce_round: 0,
             cost,
             t: TimeBreakdown::default(),
+            cur_phase: 0,
+        }
+    }
+
+    /// Publish the compute thread's virtual clock to the tracer and emit
+    /// one event stamped with it. A no-op (one never-taken branch) when
+    /// tracing is disabled.
+    #[inline]
+    fn trace(&self, kind: EventKind, a: u64, b: u64) {
+        let tr = self.shared.tracer();
+        if tr.on() {
+            tr.set_vtime(self.t.total_ns());
+            tr.emit(kind, a, b);
         }
     }
 
@@ -98,9 +115,26 @@ impl NodeCtx {
         let mut buf = [0u8; 16];
         let buf = &mut buf[..T::BYTES];
         loop {
-            let r = self.shared.mem.lock().read_in_block(addr, buf);
+            // The first-touch probe runs under the same mem lock as the
+            // access, so "unread pre-send copy consumed by this read" is
+            // exact; it is skipped entirely when tracing is off.
+            let (r, first_touch) = {
+                let mut mem = self.shared.mem.lock();
+                let ft = self.shared.tracer().on()
+                    && mem.presend_unused(self.shared.layout.block_of(addr));
+                (mem.read_in_block(addr, buf), ft)
+            };
             match r {
-                Ok(()) => return T::load(buf),
+                Ok(()) => {
+                    if first_touch {
+                        self.trace(
+                            EventKind::PresendFirstTouch,
+                            self.shared.layout.block_of(addr).0,
+                            0,
+                        );
+                    }
+                    return T::load(buf);
+                }
                 // `fault()` panics on a boundary-crossing access, which no
                 // protocol action can repair (a runtime layout bug).
                 Err(e) => self.miss(e.fault().block, false),
@@ -116,15 +150,30 @@ impl NodeCtx {
         let buf = &mut buf[..T::BYTES];
         v.store(buf);
         loop {
-            let r = self.shared.mem.lock().write_in_block(addr, buf);
+            let (r, first_touch) = {
+                let mut mem = self.shared.mem.lock();
+                let ft = self.shared.tracer().on()
+                    && mem.presend_unused(self.shared.layout.block_of(addr));
+                (mem.write_in_block(addr, buf), ft)
+            };
             match r {
-                Ok(()) => return,
+                Ok(()) => {
+                    if first_touch {
+                        self.trace(
+                            EventKind::PresendFirstTouch,
+                            self.shared.layout.block_of(addr).0,
+                            0,
+                        );
+                    }
+                    return;
+                }
                 Err(e) => self.miss(e.fault().block, true),
             }
         }
     }
 
     fn miss(&mut self, block: prescient_tempest::BlockId, excl: bool) {
+        self.trace(EventKind::FaultBegin, block.0, u64::from(excl));
         let info = fetch(&self.shared, &self.wake_rx, block, excl, &mut self.stash);
         if excl {
             NodeStats::bump(&self.shared.stats.write_misses);
@@ -143,6 +192,11 @@ impl NodeCtx {
         // Re-issued requests (lost or late replies on a faulty fabric) are
         // billed on top of the ordinary miss cost.
         self.t.wait_ns += u64::from(info.retries) * self.cost.retry_ns;
+        self.trace(
+            EventKind::FaultEnd,
+            block.0,
+            pack_fault_end(excl, info.extra_hops, info.retries),
+        );
     }
 
     /// Charge `flops` units of application arithmetic to the virtual clock.
@@ -166,8 +220,10 @@ impl NodeCtx {
     /// in a partial batch while every thread waits.
     pub fn barrier(&mut self) {
         self.shared.flush_net();
+        self.trace(EventKind::BarrierEnter, 0, 0);
         let out = self.barrier.wait(self.t.total_ns());
         self.t.synch_ns += out.stall_ns + self.cost.barrier_ns;
+        self.trace(EventKind::BarrierExit, out.stall_ns, 0);
     }
 
     /// Global barrier billed to the pre-send segment (used inside the
@@ -175,8 +231,10 @@ impl NodeCtx {
     /// "Predictive protocol").
     fn barrier_presend(&mut self) {
         self.shared.flush_net();
+        self.trace(EventKind::BarrierEnter, 0, 0);
         let out = self.barrier.wait(self.t.total_ns());
         self.t.presend_ns += out.stall_ns + self.cost.barrier_ns;
+        self.trace(EventKind::BarrierExit, out.stall_ns, 0);
     }
 
     // ----- compiler directives (§4.3) -------------------------------------
@@ -188,10 +246,15 @@ impl NodeCtx {
     ///
     /// Under plain Stache this is a no-op (the unoptimized program).
     pub fn phase_begin(&mut self, phase: PhaseId) {
+        self.cur_phase = phase;
+        self.shared.tracer().set_phase(phase);
+        self.trace(EventKind::PhaseBegin, u64::from(phase), 0);
         let Some(pred) = self.pred.clone() else { return };
         self.barrier_presend();
+        self.trace(EventKind::PresendStart, u64::from(phase), 0);
         let rep = presend(&pred, &self.shared, &self.wake_rx, &mut self.stash, phase);
         self.t.presend_ns += rep.vtime_ns;
+        self.trace(EventKind::PresendEnd, u64::from(phase), rep.blocks_pushed);
         // Arm BEFORE the stability barrier: no compute thread can issue a
         // demand fetch while every node is still inside this directive, and
         // barrier exit then proves every home is recording — a consumer
@@ -218,6 +281,9 @@ impl NodeCtx {
                 self.barrier_presend();
             }
         }
+        self.trace(EventKind::PhaseEnd, u64::from(self.cur_phase), 0);
+        self.cur_phase = 0;
+        self.shared.tracer().set_phase(0);
     }
 
     /// Execute a phase's pre-send *without* arming recording: the
@@ -227,9 +293,13 @@ impl NodeCtx {
     /// an ordinary barrier.
     pub fn presend_only(&mut self, phase: PhaseId) {
         let Some(pred) = self.pred.clone() else { return };
+        self.cur_phase = phase;
+        self.shared.tracer().set_phase(phase);
         self.barrier_presend();
+        self.trace(EventKind::PresendStart, u64::from(phase), 0);
         let rep = presend(&pred, &self.shared, &self.wake_rx, &mut self.stash, phase);
         self.t.presend_ns += rep.vtime_ns;
+        self.trace(EventKind::PresendEnd, u64::from(phase), rep.blocks_pushed);
         self.barrier_presend();
         pred.bump_epoch();
     }
@@ -237,6 +307,7 @@ impl NodeCtx {
     /// Flush one phase's schedule on this node (rebuild policy, §3.3).
     pub fn flush_schedule(&mut self, phase: PhaseId) {
         if let Some(p) = &self.pred {
+            self.trace(EventKind::SchedFlush, u64::from(phase), 0);
             p.flush(phase);
         }
     }

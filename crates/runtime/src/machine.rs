@@ -9,7 +9,8 @@ use parking_lot::Mutex;
 use prescient_core::{AccessTap, Predictive};
 use prescient_stache::{spawn_protocol, Msg, NoHooks, NodeShared, Wake};
 use prescient_tempest::fabric::{Fabric, FabricCtl};
-use prescient_tempest::{FaultStats, GAddr, GlobalLayout, NodeId, VBarrier};
+use prescient_tempest::trace::{merge, to_chrome_json, to_jsonl};
+use prescient_tempest::{FaultStats, GAddr, GlobalLayout, NodeId, TraceEvent, Tracer, VBarrier};
 
 use crate::config::{MachineConfig, ProtocolKind};
 use crate::ctx::NodeCtx;
@@ -45,6 +46,7 @@ pub struct Machine {
     reduce: Arc<ReduceScratch>,
     fault_stats: Option<Arc<FaultStats>>,
     ctl: Arc<FabricCtl>,
+    tracers: Vec<Tracer>,
     joins: Vec<JoinHandle<()>>,
 }
 
@@ -67,7 +69,14 @@ impl Machine {
             _ => (Fabric::new_with::<Msg>(cfg.nodes, cfg.batch), None),
         };
         let ctl = endpoints[0].ctl().clone();
-        for ep in endpoints {
+        let mut tracers = Vec::with_capacity(cfg.nodes);
+        for (i, mut ep) in endpoints.into_iter().enumerate() {
+            // The tracer must land on the endpoint *before* its `Net` is
+            // cloned into `NodeShared` — both the compute and protocol
+            // sides reach the tracer through that clone.
+            let tracer = Tracer::for_node(cfg.trace, i as NodeId);
+            ep.set_tracer(tracer.clone());
+            tracers.push(tracer);
             let (wake_tx, wake_rx) = unbounded();
             let shared = Arc::new(NodeShared::new_with_retry(
                 layout,
@@ -104,8 +113,20 @@ impl Machine {
             }),
             fault_stats,
             ctl,
+            tracers,
             joins,
         }
+    }
+
+    /// Drain every node's trace ring and merge the streams by virtual
+    /// time. Returns the merged events plus the total number of events
+    /// lost to ring wrap-around. Empty when tracing is disabled. Only
+    /// meaningful between runs, when the machine is quiescent; drains are
+    /// non-destructive, so calling this does not disturb the teardown
+    /// export.
+    pub fn trace_events(&self) -> (Vec<TraceEvent>, u64) {
+        let dumps: Vec<_> = self.tracers.iter().filter_map(|t| t.drain()).collect();
+        merge(dumps)
     }
 
     /// The machine's configuration.
@@ -248,6 +269,23 @@ impl Drop for Machine {
         }
         for j in self.joins.drain(..) {
             let _ = j.join();
+        }
+        // With every thread joined the rings are quiescent: export the
+        // merged event stream. `PRESCIENT_TRACE_OUT` overrides the output
+        // basename (default `trace` → `trace.json` + `trace.jsonl`).
+        if self.tracers.iter().any(Tracer::on) {
+            let (events, dropped) = self.trace_events();
+            if dropped > 0 {
+                eprintln!("prescient: trace rings wrapped, {dropped} events lost");
+            }
+            let base = std::env::var("PRESCIENT_TRACE_OUT").unwrap_or_else(|_| "trace".into());
+            let chrome = to_chrome_json(&events);
+            let jsonl = to_jsonl(&events);
+            if let Err(e) = std::fs::write(format!("{base}.json"), chrome)
+                .and_then(|()| std::fs::write(format!("{base}.jsonl"), jsonl))
+            {
+                eprintln!("prescient: trace export to {base}.json[l] failed: {e}");
+            }
         }
     }
 }

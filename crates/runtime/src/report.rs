@@ -60,9 +60,98 @@ impl RunReport {
         self.per_node.iter().fold(StatsSnapshot::default(), |acc, r| acc.merge(&r.stats))
     }
 
+    /// Total bytes moved over the fabric: demand-fetched data plus
+    /// pre-sent data (the paper's "amount of data moved" metric).
+    pub fn bytes_moved(&self) -> u64 {
+        let t = self.total_stats();
+        t.data_bytes_in + t.presend_bytes_out
+    }
+
+    /// Total blocks moved: demand misses plus pre-sent blocks.
+    pub fn blocks_moved(&self) -> u64 {
+        let t = self.total_stats();
+        t.misses() + t.presend_blocks_out
+    }
+
     /// Fraction of shared accesses satisfied locally.
     pub fn local_fraction(&self) -> f64 {
         self.total_stats().local_fraction()
+    }
+
+    /// The run's gated counters as JSON body lines, one key per line,
+    /// each prefixed with `indent`; the last line has no trailing comma.
+    /// This is the single source of truth for the perf gate's schema
+    /// (DESIGN.md §8): `perf_gate` splices these lines verbatim into its
+    /// per-app objects, so the keys CI diffs (`wall_ms`, `vtime_ns`,
+    /// `msgs`, `bytes_moved`, `blocks_moved`, `misses`, `presend_blocks`,
+    /// `presend_useless`, `wire_batches`, `wire_occupancy`, `wire_hist`,
+    /// `local_pct`) are defined here exactly once. `wall_ms`, the `wire_*`
+    /// keys and `wire_hist` are timing-dependent — reported, never
+    /// equality-gated.
+    pub fn gate_counters_json(&self, indent: &str) -> String {
+        use std::fmt::Write as _;
+        let t = self.total_stats();
+        let mut s = String::new();
+        writeln!(s, "{indent}\"wall_ms\": {},", self.wall.as_millis()).unwrap();
+        writeln!(s, "{indent}\"vtime_ns\": {},", self.exec_time_ns()).unwrap();
+        writeln!(s, "{indent}\"msgs\": {},", t.msgs_out).unwrap();
+        writeln!(s, "{indent}\"bytes_moved\": {},", self.bytes_moved()).unwrap();
+        writeln!(s, "{indent}\"blocks_moved\": {},", self.blocks_moved()).unwrap();
+        writeln!(s, "{indent}\"misses\": {},", t.misses()).unwrap();
+        writeln!(s, "{indent}\"presend_blocks\": {},", t.presend_blocks_out).unwrap();
+        writeln!(s, "{indent}\"presend_useless\": {},", t.presend_useless).unwrap();
+        writeln!(s, "{indent}\"wire_batches\": {},", self.wire.batches).unwrap();
+        writeln!(s, "{indent}\"wire_occupancy\": {:.2},", self.wire.mean_occupancy()).unwrap();
+        write!(s, "{indent}\"wire_hist\": {{").unwrap();
+        for (i, n) in self.wire.hist.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            write!(s, "{sep}\"{}\": {n}", WireSnapshot::bucket_label(i)).unwrap();
+        }
+        writeln!(s, "}},").unwrap();
+        write!(s, "{indent}\"local_pct\": {:.2}", self.local_fraction() * 100.0).unwrap();
+        s
+    }
+
+    /// The whole report as a JSON object: the gated counters, the
+    /// machine-wide mean breakdown, every total counter, and the
+    /// per-node breakdowns and counters.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        fn breakdown_json(b: &TimeBreakdown) -> String {
+            format!(
+                "{{\"compute_ns\": {}, \"wait_ns\": {}, \"presend_ns\": {}, \"synch_ns\": {}}}",
+                b.compute_ns, b.wait_ns, b.presend_ns, b.synch_ns
+            )
+        }
+        fn stats_json(st: &StatsSnapshot) -> String {
+            let mut s = String::from("{");
+            for (i, (name, v)) in st.fields().iter().enumerate() {
+                use std::fmt::Write as _;
+                let sep = if i == 0 { "" } else { ", " };
+                write!(s, "{sep}\"{name}\": {v}").unwrap();
+            }
+            s.push('}');
+            s
+        }
+        let mut s = String::new();
+        writeln!(s, "{{").unwrap();
+        // gate_counters_json ends on a comma-free line with no newline;
+        // re-open the key list before appending the rest.
+        writeln!(s, "{},", self.gate_counters_json("  ")).unwrap();
+        writeln!(s, "  \"mean_breakdown\": {},", breakdown_json(&self.mean_breakdown())).unwrap();
+        writeln!(s, "  \"totals\": {},", stats_json(&self.total_stats())).unwrap();
+        writeln!(s, "  \"per_node\": [").unwrap();
+        for (i, r) in self.per_node.iter().enumerate() {
+            writeln!(s, "    {{").unwrap();
+            writeln!(s, "      \"node\": {},", r.node).unwrap();
+            writeln!(s, "      \"breakdown\": {},", breakdown_json(&r.breakdown)).unwrap();
+            writeln!(s, "      \"unused_presends\": {},", r.unused_presends).unwrap();
+            writeln!(s, "      \"stats\": {}", stats_json(&r.stats)).unwrap();
+            writeln!(s, "    }}{}", if i + 1 < self.per_node.len() { "," } else { "" }).unwrap();
+        }
+        writeln!(s, "  ]").unwrap();
+        writeln!(s, "}}").unwrap();
+        s
     }
 
     /// Render the paper-style stacked bar as a one-line summary:
@@ -121,6 +210,36 @@ mod tests {
         assert_eq!(b.wait_ns, 10);
         assert_eq!(b.presend_ns, 3);
         assert_eq!(b.synch_ns, 4);
+    }
+
+    #[test]
+    fn gate_counters_shape() {
+        let r = report(vec![TimeBreakdown {
+            compute_ns: 1_000_000,
+            wait_ns: 0,
+            presend_ns: 0,
+            synch_ns: 0,
+        }]);
+        let j = r.gate_counters_json("      ");
+        assert!(j.starts_with("      \"wall_ms\": "));
+        assert!(j.contains("\"vtime_ns\": 1000000,"));
+        assert!(j.contains("\"wire_hist\": {\"1\": 0, \"2\": 0,"));
+        // Last line: no trailing comma, no trailing newline.
+        assert!(j.ends_with("\"local_pct\": 100.00"));
+    }
+
+    #[test]
+    fn to_json_is_balanced() {
+        let r = report(vec![
+            TimeBreakdown { compute_ns: 10, wait_ns: 20, presend_ns: 2, synch_ns: 0 },
+            TimeBreakdown { compute_ns: 30, wait_ns: 0, presend_ns: 4, synch_ns: 8 },
+        ]);
+        let j = r.to_json();
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(j.contains("\"per_node\": ["));
+        assert!(j.contains("\"sched_records\": 0"));
+        assert!(!j.contains(",\n  ]"), "no trailing comma before array close");
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Property test: across random relaxation shapes (node count, array
+//! length, iteration count), the trace stream always reconciles with the
+//! counter subsystem — every miss opens exactly one fault span, every
+//! span closes, and install events cover every pre-sent block.
+//!
+//! The fixed-shape twin with stricter assertions lives in `trace_e2e.rs`.
+
+use std::time::Duration;
+
+use prescient_runtime::{Agg1D, Dist1D, Machine, MachineConfig, NodeCtx};
+use prescient_stache::RetryConfig;
+use prescient_tempest::trace::unpack_peer_count;
+use prescient_tempest::{EventKind, TraceConfig};
+use proptest::prelude::*;
+
+fn run_and_check(nodes: usize, n: usize, iters: usize) {
+    let mut p = std::env::temp_dir();
+    p.push(format!("prescient_proptest_trace_{}", std::process::id()));
+    std::env::set_var("PRESCIENT_TRACE_OUT", p.to_string_lossy().into_owned());
+
+    let cfg = MachineConfig::predictive(nodes, 32)
+        .with_retry(RetryConfig { timeout: Duration::from_secs(30), max_retries: 4 })
+        .with_trace(TraceConfig::with_capacity(1 << 15));
+    let mut m = Machine::new(cfg);
+    let a = Agg1D::<f64>::new(&m, n, Dist1D::Block);
+    let b = Agg1D::<f64>::new(&m, n, Dist1D::Block);
+    let (_, report) = m.run(|ctx: &mut NodeCtx| {
+        for i in a.my_range(ctx.me()) {
+            ctx.write(a.addr(i), i as f64);
+            ctx.write(b.addr(i), i as f64);
+        }
+        ctx.barrier();
+        for _ in 0..iters {
+            for (phase, src, dst) in [(1u32, &a, &b), (2, &b, &a)] {
+                ctx.phase_begin(phase);
+                for i in src.my_range(ctx.me()) {
+                    let v = if i > 0 && i + 1 < n {
+                        let l: f64 = ctx.read(src.addr(i - 1));
+                        let r: f64 = ctx.read(src.addr(i + 1));
+                        0.5 * (l + r)
+                    } else {
+                        ctx.read(src.addr(i))
+                    };
+                    ctx.write(dst.addr(i), v);
+                }
+                ctx.phase_end();
+            }
+        }
+    });
+
+    let (events, dropped) = m.trace_events();
+    assert_eq!(dropped, 0, "ring must not wrap at this capacity");
+    for nr in &report.per_node {
+        let node = nr.node;
+        let count = |k: EventKind| -> u64 {
+            events.iter().filter(|e| e.node == node && e.kind == k).count() as u64
+        };
+        assert_eq!(count(EventKind::FaultBegin), nr.stats.misses(), "node {node}: fault spans");
+        assert_eq!(count(EventKind::FaultBegin), count(EventKind::FaultEnd), "node {node}");
+        let installed: u64 = events
+            .iter()
+            .filter(|e| e.node == node && e.kind == EventKind::PresendInstall)
+            .map(|e| unpack_peer_count(e.b).1)
+            .sum();
+        assert_eq!(installed, nr.stats.presend_blocks_in, "node {node}: installs");
+        assert_eq!(count(EventKind::SchedRecord), nr.stats.sched_records, "node {node}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Random machine/program shapes keep the trace and the counters in
+    /// exact agreement.
+    #[test]
+    fn trace_reconciles_across_shapes(
+        nodes in 2usize..5,
+        n in 24usize..64,
+        iters in 1usize..4,
+    ) {
+        run_and_check(nodes, n, iters);
+    }
+}

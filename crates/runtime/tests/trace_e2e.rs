@@ -1,0 +1,205 @@
+//! End-to-end tests of protocol event tracing: the trace must reconcile
+//! with the counter subsystem, must not perturb the traced computation,
+//! and must export loadable files at machine teardown.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use prescient_runtime::{Agg1D, Dist1D, Machine, MachineConfig, NodeCtx, RunReport};
+use prescient_stache::RetryConfig;
+use prescient_tempest::trace::unpack_peer_count;
+use prescient_tempest::{EventKind, TraceConfig};
+
+/// Traced machines export files at drop, and the export basename comes
+/// from the process-global `PRESCIENT_TRACE_OUT`; serialize these tests
+/// so exports never interleave.
+static EXPORT_LOCK: Mutex<()> = Mutex::new(());
+
+fn set_out(tag: &str) -> String {
+    let mut p = std::env::temp_dir();
+    p.push(format!("prescient_trace_e2e_{}_{tag}", std::process::id()));
+    let base = p.to_string_lossy().into_owned();
+    std::env::set_var("PRESCIENT_TRACE_OUT", &base);
+    base
+}
+
+const NODES: usize = 4;
+const N: usize = 64;
+const ITERS: usize = 4;
+
+fn base_cfg() -> MachineConfig {
+    // Generous timeout: on a clean fabric a retry can only be host-load
+    // noise, which would perturb the traced event stream.
+    MachineConfig::predictive(NODES, 32)
+        .with_retry(RetryConfig { timeout: Duration::from_secs(30), max_retries: 4 })
+}
+
+fn traced_cfg() -> MachineConfig {
+    base_cfg().with_trace(TraceConfig::with_capacity(1 << 15))
+}
+
+/// Init + double-buffered relaxation + gather in ONE run, so the run
+/// report's counters cover exactly what the trace rings saw.
+fn run_relaxation(cfg: MachineConfig) -> (Vec<f64>, RunReport, Machine) {
+    let mut m = Machine::new(cfg);
+    let a = Agg1D::<f64>::new(&m, N, Dist1D::Block);
+    let b = Agg1D::<f64>::new(&m, N, Dist1D::Block);
+    let (vals, report) = m.run(|ctx: &mut NodeCtx| {
+        for i in a.my_range(ctx.me()) {
+            ctx.write(a.addr(i), i as f64);
+            ctx.write(b.addr(i), i as f64);
+        }
+        ctx.barrier();
+        for _ in 0..ITERS {
+            for (phase, src, dst) in [(1u32, &a, &b), (2, &b, &a)] {
+                ctx.phase_begin(phase);
+                for i in src.my_range(ctx.me()) {
+                    let v = if i > 0 && i + 1 < N {
+                        let l: f64 = ctx.read(src.addr(i - 1));
+                        let r: f64 = ctx.read(src.addr(i + 1));
+                        ctx.work(2);
+                        0.5 * (l + r)
+                    } else {
+                        ctx.read(src.addr(i))
+                    };
+                    ctx.write(dst.addr(i), v);
+                }
+                ctx.phase_end();
+            }
+        }
+        let mut out = Vec::new();
+        if ctx.me() == 0 {
+            for i in 0..N {
+                out.push(ctx.read::<f64>(a.addr(i)));
+            }
+        }
+        ctx.barrier();
+        out
+    });
+    (vals.into_iter().next().expect("node 0 result"), report, m)
+}
+
+#[test]
+fn trace_reconciles_with_counters() {
+    let _g = EXPORT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    set_out("reconcile");
+    let (_, report, m) = run_relaxation(traced_cfg());
+    let (events, dropped) = m.trace_events();
+    assert_eq!(dropped, 0, "ring must not wrap at this capacity");
+    assert!(!events.is_empty(), "traced run must record events");
+    for nr in &report.per_node {
+        let node = nr.node;
+        let count = |k: EventKind| -> u64 {
+            events.iter().filter(|e| e.node == node && e.kind == k).count() as u64
+        };
+        assert_eq!(
+            count(EventKind::FaultBegin),
+            nr.stats.misses(),
+            "node {node}: every miss opens exactly one fault span"
+        );
+        assert_eq!(
+            count(EventKind::FaultBegin),
+            count(EventKind::FaultEnd),
+            "node {node}: the program ends quiescent, so every span closes"
+        );
+        let installed: u64 = events
+            .iter()
+            .filter(|e| e.node == node && e.kind == EventKind::PresendInstall)
+            .map(|e| unpack_peer_count(e.b).1)
+            .sum();
+        assert_eq!(
+            installed, nr.stats.presend_blocks_in,
+            "node {node}: install events cover every pre-sent block"
+        );
+        assert_eq!(
+            count(EventKind::SchedRecord),
+            nr.stats.sched_records,
+            "node {node}: record events match the home-side counter"
+        );
+        assert_eq!(count(EventKind::Retry), nr.stats.retries, "node {node}: retries reconcile");
+    }
+    // Pre-sends must actually flow for the install checks to mean much.
+    assert!(report.total_stats().presend_blocks_in > 0);
+}
+
+#[test]
+fn same_config_runs_trace_identically() {
+    let _g = EXPORT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    set_out("determinism");
+    let (v1, _, m1) = run_relaxation(traced_cfg());
+    let (e1, d1) = m1.trace_events();
+    drop(m1);
+    let (v2, _, m2) = run_relaxation(traced_cfg());
+    let (e2, d2) = m2.trace_events();
+    assert_eq!(v1, v2, "results must be bit-identical");
+    assert_eq!((d1, d2), (0, 0));
+    // Directive-level events are fully deterministic: same multiset of
+    // (node, kind, phase, a) across runs. (Wire, retry, and fault-layer
+    // events are timing-dependent; demand/pre-send interleavings are
+    // deterministic only in aggregate — checked below.)
+    let stable = |evs: &[prescient_tempest::TraceEvent]| {
+        let mut v: Vec<(u16, u8, u32, u64)> = evs
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::PhaseBegin
+                        | EventKind::PhaseEnd
+                        | EventKind::PresendStart
+                        | EventKind::BarrierEnter
+                )
+            })
+            .map(|e| (e.node, e.kind as u8, e.phase, e.a))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(stable(&e1), stable(&e2), "directive event multisets must match");
+    // The blocks-moved aggregate (faults + pre-sent blocks) is the
+    // deterministic quantity the perf gate also pins.
+    let moved = |evs: &[prescient_tempest::TraceEvent]| -> u64 {
+        let faults = evs.iter().filter(|e| e.kind == EventKind::FaultBegin).count() as u64;
+        let installed: u64 = evs
+            .iter()
+            .filter(|e| e.kind == EventKind::PresendInstall)
+            .map(|e| unpack_peer_count(e.b).1)
+            .sum();
+        faults + installed
+    };
+    assert_eq!(moved(&e1), moved(&e2), "traced blocks-moved must match");
+}
+
+#[test]
+fn tracing_does_not_perturb_the_run() {
+    let _g = EXPORT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    set_out("perturb");
+    let (v_off, r_off, m_off) = run_relaxation(base_cfg().with_trace(TraceConfig::off()));
+    assert_eq!(m_off.trace_events().0.len(), 0, "disabled tracer records nothing");
+    drop(m_off);
+    let (v_on, r_on, _m_on) = run_relaxation(traced_cfg());
+    assert_eq!(v_off, v_on, "tracing must not change results");
+    let moved = |r: &RunReport| {
+        let t = r.total_stats();
+        t.misses() + t.presend_blocks_out
+    };
+    assert_eq!(moved(&r_off), moved(&r_on), "tracing must not change data movement");
+}
+
+#[test]
+fn teardown_exports_loadable_files() {
+    let _g = EXPORT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let base = set_out("export");
+    let (_, _, m) = run_relaxation(traced_cfg());
+    drop(m);
+    let jsonl = std::fs::read_to_string(format!("{base}.jsonl")).expect("jsonl exported");
+    let chrome = std::fs::read_to_string(format!("{base}.json")).expect("chrome json exported");
+    assert!(jsonl.lines().count() > 100, "paper-style run must trace many events");
+    let first = jsonl.lines().next().expect("non-empty");
+    assert!(first.starts_with("{\"node\":") && first.ends_with('}'), "flat JSONL: {first}");
+    assert!(chrome.starts_with("{\"displayTimeUnit\""));
+    assert_eq!(chrome.matches('{').count(), chrome.matches('}').count());
+    assert_eq!(chrome.matches('[').count(), chrome.matches(']').count());
+    assert!(chrome.contains("\"ph\":\"X\",\"name\":\"PhaseBegin\""), "phases render as spans");
+    let _ = std::fs::remove_file(format!("{base}.jsonl"));
+    let _ = std::fs::remove_file(format!("{base}.json"));
+}

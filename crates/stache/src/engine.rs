@@ -638,6 +638,11 @@ pub fn fetch(
                 Ok(w @ Wake::User { .. }) => stash.push(w),
                 Err(RecvTimeoutError::Timeout) => {
                     retries += 1;
+                    n.tracer().emit(
+                        prescient_tempest::trace::EventKind::Retry,
+                        block.0,
+                        u64::from(retries),
+                    );
                     assert!(
                         retries <= n.retry.max_retries,
                         "node {}: no grant for {:?} after {} retries (machine wedged)",

@@ -120,6 +120,59 @@ pub enum Msg {
     Shutdown,
 }
 
+impl Msg {
+    /// Stable small code of this message's kind, as carried by
+    /// `MsgSend`/`MsgRecv` trace events (and decoded by the
+    /// `prescient-trace` analyzer via [`Msg::kind_name`]).
+    pub fn kind_code(&self) -> u16 {
+        match self {
+            Msg::GetShared { .. } => 1,
+            Msg::GetExcl { .. } => 2,
+            Msg::Recall { .. } => 3,
+            Msg::RecallData { .. } => 4,
+            Msg::Invalidate { .. } => 5,
+            Msg::InvalAck { .. } => 6,
+            Msg::Grant { .. } => 7,
+            Msg::User(_) => 8,
+            Msg::Shutdown => 9,
+        }
+    }
+
+    /// Stable name of a kind code (the inverse of [`Msg::kind_code`];
+    /// unknown codes decode as `"?"`).
+    pub fn kind_name(code: u16) -> &'static str {
+        match code {
+            1 => "GetShared",
+            2 => "GetExcl",
+            3 => "Recall",
+            4 => "RecallData",
+            5 => "Invalidate",
+            6 => "InvalAck",
+            7 => "Grant",
+            8 => "User",
+            9 => "Shutdown",
+            _ => "?",
+        }
+    }
+
+    /// The message-specific scalar a `MsgSend`/`MsgRecv` trace event
+    /// carries as its second argument: the block for coherence traffic,
+    /// the extension scalar (e.g. a push id) for user messages.
+    pub fn trace_aux(&self) -> u64 {
+        match self {
+            Msg::GetShared { block, .. }
+            | Msg::GetExcl { block, .. }
+            | Msg::Recall { block, .. }
+            | Msg::RecallData { block, .. }
+            | Msg::Invalidate { block, .. }
+            | Msg::InvalAck { block, .. }
+            | Msg::Grant { block, .. } => block.0,
+            Msg::User(u) => u.a,
+            Msg::Shutdown => 0,
+        }
+    }
+}
+
 /// Payload of an extension message. The base protocol routes these to the
 /// installed [`crate::hooks::Hooks`] without interpreting them.
 #[derive(Debug, Clone)]

@@ -19,6 +19,7 @@ use std::time::Duration;
 use crossbeam::channel::Sender;
 use parking_lot::Mutex;
 use prescient_tempest::fabric::{Endpoint, Net};
+use prescient_tempest::trace::{pack_msg, EventKind, Tracer};
 use prescient_tempest::{BlockId, CostModel, GlobalLayout, NodeId, NodeMem, NodeStats};
 
 use crate::dir::Directory;
@@ -156,7 +157,14 @@ impl NodeShared {
     /// itself flushes automatically before blocking on an empty inbox).
     pub fn send(&self, dst: NodeId, msg: Msg) {
         NodeStats::bump(&self.stats.msgs_out);
+        self.net.tracer().emit(EventKind::MsgSend, pack_msg(msg.kind_code(), dst), msg.trace_aux());
         self.net.send(dst, msg);
+    }
+
+    /// This node's tracing handle (the one its fabric endpoint carries;
+    /// disabled unless the machine layer installed a live tracer).
+    pub fn tracer(&self) -> &Tracer {
+        self.net.tracer()
     }
 
     /// Push every buffered outgoing message onto the wire (see
@@ -199,6 +207,11 @@ pub fn spawn_protocol(
         .spawn(move || {
             let engine = Engine::new(hooks);
             while let Some(env) = endpoint.recv() {
+                shared.tracer().emit(
+                    EventKind::MsgRecv,
+                    pack_msg(env.msg.kind_code(), env.src),
+                    env.msg.trace_aux(),
+                );
                 if !engine.handle(&shared, env.src, env.msg) {
                     break;
                 }

@@ -47,6 +47,7 @@ use parking_lot::Mutex;
 
 use crate::faults::{FaultHook, FaultPlan, FaultState};
 use crate::stats::{FaultStats, WireSnapshot};
+use crate::trace::{pack_peer_count, EventKind, Tracer};
 use crate::NodeId;
 
 /// One in-flight message.
@@ -66,6 +67,9 @@ pub struct Envelope<M> {
 pub struct WireBatch<M> {
     /// The node all payloads were sent by.
     pub src: NodeId,
+    /// Fabric-unique batch id (monotonic over the fabric's lifetime), so a
+    /// trace can correlate each flush with the drain that consumed it.
+    pub id: u64,
     /// The payloads, in per-link FIFO order.
     pub msgs: WirePayload<M>,
 }
@@ -164,6 +168,13 @@ pub struct FabricCtl {
     teardown_drops: AtomicU64,
     wire_batches: AtomicU64,
     wire_msgs: AtomicU64,
+    /// Occupancy histogram of successful batches (same buckets as
+    /// [`WireSnapshot::BUCKETS`]).
+    wire_hist: [AtomicU64; WireSnapshot::NUM_BUCKETS],
+    /// Batch-id source. Separate from `wire_batches`, which only counts
+    /// *successful* sends: ids are claimed before the channel send so a
+    /// teardown drop burns its id rather than reusing it.
+    batch_seq: AtomicU64,
 }
 
 impl FabricCtl {
@@ -189,9 +200,14 @@ impl FabricCtl {
     /// these depend on thread timing (how full a buffer was when a flush
     /// hit it), so they are reported but never equality-gated.
     pub fn wire(&self) -> WireSnapshot {
+        let mut hist = [0u64; WireSnapshot::NUM_BUCKETS];
+        for (h, c) in hist.iter_mut().zip(&self.wire_hist) {
+            *h = c.load(Ordering::Relaxed);
+        }
         WireSnapshot {
             batches: self.wire_batches.load(Ordering::Relaxed),
             envelopes: self.wire_msgs.load(Ordering::Relaxed),
+            hist,
         }
     }
 }
@@ -215,6 +231,7 @@ pub struct Net<M> {
     ctl: Arc<FabricCtl>,
     faults: Option<Arc<dyn FaultHook<M>>>,
     egress: Arc<Egress<M>>,
+    tracer: Tracer,
 }
 
 impl<M> Clone for Net<M> {
@@ -225,6 +242,7 @@ impl<M> Clone for Net<M> {
             ctl: Arc::clone(&self.ctl),
             faults: self.faults.clone(),
             egress: Arc::clone(&self.egress),
+            tracer: self.tracer.clone(),
         }
     }
 }
@@ -243,6 +261,12 @@ impl<M: Send> Net<M> {
     /// The fabric's shared teardown state.
     pub fn ctl(&self) -> &Arc<FabricCtl> {
         &self.ctl
+    }
+
+    /// This node's tracing handle (the disabled handle unless the machine
+    /// layer installed one via [`Endpoint::set_tracer`]).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Queue `msg` for `dst` (self-sends are allowed and used by the
@@ -298,6 +322,7 @@ impl<M: Send> Net<M> {
         // (≥ 2 envelopes); the singleton ping-pong path allocates nothing.
         let survivors = match &self.faults {
             None if buf.len() == 1 => WirePayload::One(buf.pop().expect("len checked")),
+            #[allow(clippy::drain_collect)] // mem::take would surrender the capacity
             None => WirePayload::Many(buf.drain(..).collect()),
             Some(f) => {
                 // The fault layer sees individual envelopes, exactly as
@@ -308,7 +333,7 @@ impl<M: Send> Net<M> {
                 // envelopes. Whatever survives goes out as one batch.
                 let mut out = Vec::with_capacity(buf.len());
                 for msg in buf.drain(..) {
-                    f.process(Envelope { src: self.me, dst, msg }, &mut |e| {
+                    f.process(Envelope { src: self.me, dst, msg }, &self.tracer, &mut |e| {
                         debug_assert_eq!(e.dst, dst, "fault layer must not reroute");
                         out.push(e.msg);
                     });
@@ -325,7 +350,8 @@ impl<M: Send> Net<M> {
 
     fn send_wire(&self, dst: NodeId, msgs: WirePayload<M>) {
         let n = msgs.len() as u64;
-        if self.txs[dst as usize].send(WireBatch { src: self.me, msgs }).is_err() {
+        let id = self.ctl.batch_seq.fetch_add(1, Ordering::Relaxed);
+        if self.txs[dst as usize].send(WireBatch { src: self.me, id, msgs }).is_err() {
             // The destination endpoint is gone. Legitimate only once the
             // machine has signalled teardown.
             self.ctl.teardown_drops.fetch_add(n, Ordering::Relaxed);
@@ -336,6 +362,8 @@ impl<M: Send> Net<M> {
         } else {
             self.ctl.wire_batches.fetch_add(1, Ordering::Relaxed);
             self.ctl.wire_msgs.fetch_add(n, Ordering::Relaxed);
+            self.ctl.wire_hist[WireSnapshot::bucket_index(n)].fetch_add(1, Ordering::Relaxed);
+            self.tracer.emit(EventKind::WireFlush, pack_peer_count(dst, n), id);
         }
     }
 }
@@ -424,6 +452,11 @@ impl<M: Send> Endpoint<M> {
     /// demand ping-pong case).
     fn accept(&self, batch: WireBatch<M>) -> Option<Envelope<M>> {
         let src = batch.src;
+        self.net.tracer.emit(
+            EventKind::WireRecv,
+            pack_peer_count(src, batch.msgs.len() as u64),
+            batch.id,
+        );
         let mut ring = self.ring.lock();
         match batch.msgs {
             WirePayload::One(msg) if ring.is_empty() => Some(Envelope { src, dst: self.me, msg }),
@@ -441,6 +474,13 @@ impl<M: Send> Endpoint<M> {
     /// The sending handle for this node.
     pub fn net(&self) -> &Net<M> {
         &self.net
+    }
+
+    /// Install this node's tracing handle. Must run before [`Endpoint::net`]
+    /// is cloned into the protocol layer — clones taken earlier keep the
+    /// handle they were built with (the disabled one).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.net.tracer = tracer;
     }
 
     /// The fabric's shared teardown state.
@@ -523,6 +563,7 @@ impl Fabric {
                         ctl: Arc::clone(&ctl),
                         faults: faults.clone(),
                         egress,
+                        tracer: Tracer::off(),
                     },
                 }
             })

@@ -38,6 +38,16 @@ use parking_lot::Mutex;
 
 use crate::fabric::Envelope;
 use crate::stats::FaultStats;
+use crate::trace::{pack_counts, EventKind, Tracer};
+
+/// Fate code a [`EventKind::FaultInject`] trace event carries: delayed.
+pub const FATE_DELAY: u64 = 1;
+/// Fate code: duplicated.
+pub const FATE_DUP: u64 = 2;
+/// Fate code: dropped.
+pub const FATE_DROP: u64 = 3;
+/// Fate code: a previously held message was released.
+pub const FATE_RELEASE: u64 = 4;
 
 /// A small, fast, seedable PRNG (SplitMix64). Used instead of an external
 /// RNG crate so fault schedules are stable across toolchains and the fabric
@@ -179,13 +189,15 @@ fn decide(rng: &mut SplitMix64, plan: &FaultPlan) -> Decision {
 pub trait FaultHook<M>: Send + Sync {
     /// Pass one envelope through the layer; `deliver` is invoked for every
     /// copy that comes out (possibly zero, possibly several including
-    /// releases of previously held messages).
-    fn process(&self, env: Envelope<M>, deliver: &mut dyn FnMut(Envelope<M>));
+    /// releases of previously held messages). `tracer` is the sending
+    /// node's tracing handle; injected fates are emitted on it as
+    /// [`EventKind::FaultInject`] events.
+    fn process(&self, env: Envelope<M>, tracer: &Tracer, deliver: &mut dyn FnMut(Envelope<M>));
 }
 
 impl<M: Send + Clone> FaultHook<M> for FaultState<M> {
-    fn process(&self, env: Envelope<M>, deliver: &mut dyn FnMut(Envelope<M>)) {
-        FaultState::process(self, env, deliver)
+    fn process(&self, env: Envelope<M>, tracer: &Tracer, deliver: &mut dyn FnMut(Envelope<M>)) {
+        FaultState::process(self, env, tracer, deliver)
     }
 }
 
@@ -242,20 +254,31 @@ impl<M: Clone> FaultState<M> {
     /// Pass one envelope through the fault layer. `deliver` is invoked for
     /// every copy that comes out (possibly zero, possibly several including
     /// releases of previously held messages). Called with the link lock
-    /// held, so per-link delivery order is atomic.
-    pub fn process(&self, env: Envelope<M>, deliver: &mut dyn FnMut(Envelope<M>)) {
+    /// held, so per-link delivery order is atomic. Injected fates (and
+    /// releases of held traffic) are emitted on `tracer` — the sending
+    /// node's handle — as [`EventKind::FaultInject`] events.
+    pub fn process(&self, env: Envelope<M>, tracer: &Tracer, deliver: &mut dyn FnMut(Envelope<M>)) {
         if env.src == env.dst {
             deliver(env); // local hand-off, never faulted
             return;
         }
-        let idx = env.src as usize * self.n + env.dst as usize;
-        let lf = self.stats.link(env.src, env.dst);
+        let dst = env.dst;
+        let idx = env.src as usize * self.n + dst as usize;
+        let lf = self.stats.link(env.src, dst);
         let mut l = self.links[idx].lock();
         l.events += 1;
         match decide(&mut l.rng, &self.plan) {
-            Decision::Drop => lf.count_dropped(),
+            Decision::Drop => {
+                lf.count_dropped();
+                tracer.emit(EventKind::FaultInject, u64::from(dst), pack_counts(FATE_DROP, 0));
+            }
             Decision::Delay(k) => {
                 lf.count_delayed();
+                tracer.emit(
+                    EventKind::FaultInject,
+                    u64::from(dst),
+                    pack_counts(FATE_DELAY, u64::from(k)),
+                );
                 let release = l.events + u64::from(k);
                 match self.plan.fifo {
                     FifoMode::Preserving => {
@@ -269,6 +292,7 @@ impl<M: Clone> FaultState<M> {
                 let dup = d == Decision::Duplicate;
                 if dup {
                     lf.count_duplicated();
+                    tracer.emit(EventKind::FaultInject, u64::from(dst), pack_counts(FATE_DUP, 0));
                 }
                 // While the link is stalled in FIFO-preserving mode, even
                 // undelayed messages must queue behind the held ones.
@@ -287,11 +311,13 @@ impl<M: Clone> FaultState<M> {
             }
         }
         // Release whatever is due.
+        let mut released = 0u64;
         match self.plan.fifo {
             FifoMode::Preserving => {
                 if l.events >= l.stall_until {
                     while let Some((_, e)) = l.held.pop_front() {
                         lf.count_released();
+                        released += 1;
                         deliver(e);
                     }
                 }
@@ -302,12 +328,20 @@ impl<M: Clone> FaultState<M> {
                     if l.held[i].0 <= l.events {
                         let (_, e) = l.held.remove(i).expect("index in bounds");
                         lf.count_released();
+                        released += 1;
                         deliver(e);
                     } else {
                         i += 1;
                     }
                 }
             }
+        }
+        if released > 0 {
+            tracer.emit(
+                EventKind::FaultInject,
+                u64::from(dst),
+                pack_counts(FATE_RELEASE, released),
+            );
         }
     }
 }
@@ -324,7 +358,7 @@ mod tests {
         let fs = FaultState::new(2, plan);
         let mut out = Vec::new();
         for i in 0..count {
-            fs.process(env(0, 1, i), &mut |e| out.push(e.msg));
+            fs.process(env(0, 1, i), &Tracer::off(), &mut |e| out.push(e.msg));
         }
         out
     }
@@ -379,7 +413,7 @@ mod tests {
         let fs = FaultState::new(2, plan);
         let mut out = Vec::new();
         for i in 0..1000 {
-            fs.process(env(0, 1, i), &mut |e| out.push(e.msg));
+            fs.process(env(0, 1, i), &Tracer::off(), &mut |e| out.push(e.msg));
         }
         let dropped = fs.stats().link(0, 1).snapshot().dropped;
         assert!(dropped > 300, "a 50% drop rate must drop plenty, got {dropped}");
@@ -391,7 +425,7 @@ mod tests {
         let fs = FaultState::new(2, FaultPlan::new(3).dropping(1000));
         let mut out = Vec::new();
         for i in 0..100 {
-            fs.process(env(1, 1, i), &mut |e| out.push(e.msg));
+            fs.process(env(1, 1, i), &Tracer::off(), &mut |e| out.push(e.msg));
         }
         assert_eq!(out.len(), 100);
         assert_eq!(fs.stats().total().dropped, 0);
@@ -403,14 +437,14 @@ mod tests {
         let fs = FaultState::new(2, plan);
         let mut out = Vec::new();
         for i in 0..200 {
-            fs.process(env(0, 1, i), &mut |e| out.push(e.msg));
+            fs.process(env(0, 1, i), &Tracer::off(), &mut |e| out.push(e.msg));
         }
         let s = fs.stats().link(0, 1).snapshot();
         assert!(s.delayed > 0);
         // Everything delayed so far has either been released or is still
         // held awaiting further traffic; pushing more traffic flushes it.
         for i in 200..400 {
-            fs.process(env(0, 1, i), &mut |e| out.push(e.msg));
+            fs.process(env(0, 1, i), &Tracer::off(), &mut |e| out.push(e.msg));
         }
         let s = fs.stats().link(0, 1).snapshot();
         assert!(s.released >= s.delayed.saturating_sub(3), "stalls must flush under traffic");

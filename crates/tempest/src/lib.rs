@@ -43,6 +43,7 @@ pub mod nodeset;
 pub mod prim;
 pub mod stats;
 pub mod tag;
+pub mod trace;
 
 pub use addr::{BlockId, GAddr};
 pub use barrier::VBarrier;
@@ -57,6 +58,7 @@ pub use nodeset::NodeSet;
 pub use prim::Prim;
 pub use stats::{FaultStats, NodeStats, TimeBreakdown, WireSnapshot};
 pub use tag::Tag;
+pub use trace::{EventKind, TraceConfig, TraceDump, TraceEvent, Tracer};
 
 /// Identifies one node (processor) of the emulated machine.
 ///

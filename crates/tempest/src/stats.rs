@@ -210,6 +210,39 @@ impl StatsSnapshot {
         }
     }
 
+    /// Every counter as a `(name, value)` pair, in declaration order.
+    /// Serializers (the run-report JSON, the trace analyzer) iterate this
+    /// instead of hand-listing fields, so a new counter shows up
+    /// everywhere by editing `NodeStats` + this table only.
+    pub fn fields(&self) -> [(&'static str, u64); 24] {
+        [
+            ("reads", self.reads),
+            ("writes", self.writes),
+            ("read_misses", self.read_misses),
+            ("write_misses", self.write_misses),
+            ("slow_misses", self.slow_misses),
+            ("invals_in", self.invals_in),
+            ("recalls_in", self.recalls_in),
+            ("msgs_out", self.msgs_out),
+            ("presend_blocks_out", self.presend_blocks_out),
+            ("presend_msgs_out", self.presend_msgs_out),
+            ("presend_bytes_out", self.presend_bytes_out),
+            ("presend_blocks_in", self.presend_blocks_in),
+            ("sched_records", self.sched_records),
+            ("presend_races", self.presend_races),
+            ("retries", self.retries),
+            ("presend_retries", self.presend_retries),
+            ("dup_reqs_in", self.dup_reqs_in),
+            ("stale_msgs_in", self.stale_msgs_in),
+            ("stale_grants_in", self.stale_grants_in),
+            ("presend_stale_in", self.presend_stale_in),
+            ("presend_aborted", self.presend_aborted),
+            ("data_bytes_in", self.data_bytes_in),
+            ("presend_useless", self.presend_useless),
+            ("degrade_events", self.degrade_events),
+        ]
+    }
+
     /// Element-wise sum, for machine-wide totals.
     pub fn merge(&self, o: &StatsSnapshot) -> StatsSnapshot {
         per_field!(self, o, +)
@@ -333,9 +366,30 @@ pub struct WireSnapshot {
     pub batches: u64,
     /// Envelopes those batches carried.
     pub envelopes: u64,
+    /// Occupancy histogram: batches bucketed by envelope count. Bucket
+    /// edges are [`WireSnapshot::BUCKETS`]; the last bucket is open-ended.
+    pub hist: [u64; WireSnapshot::NUM_BUCKETS],
 }
 
 impl WireSnapshot {
+    /// Number of occupancy buckets.
+    pub const NUM_BUCKETS: usize = 8;
+
+    /// Upper edge (inclusive) of each occupancy bucket: a batch of `n`
+    /// envelopes lands in the first bucket with edge ≥ `n`; larger batches
+    /// land in the open-ended last bucket ("65+").
+    pub const BUCKETS: [u64; WireSnapshot::NUM_BUCKETS] = [1, 2, 4, 8, 16, 32, 64, u64::MAX];
+
+    /// Human label of a bucket, for reports.
+    pub fn bucket_label(i: usize) -> &'static str {
+        ["1", "2", "3-4", "5-8", "9-16", "17-32", "33-64", "65+"][i]
+    }
+
+    /// Index of the bucket a batch of `n` envelopes falls into.
+    pub fn bucket_index(n: u64) -> usize {
+        Self::BUCKETS.iter().position(|&edge| n <= edge).unwrap_or(Self::NUM_BUCKETS - 1)
+    }
+
     /// Envelopes per batch (1.0 for an idle fabric, so a no-traffic run
     /// still reads as "no aggregation win" rather than dividing by zero).
     pub fn mean_occupancy(&self) -> f64 {
@@ -348,12 +402,28 @@ impl WireSnapshot {
 
     /// Element-wise sum.
     pub fn merge(&self, o: &WireSnapshot) -> WireSnapshot {
-        WireSnapshot { batches: self.batches + o.batches, envelopes: self.envelopes + o.envelopes }
+        let mut hist = self.hist;
+        for (h, x) in hist.iter_mut().zip(o.hist) {
+            *h += x;
+        }
+        WireSnapshot {
+            batches: self.batches + o.batches,
+            envelopes: self.envelopes + o.envelopes,
+            hist,
+        }
     }
 
     /// Element-wise difference (`self - o`), for before/after deltas.
     pub fn sub(&self, o: &WireSnapshot) -> WireSnapshot {
-        WireSnapshot { batches: self.batches - o.batches, envelopes: self.envelopes - o.envelopes }
+        let mut hist = self.hist;
+        for (h, x) in hist.iter_mut().zip(o.hist) {
+            *h -= x;
+        }
+        WireSnapshot {
+            batches: self.batches - o.batches,
+            envelopes: self.envelopes - o.envelopes,
+            hist,
+        }
     }
 }
 
@@ -448,6 +518,25 @@ mod tests {
         assert_eq!(f.link(1, 0).snapshot().dropped, 0);
         let t = f.total();
         assert_eq!((t.dropped, t.delayed), (2, 1));
+    }
+
+    #[test]
+    fn wire_occupancy_buckets() {
+        assert_eq!(WireSnapshot::bucket_index(1), 0);
+        assert_eq!(WireSnapshot::bucket_index(2), 1);
+        assert_eq!(WireSnapshot::bucket_index(3), 2);
+        assert_eq!(WireSnapshot::bucket_index(4), 2);
+        assert_eq!(WireSnapshot::bucket_index(5), 3);
+        assert_eq!(WireSnapshot::bucket_index(16), 4);
+        assert_eq!(WireSnapshot::bucket_index(64), 6);
+        assert_eq!(WireSnapshot::bucket_index(65), 7);
+        assert_eq!(WireSnapshot::bucket_index(1_000_000), 7);
+        let mut a = WireSnapshot { batches: 2, envelopes: 5, hist: [0; 8] };
+        a.hist[0] = 1;
+        a.hist[2] = 1;
+        let sum = a.merge(&a);
+        assert_eq!(sum.hist[0], 2);
+        assert_eq!(sum.sub(&a), a);
     }
 
     #[test]

@@ -1,0 +1,861 @@
+//! Protocol event tracing: per-node virtual-time-stamped trace rings.
+//!
+//! The paper's whole argument rests on *seeing* protocol behavior —
+//! Figures 5–7 decompose execution time, §5.2–§5.4 reason about per-phase
+//! schedule build/replay dynamics. Cumulative counters ([`crate::stats`])
+//! answer "how much"; this module answers "when": every interesting
+//! protocol event (fault begin/end, message send/receive, pre-send
+//! push/install, schedule record/flush/coalesce, degradation transitions,
+//! retries, barrier crossings, wire batches) can be recorded as a compact
+//! [`TraceEvent`], stamped with the node's **virtual time**, current phase
+//! id, and node id.
+//!
+//! # Design
+//!
+//! * **One fixed-capacity ring per node** ([`TraceRing`]): a power-of-two
+//!   array of 5-word slots written lock-free (slots are claimed with one
+//!   `fetch_add`; at most the node's two threads — compute and protocol
+//!   handler — ever write). When the ring wraps, the oldest events are
+//!   overwritten and counted as dropped; tracing is a flight recorder, not
+//!   a reliable log.
+//! * **Zero-cost when disabled**: the [`Tracer`] handle is an
+//!   `Option`-like wrapper; every emission site is one branch on a
+//!   never-taken pointer when tracing is off, and the disabled tracer
+//!   allocates nothing.
+//! * **Virtual-time stamps**: the compute thread publishes its virtual
+//!   clock into the tracer at every protocol-relevant boundary (fault
+//!   begin/end, barriers, phase directives). Events emitted from the
+//!   protocol-handler thread are stamped with the *last published* compute
+//!   vtime — an approximation documented in DESIGN.md §11: handler events
+//!   carry the vtime of the compute activity they are concurrent with,
+//!   which is exactly the resolution the per-phase analyses need.
+//! * **Quiescent drain**: rings are read only when the machine is idle
+//!   (between runs or at teardown). A torn slot — possible only when the
+//!   ring wrapped *and* both threads raced the same slot — is detected by
+//!   its sequence tag and skipped.
+//!
+//! Enabling: [`TraceConfig`] on the machine configuration, or the
+//! `PRESCIENT_TRACE` environment variable (`1`/`on` for the default
+//! capacity, an integer > 1 for an explicit per-node event capacity).
+//! Export: [`merge`] the per-node drains, then [`to_jsonl`] (compact
+//! line-per-event dump, the `prescient-trace` analyzer's input) and/or
+//! [`to_chrome_json`] (Chrome trace-event JSON, loadable in Perfetto or
+//! `chrome://tracing`, one process per node with semantic tracks).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::NodeId;
+
+/// Tracing policy of one machine.
+///
+/// `Copy` so it can ride along in machine configurations; the output path
+/// is not part of it (exporters take the path explicitly, and the runtime
+/// reads `PRESCIENT_TRACE_OUT` at export time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Master switch. Off = every tracer is a no-op handle.
+    pub enabled: bool,
+    /// Ring capacity in events per node (rounded up to a power of two).
+    pub capacity: usize,
+}
+
+impl TraceConfig {
+    /// Default per-node ring capacity (events). 2^17 events × 40 bytes ≈
+    /// 5 MB per node — adaptive at paper scale fits with room to spare;
+    /// barnes at paper scale wraps and reports the drop count honestly.
+    pub const DEFAULT_CAPACITY: usize = 1 << 17;
+
+    /// Tracing disabled.
+    pub fn off() -> TraceConfig {
+        TraceConfig { enabled: false, capacity: 0 }
+    }
+
+    /// Tracing enabled at the default capacity.
+    pub fn on() -> TraceConfig {
+        TraceConfig { enabled: true, capacity: Self::DEFAULT_CAPACITY }
+    }
+
+    /// Tracing enabled with an explicit per-node event capacity.
+    pub fn with_capacity(capacity: usize) -> TraceConfig {
+        TraceConfig { enabled: true, capacity: capacity.max(1024).next_power_of_two() }
+    }
+
+    /// The `PRESCIENT_TRACE` override, if set and parseable: `0`/`off`
+    /// disable, `1`/`on` enable at the default capacity, any larger
+    /// integer enables with that capacity.
+    pub fn from_env() -> Option<TraceConfig> {
+        let v = std::env::var("PRESCIENT_TRACE").ok()?;
+        match v.trim() {
+            "" | "0" | "off" => Some(TraceConfig::off()),
+            "1" | "on" => Some(TraceConfig::on()),
+            s => s.parse::<usize>().ok().map(TraceConfig::with_capacity),
+        }
+    }
+
+    /// The env override if present, else disabled.
+    pub fn default_for_machine() -> TraceConfig {
+        TraceConfig::from_env().unwrap_or_else(TraceConfig::off)
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig::off()
+    }
+}
+
+/// What happened. Codes are stable (they appear in trace dumps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// Compute thread faulted on a shared access. `a` = block, `b` = 1 for
+    /// a write fault.
+    FaultBegin = 1,
+    /// The fault's grant arrived and was billed. `a` = block, `b` =
+    /// [`pack_fault_end`] (excl, extra hops, retries). Latency = this
+    /// event's vtime minus the matching [`EventKind::FaultBegin`]'s.
+    FaultEnd = 2,
+    /// Compute thread entered a barrier (egress already flushed).
+    BarrierEnter = 3,
+    /// Barrier crossed. `a` = this node's stall in ns.
+    BarrierExit = 4,
+    /// `phase_begin(id)` directive entered. `a` = phase id.
+    PhaseBegin = 5,
+    /// `phase_end()` directive completed. `a` = phase id.
+    PhaseEnd = 6,
+    /// A protocol message was sent. `a` = [`pack_msg`] (message kind code,
+    /// destination), `b` = message-specific argument (block / push id).
+    MsgSend = 7,
+    /// A protocol message was handled. `a` = [`pack_msg`] (kind, source),
+    /// `b` = message-specific argument.
+    MsgRecv = 8,
+    /// The pre-send driver started a window. `a` = phase id.
+    PresendStart = 9,
+    /// The pre-send window completed (all pushes acknowledged). `a` =
+    /// phase id, `b` = block copies pushed.
+    PresendEnd = 10,
+    /// One pre-send bulk message left the driver. `a` = push id, `b` =
+    /// [`pack_peer_count`] (target node, blocks aboard).
+    PresendPush = 11,
+    /// A pre-send payload run was installed at this node. `a` = first
+    /// block of the contiguous run, `b` = [`pack_peer_count`] (pushing
+    /// home, blocks in the run).
+    PresendInstall = 12,
+    /// First access to a block installed by a pre-send (its unread bit was
+    /// still set). `a` = block. Lead time = this vtime minus the install's.
+    PresendFirstTouch = 13,
+    /// The ack wait timed out and unacked pushes were retransmitted. `a` =
+    /// pushes still outstanding, `b` = retransmission round.
+    PresendRetry = 14,
+    /// A home recorded a request into the armed phase's schedule. `a` =
+    /// block, `b` = requester << 1 | excl.
+    SchedRecord = 15,
+    /// A phase's schedule was discarded. `a` = phase id.
+    SchedFlush = 16,
+    /// Pass 2 grouped the push list into bulk messages. `a` = phase id,
+    /// `b` = [`pack_counts`] (pushes, groups).
+    SchedCoalesce = 17,
+    /// A phase's schedule was snapshotted for replay. `a` = phase id,
+    /// `b` = run-length-encoded runs in the snapshot.
+    SchedReplay = 18,
+    /// The degradation policy flushed the phase's schedule and fell back
+    /// to plain Stache. `a` = phase id, `b` = instance at which recording
+    /// re-arms.
+    Degrade = 19,
+    /// A degraded phase's backoff expired; recording re-arms. `a` = phase
+    /// id, `b` = instance counter.
+    Rearm = 20,
+    /// A blocked fetch timed out and re-issued its request. `a` = block,
+    /// `b` = attempt number.
+    Retry = 21,
+    /// One egress buffer was flushed onto a channel. `a` =
+    /// [`pack_peer_count`] (destination, envelopes aboard), `b` = the wire
+    /// batch's fabric-unique id.
+    WireFlush = 22,
+    /// One wire batch was drained into this node's inbox ring. `a` =
+    /// [`pack_peer_count`] (source, envelopes aboard), `b` = batch id.
+    WireRecv = 23,
+    /// The fault layer acted on an envelope. `a` = destination, `b` =
+    /// [`pack_counts`] (fate — 1 delay, 2 duplicate, 3 drop, 4 release —
+    /// and the fate's argument, e.g. the delay's event count).
+    FaultInject = 24,
+}
+
+impl EventKind {
+    /// Every kind, in code order (export and analysis iterate this).
+    pub const ALL: [EventKind; 24] = [
+        EventKind::FaultBegin,
+        EventKind::FaultEnd,
+        EventKind::BarrierEnter,
+        EventKind::BarrierExit,
+        EventKind::PhaseBegin,
+        EventKind::PhaseEnd,
+        EventKind::MsgSend,
+        EventKind::MsgRecv,
+        EventKind::PresendStart,
+        EventKind::PresendEnd,
+        EventKind::PresendPush,
+        EventKind::PresendInstall,
+        EventKind::PresendFirstTouch,
+        EventKind::PresendRetry,
+        EventKind::SchedRecord,
+        EventKind::SchedFlush,
+        EventKind::SchedCoalesce,
+        EventKind::SchedReplay,
+        EventKind::Degrade,
+        EventKind::Rearm,
+        EventKind::Retry,
+        EventKind::WireFlush,
+        EventKind::WireRecv,
+        EventKind::FaultInject,
+    ];
+
+    /// Stable name, as written into trace dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::FaultBegin => "FaultBegin",
+            EventKind::FaultEnd => "FaultEnd",
+            EventKind::BarrierEnter => "BarrierEnter",
+            EventKind::BarrierExit => "BarrierExit",
+            EventKind::PhaseBegin => "PhaseBegin",
+            EventKind::PhaseEnd => "PhaseEnd",
+            EventKind::MsgSend => "MsgSend",
+            EventKind::MsgRecv => "MsgRecv",
+            EventKind::PresendStart => "PresendStart",
+            EventKind::PresendEnd => "PresendEnd",
+            EventKind::PresendPush => "PresendPush",
+            EventKind::PresendInstall => "PresendInstall",
+            EventKind::PresendFirstTouch => "PresendFirstTouch",
+            EventKind::PresendRetry => "PresendRetry",
+            EventKind::SchedRecord => "SchedRecord",
+            EventKind::SchedFlush => "SchedFlush",
+            EventKind::SchedCoalesce => "SchedCoalesce",
+            EventKind::SchedReplay => "SchedReplay",
+            EventKind::Degrade => "Degrade",
+            EventKind::Rearm => "Rearm",
+            EventKind::Retry => "Retry",
+            EventKind::WireFlush => "WireFlush",
+            EventKind::WireRecv => "WireRecv",
+            EventKind::FaultInject => "FaultInject",
+        }
+    }
+
+    /// Decode a stored kind code.
+    pub fn from_code(code: u8) -> Option<EventKind> {
+        EventKind::ALL.get(code.wrapping_sub(1) as usize).copied()
+    }
+
+    /// Decode a dump name (the inverse of [`EventKind::name`]).
+    pub fn from_name(name: &str) -> Option<EventKind> {
+        EventKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+}
+
+// ---- argument packing -----------------------------------------------------
+//
+// Events carry two u64 arguments; multi-field payloads pack into them with
+// the helpers below so the emitters and the analyzer agree on one layout.
+
+/// Pack a fault's completion: exclusive bit, extra protocol hops, retries.
+pub fn pack_fault_end(excl: bool, extra_hops: u32, retries: u32) -> u64 {
+    u64::from(excl) | (u64::from(extra_hops) << 1) | (u64::from(retries) << 32)
+}
+
+/// Unpack [`pack_fault_end`]: `(excl, extra_hops, retries)`.
+pub fn unpack_fault_end(b: u64) -> (bool, u32, u32) {
+    (b & 1 != 0, ((b >> 1) & 0x7fff_ffff) as u32, (b >> 32) as u32)
+}
+
+/// Pack a message event's kind code and peer node.
+pub fn pack_msg(kind_code: u16, peer: NodeId) -> u64 {
+    (u64::from(kind_code) << 16) | u64::from(peer)
+}
+
+/// Unpack [`pack_msg`]: `(kind_code, peer)`.
+pub fn unpack_msg(a: u64) -> (u16, NodeId) {
+    ((a >> 16) as u16, (a & 0xffff) as NodeId)
+}
+
+/// Pack a peer node with a count (push targets, wire occupancy, installs).
+pub fn pack_peer_count(peer: NodeId, count: u64) -> u64 {
+    (u64::from(peer) << 48) | (count & 0xffff_ffff_ffff)
+}
+
+/// Unpack [`pack_peer_count`]: `(peer, count)`.
+pub fn unpack_peer_count(v: u64) -> (NodeId, u64) {
+    ((v >> 48) as NodeId, v & 0xffff_ffff_ffff)
+}
+
+/// Pack two counts (pushes/groups, fault fate/argument).
+pub fn pack_counts(hi: u64, lo: u64) -> u64 {
+    (hi << 32) | (lo & 0xffff_ffff)
+}
+
+/// Unpack [`pack_counts`]: `(hi, lo)`.
+pub fn unpack_counts(v: u64) -> (u64, u64) {
+    (v >> 32, v & 0xffff_ffff)
+}
+
+// ---- the ring -------------------------------------------------------------
+
+/// One ring slot: a claimed-sequence tag plus the event's four payload
+/// words. The tag is written last (Release) so a drain can detect slots
+/// whose write never completed or was lapped mid-write.
+#[derive(Default)]
+struct Slot {
+    /// `(seq + 1) << 8 | kind` of the event the slot holds; 0 = never
+    /// written.
+    tag: AtomicU64,
+    t_ns: AtomicU64,
+    phase: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+/// A lock-free, fixed-capacity, overwrite-oldest event ring.
+pub struct TraceRing {
+    /// Next sequence number to claim (== events ever emitted).
+    head: AtomicU64,
+    mask: u64,
+    slots: Box<[Slot]>,
+}
+
+impl TraceRing {
+    /// A ring holding `capacity` events (rounded up to a power of two).
+    pub fn new(capacity: usize) -> TraceRing {
+        let cap = capacity.max(2).next_power_of_two();
+        TraceRing {
+            head: AtomicU64::new(0),
+            mask: cap as u64 - 1,
+            slots: (0..cap).map(|_| Slot::default()).collect(),
+        }
+    }
+
+    /// Events ever emitted into the ring (not capped by capacity).
+    pub fn emitted(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn push(&self, kind: EventKind, t_ns: u64, phase: u64, a: u64, b: u64) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq & self.mask) as usize];
+        slot.t_ns.store(t_ns, Ordering::Relaxed);
+        slot.phase.store(phase, Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        slot.tag.store(((seq + 1) << 8) | kind as u64, Ordering::Release);
+    }
+
+    /// Read the ring's current contents, oldest first. Non-destructive
+    /// and intended for **quiescent** rings (no concurrent emitters);
+    /// slots whose tag does not match their expected sequence (a write
+    /// torn by ring wrap) are skipped and counted in the returned drop
+    /// total alongside genuinely overwritten events.
+    fn drain(&self, node: NodeId) -> (Vec<TraceEvent>, u64) {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        let mut dropped = start;
+        let mut out = Vec::with_capacity((head - start) as usize);
+        for seq in start..head {
+            let slot = &self.slots[(seq & self.mask) as usize];
+            let tag = slot.tag.load(Ordering::Acquire);
+            let kind = EventKind::from_code((tag & 0xff) as u8);
+            if tag >> 8 != seq + 1 {
+                dropped += 1; // torn or lapped mid-write
+                continue;
+            }
+            let Some(kind) = kind else {
+                dropped += 1;
+                continue;
+            };
+            out.push(TraceEvent {
+                node,
+                seq,
+                t_ns: slot.t_ns.load(Ordering::Relaxed),
+                phase: slot.phase.load(Ordering::Relaxed) as u32,
+                kind,
+                a: slot.a.load(Ordering::Relaxed),
+                b: slot.b.load(Ordering::Relaxed),
+            });
+        }
+        (out, dropped)
+    }
+}
+
+/// One decoded trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Emitting node.
+    pub node: NodeId,
+    /// Per-node emission sequence number (gaps = dropped events).
+    pub seq: u64,
+    /// Virtual-time stamp (ns since run start; protocol-thread events
+    /// carry the last vtime the compute thread published).
+    pub t_ns: u64,
+    /// Phase id current at emission (0 before the first `phase_begin`).
+    pub phase: u32,
+    /// What happened.
+    pub kind: EventKind,
+    /// First argument (see [`EventKind`]).
+    pub a: u64,
+    /// Second argument (see [`EventKind`]).
+    pub b: u64,
+}
+
+/// Everything one node's ring held at drain time.
+#[derive(Debug, Clone)]
+pub struct TraceDump {
+    /// The node the ring belongs to.
+    pub node: NodeId,
+    /// Events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring wrap (plus torn slots, if any).
+    pub dropped: u64,
+}
+
+// ---- the handle -----------------------------------------------------------
+
+/// Shared tracing state of one node: the ring plus the published
+/// virtual-time and phase cells.
+pub struct TraceShared {
+    node: NodeId,
+    ring: TraceRing,
+    vtime: AtomicU64,
+    phase: AtomicU64,
+}
+
+/// A node's tracing handle. Cloneable and cheap; the disabled handle
+/// (`Tracer::off()`, the default) holds no allocation and compiles every
+/// emission down to one never-taken branch.
+#[derive(Clone, Default)]
+pub struct Tracer(Option<Arc<TraceShared>>);
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            None => write!(f, "Tracer(off)"),
+            Some(s) => write!(f, "Tracer(node {}, {} emitted)", s.node, s.ring.emitted()),
+        }
+    }
+}
+
+impl Tracer {
+    /// The disabled handle.
+    pub fn off() -> Tracer {
+        Tracer(None)
+    }
+
+    /// An enabled handle for `node` with the given ring capacity.
+    pub fn new(node: NodeId, capacity: usize) -> Tracer {
+        Tracer(Some(Arc::new(TraceShared {
+            node,
+            ring: TraceRing::new(capacity),
+            vtime: AtomicU64::new(0),
+            phase: AtomicU64::new(0),
+        })))
+    }
+
+    /// A handle per [`TraceConfig`]: enabled handles when the config says
+    /// so, disabled otherwise.
+    pub fn for_node(cfg: TraceConfig, node: NodeId) -> Tracer {
+        if cfg.enabled {
+            Tracer::new(node, cfg.capacity)
+        } else {
+            Tracer::off()
+        }
+    }
+
+    /// Is tracing live on this handle?
+    #[inline]
+    pub fn on(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Publish the compute thread's virtual clock; subsequent events (from
+    /// either thread) are stamped with it.
+    #[inline]
+    pub fn set_vtime(&self, t_ns: u64) {
+        if let Some(s) = &self.0 {
+            s.vtime.store(t_ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Publish the current phase id.
+    #[inline]
+    pub fn set_phase(&self, phase: u32) {
+        if let Some(s) = &self.0 {
+            s.phase.store(u64::from(phase), Ordering::Relaxed);
+        }
+    }
+
+    /// Emit one event stamped with the published vtime and phase.
+    #[inline]
+    pub fn emit(&self, kind: EventKind, a: u64, b: u64) {
+        if let Some(s) = &self.0 {
+            let t = s.vtime.load(Ordering::Relaxed);
+            s.ring.push(kind, t, s.phase.load(Ordering::Relaxed), a, b);
+        }
+    }
+
+    /// Emit one event with an explicit vtime stamp (the stamp is *not*
+    /// published).
+    #[inline]
+    pub fn emit_at(&self, kind: EventKind, t_ns: u64, a: u64, b: u64) {
+        if let Some(s) = &self.0 {
+            s.ring.push(kind, t_ns, s.phase.load(Ordering::Relaxed), a, b);
+        }
+    }
+
+    /// Read the ring (see [`TraceRing::drain`] for the quiescence
+    /// contract). `None` on a disabled handle.
+    pub fn drain(&self) -> Option<TraceDump> {
+        self.0.as_ref().map(|s| {
+            let (events, dropped) = s.ring.drain(s.node);
+            TraceDump { node: s.node, events, dropped }
+        })
+    }
+}
+
+// ---- merge & export -------------------------------------------------------
+
+/// Merge per-node dumps into one machine-wide event stream ordered by
+/// (vtime, node, per-node sequence). Returns the stream and the total
+/// dropped-event count.
+pub fn merge(dumps: Vec<TraceDump>) -> (Vec<TraceEvent>, u64) {
+    let dropped = dumps.iter().map(|d| d.dropped).sum();
+    let mut all: Vec<TraceEvent> = dumps.into_iter().flat_map(|d| d.events).collect();
+    all.sort_by_key(|e| (e.t_ns, e.node, e.seq));
+    (all, dropped)
+}
+
+/// Render an event stream as JSONL: one compact, flat JSON object per
+/// line — the `prescient-trace` analyzer's input format.
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::with_capacity(events.len() * 80);
+    for e in events {
+        writeln!(
+            s,
+            "{{\"node\":{},\"seq\":{},\"t\":{},\"phase\":{},\"kind\":\"{}\",\"a\":{},\"b\":{}}}",
+            e.node,
+            e.seq,
+            e.t_ns,
+            e.phase,
+            e.kind.name(),
+            e.a,
+            e.b
+        )
+        .expect("write to string");
+    }
+    s
+}
+
+/// Semantic track (Chrome "thread") an event renders on. Nodes map to
+/// Chrome processes; inside each node, events group into a phase track,
+/// the compute thread's fault/barrier/pre-send spans, the protocol
+/// handler's instants, and the wire/fault-injection layer.
+fn chrome_track(kind: EventKind) -> (u32, &'static str) {
+    match kind {
+        EventKind::PhaseBegin | EventKind::PhaseEnd => (0, "phase"),
+        EventKind::FaultBegin
+        | EventKind::FaultEnd
+        | EventKind::BarrierEnter
+        | EventKind::BarrierExit
+        | EventKind::PresendStart
+        | EventKind::PresendEnd
+        | EventKind::PresendFirstTouch
+        | EventKind::Retry => (1, "compute"),
+        EventKind::MsgSend
+        | EventKind::MsgRecv
+        | EventKind::PresendPush
+        | EventKind::PresendInstall
+        | EventKind::PresendRetry
+        | EventKind::SchedRecord
+        | EventKind::SchedFlush
+        | EventKind::SchedCoalesce
+        | EventKind::SchedReplay
+        | EventKind::Degrade
+        | EventKind::Rearm => (2, "protocol"),
+        EventKind::WireFlush | EventKind::WireRecv | EventKind::FaultInject => (3, "wire"),
+    }
+}
+
+/// The span-opening kind matching a closing kind, if `kind` closes a span.
+fn span_open(kind: EventKind) -> Option<EventKind> {
+    match kind {
+        EventKind::FaultEnd => Some(EventKind::FaultBegin),
+        EventKind::BarrierExit => Some(EventKind::BarrierEnter),
+        EventKind::PresendEnd => Some(EventKind::PresendStart),
+        EventKind::PhaseEnd => Some(EventKind::PhaseBegin),
+        _ => None,
+    }
+}
+
+fn is_span_open(kind: EventKind) -> bool {
+    matches!(
+        kind,
+        EventKind::FaultBegin
+            | EventKind::BarrierEnter
+            | EventKind::PresendStart
+            | EventKind::PhaseBegin
+    )
+}
+
+/// Render an event stream as Chrome trace-event JSON (the `traceEvents`
+/// array format), loadable in Perfetto and `chrome://tracing`. Each node
+/// becomes a process; tracks are semantic (`phase` / `compute` /
+/// `protocol` / `wire`), not OS threads. Begin/end pairs (faults,
+/// barriers, pre-send windows, phases) render as duration spans in
+/// virtual time; everything else renders as instants. Timestamps are the
+/// events' virtual-time stamps, in microseconds as the format requires.
+pub fn to_chrome_json(events: &[TraceEvent]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::with_capacity(events.len() * 120 + 1024);
+    s.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    let mut nodes: Vec<NodeId> = events.iter().map(|e| e.node).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    let mut first = true;
+    let mut push = |s: &mut String, line: &str| {
+        if !first {
+            s.push_str(",\n");
+        }
+        first = false;
+        s.push_str(line);
+    };
+    for n in &nodes {
+        push(
+            &mut s,
+            &format!(
+                "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{n},\"tid\":0,\
+                 \"args\":{{\"name\":\"node {n}\"}}}}"
+            ),
+        );
+        for (tid, name) in [(0, "phase"), (1, "compute"), (2, "protocol"), (3, "wire")] {
+            push(
+                &mut s,
+                &format!(
+                    "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{n},\"tid\":{tid},\
+                     \"args\":{{\"name\":\"{name}\"}}}}"
+                ),
+            );
+        }
+    }
+    // Span pairing: per (node, opening kind), spans never overlap — the
+    // compute thread is serial and phases/windows nest properly — so a
+    // simple open-event stack per key suffices.
+    let mut open: std::collections::HashMap<(NodeId, EventKind), Vec<&TraceEvent>> =
+        std::collections::HashMap::new();
+    for e in events {
+        let (tid, _) = chrome_track(e.kind);
+        let ts = e.t_ns as f64 / 1000.0;
+        if is_span_open(e.kind) {
+            open.entry((e.node, e.kind)).or_default().push(e);
+            continue;
+        }
+        if let Some(opener) = span_open(e.kind) {
+            if let Some(b) = open.get_mut(&(e.node, opener)).and_then(Vec::pop) {
+                let ts0 = b.t_ns as f64 / 1000.0;
+                let dur = (e.t_ns.saturating_sub(b.t_ns)) as f64 / 1000.0;
+                push(
+                    &mut s,
+                    &format!(
+                        "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{},\"tid\":{tid},\
+                         \"ts\":{ts0:.3},\"dur\":{dur:.3},\
+                         \"args\":{{\"phase\":{},\"a\":{},\"b\":{}}}}}",
+                        opener.name(),
+                        chrome_track(e.kind).1,
+                        e.node,
+                        b.phase,
+                        b.a,
+                        e.b
+                    ),
+                );
+                continue;
+            }
+        }
+        push(
+            &mut s,
+            &format!(
+                "{{\"ph\":\"i\",\"s\":\"t\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{},\
+                 \"tid\":{tid},\"ts\":{ts:.3},\"args\":{{\"phase\":{},\"a\":{},\"b\":{}}}}}",
+                e.kind.name(),
+                chrome_track(e.kind).1,
+                e.node,
+                e.phase,
+                e.a,
+                e.b
+            ),
+        );
+    }
+    // Unclosed spans (a fault in flight at drain time) render as instants
+    // so no event is silently lost.
+    for ((node, kind), stack) in open {
+        for b in stack {
+            let (tid, cat) = chrome_track(kind);
+            push(
+                &mut s,
+                &format!(
+                    "{{\"ph\":\"i\",\"s\":\"t\",\"name\":\"{}(unclosed)\",\"cat\":\"{cat}\",\
+                     \"pid\":{node},\"tid\":{tid},\"ts\":{:.3},\
+                     \"args\":{{\"phase\":{},\"a\":{},\"b\":{}}}}}",
+                    kind.name(),
+                    b.t_ns as f64 / 1000.0,
+                    b.phase,
+                    b.a,
+                    b.b
+                ),
+            );
+        }
+    }
+    let _ = write!(s, "\n]}}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::off();
+        assert!(!t.on());
+        t.set_vtime(5);
+        t.emit(EventKind::FaultBegin, 1, 2);
+        assert!(t.drain().is_none());
+    }
+
+    #[test]
+    fn emit_and_drain_round_trip() {
+        let t = Tracer::new(3, 1024);
+        t.set_vtime(100);
+        t.set_phase(7);
+        t.emit(EventKind::FaultBegin, 42, 1);
+        t.set_vtime(250);
+        t.emit(EventKind::FaultEnd, 42, pack_fault_end(true, 2, 0));
+        let d = t.drain().expect("enabled");
+        assert_eq!(d.node, 3);
+        assert_eq!(d.dropped, 0);
+        assert_eq!(d.events.len(), 2);
+        let e = &d.events[1];
+        assert_eq!((e.node, e.seq, e.t_ns, e.phase), (3, 1, 250, 7));
+        assert_eq!(e.kind, EventKind::FaultEnd);
+        assert_eq!(unpack_fault_end(e.b), (true, 2, 0));
+        // Drain is non-destructive.
+        assert_eq!(t.drain().expect("enabled").events.len(), 2);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let t = Tracer::new(0, 4); // rounds to capacity 4
+        for i in 0..10u64 {
+            t.emit(EventKind::MsgSend, i, 0);
+        }
+        let d = t.drain().expect("enabled");
+        assert_eq!(d.dropped, 6);
+        assert_eq!(d.events.iter().map(|e| e.a).collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+        assert_eq!(d.events[0].seq, 6);
+    }
+
+    #[test]
+    fn concurrent_emitters_keep_all_events_unwrapped() {
+        let t = Tracer::new(0, 1 << 12);
+        let t2 = t.clone();
+        let h = std::thread::spawn(move || {
+            for i in 0..1000 {
+                t2.emit(EventKind::MsgRecv, i, 0);
+            }
+        });
+        for i in 0..1000 {
+            t.emit(EventKind::MsgSend, i, 0);
+        }
+        h.join().unwrap();
+        let d = t.drain().expect("enabled");
+        assert_eq!(d.dropped, 0);
+        assert_eq!(d.events.len(), 2000);
+        let sends: Vec<u64> =
+            d.events.iter().filter(|e| e.kind == EventKind::MsgSend).map(|e| e.a).collect();
+        assert_eq!(sends, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn packing_round_trips() {
+        assert_eq!(unpack_fault_end(pack_fault_end(false, 3, 17)), (false, 3, 17));
+        assert_eq!(unpack_msg(pack_msg(9, 63)), (9, 63));
+        assert_eq!(unpack_peer_count(pack_peer_count(31, 12345)), (31, 12345));
+        assert_eq!(unpack_counts(pack_counts(7, 9)), (7, 9));
+    }
+
+    #[test]
+    fn kind_codes_and_names_round_trip() {
+        for k in EventKind::ALL {
+            assert_eq!(EventKind::from_code(k as u8), Some(k));
+            assert_eq!(EventKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(EventKind::from_code(0), None);
+        assert_eq!(EventKind::from_code(200), None);
+    }
+
+    #[test]
+    fn merge_orders_by_vtime_then_node() {
+        let a = Tracer::new(0, 64);
+        let b = Tracer::new(1, 64);
+        a.set_vtime(50);
+        a.emit(EventKind::MsgSend, 1, 0);
+        b.set_vtime(20);
+        b.emit(EventKind::MsgSend, 2, 0);
+        b.set_vtime(50);
+        b.emit(EventKind::MsgSend, 3, 0);
+        let (all, dropped) = merge(vec![a.drain().expect("enabled"), b.drain().expect("enabled")]);
+        assert_eq!(dropped, 0);
+        assert_eq!(all.iter().map(|e| e.a).collect::<Vec<_>>(), vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn jsonl_lines_are_flat_objects() {
+        let t = Tracer::new(2, 64);
+        t.set_vtime(9);
+        t.emit(EventKind::SchedRecord, 5, 3);
+        let d = t.drain().expect("enabled");
+        let line = to_jsonl(&d.events);
+        assert_eq!(
+            line,
+            "{\"node\":2,\"seq\":0,\"t\":9,\"phase\":0,\"kind\":\"SchedRecord\",\"a\":5,\"b\":3}\n"
+        );
+    }
+
+    #[test]
+    fn chrome_export_pairs_spans() {
+        let t = Tracer::new(0, 64);
+        t.set_vtime(10);
+        t.emit(EventKind::FaultBegin, 7, 0);
+        t.set_vtime(90);
+        t.emit(EventKind::FaultEnd, 7, pack_fault_end(false, 1, 0));
+        t.emit(EventKind::MsgSend, 1, 2);
+        let d = t.drain().expect("enabled");
+        let json = to_chrome_json(&d.events);
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert!(json.contains("\"ph\":\"X\",\"name\":\"FaultBegin\""));
+        assert!(json.contains("\"dur\":0.080"));
+        assert!(json.contains("\"ph\":\"i\",\"s\":\"t\",\"name\":\"MsgSend\""));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn trace_config_env_forms() {
+        assert!(!TraceConfig::off().enabled);
+        assert!(TraceConfig::on().enabled);
+        assert_eq!(TraceConfig::on().capacity, TraceConfig::DEFAULT_CAPACITY);
+        let c = TraceConfig::with_capacity(5000);
+        assert!(c.enabled);
+        assert_eq!(c.capacity, 8192);
+        assert_eq!(TraceConfig::with_capacity(0).capacity, 1024);
+    }
+}
