@@ -426,26 +426,30 @@ pub fn run_adaptive_full(
                     }
                 }
             }
+            // Every phase body is idempotent (cell updates read the
+            // previous phase's data, and `DsmMesh` holds no cross-phase
+            // private state), so the recovery wrapper needs no replay
+            // state beyond the shared-memory rollback itself.
             for (phase, color) in [(PHASE_RED, 0usize), (PHASE_BLACK, 1usize)] {
-                ctx.phase_begin(phase);
-                for i in rows.clone() {
-                    for j in interior(i) {
-                        if (i + j) % 2 == color {
-                            let mut m = DsmMesh { aggs: &aggs, ctx, n };
-                            update_cell(&mut m, i, j);
+                ctx.phase(phase, &mut (), |ctx, _| {
+                    for i in rows.clone() {
+                        for j in interior(i) {
+                            if (i + j) % 2 == color {
+                                let mut m = DsmMesh { aggs: &aggs, ctx, n };
+                                update_cell(&mut m, i, j);
+                            }
                         }
                     }
-                }
-                ctx.phase_end();
+                });
             }
-            ctx.phase_begin(PHASE_REFINE);
-            for i in rows.clone() {
-                for j in interior(i) {
-                    let mut m = DsmMesh { aggs: &aggs, ctx, n };
-                    refine_cell(&mut m, i, j, tau, max_depth);
+            ctx.phase(PHASE_REFINE, &mut (), |ctx, _| {
+                for i in rows.clone() {
+                    for j in interior(i) {
+                        let mut m = DsmMesh { aggs: &aggs, ctx, n };
+                        refine_cell(&mut m, i, j, tau, max_depth);
+                    }
                 }
-            }
-            ctx.phase_end();
+            });
         }
     });
 

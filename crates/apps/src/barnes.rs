@@ -585,138 +585,58 @@ fn barnes_driver(
         let my_regions: Vec<usize> = (0..REGIONS).filter(|r| r % nodes == me as usize).collect();
         let mut vel = vec![[0.0f64; 3]; n];
         let mut arena = Arena { base: sh.arena_base[me as usize], cells: sh.arena_cells, next: 0 };
-        let rsize = 1.0 / GRID as f64;
 
+        // Cross-phase private state (`my_roots`, `accs`) is fully rebuilt
+        // by its producing phase, and the arena cursor resets at build
+        // entry — so every phase body below is replay-safe; only `vel`
+        // accumulates and must ride along as the advance phase's state.
+        let mut my_roots: Vec<(usize, GAddr)> = Vec::new();
         for _step in 0..steps {
             // ---- Phase 1: build -------------------------------------
             if spmd_manual {
                 ctx.presend_only(PHASE_BUILD);
-            } else {
-                ctx.phase_begin(PHASE_BUILD);
-            }
-            arena.next = 0;
-            let mut my_roots: Vec<(usize, GAddr)> = Vec::new();
-            for &r in &my_regions {
-                let corner0 = region_corner(r);
-                let mut root: Option<GAddr> = None;
-                for b in 0..n {
-                    let p = sh.read_pos(ctx, b);
-                    ctx.work(4);
-                    if region_of(&p) != r {
-                        continue;
-                    }
-                    let root_addr = match root {
-                        Some(a) => a,
-                        None => {
-                            let a = arena.fresh_cell(ctx, &sh);
-                            root = Some(a);
-                            a
-                        }
-                    };
-                    // BH insertion.
-                    let mut cell = root_addr;
-                    let mut corner = corner0;
-                    let mut size = rsize;
-                    let mut depth = 0;
-                    loop {
-                        let (oi, oc) = octant(&p, &corner, size);
-                        ctx.work(6);
-                        let slot = sh.cell_child_addr(cell, oi);
-                        match child_decode(ctx.read::<u64>(slot)) {
-                            Child::Empty => {
-                                ctx.write(slot, child_encode_body(b));
-                                break;
-                            }
-                            Child::Cell(c) => {
-                                cell = c;
-                                corner = oc;
-                                size /= 2.0;
-                                depth += 1;
-                            }
-                            Child::Body(other) => {
-                                if depth >= MAX_DEPTH {
-                                    break; // folded into the summary only
-                                }
-                                let nc = arena.fresh_cell(ctx, &sh);
-                                ctx.write(slot, child_encode_cell(nc));
-                                let op = sh.read_pos(ctx, other);
-                                let (ooi, _) = octant(&op, &oc, size / 2.0);
-                                ctx.write(sh.cell_child_addr(nc, ooi), child_encode_body(other));
-                                cell = nc;
-                                corner = oc;
-                                size /= 2.0;
-                                depth += 1;
-                            }
-                        }
-                    }
-                }
-                if let Some(a) = root {
-                    my_roots.push((r, a));
-                }
-                ctx.write(sh.roots.addr(r), root.map_or(0, |a| a.0));
-            }
-            if spmd_manual {
+                my_roots = build_phase(ctx, &sh, &my_regions, &mut arena, n);
                 ctx.barrier();
             } else {
-                ctx.phase_end();
+                ctx.phase(PHASE_BUILD, &mut my_roots, |ctx, roots| {
+                    *roots = build_phase(ctx, &sh, &my_regions, &mut arena, n);
+                });
             }
 
             // ---- Phase 2: center of mass (own trees) ----------------
-            if !spmd_manual {
-                ctx.phase_begin(PHASE_COM);
-            }
-            for &(_r, root) in &my_roots {
-                com_pass(ctx, &sh, root);
-            }
             if spmd_manual {
+                for &(_r, root) in &my_roots {
+                    com_pass(ctx, &sh, root);
+                }
                 ctx.barrier();
             } else {
-                ctx.phase_end();
+                ctx.phase(PHASE_COM, &mut (), |ctx, _| {
+                    for &(_r, root) in &my_roots {
+                        com_pass(ctx, &sh, root);
+                    }
+                });
             }
 
             // ---- Phase 3: forces ------------------------------------
-            if !spmd_manual {
-                ctx.phase_begin(PHASE_FORCE);
-            }
             let mut accs = vec![[0.0f64; 3]; my_bodies.len()];
-            for (bi, b) in my_bodies.clone().enumerate() {
-                let p = sh.read_pos(ctx, b);
-                let mut acc = [0.0f64; 3];
-                for r in 0..REGIONS {
-                    let rw = ctx.read::<u64>(sh.roots.addr(r));
-                    if rw != 0 {
-                        walk_force(ctx, &sh, GAddr(rw), rsize, b, &p, theta, &mut acc);
-                    }
-                }
-                accs[bi] = acc;
-            }
             if spmd_manual {
+                force_phase(ctx, &sh, my_bodies.clone(), theta, &mut accs);
                 ctx.barrier();
             } else {
-                ctx.phase_end();
+                ctx.phase(PHASE_FORCE, &mut accs, |ctx, accs| {
+                    force_phase(ctx, &sh, my_bodies.clone(), theta, accs);
+                });
             }
 
             // ---- Phase 4: advance -----------------------------------
             if spmd_manual {
                 ctx.presend_only(PHASE_ADVANCE);
-            } else {
-                ctx.phase_begin(PHASE_ADVANCE);
-            }
-            for (bi, b) in my_bodies.clone().enumerate() {
-                let mut p = sh.read_pos(ctx, b);
-                for k in 0..3 {
-                    vel[b][k] += accs[bi][k] * dt;
-                    p[k] = (p[k] + vel[b][k] * dt).rem_euclid(1.0);
-                }
-                ctx.work(12);
-                ctx.write(sh.px.addr(b), p[0]);
-                ctx.write(sh.py.addr(b), p[1]);
-                ctx.write(sh.pz.addr(b), p[2]);
-            }
-            if spmd_manual {
+                advance_phase(ctx, &sh, my_bodies.clone(), &accs, dt, &mut vel);
                 ctx.barrier();
             } else {
-                ctx.phase_end();
+                ctx.phase(PHASE_ADVANCE, &mut vel, |ctx, vel| {
+                    advance_phase(ctx, &sh, my_bodies.clone(), &accs, dt, vel);
+                });
             }
         }
     });
@@ -733,6 +653,130 @@ fn barnes_driver(
         v
     });
     (out.into_iter().next().expect("node 0"), report)
+}
+
+/// The build phase body: reset the arena cursor and insert every body of
+/// this node's regions into fresh region trees. Fully rebuilds its outputs
+/// (arena layout, root list, shared root words), so a crash replay runs it
+/// again verbatim.
+fn build_phase(
+    ctx: &mut NodeCtx,
+    sh: &BarnesShared,
+    my_regions: &[usize],
+    arena: &mut Arena,
+    n: usize,
+) -> Vec<(usize, GAddr)> {
+    let rsize = 1.0 / GRID as f64;
+    arena.next = 0;
+    let mut my_roots: Vec<(usize, GAddr)> = Vec::new();
+    for &r in my_regions {
+        let corner0 = region_corner(r);
+        let mut root: Option<GAddr> = None;
+        for b in 0..n {
+            let p = sh.read_pos(ctx, b);
+            ctx.work(4);
+            if region_of(&p) != r {
+                continue;
+            }
+            let root_addr = match root {
+                Some(a) => a,
+                None => {
+                    let a = arena.fresh_cell(ctx, sh);
+                    root = Some(a);
+                    a
+                }
+            };
+            // BH insertion.
+            let mut cell = root_addr;
+            let mut corner = corner0;
+            let mut size = rsize;
+            let mut depth = 0;
+            loop {
+                let (oi, oc) = octant(&p, &corner, size);
+                ctx.work(6);
+                let slot = sh.cell_child_addr(cell, oi);
+                match child_decode(ctx.read::<u64>(slot)) {
+                    Child::Empty => {
+                        ctx.write(slot, child_encode_body(b));
+                        break;
+                    }
+                    Child::Cell(c) => {
+                        cell = c;
+                        corner = oc;
+                        size /= 2.0;
+                        depth += 1;
+                    }
+                    Child::Body(other) => {
+                        if depth >= MAX_DEPTH {
+                            break; // folded into the summary only
+                        }
+                        let nc = arena.fresh_cell(ctx, sh);
+                        ctx.write(slot, child_encode_cell(nc));
+                        let op = sh.read_pos(ctx, other);
+                        let (ooi, _) = octant(&op, &oc, size / 2.0);
+                        ctx.write(sh.cell_child_addr(nc, ooi), child_encode_body(other));
+                        cell = nc;
+                        corner = oc;
+                        size /= 2.0;
+                        depth += 1;
+                    }
+                }
+            }
+        }
+        if let Some(a) = root {
+            my_roots.push((r, a));
+        }
+        ctx.write(sh.roots.addr(r), root.map_or(0, |a| a.0));
+    }
+    my_roots
+}
+
+/// The force phase body: every owned body traverses all region trees;
+/// accelerations overwrite `accs` element-wise (replay-safe).
+fn force_phase(
+    ctx: &mut NodeCtx,
+    sh: &BarnesShared,
+    my_bodies: std::ops::Range<usize>,
+    theta: f64,
+    accs: &mut [[f64; 3]],
+) {
+    let rsize = 1.0 / GRID as f64;
+    for (bi, b) in my_bodies.enumerate() {
+        let p = sh.read_pos(ctx, b);
+        let mut acc = [0.0f64; 3];
+        for r in 0..REGIONS {
+            let rw = ctx.read::<u64>(sh.roots.addr(r));
+            if rw != 0 {
+                walk_force(ctx, sh, GAddr(rw), rsize, b, &p, theta, &mut acc);
+            }
+        }
+        accs[bi] = acc;
+    }
+}
+
+/// The advance phase body: owners integrate and write new positions. The
+/// velocity array is the phase's replay state — it accumulates across
+/// steps, so the recovery wrapper must roll it back alongside shared
+/// memory.
+fn advance_phase(
+    ctx: &mut NodeCtx,
+    sh: &BarnesShared,
+    my_bodies: std::ops::Range<usize>,
+    accs: &[[f64; 3]],
+    dt: f64,
+    vel: &mut [[f64; 3]],
+) {
+    for (bi, b) in my_bodies.enumerate() {
+        let mut p = sh.read_pos(ctx, b);
+        for k in 0..3 {
+            vel[b][k] += accs[bi][k] * dt;
+            p[k] = (p[k] + vel[b][k] * dt).rem_euclid(1.0);
+        }
+        ctx.work(12);
+        ctx.write(sh.px.addr(b), p[0]);
+        ctx.write(sh.py.addr(b), p[1]);
+        ctx.write(sh.pz.addr(b), p[2]);
+    }
 }
 
 /// Post-order COM computation over one owned region tree.

@@ -217,70 +217,74 @@ fn water_driver(
 
     let (_, report) = machine.run(|ctx: &mut NodeCtx| {
         let mine = px.my_range(ctx.me());
-        // Private (non-shared) per-node state.
+        // Private (non-shared) per-node state. `vel` survives across
+        // phases, so the advance phase passes it as its replay state —
+        // a crash rolls it back together with shared memory.
         let mut vel = vec![[0.0f64; 3]; n];
         for _step in 0..steps {
             // ---- Phase 1: interactions ------------------------------
-            ctx.phase_begin(PHASE_INTERACT);
+            // The force accumulator is the phase's replay state: it is
+            // zeroed here, so a replayed body re-accumulates from clean.
             let mut force = vec![0.0f64; 3 * n];
-            for i in mine.clone() {
-                let xi = ctx.read::<f64>(px.addr(i));
-                let yi = ctx.read::<f64>(py.addr(i));
-                let zi = ctx.read::<f64>(pz.addr(i));
-                for d in 1..=n / 2 {
-                    if !owns_pair(i, d, n) {
-                        continue;
-                    }
-                    let j = (i + d) % n;
-                    let xj = ctx.read::<f64>(px.addr(j));
-                    let yj = ctx.read::<f64>(py.addr(j));
-                    let zj = ctx.read::<f64>(pz.addr(j));
-                    let dx = min_image(xi - xj, l);
-                    let dy = min_image(yi - yj, l);
-                    let dz = min_image(zi - zj, l);
-                    let r2 = dx * dx + dy * dy + dz * dz;
-                    // Distance check + pair bookkeeping; the in-cutoff
-                    // charge models the paper's multi-site water potential
-                    // (hundreds of flops per molecule pair), which our
-                    // simplified LJ kernel stands in for.
-                    ctx.work(30);
-                    if r2 < rc2 && r2 > 1e-12 {
-                        let f = lj_force_over_r(r2);
-                        let (fx, fy, fz) =
-                            (clamp_force(f * dx), clamp_force(f * dy), clamp_force(f * dz));
-                        ctx.work(300);
-                        force[3 * i] += fx;
-                        force[3 * i + 1] += fy;
-                        force[3 * i + 2] += fz;
-                        force[3 * j] -= fx;
-                        force[3 * j + 1] -= fy;
-                        force[3 * j + 2] -= fz;
+            ctx.phase(PHASE_INTERACT, &mut force, |ctx, force| {
+                for i in mine.clone() {
+                    let xi = ctx.read::<f64>(px.addr(i));
+                    let yi = ctx.read::<f64>(py.addr(i));
+                    let zi = ctx.read::<f64>(pz.addr(i));
+                    for d in 1..=n / 2 {
+                        if !owns_pair(i, d, n) {
+                            continue;
+                        }
+                        let j = (i + d) % n;
+                        let xj = ctx.read::<f64>(px.addr(j));
+                        let yj = ctx.read::<f64>(py.addr(j));
+                        let zj = ctx.read::<f64>(pz.addr(j));
+                        let dx = min_image(xi - xj, l);
+                        let dy = min_image(yi - yj, l);
+                        let dz = min_image(zi - zj, l);
+                        let r2 = dx * dx + dy * dy + dz * dz;
+                        // Distance check + pair bookkeeping; the in-cutoff
+                        // charge models the paper's multi-site water potential
+                        // (hundreds of flops per molecule pair), which our
+                        // simplified LJ kernel stands in for.
+                        ctx.work(30);
+                        if r2 < rc2 && r2 > 1e-12 {
+                            let f = lj_force_over_r(r2);
+                            let (fx, fy, fz) =
+                                (clamp_force(f * dx), clamp_force(f * dy), clamp_force(f * dz));
+                            ctx.work(300);
+                            force[3 * i] += fx;
+                            force[3 * i + 1] += fy;
+                            force[3 * i + 2] += fz;
+                            force[3 * j] -= fx;
+                            force[3 * j + 1] -= fy;
+                            force[3 * j + 2] -= fz;
+                        }
                     }
                 }
-            }
-            ctx.phase_end();
+            });
 
             // ---- Reduction (language feature) -----------------------
             ctx.allreduce_sum(&mut force);
 
             // ---- Phase 2: advance -----------------------------------
-            ctx.phase_begin(PHASE_ADVANCE);
-            for i in mine.clone() {
-                let mut p = [
-                    ctx.read::<f64>(px.addr(i)),
-                    ctx.read::<f64>(py.addr(i)),
-                    ctx.read::<f64>(pz.addr(i)),
-                ];
-                for k in 0..3 {
-                    vel[i][k] += force[3 * i + k] * dt;
-                    p[k] = (p[k] + vel[i][k] * dt).rem_euclid(l);
+            ctx.phase(PHASE_ADVANCE, &mut vel, |ctx, vel| {
+                for i in mine.clone() {
+                    let mut p = [
+                        ctx.read::<f64>(px.addr(i)),
+                        ctx.read::<f64>(py.addr(i)),
+                        ctx.read::<f64>(pz.addr(i)),
+                    ];
+                    for k in 0..3 {
+                        vel[i][k] += force[3 * i + k] * dt;
+                        p[k] = (p[k] + vel[i][k] * dt).rem_euclid(l);
+                    }
+                    ctx.work(12);
+                    ctx.write(px.addr(i), p[0]);
+                    ctx.write(py.addr(i), p[1]);
+                    ctx.write(pz.addr(i), p[2]);
                 }
-                ctx.work(12);
-                ctx.write(px.addr(i), p[0]);
-                ctx.write(py.addr(i), p[1]);
-                ctx.write(pz.addr(i), p[2]);
-            }
-            ctx.phase_end();
+            });
         }
     });
 

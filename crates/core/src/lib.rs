@@ -44,7 +44,7 @@ pub mod presend;
 pub mod schedule;
 pub mod tap;
 
-pub use predictive::{DegradeConfig, PhaseHealth, Predictive, PredictiveConfig};
+pub use predictive::{DegradeConfig, PhaseHealth, PredCheckpoint, Predictive, PredictiveConfig};
 pub use presend::PresendReport;
 pub use schedule::{Action, PhaseId, PhaseSchedule, ReplayRun, ScheduleEntry, ScheduleStore};
 pub use tap::{AccessTap, TapEvent};

@@ -145,6 +145,7 @@ impl PhaseHealth {
     }
 }
 
+#[derive(Clone)]
 pub(crate) struct PredState {
     /// Phase currently recording, if any.
     pub recording: Option<PhaseId>,
@@ -278,6 +279,31 @@ impl Predictive {
     ) -> Vec<(PhaseId, Vec<(BlockId, crate::schedule::ScheduleEntry)>)> {
         self.state.lock().store.export()
     }
+
+    /// Capture this node's full predictive-protocol state at a quiescent
+    /// cut: schedules, health, push bookkeeping, and the pre-send epoch.
+    /// Taken at `phase_begin` *before* the window's [`Predictive::arm`],
+    /// so the restored state is disarmed-at-cut and replay re-arms it.
+    pub fn checkpoint(&self) -> PredCheckpoint {
+        PredCheckpoint { state: self.state.lock().clone(), epoch: self.epoch() }
+    }
+
+    /// Roll this node's predictive-protocol state back to a captured cut.
+    /// Callable only while the machine is quiescent (the recovery drain
+    /// has emptied the channels): the epoch rewinds together with every
+    /// peer's, so replayed pre-send windows re-stamp the same epochs.
+    pub fn restore(&self, ckpt: &PredCheckpoint) {
+        *self.state.lock() = ckpt.state.clone();
+        self.epoch.store(ckpt.epoch, Ordering::Release);
+    }
+}
+
+/// One node's predictive-protocol state at a consistent cut (see
+/// [`Predictive::checkpoint`]).
+#[derive(Clone)]
+pub struct PredCheckpoint {
+    state: PredState,
+    epoch: u64,
 }
 
 impl Hooks for Predictive {

@@ -332,8 +332,17 @@ pub fn presend(
             // A stale grant wake can slip in if a duplicated grant for an
             // earlier fetch raced its teardown; it carries nothing we need.
             Ok(Wake::Grant { .. }) => {}
+            // Recovery fences are only in flight while every compute thread
+            // sits in the recovery protocol, never during a pre-send window;
+            // tolerate (and drop) one anyway.
+            Ok(Wake::Fence) => {}
             Ok(other) => panic!("unexpected wake during pre-send ack wait: {other:?}"),
             Err(RecvTimeoutError::Timeout) => {
+                if n.is_aborting() {
+                    // The machine was declared dead (panic isolation /
+                    // watchdog): unwind instead of re-arming retries.
+                    std::panic::panic_any(prescient_tempest::Aborted);
+                }
                 rounds += 1;
                 n.tracer().emit(
                     EventKind::PresendRetry,

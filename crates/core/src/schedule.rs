@@ -117,7 +117,7 @@ impl ReplayRun {
 }
 
 /// One phase's schedule at one home node.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct PhaseSchedule {
     /// Recorded entries, by block.
     pub entries: HashMap<BlockId, ScheduleEntry>,
@@ -201,7 +201,7 @@ impl PhaseSchedule {
 }
 
 /// All phases' schedules at one home node.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ScheduleStore {
     phases: HashMap<PhaseId, PhaseSchedule>,
 }

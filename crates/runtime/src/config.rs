@@ -2,7 +2,9 @@
 
 use prescient_core::PredictiveConfig;
 use prescient_stache::RetryConfig;
-use prescient_tempest::{BatchConfig, CostModel, FaultPlan, TraceConfig};
+use prescient_tempest::{BatchConfig, CostModel, CrashPlan, FaultPlan, TraceConfig};
+
+use crate::recovery::WatchdogConfig;
 
 /// Which coherence protocol the machine runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,11 +62,29 @@ pub struct MachineConfig {
     /// explicitly. On teardown a traced machine exports the merged event
     /// stream (see `crate::Machine`).
     pub trace: TraceConfig,
+    /// Injected crash: "crash node n at phase-execution k" (fires at that
+    /// phase's end, destroying its work). Constructors take the
+    /// `PRESCIENT_CRASH` environment override (`"node@version"`) when
+    /// present; [`MachineConfig::with_crash_plan`] pins it explicitly and
+    /// enables checkpointing so the machine can recover.
+    pub crash: Option<CrashPlan>,
+    /// Barrier-consistent checkpointing: every `phase_begin` snapshots
+    /// each node's protocol state so an injected crash rolls the machine
+    /// back to the last completed barrier instead of dying. Off by
+    /// default (zero overhead); enabled by
+    /// [`MachineConfig::with_checkpoints`] or implicitly by a crash plan.
+    pub checkpoints: bool,
+    /// Liveness watchdog: convert infinite hangs (full partitions,
+    /// stalled recoveries, protocol deadlocks) into a structured
+    /// `MachineError` within a bounded wall-clock budget. `None` (the
+    /// default) runs no monitor thread.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl MachineConfig {
     /// An unoptimized (plain Stache) machine.
     pub fn stache(nodes: usize, block_size: usize) -> MachineConfig {
+        let crash = CrashPlan::from_env();
         MachineConfig {
             nodes,
             block_size,
@@ -75,6 +95,12 @@ impl MachineConfig {
             validate: false,
             batch: BatchConfig::default_for_fabric(),
             trace: TraceConfig::default_for_machine(),
+            crash,
+            // A crash without a checkpoint is fatal; an env-injected crash
+            // is meant to exercise recovery, so it brings checkpointing
+            // along (as does `with_crash_plan`).
+            checkpoints: crash.is_some(),
+            watchdog: None,
         }
     }
 
@@ -116,6 +142,27 @@ impl MachineConfig {
         self.trace = trace;
         self
     }
+
+    /// Inject a crash (overrides the `PRESCIENT_CRASH` environment
+    /// default) and enable the checkpointing that lets the machine
+    /// recover from it.
+    pub fn with_crash_plan(mut self, plan: CrashPlan) -> MachineConfig {
+        self.crash = Some(plan);
+        self.checkpoints = true;
+        self
+    }
+
+    /// Enable or disable barrier-consistent checkpointing explicitly.
+    pub fn with_checkpoints(mut self, on: bool) -> MachineConfig {
+        self.checkpoints = on;
+        self
+    }
+
+    /// Run the liveness watchdog with the given policy.
+    pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> MachineConfig {
+        self.watchdog = Some(watchdog);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -145,5 +192,20 @@ mod tests {
             MachineConfig::stache(2, 32).with_batch(BatchConfig::new(64)).batch.max_batch,
             64
         );
+    }
+
+    #[test]
+    fn crash_plan_brings_checkpoints_along() {
+        let c = MachineConfig::predictive(4, 32);
+        assert!(c.crash.is_none());
+        assert!(!c.checkpoints);
+        assert!(c.watchdog.is_none());
+        let c = c.with_crash_plan(CrashPlan::new(2, 3));
+        assert_eq!(c.crash.expect("plan").node, 2);
+        assert!(c.checkpoints, "a crash plan must enable recovery");
+        let c = MachineConfig::stache(4, 32).with_checkpoints(true);
+        assert!(c.checkpoints);
+        let c = c.with_watchdog(WatchdogConfig::default());
+        assert!(c.watchdog.is_some());
     }
 }

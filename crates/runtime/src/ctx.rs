@@ -9,15 +9,30 @@
 
 use std::sync::Arc;
 
-use crossbeam::channel::Receiver;
+use crossbeam::channel::{Receiver, RecvTimeoutError};
 use prescient_core::presend::presend;
 use prescient_core::{PhaseId, Predictive};
 use prescient_stache::engine::fetch;
-use prescient_stache::{NodeShared, Wake};
+use prescient_stache::{Msg, NodeShared, Wake};
 use prescient_tempest::trace::{pack_fault_end, EventKind};
-use prescient_tempest::{CostModel, GAddr, NodeId, NodeStats, Prim, TimeBreakdown, VBarrier};
+use prescient_tempest::{
+    CostModel, CrashPlan, GAddr, NodeId, NodeStats, Prim, TimeBreakdown, VBarrier,
+};
 
 use crate::machine::ReduceScratch;
+use crate::recovery::{Checkpoint, CheckpointStore, RecoveryCtl};
+
+/// How one execution of a phase ended, as reported by
+/// [`NodeCtx::try_phase_end`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseOutcome {
+    /// The phase's work is committed; proceed.
+    Committed,
+    /// A crash destroyed the phase's work; the machine has rolled back to
+    /// the checkpoint taken at this phase's `phase_begin` and the caller
+    /// must re-execute the phase body ([`NodeCtx::phase`] does).
+    Replay,
+}
 
 /// Per-node program context. One exists per compute thread per run.
 pub struct NodeCtx {
@@ -33,15 +48,31 @@ pub struct NodeCtx {
     /// Phase currently open via `phase_begin` (0 outside any phase);
     /// trace events are attributed to it.
     cur_phase: PhaseId,
+    /// Crash/recovery coordination shared with every other node.
+    recovery: Arc<RecoveryCtl>,
+    /// The per-node checkpoint slots.
+    ckpts: Arc<CheckpointStore>,
+    /// Injected crash, if the machine runs one.
+    crash: Option<CrashPlan>,
+    /// Take a checkpoint at every `phase_begin`.
+    checkpoints: bool,
+    /// Phase-execution ordinal: how many `phase_begin`s this run has
+    /// executed (the crash plan's `at_version` counts these).
+    version: u64,
 }
 
 impl NodeCtx {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         shared: Arc<NodeShared>,
         pred: Option<Arc<Predictive>>,
         wake_rx: Receiver<Wake>,
         barrier: Arc<VBarrier>,
         reduce: Arc<ReduceScratch>,
+        recovery: Arc<RecoveryCtl>,
+        ckpts: Arc<CheckpointStore>,
+        crash: Option<CrashPlan>,
+        checkpoints: bool,
     ) -> NodeCtx {
         let cost = shared.cost;
         NodeCtx {
@@ -55,6 +86,11 @@ impl NodeCtx {
             cost,
             t: TimeBreakdown::default(),
             cur_phase: 0,
+            recovery,
+            ckpts,
+            crash,
+            checkpoints,
+            version: 0,
         }
     }
 
@@ -246,6 +282,10 @@ impl NodeCtx {
     ///
     /// Under plain Stache this is a no-op (the unoptimized program).
     pub fn phase_begin(&mut self, phase: PhaseId) {
+        self.version += 1;
+        if self.checkpoints {
+            self.take_checkpoint();
+        }
         self.cur_phase = phase;
         self.shared.tracer().set_phase(phase);
         self.trace(EventKind::PhaseBegin, u64::from(phase), 0);
@@ -272,18 +312,221 @@ impl NodeCtx {
     /// predictive protocol, additionally stop recording (between two
     /// barriers, so every in-phase request lands in the schedule and no
     /// post-phase request does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a crash destroyed this phase's work: the raw directive
+    /// has no way to re-execute the body. Run crash-recovery machines
+    /// through [`NodeCtx::phase`], which replays automatically.
     pub fn phase_end(&mut self) {
-        match self.pred.clone() {
-            None => self.barrier(),
-            Some(pred) => {
-                self.barrier();
-                pred.end_phase();
-                self.barrier_presend();
+        if self.try_phase_end() == PhaseOutcome::Replay {
+            panic!(
+                "node {}: phase {} must be replayed after crash recovery, but it was closed \
+                 with the raw phase_end() directive; execute recoverable phases through \
+                 NodeCtx::phase(...) so the body can re-run",
+                self.me(),
+                self.cur_phase,
+            );
+        }
+    }
+
+    /// Close the current phase, reporting whether its work committed or a
+    /// crash rolled the machine back ([`PhaseOutcome::Replay`] obliges the
+    /// caller to re-execute the phase body; [`NodeCtx::phase`] wraps this).
+    ///
+    /// The injected crash fires here, at phase-end entry — the canonical
+    /// worst case: the phase's compute is done but not yet committed by
+    /// the closing barrier, so all of it is lost and must be replayed.
+    pub fn try_phase_end(&mut self) -> PhaseOutcome {
+        if let Some(plan) = self.crash {
+            if plan.node == self.me()
+                && plan.at_version == self.version
+                && self.recovery.consume_crash()
+            {
+                self.trace(EventKind::Crash, u64::from(self.me()), self.version);
+                assert!(
+                    self.checkpoints,
+                    "node {}: injected crash at phase version {} with checkpointing disabled \
+                     (no checkpoint to recover to)",
+                    self.me(),
+                    self.version,
+                );
+                // Raise the flag *before* entering the closing barrier:
+                // every node is guaranteed to observe it when it leaves.
+                self.recovery.declare_crash(self.me());
             }
+        }
+        self.barrier();
+        if self.recovery.crashed().is_some() {
+            return self.recover();
+        }
+        if let Some(pred) = self.pred.clone() {
+            pred.end_phase();
+            self.barrier_presend();
         }
         self.trace(EventKind::PhaseEnd, u64::from(self.cur_phase), 0);
         self.cur_phase = 0;
         self.shared.tracer().set_phase(0);
+        PhaseOutcome::Committed
+    }
+
+    /// Execute one phase instance with automatic crash recovery: clones
+    /// `state`, runs `phase_begin(id)` / `body` / the closing directive,
+    /// and — if a crash rolled the machine back to this phase's checkpoint
+    /// — restores `state` from the clone and re-executes the body, exactly
+    /// re-creating the lost instance.
+    ///
+    /// `state` must carry everything the body mutates that lives *outside*
+    /// shared memory (e.g. private velocity arrays); shared memory itself
+    /// is rolled back by the checkpoint. Bodies must not call
+    /// [`NodeCtx::allreduce_sum`] (reductions belong between phases, where
+    /// no replay can re-run them).
+    pub fn phase<S, F>(&mut self, phase: PhaseId, state: &mut S, mut body: F)
+    where
+        S: Clone,
+        F: FnMut(&mut NodeCtx, &mut S),
+    {
+        loop {
+            let saved = state.clone();
+            self.phase_begin(phase);
+            body(self, state);
+            match self.try_phase_end() {
+                PhaseOutcome::Committed => return,
+                PhaseOutcome::Replay => *state = saved,
+            }
+        }
+    }
+
+    // ----- crash recovery (DESIGN.md §12) ---------------------------------
+
+    /// A barrier used by the checkpoint/recovery machinery itself:
+    /// rendezvous and flush like every barrier, but bill no virtual time —
+    /// recovery is a fault-tolerance artifact, invisible to the paper's
+    /// figures (and on the replay path the clock is rolled back anyway).
+    fn barrier_recover(&mut self) {
+        self.shared.flush_net();
+        let _ = self.barrier.wait(self.t.total_ns());
+    }
+
+    /// Capture this node's shard of a barrier-consistent checkpoint.
+    /// Called at `phase_begin`, between two barriers: on entry every
+    /// compute thread has stopped issuing requests and every multi-hop
+    /// round has completed (barriers are protocol quiescence points), so
+    /// the cut contains no in-flight state; the closing barrier keeps any
+    /// node from racing ahead and faulting into a half-captured peer.
+    fn take_checkpoint(&mut self) {
+        self.barrier_recover();
+        self.trace(EventKind::CheckpointBegin, self.version, 0);
+        // Count the checkpoint *before* the stats snapshot so the cut is
+        // self-consistent: restoring it and replaying re-counts exactly
+        // what a fault-free execution from this point would.
+        NodeStats::bump(&self.shared.stats.checkpoints);
+        let node = self.shared.checkpoint();
+        let bytes = node.bytes();
+        NodeStats::add(&self.shared.stats.checkpoint_bytes, bytes);
+        let ckpt = Checkpoint {
+            version: self.version,
+            node,
+            pred: self.pred.as_ref().map(|p| p.checkpoint()),
+            stats: self.shared.stats.snapshot(),
+            vtime: self.t,
+            reduce_round: self.reduce_round,
+        };
+        self.ckpts.store(self.me(), ckpt);
+        self.trace(EventKind::CheckpointEnd, self.version, bytes);
+        self.barrier_recover();
+    }
+
+    /// Drain this node's inbox: self-send a [`Msg::Fence`] and wait for it
+    /// to come back as [`Wake::Fence`]. The self-send bypasses both the
+    /// egress buffer and the fault layer, so the marker lands in this
+    /// node's FIFO inbox *behind* every wire batch already queued there —
+    /// its arrival proves the protocol thread has handled them all.
+    /// Wake-ups from the destroyed phase (stale grants, pre-send acks)
+    /// surface here and are discarded.
+    fn fence_round(&mut self) {
+        self.shared.send(self.me(), Msg::Fence);
+        loop {
+            match self.wake_rx.recv_timeout(self.shared.retry.timeout) {
+                Ok(Wake::Fence) => return,
+                Ok(_) => {} // dead phase's wake-ups: drop
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.shared.is_aborting() {
+                        std::panic::panic_any(prescient_tempest::Aborted);
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("protocol thread terminated during recovery fence")
+                }
+            }
+        }
+    }
+
+    /// The recovery protocol, run by *every* node once the crash flag is
+    /// observed at a phase-end barrier. Three stages:
+    ///
+    /// 1. **Purge + drain.** Node 0 discards everything the fault layer
+    ///    holds (at a quiescent cut every delayed/duplicated message is
+    ///    semantically dead — its original was already answered), then two
+    ///    fence rounds with barriers between empty the inbox channels:
+    ///    round 1 drains in-flight batches (whose handling may emit
+    ///    replies), round 2 drains those replies (all rejected as stale by
+    ///    the seq/op/epoch gates). A second purge discards any reply the
+    ///    fault layer captured in between. After the last barrier the
+    ///    fabric is empty *and silent*.
+    /// 2. **Restore.** Each node rolls its own shard back to the
+    ///    checkpoint: block store, directory, watermarks, predictive
+    ///    state, statistics, virtual clock. With the fabric silent this
+    ///    cannot race with anything.
+    /// 3. **Re-arm.** Node 0 lowers the crash flag; the caller replays the
+    ///    phase, whose `phase_begin` re-runs the pre-send and re-arms
+    ///    recording from the restored schedules — an exact re-execution.
+    fn recover(&mut self) -> PhaseOutcome {
+        let crashed = self.recovery.crashed().expect("recover() without a crash pending");
+        let ckpt = self
+            .ckpts
+            .load(self.me())
+            .expect("crash observed before the first checkpoint was taken");
+        self.trace(EventKind::RecoveryBegin, ckpt.version, u64::from(crashed));
+        if self.me() == 0 {
+            self.shared.purge_faults();
+        }
+        self.barrier_recover();
+        self.fence_round();
+        self.barrier_recover();
+        self.fence_round();
+        self.barrier_recover();
+        if self.me() == 0 {
+            self.shared.purge_faults();
+        }
+        self.barrier_recover();
+        // The fabric is empty and silent: restore this node's shard.
+        self.shared.restore(&ckpt.node);
+        if let (Some(p), Some(pc)) = (&self.pred, &ckpt.pred) {
+            p.restore(pc);
+        }
+        self.shared.stats.restore(&ckpt.stats);
+        self.t = ckpt.vtime;
+        self.reduce_round = ckpt.reduce_round;
+        // The replayed phase_begin re-increments to the checkpoint's
+        // version, so later phases keep their fault-free ordinals.
+        self.version = ckpt.version - 1;
+        self.stash.clear();
+        while self.wake_rx.try_recv().is_ok() {}
+        self.barrier_recover();
+        if self.me() == 0 {
+            self.recovery.clear();
+        }
+        // Count the recovery *after* the rollback so it survives it; these
+        // counters are reported but never equality-gated (a recovered run
+        // is bit-identical to fault-free in every gated column).
+        NodeStats::bump(&self.shared.stats.recoveries);
+        NodeStats::bump(&self.shared.stats.replays);
+        self.trace(EventKind::RecoveryEnd, ckpt.version, 0);
+        self.barrier_recover();
+        self.cur_phase = 0;
+        self.shared.tracer().set_phase(0);
+        PhaseOutcome::Replay
     }
 
     /// Execute a phase's pre-send *without* arming recording: the

@@ -16,7 +16,10 @@
 //! * [`agg`] — distributed aggregates (1-D and 2-D arrays of primitives)
 //!   with the block / row-block / tiled computation distributions of §4.1;
 //! * [`report`] — run reports mirroring the paper's stacked bars (remote
-//!   data wait / predictive protocol / compute + synch).
+//!   data wait / predictive protocol / compute + synch);
+//! * [`recovery`] — crash faults, barrier-consistent checkpoint/rollback,
+//!   and the liveness watchdog that converts hangs into structured
+//!   [`MachineError`]s (DESIGN.md §12).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,10 +28,15 @@ pub mod agg;
 pub mod config;
 pub mod ctx;
 pub mod machine;
+pub mod recovery;
 pub mod report;
 
 pub use agg::{Agg1D, Agg2D, Dist1D, Dist2D};
 pub use config::{MachineConfig, ProtocolKind};
-pub use ctx::NodeCtx;
+pub use ctx::{NodeCtx, PhaseOutcome};
 pub use machine::Machine;
+pub use recovery::{
+    Checkpoint, CheckpointStore, FailureKind, MachineError, NodeErrorState, RecoveryCtl,
+    WatchdogConfig,
+};
 pub use report::{NodeReport, RunReport};

@@ -1,5 +1,7 @@
 //! The emulated machine: node assembly, SPMD execution, reduction scratch.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -10,10 +12,15 @@ use prescient_core::{AccessTap, Predictive};
 use prescient_stache::{spawn_protocol, Msg, NoHooks, NodeShared, Wake};
 use prescient_tempest::fabric::{Fabric, FabricCtl};
 use prescient_tempest::trace::{merge, to_chrome_json, to_jsonl};
-use prescient_tempest::{FaultStats, GAddr, GlobalLayout, NodeId, TraceEvent, Tracer, VBarrier};
+use prescient_tempest::{
+    Aborted, FaultStats, GAddr, GlobalLayout, NodeId, TraceEvent, Tracer, VBarrier,
+};
 
 use crate::config::{MachineConfig, ProtocolKind};
 use crate::ctx::NodeCtx;
+use crate::recovery::{
+    CheckpointStore, ErrorSlot, FailureKind, MachineError, NodeErrorState, RecoveryCtl, Watchdog,
+};
 use crate::report::{NodeReport, RunReport};
 
 /// Scratch space for runtime reductions (a C\*\* language feature, handled
@@ -48,6 +55,11 @@ pub struct Machine {
     ctl: Arc<FabricCtl>,
     tracers: Vec<Tracer>,
     joins: Vec<JoinHandle<()>>,
+    /// Crash flag + crash-plan latch; machine-lifetime, so a plan fires at
+    /// most once even across multiple [`Machine::run`] calls.
+    recovery: Arc<RecoveryCtl>,
+    /// Per-node checkpoint slots (empty until a checkpointed phase runs).
+    ckpts: Arc<CheckpointStore>,
 }
 
 impl Machine {
@@ -115,6 +127,8 @@ impl Machine {
             ctl,
             tracers,
             joins,
+            recovery: Arc::new(RecoveryCtl::new()),
+            ckpts: Arc::new(CheckpointStore::new(cfg.nodes)),
         }
     }
 
@@ -194,7 +208,31 @@ impl Machine {
     /// Run an SPMD program: `f` executes concurrently on every node's
     /// compute thread. Returns each node's result plus the run report with
     /// the paper's time breakdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the structured [`MachineError`] report if the run dies
+    /// (a compute thread panicked, or the watchdog declared the machine
+    /// stalled). Use [`Machine::try_run`] to handle failures as values.
     pub fn run<R, F>(&mut self, f: F) -> (Vec<R>, RunReport)
+    where
+        R: Send,
+        F: Fn(&mut NodeCtx) -> R + Sync,
+    {
+        self.try_run(f).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Machine::run`], but a dying machine produces `Err(MachineError)`
+    /// instead of a hang or a bare panic: every compute thread runs under
+    /// a panic guard, and the first failure aborts the fabric and poisons
+    /// the barrier so all of its siblings unwind and join (a mid-phase
+    /// panic on one node can never hang the other 31 in a barrier). With a
+    /// watchdog configured, zero-progress hangs (e.g. a full partition)
+    /// are converted the same way within the watchdog's wall-clock budget.
+    ///
+    /// A machine that returned `Err` is dead — the fabric abort flag and
+    /// barrier poison stay raised; build a fresh machine to run again.
+    pub fn try_run<R, F>(&mut self, f: F) -> Result<(Vec<R>, RunReport), MachineError>
     where
         R: Send,
         F: Fn(&mut NodeCtx) -> R + Sync,
@@ -204,8 +242,26 @@ impl Machine {
         let wire0 = self.ctl.wire();
         let rxs: Vec<Receiver<Wake>> =
             self.wake_rxs.iter_mut().map(|o| o.take().expect("machine already running")).collect();
+        // Restore clones immediately (crossbeam receivers share the
+        // channel), so the machine's inboxes survive even a panicked run.
+        for (i, rx) in rxs.iter().enumerate() {
+            self.wake_rxs[i] = Some(rx.clone());
+        }
 
-        let mut out: Vec<(R, prescient_tempest::TimeBreakdown, Receiver<Wake>)> =
+        let errors = Arc::new(ErrorSlot::new());
+        let watchdog = self.cfg.watchdog.map(|wcfg| {
+            Watchdog::spawn(
+                wcfg,
+                self.shareds.clone(),
+                Arc::clone(&self.recovery),
+                Arc::clone(&self.barrier),
+                Arc::clone(&self.ctl),
+                Arc::clone(&errors),
+                self.tracers[0].clone(),
+            )
+        });
+
+        let mut out: Vec<Option<(R, prescient_tempest::TimeBreakdown)>> =
             std::thread::scope(|scope| {
                 let handles: Vec<_> = rxs
                     .into_iter()
@@ -216,16 +272,79 @@ impl Machine {
                         let pred = self.preds.as_ref().map(|p| Arc::clone(&p[i]));
                         let barrier = Arc::clone(&self.barrier);
                         let reduce = Arc::clone(&self.reduce);
+                        let recovery = Arc::clone(&self.recovery);
+                        let ckpts = Arc::clone(&self.ckpts);
+                        let crash = self.cfg.crash;
+                        let checkpoints = self.cfg.checkpoints;
+                        let errors = Arc::clone(&errors);
+                        let ctl = Arc::clone(&self.ctl);
                         scope.spawn(move || {
-                            let mut ctx = NodeCtx::new(shared, pred, rx, barrier, reduce);
-                            let r = f(&mut ctx);
-                            let (breakdown, rx) = ctx.finish();
-                            (r, breakdown, rx)
+                            let guard_barrier = Arc::clone(&barrier);
+                            let r = catch_unwind(AssertUnwindSafe(|| {
+                                let mut ctx = NodeCtx::new(
+                                    shared,
+                                    pred,
+                                    rx,
+                                    barrier,
+                                    reduce,
+                                    recovery,
+                                    ckpts,
+                                    crash,
+                                    checkpoints,
+                                );
+                                let r = f(&mut ctx);
+                                let (breakdown, _rx) = ctx.finish();
+                                (r, breakdown)
+                            }));
+                            match r {
+                                Ok(v) => Some(v),
+                                Err(payload) => {
+                                    // `Aborted` payloads are collateral from a
+                                    // failure already recorded elsewhere; real
+                                    // panics race for the first-failure slot.
+                                    if payload.downcast_ref::<Aborted>().is_none() {
+                                        let msg = payload
+                                            .downcast_ref::<&str>()
+                                            .map(|s| (*s).to_string())
+                                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                                            .unwrap_or_else(|| {
+                                                "compute thread panicked (opaque payload)".into()
+                                            });
+                                        errors.record(FailureKind::Panic, Some(i as NodeId), msg);
+                                    }
+                                    // Unblock every sibling: barrier waiters
+                                    // unwind via poison, fetch/pre-send
+                                    // timeout loops via the abort flag.
+                                    ctl.abort();
+                                    guard_barrier.poison();
+                                    None
+                                }
+                            }
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("compute thread panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("compute thread panicked outside the panic guard"))
+                    .collect()
             });
+
+        if let Some(w) = watchdog {
+            w.stop();
+        }
+
+        if let Some((kind, node, message)) = errors.take() {
+            return Err(self.machine_error(kind, node, message));
+        }
+        if out.iter().any(Option::is_none) {
+            // Abort collateral without a recorded first failure should be
+            // impossible; refuse to fabricate a success if it happens.
+            return Err(self.machine_error(
+                FailureKind::Panic,
+                None,
+                "compute thread aborted without a recorded failure".into(),
+            ));
+        }
 
         if self.cfg.validate {
             // All compute threads have joined and every fetch/pre-send
@@ -237,8 +356,8 @@ impl Machine {
 
         let mut results = Vec::with_capacity(out.len());
         let mut per_node = Vec::with_capacity(out.len());
-        for (i, (r, breakdown, rx)) in out.drain(..).enumerate() {
-            self.wake_rxs[i] = Some(rx);
+        for (i, o) in out.drain(..).enumerate() {
+            let (r, breakdown) = o.expect("checked above");
             results.push(r);
             let stats = self.shareds[i].stats.snapshot();
             per_node.push(NodeReport {
@@ -248,10 +367,36 @@ impl Machine {
                 unused_presends: self.shareds[i].mem.lock().unused_presends() as u64,
             });
         }
-        (
+        Ok((
             results,
             RunReport { per_node, wall: wall_start.elapsed(), wire: self.ctl.wire().sub(&wire0) },
-        )
+        ))
+    }
+
+    /// Assemble the structured death report: the failure, every node's
+    /// protocol state, and the tail of the merged trace (when tracing ran).
+    fn machine_error(
+        &self,
+        kind: FailureKind,
+        node: Option<NodeId>,
+        message: String,
+    ) -> MachineError {
+        let nodes = self
+            .shareds
+            .iter()
+            .map(|s| NodeErrorState {
+                node: s.me,
+                outstanding_fetch: s.outstanding(),
+                msgs_out: s.stats.msgs_out.load(Ordering::Relaxed),
+                retries: s.stats.retries.load(Ordering::Relaxed),
+                presend_retries: s.stats.presend_retries.load(Ordering::Relaxed),
+                recoveries: s.stats.recoveries.load(Ordering::Relaxed),
+            })
+            .collect();
+        let (events, _) = self.trace_events();
+        let tail_from = events.len().saturating_sub(16);
+        let trace_tail = to_jsonl(&events[tail_from..]).lines().map(str::to_string).collect();
+        MachineError { kind, node, message, nodes, trace_tail }
     }
 }
 

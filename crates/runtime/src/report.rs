@@ -85,9 +85,11 @@ impl RunReport {
     /// per-app objects, so the keys CI diffs (`wall_ms`, `vtime_ns`,
     /// `msgs`, `bytes_moved`, `blocks_moved`, `misses`, `presend_blocks`,
     /// `presend_useless`, `wire_batches`, `wire_occupancy`, `wire_hist`,
+    /// `checkpoints`, `checkpoint_bytes`, `recoveries`, `replays`,
     /// `local_pct`) are defined here exactly once. `wall_ms`, the `wire_*`
     /// keys and `wire_hist` are timing-dependent — reported, never
-    /// equality-gated.
+    /// equality-gated; the checkpoint/recovery counters (DESIGN.md §12)
+    /// are fault-tolerance observability, likewise never equality-gated.
     pub fn gate_counters_json(&self, indent: &str) -> String {
         use std::fmt::Write as _;
         let t = self.total_stats();
@@ -108,6 +110,10 @@ impl RunReport {
             write!(s, "{sep}\"{}\": {n}", WireSnapshot::bucket_label(i)).unwrap();
         }
         writeln!(s, "}},").unwrap();
+        writeln!(s, "{indent}\"checkpoints\": {},", t.checkpoints).unwrap();
+        writeln!(s, "{indent}\"checkpoint_bytes\": {},", t.checkpoint_bytes).unwrap();
+        writeln!(s, "{indent}\"recoveries\": {},", t.recoveries).unwrap();
+        writeln!(s, "{indent}\"replays\": {},", t.replays).unwrap();
         write!(s, "{indent}\"local_pct\": {:.2}", self.local_fraction() * 100.0).unwrap();
         s
     }
@@ -224,6 +230,10 @@ mod tests {
         assert!(j.starts_with("      \"wall_ms\": "));
         assert!(j.contains("\"vtime_ns\": 1000000,"));
         assert!(j.contains("\"wire_hist\": {\"1\": 0, \"2\": 0,"));
+        assert!(j.contains("\"checkpoints\": 0,"));
+        assert!(j.contains("\"checkpoint_bytes\": 0,"));
+        assert!(j.contains("\"recoveries\": 0,"));
+        assert!(j.contains("\"replays\": 0,"));
         // Last line: no trailing comma, no trailing newline.
         assert!(j.ends_with("\"local_pct\": 100.00"));
     }

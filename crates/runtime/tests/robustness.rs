@@ -1,0 +1,284 @@
+//! Robustness end-to-end tests (DESIGN.md §12): mid-phase panics become
+//! structured errors instead of hangs, the liveness watchdog converts a
+//! fully partitioned (deadlocked) machine into a bounded-time
+//! [`MachineError`], and the checkpoint/recovery trace events appear in
+//! the protocol event stream.
+
+use std::time::{Duration, Instant};
+
+use prescient_runtime::{
+    Agg1D, Dist1D, FailureKind, Machine, MachineConfig, NodeCtx, WatchdogConfig,
+};
+use prescient_stache::RetryConfig;
+use prescient_tempest::trace::EventKind;
+use prescient_tempest::{CrashPlan, FaultPlan, PartitionSpec, TraceConfig};
+
+const NODES: usize = 4;
+const N: usize = 256;
+
+/// One relaxation sweep over a shared array — enough traffic that every
+/// node blocks on its neighbors.
+fn sweep(ctx: &mut NodeCtx, a: &Agg1D<f64>, b: &Agg1D<f64>) {
+    let n = a.len();
+    for i in a.my_range(ctx.me()) {
+        let v = if i > 0 && i + 1 < n {
+            let l: f64 = ctx.read(a.addr(i - 1));
+            let r: f64 = ctx.read(a.addr(i + 1));
+            0.5 * (l + r)
+        } else {
+            ctx.read(a.addr(i))
+        };
+        ctx.write(b.addr(i), v);
+    }
+}
+
+fn init(m: &mut Machine, a: &Agg1D<f64>, b: &Agg1D<f64>) {
+    m.run(|ctx: &mut NodeCtx| {
+        for i in a.my_range(ctx.me()) {
+            ctx.write(a.addr(i), i as f64);
+            ctx.write(b.addr(i), i as f64);
+        }
+        ctx.barrier();
+    });
+}
+
+// ---- panic isolation ----------------------------------------------------
+
+#[test]
+fn mid_phase_panic_becomes_structured_error_not_a_hang() {
+    // Regression for the panic-hang class: before try_run, a panicking
+    // compute thread left its siblings blocked in the barrier forever and
+    // the std::thread::scope join deadlocked the whole process.
+    let start = Instant::now();
+    let mut m = Machine::new(MachineConfig::predictive(NODES, 64));
+    let a = Agg1D::<f64>::new(&m, N, Dist1D::Block);
+    let b = Agg1D::<f64>::new(&m, N, Dist1D::Block);
+    init(&mut m, &a, &b);
+
+    let err = m
+        .try_run(|ctx: &mut NodeCtx| {
+            ctx.phase_begin(1);
+            sweep(ctx, &a, &b);
+            if ctx.me() == 1 {
+                panic!("injected application bug on node 1");
+            }
+            ctx.phase_end();
+            ctx.barrier();
+        })
+        .expect_err("a panicking node must fail the run");
+
+    assert_eq!(err.kind, FailureKind::Panic);
+    assert_eq!(err.node, Some(1), "the panicking node is identified");
+    assert!(
+        err.message.contains("injected application bug"),
+        "the panic message survives: {}",
+        err.message
+    );
+    assert_eq!(err.nodes.len(), NODES, "per-node protocol state is attached");
+    // The whole teardown (including Machine drop later) must be prompt —
+    // the old behavior was an infinite hang.
+    assert!(start.elapsed() < Duration::from_secs(60), "teardown must not hang");
+    drop(m);
+    assert!(start.elapsed() < Duration::from_secs(60), "drop must not hang");
+}
+
+#[test]
+fn run_panics_with_the_structured_report() {
+    // `run` (the panicking wrapper) must carry the MachineError display.
+    let mut m = Machine::new(MachineConfig::stache(2, 64));
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        m.run(|ctx: &mut NodeCtx| {
+            if ctx.me() == 0 {
+                panic!("boom");
+            }
+            ctx.barrier();
+        });
+    }))
+    .expect_err("must panic");
+    let msg = caught.downcast_ref::<String>().expect("string panic payload");
+    assert!(msg.contains("machine panic"), "structured prefix: {msg}");
+    assert!(msg.contains("boom"), "original message: {msg}");
+}
+
+#[test]
+fn raw_phase_end_refuses_to_swallow_a_replay() {
+    // Crash injected, but the program uses the raw phase_end() directive:
+    // the runtime must fail loudly, pointing at NodeCtx::phase, rather
+    // than silently committing a destroyed phase.
+    let mut m =
+        Machine::new(MachineConfig::predictive(NODES, 64).with_crash_plan(CrashPlan::new(1, 1)));
+    let a = Agg1D::<f64>::new(&m, N, Dist1D::Block);
+    let b = Agg1D::<f64>::new(&m, N, Dist1D::Block);
+    init(&mut m, &a, &b);
+
+    let err = m
+        .try_run(|ctx: &mut NodeCtx| {
+            ctx.phase_begin(1);
+            sweep(ctx, &a, &b);
+            ctx.phase_end();
+        })
+        .expect_err("raw phase_end under a crash must error");
+    assert_eq!(err.kind, FailureKind::Panic);
+    assert!(
+        err.message.contains("NodeCtx::phase"),
+        "the error teaches the recoverable API: {}",
+        err.message
+    );
+}
+
+// ---- the liveness watchdog ----------------------------------------------
+
+#[test]
+fn watchdog_converts_full_partition_into_bounded_deadlock_error() {
+    // Sever every inter-node link from the first send onward. Every fetch
+    // retries forever (retries are excluded from "useful progress"), so
+    // without the watchdog this run would hang until the retry budget's
+    // "machine wedged" panic — and hang forever if retries were unbounded.
+    let wd = WatchdogConfig { poll: Duration::from_millis(25), stalled_polls: 8 };
+    let start = Instant::now();
+    let mut m = Machine::new(
+        MachineConfig::stache(NODES, 64)
+            .with_faults(FaultPlan::new(7).partitioned(PartitionSpec::total()))
+            .with_retry(RetryConfig { timeout: Duration::from_millis(25), max_retries: 1_000_000 })
+            .with_watchdog(wd)
+            .with_trace(TraceConfig::on()),
+    );
+    let a = Agg1D::<f64>::new(&m, N, Dist1D::Block);
+    let b = Agg1D::<f64>::new(&m, N, Dist1D::Block);
+    // No init run: the first sweep's remote reads block immediately.
+
+    let err = m
+        .try_run(|ctx: &mut NodeCtx| {
+            sweep(ctx, &a, &b);
+            ctx.barrier();
+        })
+        .expect_err("a fully partitioned machine must be declared dead");
+
+    // Classification: no crash is pending, so this is a deadlock.
+    assert_eq!(err.kind, FailureKind::Deadlock);
+    assert!(err.message.contains("no useful progress"), "{}", err.message);
+    assert!(err.message.contains("deadlock"), "{}", err.message);
+    // The report names the blocked nodes and their protocol state.
+    assert_eq!(err.nodes.len(), NODES);
+    assert!(
+        err.nodes.iter().any(|s| s.outstanding_fetch > 0),
+        "some node must be blocked on a fetch: {err}"
+    );
+    assert!(err.nodes.iter().any(|s| s.retries > 0), "retries tick during the partition: {err}");
+    // The last trace events ride along (tracing was on).
+    assert!(!err.trace_tail.is_empty(), "trace tail attached");
+    // Detection is wall-clock bounded: budget (200ms) plus scheduling and
+    // teardown slack — far below the >25 000s the retry budget would take.
+    assert!(
+        start.elapsed() < wd.budget() + Duration::from_secs(30),
+        "watchdog must fire within its budget plus slack, took {:?}",
+        start.elapsed()
+    );
+    let (events, _) = m.trace_events();
+    assert!(events.iter().any(|e| e.kind == EventKind::WatchdogFire), "WatchdogFire event emitted");
+}
+
+#[test]
+fn watchdog_stays_quiet_on_a_healthy_run() {
+    // A healthy machine with an aggressive watchdog must not be killed:
+    // progress counters tick, so the stall counter never accumulates.
+    let mut m = Machine::new(
+        MachineConfig::predictive(NODES, 64)
+            .with_watchdog(WatchdogConfig { poll: Duration::from_millis(10), stalled_polls: 3 })
+            .validated(),
+    );
+    let a = Agg1D::<f64>::new(&m, N, Dist1D::Block);
+    let b = Agg1D::<f64>::new(&m, N, Dist1D::Block);
+    init(&mut m, &a, &b);
+    for _ in 0..3 {
+        m.try_run(|ctx: &mut NodeCtx| {
+            for _ in 0..4 {
+                ctx.phase_begin(1);
+                sweep(ctx, &a, &b);
+                ctx.phase_end();
+                ctx.phase_begin(2);
+                sweep(ctx, &b, &a);
+                ctx.phase_end();
+            }
+        })
+        .expect("healthy run must not be watchdogged");
+    }
+}
+
+// ---- recovery trace events ----------------------------------------------
+
+#[test]
+fn recovery_emits_the_full_event_sequence() {
+    let mut m = Machine::new(
+        MachineConfig::predictive(NODES, 64)
+            .with_crash_plan(CrashPlan::new(2, 3))
+            .with_trace(TraceConfig::on())
+            .validated(),
+    );
+    let a = Agg1D::<f64>::new(&m, N, Dist1D::Block);
+    let b = Agg1D::<f64>::new(&m, N, Dist1D::Block);
+    init(&mut m, &a, &b);
+
+    let (_, report) = m.run(|ctx: &mut NodeCtx| {
+        for _ in 0..3 {
+            ctx.phase(1, &mut (), |ctx, _| sweep(ctx, &a, &b));
+            ctx.phase(2, &mut (), |ctx, _| sweep(ctx, &b, &a));
+        }
+    });
+
+    let t = report.total_stats();
+    assert_eq!(t.recoveries, NODES as u64);
+    assert_eq!(t.replays, NODES as u64);
+    // 6 committed phases + 1 replayed phase, every node checkpoints each.
+    // A checkpoint's snapshot is taken *after* its own counter bump (the
+    // cut is self-consistent), so the rollback keeps the destroyed
+    // phase's checkpoint and the replay adds another: 7 per node.
+    assert_eq!(t.checkpoints, 7 * NODES as u64, "replayed phase re-checkpoints");
+
+    let (events, _) = m.trace_events();
+    let count = |k: EventKind| events.iter().filter(|e| e.kind == k).count();
+    // The crash fires once, on one node.
+    assert_eq!(count(EventKind::Crash), 1);
+    // Every node opens and closes a recovery span once.
+    assert_eq!(count(EventKind::RecoveryBegin), NODES);
+    assert_eq!(count(EventKind::RecoveryEnd), NODES);
+    // Checkpoint spans: the rings hold the *physical* history — 6
+    // committed + 1 replayed phase_begin per node.
+    assert_eq!(count(EventKind::CheckpointBegin), 7 * NODES);
+    assert_eq!(count(EventKind::CheckpointEnd), 7 * NODES);
+    // No watchdog ran.
+    assert_eq!(count(EventKind::WatchdogFire), 0);
+}
+
+// ---- checkpointing without a crash is inert -----------------------------
+
+#[test]
+fn checkpointing_alone_leaves_gated_counters_untouched() {
+    // Satellite guarantee: compiling in + enabling checkpoints (without a
+    // crash) must not change any gated counter — only the never-gated
+    // checkpoint columns may differ.
+    let run = |ckpts: bool| {
+        let mut m = Machine::new(MachineConfig::predictive(NODES, 64).with_checkpoints(ckpts));
+        let a = Agg1D::<f64>::new(&m, N, Dist1D::Block);
+        let b = Agg1D::<f64>::new(&m, N, Dist1D::Block);
+        init(&mut m, &a, &b);
+        let (_, report) = m.run(|ctx: &mut NodeCtx| {
+            for _ in 0..4 {
+                ctx.phase(1, &mut (), |ctx, _| sweep(ctx, &a, &b));
+                ctx.phase(2, &mut (), |ctx, _| sweep(ctx, &b, &a));
+            }
+        });
+        report
+    };
+    let off = run(false);
+    let on = run(true);
+    assert_eq!(on.exec_time_ns(), off.exec_time_ns(), "vtime is checkpoint-invariant");
+    let (ts_on, ts_off) = (on.total_stats(), off.total_stats());
+    assert_eq!(ts_on.msgs_out, ts_off.msgs_out, "message counts are checkpoint-invariant");
+    assert_eq!(ts_on.misses(), ts_off.misses());
+    assert_eq!(ts_on.presend_blocks_out, ts_off.presend_blocks_out);
+    assert_eq!(ts_on.data_bytes_in, ts_off.data_bytes_in);
+    assert_eq!(ts_off.checkpoints, 0);
+    assert_eq!(ts_on.checkpoints, 8 * NODES as u64, "one checkpoint per node per phase");
+    assert!(ts_on.checkpoint_bytes > 0);
+}

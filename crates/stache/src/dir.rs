@@ -158,6 +158,60 @@ impl Directory {
     pub fn iter(&self) -> impl Iterator<Item = (BlockId, &DirEntry)> {
         self.entries.iter().map(|(b, e)| (*b, e))
     }
+
+    /// Capture the directory's full logical state at a quiescent cut.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry is busy or has queued waiters: a barrier is a
+    /// protocol quiescence point, so an in-flight multi-hop operation at
+    /// checkpoint time is a protocol bug, not a checkpointable state.
+    pub fn checkpoint(&self) -> DirCheckpoint {
+        let entries = self
+            .entries
+            .iter()
+            .map(|(b, e)| {
+                assert!(
+                    !e.is_busy() && e.waiters.is_empty(),
+                    "directory entry {b:?} busy at a checkpoint cut"
+                );
+                (*b, e.state)
+            })
+            .collect();
+        DirCheckpoint {
+            entries,
+            last_seq: self.last_seq.iter().map(|(n, s)| (*n, *s)).collect(),
+            next_op: self.next_op,
+        }
+    }
+
+    /// Roll the directory back to a previously captured cut: entry states,
+    /// per-requester seq watermarks, and the op-id allocator all rewind.
+    pub fn restore(&mut self, ckpt: &DirCheckpoint) {
+        self.entries.clear();
+        for (b, state) in &ckpt.entries {
+            self.entries
+                .insert(*b, DirEntry { state: *state, busy: None, waiters: VecDeque::new() });
+        }
+        self.last_seq = ckpt.last_seq.iter().copied().collect();
+        self.next_op = ckpt.next_op;
+    }
+}
+
+/// One home's directory shard at a consistent cut: the stable state of
+/// every materialized entry (no transients — the cut is quiescent), the
+/// per-requester sequence watermarks, and the operation-id allocator.
+///
+/// The watermarks and allocator are what make the restored directory safe
+/// on a still-noisy fabric: they are rolled back *together with* every
+/// requester's seq counter (see `NodeCheckpoint`), so replayed requests
+/// carry seqs the restored watermarks accept, while any pre-rollback
+/// message that survives the recovery drain is rejected as stale.
+#[derive(Debug, Clone)]
+pub struct DirCheckpoint {
+    entries: Vec<(BlockId, DirState)>,
+    last_seq: Vec<(NodeId, u64)>,
+    next_op: u64,
 }
 
 #[cfg(test)]
@@ -201,5 +255,41 @@ mod tests {
         let a = d.alloc_op();
         let b = d.alloc_op();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips() {
+        let mut d = Directory::new();
+        d.entry(BlockId(1)).state = DirState::Shared(NodeSet::single(2));
+        d.entry(BlockId(9)).state = DirState::Exclusive(3);
+        assert!(d.accept_seq(2, 7));
+        let op_before = d.alloc_op();
+        let ckpt = d.checkpoint();
+
+        // Diverge: new entry, watermark moves, more ops burned.
+        d.entry(BlockId(5)).state = DirState::Exclusive(1);
+        assert!(d.accept_seq(2, 20));
+        d.alloc_op();
+        d.alloc_op();
+
+        d.restore(&ckpt);
+        assert_eq!(d.get(BlockId(1)).unwrap().state, DirState::Shared(NodeSet::single(2)));
+        assert_eq!(d.get(BlockId(9)).unwrap().state, DirState::Exclusive(3));
+        assert!(d.get(BlockId(5)).is_none(), "post-cut entries must be forgotten");
+        assert!(!d.accept_seq(2, 7), "restored watermark still rejects the old seq");
+        assert!(d.accept_seq(2, 8), "but accepts the next one");
+        assert_eq!(d.alloc_op(), op_before + 1, "op allocator rewinds");
+    }
+
+    #[test]
+    #[should_panic(expected = "busy at a checkpoint cut")]
+    fn checkpoint_panics_on_busy_entry() {
+        let mut d = Directory::new();
+        d.entry(BlockId(4)).busy = Some(Busy::Recall {
+            req: PendingReq { requester: 1, excl: false, recorded: false, seq: 1 },
+            owner: 2,
+            op: 1,
+        });
+        let _ = d.checkpoint();
     }
 }

@@ -95,6 +95,10 @@ impl Engine {
             }
             Msg::User(um) => self.hooks.on_user(n, src, um),
             Msg::Shutdown => return false,
+            // Recovery drain marker: its arrival proves everything queued
+            // ahead of it in this inbox has been handled; tell the waiting
+            // compute thread.
+            Msg::Fence => n.wake(Wake::Fence),
         }
         true
     }
@@ -630,14 +634,24 @@ pub fn fetch(
                         let _mem = n.mem.lock();
                         n.clear_outstanding();
                     }
-                    if retries > 0 {
-                        NodeStats::add(&n.stats.retries, u64::from(retries));
-                    }
                     return GrantInfo { extra_hops, bytes, recorded, retries };
                 }
                 Ok(w @ Wake::User { .. }) => stash.push(w),
+                // A fence marker from a recovery round that this fetch has
+                // no business consuming cannot occur (fences are only in
+                // flight while every compute thread sits in the recovery
+                // protocol, not in a fetch) — but ignoring one is harmless.
+                Ok(Wake::Fence) => {}
                 Err(RecvTimeoutError::Timeout) => {
+                    if n.is_aborting() {
+                        // The machine was declared dead (panic isolation /
+                        // watchdog): unwind instead of re-arming retries.
+                        std::panic::panic_any(prescient_tempest::Aborted);
+                    }
                     retries += 1;
+                    // Counted at the timeout (not once the grant lands) so
+                    // a wedged fetch is visible to the watchdog's report.
+                    NodeStats::bump(&n.stats.retries);
                     n.tracer().emit(
                         prescient_tempest::trace::EventKind::Retry,
                         block.0,

@@ -42,8 +42,8 @@ pub mod msg;
 pub mod node;
 
 pub use check::check_coherence;
-pub use dir::{DirEntry, DirState, Directory};
+pub use dir::{DirCheckpoint, DirEntry, DirState, Directory};
 pub use engine::{fetch, Engine, GrantInfo};
 pub use hooks::{Hooks, NoHooks};
 pub use msg::{Msg, UserMsg, Wake};
-pub use node::{spawn_protocol, NodeShared, RetryConfig};
+pub use node::{spawn_protocol, NodeCheckpoint, NodeShared, RetryConfig};

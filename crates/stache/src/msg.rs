@@ -118,6 +118,13 @@ pub enum Msg {
     User(UserMsg),
     /// Stop the protocol-handler thread (machine teardown).
     Shutdown,
+    /// Recovery drain marker. A node self-sends one `Fence` and waits for
+    /// the matching [`Wake::Fence`]: because each inbox channel is a FIFO
+    /// queue, the marker's arrival proves every wire batch that was ahead
+    /// of it in this node's inbox has been handled. Two fence rounds with
+    /// barriers between (DESIGN.md §12) drain the channels completely
+    /// before checkpoint state is restored.
+    Fence,
 }
 
 impl Msg {
@@ -135,6 +142,7 @@ impl Msg {
             Msg::Grant { .. } => 7,
             Msg::User(_) => 8,
             Msg::Shutdown => 9,
+            Msg::Fence => 10,
         }
     }
 
@@ -151,6 +159,7 @@ impl Msg {
             7 => "Grant",
             8 => "User",
             9 => "Shutdown",
+            10 => "Fence",
             _ => "?",
         }
     }
@@ -168,7 +177,7 @@ impl Msg {
             | Msg::InvalAck { block, .. }
             | Msg::Grant { block, .. } => block.0,
             Msg::User(u) => u.a,
-            Msg::Shutdown => 0,
+            Msg::Shutdown | Msg::Fence => 0,
         }
     }
 }
@@ -239,6 +248,10 @@ pub enum Wake {
         /// Second scalar payload.
         b: u64,
     },
+    /// The recovery drain marker ([`Msg::Fence`]) this node self-sent has
+    /// come back through the inbox: everything queued ahead of it has been
+    /// handled.
+    Fence,
 }
 
 #[cfg(test)]

@@ -18,11 +18,13 @@ use std::time::Duration;
 
 use crossbeam::channel::Sender;
 use parking_lot::Mutex;
-use prescient_tempest::fabric::{Endpoint, Net};
+use prescient_tempest::fabric::{Endpoint, FabricCtl, Net};
 use prescient_tempest::trace::{pack_msg, EventKind, Tracer};
-use prescient_tempest::{BlockId, CostModel, GlobalLayout, NodeId, NodeMem, NodeStats};
+use prescient_tempest::{
+    BlockId, CostModel, GlobalLayout, MemCheckpoint, NodeId, NodeMem, NodeStats,
+};
 
-use crate::dir::Directory;
+use crate::dir::{DirCheckpoint, Directory};
 use crate::engine::Engine;
 use crate::hooks::Hooks;
 use crate::msg::{Msg, Wake};
@@ -187,6 +189,70 @@ impl NodeShared {
     /// Block size in bytes.
     pub fn block_size(&self) -> usize {
         self.layout.block_size
+    }
+
+    /// The fabric's shared control block (teardown / abort flags).
+    pub fn fabric_ctl(&self) -> &Arc<FabricCtl> {
+        self.net.ctl()
+    }
+
+    /// Has the machine been declared dead (panic isolation or watchdog)?
+    /// Retry loops check this instead of re-arming their timeouts forever.
+    pub fn is_aborting(&self) -> bool {
+        self.net.ctl().is_aborting()
+    }
+
+    /// Discard everything the fabric's fault layer is holding (see
+    /// `Net::purge_faults`); part of the recovery drain.
+    pub fn purge_faults(&self) {
+        self.net.purge_faults();
+    }
+
+    /// Capture this node's full protocol state at a quiescent cut: the
+    /// block store, the home directory shard, the request-seq counter, and
+    /// the recall-reply cache. Every lock is taken briefly and in order
+    /// (`dir` before `mem`, `recalled` leaf); at a barrier no other thread
+    /// contends.
+    pub fn checkpoint(&self) -> NodeCheckpoint {
+        let dir = self.dir.lock().checkpoint();
+        let mem = self.mem.lock().checkpoint();
+        let recalled = self.recalled.lock().iter().map(|(b, r)| (*b, r.clone())).collect();
+        NodeCheckpoint { mem, dir, seq: self.seq.load(Ordering::Relaxed), recalled }
+    }
+
+    /// Roll this node's protocol state back to a captured cut. Callable
+    /// only while the machine is quiescent (the recovery protocol drains
+    /// the channels first): the block store, directory shard, seq counter,
+    /// and recall-reply cache all rewind together, so replayed requests
+    /// re-draw the same seqs the restored watermarks expect.
+    pub fn restore(&self, ckpt: &NodeCheckpoint) {
+        self.dir.lock().restore(&ckpt.dir);
+        self.mem.lock().restore(&ckpt.mem);
+        *self.recalled.lock() = ckpt.recalled.iter().cloned().collect();
+        self.seq.store(ckpt.seq, Ordering::Relaxed);
+        self.outstanding.store(0, Ordering::Release);
+    }
+}
+
+/// One node's shard of a barrier-consistent checkpoint: block store,
+/// directory, request-seq counter, and recall-reply cache, captured
+/// together at the cut by [`NodeShared::checkpoint`].
+#[derive(Debug, Clone)]
+pub struct NodeCheckpoint {
+    /// The paged block store (bytes, tags, unread-pre-send bits, allocator).
+    pub mem: MemCheckpoint,
+    /// The home directory shard (entries, seq watermarks, op allocator).
+    pub dir: DirCheckpoint,
+    /// The node's request sequence counter at the cut.
+    pub seq: u64,
+    /// The recall-reply idempotency cache at the cut.
+    pub recalled: Vec<(BlockId, RecallReply)>,
+}
+
+impl NodeCheckpoint {
+    /// Block-data bytes aboard (the checkpoint's dominant cost).
+    pub fn bytes(&self) -> u64 {
+        self.mem.bytes()
     }
 }
 

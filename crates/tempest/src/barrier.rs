@@ -17,6 +17,16 @@
 
 use parking_lot::{Condvar, Mutex};
 
+/// The sentinel a poisoned barrier throws: when one participant dies
+/// (panic, injected crash without a checkpoint, watchdog abort), every
+/// thread blocked at — or later arriving at — a poisoned [`VBarrier`]
+/// unwinds with this payload instead of waiting forever for a party that
+/// will never come. The machine runner downcasts it to keep teardown
+/// diagnostics quiet (the *first* panic is the story; `Aborted` unwinds
+/// are collateral).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Aborted;
+
 /// Result of one barrier episode for one participant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BarrierOut {
@@ -31,6 +41,7 @@ struct Inner {
     generation: u64,
     cur_max: u64,
     published_max: u64,
+    poisoned: bool,
 }
 
 /// A reusable barrier for a fixed set of participants.
@@ -46,7 +57,13 @@ impl VBarrier {
         assert!(n >= 1);
         VBarrier {
             n,
-            inner: Mutex::new(Inner { arrived: 0, generation: 0, cur_max: 0, published_max: 0 }),
+            inner: Mutex::new(Inner {
+                arrived: 0,
+                generation: 0,
+                cur_max: 0,
+                published_max: 0,
+                poisoned: false,
+            }),
             cv: Condvar::new(),
         }
     }
@@ -58,8 +75,18 @@ impl VBarrier {
 
     /// Arrive with one's current virtual time; blocks until all `n`
     /// participants have arrived.
+    ///
+    /// # Panics
+    ///
+    /// Unwinds with the [`Aborted`] sentinel if the barrier is (or
+    /// becomes) poisoned — a participant died and the rendezvous can never
+    /// complete.
     pub fn wait(&self, arrival_ns: u64) -> BarrierOut {
         let mut g = self.inner.lock();
+        if g.poisoned {
+            drop(g);
+            std::panic::panic_any(Aborted);
+        }
         g.cur_max = g.cur_max.max(arrival_ns);
         g.arrived += 1;
         if g.arrived == self.n {
@@ -70,12 +97,26 @@ impl VBarrier {
             self.cv.notify_all();
         } else {
             let gen = g.generation;
-            while g.generation == gen {
+            while g.generation == gen && !g.poisoned {
                 self.cv.wait(&mut g);
+            }
+            if g.generation == gen {
+                drop(g);
+                std::panic::panic_any(Aborted); // woke by poison, not release
             }
         }
         let max = g.published_max;
         BarrierOut { max_arrival_ns: max, stall_ns: max - arrival_ns }
+    }
+
+    /// Mark the barrier unusable and wake every blocked participant: each
+    /// unwinds with [`Aborted`], as does any later arrival. Called when a
+    /// participant dies (panic isolation, watchdog abort) so the survivors
+    /// tear down instead of hanging.
+    pub fn poison(&self) {
+        let mut g = self.inner.lock();
+        g.poisoned = true;
+        self.cv.notify_all();
     }
 }
 
@@ -107,6 +148,23 @@ mod tests {
         let mut stalls: Vec<u64> = outs.iter().map(|o| o.stall_ns).collect();
         stalls.sort_unstable();
         assert_eq!(stalls, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn poison_wakes_blocked_waiters_with_aborted() {
+        let b = Arc::new(VBarrier::new(2));
+        let b2 = Arc::clone(&b);
+        let waiter = std::thread::spawn(move || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b2.wait(0)))
+        });
+        // Give the waiter time to block, then poison instead of arriving.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        b.poison();
+        let err = waiter.join().unwrap().expect_err("waiter must unwind");
+        assert!(err.downcast_ref::<Aborted>().is_some(), "payload must be the Aborted sentinel");
+        // Later arrivals abort immediately too.
+        let late = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.wait(0)));
+        assert!(late.is_err());
     }
 
     #[test]

@@ -165,6 +165,7 @@ impl Default for BatchConfig {
 #[derive(Debug, Default)]
 pub struct FabricCtl {
     closing: AtomicBool,
+    aborting: AtomicBool,
     teardown_drops: AtomicU64,
     wire_batches: AtomicU64,
     wire_msgs: AtomicU64,
@@ -187,6 +188,19 @@ impl FabricCtl {
     /// Has teardown begun?
     pub fn is_closing(&self) -> bool {
         self.closing.load(Ordering::Acquire)
+    }
+
+    /// Declare the run dead: a node panicked, an unrecoverable crash
+    /// fired, or the watchdog gave up. Retry loops that would otherwise
+    /// re-arm their timeouts forever (fetch, pre-send ack wait) check this
+    /// and unwind with [`crate::Aborted`] instead.
+    pub fn abort(&self) {
+        self.aborting.store(true, Ordering::Release);
+    }
+
+    /// Has the run been declared dead?
+    pub fn is_aborting(&self) -> bool {
+        self.aborting.load(Ordering::Acquire)
     }
 
     /// Number of messages dropped because their destination endpoint was
@@ -290,6 +304,16 @@ impl<M: Send> Net<M> {
             self.flush_locked(dst, &mut buf);
         } else {
             self.egress.dirty.fetch_or(1 << dst, Ordering::Relaxed);
+        }
+    }
+
+    /// Discard everything the fault layer is holding (delayed/stalled
+    /// traffic) on every link. See [`FaultHook::purge`]: the recovery
+    /// protocol calls this at a quiescent cut, where held messages belong
+    /// to the rolled-back execution. No-op on a clean fabric.
+    pub fn purge_faults(&self) {
+        if let Some(f) = &self.faults {
+            f.purge();
         }
     }
 

@@ -48,6 +48,8 @@ pub const FATE_DUP: u64 = 2;
 pub const FATE_DROP: u64 = 3;
 /// Fate code: a previously held message was released.
 pub const FATE_RELEASE: u64 = 4;
+/// Fate code: dropped because the link was inside a partition window.
+pub const FATE_PARTITION: u64 = 5;
 
 /// A small, fast, seedable PRNG (SplitMix64). Used instead of an external
 /// RNG crate so fault schedules are stable across toolchains and the fabric
@@ -85,6 +87,115 @@ impl SplitMix64 {
     }
 }
 
+/// Which links a [`PartitionSpec`] severs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionScope {
+    /// Every inter-node link: a full network partition.
+    All,
+    /// Every link into or out of one node: that node is isolated.
+    Node(u16),
+    /// The two directed links between a pair of nodes.
+    Pair(u16, u16),
+}
+
+impl PartitionScope {
+    /// Does this scope sever the directed link `src -> dst`?
+    pub fn severs(&self, src: u16, dst: u16) -> bool {
+        match *self {
+            PartitionScope::All => true,
+            PartitionScope::Node(n) => src == n || dst == n,
+            PartitionScope::Pair(a, b) => (src, dst) == (a, b) || (src, dst) == (b, a),
+        }
+    }
+}
+
+/// A deterministic link partition: every message on a severed link is
+/// dropped while the link's send-event counter is inside
+/// `[from_event, until_event)`. Windows are measured in per-link send
+/// events — the same wall-clock-free discipline delays use — so the
+/// partition schedule is reproducible from the plan alone. An
+/// `until_event` of `u64::MAX` severs the links for the rest of the run
+/// (the watchdog's deadlock fixture).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionSpec {
+    /// Which links are severed.
+    pub scope: PartitionScope,
+    /// First per-link send event inside the window.
+    pub from_event: u64,
+    /// First per-link send event past the window.
+    pub until_event: u64,
+}
+
+impl PartitionSpec {
+    /// Sever every inter-node link from the first send onward, forever.
+    pub fn total() -> PartitionSpec {
+        PartitionSpec { scope: PartitionScope::All, from_event: 0, until_event: u64::MAX }
+    }
+
+    /// Isolate one node for the whole run.
+    pub fn isolate(node: u16) -> PartitionSpec {
+        PartitionSpec { scope: PartitionScope::Node(node), from_event: 0, until_event: u64::MAX }
+    }
+
+    /// Restrict the window to `[from, until)` per-link send events.
+    pub fn during(mut self, from: u64, until: u64) -> PartitionSpec {
+        self.from_event = from;
+        self.until_event = until;
+        self
+    }
+
+    /// Is the directed link `src -> dst` severed at send event `event`?
+    pub fn active(&self, src: u16, dst: u16, event: u64) -> bool {
+        self.scope.severs(src, dst) && event >= self.from_event && event < self.until_event
+    }
+}
+
+/// A seeded whole-node crash: "crash node `node` at its `at_version`-th
+/// phase execution". Defined beside the message-fault plan because it is
+/// the same kind of object — a deterministic adversary schedule — but
+/// *consumed* above the fabric: the runtime fires it at the phase
+/// boundary, where a barrier-consistent checkpoint makes the crash
+/// recoverable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// The node that crashes.
+    pub node: u16,
+    /// The per-node phase-execution ordinal (1-based, counted at
+    /// `phase_begin`) whose completion the crash destroys.
+    pub at_version: u64,
+}
+
+impl CrashPlan {
+    /// Crash `node` at its `at_version`-th phase execution.
+    pub fn new(node: u16, at_version: u64) -> CrashPlan {
+        CrashPlan { node, at_version }
+    }
+
+    /// Parse the `PRESCIENT_CRASH` environment variable: `"node@version"`
+    /// (e.g. `PRESCIENT_CRASH=2@5` crashes node 2 at its 5th phase
+    /// execution). Unset, empty, or `0`/`off` means no crash; anything
+    /// else malformed panics with the expected format.
+    pub fn from_env() -> Option<CrashPlan> {
+        let v = std::env::var("PRESCIENT_CRASH").ok()?;
+        let v = v.trim();
+        if v.is_empty() || v == "0" || v.eq_ignore_ascii_case("off") {
+            return None;
+        }
+        let (node, version) = v
+            .split_once('@')
+            .unwrap_or_else(|| panic!("PRESCIENT_CRASH must be \"node@version\", got {v:?}"));
+        let node: u16 = node
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("PRESCIENT_CRASH node must be a u16, got {v:?}"));
+        let at_version: u64 = version
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("PRESCIENT_CRASH version must be a u64, got {v:?}"));
+        Some(CrashPlan { node, at_version })
+    }
+}
+
 /// Ordering discipline of injected delays.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FifoMode {
@@ -109,6 +220,9 @@ pub struct FaultPlan {
     pub drop_per_mille: u16,
     /// Delay ordering discipline.
     pub fifo: FifoMode,
+    /// Optional link partition: severed links drop every message inside
+    /// the event window.
+    pub partition: Option<PartitionSpec>,
 }
 
 impl FaultPlan {
@@ -121,6 +235,7 @@ impl FaultPlan {
             dup_per_mille: 0,
             drop_per_mille: 0,
             fifo: FifoMode::Preserving,
+            partition: None,
         }
     }
 
@@ -155,9 +270,18 @@ impl FaultPlan {
         self
     }
 
+    /// Sever links per `spec` (drop-all inside its event window).
+    pub fn partitioned(mut self, spec: PartitionSpec) -> FaultPlan {
+        self.partition = Some(spec);
+        self
+    }
+
     /// Does this plan inject anything at all?
     pub fn is_active(&self) -> bool {
-        self.delay_per_mille > 0 || self.dup_per_mille > 0 || self.drop_per_mille > 0
+        self.delay_per_mille > 0
+            || self.dup_per_mille > 0
+            || self.drop_per_mille > 0
+            || self.partition.is_some()
     }
 }
 
@@ -193,11 +317,22 @@ pub trait FaultHook<M>: Send + Sync {
     /// node's tracing handle; injected fates are emitted on it as
     /// [`EventKind::FaultInject`] events.
     fn process(&self, env: Envelope<M>, tracer: &Tracer, deliver: &mut dyn FnMut(Envelope<M>));
+
+    /// Discard every message the layer is currently holding (delayed or
+    /// stalled traffic). Called by the recovery protocol at a quiescent
+    /// cut, where any held message is semantically dead: replaying the
+    /// phase regenerates whatever traffic is still needed. Default: no-op
+    /// (a layer that holds nothing has nothing to purge).
+    fn purge(&self) {}
 }
 
 impl<M: Send + Clone> FaultHook<M> for FaultState<M> {
     fn process(&self, env: Envelope<M>, tracer: &Tracer, deliver: &mut dyn FnMut(Envelope<M>)) {
         FaultState::process(self, env, tracer, deliver)
+    }
+
+    fn purge(&self) {
+        FaultState::purge(self)
     }
 }
 
@@ -267,6 +402,18 @@ impl<M: Clone> FaultState<M> {
         let lf = self.stats.link(env.src, dst);
         let mut l = self.links[idx].lock();
         l.events += 1;
+        // Partition windows override the probabilistic fates: a severed
+        // link drops everything. The message still consumes its draw from
+        // the decision stream, so fates outside the window stay exactly
+        // the unpartitioned plan's (the k-th send keeps the k-th fate).
+        if let Some(p) = &self.plan.partition {
+            if p.active(env.src, dst, l.events - 1) {
+                let _ = decide(&mut l.rng, &self.plan);
+                lf.count_dropped();
+                tracer.emit(EventKind::FaultInject, u64::from(dst), pack_counts(FATE_PARTITION, 0));
+                return;
+            }
+        }
         match decide(&mut l.rng, &self.plan) {
             Decision::Drop => {
                 lf.count_dropped();
@@ -342,6 +489,19 @@ impl<M: Clone> FaultState<M> {
                 u64::from(dst),
                 pack_counts(FATE_RELEASE, released),
             );
+        }
+    }
+
+    /// Discard all held traffic on every link and un-stall the links. See
+    /// [`FaultHook::purge`]: at a recovery cut every held message belongs
+    /// to the rolled-back execution, so dropping the queues (without
+    /// counting releases) leaves the fault layer as if those sends never
+    /// happened.
+    pub fn purge(&self) {
+        for link in &self.links {
+            let mut l = link.lock();
+            l.held.clear();
+            l.stall_until = l.events;
         }
     }
 }
@@ -429,6 +589,80 @@ mod tests {
         }
         assert_eq!(out.len(), 100);
         assert_eq!(fs.stats().total().dropped, 0);
+    }
+
+    #[test]
+    fn partition_window_drops_everything_inside_it() {
+        // Sever the link for send events [10, 20); everything else flows.
+        let plan = FaultPlan::new(0).partitioned(PartitionSpec {
+            scope: PartitionScope::All,
+            from_event: 10,
+            until_event: 20,
+        });
+        let out = run_plan(plan, 50);
+        let expected: Vec<u32> = (0..50).filter(|&i| !(10..20).contains(&i)).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn partition_scopes() {
+        assert!(PartitionScope::All.severs(0, 1));
+        assert!(PartitionScope::Node(2).severs(2, 5));
+        assert!(PartitionScope::Node(2).severs(5, 2));
+        assert!(!PartitionScope::Node(2).severs(0, 1));
+        assert!(PartitionScope::Pair(1, 3).severs(3, 1));
+        assert!(!PartitionScope::Pair(1, 3).severs(1, 2));
+        let total = PartitionSpec::total();
+        assert!(total.active(0, 1, 0) && total.active(7, 3, u64::MAX - 1));
+    }
+
+    #[test]
+    fn partition_does_not_perturb_fates_outside_the_window() {
+        // Same seed, one plan with a window that closes after 5 events:
+        // fates from event 5 on must be identical to the unpartitioned
+        // plan's (the partition never consumes the decision stream).
+        let base = FaultPlan::new(77).delaying(200, 3).duplicating(100).dropping(50);
+        let part = base.partitioned(PartitionSpec {
+            scope: PartitionScope::All,
+            from_event: 0,
+            until_event: 5,
+        });
+        let a = run_plan(base, 300);
+        let b = run_plan(part, 300);
+        let a_tail: Vec<u32> = a.into_iter().filter(|&m| m >= 5).collect();
+        assert_eq!(a_tail, b, "post-window fates must match the unpartitioned stream");
+    }
+
+    #[test]
+    fn purge_discards_held_traffic() {
+        let plan = FaultPlan::new(21).delaying(900, 50);
+        let fs = FaultState::new(2, plan);
+        let mut out = Vec::new();
+        for i in 0..20 {
+            fs.process(env(0, 1, i), &Tracer::off(), &mut |e| out.push(e.msg));
+        }
+        let s = fs.stats().link(0, 1).snapshot();
+        assert!(s.delayed > s.released, "fixture needs messages still held");
+        fs.purge();
+        // New traffic flows without flushing stale holds first.
+        let mut after = Vec::new();
+        for i in 100..110 {
+            fs.process(env(0, 1, i), &Tracer::off(), &mut |e| after.push(e.msg));
+        }
+        assert!(after.iter().all(|&m| m >= 100), "purged messages must never reappear");
+    }
+
+    #[test]
+    fn crash_plan_env_parsing() {
+        // from_env reads the process environment; exercise the parser via
+        // a scoped set/remove (tests in this crate run single-threaded on
+        // env mutation by convention).
+        std::env::set_var("PRESCIENT_CRASH", "3@7");
+        assert_eq!(CrashPlan::from_env(), Some(CrashPlan::new(3, 7)));
+        std::env::set_var("PRESCIENT_CRASH", "off");
+        assert_eq!(CrashPlan::from_env(), None);
+        std::env::remove_var("PRESCIENT_CRASH");
+        assert_eq!(CrashPlan::from_env(), None);
     }
 
     #[test]

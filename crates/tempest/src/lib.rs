@@ -46,14 +46,16 @@ pub mod tag;
 pub mod trace;
 
 pub use addr::{BlockId, GAddr};
-pub use barrier::VBarrier;
+pub use barrier::{Aborted, VBarrier};
 pub use cost::CostModel;
 pub use fabric::{
     BatchConfig, Endpoint, Envelope, Fabric, FabricCtl, TryRecv, WireBatch, WirePayload,
 };
-pub use faults::{FaultHook, FaultPlan, FifoMode, SplitMix64};
+pub use faults::{
+    CrashPlan, FaultHook, FaultPlan, FifoMode, PartitionScope, PartitionSpec, SplitMix64,
+};
 pub use layout::GlobalLayout;
-pub use mem::{Fault, MemError, NodeMem};
+pub use mem::{Fault, MemCheckpoint, MemError, NodeMem};
 pub use nodeset::NodeSet;
 pub use prim::Prim;
 pub use stats::{FaultStats, NodeStats, TimeBreakdown, WireSnapshot};

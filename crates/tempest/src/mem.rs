@@ -440,6 +440,58 @@ impl NodeMem {
         self.unused
     }
 
+    /// Capture the store's full logical state — every materialized block's
+    /// bytes, tag, and unread-pre-send bit, plus the allocator watermark —
+    /// into a [`MemCheckpoint`]. Taken at a phase barrier (a protocol
+    /// quiescence point) this is one node's shard of a consistent cut.
+    pub fn checkpoint(&self) -> MemCheckpoint {
+        let bs = self.layout.block_size;
+        let mut blocks = Vec::with_capacity(self.resident);
+        for (seg, pages) in self.segs.iter().enumerate() {
+            for (pi, page) in pages.iter().enumerate() {
+                let Some(page) = page else { continue };
+                for slot in 0..PAGE_BLOCKS {
+                    if !page.present(slot) {
+                        continue;
+                    }
+                    let id = ((seg as u64) << self.seg_shift)
+                        | ((pi as u64) << PAGE_SHIFT)
+                        | slot as u64;
+                    blocks.push((
+                        BlockId(id),
+                        page.tag(slot),
+                        page.unused(slot),
+                        Arc::from(page.block(slot, bs)),
+                    ));
+                }
+            }
+        }
+        MemCheckpoint { blocks, alloc_next: self.alloc_next }
+    }
+
+    /// Roll the store back to a previously captured [`MemCheckpoint`]:
+    /// every block materialized since the cut is forgotten, every block in
+    /// the checkpoint comes back with its exact bytes, tag, and
+    /// unread-pre-send bit, and the allocator watermark rewinds.
+    pub fn restore(&mut self, ckpt: &MemCheckpoint) {
+        for pages in &mut self.segs {
+            pages.clear();
+        }
+        self.resident = 0;
+        self.unused = 0;
+        self.alloc_next = ckpt.alloc_next;
+        let bs = self.layout.block_size;
+        for (block, tag, unused, data) in &ckpt.blocks {
+            debug_assert_eq!(data.len(), bs);
+            let mut unused_count = self.unused;
+            let (p, slot) = self.materialize(*block);
+            p.block_mut(slot, bs).copy_from_slice(data);
+            p.meta[slot] = (p.meta[slot] & !META_TAG_MASK) | tag_code(*tag);
+            Self::set_unused_bit(p, slot, &mut unused_count, *unused);
+            self.unused = unused_count;
+        }
+    }
+
     /// Iterate over all materialized blocks and their tags (diagnostics,
     /// invariant checking). Walks dense pages — no hashing.
     pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, Tag)> + '_ {
@@ -457,6 +509,28 @@ impl NodeMem {
                     })
                 })
         })
+    }
+}
+
+/// A full logical snapshot of one node's block store at a consistent cut:
+/// every materialized block's id, tag, unread-pre-send bit, and bytes,
+/// plus the bump allocator's watermark. Produced by [`NodeMem::checkpoint`]
+/// and consumed by [`NodeMem::restore`].
+#[derive(Debug, Clone)]
+pub struct MemCheckpoint {
+    blocks: Vec<(BlockId, Tag, bool, Arc<[u8]>)>,
+    alloc_next: u64,
+}
+
+impl MemCheckpoint {
+    /// Materialized blocks captured in the checkpoint.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Block-data bytes captured (the checkpoint's dominant cost).
+    pub fn bytes(&self) -> u64 {
+        self.blocks.iter().map(|(_, _, _, d)| d.len() as u64).sum()
     }
 }
 
@@ -623,6 +697,40 @@ mod tests {
         assert_eq!(seen[0], (l.block_of(a), Tag::ReadWrite));
         assert_eq!(seen[1], (l.block_of(l.heap_base(3)), Tag::ReadOnly));
         assert_eq!(m.resident_blocks(), 2);
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_exactly() {
+        let mut m = mem();
+        let l = m.layout();
+        let a = m.alloc(32, 8);
+        m.write_in_block(a, &[3u8; 8]).unwrap();
+        m.install(l.block_of(l.heap_base(2)), &[5u8; 32], Tag::ReadOnly, true);
+        let ckpt = m.checkpoint();
+        assert_eq!(ckpt.block_count(), 2);
+        assert_eq!(ckpt.bytes(), 64);
+
+        // Diverge: new allocation, new install, touch the pre-sent copy,
+        // drop a tag.
+        let b = m.alloc(32, 8);
+        m.write_in_block(b, &[9u8; 8]).unwrap();
+        m.install(l.block_of(l.heap_base(3)), &[7u8; 32], Tag::ReadWrite, false);
+        let mut buf = [0u8; 4];
+        m.read_in_block(l.heap_base(2), &mut buf).unwrap();
+        m.set_tag(l.block_of(a), Tag::Invalid);
+        assert_eq!(m.resident_blocks(), 4);
+        assert_eq!(m.unused_presends(), 0);
+
+        m.restore(&ckpt);
+        assert_eq!(m.resident_blocks(), 2, "post-cut blocks must be forgotten");
+        assert_eq!(m.unused_presends(), 1, "unread-pre-send bit must come back");
+        assert_eq!(m.probe(l.block_of(a)), Tag::ReadWrite);
+        assert_eq!(m.probe(l.block_of(l.heap_base(3))), Tag::Invalid);
+        let mut buf = [0u8; 8];
+        m.read_in_block(a, &mut buf).unwrap();
+        assert_eq!(buf, [3u8; 8]);
+        // Allocator rewound: the next alloc reuses b's address.
+        assert_eq!(m.alloc(32, 8), b);
     }
 
     #[test]

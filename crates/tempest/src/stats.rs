@@ -80,6 +80,14 @@ pub struct NodeStats {
     /// Times the degradation policy flushed one of this home's phase
     /// schedules and fell back to plain Stache.
     pub degrade_events: AtomicU64,
+    /// Barrier-consistent checkpoints this node captured.
+    pub checkpoints: AtomicU64,
+    /// Bytes of block data captured into those checkpoints.
+    pub checkpoint_bytes: AtomicU64,
+    /// Rollback-to-checkpoint recoveries this node participated in.
+    pub recoveries: AtomicU64,
+    /// Phase executions this node re-ran after a rollback.
+    pub replays: AtomicU64,
 }
 
 impl NodeStats {
@@ -123,7 +131,47 @@ impl NodeStats {
             data_bytes_in: g(&self.data_bytes_in),
             presend_useless: g(&self.presend_useless),
             degrade_events: g(&self.degrade_events),
+            checkpoints: g(&self.checkpoints),
+            checkpoint_bytes: g(&self.checkpoint_bytes),
+            recoveries: g(&self.recoveries),
+            replays: g(&self.replays),
         }
+    }
+
+    /// Overwrite every counter with the values in `s` — the rollback path:
+    /// restoring the checkpoint-time snapshot makes a recovered replay
+    /// account its protocol events exactly once, so blocks-moved equality
+    /// with the fault-free run is exact rather than approximate.
+    pub fn restore(&self, s: &StatsSnapshot) {
+        let p = |c: &AtomicU64, v: u64| c.store(v, Ordering::Relaxed);
+        p(&self.reads, s.reads);
+        p(&self.writes, s.writes);
+        p(&self.read_misses, s.read_misses);
+        p(&self.write_misses, s.write_misses);
+        p(&self.slow_misses, s.slow_misses);
+        p(&self.invals_in, s.invals_in);
+        p(&self.recalls_in, s.recalls_in);
+        p(&self.msgs_out, s.msgs_out);
+        p(&self.presend_blocks_out, s.presend_blocks_out);
+        p(&self.presend_msgs_out, s.presend_msgs_out);
+        p(&self.presend_bytes_out, s.presend_bytes_out);
+        p(&self.presend_blocks_in, s.presend_blocks_in);
+        p(&self.sched_records, s.sched_records);
+        p(&self.presend_races, s.presend_races);
+        p(&self.retries, s.retries);
+        p(&self.presend_retries, s.presend_retries);
+        p(&self.dup_reqs_in, s.dup_reqs_in);
+        p(&self.stale_msgs_in, s.stale_msgs_in);
+        p(&self.stale_grants_in, s.stale_grants_in);
+        p(&self.presend_stale_in, s.presend_stale_in);
+        p(&self.presend_aborted, s.presend_aborted);
+        p(&self.data_bytes_in, s.data_bytes_in);
+        p(&self.presend_useless, s.presend_useless);
+        p(&self.degrade_events, s.degrade_events);
+        p(&self.checkpoints, s.checkpoints);
+        p(&self.checkpoint_bytes, s.checkpoint_bytes);
+        p(&self.recoveries, s.recoveries);
+        p(&self.replays, s.replays);
     }
 }
 
@@ -155,6 +203,10 @@ pub struct StatsSnapshot {
     pub data_bytes_in: u64,
     pub presend_useless: u64,
     pub degrade_events: u64,
+    pub checkpoints: u64,
+    pub checkpoint_bytes: u64,
+    pub recoveries: u64,
+    pub replays: u64,
 }
 
 macro_rules! per_field {
@@ -184,6 +236,10 @@ macro_rules! per_field {
             data_bytes_in: $a.data_bytes_in $op $b.data_bytes_in,
             presend_useless: $a.presend_useless $op $b.presend_useless,
             degrade_events: $a.degrade_events $op $b.degrade_events,
+            checkpoints: $a.checkpoints $op $b.checkpoints,
+            checkpoint_bytes: $a.checkpoint_bytes $op $b.checkpoint_bytes,
+            recoveries: $a.recoveries $op $b.recoveries,
+            replays: $a.replays $op $b.replays,
         }
     };
 }
@@ -214,7 +270,7 @@ impl StatsSnapshot {
     /// Serializers (the run-report JSON, the trace analyzer) iterate this
     /// instead of hand-listing fields, so a new counter shows up
     /// everywhere by editing `NodeStats` + this table only.
-    pub fn fields(&self) -> [(&'static str, u64); 24] {
+    pub fn fields(&self) -> [(&'static str, u64); 28] {
         [
             ("reads", self.reads),
             ("writes", self.writes),
@@ -240,6 +296,10 @@ impl StatsSnapshot {
             ("data_bytes_in", self.data_bytes_in),
             ("presend_useless", self.presend_useless),
             ("degrade_events", self.degrade_events),
+            ("checkpoints", self.checkpoints),
+            ("checkpoint_bytes", self.checkpoint_bytes),
+            ("recoveries", self.recoveries),
+            ("replays", self.replays),
         ]
     }
 
@@ -497,6 +557,19 @@ mod tests {
         assert_eq!(d.retries, 2);
         assert_eq!(d.dup_reqs_in, 7);
         assert_eq!(d.msgs_out, 0);
+    }
+
+    #[test]
+    fn restore_overwrites_every_counter() {
+        let s = NodeStats::default();
+        NodeStats::add(&s.reads, 10);
+        NodeStats::add(&s.msgs_out, 4);
+        let at_cut = s.snapshot();
+        NodeStats::add(&s.reads, 99);
+        NodeStats::bump(&s.checkpoints);
+        NodeStats::add(&s.checkpoint_bytes, 1024);
+        s.restore(&at_cut);
+        assert_eq!(s.snapshot(), at_cut, "rollback must restore the exact cut");
     }
 
     #[test]

@@ -177,14 +177,33 @@ pub enum EventKind {
     /// [`pack_peer_count`] (source, envelopes aboard), `b` = batch id.
     WireRecv = 23,
     /// The fault layer acted on an envelope. `a` = destination, `b` =
-    /// [`pack_counts`] (fate — 1 delay, 2 duplicate, 3 drop, 4 release —
-    /// and the fate's argument, e.g. the delay's event count).
+    /// [`pack_counts`] (fate — 1 delay, 2 duplicate, 3 drop, 4 release,
+    /// 5 partition — and the fate's argument, e.g. the delay's event
+    /// count).
     FaultInject = 24,
+    /// An injected node crash fired at a phase boundary. `a` = crashed
+    /// node, `b` = the phase-execution version the crash destroyed.
+    Crash = 25,
+    /// A barrier-consistent checkpoint capture started. `a` = checkpoint
+    /// version (phase-execution ordinal at the cut).
+    CheckpointBegin = 26,
+    /// The checkpoint capture completed. `a` = checkpoint version, `b` =
+    /// block-data bytes captured.
+    CheckpointEnd = 27,
+    /// Rollback to the last barrier-consistent cut started. `a` = the
+    /// checkpoint version being restored, `b` = the crashed node.
+    RecoveryBegin = 28,
+    /// Rollback completed; the phase replays next. `a` = the restored
+    /// checkpoint version.
+    RecoveryEnd = 29,
+    /// The liveness watchdog declared the machine stuck. `a` = 1 crash /
+    /// 2 deadlock, `b` = blocked-node bitmap (nodes 0–63).
+    WatchdogFire = 30,
 }
 
 impl EventKind {
     /// Every kind, in code order (export and analysis iterate this).
-    pub const ALL: [EventKind; 24] = [
+    pub const ALL: [EventKind; 30] = [
         EventKind::FaultBegin,
         EventKind::FaultEnd,
         EventKind::BarrierEnter,
@@ -209,6 +228,12 @@ impl EventKind {
         EventKind::WireFlush,
         EventKind::WireRecv,
         EventKind::FaultInject,
+        EventKind::Crash,
+        EventKind::CheckpointBegin,
+        EventKind::CheckpointEnd,
+        EventKind::RecoveryBegin,
+        EventKind::RecoveryEnd,
+        EventKind::WatchdogFire,
     ];
 
     /// Stable name, as written into trace dumps.
@@ -238,6 +263,12 @@ impl EventKind {
             EventKind::WireFlush => "WireFlush",
             EventKind::WireRecv => "WireRecv",
             EventKind::FaultInject => "FaultInject",
+            EventKind::Crash => "Crash",
+            EventKind::CheckpointBegin => "CheckpointBegin",
+            EventKind::CheckpointEnd => "CheckpointEnd",
+            EventKind::RecoveryBegin => "RecoveryBegin",
+            EventKind::RecoveryEnd => "RecoveryEnd",
+            EventKind::WatchdogFire => "WatchdogFire",
         }
     }
 
@@ -571,7 +602,13 @@ fn chrome_track(kind: EventKind) -> (u32, &'static str) {
         | EventKind::PresendStart
         | EventKind::PresendEnd
         | EventKind::PresendFirstTouch
-        | EventKind::Retry => (1, "compute"),
+        | EventKind::Retry
+        | EventKind::Crash
+        | EventKind::CheckpointBegin
+        | EventKind::CheckpointEnd
+        | EventKind::RecoveryBegin
+        | EventKind::RecoveryEnd
+        | EventKind::WatchdogFire => (1, "compute"),
         EventKind::MsgSend
         | EventKind::MsgRecv
         | EventKind::PresendPush
@@ -594,6 +631,8 @@ fn span_open(kind: EventKind) -> Option<EventKind> {
         EventKind::BarrierExit => Some(EventKind::BarrierEnter),
         EventKind::PresendEnd => Some(EventKind::PresendStart),
         EventKind::PhaseEnd => Some(EventKind::PhaseBegin),
+        EventKind::CheckpointEnd => Some(EventKind::CheckpointBegin),
+        EventKind::RecoveryEnd => Some(EventKind::RecoveryBegin),
         _ => None,
     }
 }
@@ -605,6 +644,8 @@ fn is_span_open(kind: EventKind) -> bool {
             | EventKind::BarrierEnter
             | EventKind::PresendStart
             | EventKind::PhaseBegin
+            | EventKind::CheckpointBegin
+            | EventKind::RecoveryBegin
     )
 }
 
