@@ -25,10 +25,26 @@
 //! (Falsafi et al.'s application-specific write-update protocol): the
 //! known broadcast of positions is installed as a *manual* communication
 //! schedule and executed as update pushes, with no recording overhead.
+//!
+//! [`run_barnes_commute`] runs the build phase under the `commute`
+//! directive that the `cstar` commutativity analysis suggests (lint W007):
+//! tree insertion is an associative-commutative aggregate update, so each
+//! node privatizes its own bodies' contributions into `(region, body,
+//! position)` delta records and the records are merged in bulk at the
+//! phase barrier ([`NodeCtx::merge_exchange`]) — the Stache bulk install.
+//! Region owners replay their regions' insertions from the merged set in
+//! the serialized build's order, and the full set doubles as the step's
+//! read-only position snapshot for the summary and force phases. No node
+//! ever read-shares a position block, which eliminates both the owners'
+//! demand scans of all `n` positions *and* the advance phase's
+//! invalidation of the scattered copies — the trees and the final
+//! checksum stay bit-identical to the demand-driven build's.
+
+use std::collections::HashMap;
 
 use prescient_core::manual::ManualEntry;
 use prescient_runtime::{Agg1D, Dist1D, Machine, MachineConfig, NodeCtx};
-use prescient_tempest::{GAddr, NodeSet};
+use prescient_tempest::{GAddr, NodeId, NodeSet};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -498,15 +514,27 @@ impl Arena {
     }
 }
 
+/// How the build phase communicates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum BuildMode {
+    /// Demand-driven reads of every position — plain Stache, or predictive
+    /// with the conflict blocks left alone (the paper's "no action").
+    Shared,
+    /// The hand-written SPMD update schedule.
+    SpmdManual,
+    /// Privatize-and-merge under the `commute` directive.
+    Commute,
+}
+
 /// Run the data-parallel Barnes. Works under both machines.
 pub fn run_barnes(mcfg: MachineConfig, cfg: &BarnesConfig) -> AppRun {
-    let (pos, report) = barnes_driver(mcfg, cfg, false);
+    let (pos, report) = barnes_driver(mcfg, cfg, BuildMode::Shared);
     AppRun { report, checksum: crate::water::position_checksum(&pos) }
 }
 
 /// Final positions (validation helper).
 pub fn barnes_final_positions(mcfg: MachineConfig, cfg: &BarnesConfig) -> Vec<[f64; 3]> {
-    barnes_driver(mcfg, cfg, false).0
+    barnes_driver(mcfg, cfg, BuildMode::Shared).0
 }
 
 /// The hand-optimized SPMD baseline: a write-update custom protocol,
@@ -516,14 +544,27 @@ pub fn barnes_final_positions(mcfg: MachineConfig, cfg: &BarnesConfig) -> Vec<[f
 /// schedule-building overhead). Requires a predictive-protocol machine.
 pub fn run_barnes_spmd(mcfg: MachineConfig, cfg: &BarnesConfig) -> AppRun {
     assert!(mcfg.protocol.is_predictive(), "the SPMD baseline uses the update machinery");
-    let (pos, report) = barnes_driver(mcfg, cfg, true);
+    let (pos, report) = barnes_driver(mcfg, cfg, BuildMode::SpmdManual);
+    AppRun { report, checksum: crate::water::position_checksum(&pos) }
+}
+
+/// Barnes with the tree build run under the `commute` directive: the
+/// commutativity analysis proves the insertion loop mergeable (W007), so
+/// every node contributes `(region, body, position)` records from its own
+/// bodies and the merged set is installed everywhere at the phase
+/// barrier — region owners replay their insertions from it and the
+/// consuming phases read positions from the snapshot instead of the DSM.
+/// Requires a commutative machine ([`MachineConfig::commutative`]).
+pub fn run_barnes_commute(mcfg: MachineConfig, cfg: &BarnesConfig) -> AppRun {
+    assert!(mcfg.protocol.is_commutative(), "the commutative build uses merge_exchange");
+    let (pos, report) = barnes_driver(mcfg, cfg, BuildMode::Commute);
     AppRun { report, checksum: crate::water::position_checksum(&pos) }
 }
 
 fn barnes_driver(
     mcfg: MachineConfig,
     cfg: &BarnesConfig,
-    spmd_manual: bool,
+    mode: BuildMode,
 ) -> (Vec<[f64; 3]>, prescient_runtime::RunReport) {
     let n = cfg.n;
     let steps = cfg.steps;
@@ -547,7 +588,7 @@ fn barnes_driver(
     });
 
     // SPMD baseline: install the hand-written update schedules once.
-    if spmd_manual {
+    if mode == BuildMode::SpmdManual {
         let bs = machine.config().block_size;
         for p in 0..nodes {
             let pred = machine.predictive(p as u16).expect("predictive machine");
@@ -586,50 +627,73 @@ fn barnes_driver(
         let mut vel = vec![[0.0f64; 3]; n];
         let mut arena = Arena { base: sh.arena_base[me as usize], cells: sh.arena_cells, next: 0 };
 
-        // Cross-phase private state (`my_roots`, `accs`) is fully rebuilt
-        // by its producing phase, and the arena cursor resets at build
-        // entry — so every phase body below is replay-safe; only `vel`
-        // accumulates and must ride along as the advance phase's state.
+        // Cross-phase private state (`my_roots`, `merged_pos`, `accs`) is
+        // fully rebuilt by its producing phase, and the arena cursor
+        // resets at build entry — so every phase body below is
+        // replay-safe; only `vel` accumulates and must ride along as the
+        // advance phase's state.
         let mut my_roots: Vec<(usize, GAddr)> = Vec::new();
+        // Commute mode only: the step's merged position snapshot.
+        let mut merged_pos: HashMap<usize, [f64; 3]> = HashMap::new();
         for _step in 0..steps {
             // ---- Phase 1: build -------------------------------------
-            if spmd_manual {
-                ctx.presend_only(PHASE_BUILD);
-                my_roots = build_phase(ctx, &sh, &my_regions, &mut arena, n);
-                ctx.barrier();
-            } else {
-                ctx.phase(PHASE_BUILD, &mut my_roots, |ctx, roots| {
-                    *roots = build_phase(ctx, &sh, &my_regions, &mut arena, n);
-                });
+            match mode {
+                BuildMode::SpmdManual => {
+                    ctx.presend_only(PHASE_BUILD);
+                    my_roots = build_phase(ctx, &sh, &my_regions, &mut arena, n);
+                    ctx.barrier();
+                }
+                BuildMode::Commute => {
+                    let mut st = (std::mem::take(&mut my_roots), std::mem::take(&mut merged_pos));
+                    ctx.phase(PHASE_BUILD, &mut st, |ctx, st| {
+                        (st.0, st.1) = build_phase_commute(
+                            ctx,
+                            &sh,
+                            my_bodies.clone(),
+                            &my_regions,
+                            &mut arena,
+                            nodes,
+                            n,
+                        );
+                    });
+                    my_roots = st.0;
+                    merged_pos = st.1;
+                }
+                BuildMode::Shared => {
+                    ctx.phase(PHASE_BUILD, &mut my_roots, |ctx, roots| {
+                        *roots = build_phase(ctx, &sh, &my_regions, &mut arena, n);
+                    });
+                }
             }
+            let pos_snapshot = (mode == BuildMode::Commute).then_some(&merged_pos);
 
             // ---- Phase 2: center of mass (own trees) ----------------
-            if spmd_manual {
+            if mode == BuildMode::SpmdManual {
                 for &(_r, root) in &my_roots {
-                    com_pass(ctx, &sh, root);
+                    com_pass(ctx, &sh, root, None);
                 }
                 ctx.barrier();
             } else {
                 ctx.phase(PHASE_COM, &mut (), |ctx, _| {
                     for &(_r, root) in &my_roots {
-                        com_pass(ctx, &sh, root);
+                        com_pass(ctx, &sh, root, pos_snapshot);
                     }
                 });
             }
 
             // ---- Phase 3: forces ------------------------------------
             let mut accs = vec![[0.0f64; 3]; my_bodies.len()];
-            if spmd_manual {
-                force_phase(ctx, &sh, my_bodies.clone(), theta, &mut accs);
+            if mode == BuildMode::SpmdManual {
+                force_phase(ctx, &sh, my_bodies.clone(), theta, &mut accs, None);
                 ctx.barrier();
             } else {
                 ctx.phase(PHASE_FORCE, &mut accs, |ctx, accs| {
-                    force_phase(ctx, &sh, my_bodies.clone(), theta, accs);
+                    force_phase(ctx, &sh, my_bodies.clone(), theta, accs, pos_snapshot);
                 });
             }
 
             // ---- Phase 4: advance -----------------------------------
-            if spmd_manual {
+            if mode == BuildMode::SpmdManual {
                 ctx.presend_only(PHASE_ADVANCE);
                 advance_phase(ctx, &sh, my_bodies.clone(), &accs, dt, &mut vel);
                 ctx.barrier();
@@ -731,6 +795,164 @@ fn build_phase(
     my_roots
 }
 
+/// One record of the build phase's merge payload: the region a body landed
+/// in, the body index, and its position.
+const MERGE_REC_BYTES: usize = 4 + 4 + 3 * 8;
+
+/// The build phase under the `commute` directive: instead of every region
+/// owner scanning all `n` positions on demand, each node reads its *own*
+/// bodies (home reads — no messages), encodes them as `(region, body,
+/// position)` records, and broadcasts the records in one bulk payload per
+/// peer at the phase barrier. Each owner replays its regions' insertions
+/// from the merged set, region-major and body-minor — exactly the
+/// serialized build's insertion order — so tree structure, arena
+/// addresses, and summary words are bit-identical to [`build_phase`]'s.
+/// The full set is returned as the step's position snapshot: the summary
+/// and force phases read body positions from it (the same bits the owner
+/// wrote), so position blocks are never read-shared at all. Fully
+/// rebuilds its outputs, and the merge itself is idempotent (push ids +
+/// merge epochs), so a crash replay runs it again verbatim.
+#[allow(clippy::type_complexity)]
+fn build_phase_commute(
+    ctx: &mut NodeCtx,
+    sh: &BarnesShared,
+    my_bodies: std::ops::Range<usize>,
+    my_regions: &[usize],
+    arena: &mut Arena,
+    nodes: usize,
+    n: usize,
+) -> (Vec<(usize, GAddr)>, HashMap<usize, [f64; 3]>) {
+    // Privatize: this node's contribution records, broadcast to everyone.
+    let mut records = Vec::with_capacity(my_bodies.len() * MERGE_REC_BYTES);
+    for b in my_bodies {
+        let p = sh.read_pos(ctx, b);
+        ctx.work(4);
+        let r = region_of(&p);
+        records.extend_from_slice(&(r as u32).to_le_bytes());
+        records.extend_from_slice(&(b as u32).to_le_bytes());
+        for pk in &p {
+            records.extend_from_slice(&pk.to_le_bytes());
+        }
+    }
+    let outgoing: Vec<(NodeId, Vec<u8>)> = (0..nodes as NodeId)
+        .filter(|_| !records.is_empty())
+        .map(|peer| (peer, records.clone()))
+        .collect();
+    let merged = ctx.merge_exchange(PHASE_BUILD, &outgoing);
+
+    // Decode into the step's position snapshot and this node's per-region
+    // membership lists.
+    let slot_of: HashMap<usize, usize> =
+        my_regions.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+    let mut pos_of: HashMap<usize, [f64; 3]> = HashMap::new();
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); my_regions.len()];
+    // Chunks from one contributor are adjacent and ordered, so
+    // concatenating per contributor reassembles its payload even when a
+    // record straddles a chunk boundary.
+    let mut payloads: Vec<(NodeId, Vec<u8>)> = Vec::new();
+    for (src, bytes) in &merged {
+        match payloads.last_mut() {
+            Some((s, buf)) if s == src => buf.extend_from_slice(bytes),
+            _ => payloads.push((*src, bytes.to_vec())),
+        }
+    }
+    for (_src, bytes) in &payloads {
+        assert_eq!(bytes.len() % MERGE_REC_BYTES, 0, "corrupt merge payload");
+        for rec in bytes.chunks_exact(MERGE_REC_BYTES) {
+            let r = u32::from_le_bytes(rec[0..4].try_into().expect("region")) as usize;
+            let b = u32::from_le_bytes(rec[4..8].try_into().expect("body")) as usize;
+            let mut p = [0.0f64; 3];
+            for (k, pk) in p.iter_mut().enumerate() {
+                *pk = f64::from_le_bytes(rec[8 + 8 * k..16 + 8 * k].try_into().expect("coord"));
+            }
+            pos_of.insert(b, p);
+            if let Some(&slot) = slot_of.get(&r) {
+                members[slot].push(b);
+            }
+        }
+    }
+    assert_eq!(pos_of.len(), n, "the merged snapshot must cover every body");
+
+    // Replay in the serialized build's order (contributors arrive sorted
+    // by node and bodies are block-distributed, so the lists are already
+    // ascending; the sort pins determinism rather than establishing it).
+    let rsize = 1.0 / GRID as f64;
+    arena.next = 0;
+    let mut my_roots: Vec<(usize, GAddr)> = Vec::new();
+    for (slot, &r) in my_regions.iter().enumerate() {
+        members[slot].sort_unstable();
+        let corner0 = region_corner(r);
+        let mut root: Option<GAddr> = None;
+        for &b in &members[slot] {
+            let p = pos_of[&b];
+            let root_addr = match root {
+                Some(a) => a,
+                None => {
+                    let a = arena.fresh_cell(ctx, sh);
+                    root = Some(a);
+                    a
+                }
+            };
+            // The same BH insertion as `build_phase`, with the position
+            // lookups served from the merged table instead of the DSM.
+            let mut cell = root_addr;
+            let mut corner = corner0;
+            let mut size = rsize;
+            let mut depth = 0;
+            loop {
+                let (oi, oc) = octant(&p, &corner, size);
+                ctx.work(6);
+                let slot_addr = sh.cell_child_addr(cell, oi);
+                match child_decode(ctx.read::<u64>(slot_addr)) {
+                    Child::Empty => {
+                        ctx.write(slot_addr, child_encode_body(b));
+                        break;
+                    }
+                    Child::Cell(c) => {
+                        cell = c;
+                        corner = oc;
+                        size /= 2.0;
+                        depth += 1;
+                    }
+                    Child::Body(other) => {
+                        if depth >= MAX_DEPTH {
+                            break; // folded into the summary only
+                        }
+                        let nc = arena.fresh_cell(ctx, sh);
+                        ctx.write(slot_addr, child_encode_cell(nc));
+                        let op = pos_of[&other];
+                        let (ooi, _) = octant(&op, &oc, size / 2.0);
+                        ctx.write(sh.cell_child_addr(nc, ooi), child_encode_body(other));
+                        cell = nc;
+                        corner = oc;
+                        size /= 2.0;
+                        depth += 1;
+                    }
+                }
+            }
+        }
+        if let Some(a) = root {
+            my_roots.push((r, a));
+        }
+        ctx.write(sh.roots.addr(r), root.map_or(0, |a| a.0));
+    }
+    (my_roots, pos_of)
+}
+
+/// A body position, from the step's merged snapshot (commute mode — no
+/// DSM traffic, same bits) or through the DSM.
+fn body_pos(
+    ctx: &mut NodeCtx,
+    sh: &BarnesShared,
+    snapshot: Option<&HashMap<usize, [f64; 3]>>,
+    b: usize,
+) -> [f64; 3] {
+    match snapshot {
+        Some(t) => t[&b],
+        None => sh.read_pos(ctx, b),
+    }
+}
+
 /// The force phase body: every owned body traverses all region trees;
 /// accelerations overwrite `accs` element-wise (replay-safe).
 fn force_phase(
@@ -739,15 +961,16 @@ fn force_phase(
     my_bodies: std::ops::Range<usize>,
     theta: f64,
     accs: &mut [[f64; 3]],
+    snapshot: Option<&HashMap<usize, [f64; 3]>>,
 ) {
     let rsize = 1.0 / GRID as f64;
     for (bi, b) in my_bodies.enumerate() {
-        let p = sh.read_pos(ctx, b);
+        let p = body_pos(ctx, sh, snapshot, b);
         let mut acc = [0.0f64; 3];
         for r in 0..REGIONS {
             let rw = ctx.read::<u64>(sh.roots.addr(r));
             if rw != 0 {
-                walk_force(ctx, sh, GAddr(rw), rsize, b, &p, theta, &mut acc);
+                walk_force(ctx, sh, GAddr(rw), rsize, b, &p, theta, &mut acc, snapshot);
             }
         }
         accs[bi] = acc;
@@ -779,8 +1002,14 @@ fn advance_phase(
     }
 }
 
-/// Post-order COM computation over one owned region tree.
-fn com_pass(ctx: &mut NodeCtx, sh: &BarnesShared, cell: GAddr) -> (f64, [f64; 3]) {
+/// Post-order COM computation over one owned region tree. Leaf positions
+/// come from the merge snapshot in commute mode.
+fn com_pass(
+    ctx: &mut NodeCtx,
+    sh: &BarnesShared,
+    cell: GAddr,
+    snapshot: Option<&HashMap<usize, [f64; 3]>>,
+) -> (f64, [f64; 3]) {
     let mut m = 0.0f64;
     let mut c = [0.0f64; 3];
     for oi in 0..8 {
@@ -789,9 +1018,9 @@ fn com_pass(ctx: &mut NodeCtx, sh: &BarnesShared, cell: GAddr) -> (f64, [f64; 3]
             Child::Empty => continue,
             Child::Body(b) => {
                 let bm = ctx.read::<f64>(sh.mass.addr(b));
-                (bm, sh.read_pos(ctx, b))
+                (bm, body_pos(ctx, sh, snapshot, b))
             }
-            Child::Cell(x) => com_pass(ctx, sh, x),
+            Child::Cell(x) => com_pass(ctx, sh, x, snapshot),
         };
         m += cm;
         for k in 0..3 {
@@ -822,6 +1051,7 @@ fn walk_force(
     p: &[f64; 3],
     theta: f64,
     acc: &mut [f64; 3],
+    snapshot: Option<&HashMap<usize, [f64; 3]>>,
 ) {
     let mass = ctx.read::<f64>(sh.cell_mass_addr(cell));
     let com = [
@@ -845,13 +1075,13 @@ fn walk_force(
             Child::Empty => {}
             Child::Body(j) => {
                 if j != b {
-                    let q = sh.read_pos(ctx, j);
+                    let q = body_pos(ctx, sh, snapshot, j);
                     let mj = ctx.read::<f64>(sh.mass.addr(j));
                     accumulate(acc, p, &q, mj);
                     ctx.work(10);
                 }
             }
-            Child::Cell(x) => walk_force(ctx, sh, x, size / 2.0, b, p, theta, acc),
+            Child::Cell(x) => walk_force(ctx, sh, x, size / 2.0, b, p, theta, acc, snapshot),
         }
     }
 }

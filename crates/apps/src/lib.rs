@@ -24,7 +24,10 @@
 //!   Falsafi et al. (Figure 6's fifth bar);
 //! * [`water::run_splash_water`] — the Splash-style Water baseline
 //!   (transparent shared memory, scattered force writes, no custom
-//!   protocol — Figure 7's third bar).
+//!   protocol — Figure 7's third bar);
+//! * [`barnes::run_barnes_commute`] — Barnes with the tree build run under
+//!   the `commute` directive (privatize-and-merge; the conflict phase the
+//!   predictive protocol leaves without action).
 //!
 //! Every application runs unmodified under both the unoptimized (plain
 //! Stache) and optimized (predictive) machines — the `phase_begin` /

@@ -6,7 +6,7 @@
 //! not perturb what the paper measures.
 
 use prescient_apps::adaptive::{run_adaptive_full, AdaptiveConfig};
-use prescient_apps::barnes::{run_barnes, BarnesConfig};
+use prescient_apps::barnes::{run_barnes, run_barnes_commute, BarnesConfig};
 use prescient_apps::water::{run_water, WaterConfig};
 use prescient_apps::AppRun;
 use prescient_runtime::MachineConfig;
@@ -102,6 +102,28 @@ fn barnes_crash_recovers_bit_identically() {
             &cfg,
         );
         assert_recovered(&format!("barnes crash {node}@{version}"), &base, &run);
+    }
+}
+
+#[test]
+fn barnes_commute_crash_recovers_bit_identically() {
+    // Crash the commutative-merge mode during the build phase itself —
+    // the phase whose in-flight deltas the checkpoint must capture.
+    // Versions 1 and 5 are the two build-phase executions (4 phases per
+    // step), so the destroyed work includes a completed merge window; the
+    // replay re-runs the exchange with the restored push ids and epoch,
+    // and idempotent re-delivery must leave every gated observable
+    // bit-identical.
+    let cfg = barnes_cfg();
+    let base = run_barnes_commute(MachineConfig::commutative(NODES, 64).validated(), &cfg);
+    for (node, version) in [(2u16, 1u64), (1, 5), (3, 7)] {
+        let run = run_barnes_commute(
+            MachineConfig::commutative(NODES, 64)
+                .with_crash_plan(CrashPlan::new(node, version))
+                .validated(),
+            &cfg,
+        );
+        assert_recovered(&format!("barnes commute crash {node}@{version}"), &base, &run);
     }
 }
 

@@ -1,0 +1,80 @@
+//! Ablation: the `commute` directive on Barnes' tree build.
+//!
+//! The build phase is the §3.4 conflict phase — tree blocks are both read
+//! and written within one phase instance, so the predictive protocol must
+//! leave them alone ("no action"). The commutativity analysis proves the
+//! phase's aggregate updates mergeable (lint W007), and the
+//! `CommutativeMerge` directive turns it into privatize-and-merge: delta
+//! records exchanged in bulk at the phase barrier instead of demand scans
+//! of every position block. This ablation runs Barnes under plain Stache
+//! and under the commutative machine and reports the traffic reduction;
+//! the checksums must be bit-identical down the column (the merged replay
+//! reconstructs the serialized insertion order exactly).
+//!
+//! ```text
+//! cargo run --release -p prescient-bench --bin ablation_commute -- --paper
+//! ```
+
+use std::time::Duration;
+
+use prescient_apps::barnes::{run_barnes, run_barnes_commute, BarnesConfig};
+use prescient_apps::AppRun;
+use prescient_bench::Scale;
+use prescient_runtime::MachineConfig;
+use prescient_stache::RetryConfig;
+
+fn retry() -> RetryConfig {
+    RetryConfig { timeout: Duration::from_secs(30), max_retries: 4 }
+}
+
+fn row(label: &str, r: &AppRun) {
+    let t = r.report.total_stats();
+    let bytes = t.data_bytes_in + t.presend_bytes_out;
+    println!(
+        "{label:<22} {:>10} {:>12} {:>14} {:>12} {:>18}",
+        r.report.wall.as_millis(),
+        t.msgs_out,
+        bytes,
+        t.misses() + t.presend_blocks_out,
+        format!("{:016x}", r.checksum.to_bits()),
+    );
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let bs = 128;
+    let cfg = if scale.paper {
+        BarnesConfig::default() // n = 16384, 3 steps
+    } else {
+        BarnesConfig { n: 512, steps: 2, ..Default::default() }
+    };
+
+    println!(
+        "== Ablation: commutative-merge tree build (barnes n={}, {} steps, {} nodes, {bs}B \
+         blocks) ==\n",
+        cfg.n, cfg.steps, scale.nodes
+    );
+    println!(
+        "{:<22} {:>10} {:>12} {:>14} {:>12} {:>18}",
+        "version", "wall(ms)", "msgs", "bytes_moved", "blocks", "checksum"
+    );
+
+    let stache = run_barnes(MachineConfig::stache(scale.nodes, bs).with_retry(retry()), &cfg);
+    row("stache (demand scan)", &stache);
+    let commute =
+        run_barnes_commute(MachineConfig::commutative(scale.nodes, bs).with_retry(retry()), &cfg);
+    row("commutative merge", &commute);
+
+    assert_eq!(
+        commute.checksum.to_bits(),
+        stache.checksum.to_bits(),
+        "the merged build must be bit-identical to the demand-driven build"
+    );
+    let (ms, mc) = (stache.report.total_stats().msgs_out, commute.report.total_stats().msgs_out);
+    assert!(mc < ms, "the merge must move fewer messages: {mc} vs {ms}");
+    println!(
+        "\nchecksums bit-identical; messages {ms} -> {mc} ({:.1}% of stache, {:.2}x reduction)",
+        100.0 * mc as f64 / ms as f64,
+        ms as f64 / mc as f64,
+    );
+}

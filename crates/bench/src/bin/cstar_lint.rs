@@ -1,13 +1,17 @@
 //! `cstar-lint` — the mini-C\*\* diagnostics front end.
 //!
-//! Compiles each given `.cstar` file, runs the W001–W005 lint suite, and
-//! (with `--oracle`) the static↔dynamic schedule oracle. Renders
+//! Compiles each given `.cstar` file, runs the W001–W007/E008 lint suite,
+//! and (with `--oracle`) the static↔dynamic schedule oracle. Renders
 //! rustc-style caret diagnostics by default, or a lossless JSON array with
-//! `--json`.
+//! `--json`. With `--emit-directives` the placed [`DirectivePlan`] of each
+//! file — including `CommutativeMerge` ops — is serialized to stdout as
+//! one JSON document per line (diagnostics then go to stderr), so a build
+//! system can hand the plan straight to the runtime.
 //!
 //! ```text
 //! usage: cstar-lint [--json] [--deny-warnings] [--oracle]
-//!                   [--nodes N] [--seed S] <file.cstar>...
+//!                   [--emit-directives] [--nodes N] [--seed S]
+//!                   <file.cstar>...
 //! ```
 //!
 //! Exit status: 0 clean, 1 on any error (or warning under
@@ -22,6 +26,7 @@ struct Opts {
     json: bool,
     deny_warnings: bool,
     oracle: bool,
+    emit_directives: bool,
     nodes: usize,
     seed: u64,
     files: Vec<String>,
@@ -32,6 +37,7 @@ fn parse_args() -> Result<Opts, String> {
         json: false,
         deny_warnings: false,
         oracle: false,
+        emit_directives: false,
         nodes: 4,
         seed: 0x5eed,
         files: Vec::new(),
@@ -42,6 +48,7 @@ fn parse_args() -> Result<Opts, String> {
             "--json" => o.json = true,
             "--deny-warnings" => o.deny_warnings = true,
             "--oracle" => o.oracle = true,
+            "--emit-directives" => o.emit_directives = true,
             "--nodes" => {
                 o.nodes = args
                     .next()
@@ -56,7 +63,7 @@ fn parse_args() -> Result<Opts, String> {
             }
             "--help" | "-h" => {
                 return Err("usage: cstar-lint [--json] [--deny-warnings] [--oracle] \
-                            [--nodes N] [--seed S] <file.cstar>..."
+                            [--emit-directives] [--nodes N] [--seed S] <file.cstar>..."
                     .to_string())
             }
             f if !f.starts_with('-') => o.files.push(f.to_string()),
@@ -91,6 +98,11 @@ fn main() -> ExitCode {
         let diags = match compile_diag(&src, true, ClassifyRules::default()) {
             Err(d) => vec![d],
             Ok(prog) => {
+                if opts.emit_directives {
+                    // One plan document per input line; stdout carries
+                    // nothing else in this mode.
+                    println!("{}", prog.plan.to_json());
+                }
                 let mut ds = lint_program(&prog);
                 if opts.oracle {
                     let cfg = OracleConfig { nodes: opts.nodes, block_size: 8, seed: opts.seed };
@@ -123,9 +135,18 @@ fn main() -> ExitCode {
     let errors = all.iter().filter(|d| d.is_error()).count();
     let warnings = all.len() - errors;
     if opts.json {
-        println!("{}", Diagnostic::json_array(&all));
+        // `--emit-directives` owns stdout; diagnostics move to stderr.
+        if opts.emit_directives {
+            eprintln!("{}", Diagnostic::json_array(&all));
+        } else {
+            println!("{}", Diagnostic::json_array(&all));
+        }
     } else {
-        print!("{rendered}");
+        if opts.emit_directives {
+            eprint!("{rendered}");
+        } else {
+            print!("{rendered}");
+        }
         eprintln!(
             "cstar-lint: {} file(s), {errors} error(s), {warnings} warning(s)",
             opts.files.len()

@@ -64,7 +64,7 @@ fn main() {
         unopt.assignment.n_phases
     );
 
-    println!("\n== Plan audit (cstar-lint W001/W002) ==\n");
+    println!("\n== Plan audit (cstar-lint W001/W002/W007) ==\n");
     let findings = audit_plan(&cfg, &sol, &plan.assignment);
     if findings.is_empty() {
         println!("  no findings");

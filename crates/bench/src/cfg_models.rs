@@ -18,8 +18,17 @@ pub fn barnes_cfg() -> Cfg {
     let mut b = CfgBuilder::new(universe);
     b.begin_loop("step");
     // load_tree: insert bodies into the shared oct-tree (unstructured
-    // reads+writes of tree cells; home reads of positions).
-    b.call("load_tree", &[("tree", false, false, true, true), ("pos", true, false, false, false)]);
+    // reads+writes of tree cells; home reads of positions). Tree insertion
+    // is an associative-commutative aggregate update — the commutativity
+    // analysis proves the phase mergeable (the audit suggests `commute`,
+    // lint W007), though the model leaves the call unannotated like the
+    // plain app.
+    b.call_commuting(
+        "load_tree",
+        &[("tree", false, false, true, true), ("pos", true, false, false, false)],
+        &["tree"],
+        false,
+    );
     // center_of_mass: upward pass over own subtrees — home accesses only,
     // in a per-level loop.
     b.begin_loop("level");

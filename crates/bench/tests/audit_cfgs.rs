@@ -1,10 +1,12 @@
 //! Audit the compiler's directive placement over the hand-built CFG models
-//! of the paper's applications with the plan-level lints (W001/W002).
+//! of the paper's applications with the plan-level lints (W001/W002/W007).
 //!
 //! Expected picture (recorded in EXPERIMENTS.md): every placed directive is
 //! live (no W002 anywhere); the only phase conflict is Barnes' tree-build
 //! phase, whose unstructured tree reads+writes are exactly the §3.4
-//! conflict case the paper discusses; adaptive (by its separate red/black
+//! conflict case the paper discusses — and the commutativity analysis
+//! proves that phase mergeable, so the audit additionally suggests the
+//! `commute` directive (W007); adaptive (by its separate red/black
 //! aggregates) and water are fully conflict-free.
 
 use prescient_bench::cfg_models::{adaptive_cfg, barnes_cfg, water_cfg};
@@ -18,12 +20,16 @@ fn audit(cfg: &Cfg) -> Vec<Diagnostic> {
 }
 
 #[test]
-fn barnes_flags_only_the_tree_build_conflict() {
+fn barnes_flags_the_tree_build_conflict_and_suggests_commute() {
     let ds = audit(&barnes_cfg());
-    assert_eq!(ds.len(), 1, "{ds:#?}");
-    assert_eq!(ds[0].code, "W001");
-    assert!(ds[0].message.contains("`tree`"), "{}", ds[0].message);
-    assert!(ds[0].notes.iter().any(|n| n.contains("load_tree")), "{ds:#?}");
+    assert_eq!(ds.len(), 2, "{ds:#?}");
+    let w001 = ds.iter().find(|d| d.code == "W001").expect("conflict lint present");
+    assert!(w001.message.contains("`tree`"), "{}", w001.message);
+    assert!(w001.notes.iter().any(|n| n.contains("load_tree")), "{ds:#?}");
+    let w007 = ds.iter().find(|d| d.code == "W007").expect("commute suggestion present");
+    assert!(w007.message.contains("`tree`"), "{}", w007.message);
+    assert!(w007.message.contains("load_tree"), "{}", w007.message);
+    assert!(w007.message.contains("commute"), "{}", w007.message);
 }
 
 #[test]

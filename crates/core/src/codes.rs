@@ -24,3 +24,21 @@ pub const PRESEND_ACK: u16 = 0x52;
 /// pre-send message (`a` = push id, `b` = useless count; see
 /// [`PRESEND_ACK`]).
 pub const WAKE_PRESEND_ACK: u16 = 0x53;
+
+/// Contributor → owner: one chunk of a privatized delta buffer for the
+/// commutative-merge protocol. `blocks` carries a single `(chunk_seq,
+/// payload)` entry whose pseudo block id is the chunk's sequence number
+/// within the sender's payload for this merge window; the payload bytes
+/// are opaque to the protocol (the application encodes/decodes them).
+/// `a` = push id (unique per sender, echoed in the ack; duplicates are
+/// re-acked without re-buffering), `b` = the sender's merge epoch
+/// (stale-epoch pushes are dropped unacknowledged).
+pub const COMMUTE_PUSH: u16 = 0x60;
+
+/// Owner → contributor: delta chunk buffered. `a` = push id being
+/// acknowledged, `b` = 0 (reserved).
+pub const COMMUTE_ACK: u16 = 0x61;
+
+/// Wake-up code delivered to the contributor's compute thread per
+/// acknowledged delta chunk (`a` = push id; see [`COMMUTE_ACK`]).
+pub const WAKE_COMMUTE_ACK: u16 = 0x62;

@@ -1,0 +1,422 @@
+//! The commutative-merge protocol extension: privatize-and-merge for
+//! conflict phases the commutativity analysis proves mergeable.
+//!
+//! §3.4 leaves conflict blocks (read **and** written within one phase
+//! instance) without protocol action: they fall back to plain ownership
+//! migration, which is exactly the traffic that dominates Barnes'
+//! tree-build. When the `cstar` analysis proves every write of the
+//! conflicting aggregate an associative-commutative reduction
+//! ([`crate::codes::COMMUTE_PUSH`] is placed by a `CommutativeMerge`
+//! directive), the runtime can run the phase privatized instead: each node
+//! updates a private delta buffer with no coherence traffic at all, and the
+//! deltas are exchanged in bulk at the phase barrier — one message per
+//! (contributor, owner) pair instead of per-block migration ping-pong.
+//!
+//! One [`Commute`] instance exists per node. Like
+//! [`crate::predictive::Predictive`] it plugs into the Stache engine
+//! through [`prescient_stache::hooks::Hooks`]: the protocol-handler thread
+//! buffers incoming delta chunks and acknowledges them, while the *compute*
+//! thread drives the exchange ([`merge`]) between the two barriers the
+//! runtime wraps around it.
+//!
+//! # Idempotency under a faulty fabric
+//!
+//! The exchange reuses the pre-send discipline (see
+//! [`crate::predictive`]'s module docs): every chunk carries a node-locally
+//! unique **push id** (`UserMsg.a`, re-acked without re-buffering on
+//! duplicates) and the sender's **merge epoch** (`UserMsg.b`; stale-epoch
+//! stragglers are dropped unacknowledged). The epoch advances only on the
+//! compute thread, after the stability barrier that ends the merge window,
+//! so all nodes agree on it at every barrier.
+//!
+//! # Determinism
+//!
+//! Chunks arrive in whatever order the fabric delivers them.
+//! [`Commute::take_inbox`] therefore returns them sorted by
+//! `(contributor, push id)` — a total order every run agrees on — so the
+//! application replays merged updates deterministically and recovered runs
+//! stay bit-identical (DESIGN.md §12).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use parking_lot::Mutex;
+use prescient_stache::hooks::Hooks;
+use prescient_stache::msg::{Msg, UserMsg, Wake};
+use prescient_stache::node::NodeShared;
+use prescient_tempest::{BlockId, NodeId, NodeSet, NodeStats};
+
+use crate::codes;
+
+/// Tuning knobs for the commutative-merge protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommuteConfig {
+    /// Upper bound on delta-payload bytes per push message; larger
+    /// payloads split into multiple chunks (each acknowledged
+    /// independently, like a pre-send bulk message).
+    pub max_chunk_bytes: usize,
+}
+
+impl Default for CommuteConfig {
+    fn default() -> Self {
+        CommuteConfig { max_chunk_bytes: 16 * 1024 }
+    }
+}
+
+/// One buffered delta chunk at an owner.
+#[derive(Debug, Clone)]
+struct Chunk {
+    src: NodeId,
+    id: u64,
+    bytes: Arc<[u8]>,
+}
+
+#[derive(Debug, Clone)]
+struct CommuteState {
+    /// Delta chunks received this merge window, in arrival order.
+    inbox: Vec<Chunk>,
+    /// Next push id (node-local; uniqueness per sender is enough).
+    next_push_id: u64,
+    /// `(sender, push id)` pairs already buffered this window; repeats are
+    /// re-acked without re-buffering. Cleared on every epoch bump.
+    done_pushes: HashSet<(NodeId, u64)>,
+}
+
+/// Per-node commutative-merge state: one per node, shared between that
+/// node's protocol-handler thread (delta receive) and compute thread
+/// (the [`merge`] driver and [`Commute::take_inbox`]).
+pub struct Commute {
+    cfg: CommuteConfig,
+    state: Mutex<CommuteState>,
+    /// Merge window epoch; see the module docs. Advanced only by the
+    /// compute thread (after the stability barrier), read by the protocol
+    /// thread when validating incoming chunks.
+    epoch: AtomicU64,
+}
+
+impl Commute {
+    /// Create the extension state for one node.
+    pub fn new(cfg: CommuteConfig) -> Commute {
+        Commute {
+            cfg,
+            state: Mutex::new(CommuteState {
+                inbox: Vec::new(),
+                next_push_id: 1,
+                done_pushes: HashSet::new(),
+            }),
+            epoch: AtomicU64::new(1),
+        }
+    }
+
+    /// The configuration this instance was built with.
+    pub fn config(&self) -> CommuteConfig {
+        self.cfg
+    }
+
+    /// The current merge epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Advance the merge epoch. The runtime calls this once per merge
+    /// window, *after* the stability barrier — at that point every chunk of
+    /// the closing window has been acknowledged, so anything still carrying
+    /// the old epoch is a duplicate.
+    pub fn bump_epoch(&self) {
+        self.state.lock().done_pushes.clear();
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Drain the merge inbox, sorted by `(contributor, push id)` — the
+    /// total order that makes the application's replay deterministic.
+    /// Callable only between the window's stability barrier and the next
+    /// window (no chunk can be in flight).
+    pub fn take_inbox(&self) -> Vec<(NodeId, Arc<[u8]>)> {
+        let mut chunks = std::mem::take(&mut self.state.lock().inbox);
+        chunks.sort_by_key(|c| (c.src, c.id));
+        chunks.into_iter().map(|c| (c.src, c.bytes)).collect()
+    }
+
+    /// Capture this node's full merge state at a quiescent cut: the epoch,
+    /// the push bookkeeping, and any delta chunks buffered but not yet
+    /// drained (in-flight with respect to the application).
+    pub fn checkpoint(&self) -> CommuteCheckpoint {
+        CommuteCheckpoint { state: self.state.lock().clone(), epoch: self.epoch() }
+    }
+
+    /// Roll this node's merge state back to a captured cut. Callable only
+    /// while the machine is quiescent (the recovery drain has emptied the
+    /// channels): the epoch rewinds together with every peer's, so replayed
+    /// merge windows re-stamp the same epochs.
+    pub fn restore(&self, ckpt: &CommuteCheckpoint) {
+        *self.state.lock() = ckpt.state.clone();
+        self.epoch.store(ckpt.epoch, Ordering::Release);
+    }
+}
+
+/// One node's commutative-merge state at a consistent cut (see
+/// [`Commute::checkpoint`]).
+#[derive(Clone)]
+pub struct CommuteCheckpoint {
+    state: CommuteState,
+    epoch: u64,
+}
+
+impl Hooks for Commute {
+    fn on_home_request(
+        &self,
+        _node: &NodeShared,
+        _block: BlockId,
+        _requester: NodeId,
+        _excl: bool,
+    ) -> bool {
+        // The merge mode records no schedules: non-merged phases run as
+        // plain Stache.
+        false
+    }
+
+    fn on_user(&self, node: &NodeShared, src: NodeId, msg: UserMsg) {
+        match msg.code {
+            codes::COMMUTE_PUSH => {
+                if msg.b != self.epoch() {
+                    // Straggler duplicate from an already-completed window
+                    // (the driver does not pass its ack wait until every
+                    // chunk is acked, so it cannot be a first delivery).
+                    // No ack: nobody is waiting for one.
+                    NodeStats::bump(&node.stats.presend_stale_in);
+                    return;
+                }
+                let push_id = msg.a;
+                let mut st = self.state.lock();
+                if st.done_pushes.contains(&(src, push_id)) {
+                    // Duplicate within the window (fabric dup, or the
+                    // driver retransmitting because our ack was lost).
+                    // Re-ack; do not re-buffer.
+                    NodeStats::bump(&node.stats.presend_stale_in);
+                } else {
+                    st.done_pushes.insert((src, push_id));
+                    let bytes: u64 = msg.blocks.iter().map(|(_, d)| d.len() as u64).sum();
+                    for (_, d) in msg.blocks.iter() {
+                        st.inbox.push(Chunk { src, id: push_id, bytes: Arc::clone(d) });
+                    }
+                    NodeStats::add(&node.stats.data_bytes_in, bytes);
+                }
+                drop(st);
+                node.send(src, Msg::User(UserMsg::simple(codes::COMMUTE_ACK, push_id)));
+            }
+            codes::COMMUTE_ACK => {
+                // Forward to the merge driver blocked on the compute
+                // thread: `a` echoes the push id.
+                node.wake(Wake::User { code: codes::WAKE_COMMUTE_ACK, a: msg.a, b: 0 });
+            }
+            other => panic!("node {}: unknown user-message code {other:#x}", node.me),
+        }
+    }
+}
+
+/// What one node's merge exchange sent, with its virtual-time bill.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Delta chunks pushed to other nodes (self-deltas are buffered
+    /// locally without touching the fabric).
+    pub chunks_out: u64,
+    /// Push messages sent (= `chunks_out`: one chunk per message).
+    pub msgs: u64,
+    /// Delta bytes pushed over the fabric.
+    pub bytes: u64,
+    /// Chunk retransmissions needed to get every push acknowledged.
+    pub retransmits: u64,
+    /// Virtual time spent (billed to the figures' protocol bar segment,
+    /// like the pre-send window).
+    pub vtime_ns: u64,
+}
+
+/// Execute one merge exchange on this node's compute thread: push every
+/// outgoing delta payload to its owner and wait until all chunks are
+/// acknowledged. The runtime brackets this with the entry barrier (all
+/// peers privatized) and the stability barrier (all chunks buffered
+/// everywhere), then drains [`Commute::take_inbox`] and bumps the epoch.
+///
+/// Payloads are opaque to the protocol; a payload for this node itself is
+/// buffered directly into the local inbox without touching the fabric.
+pub fn merge(
+    cm: &Commute,
+    n: &NodeShared,
+    wake_rx: &Receiver<Wake>,
+    stash: &mut Vec<Wake>,
+    outgoing: &[(NodeId, Vec<u8>)],
+) -> MergeReport {
+    let me = n.me;
+    let mut report = MergeReport::default();
+    let epoch = cm.epoch();
+    let max = cm.cfg.max_chunk_bytes.max(1);
+
+    // Fan out, one push message per chunk. Unacked messages are kept
+    // verbatim for retransmission.
+    let mut outstanding: HashMap<u64, (NodeId, UserMsg)> = HashMap::new();
+    for (target, payload) in outgoing {
+        if payload.is_empty() {
+            continue;
+        }
+        for (seq, chunk) in payload.chunks(max).enumerate() {
+            let id = {
+                let mut st = cm.state.lock();
+                let id = st.next_push_id;
+                st.next_push_id += 1;
+                id
+            };
+            let data: Arc<[u8]> = chunk.into();
+            if *target == me {
+                // Local contribution: no fabric, but the same inbox so the
+                // replay order treats every contributor alike.
+                cm.state.lock().inbox.push(Chunk { src: me, id, bytes: data });
+                continue;
+            }
+            let m = UserMsg {
+                code: codes::COMMUTE_PUSH,
+                a: id,
+                b: epoch,
+                block: BlockId(seq as u64),
+                set: NodeSet::single(*target),
+                node: me,
+                blocks: vec![(BlockId(seq as u64), data)].into(),
+            };
+            n.send(*target, Msg::User(m.clone()));
+            outstanding.insert(id, (*target, m));
+            report.chunks_out += 1;
+            report.msgs += 1;
+            report.bytes += chunk.len() as u64;
+        }
+    }
+    // The fan-out is over and the ack wait blocks next: everything
+    // buffered in the egress must be on the wire first.
+    n.flush_net();
+
+    // Wait for every chunk to be acknowledged so all inboxes are stable at
+    // the coming barrier, retransmitting unacked chunks on timeout.
+    stash.retain(|w| match w {
+        Wake::User { code: codes::WAKE_COMMUTE_ACK, a, .. } => {
+            outstanding.remove(a);
+            false
+        }
+        _ => true,
+    });
+    let mut rounds = 0u32;
+    while !outstanding.is_empty() {
+        match wake_rx.recv_timeout(n.retry.timeout) {
+            Ok(Wake::User { code: codes::WAKE_COMMUTE_ACK, a, .. }) => {
+                // `remove` de-duplicates: an ack for an id already acked
+                // (its push was duplicated in flight) is inert.
+                outstanding.remove(&a);
+            }
+            // A stale grant wake can slip in if a duplicated grant for an
+            // earlier fetch raced its teardown; it carries nothing we need.
+            Ok(Wake::Grant { .. }) => {}
+            // Recovery fences are only in flight while every compute thread
+            // sits in the recovery protocol, never during a merge window;
+            // tolerate (and drop) one anyway.
+            Ok(Wake::Fence) => {}
+            Ok(other) => panic!("unexpected wake during merge ack wait: {other:?}"),
+            Err(RecvTimeoutError::Timeout) => {
+                if n.is_aborting() {
+                    // The machine was declared dead (panic isolation /
+                    // watchdog): unwind instead of re-arming retries.
+                    std::panic::panic_any(prescient_tempest::Aborted);
+                }
+                rounds += 1;
+                assert!(
+                    rounds <= n.retry.max_retries,
+                    "node {me}: {} merge chunks unacked after {rounds} rounds (machine wedged)",
+                    outstanding.len()
+                );
+                for (t, m) in outstanding.values() {
+                    n.send(*t, Msg::User(m.clone()));
+                    report.retransmits += 1;
+                }
+                // Back to waiting: flush the retransmissions out.
+                n.flush_net();
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                panic!("protocol thread terminated during merge exchange")
+            }
+        }
+    }
+
+    report.vtime_ns = n.cost.bulk_ns(report.msgs, report.chunks_out, report.bytes);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inbox_drains_sorted_by_contributor_then_id() {
+        let cm = Commute::new(CommuteConfig::default());
+        {
+            let mut st = cm.state.lock();
+            st.inbox.push(Chunk { src: 2, id: 7, bytes: vec![2u8].into() });
+            st.inbox.push(Chunk { src: 0, id: 9, bytes: vec![0u8].into() });
+            st.inbox.push(Chunk { src: 2, id: 3, bytes: vec![1u8].into() });
+        }
+        let got = cm.take_inbox();
+        let order: Vec<(NodeId, u8)> = got.iter().map(|(s, b)| (*s, b[0])).collect();
+        assert_eq!(order, vec![(0, 0), (2, 1), (2, 2)]);
+        assert!(cm.take_inbox().is_empty(), "drain empties the inbox");
+    }
+
+    #[test]
+    fn epoch_bump_clears_push_bookkeeping() {
+        let cm = Commute::new(CommuteConfig::default());
+        assert_eq!(cm.epoch(), 1);
+        cm.state.lock().done_pushes.insert((3, 11));
+        cm.bump_epoch();
+        assert_eq!(cm.epoch(), 2);
+        assert!(cm.state.lock().done_pushes.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips() {
+        let cm = Commute::new(CommuteConfig::default());
+        {
+            let mut st = cm.state.lock();
+            st.inbox.push(Chunk { src: 1, id: 4, bytes: vec![9u8, 9].into() });
+            st.next_push_id = 17;
+            st.done_pushes.insert((1, 4));
+        }
+        cm.bump_epoch();
+        let ckpt = cm.checkpoint();
+
+        // Diverge, then roll back.
+        cm.bump_epoch();
+        cm.state.lock().inbox.clear();
+        cm.state.lock().next_push_id = 99;
+        cm.restore(&ckpt);
+
+        assert_eq!(cm.epoch(), 2);
+        let st = cm.state.lock();
+        assert_eq!(st.next_push_id, 17);
+        assert_eq!(st.inbox.len(), 1);
+        assert_eq!(&st.inbox[0].bytes[..], &[9, 9]);
+    }
+
+    #[test]
+    fn restored_window_reissues_the_same_push_ids() {
+        // The driver allocates ids from `next_push_id`; a rollback must
+        // make a replayed window indistinguishable from the original.
+        let cm = Commute::new(CommuteConfig::default());
+        let ckpt = cm.checkpoint();
+        let take_id = |cm: &Commute| {
+            let mut st = cm.state.lock();
+            let id = st.next_push_id;
+            st.next_push_id += 1;
+            id
+        };
+        let first: Vec<u64> = (0..3).map(|_| take_id(&cm)).collect();
+        cm.restore(&ckpt);
+        let replay: Vec<u64> = (0..3).map(|_| take_id(&cm)).collect();
+        assert_eq!(first, replay);
+    }
+}

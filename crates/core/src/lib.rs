@@ -33,17 +33,26 @@
 //! [`manual`] additionally exposes hand-built schedules, used to model the
 //! paper's hand-optimized SPMD baseline (an application-specific
 //! write-update protocol in the style of Falsafi et al. [5]).
+//!
+//! [`commute`] adds a third protocol mode for the conflict phases §3.4
+//! leaves without action: when the `cstar` commutativity analysis proves a
+//! phase's aggregate updates mergeable (a `CommutativeMerge` directive),
+//! each node privatizes its updates into a delta buffer and the buffers
+//! are exchanged in bulk at the phase barrier, replacing per-block
+//! ownership migration entirely.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod codes;
+pub mod commute;
 pub mod manual;
 pub mod predictive;
 pub mod presend;
 pub mod schedule;
 pub mod tap;
 
+pub use commute::{Commute, CommuteCheckpoint, CommuteConfig, MergeReport};
 pub use predictive::{DegradeConfig, PhaseHealth, PredCheckpoint, Predictive, PredictiveConfig};
 pub use presend::PresendReport;
 pub use schedule::{Action, PhaseId, PhaseSchedule, ReplayRun, ScheduleEntry, ScheduleStore};

@@ -76,12 +76,17 @@ pub enum Stmt {
 /// Statements of the sequential `main` function.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SeqStmt {
-    /// A parallel-function call: `name(aggArg, ...);`.
+    /// A parallel-function call: `name(aggArg, ...);`, optionally prefixed
+    /// with the `commute` directive: `commute name(aggArg, ...);`.
     Call {
         /// Callee parallel function.
         func: String,
         /// Aggregate arguments, by declaration name.
         args: Vec<String>,
+        /// `true` when the call is annotated `commute`: the programmer
+        /// asserts its aggregate updates are order-independent, so the
+        /// runtime may privatize them and merge at the phase barrier.
+        commute: bool,
         /// Source region of the call (callee name through closing paren).
         span: Span,
     },

@@ -24,6 +24,9 @@ pub struct CallSite {
     /// Access classification per aggregate *instance* (argument), merged
     /// over all parameters bound to that instance.
     pub access: BTreeMap<String, ParamAccess>,
+    /// The call carries a `commute` annotation: the programmer asks for
+    /// privatize-and-merge execution of its aggregate updates.
+    pub commute_annotated: bool,
 }
 
 impl CallSite {
@@ -35,6 +38,15 @@ impl CallSite {
     /// Does this call only perform home accesses?
     pub fn home_only(&self) -> bool {
         !self.any_unstructured()
+    }
+
+    /// Aggregates this call writes whose updates are commutative-mergeable.
+    pub fn commute_aggs(&self) -> Vec<&str> {
+        self.access
+            .iter()
+            .filter(|(_, a)| a.commute && (a.home_write || a.nonhome_write))
+            .map(|(n, _)| n.as_str())
+            .collect()
     }
 }
 
@@ -128,23 +140,40 @@ impl Cfg {
         ) -> Result<(), ParseError> {
             for s in stmts {
                 match s {
-                    SeqStmt::Call { func, args, .. } => {
+                    SeqStmt::Call { func, args, commute, .. } => {
                         let f = p.func(func).ok_or_else(|| ParseError {
                             msg: format!("unknown function `{func}`"),
                             line: 0,
                         })?;
                         let sum = &summaries[func];
                         // Map parameter summaries onto argument instances.
+                        // Access flags merge by OR; the commutativity
+                        // verdict merges by AND — binding an instance to a
+                        // second parameter that reads it (or updates it
+                        // non-commutatively) defeats privatization.
                         let mut access: BTreeMap<String, ParamAccess> = BTreeMap::new();
                         for (param, arg) in f.params.iter().zip(args) {
                             let pa = sum.get(param);
-                            let e = access.entry(arg.clone()).or_default();
-                            e.home_read |= pa.home_read;
-                            e.home_write |= pa.home_write;
-                            e.nonhome_read |= pa.nonhome_read;
-                            e.nonhome_write |= pa.nonhome_write;
+                            match access.entry(arg.clone()) {
+                                std::collections::btree_map::Entry::Vacant(v) => {
+                                    v.insert(pa);
+                                }
+                                std::collections::btree_map::Entry::Occupied(mut o) => {
+                                    let e = o.get_mut();
+                                    e.home_read |= pa.home_read;
+                                    e.home_write |= pa.home_write;
+                                    e.nonhome_read |= pa.nonhome_read;
+                                    e.nonhome_write |= pa.nonhome_write;
+                                    e.commute &= pa.commute;
+                                }
+                            }
                         }
-                        b.call_with(func, access);
+                        let node = b.call_with(func, access);
+                        if *commute {
+                            if let CfgNode::Call(c) = &mut b.nodes[node] {
+                                c.commute_annotated = true;
+                            }
+                        }
                     }
                     SeqStmt::For { var, lo, hi, body } => {
                         b.begin_loop_counted(var, *lo, *hi);
@@ -209,7 +238,12 @@ impl CfgBuilder {
         }
         let id = self.next_call_id;
         self.next_call_id += 1;
-        let node = self.add(CfgNode::Call(CallSite { func: func.to_string(), id, access }));
+        let node = self.add(CfgNode::Call(CallSite {
+            func: func.to_string(),
+            id,
+            access,
+            commute_annotated: false,
+        }));
         self.call_node.push(node);
         self.region.push(RegionItem::Call(id));
         node
@@ -223,10 +257,49 @@ impl CfgBuilder {
         for &(agg, hr, hw, nr, nw) in accesses {
             map.insert(
                 agg.to_string(),
-                ParamAccess { home_read: hr, home_write: hw, nonhome_read: nr, nonhome_write: nw },
+                ParamAccess {
+                    home_read: hr,
+                    home_write: hw,
+                    nonhome_read: nr,
+                    nonhome_write: nw,
+                    ..ParamAccess::default()
+                },
             );
         }
         self.call_with(func, map)
+    }
+
+    /// Like [`CfgBuilder::call`], but additionally marks the aggregates in
+    /// `commute_aggs` as commutative-mergeable (the hand-built analogue of
+    /// the commutativity analysis verdict), and records whether the call
+    /// carries a `commute` annotation.
+    pub fn call_commuting(
+        &mut self,
+        func: &str,
+        accesses: &[(&str, bool, bool, bool, bool)],
+        commute_aggs: &[&str],
+        annotated: bool,
+    ) -> usize {
+        let mut map = BTreeMap::new();
+        for &(agg, hr, hw, nr, nw) in accesses {
+            map.insert(
+                agg.to_string(),
+                ParamAccess {
+                    home_read: hr,
+                    home_write: hw,
+                    nonhome_read: nr,
+                    nonhome_write: nw,
+                    commute: commute_aggs.contains(&agg),
+                },
+            );
+        }
+        let node = self.call_with(func, map);
+        if annotated {
+            if let CfgNode::Call(c) = &mut self.nodes[node] {
+                c.commute_annotated = true;
+            }
+        }
+        node
     }
 
     /// Open a loop; subsequent nodes are the body. (Analysis-only loops

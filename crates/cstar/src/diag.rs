@@ -26,6 +26,8 @@
 //! | W004 | unused aggregate / written but never read | — |
 //! | W005 | index expression fed by a non-home read | §3.3 |
 //! | W006 | schedule-oracle precision: a predicted access was never observed | §3.4 |
+//! | W007 | conflict phase is commutative-mergeable; suggest `commute` directive | §3.4 |
+//! | E008 | unsound `commute` annotation: a same-phase read observes the privatized aggregate | §3.4 |
 
 use std::fmt;
 
@@ -59,6 +61,11 @@ pub mod codes {
     pub const UNSTRUCTURED_INDEX: &str = "W005";
     /// Statically predicted access never observed dynamically.
     pub const ORACLE_PRECISION: &str = "W006";
+    /// Conflict phase whose updates are commutative-mergeable.
+    pub const COMMUTE_SUGGEST: &str = "W007";
+    /// Unsound `commute` annotation (order-dependent update, or a
+    /// same-phase read observing the privatized aggregate).
+    pub const COMMUTE_UNSOUND: &str = "E008";
 }
 
 /// A source region in character offsets (the lexer works on `char`
@@ -434,7 +441,7 @@ impl SourceLines {
 // Minimal JSON codec (emit + parse of the subset this module produces)
 // ---------------------------------------------------------------------
 
-fn json_str(out: &mut String, s: &str) {
+pub(crate) fn json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -450,14 +457,15 @@ fn json_str(out: &mut String, s: &str) {
     out.push('"');
 }
 
-fn json_kv(out: &mut String, key: &str, val: &str) {
+pub(crate) fn json_kv(out: &mut String, key: &str, val: &str) {
     json_str(out, key);
     out.push(':');
     json_str(out, val);
 }
 
-/// A parsed JSON value (only what the emitter produces).
-enum Json {
+/// A parsed JSON value (only what the emitter produces). Shared with the
+/// directive-plan codec in [`crate::directives`].
+pub(crate) enum Json {
     Null,
     Bool,
     Num(f64),
@@ -467,25 +475,40 @@ enum Json {
 }
 
 impl Json {
-    fn as_array(&self) -> Option<&[Json]> {
+    pub(crate) fn as_array(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(v) => Some(v),
             _ => None,
         }
     }
 
-    fn as_object(&self) -> Option<&[(String, Json)]> {
+    pub(crate) fn as_object(&self) -> Option<&[(String, Json)]> {
         match self {
             Json::Obj(v) => Some(v),
             _ => None,
         }
     }
 
-    fn as_str(&self) -> Option<&str> {
+    pub(crate) fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
         }
+    }
+
+    /// Object field lookup.
+    pub(crate) fn field(&self, key: &str) -> Option<&Json> {
+        self.as_object().and_then(|o| o.iter().find(|(k, _)| k == key)).map(|(_, v)| v)
+    }
+
+    /// Numeric object field as `i64` (the plan codec's loop bounds).
+    pub(crate) fn field_i64(&self, key: &str) -> Result<i64, String> {
+        self.field(key)
+            .and_then(|v| match v {
+                Json::Num(n) => Some(*n as i64),
+                _ => None,
+            })
+            .ok_or_else(|| format!("missing numeric field `{key}`"))
     }
 
     fn field_u32(&self, key: &str) -> Result<u32, String> {
@@ -499,13 +522,13 @@ impl Json {
     }
 }
 
-struct JsonParser {
+pub(crate) struct JsonParser {
     chars: Vec<char>,
     pos: usize,
 }
 
 impl JsonParser {
-    fn parse(input: &str) -> Result<Json, String> {
+    pub(crate) fn parse(input: &str) -> Result<Json, String> {
         let mut p = JsonParser { chars: input.chars().collect(), pos: 0 };
         let v = p.value()?;
         p.skip_ws();

@@ -27,6 +27,7 @@ use prescient_core::PhaseId;
 
 use crate::cfg::{Cfg, RegionItem};
 use crate::dataflow::ReachingUnstructured;
+use crate::diag::{json_str, Json, JsonParser};
 
 /// What the planner decided per call site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +78,20 @@ pub enum ExecOp {
     },
     /// Close the innermost loop.
     LoopEnd,
+    /// Merge privatized per-node deltas of one aggregate at the phase
+    /// barrier (emitted right after the `Call` it belongs to, for each
+    /// written aggregate the commutativity analysis proved mergeable on an
+    /// annotated call). The runtime runs the call against private buffers
+    /// and bulk-installs the merged state instead of migrating ownership
+    /// per block.
+    CommutativeMerge {
+        /// Phase the merged call executes under (0 if scheduleless).
+        phase: PhaseId,
+        /// Aggregate to merge, by declaration name.
+        agg: String,
+        /// Call-site id whose updates are privatized.
+        call: usize,
+    },
 }
 
 /// Placement result: assignment plus the executable op sequence.
@@ -86,6 +101,106 @@ pub struct DirectivePlan {
     pub assignment: PhaseAssignment,
     /// Operation sequence for the interpreter.
     pub ops: Vec<ExecOp>,
+}
+
+impl DirectivePlan {
+    /// Serialize the plan losslessly as JSON (the `--emit-directives`
+    /// payload). Booleans are encoded as `0`/`1`; an absent `phase` field
+    /// means "no phase assigned".
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::from("{");
+        write!(s, "\"n_phases\":{},\"calls\":[", self.assignment.n_phases).unwrap();
+        for (i, (id, d)) in self.assignment.calls.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            write!(
+                s,
+                "{{\"id\":{id},\"needs\":{},\"home_only\":{}",
+                d.needs as u8, d.home_only as u8
+            )
+            .unwrap();
+            if let Some(p) = d.phase {
+                write!(s, ",\"phase\":{p}").unwrap();
+            }
+            s.push('}');
+        }
+        s.push_str("],\"ops\":[");
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            match op {
+                ExecOp::PhaseBegin(p) => {
+                    write!(s, "{{\"op\":\"phase_begin\",\"phase\":{p}}}").unwrap()
+                }
+                ExecOp::PhaseEnd(p) => write!(s, "{{\"op\":\"phase_end\",\"phase\":{p}}}").unwrap(),
+                ExecOp::Call(id) => write!(s, "{{\"op\":\"call\",\"id\":{id}}}").unwrap(),
+                ExecOp::LoopBegin { label, lo, hi } => {
+                    s.push_str("{\"op\":\"loop_begin\",\"label\":");
+                    json_str(&mut s, label);
+                    write!(s, ",\"lo\":{lo},\"hi\":{hi}}}").unwrap();
+                }
+                ExecOp::LoopEnd => s.push_str("{\"op\":\"loop_end\"}"),
+                ExecOp::CommutativeMerge { phase, agg, call } => {
+                    s.push_str("{\"op\":\"commutative_merge\",\"agg\":");
+                    json_str(&mut s, agg);
+                    write!(s, ",\"phase\":{phase},\"call\":{call}}}").unwrap();
+                }
+            }
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Parse a plan produced by [`DirectivePlan::to_json`].
+    pub fn from_json(src: &str) -> Result<DirectivePlan, String> {
+        let v = JsonParser::parse(src)?;
+        let n_phases = v.field_i64("n_phases")? as u32;
+        let mut calls = BTreeMap::new();
+        for c in v.field("calls").and_then(Json::as_array).ok_or("missing `calls` array")? {
+            let id = c.field_i64("id")? as usize;
+            let phase = match c.field("phase") {
+                Some(Json::Num(n)) if *n >= 0.0 => Some(*n as PhaseId),
+                _ => None,
+            };
+            calls.insert(
+                id,
+                CallDecision {
+                    needs: c.field_i64("needs")? != 0,
+                    home_only: c.field_i64("home_only")? != 0,
+                    phase,
+                },
+            );
+        }
+        let mut ops = Vec::new();
+        for o in v.field("ops").and_then(Json::as_array).ok_or("missing `ops` array")? {
+            let kind = o.field("op").and_then(Json::as_str).ok_or("missing `op` tag")?;
+            ops.push(match kind {
+                "phase_begin" => ExecOp::PhaseBegin(o.field_i64("phase")? as PhaseId),
+                "phase_end" => ExecOp::PhaseEnd(o.field_i64("phase")? as PhaseId),
+                "call" => ExecOp::Call(o.field_i64("id")? as usize),
+                "loop_begin" => ExecOp::LoopBegin {
+                    label: o
+                        .field("label")
+                        .and_then(Json::as_str)
+                        .ok_or("missing `label`")?
+                        .to_string(),
+                    lo: o.field_i64("lo")?,
+                    hi: o.field_i64("hi")?,
+                },
+                "loop_end" => ExecOp::LoopEnd,
+                "commutative_merge" => ExecOp::CommutativeMerge {
+                    phase: o.field_i64("phase")? as PhaseId,
+                    agg: o.field("agg").and_then(Json::as_str).ok_or("missing `agg`")?.to_string(),
+                    call: o.field_i64("call")? as usize,
+                },
+                other => return Err(format!("unknown op tag `{other}`")),
+            });
+        }
+        Ok(DirectivePlan { assignment: PhaseAssignment { calls, n_phases }, ops })
+    }
 }
 
 /// Per-phase (or per-call) communication footprint, for the conflict guard.
@@ -145,9 +260,41 @@ pub fn place_directives(cfg: &Cfg, sol: &ReachingUnstructured, coalesce: bool) -
 
     let mut planner = Planner { calls, comm, next_phase: 1, coalesce };
     let ops = planner.plan_seq(cfg, &cfg.regions);
+    let calls = planner.calls;
+
+    // Splice merge directives: each `commute`-annotated call whose written
+    // aggregates the commutativity analysis accepted gets one
+    // CommutativeMerge per such aggregate, right after the call. Aggregates
+    // the analysis rejected get nothing here — the E008 lint owns them.
+    let mut spliced = Vec::with_capacity(ops.len());
+    for op in ops {
+        let merges: Vec<ExecOp> = match &op {
+            ExecOp::Call(id) => cfg
+                .call_node
+                .get(*id)
+                .and_then(|&n| cfg.call(n))
+                .filter(|c| c.commute_annotated)
+                .map(|c| {
+                    let phase = calls.get(id).and_then(|d| d.phase).unwrap_or(0);
+                    c.commute_aggs()
+                        .into_iter()
+                        .map(|agg| ExecOp::CommutativeMerge {
+                            phase,
+                            agg: agg.to_string(),
+                            call: *id,
+                        })
+                        .collect()
+                })
+                .unwrap_or_default(),
+            _ => Vec::new(),
+        };
+        spliced.push(op);
+        spliced.extend(merges);
+    }
+
     DirectivePlan {
-        assignment: PhaseAssignment { calls: planner.calls, n_phases: planner.next_phase - 1 },
-        ops,
+        assignment: PhaseAssignment { calls, n_phases: planner.next_phase - 1 },
+        ops: spliced,
     }
 }
 
@@ -375,6 +522,10 @@ pub fn render_plan(cfg: &Cfg, plan: &DirectivePlan) -> String {
                 indent -= 1;
                 writeln!(s, "{}}}", "  ".repeat(indent)).unwrap();
             }
+            ExecOp::CommutativeMerge { phase, agg, .. } => {
+                writeln!(s, "{pad}merge({agg})        // phase {phase}: install privatized deltas")
+                    .unwrap()
+            }
         }
     }
     s
@@ -580,5 +731,92 @@ mod tests {
         assert!(pb2 < lvl && lvl < pe2, "single directive for the com phase: {ops:?}");
         let rendered = render_plan(&cfg, &plan);
         assert!(rendered.contains("for level"), "rendered plan:\n{rendered}");
+    }
+
+    /// An annotated call with a provably commutative write gets a merge
+    /// directive spliced right after it; unannotated calls do not.
+    #[test]
+    fn commute_annotation_splices_merge_op() {
+        let mut b = CfgBuilder::new(universe(&["tree", "pos"]));
+        b.begin_loop("step");
+        b.call_commuting(
+            "load_tree",
+            &[("tree", false, false, true, true), ("pos", true, false, false, false)],
+            &["tree"],
+            true,
+        );
+        b.call("forces", &[("tree", false, false, true, false)]);
+        b.end_loop();
+        let (cfg, plan) = plan_of(b, true);
+        let merge_pos = plan
+            .ops
+            .iter()
+            .position(
+                |o| matches!(o, ExecOp::CommutativeMerge { agg, call: 0, .. } if agg == "tree"),
+            )
+            .expect("merge op spliced");
+        let call_pos =
+            plan.ops.iter().position(|o| matches!(o, ExecOp::Call(0))).expect("call present");
+        assert_eq!(merge_pos, call_pos + 1, "merge follows its call: {:?}", plan.ops);
+        assert_eq!(
+            plan.ops.iter().filter(|o| matches!(o, ExecOp::CommutativeMerge { .. })).count(),
+            1,
+            "only the annotated call merges"
+        );
+        let rendered = render_plan(&cfg, &plan);
+        assert!(rendered.contains("merge(tree)"), "rendered plan:\n{rendered}");
+    }
+
+    /// Annotation without a commutative write (the analysis said no) emits
+    /// no merge op — the lint layer owns the E008 instead.
+    #[test]
+    fn annotation_without_commutative_write_is_inert() {
+        let mut b = CfgBuilder::new(universe(&["tree"]));
+        b.call_commuting("load", &[("tree", false, false, true, true)], &[], true);
+        let (_, plan) = plan_of(b, true);
+        assert!(
+            !plan.ops.iter().any(|o| matches!(o, ExecOp::CommutativeMerge { .. })),
+            "{:?}",
+            plan.ops
+        );
+    }
+
+    /// The JSON codec round-trips the full op vocabulary and decisions.
+    #[test]
+    fn plan_json_round_trip() {
+        let mut b = CfgBuilder::new(universe(&["tree", "pos", "acc"]));
+        b.begin_loop("step");
+        b.call_commuting(
+            "load_tree",
+            &[("tree", false, false, true, true), ("pos", true, false, false, false)],
+            &["tree"],
+            true,
+        );
+        b.call(
+            "forces",
+            &[("tree", false, false, true, false), ("acc", false, true, false, false)],
+        );
+        b.call("advance", &[("acc", true, false, false, false)]);
+        b.end_loop();
+        let (_, plan) = plan_of(b, true);
+        assert!(plan.ops.iter().any(|o| matches!(o, ExecOp::CommutativeMerge { .. })));
+
+        let json = plan.to_json();
+        let back = DirectivePlan::from_json(&json).expect("parse back");
+        assert_eq!(back.ops, plan.ops);
+        assert_eq!(format!("{:?}", back.assignment), format!("{:?}", plan.assignment));
+        // Stability: re-serializing the parsed plan is bit-identical.
+        assert_eq!(back.to_json(), json);
+    }
+
+    /// Bad payloads fail with errors, not panics.
+    #[test]
+    fn plan_json_rejects_malformed() {
+        assert!(DirectivePlan::from_json("{}").is_err());
+        assert!(DirectivePlan::from_json(
+            "{\"n_phases\":1,\"calls\":[],\"ops\":[{\"op\":\"nope\"}]}"
+        )
+        .is_err());
+        assert!(DirectivePlan::from_json("not json").is_err());
     }
 }

@@ -275,6 +275,11 @@ fn exec_main(ctx: &mut NodeCtx, prog: &CompiledProgram, aggs: &AggMap, tap: Opti
                     pc = begin;
                 }
             }
+            // The DSM interpreter executes calls serialized per node, so
+            // the merge point has nothing to install; the directive is
+            // consumed by the runtime's commutative protocol mode and the
+            // merge oracle.
+            ExecOp::CommutativeMerge { .. } => {}
         }
         pc += 1;
     }
@@ -484,7 +489,7 @@ pub fn seeded_init(seed: u64) -> impl Fn(&mut NodeCtx, &AggMap) + Sync {
     }
 }
 
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

@@ -15,7 +15,7 @@ use crate::compile::CompiledProgram;
 use crate::dataflow::ReachingUnstructured;
 use crate::diag::{codes, Diagnostic, Span};
 use crate::directives::PhaseAssignment;
-use crate::sema::{classify_index, AccessKind, Locality, ParamAccess};
+use crate::sema::{classify_index, AccessKind, ClassifyRules, Locality, ParamAccess};
 
 /// Run every lint over a compiled program. Returns warnings sorted by
 /// source position (spanless findings first).
@@ -24,7 +24,15 @@ pub fn lint_program(c: &CompiledProgram) -> Vec<Diagnostic> {
     let spans = call_spans(c);
     let mut out = Vec::new();
     for f in find_conflicts(&c.cfg, &comm, &c.plan.assignment) {
-        out.push(render_conflict(c, &spans, &f));
+        let disp = conflict_commute_disposition(&c.cfg, &f);
+        // An annotated, provably commutative self-conflict is exactly what
+        // the merge protocol resolves: W001 would be noise.
+        if !(disp.resolved() && f.reader == f.writer) {
+            out.push(render_conflict(c, &spans, &f));
+        }
+        if disp.suggest() {
+            out.push(render_commute_suggest(c, &spans, &f));
+        }
     }
     for f in find_dead(&c.cfg, &comm, &c.plan.assignment) {
         out.push(render_dead(&f, spans.get(f.call).copied()));
@@ -32,6 +40,7 @@ pub fn lint_program(c: &CompiledProgram) -> Vec<Diagnostic> {
     out.extend(lint_static_oob(c));
     out.extend(lint_unused(c));
     out.extend(lint_unstructured_index(c));
+    out.extend(lint_commute(c, &spans));
     out.sort_by_key(|d| {
         let s = d.primary_span().unwrap_or_default();
         (s.line, s.lo, d.code.clone())
@@ -51,21 +60,43 @@ pub fn audit_plan(
     let comm = call_comms(cfg, sol);
     let mut out = Vec::new();
     for f in find_conflicts(cfg, &comm, assignment) {
-        out.push(
-            Diagnostic::warning(
-                codes::PHASE_CONFLICT,
-                format!(
-                    "phase {} both reads and writes aggregate `{}` through communication",
-                    f.phase, f.agg
-                ),
-            )
-            .with_note(format!(
-                "communication reads from call `{}` (call {}); communication writes from \
-                 call `{}` (call {})",
-                f.reader_func, f.reader, f.writer_func, f.writer
-            ))
-            .with_note(CONFLICT_NOTE),
-        );
+        let disp = conflict_commute_disposition(cfg, &f);
+        if !(disp.resolved() && f.reader == f.writer) {
+            out.push(
+                Diagnostic::warning(
+                    codes::PHASE_CONFLICT,
+                    format!(
+                        "phase {} both reads and writes aggregate `{}` through communication",
+                        f.phase, f.agg
+                    ),
+                )
+                .with_note(format!(
+                    "communication reads from call `{}` (call {}); communication writes from \
+                     call `{}` (call {})",
+                    f.reader_func, f.reader, f.writer_func, f.writer
+                ))
+                .with_note(CONFLICT_NOTE),
+            );
+        }
+        if disp.suggest() {
+            out.push(
+                Diagnostic::warning(
+                    codes::COMMUTE_SUGGEST,
+                    format!(
+                        "conflict phase {} over aggregate `{}` is commutative-mergeable; \
+                         annotate call `{}` (call {}) with `commute`",
+                        f.phase, f.agg, f.writer_func, f.writer
+                    ),
+                )
+                .with_note(format!(
+                    "every write of `{}` in `{}` is an associative-commutative reduction; \
+                     privatized per-node buffers merged at the phase barrier replace per-block \
+                     ownership migration",
+                    f.agg, f.writer_func
+                ))
+                .with_note(COMMUTE_NOTE),
+            );
+        }
     }
     for f in find_dead(cfg, &comm, assignment) {
         out.push(render_dead(&f, None));
@@ -78,6 +109,46 @@ const CONFLICT_NOTE: &str = "§3.4: blocks read and written within one phase ins
 
 const DEAD_NOTE: &str = "§4.3 placement rule: a schedule requires reaching unstructured \
      accesses plus owner writes, or unstructured accesses in the call itself";
+
+const COMMUTE_NOTE: &str = "§3.4 leaves conflict blocks without protocol action (plain \
+     ownership migration); a `commute` annotation lets the runtime privatize the updates \
+     and bulk-install the merged state at the barrier instead";
+
+// ---------------------------------------------------------------------
+// Commutativity disposition of a conflict (W001 suppression + W007)
+// ---------------------------------------------------------------------
+
+/// How the commutativity analysis bears on one W001 conflict finding.
+#[derive(Debug, Clone, Copy)]
+struct CommuteDisposition {
+    /// Every write of the conflicting aggregate in the writer call is a
+    /// provably commutative reduction.
+    commutative: bool,
+    /// The writer call carries the `commute` annotation.
+    annotated: bool,
+}
+
+impl CommuteDisposition {
+    /// The conflict is handled by the merge protocol (annotated + proven).
+    fn resolved(self) -> bool {
+        self.commutative && self.annotated
+    }
+
+    /// W007 applies: mergeable but not yet annotated.
+    fn suggest(self) -> bool {
+        self.commutative && !self.annotated
+    }
+}
+
+fn conflict_commute_disposition(cfg: &Cfg, f: &ConflictFinding) -> CommuteDisposition {
+    let writer = cfg.call_node.get(f.writer).and_then(|&n| cfg.call(n));
+    CommuteDisposition {
+        commutative: writer
+            .and_then(|w| w.access.get(&f.agg))
+            .is_some_and(|pa| pa.commute && (pa.home_write || pa.nonhome_write)),
+        annotated: writer.is_some_and(|w| w.commute_annotated),
+    }
+}
 
 // ---------------------------------------------------------------------
 // Communication footprints (shared by W001/W002)
@@ -195,6 +266,129 @@ fn render_conflict(c: &CompiledProgram, spans: &[Span], f: &ConflictFinding) -> 
         }
     }
     d.with_note(CONFLICT_NOTE)
+}
+
+// ---------------------------------------------------------------------
+// W007 — commutative-mergeable conflict, E008 — unsound annotation
+// ---------------------------------------------------------------------
+
+fn render_commute_suggest(c: &CompiledProgram, spans: &[Span], f: &ConflictFinding) -> Diagnostic {
+    let mut d = Diagnostic::warning(
+        codes::COMMUTE_SUGGEST,
+        format!(
+            "conflict phase {} over aggregate `{}` is commutative-mergeable; annotate call \
+             `{}` (call {}) with `commute`",
+            f.phase, f.agg, f.writer_func, f.writer
+        ),
+    );
+    // Label both sides of the conflict: the reduction write and the read
+    // that makes the phase conflicting.
+    let (_, ws) = access_spans_in_call(c, f.writer, &f.agg);
+    let (rs, _) = access_spans_in_call(c, f.reader, &f.agg);
+    match (rs, ws) {
+        (Some(r), Some(w)) => {
+            d = d
+                .with_label(w, format!("commutative reduction of `{}` here", f.agg))
+                .with_label(r, format!("conflicting read of `{}` here", f.agg));
+        }
+        _ => {
+            if let Some(&s) = spans.get(f.writer) {
+                d = d.with_label(s, "this call's updates all commute");
+            }
+        }
+    }
+    d.with_note(format!(
+        "every write of `{}` in `{}` is an associative-commutative reduction whose operand \
+         does not observe the aggregate",
+        f.agg, f.writer_func
+    ))
+    .with_note(COMMUTE_NOTE)
+}
+
+/// E008: `commute`-annotated calls whose annotation the analysis cannot
+/// justify — a written aggregate fails the reduction classification, or a
+/// same-phase call reads the privatized aggregate.
+fn lint_commute(c: &CompiledProgram, spans: &[Span]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // Phase membership from the op stream, so transparent calls coalesced
+    // into a phase region count as same-phase readers.
+    let phases = crate::oracle::phase_map(&c.plan.ops);
+    let phase_of = |id: usize| phases.get(&id).copied().flatten();
+    for &node in &c.cfg.call_nodes() {
+        let Some(call) = c.cfg.call(node) else { continue };
+        if !call.commute_annotated {
+            continue;
+        }
+        let id = call.id;
+        let Some((func, args)) = c.call_sites.get(id) else { continue };
+
+        // (a) A written aggregate whose updates the analysis rejected.
+        for (agg, pa) in &call.access {
+            if !(pa.home_write || pa.nonhome_write) || pa.commute {
+                continue;
+            }
+            let mut d = Diagnostic::error(
+                codes::COMMUTE_UNSOUND,
+                format!(
+                    "unsound `commute` annotation: updates of aggregate `{agg}` in call \
+                     `{func}` (call {id}) are not order-independent"
+                ),
+            );
+            // Blame the offending access inside the callee.
+            let blame = c.program.func(func).and_then(|f| {
+                let rules = ClassifyRules::default();
+                let classes = crate::commute::classify_fn(f, rules);
+                f.params.iter().zip(args).filter(|(_, a)| *a == agg).find_map(|(p, _)| {
+                    classes.get(p).and_then(|cl| cl.blame().map(|(r, s)| (r.to_string(), s)))
+                })
+            });
+            if let Some((reason, span)) = blame {
+                d = d.with_label(span, reason);
+            } else if let Some(&s) = spans.get(id) {
+                d = d.with_label(s, "annotated here");
+            }
+            out.push(d.with_note(COMMUTE_NOTE));
+        }
+
+        // (b) A same-phase sibling reads the privatized aggregate: it would
+        // observe stale pre-merge state.
+        let Some(phase) = phase_of(id) else { continue };
+        for agg in call.commute_aggs() {
+            for &onode in &c.cfg.call_nodes() {
+                let Some(other) = c.cfg.call(onode) else { continue };
+                if other.id == id || phase_of(other.id) != Some(phase) {
+                    continue;
+                }
+                let reads = other.access.get(agg).is_some_and(|pa| pa.home_read || pa.nonhome_read);
+                if !reads {
+                    continue;
+                }
+                let mut d = Diagnostic::error(
+                    codes::COMMUTE_UNSOUND,
+                    format!(
+                        "unsound `commute` annotation: call `{}` (call {}) reads aggregate \
+                         `{agg}` in the same phase {phase} that call `{func}` (call {id}) \
+                         updates it under privatization",
+                        other.func, other.id
+                    ),
+                );
+                let (rs, _) = access_spans_in_call(c, other.id, agg);
+                if let Some(r) = rs {
+                    d = d.with_label(r, "this read would observe the un-merged aggregate");
+                } else if let Some(&s) = spans.get(other.id) {
+                    d = d.with_label(s, "reads the privatized aggregate here");
+                }
+                if let Some(&s) = spans.get(id) {
+                    d = d.with_label(s, "privatized updates originate here");
+                }
+                out.push(d.with_note(
+                    "deltas are merged only at the phase barrier; same-phase readers see \
+                     whatever their node's private copy holds",
+                ));
+            }
+        }
+    }
+    out
 }
 
 /// Spans of a non-home read and a write of `agg` inside call `id`'s callee.
@@ -745,6 +939,110 @@ mod tests {
         assert!(w4
             .iter()
             .any(|d| d.message.contains("`Sink`") && d.message.contains("never read")));
+    }
+
+    #[test]
+    fn commutable_conflict_fires_w007_with_both_spans() {
+        // Histogram: unstructured reduction into `h` self-conflicts (W001)
+        // and every write commutes — W007 suggests the annotation.
+        let src = "aggregate H[32] of float;\n\
+                   aggregate X[32] of int;\n\
+                   parallel fn bump(h, x) {\n\
+                       h[x[#0]] = h[x[#0]] + 1.0;\n\
+                   }\n\
+                   fn main() {\n\
+                       for it in 0 .. 2 {\n\
+                           bump(H, X);\n\
+                       }\n\
+                   }\n";
+        let ds = lints(src);
+        assert!(codes_of(&ds).contains(&"W001"), "{ds:#?}");
+        let w7 = ds.iter().find(|d| d.code == "W007").expect("W007 fires");
+        assert!(w7.message.contains("`H`") && w7.message.contains("commute"));
+        assert_eq!(w7.labels.len(), 2, "reduction and read sites labeled: {w7:#?}");
+        assert!(ds.iter().all(|d| d.code != "E008"), "{ds:#?}");
+    }
+
+    #[test]
+    fn commute_annotation_suppresses_w001_and_w007() {
+        let src = "aggregate H[32] of float;\n\
+                   aggregate X[32] of int;\n\
+                   parallel fn bump(h, x) {\n\
+                       h[x[#0]] = h[x[#0]] + 1.0;\n\
+                   }\n\
+                   fn main() {\n\
+                       for it in 0 .. 2 {\n\
+                           commute bump(H, X);\n\
+                       }\n\
+                   }\n";
+        let ds = lints(src);
+        assert!(ds.is_empty(), "annotated sound reduction is clean: {ds:#?}");
+    }
+
+    #[test]
+    fn unsound_annotation_fires_e008_with_blame() {
+        let src = "aggregate H[32] of float;\n\
+                   aggregate X[32] of int;\n\
+                   parallel fn scale(h, x) {\n\
+                       h[x[#0]] = 2.0 * h[x[#0]] + 1.0;\n\
+                   }\n\
+                   fn main() { commute scale(H, X); }\n";
+        let ds = lints(src);
+        let e8 = ds.iter().find(|d| d.code == "E008").expect("E008 fires: {ds:#?}");
+        assert!(e8.message.contains("`H`") && e8.message.contains("not order-independent"));
+        assert!(!e8.labels.is_empty(), "blame span attached: {e8:#?}");
+        // The unresolved conflict still warns.
+        assert!(codes_of(&ds).contains(&"W001"), "{ds:#?}");
+    }
+
+    #[test]
+    fn same_phase_reader_of_privatized_agg_fires_e008() {
+        // `probe` is transparent (home accesses only) so it coalesces into
+        // bump's phase — where it would read un-merged private state.
+        let src = "aggregate H[32] of float;\n\
+                   aggregate X[32] of int;\n\
+                   aggregate S[32] of float;\n\
+                   parallel fn bump(h, x) {\n\
+                       h[x[#0]] = h[x[#0]] + 1.0;\n\
+                   }\n\
+                   parallel fn probe(s, h) {\n\
+                       s[#0] = h[#0];\n\
+                   }\n\
+                   fn main() {\n\
+                       commute bump(H, X);\n\
+                       probe(S, H);\n\
+                   }\n";
+        let ds = lints(src);
+        let e8 = ds.iter().find(|d| d.code == "E008").expect("E008 fires");
+        assert!(e8.message.contains("probe") && e8.message.contains("`H`"), "{e8:#?}");
+    }
+
+    #[test]
+    fn audit_plan_suggests_w007_for_commuting_writer() {
+        // Hand-built Barnes-style tree build: unstructured read+write of
+        // the tree in one phase, writes declared commutative (insertions).
+        let mut b = CfgBuilder::new(["tree".to_string()]);
+        b.begin_loop("step");
+        b.call_commuting("load_tree", &[("tree", false, false, true, true)], &["tree"], false);
+        b.end_loop();
+        let cfg = b.finish();
+        let sol = ReachingUnstructured::solve(&cfg).unwrap();
+        let plan = place_directives(&cfg, &sol, true);
+        let ds = audit_plan(&cfg, &sol, &plan.assignment);
+        assert!(codes_of(&ds).contains(&"W001"), "{ds:#?}");
+        assert!(codes_of(&ds).contains(&"W007"), "{ds:#?}");
+
+        // Without the commute flag: W001 only.
+        let mut b = CfgBuilder::new(["tree".to_string()]);
+        b.begin_loop("step");
+        b.call("load_tree", &[("tree", false, false, true, true)]);
+        b.end_loop();
+        let cfg = b.finish();
+        let sol = ReachingUnstructured::solve(&cfg).unwrap();
+        let plan = place_directives(&cfg, &sol, true);
+        let ds = audit_plan(&cfg, &sol, &plan.assignment);
+        assert!(codes_of(&ds).contains(&"W001"), "{ds:#?}");
+        assert!(!codes_of(&ds).contains(&"W007"), "{ds:#?}");
     }
 
     #[test]

@@ -240,6 +240,15 @@ pub fn run_oracle_compiled(prog: &CompiledProgram, cfg: &OracleConfig) -> Oracle
         )));
     }
 
+    // --- Merge soundness: every CommutativeMerge directive must produce
+    // the serialized result under privatize-and-merge replay (E008). ---
+    let merge_cfg = crate::commute::MergeOracleConfig {
+        nodes: cfg.nodes,
+        block_size: cfg.block_size,
+        seed: cfg.seed,
+    };
+    diagnostics.extend(crate::commute::validate_merges(prog, &merge_cfg));
+
     OracleReport { diagnostics, observed_events, predictions: n_pred, unobserved: n_unobs }
 }
 
@@ -249,7 +258,10 @@ fn call_site(prog: &CompiledProgram, id: usize) -> (&str, &[String]) {
 }
 
 /// Which phase (if any) each call executes under, from the op sequence.
-fn phase_map(ops: &[ExecOp]) -> BTreeMap<usize, Option<PhaseId>> {
+/// Transparent calls riding inside a coalesced phase region count as
+/// members of that phase (shared with the commute lint, which must see
+/// them as same-phase readers).
+pub(crate) fn phase_map(ops: &[ExecOp]) -> BTreeMap<usize, Option<PhaseId>> {
     let mut cur = None;
     let mut out = BTreeMap::new();
     for op in ops {
@@ -259,7 +271,7 @@ fn phase_map(ops: &[ExecOp]) -> BTreeMap<usize, Option<PhaseId>> {
             ExecOp::Call(id) => {
                 out.insert(*id, cur);
             }
-            ExecOp::LoopBegin { .. } | ExecOp::LoopEnd => {}
+            ExecOp::LoopBegin { .. } | ExecOp::LoopEnd | ExecOp::CommutativeMerge { .. } => {}
         }
     }
     out

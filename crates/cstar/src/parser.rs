@@ -213,6 +213,13 @@ impl Parser {
             }
             Ok(SeqStmt::For { var, lo, hi, body })
         } else {
+            // `commute` is a directive only when it prefixes a call; a
+            // function named `commute` (followed by `(`) still parses.
+            let commute = matches!(self.peek(), Tok::Ident(s) if s == "commute")
+                && matches!(self.toks.get(self.pos + 1).map(|t| &t.tok), Some(Tok::Ident(_)));
+            if commute {
+                self.bump();
+            }
             let (func, start) = self.ident_sp()?;
             self.expect_punct("(")?;
             let mut args = Vec::new();
@@ -227,7 +234,7 @@ impl Parser {
             }
             let span = start.to(self.prev_span());
             self.expect_punct(";")?;
-            Ok(SeqStmt::Call { func, args, span })
+            Ok(SeqStmt::Call { func, args, commute, span })
         }
     }
 
@@ -506,6 +513,21 @@ mod tests {
             fn main() { f(A); }
         "#;
         assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn parses_commute_annotation() {
+        let src = r#"
+            aggregate H[8] of float;
+            parallel fn bump(h) { h[#0] = h[#0] + 1.0; }
+            fn main() {
+                commute bump(H);
+                bump(H);
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert!(matches!(&p.main[0], SeqStmt::Call { commute: true, func, .. } if func == "bump"));
+        assert!(matches!(&p.main[1], SeqStmt::Call { commute: false, .. }));
     }
 
     #[test]

@@ -54,6 +54,11 @@ pub struct ParamAccess {
     pub nonhome_read: bool,
     /// Unstructured (non-home) writes occur.
     pub nonhome_write: bool,
+    /// Commutativity verdict (see [`crate::commute`]): the parameter is
+    /// written, every write is an associative-commutative reduction
+    /// update, and no read observes it outside those updates — so the
+    /// writes may be privatized and merged at the phase barrier.
+    pub commute: bool,
 }
 
 impl ParamAccess {
@@ -142,6 +147,10 @@ impl AccessSummary {
 pub struct ClassifyRules {
     /// TEST-ONLY weakening: treat `#k ± c` indices as Home accesses.
     pub const_offset_is_home: bool,
+    /// TEST-ONLY weakening: treat every aggregate update as a
+    /// commutative reduction, regardless of its shape. The dynamic merge
+    /// oracle must catch the resulting unsoundness (`E008`).
+    pub assume_commutative: bool,
 }
 
 impl ClassifyRules {
@@ -185,6 +194,11 @@ pub fn analyze_fn_with(f: &ParFn, rules: ClassifyRules) -> Result<AccessSummary,
         an.sum.params.insert(p.clone(), ParamAccess::default());
     }
     an.stmts(&f.body)?;
+    for (param, class) in crate::commute::classify_fn(f, rules) {
+        if let Some(pa) = an.sum.params.get_mut(&param) {
+            pa.commute = class.is_commutative();
+        }
+    }
     Ok(an.sum)
 }
 
@@ -323,7 +337,7 @@ pub fn analyze_program_with(
     fn walk(p: &Program, stmts: &[SeqStmt]) -> Result<(), Diagnostic> {
         for s in stmts {
             match s {
-                SeqStmt::Call { func, args, span } => {
+                SeqStmt::Call { func, args, span, .. } => {
                     let Some(f) = p.func(func) else {
                         return Err(Diagnostic::error(
                             codes::CALL,
@@ -520,7 +534,7 @@ mod tests {
     fn weakened_rules_misclassify_const_offsets() {
         let src = "aggregate G[8] of float;\nparallel fn f(g) { g[#0] = g[#0-1]; }\nfn main() { f(G); }\n";
         let p = parse(src).unwrap();
-        let weak = ClassifyRules { const_offset_is_home: true };
+        let weak = ClassifyRules { const_offset_is_home: true, ..ClassifyRules::default() };
         let s = &analyze_program_with(&p, weak).unwrap()["f"];
         // The deliberately unsound rule hides the neighbor read.
         assert!(!s.get("g").nonhome_read);

@@ -73,6 +73,18 @@ fn w005_remote_fed_index() {
 }
 
 #[test]
+fn w007_commutable_conflict() {
+    // W007's primary span (the reduction write target) precedes W001's
+    // (the conflicting read) in source order.
+    check_fixture("w007", &["W007", "W001"]);
+}
+
+#[test]
+fn e008_unsound_commute_annotation() {
+    check_fixture("e008", &["E008", "W001"]);
+}
+
+#[test]
 fn e001_lex_error() {
     check_fixture("e001", &["E001"]);
 }
@@ -137,7 +149,7 @@ fn e006_aggregate_limit() {
 
 #[test]
 fn clean_examples_are_silent() {
-    for name in ["jacobi", "relax", "transport"] {
+    for name in ["jacobi", "relax", "transport", "histogram"] {
         let path =
             Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("../../examples/{name}.cstar"));
         let src = fs::read_to_string(&path).expect("example source");
@@ -151,7 +163,7 @@ fn clean_examples_are_silent() {
 #[test]
 fn fixture_diagnostics_round_trip_through_json() {
     let mut all = Vec::new();
-    for name in ["w001", "w003", "w004", "w005", "e001", "e003"] {
+    for name in ["w001", "w003", "w004", "w005", "w007", "e001", "e003", "e008"] {
         let (_, mut ds) = fixture_diags(name);
         for d in &mut ds {
             *d = d.clone().with_file(format!("tests/lints/{name}.cstar"));

@@ -41,7 +41,7 @@ fn weakened_classification_is_caught_as_unsound() {
     // The mutation hook: `g[#0-1]` misclassified as a Home access. The
     // compiler then predicts no non-home reads and places no directives;
     // the dynamic boundary traffic must surface as E007.
-    let rules = ClassifyRules { const_offset_is_home: true };
+    let rules = ClassifyRules { const_offset_is_home: true, ..ClassifyRules::default() };
     let report = run_oracle(&example("jacobi"), &cfg(), rules).expect("compiles");
     assert!(
         report.soundness_errors() > 0,
@@ -59,8 +59,56 @@ fn weakened_classification_is_caught_as_unsound() {
 }
 
 #[test]
+fn histogram_merge_passes_the_oracle() {
+    // The annotated histogram compiles to a CommutativeMerge plan; the
+    // merge oracle's privatize-and-replay must agree with serialized
+    // execution bit for bit.
+    let report =
+        run_oracle(&example("histogram"), &cfg(), ClassifyRules::default()).expect("compiles");
+    assert_eq!(
+        report.soundness_errors(),
+        0,
+        "sound merge must validate clean: {:#?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn weakened_commutativity_is_caught_as_unsound_merge() {
+    // The commute mutation hook: `assume_commutative` declares every
+    // aggregate update mergeable, so an annotated non-commutative update
+    // (`h = 2h + 1` through a colliding index table) reaches the plan as a
+    // CommutativeMerge. The dynamic merge oracle must catch the divergence
+    // between privatized replay and serialized execution as an E008 with a
+    // witness block.
+    let src = "aggregate H[16] of float;\n\
+               aggregate X[16] of int;\n\
+               parallel fn scale(h, x) {\n\
+                   h[x[#0]] = 2.0 * h[x[#0]] + 1.0;\n\
+               }\n\
+               fn main() { commute scale(H, X); }\n";
+    let rules = ClassifyRules { assume_commutative: true, ..ClassifyRules::default() };
+    let report = run_oracle(src, &cfg(), rules).expect("compiles");
+    let e = report.diagnostics.iter().find(|d| d.code == "E008").expect("an E008 diagnostic");
+    assert!(e.message.contains("`H`"), "E008 must name the aggregate: {}", e.message);
+    assert!(e.message.contains("scale"), "E008 must name the call: {}", e.message);
+    assert!(
+        e.notes.iter().any(|n| n.contains("witness block")),
+        "E008 must carry a witness block: {e:#?}"
+    );
+    // The same program under honest rules never emits the merge, so the
+    // static E008 fires instead and the dynamic oracle stays quiet.
+    let honest = run_oracle(src, &cfg(), ClassifyRules::default()).expect("compiles");
+    assert!(
+        honest.diagnostics.iter().all(|d| d.code != "E008"),
+        "honest rules place no merge: {:#?}",
+        honest.diagnostics
+    );
+}
+
+#[test]
 fn oracle_diagnostics_round_trip_through_json() {
-    let rules = ClassifyRules { const_offset_is_home: true };
+    let rules = ClassifyRules { const_offset_is_home: true, ..ClassifyRules::default() };
     let report = run_oracle(&example("jacobi"), &cfg(), rules).expect("compiles");
     assert!(!report.diagnostics.is_empty());
     let json = Diagnostic::json_array(&report.diagnostics);

@@ -10,11 +10,12 @@
 use std::sync::Arc;
 
 use crossbeam::channel::{Receiver, RecvTimeoutError};
+use prescient_core::commute::merge as commute_merge;
 use prescient_core::presend::presend;
-use prescient_core::{PhaseId, Predictive};
+use prescient_core::{Commute, PhaseId, Predictive};
 use prescient_stache::engine::fetch;
 use prescient_stache::{Msg, NodeShared, Wake};
-use prescient_tempest::trace::{pack_fault_end, EventKind};
+use prescient_tempest::trace::{pack_counts, pack_fault_end, EventKind};
 use prescient_tempest::{
     CostModel, CrashPlan, GAddr, NodeId, NodeStats, Prim, TimeBreakdown, VBarrier,
 };
@@ -38,6 +39,7 @@ pub enum PhaseOutcome {
 pub struct NodeCtx {
     shared: Arc<NodeShared>,
     pred: Option<Arc<Predictive>>,
+    commute: Option<Arc<Commute>>,
     wake_rx: Receiver<Wake>,
     stash: Vec<Wake>,
     barrier: Arc<VBarrier>,
@@ -66,6 +68,7 @@ impl NodeCtx {
     pub(crate) fn new(
         shared: Arc<NodeShared>,
         pred: Option<Arc<Predictive>>,
+        commute: Option<Arc<Commute>>,
         wake_rx: Receiver<Wake>,
         barrier: Arc<VBarrier>,
         reduce: Arc<ReduceScratch>,
@@ -78,6 +81,7 @@ impl NodeCtx {
         NodeCtx {
             shared,
             pred,
+            commute,
             wake_rx,
             stash: Vec::new(),
             barrier,
@@ -124,6 +128,11 @@ impl NodeCtx {
     /// Is the predictive protocol active?
     pub fn is_predictive(&self) -> bool {
         self.pred.is_some()
+    }
+
+    /// Is the commutative-merge extension active?
+    pub fn is_commutative(&self) -> bool {
+        self.commute.is_some()
     }
 
     /// This node's virtual clock (ns since run start).
@@ -397,6 +406,55 @@ impl NodeCtx {
         }
     }
 
+    /// `merge_exchange(phase, outgoing)` — the `CommutativeMerge`
+    /// directive: exchange privatized delta buffers at the phase barrier.
+    /// Each `(owner, payload)` pair in `outgoing` is this node's encoded
+    /// contribution toward `owner` (a payload addressed to this node
+    /// itself is delivered locally without touching the fabric). Returns
+    /// every payload addressed to this node, sorted by `(contributor,
+    /// push id)` — a total order all runs agree on, so replaying the
+    /// merged updates in the returned order is deterministic.
+    ///
+    /// The exchange is double-barriered like a pre-send window: the entry
+    /// barrier proves every node finished its privatized compute (and
+    /// advanced its merge epoch past the previous window) before any delta
+    /// lands; the stability barrier proves every chunk is buffered at its
+    /// owner before any node drains its inbox. Both stalls and the
+    /// exchange itself are billed to the protocol (pre-send) bar segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the machine runs `ProtocolKind::Commutative` — the
+    /// merge directive is a protocol mode, not an application feature.
+    pub fn merge_exchange(
+        &mut self,
+        phase: PhaseId,
+        outgoing: &[(NodeId, Vec<u8>)],
+    ) -> Vec<(NodeId, Arc<[u8]>)> {
+        let Some(cm) = self.commute.clone() else {
+            panic!(
+                "node {}: merge_exchange(phase {phase}) requires ProtocolKind::Commutative",
+                self.me()
+            )
+        };
+        self.trace(EventKind::MergeBegin, u64::from(phase), outgoing.len() as u64);
+        self.barrier_presend();
+        let rep = commute_merge(&cm, &self.shared, &self.wake_rx, &mut self.stash, outgoing);
+        self.t.presend_ns += rep.vtime_ns;
+        self.barrier_presend();
+        let merged = cm.take_inbox();
+        // Epoch advance must follow the stability barrier (the pre-send
+        // argument): every chunk of this window is acknowledged, so
+        // anything still carrying the old epoch is a duplicate.
+        cm.bump_epoch();
+        self.trace(
+            EventKind::MergeEnd,
+            u64::from(phase),
+            pack_counts(rep.chunks_out, merged.len() as u64),
+        );
+        merged
+    }
+
     // ----- crash recovery (DESIGN.md §12) ---------------------------------
 
     /// A barrier used by the checkpoint/recovery machinery itself:
@@ -428,6 +486,7 @@ impl NodeCtx {
             version: self.version,
             node,
             pred: self.pred.as_ref().map(|p| p.checkpoint()),
+            commute: self.commute.as_ref().map(|c| c.checkpoint()),
             stats: self.shared.stats.snapshot(),
             vtime: self.t,
             reduce_round: self.reduce_round,
@@ -504,6 +563,9 @@ impl NodeCtx {
         self.shared.restore(&ckpt.node);
         if let (Some(p), Some(pc)) = (&self.pred, &ckpt.pred) {
             p.restore(pc);
+        }
+        if let (Some(c), Some(cc)) = (&self.commute, &ckpt.commute) {
+            c.restore(cc);
         }
         self.shared.stats.restore(&ckpt.stats);
         self.t = ckpt.vtime;

@@ -8,7 +8,7 @@ use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver};
 use parking_lot::Mutex;
-use prescient_core::{AccessTap, Predictive};
+use prescient_core::{AccessTap, Commute, Predictive};
 use prescient_stache::{spawn_protocol, Msg, NoHooks, NodeShared, Wake};
 use prescient_tempest::fabric::{Fabric, FabricCtl};
 use prescient_tempest::trace::{merge, to_chrome_json, to_jsonl};
@@ -48,6 +48,7 @@ pub struct Machine {
     layout: GlobalLayout,
     shareds: Vec<Arc<NodeShared>>,
     preds: Option<Vec<Arc<Predictive>>>,
+    commutes: Option<Vec<Arc<Commute>>>,
     wake_rxs: Vec<Option<Receiver<Wake>>>,
     barrier: Arc<VBarrier>,
     reduce: Arc<ReduceScratch>,
@@ -71,7 +72,11 @@ impl Machine {
         let mut joins = Vec::with_capacity(cfg.nodes);
         let mut preds = match cfg.protocol {
             ProtocolKind::Predictive(_) => Some(Vec::with_capacity(cfg.nodes)),
-            ProtocolKind::Stache => None,
+            ProtocolKind::Stache | ProtocolKind::Commutative(_) => None,
+        };
+        let mut commutes = match cfg.protocol {
+            ProtocolKind::Commutative(_) => Some(Vec::with_capacity(cfg.nodes)),
+            ProtocolKind::Stache | ProtocolKind::Predictive(_) => None,
         };
         let (endpoints, fault_stats) = match cfg.faults {
             Some(plan) if plan.is_active() => {
@@ -104,6 +109,12 @@ impl Machine {
                     preds.as_mut().expect("predictive mode").push(pred);
                     j
                 }
+                ProtocolKind::Commutative(ccfg) => {
+                    let cm = Arc::new(Commute::new(ccfg));
+                    let j = spawn_protocol(Arc::clone(&shared), ep, Arc::clone(&cm) as _);
+                    commutes.as_mut().expect("commutative mode").push(cm);
+                    j
+                }
                 ProtocolKind::Stache => spawn_protocol(Arc::clone(&shared), ep, Arc::new(NoHooks)),
             };
             shareds.push(shared);
@@ -115,6 +126,7 @@ impl Machine {
             layout,
             shareds,
             preds,
+            commutes,
             wake_rxs,
             barrier: Arc::new(VBarrier::new(cfg.nodes)),
             reduce: Arc::new(ReduceScratch {
@@ -173,6 +185,12 @@ impl Machine {
     /// predictive protocol (used for manual schedules and diagnostics).
     pub fn predictive(&self, node: NodeId) -> Option<&Arc<Predictive>> {
         self.preds.as_ref().map(|p| &p[node as usize])
+    }
+
+    /// The commutative-merge state of `node`, if the machine runs the
+    /// merge extension.
+    pub fn commute(&self, node: NodeId) -> Option<&Arc<Commute>> {
+        self.commutes.as_ref().map(|c| &c[node as usize])
     }
 
     /// Install a schedule-oracle recording tap on every node's predictive
@@ -270,6 +288,7 @@ impl Machine {
                         let f = &f;
                         let shared = Arc::clone(&self.shareds[i]);
                         let pred = self.preds.as_ref().map(|p| Arc::clone(&p[i]));
+                        let commute = self.commutes.as_ref().map(|c| Arc::clone(&c[i]));
                         let barrier = Arc::clone(&self.barrier);
                         let reduce = Arc::clone(&self.reduce);
                         let recovery = Arc::clone(&self.recovery);
@@ -284,6 +303,7 @@ impl Machine {
                                 let mut ctx = NodeCtx::new(
                                     shared,
                                     pred,
+                                    commute,
                                     rx,
                                     barrier,
                                     reduce,

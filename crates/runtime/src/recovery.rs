@@ -29,7 +29,7 @@ use std::time::Duration;
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
-use prescient_core::PredCheckpoint;
+use prescient_core::{CommuteCheckpoint, PredCheckpoint};
 use prescient_stache::NodeCheckpoint;
 use prescient_stache::NodeShared;
 use prescient_tempest::fabric::FabricCtl;
@@ -53,6 +53,9 @@ pub struct Checkpoint {
     pub node: NodeCheckpoint,
     /// Predictive-protocol state (schedules, health, epoch), when active.
     pub pred: Option<PredCheckpoint>,
+    /// Commutative-merge state (epoch, push bookkeeping, undrained delta
+    /// chunks), when the merge extension is active.
+    pub commute: Option<CommuteCheckpoint>,
     /// Every statistics counter at the cut — restored on rollback so the
     /// replayed phase re-counts its events and the run's totals stay
     /// bit-identical to a fault-free execution.

@@ -199,11 +199,18 @@ pub enum EventKind {
     /// The liveness watchdog declared the machine stuck. `a` = 1 crash /
     /// 2 deadlock, `b` = blocked-node bitmap (nodes 0–63).
     WatchdogFire = 30,
+    /// A commutative-merge exchange window opened on the compute thread.
+    /// `a` = phase id, `b` = outgoing payload targets.
+    MergeBegin = 31,
+    /// The merge window closed: all delta chunks pushed and acknowledged,
+    /// the inbox drained. `a` = phase id, `b` = [`pack_counts`]
+    /// (chunks sent, chunks received).
+    MergeEnd = 32,
 }
 
 impl EventKind {
     /// Every kind, in code order (export and analysis iterate this).
-    pub const ALL: [EventKind; 30] = [
+    pub const ALL: [EventKind; 32] = [
         EventKind::FaultBegin,
         EventKind::FaultEnd,
         EventKind::BarrierEnter,
@@ -234,6 +241,8 @@ impl EventKind {
         EventKind::RecoveryBegin,
         EventKind::RecoveryEnd,
         EventKind::WatchdogFire,
+        EventKind::MergeBegin,
+        EventKind::MergeEnd,
     ];
 
     /// Stable name, as written into trace dumps.
@@ -269,6 +278,8 @@ impl EventKind {
             EventKind::RecoveryBegin => "RecoveryBegin",
             EventKind::RecoveryEnd => "RecoveryEnd",
             EventKind::WatchdogFire => "WatchdogFire",
+            EventKind::MergeBegin => "MergeBegin",
+            EventKind::MergeEnd => "MergeEnd",
         }
     }
 
@@ -608,7 +619,9 @@ fn chrome_track(kind: EventKind) -> (u32, &'static str) {
         | EventKind::CheckpointEnd
         | EventKind::RecoveryBegin
         | EventKind::RecoveryEnd
-        | EventKind::WatchdogFire => (1, "compute"),
+        | EventKind::WatchdogFire
+        | EventKind::MergeBegin
+        | EventKind::MergeEnd => (1, "compute"),
         EventKind::MsgSend
         | EventKind::MsgRecv
         | EventKind::PresendPush
@@ -633,6 +646,7 @@ fn span_open(kind: EventKind) -> Option<EventKind> {
         EventKind::PhaseEnd => Some(EventKind::PhaseBegin),
         EventKind::CheckpointEnd => Some(EventKind::CheckpointBegin),
         EventKind::RecoveryEnd => Some(EventKind::RecoveryBegin),
+        EventKind::MergeEnd => Some(EventKind::MergeBegin),
         _ => None,
     }
 }
@@ -646,6 +660,7 @@ fn is_span_open(kind: EventKind) -> bool {
             | EventKind::PhaseBegin
             | EventKind::CheckpointBegin
             | EventKind::RecoveryBegin
+            | EventKind::MergeBegin
     )
 }
 
