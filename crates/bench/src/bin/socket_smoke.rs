@@ -1,0 +1,229 @@
+//! Two-process socket-fabric smoke test.
+//!
+//! The parent process hosts nodes `0..2` and the child (re-spawned from
+//! the same executable) hosts nodes `2..4` of one 4-node fabric; the two
+//! halves rendezvous over TCP (`SocketHost` / `connect`) and run the
+//! full Stache protocol across the process boundary. The workload is an
+//! exclusive-increment torture: every node repeatedly upgrades every
+//! counter block to exclusive and increments it, so ownership of each
+//! block migrates across the wire on nearly every step (gets, recalls,
+//! grants, and data all cross the socket). Each node then polls until
+//! every counter reaches `nodes × rounds` — invalidation-based polling,
+//! which only converges if cross-process recalls work.
+//!
+//! Termination uses a separate one-byte control socket: neither side may
+//! tear its protocol handlers down until *both* have verified, or the
+//! peer's in-flight fetches would hang against dead handlers. There is
+//! deliberately no shared-memory coordination — everything between the
+//! processes travels over the two sockets.
+//!
+//! Run with no arguments (the parent spawns the child); exits non-zero
+//! on any divergence. The `socket_two_process` integration test drives
+//! it in CI.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::Command;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver};
+use prescient_stache::{fetch, spawn_protocol, Msg, NoHooks, NodeShared, RetryConfig, Wake};
+use prescient_tempest::fabric::Endpoint;
+use prescient_tempest::socket::{connect, NodeRange, SocketGuard, SocketHost};
+use prescient_tempest::{BatchConfig, CostModel, GAddr, GlobalLayout, NodeId, Prim};
+
+const NODES: usize = 4;
+const SPLIT: u16 = 2;
+const BS: usize = 64;
+const ROUNDS: u64 = 8;
+const TARGET: u64 = NODES as u64 * ROUNDS;
+
+/// One u64 counter per node, at the base of its heap segment — both
+/// processes derive every address from the layout alone, no exchange.
+fn counter_addr(layout: &GlobalLayout, node: NodeId) -> GAddr {
+    layout.heap_base(node)
+}
+
+/// Atomically increment the counter at `addr`: read + write under one
+/// `mem` guard (the handler can't revoke ownership mid-increment because
+/// it needs the same lock), faulting into `fetch` for exclusive access.
+fn incr(shared: &Arc<NodeShared>, rx: &Receiver<Wake>, addr: GAddr, stash: &mut Vec<Wake>) {
+    let mut buf = [0u8; 8];
+    loop {
+        let fault = {
+            let mut mem = shared.mem.lock();
+            match mem.read_in_block(addr, &mut buf) {
+                Err(f) => Some(f.fault().block),
+                Ok(()) => {
+                    let v = u64::load(&buf) + 1;
+                    v.store(&mut buf);
+                    match mem.write_in_block(addr, &buf) {
+                        Ok(()) => None,
+                        Err(f) => Some(f.fault().block),
+                    }
+                }
+            }
+        };
+        match fault {
+            None => return,
+            Some(block) => {
+                fetch(shared, rx, block, true, stash);
+            }
+        }
+    }
+}
+
+/// Poll until the counter at `addr` reaches `want`. A stale read-only
+/// copy stays stale until a writer's recall invalidates it, so a
+/// successful read below target just yields; the final increment must
+/// invalidate every copy, after which the re-read faults and fetches the
+/// final value.
+fn await_value(
+    shared: &Arc<NodeShared>,
+    rx: &Receiver<Wake>,
+    addr: GAddr,
+    want: u64,
+    stash: &mut Vec<Wake>,
+) {
+    let mut buf = [0u8; 8];
+    loop {
+        let r = shared.mem.lock().read_in_block(addr, &mut buf);
+        match r {
+            Ok(()) => {
+                let v = u64::load(&buf);
+                assert!(v <= want, "counter {addr:?} overshot: {v} > {want}");
+                if v == want {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(f) => {
+                fetch(shared, rx, f.fault().block, false, stash);
+            }
+        }
+    }
+}
+
+/// Run this process's half: protocol handlers, the increment workload,
+/// verification, then — only after `sync_done` has confirmed the peer is
+/// also done — teardown. Returns the local nodes' total message count.
+fn run_side(eps: Vec<Endpoint<Msg>>, mut guard: SocketGuard, sync_done: impl FnOnce()) -> u64 {
+    let layout = GlobalLayout::new(NODES, BS);
+    let retry = RetryConfig { timeout: Duration::from_millis(100), max_retries: 600 };
+    let ctl = Arc::clone(eps[0].ctl());
+    let mut shareds = Vec::new();
+    let mut rxs = Vec::new();
+    let mut joins = Vec::new();
+    for ep in eps {
+        let (wake_tx, wake_rx) = unbounded();
+        let shared = Arc::new(NodeShared::new_with_retry(
+            layout,
+            CostModel::default(),
+            ep.net().clone(),
+            wake_tx,
+            retry,
+        ));
+        let me = shared.me;
+        assert_eq!(
+            shared.mem.lock().alloc(8, 8),
+            counter_addr(&layout, me),
+            "counter address must be derivable from the layout alone"
+        );
+        joins.push(spawn_protocol(Arc::clone(&shared), ep, Arc::new(NoHooks)));
+        shareds.push(shared);
+        rxs.push(wake_rx);
+    }
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = shareds
+            .iter()
+            .zip(&rxs)
+            .map(|(shared, rx)| {
+                let shared = Arc::clone(shared);
+                let rx = rx.clone();
+                scope.spawn(move || {
+                    let mut stash = Vec::new();
+                    for _ in 0..ROUNDS {
+                        for t in 0..NODES as NodeId {
+                            incr(&shared, &rx, counter_addr(&layout, t), &mut stash);
+                        }
+                    }
+                    for t in 0..NODES as NodeId {
+                        await_value(&shared, &rx, counter_addr(&layout, t), TARGET, &mut stash);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("compute thread panicked");
+        }
+    });
+
+    // Both halves verified: now (and only now) teardown is safe.
+    sync_done();
+    ctl.mark_closing();
+    for s in &shareds {
+        s.send(s.me, Msg::Shutdown);
+        s.flush_net();
+    }
+    for j in joins {
+        let _ = j.join();
+    }
+    guard.shutdown();
+    shareds.iter().map(|s| s.stats.msgs_out.load(Ordering::Relaxed)).sum()
+}
+
+fn parent() {
+    let host = SocketHost::bind("127.0.0.1:0").expect("bind fabric rendezvous");
+    let fabric_addr = host.local_addr().expect("fabric addr").to_string();
+    let ctl_listener = TcpListener::bind("127.0.0.1:0").expect("bind control");
+    let ctl_addr = ctl_listener.local_addr().expect("control addr").to_string();
+    let exe = std::env::current_exe().expect("current exe");
+    let mut child = Command::new(exe)
+        .args(["--child", &fabric_addr, &ctl_addr])
+        .spawn()
+        .expect("spawn child process");
+
+    let batch = BatchConfig::default_for_fabric();
+    let (eps, guard) =
+        host.accept::<Msg>(NODES, NodeRange::new(0, SPLIT), batch).expect("accept peer");
+    let msgs = run_side(eps, guard, || {
+        let (mut s, _) = ctl_listener.accept().expect("control accept");
+        let mut byte = [0u8; 1];
+        s.read_exact(&mut byte).expect("child done byte");
+        s.write_all(&[0xAA]).expect("parent done byte");
+    });
+
+    let status = child.wait().expect("child wait");
+    assert!(status.success(), "child process failed: {status}");
+    println!("socket_smoke: PASS {NODES} nodes across 2 processes, {TARGET} per counter, {msgs} parent-side msgs");
+}
+
+fn child(fabric_addr: &str, ctl_addr: &str) {
+    let batch = BatchConfig::default_for_fabric();
+    let range = NodeRange::new(SPLIT, NODES as u16 - SPLIT);
+    let (eps, guard) = connect::<Msg>(fabric_addr, NODES, range, batch, Duration::from_secs(10))
+        .expect("connect to parent fabric");
+    let msgs = run_side(eps, guard, || {
+        let mut s = TcpStream::connect(ctl_addr).expect("control connect");
+        s.write_all(&[0xEE]).expect("child done byte");
+        let mut byte = [0u8; 1];
+        s.read_exact(&mut byte).expect("parent done byte");
+    });
+    println!("socket_smoke: child half done, {msgs} child-side msgs");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.as_slice() {
+        [_, flag, fabric, ctl] if flag == "--child" => child(fabric, ctl),
+        [_] => parent(),
+        _ => {
+            eprintln!("usage: socket_smoke            (parent: spawns its own child)");
+            eprintln!("       socket_smoke --child <fabric_addr> <ctl_addr>");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Drives the genuine two-OS-process socket-fabric smoke test: the
+//! `socket_smoke` binary spawns a child process hosting the other half
+//! of the machine, runs the cross-process exclusive-increment torture,
+//! and exits non-zero on any divergence (see its module docs). This is
+//! the backend-matrix CI job's proof that the socket transport works
+//! across a real process boundary, not just in-process loopback.
+
+use std::process::Command;
+
+#[test]
+fn two_process_socket_fabric_converges() {
+    let exe = env!("CARGO_BIN_EXE_socket_smoke");
+    let out = Command::new(exe).output().expect("run socket_smoke");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "socket_smoke failed:\nstdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("PASS"), "missing PASS marker:\nstdout: {stdout}\nstderr: {stderr}");
+}

@@ -45,6 +45,83 @@ impl ProtocolKind {
     }
 }
 
+/// Which transport backend the machine's fabric runs on (see
+/// `prescient_tempest::fabric::Transport`). Protocol behavior — and every
+/// deterministic gate counter — is backend-independent; the backends
+/// differ only in threading model and process topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricKind {
+    /// One channel and one protocol-handler thread per node (the original
+    /// 2-threads-per-node model).
+    Channel,
+    /// `shards` shard loops multiplex all protocol handlers over
+    /// per-shard inboxes; `0` picks a shard count from the host's
+    /// available parallelism at machine build time. This is the backend
+    /// that lets 32–256 emulated nodes scale on M cores.
+    Sharded {
+        /// Number of shard loops (`0` = auto).
+        shards: usize,
+    },
+    /// In-process loopback socket pair: nodes `0..split` and `split..n`
+    /// sit on opposite ends of a real TCP connection, with cross-split
+    /// traffic framed through the wire codec. `0` splits the machine in
+    /// half.
+    SocketPair {
+        /// First node of the upper half (`0` = `n/2`).
+        split: usize,
+    },
+}
+
+impl FabricKind {
+    /// Parse a `PRESCIENT_FABRIC` value: `"channel"`, `"sharded"` /
+    /// `"sharded:S"`, or `"socket"` / `"socket:SPLIT"`.
+    pub fn parse(s: &str) -> Result<FabricKind, String> {
+        let t = s.trim();
+        let (kind, arg) = match t.split_once(':') {
+            Some((k, a)) => (k.trim(), Some(a.trim())),
+            None => (t, None),
+        };
+        let num = |what: &str, a: Option<&str>| -> Result<usize, String> {
+            match a {
+                None => Ok(0),
+                Some(x) => x
+                    .parse::<usize>()
+                    .map_err(|_| format!("PRESCIENT_FABRIC: bad {what} {x:?} in {s:?}")),
+            }
+        };
+        match kind {
+            "channel" => match arg {
+                None => Ok(FabricKind::Channel),
+                Some(_) => {
+                    Err(format!("PRESCIENT_FABRIC: \"channel\" takes no argument, got {s:?}"))
+                }
+            },
+            "sharded" => Ok(FabricKind::Sharded { shards: num("shard count", arg)? }),
+            "socket" => Ok(FabricKind::SocketPair { split: num("split", arg)? }),
+            _ => Err(format!(
+                "PRESCIENT_FABRIC: unknown backend {kind:?} \
+                 (expected \"channel\", \"sharded[:S]\" or \"socket[:SPLIT]\"), got {s:?}"
+            )),
+        }
+    }
+
+    /// The `PRESCIENT_FABRIC` override, if set. Panics on an unparsable
+    /// value — a backend-matrix CI job with a typo must fail, not
+    /// silently measure the default backend.
+    pub fn from_env() -> Option<FabricKind> {
+        let v = std::env::var("PRESCIENT_FABRIC").ok()?;
+        match FabricKind::parse(&v) {
+            Ok(k) => Some(k),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// The env override if present, else the channel backend.
+    pub fn default_for_machine() -> FabricKind {
+        FabricKind::from_env().unwrap_or(FabricKind::Channel)
+    }
+}
+
 /// Configuration of one emulated machine.
 #[derive(Debug, Clone, Copy)]
 pub struct MachineConfig {
@@ -94,6 +171,11 @@ pub struct MachineConfig {
     /// `MachineError` within a bounded wall-clock budget. `None` (the
     /// default) runs no monitor thread.
     pub watchdog: Option<WatchdogConfig>,
+    /// Fabric transport backend. Constructors take the `PRESCIENT_FABRIC`
+    /// environment override when present (the CI backend matrix selects
+    /// backends through it), else the channel backend;
+    /// [`MachineConfig::with_fabric`] pins it explicitly.
+    pub fabric: FabricKind,
 }
 
 impl MachineConfig {
@@ -116,6 +198,7 @@ impl MachineConfig {
             // along (as does `with_crash_plan`).
             checkpoints: crash.is_some(),
             watchdog: None,
+            fabric: FabricKind::default_for_machine(),
         }
     }
 
@@ -187,6 +270,13 @@ impl MachineConfig {
         self.watchdog = Some(watchdog);
         self
     }
+
+    /// Pin the fabric transport backend (overrides the environment
+    /// default).
+    pub fn with_fabric(mut self, fabric: FabricKind) -> MachineConfig {
+        self.fabric = fabric;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -235,5 +325,60 @@ mod tests {
         assert!(c.checkpoints);
         let c = c.with_watchdog(WatchdogConfig::default());
         assert!(c.watchdog.is_some());
+    }
+
+    #[test]
+    fn fabric_kind_parses_every_backend() {
+        assert_eq!(FabricKind::parse("channel"), Ok(FabricKind::Channel));
+        assert_eq!(FabricKind::parse("sharded"), Ok(FabricKind::Sharded { shards: 0 }));
+        assert_eq!(FabricKind::parse("sharded:3"), Ok(FabricKind::Sharded { shards: 3 }));
+        assert_eq!(FabricKind::parse("socket"), Ok(FabricKind::SocketPair { split: 0 }));
+        assert_eq!(FabricKind::parse(" socket : 5 "), Ok(FabricKind::SocketPair { split: 5 }));
+        let c = MachineConfig::stache(4, 32).with_fabric(FabricKind::Sharded { shards: 2 });
+        assert_eq!(c.fabric, FabricKind::Sharded { shards: 2 });
+    }
+
+    // Satellite: malformed environment knobs must error loudly, never
+    // silently fall back to a default — a CI matrix job with a typo in
+    // `PRESCIENT_FABRIC`/`PRESCIENT_BATCH`/`PRESCIENT_CRASH` would
+    // otherwise benchmark the wrong configuration and nobody would know.
+
+    #[test]
+    fn fabric_kind_rejects_garbage() {
+        for bad in ["", "tcp", "sharded:x", "sharded:-1", "socket:half", "channel:2", "sharded:3:4"]
+        {
+            assert!(FabricKind::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn batch_config_rejects_garbage() {
+        assert!(!BatchConfig::parse("off").expect("off").is_batching());
+        assert!(!BatchConfig::parse("1").expect("1").is_batching());
+        assert_eq!(BatchConfig::parse("64").expect("64").max_batch, 64);
+        for bad in ["", "on", "64k", "-3", "8.5", "batch=8"] {
+            assert!(BatchConfig::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn crash_plan_rejects_garbage() {
+        assert_eq!(CrashPlan::parse(""), Ok(None));
+        assert_eq!(CrashPlan::parse("off"), Ok(None));
+        let p = CrashPlan::parse("2@5").expect("2@5").expect("some plan");
+        assert_eq!((p.node, p.at_version), (2, 5));
+        for bad in ["2", "@5", "2@", "x@5", "2@y", "2@5@7", "node2@5"] {
+            assert!(CrashPlan::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn trace_config_rejects_garbage() {
+        assert!(!TraceConfig::parse("off").expect("off").enabled);
+        assert!(TraceConfig::parse("on").expect("on").enabled);
+        assert!(TraceConfig::parse("4096").expect("4096").enabled);
+        for bad in ["maybe", "-1", "4096x", "on,off"] {
+            assert!(TraceConfig::parse(bad).is_err(), "{bad:?} must not parse");
+        }
     }
 }

@@ -9,14 +9,17 @@ use std::time::Instant;
 use crossbeam::channel::{unbounded, Receiver};
 use parking_lot::Mutex;
 use prescient_core::{AccessTap, Commute, Predictive};
-use prescient_stache::{spawn_protocol, Msg, NoHooks, NodeShared, Wake};
-use prescient_tempest::fabric::{Fabric, FabricCtl};
+use prescient_stache::{
+    spawn_protocol, spawn_protocol_shard, Hooks, Msg, NoHooks, NodeShared, Wake,
+};
+use prescient_tempest::fabric::{Endpoint, Fabric, FabricCtl, ShardEndpoint};
+use prescient_tempest::socket::{self, SocketGuard};
 use prescient_tempest::trace::{merge, to_chrome_json, to_jsonl};
 use prescient_tempest::{
     Aborted, FaultStats, GAddr, GlobalLayout, NodeId, TraceEvent, Tracer, VBarrier,
 };
 
-use crate::config::{MachineConfig, ProtocolKind};
+use crate::config::{FabricKind, MachineConfig, ProtocolKind};
 use crate::ctx::NodeCtx;
 use crate::recovery::{
     CheckpointStore, ErrorSlot, FailureKind, MachineError, NodeErrorState, RecoveryCtl, Watchdog,
@@ -61,6 +64,26 @@ pub struct Machine {
     recovery: Arc<RecoveryCtl>,
     /// Per-node checkpoint slots (empty until a checkpointed phase runs).
     ckpts: Arc<CheckpointStore>,
+    /// Socket-backend teardown guard: joins the reader threads and closes
+    /// the streams. Held last so it drops after the `Drop` body has joined
+    /// the protocol threads (which may still be flushing onto the wire).
+    _socket: Option<SocketGuard>,
+}
+
+/// The per-backend endpoint set a machine's fabric produced.
+enum Built {
+    /// One endpoint (and one protocol thread) per node.
+    PerNode(Vec<Endpoint<Msg>>),
+    /// One endpoint (and one protocol thread) per shard.
+    Sharded(Vec<ShardEndpoint<Msg>>),
+}
+
+/// Shard count for `FabricKind::Sharded { shards: 0 }`: half the host's
+/// parallelism — the compute threads need the other half — but at least
+/// one and at most one shard per node.
+fn auto_shards(nodes: usize) -> usize {
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2);
+    (cores / 2).clamp(1, nodes)
 }
 
 impl Machine {
@@ -78,48 +101,118 @@ impl Machine {
             ProtocolKind::Commutative(_) => Some(Vec::with_capacity(cfg.nodes)),
             ProtocolKind::Stache | ProtocolKind::Predictive(_) => None,
         };
-        let (endpoints, fault_stats) = match cfg.faults {
-            Some(plan) if plan.is_active() => {
-                let (eps, fs) = Fabric::new_faulty_with::<Msg>(cfg.nodes, plan, cfg.batch);
-                (eps, Some(fs))
-            }
-            _ => (Fabric::new_with::<Msg>(cfg.nodes, cfg.batch), None),
+        let active_faults = match cfg.faults {
+            Some(plan) if plan.is_active() => Some(plan),
+            _ => None,
         };
-        let ctl = endpoints[0].ctl().clone();
+        let mut fault_stats = None;
+        let mut socket_guard = None;
+        // All three backends present the same `Net`/inbox surface; faults,
+        // batching, tracing, and teardown accounting sit above the
+        // `Transport` trait, so the choice here cannot change any gated
+        // counter (the backend-matrix CI job pins that).
+        let mut built = match cfg.fabric {
+            FabricKind::Channel => match active_faults {
+                Some(plan) => {
+                    let (eps, fs) = Fabric::new_faulty_with::<Msg>(cfg.nodes, plan, cfg.batch);
+                    fault_stats = Some(fs);
+                    Built::PerNode(eps)
+                }
+                None => Built::PerNode(Fabric::new_with::<Msg>(cfg.nodes, cfg.batch)),
+            },
+            FabricKind::Sharded { shards } => {
+                let shards = if shards == 0 { auto_shards(cfg.nodes) } else { shards };
+                match active_faults {
+                    Some(plan) => {
+                        let (eps, fs) = Fabric::new_sharded_faulty_with::<Msg>(
+                            cfg.nodes, shards, plan, cfg.batch,
+                        );
+                        fault_stats = Some(fs);
+                        Built::Sharded(eps)
+                    }
+                    None => Built::Sharded(Fabric::new_sharded_with::<Msg>(
+                        cfg.nodes, shards, cfg.batch,
+                    )),
+                }
+            }
+            FabricKind::SocketPair { split } => {
+                let split = if split == 0 { (cfg.nodes / 2).max(1) } else { split };
+                let (eps, guard) = match active_faults {
+                    Some(plan) => {
+                        let (eps, fs, guard) =
+                            socket::pair_faulty_with::<Msg>(cfg.nodes, split, plan, cfg.batch)
+                                .expect("loopback socket fabric");
+                        fault_stats = Some(fs);
+                        (eps, guard)
+                    }
+                    None => socket::pair_with::<Msg>(cfg.nodes, split, None, cfg.batch)
+                        .expect("loopback socket fabric"),
+                };
+                socket_guard = Some(guard);
+                Built::PerNode(eps)
+            }
+        };
+        let ctl = match &built {
+            Built::PerNode(eps) => eps[0].ctl().clone(),
+            Built::Sharded(eps) => eps[0].ctl().clone(),
+        };
         let mut tracers = Vec::with_capacity(cfg.nodes);
-        for (i, mut ep) in endpoints.into_iter().enumerate() {
+        let mut hooks: Vec<Arc<dyn Hooks>> = Vec::with_capacity(cfg.nodes);
+        for i in 0..cfg.nodes {
             // The tracer must land on the endpoint *before* its `Net` is
             // cloned into `NodeShared` — both the compute and protocol
             // sides reach the tracer through that clone.
             let tracer = Tracer::for_node(cfg.trace, i as NodeId);
-            ep.set_tracer(tracer.clone());
+            let net = match &mut built {
+                Built::PerNode(eps) => {
+                    eps[i].set_tracer(tracer.clone());
+                    eps[i].net().clone()
+                }
+                Built::Sharded(eps) => {
+                    let shard = i % eps.len();
+                    eps[shard].set_tracer(i as NodeId, tracer.clone());
+                    eps[shard].net(i as NodeId).clone()
+                }
+            };
             tracers.push(tracer);
             let (wake_tx, wake_rx) = unbounded();
-            let shared = Arc::new(NodeShared::new_with_retry(
-                layout,
-                cfg.cost,
-                ep.net().clone(),
-                wake_tx,
-                cfg.retry,
-            ));
-            let join = match cfg.protocol {
+            let shared =
+                Arc::new(NodeShared::new_with_retry(layout, cfg.cost, net, wake_tx, cfg.retry));
+            let hook: Arc<dyn Hooks> = match cfg.protocol {
                 ProtocolKind::Predictive(pcfg) => {
                     let pred = Arc::new(Predictive::new(pcfg));
-                    let j = spawn_protocol(Arc::clone(&shared), ep, Arc::clone(&pred) as _);
-                    preds.as_mut().expect("predictive mode").push(pred);
-                    j
+                    preds.as_mut().expect("predictive mode").push(Arc::clone(&pred));
+                    pred
                 }
                 ProtocolKind::Commutative(ccfg) => {
                     let cm = Arc::new(Commute::new(ccfg));
-                    let j = spawn_protocol(Arc::clone(&shared), ep, Arc::clone(&cm) as _);
-                    commutes.as_mut().expect("commutative mode").push(cm);
-                    j
+                    commutes.as_mut().expect("commutative mode").push(Arc::clone(&cm));
+                    cm
                 }
-                ProtocolKind::Stache => spawn_protocol(Arc::clone(&shared), ep, Arc::new(NoHooks)),
+                ProtocolKind::Stache => Arc::new(NoHooks),
             };
+            hooks.push(hook);
             shareds.push(shared);
             wake_rxs.push(Some(wake_rx));
-            joins.push(join);
+        }
+        match built {
+            Built::PerNode(eps) => {
+                for (i, ep) in eps.into_iter().enumerate() {
+                    joins.push(spawn_protocol(Arc::clone(&shareds[i]), ep, Arc::clone(&hooks[i])));
+                }
+            }
+            Built::Sharded(eps) => {
+                for ep in eps {
+                    let members = ep
+                        .members()
+                        .iter()
+                        .map(|&n| {
+                            (Arc::clone(&shareds[n as usize]), Arc::clone(&hooks[n as usize]))
+                        })
+                        .collect();
+                    joins.push(spawn_protocol_shard(members, ep));
+                }
+            }
         }
         Machine {
             cfg,
@@ -141,6 +234,7 @@ impl Machine {
             joins,
             recovery: Arc::new(RecoveryCtl::new()),
             ckpts: Arc::new(CheckpointStore::new(cfg.nodes)),
+            _socket: socket_guard,
         }
     }
 
@@ -255,11 +349,30 @@ impl Machine {
         R: Send,
         F: Fn(&mut NodeCtx) -> R + Sync,
     {
+        // Misuse is a structured error, not a panic: a wake inbox that is
+        // still checked out means another run is executing on this machine
+        // right now, and an aborted fabric means a previous run died (its
+        // abort flag and barrier poison stay raised) — spawning compute
+        // threads in either state would hang or panic mid-assembly.
+        if self.wake_rxs.iter().any(Option::is_none) {
+            return Err(self.machine_error(
+                FailureKind::AlreadyRunning,
+                None,
+                "a run is already executing on this machine".into(),
+            ));
+        }
+        if self.ctl.is_aborting() {
+            return Err(self.machine_error(
+                FailureKind::AlreadyRunning,
+                None,
+                "this machine died in a previous run; build a fresh machine".into(),
+            ));
+        }
         let wall_start = Instant::now();
         let stats0: Vec<_> = self.shareds.iter().map(|s| s.stats.snapshot()).collect();
         let wire0 = self.ctl.wire();
         let rxs: Vec<Receiver<Wake>> =
-            self.wake_rxs.iter_mut().map(|o| o.take().expect("machine already running")).collect();
+            self.wake_rxs.iter_mut().map(|o| o.take().expect("checked above")).collect();
         // Restore clones immediately (crossbeam receivers share the
         // channel), so the machine's inboxes survive even a panicked run.
         for (i, rx) in rxs.iter().enumerate() {
@@ -451,6 +564,65 @@ impl Drop for Machine {
             {
                 eprintln!("prescient: trace export to {base}.json[l] failed: {e}");
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(nodes: usize) -> MachineConfig {
+        // Pin the backend: these tests exercise run-state misuse, not the
+        // backend matrix, and must not follow a `PRESCIENT_FABRIC` override.
+        MachineConfig::stache(nodes, 64).with_fabric(FabricKind::Channel)
+    }
+
+    #[test]
+    fn second_run_on_dead_machine_errors_instead_of_panicking() {
+        let mut m = Machine::new(cfg(2));
+        let err = m
+            .try_run(|ctx| {
+                if ctx.me() == 1 {
+                    panic!("deliberate test panic");
+                }
+                ctx.barrier();
+            })
+            .expect_err("a panicking node must fail the run");
+        assert_eq!(err.kind, FailureKind::Panic);
+        assert_eq!(err.node, Some(1));
+        // The machine is dead (abort flag + barrier poison stay raised); a
+        // second run must come back as a structured misuse error, not a
+        // panic or a hang.
+        let err = m.try_run(|_| ()).expect_err("a dead machine must refuse to run");
+        assert_eq!(err.kind, FailureKind::AlreadyRunning);
+        assert!(err.message.contains("died in a previous run"), "got: {}", err.message);
+    }
+
+    #[test]
+    fn checked_out_wake_inbox_reports_already_running() {
+        let mut m = Machine::new(cfg(1));
+        // What `try_run` observes when a concurrent run is mid-flight.
+        m.wake_rxs[0] = None;
+        let err = m.try_run(|_| ()).expect_err("must refuse to double-run");
+        assert_eq!(err.kind, FailureKind::AlreadyRunning);
+        assert!(err.message.contains("already executing"), "got: {}", err.message);
+    }
+
+    #[test]
+    fn machine_runs_on_every_backend() {
+        for fabric in [
+            FabricKind::Channel,
+            FabricKind::Sharded { shards: 2 },
+            FabricKind::SocketPair { split: 0 },
+        ] {
+            let mut m = Machine::new(cfg(4).with_fabric(fabric));
+            let (sums, _report) = m.run(|ctx| {
+                let n = ctx.nodes() as u64;
+                ctx.barrier();
+                u64::from(ctx.me()) + n
+            });
+            assert_eq!(sums, vec![4, 5, 6, 7], "backend {fabric:?}");
         }
     }
 }

@@ -161,6 +161,12 @@ pub enum FailureKind {
     /// The watchdog found no progress while a crash was pending: the
     /// recovery protocol itself stalled.
     Crash,
+    /// `Machine::run` misuse: a run is already executing on this machine,
+    /// or a previous run died (the fabric abort flag and barrier poison
+    /// stay raised — build a fresh machine). Reported as a structured
+    /// error instead of a panic mid-assembly, so drivers that reuse a
+    /// machine across runs can handle the condition.
+    AlreadyRunning,
 }
 
 impl std::fmt::Display for FailureKind {
@@ -169,6 +175,7 @@ impl std::fmt::Display for FailureKind {
             FailureKind::Panic => "panic",
             FailureKind::Deadlock => "deadlock",
             FailureKind::Crash => "crash",
+            FailureKind::AlreadyRunning => "misuse (already running or dead)",
         })
     }
 }

@@ -40,10 +40,11 @@ pub mod engine;
 pub mod hooks;
 pub mod msg;
 pub mod node;
+pub mod wire;
 
 pub use check::check_coherence;
 pub use dir::{DirCheckpoint, DirEntry, DirState, Directory};
 pub use engine::{fetch, Engine, GrantInfo};
 pub use hooks::{Hooks, NoHooks};
 pub use msg::{Msg, UserMsg, Wake};
-pub use node::{spawn_protocol, NodeCheckpoint, NodeShared, RetryConfig};
+pub use node::{spawn_protocol, spawn_protocol_shard, NodeCheckpoint, NodeShared, RetryConfig};

@@ -37,7 +37,7 @@ use std::sync::Arc;
 use prescient_tempest::{BlockId, NodeId, NodeSet};
 
 /// A message between protocol handlers.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Msg {
     /// Requester → home: ask for a read-only copy of `block`.
     GetShared {
@@ -184,7 +184,7 @@ impl Msg {
 
 /// Payload of an extension message. The base protocol routes these to the
 /// installed [`crate::hooks::Hooks`] without interpreting them.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UserMsg {
     /// Extension-defined handler code.
     pub code: u16,

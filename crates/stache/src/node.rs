@@ -18,7 +18,7 @@ use std::time::Duration;
 
 use crossbeam::channel::Sender;
 use parking_lot::Mutex;
-use prescient_tempest::fabric::{Endpoint, FabricCtl, Net};
+use prescient_tempest::fabric::{Endpoint, FabricCtl, Net, ShardEndpoint};
 use prescient_tempest::trace::{pack_msg, EventKind, Tracer};
 use prescient_tempest::{
     BlockId, CostModel, GlobalLayout, MemCheckpoint, NodeId, NodeMem, NodeStats,
@@ -289,4 +289,52 @@ pub fn spawn_protocol(
             endpoint.ctl().mark_closing();
         })
         .expect("spawn protocol thread")
+}
+
+/// Start one shard loop of a sharded fabric: a single OS thread drains
+/// the [`ShardEndpoint`] and dispatches each envelope to the engine of
+/// the member node it addresses, replacing one protocol thread per node
+/// with one per shard. `members` must match `ep.members()` one-to-one,
+/// in the same (ascending) order.
+///
+/// Teardown semantics mirror the per-node loop exactly: once a member has
+/// handled its `Msg::Shutdown`, later envelopes addressed to it are
+/// dropped unprocessed (in the per-node model they would sit in a dead
+/// thread's inbox), and the loop exits when every member has shut down.
+pub fn spawn_protocol_shard(
+    members: Vec<(Arc<NodeShared>, Arc<dyn Hooks>)>,
+    ep: ShardEndpoint<Msg>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("proto-shard-{}", ep.shard()))
+        .spawn(move || {
+            let ids: Vec<NodeId> = members.iter().map(|(s, _)| s.me).collect();
+            assert_eq!(ids, ep.members(), "members must match the shard endpoint");
+            let engines: Vec<(Arc<NodeShared>, Engine)> =
+                members.into_iter().map(|(s, h)| (s, Engine::new(h))).collect();
+            let mut live = vec![true; engines.len()];
+            let mut alive = engines.len();
+            while alive > 0 {
+                let Some(env) = ep.recv() else { break };
+                let idx = ids.binary_search(&env.dst).expect("envelope for a non-member node");
+                if !live[idx] {
+                    continue;
+                }
+                let (shared, engine) = &engines[idx];
+                shared.tracer().emit(
+                    EventKind::MsgRecv,
+                    pack_msg(env.msg.kind_code(), env.src),
+                    env.msg.trace_aux(),
+                );
+                if !engine.handle(shared, env.src, env.msg) {
+                    live[idx] = false;
+                    alive -= 1;
+                }
+            }
+            for (shared, _) in &engines {
+                shared.flush_net();
+            }
+            ep.ctl().mark_closing();
+        })
+        .expect("spawn shard protocol thread")
 }

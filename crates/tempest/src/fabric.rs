@@ -37,6 +37,27 @@
 //! semantics and per-link fault counters are unchanged. Logical traffic
 //! counters (`msgs`, bytes, blocks) keep counting envelopes; the batch
 //! layer only adds the [`FabricCtl::wire`] counters on top.
+//!
+//! # Transports
+//!
+//! Everything above — egress buffering, the fault layer, tracing,
+//! teardown accounting — is backend-independent. The only thing that
+//! varies is how a finished [`WireBatch`] reaches its destination inbox,
+//! and that is the [`Transport`] trait. Three backends implement it:
+//!
+//! * [`ChannelTransport`] — one channel per node, one protocol thread per
+//!   node (the original model; see [`Fabric::new`]).
+//! * [`ShardTransport`] — `S` channels for `n` nodes, node `i`'s inbox
+//!   multiplexed onto shard `i mod S`, so `S` shard loops service all
+//!   protocol handlers (see [`Fabric::new_sharded`] and
+//!   [`ShardEndpoint`]). This is what lets paper-scale node counts run on
+//!   a bounded thread count.
+//! * the socket transport (see [`crate::socket`]) — a node range is local
+//!   (per-node channels) and everything else crosses a TCP stream as
+//!   length-prefixed frames (see [`crate::wire`]).
+//!
+//! Because the fault layer sits above the trait, a chaos plan produces
+//! the identical surviving envelope sequence on every backend.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -51,7 +72,7 @@ use crate::trace::{pack_peer_count, EventKind, Tracer};
 use crate::NodeId;
 
 /// One in-flight message.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Envelope<M> {
     /// Sending node.
     pub src: NodeId,
@@ -63,7 +84,7 @@ pub struct Envelope<M> {
 
 /// What actually crosses a channel: every envelope a single flush of one
 /// (src, dst) egress buffer produced, in send order.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireBatch<M> {
     /// The node all payloads were sent by.
     pub src: NodeId,
@@ -78,7 +99,7 @@ pub struct WireBatch<M> {
 /// ping-pong, which no amount of batching can aggregate — are carried
 /// inline with zero heap allocation; only genuine aggregation pays for a
 /// `Vec`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WirePayload<M> {
     /// Exactly one envelope (allocation-free).
     One(M),
@@ -135,12 +156,26 @@ impl BatchConfig {
         self.max_batch > 1
     }
 
-    /// The `PRESCIENT_BATCH` override, if set and parseable.
+    /// Parse a `PRESCIENT_BATCH` value: `"off"`, `"0"` or `"1"` disable
+    /// aggregation; any other integer sets the flush threshold.
+    pub fn parse(s: &str) -> Result<BatchConfig, String> {
+        match s.trim() {
+            "off" | "0" | "1" => Ok(BatchConfig::off()),
+            t => t.parse::<usize>().map(BatchConfig::new).map_err(|_| {
+                format!("PRESCIENT_BATCH: expected an integer threshold or \"off\", got {s:?}")
+            }),
+        }
+    }
+
+    /// The `PRESCIENT_BATCH` override, if set. Panics on an unparsable
+    /// value: a knob that falls back silently is worse than one that
+    /// refuses — a typo in a CI matrix would quietly benchmark the
+    /// default policy while claiming otherwise.
     pub fn from_env() -> Option<BatchConfig> {
         let v = std::env::var("PRESCIENT_BATCH").ok()?;
-        match v.trim() {
-            "off" | "0" | "1" => Some(BatchConfig::off()),
-            s => s.parse::<usize>().ok().map(BatchConfig::new),
+        match BatchConfig::parse(&v) {
+            Ok(b) => Some(b),
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -209,6 +244,20 @@ impl FabricCtl {
         self.teardown_drops.load(Ordering::Relaxed)
     }
 
+    /// Account for `n` envelopes that could not be delivered to `dst`
+    /// because its inbox no longer exists. Every backend — channel send,
+    /// shard send, socket writer *and* the socket reader thread on the
+    /// receiving side — funnels its delivery failures through here, so
+    /// the accounting and the debug-build assertion are
+    /// backend-independent.
+    pub fn count_teardown_drop(&self, n: u64, dst: NodeId) {
+        self.teardown_drops.fetch_add(n, Ordering::Relaxed);
+        debug_assert!(
+            self.is_closing(),
+            "message to node {dst} dropped before teardown was signalled"
+        );
+    }
+
     /// Wire-level transport counters so far: batches put on channels and
     /// the envelopes they carried. Unlike the logical traffic counters
     /// these depend on thread timing (how full a buffer was when a flush
@@ -223,6 +272,74 @@ impl FabricCtl {
             envelopes: self.wire_msgs.load(Ordering::Relaxed),
             hist,
         }
+    }
+}
+
+/// Delivery failure: the destination inbox no longer exists. Legitimate
+/// only during teardown; the caller accounts for the loss via
+/// [`FabricCtl::count_teardown_drop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Undeliverable;
+
+/// Where finished wire batches go. Implementations only move an opaque
+/// [`WireBatch`] to the inbox of `dst`; egress buffering, fault
+/// injection, tracing, and teardown accounting all happen in [`Net`]
+/// *above* this trait, so protocol behavior is backend-independent by
+/// construction.
+pub trait Transport<M: Send>: Send + Sync {
+    /// Deliver `batch` to node `dst`'s inbox, preserving per-link order.
+    fn deliver(&self, dst: NodeId, batch: WireBatch<M>) -> Result<(), Undeliverable>;
+
+    /// Number of node inboxes reachable through this transport.
+    fn nodes(&self) -> usize;
+}
+
+/// The original backend: one unbounded channel per node, each drained by
+/// that node's own protocol thread.
+pub struct ChannelTransport<M> {
+    txs: Box<[Sender<WireBatch<M>>]>,
+}
+
+impl<M: Send> Transport<M> for ChannelTransport<M> {
+    fn deliver(&self, dst: NodeId, batch: WireBatch<M>) -> Result<(), Undeliverable> {
+        self.txs[dst as usize].send(batch).map_err(|_| Undeliverable)
+    }
+
+    fn nodes(&self) -> usize {
+        self.txs.len()
+    }
+}
+
+/// The sharded backend: `S` channels for `n` nodes, node `i` assigned to
+/// shard `i mod S`. One shard loop (see [`ShardEndpoint`]) services the
+/// protocol handlers of all its members, so a 64-node machine needs `S`
+/// protocol threads instead of 64 — the futex-wakeup churn of the
+/// 2-threads-per-node model was the scaling ceiling this removes.
+/// Per-link FIFO still holds: all traffic for a given destination lands
+/// on one channel, in send order per sender, with a single consumer.
+pub struct ShardTransport<M> {
+    txs: Box<[Sender<ShardFrame<M>>]>,
+    nodes: usize,
+}
+
+/// A frame on a shard inbox: the destination member plus its batch. The
+/// shard loop demuxes on the [`NodeId`] to pick the member's handler.
+type ShardFrame<M> = (NodeId, WireBatch<M>);
+
+impl<M> ShardTransport<M> {
+    /// The shard that hosts `dst`'s inbox.
+    fn shard_of(&self, dst: NodeId) -> usize {
+        dst as usize % self.txs.len()
+    }
+}
+
+impl<M: Send> Transport<M> for ShardTransport<M> {
+    fn deliver(&self, dst: NodeId, batch: WireBatch<M>) -> Result<(), Undeliverable> {
+        self.txs[self.shard_of(dst)].send((dst, batch)).map_err(|_| Undeliverable)
+    }
+
+    fn nodes(&self) -> usize {
+        self.nodes
     }
 }
 
@@ -241,7 +358,7 @@ struct Egress<M> {
 /// behalf of node `me`.
 pub struct Net<M> {
     me: NodeId,
-    txs: Arc<[Sender<WireBatch<M>>]>,
+    transport: Arc<dyn Transport<M>>,
     ctl: Arc<FabricCtl>,
     faults: Option<Arc<dyn FaultHook<M>>>,
     egress: Arc<Egress<M>>,
@@ -252,12 +369,36 @@ impl<M> Clone for Net<M> {
     fn clone(&self) -> Self {
         Net {
             me: self.me,
-            txs: Arc::clone(&self.txs),
+            transport: Arc::clone(&self.transport),
             ctl: Arc::clone(&self.ctl),
             faults: self.faults.clone(),
             egress: Arc::clone(&self.egress),
             tracer: self.tracer.clone(),
         }
+    }
+}
+
+/// Assemble a [`Net`] over an arbitrary transport (crate-internal: the
+/// public surface is the [`Fabric`] constructors and [`crate::socket`]).
+pub(crate) fn make_net<M: Send + 'static>(
+    me: NodeId,
+    n: usize,
+    transport: Arc<dyn Transport<M>>,
+    ctl: Arc<FabricCtl>,
+    faults: Option<Arc<dyn FaultHook<M>>>,
+    batch: BatchConfig,
+) -> Net<M> {
+    Net {
+        me,
+        transport,
+        ctl,
+        faults,
+        egress: Arc::new(Egress {
+            bufs: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+            max: batch.max_batch,
+            dirty: AtomicU64::new(0),
+        }),
+        tracer: Tracer::off(),
     }
 }
 
@@ -269,7 +410,7 @@ impl<M: Send> Net<M> {
 
     /// Number of nodes on the fabric.
     pub fn nodes(&self) -> usize {
-        self.txs.len()
+        self.transport.nodes()
     }
 
     /// The fabric's shared teardown state.
@@ -375,14 +516,10 @@ impl<M: Send> Net<M> {
     fn send_wire(&self, dst: NodeId, msgs: WirePayload<M>) {
         let n = msgs.len() as u64;
         let id = self.ctl.batch_seq.fetch_add(1, Ordering::Relaxed);
-        if self.txs[dst as usize].send(WireBatch { src: self.me, id, msgs }).is_err() {
-            // The destination endpoint is gone. Legitimate only once the
+        if self.transport.deliver(dst, WireBatch { src: self.me, id, msgs }).is_err() {
+            // The destination inbox is gone. Legitimate only once the
             // machine has signalled teardown.
-            self.ctl.teardown_drops.fetch_add(n, Ordering::Relaxed);
-            debug_assert!(
-                self.ctl.is_closing(),
-                "message to node {dst} dropped before teardown was signalled"
-            );
+            self.ctl.count_teardown_drop(n, dst);
         } else {
             self.ctl.wire_batches.fetch_add(1, Ordering::Relaxed);
             self.ctl.wire_msgs.fetch_add(n, Ordering::Relaxed);
@@ -511,6 +648,144 @@ impl<M: Send> Endpoint<M> {
     pub fn ctl(&self) -> &Arc<FabricCtl> {
         self.net.ctl()
     }
+
+    /// Crate-internal assembly, shared by [`Fabric::build`] and the
+    /// socket backend.
+    pub(crate) fn from_parts(me: NodeId, rx: Receiver<WireBatch<M>>, net: Net<M>) -> Endpoint<M> {
+        Endpoint { me, rx, ring: Mutex::new(VecDeque::new()), net }
+    }
+}
+
+/// The receiving end of one shard of a sharded fabric: the multiplexed
+/// inboxes of every node assigned to this shard, plus those nodes'
+/// sending handles. One OS thread drains it and dispatches each envelope
+/// to the owning member's protocol handler — the replacement for the
+/// thread-per-node receive loop.
+///
+/// The quiescence rule generalizes: before the shard loop blocks, it
+/// flushes the egress of *every* member, since any member's partial
+/// batch may hold the message some other node is waiting for.
+pub struct ShardEndpoint<M> {
+    shard: usize,
+    rx: Receiver<ShardFrame<M>>,
+    ring: Mutex<VecDeque<Envelope<M>>>,
+    /// Nodes hosted by this shard, ascending; `nets` runs parallel.
+    members: Vec<NodeId>,
+    nets: Vec<Net<M>>,
+}
+
+impl<M: Send> ShardEndpoint<M> {
+    /// This shard's index.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The nodes whose inboxes this shard services, ascending.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    fn local_idx(&self, node: NodeId) -> usize {
+        self.members.binary_search(&node).expect("node is not hosted by this shard")
+    }
+
+    /// The sending handle of member `node`.
+    pub fn net(&self, node: NodeId) -> &Net<M> {
+        &self.nets[self.local_idx(node)]
+    }
+
+    /// Install member `node`'s tracing handle. As with
+    /// [`Endpoint::set_tracer`], must run before that member's net is
+    /// cloned into the protocol layer.
+    pub fn set_tracer(&mut self, node: NodeId, tracer: Tracer) {
+        let i = self.local_idx(node);
+        self.nets[i].tracer = tracer;
+    }
+
+    /// The fabric's shared teardown state.
+    pub fn ctl(&self) -> &Arc<FabricCtl> {
+        self.nets[0].ctl()
+    }
+
+    /// Flush every member's egress buffers — the shard-loop form of the
+    /// never-block-dirty rule.
+    pub fn flush_members(&self) {
+        for net in &self.nets {
+            net.flush_all();
+        }
+    }
+
+    /// Block until a message for any member arrives; `env.dst` says which
+    /// member. Returns `None` when the fabric shut down. Flushes every
+    /// member's egress before actually blocking.
+    pub fn recv(&self) -> Option<Envelope<M>> {
+        if let Some(env) = self.pop_ring() {
+            return Some(env);
+        }
+        loop {
+            match self.rx.try_recv() {
+                Ok((dst, batch)) => {
+                    if let Some(env) = self.accept(dst, batch) {
+                        return Some(env);
+                    }
+                }
+                Err(TryRecvError::Disconnected) => return None,
+                Err(TryRecvError::Empty) => {
+                    self.flush_members();
+                    match self.rx.recv() {
+                        Ok((dst, batch)) => {
+                            if let Some(env) = self.accept(dst, batch) {
+                                return Some(env);
+                            }
+                        }
+                        Err(_) => return None,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Non-blocking receive across all members (never flushes).
+    pub fn try_recv(&self) -> TryRecv<M> {
+        if let Some(env) = self.pop_ring() {
+            return TryRecv::Msg(env);
+        }
+        match self.rx.try_recv() {
+            Ok((dst, batch)) => match self.accept(dst, batch) {
+                Some(env) => TryRecv::Msg(env),
+                None => TryRecv::Empty,
+            },
+            Err(TryRecvError::Empty) => TryRecv::Empty,
+            Err(TryRecvError::Disconnected) => TryRecv::Closed,
+        }
+    }
+
+    fn pop_ring(&self) -> Option<Envelope<M>> {
+        self.ring.lock().pop_front()
+    }
+
+    fn accept(&self, dst: NodeId, batch: WireBatch<M>) -> Option<Envelope<M>> {
+        let src = batch.src;
+        // The WireRecv event belongs to the *destination member's* trace
+        // stream, exactly as in the per-node backend.
+        self.net(dst).tracer.emit(
+            EventKind::WireRecv,
+            pack_peer_count(src, batch.msgs.len() as u64),
+            batch.id,
+        );
+        let mut ring = self.ring.lock();
+        match batch.msgs {
+            WirePayload::One(msg) if ring.is_empty() => Some(Envelope { src, dst, msg }),
+            WirePayload::One(msg) => {
+                ring.push_back(Envelope { src, dst, msg });
+                ring.pop_front()
+            }
+            WirePayload::Many(msgs) => {
+                ring.extend(msgs.into_iter().map(|msg| Envelope { src, dst, msg }));
+                ring.pop_front()
+            }
+        }
+    }
 }
 
 /// Construct a fabric for `n` nodes, returning one endpoint per node.
@@ -520,12 +795,12 @@ impl Fabric {
     /// Build the endpoints with the default (env-overridable) batch
     /// policy. Endpoint `i` receives everything addressed to node `i`.
     #[allow(clippy::new_ret_no_self)]
-    pub fn new<M: Send>(n: usize) -> Vec<Endpoint<M>> {
+    pub fn new<M: Send + 'static>(n: usize) -> Vec<Endpoint<M>> {
         Fabric::new_with(n, BatchConfig::default_for_fabric())
     }
 
     /// Build the endpoints with an explicit batch policy.
-    pub fn new_with<M: Send>(n: usize, batch: BatchConfig) -> Vec<Endpoint<M>> {
+    pub fn new_with<M: Send + 'static>(n: usize, batch: BatchConfig) -> Vec<Endpoint<M>> {
         Fabric::build(n, None, batch).0
     }
 
@@ -553,7 +828,36 @@ impl Fabric {
         (eps, stats)
     }
 
-    fn build<M: Send>(
+    /// Build a sharded fabric: `n` node inboxes multiplexed onto
+    /// `shards` shard endpoints (clamped to `1..=n`), default batch
+    /// policy. Node `i` is serviced by shard `i mod shards`.
+    pub fn new_sharded<M: Send + 'static>(n: usize, shards: usize) -> Vec<ShardEndpoint<M>> {
+        Fabric::new_sharded_with(n, shards, BatchConfig::default_for_fabric())
+    }
+
+    /// Sharded fabric with an explicit batch policy.
+    pub fn new_sharded_with<M: Send + 'static>(
+        n: usize,
+        shards: usize,
+        batch: BatchConfig,
+    ) -> Vec<ShardEndpoint<M>> {
+        Fabric::build_sharded(n, shards, None, batch)
+    }
+
+    /// Sharded fabric whose inter-node links run through the fault layer.
+    pub fn new_sharded_faulty_with<M: Send + Clone + 'static>(
+        n: usize,
+        shards: usize,
+        plan: FaultPlan,
+        batch: BatchConfig,
+    ) -> (Vec<ShardEndpoint<M>>, Arc<FaultStats>) {
+        let faults = Arc::new(FaultState::new(n, plan));
+        let stats = Arc::clone(faults.stats());
+        let eps = Fabric::build_sharded(n, shards, Some(faults as Arc<dyn FaultHook<M>>), batch);
+        (eps, stats)
+    }
+
+    fn build<M: Send + 'static>(
         n: usize,
         faults: Option<Arc<dyn FaultHook<M>>>,
         batch: BatchConfig,
@@ -566,33 +870,71 @@ impl Fabric {
             txs.push(tx);
             rxs.push(rx);
         }
-        let txs: Arc<[Sender<WireBatch<M>>]> = txs.into();
+        let transport: Arc<dyn Transport<M>> =
+            Arc::new(ChannelTransport { txs: txs.into_boxed_slice() });
         let ctl = Arc::new(FabricCtl::default());
         let eps = rxs
             .into_iter()
             .enumerate()
             .map(|(i, rx)| {
-                let egress = Arc::new(Egress {
-                    bufs: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
-                    max: batch.max_batch,
-                    dirty: AtomicU64::new(0),
-                });
-                Endpoint {
-                    me: i as NodeId,
-                    rx,
-                    ring: Mutex::new(VecDeque::new()),
-                    net: Net {
-                        me: i as NodeId,
-                        txs: Arc::clone(&txs),
-                        ctl: Arc::clone(&ctl),
-                        faults: faults.clone(),
-                        egress,
-                        tracer: Tracer::off(),
-                    },
-                }
+                let net = make_net(
+                    i as NodeId,
+                    n,
+                    Arc::clone(&transport),
+                    Arc::clone(&ctl),
+                    faults.clone(),
+                    batch,
+                );
+                Endpoint::from_parts(i as NodeId, rx, net)
             })
             .collect();
         (eps, ctl)
+    }
+
+    fn build_sharded<M: Send + 'static>(
+        n: usize,
+        shards: usize,
+        faults: Option<Arc<dyn FaultHook<M>>>,
+        batch: BatchConfig,
+    ) -> Vec<ShardEndpoint<M>> {
+        assert!(n <= 64, "egress dirty mask caps the fabric at 64 nodes");
+        assert!(n > 0, "a fabric needs at least one node");
+        let shards = shards.clamp(1, n);
+        let mut txs = Vec::with_capacity(shards);
+        let mut rxs = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = unbounded::<ShardFrame<M>>();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let transport: Arc<dyn Transport<M>> =
+            Arc::new(ShardTransport { txs: txs.into_boxed_slice(), nodes: n });
+        let ctl = Arc::new(FabricCtl::default());
+        let mut eps: Vec<ShardEndpoint<M>> = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(s, rx)| ShardEndpoint {
+                shard: s,
+                rx,
+                ring: Mutex::new(VecDeque::new()),
+                members: Vec::new(),
+                nets: Vec::new(),
+            })
+            .collect();
+        for i in 0..n {
+            let net = make_net(
+                i as NodeId,
+                n,
+                Arc::clone(&transport),
+                Arc::clone(&ctl),
+                faults.clone(),
+                batch,
+            );
+            let ep = &mut eps[i % shards];
+            ep.members.push(i as NodeId);
+            ep.nets.push(net);
+        }
+        eps
     }
 }
 
@@ -826,6 +1168,128 @@ mod tests {
         }
         assert_eq!(got, (0..50).collect::<Vec<_>>());
         assert_eq!(stats.total().dropped, 0);
+    }
+
+    #[test]
+    fn sharded_fabric_keeps_per_link_fifo() {
+        // 5 nodes on 2 shards: shard 0 hosts {0,2,4}, shard 1 hosts {1,3}.
+        let eps = Fabric::new_sharded_with::<u32>(5, 2, BatchConfig::new(8));
+        assert_eq!(eps[0].members(), &[0, 2, 4]);
+        assert_eq!(eps[1].members(), &[1, 3]);
+        for i in 0..200 {
+            eps[0].net(0).send(3, i);
+            eps[0].net(2).send(3, 1000 + i);
+        }
+        eps[0].flush_members();
+        let (mut from0, mut from2) = (vec![], vec![]);
+        while let TryRecv::Msg(env) = eps[1].try_recv() {
+            assert_eq!(env.dst, 3, "only node 3 was addressed");
+            if env.src == 0 {
+                from0.push(env.msg)
+            } else {
+                from2.push(env.msg)
+            }
+        }
+        assert_eq!(from0, (0..200).collect::<Vec<_>>());
+        assert_eq!(from2, (1000..1200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sharded_self_send_reaches_own_shard_unflushed() {
+        let eps = Fabric::new_sharded::<&'static str>(4, 2);
+        eps[1].net(1).send(1, "wake");
+        assert!(
+            matches!(eps[1].try_recv(), TryRecv::Msg(env) if env.msg == "wake" && env.dst == 1)
+        );
+    }
+
+    #[test]
+    fn sharded_teardown_drops_are_counted_after_closing() {
+        // Mirror of teardown_drops_are_counted_after_closing for the
+        // sharded backend: once a shard's endpoint is gone, sends to any
+        // of its members count as teardown drops on the shared ctl.
+        let mut eps = Fabric::new_sharded::<u8>(4, 2);
+        let shard1 = eps.pop().unwrap();
+        let shard0 = eps.pop().unwrap();
+        let net0 = shard0.net(0).clone();
+        net0.ctl().mark_closing();
+        drop(shard1); // nodes 1 and 3 disappear
+        net0.send(1, 42);
+        net0.send(3, 43);
+        net0.flush_all();
+        assert_eq!(net0.ctl().teardown_drops(), 2);
+        net0.send(2, 44); // same-shard member still reachable
+        net0.flush_all();
+        assert_eq!(net0.ctl().teardown_drops(), 2);
+        drop(shard0);
+    }
+
+    #[test]
+    fn sharded_faulty_fabric_never_touches_self_sends() {
+        let plan = FaultPlan::new(1).dropping(1000);
+        let (eps, stats) = Fabric::new_sharded_faulty_with::<u32>(4, 2, plan, BatchConfig::new(8));
+        for i in 0..50 {
+            eps[0].net(2).send(2, i);
+        }
+        eps[0].flush_members();
+        let mut got = Vec::new();
+        while let TryRecv::Msg(env) = eps[0].try_recv() {
+            assert_eq!(env.dst, 2);
+            got.push(env.msg);
+        }
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+        assert_eq!(stats.total().dropped, 0);
+    }
+
+    #[test]
+    fn sharded_chaos_matches_per_node_chaos() {
+        // Same seed, same send sequence: the surviving envelope sequence
+        // on a link must not depend on the backend, because the fault
+        // layer sits above the transport.
+        let run_per_node = || {
+            let (eps, _) =
+                Fabric::new_faulty_with::<u32>(2, FaultPlan::chaos(0xFAB), BatchConfig::new(4));
+            for i in 0..600 {
+                eps[0].net().send(1, i);
+            }
+            eps[0].net().flush_all();
+            let mut got = Vec::new();
+            while let TryRecv::Msg(env) = eps[1].try_recv() {
+                got.push(env.msg);
+            }
+            got
+        };
+        let run_sharded = |shards| {
+            let (eps, _) = Fabric::new_sharded_faulty_with::<u32>(
+                2,
+                shards,
+                FaultPlan::chaos(0xFAB),
+                BatchConfig::new(4),
+            );
+            for i in 0..600 {
+                eps[0].net(0).send(1, i);
+            }
+            eps[0].flush_members();
+            let sink = if shards == 1 { &eps[0] } else { &eps[1] };
+            let mut got = Vec::new();
+            while let TryRecv::Msg(env) = sink.try_recv() {
+                got.push(env.msg);
+            }
+            got
+        };
+        let baseline = run_per_node();
+        assert!(!baseline.is_empty());
+        assert_eq!(run_sharded(1), baseline);
+        assert_eq!(run_sharded(2), baseline);
+    }
+
+    #[test]
+    fn batch_parse_rejects_garbage() {
+        assert!(BatchConfig::parse("16").is_ok());
+        assert_eq!(BatchConfig::parse("off").unwrap(), BatchConfig::off());
+        assert!(BatchConfig::parse("banana").is_err());
+        assert!(BatchConfig::parse("-3").is_err());
+        assert!(BatchConfig::parse("1.5").is_err());
     }
 
     #[test]

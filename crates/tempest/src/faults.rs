@@ -171,28 +171,38 @@ impl CrashPlan {
         CrashPlan { node, at_version }
     }
 
-    /// Parse the `PRESCIENT_CRASH` environment variable: `"node@version"`
-    /// (e.g. `PRESCIENT_CRASH=2@5` crashes node 2 at its 5th phase
-    /// execution). Unset, empty, or `0`/`off` means no crash; anything
-    /// else malformed panics with the expected format.
-    pub fn from_env() -> Option<CrashPlan> {
-        let v = std::env::var("PRESCIENT_CRASH").ok()?;
-        let v = v.trim();
+    /// Parse a `PRESCIENT_CRASH` value: `"node@version"` (e.g. `2@5`
+    /// crashes node 2 at its 5th phase execution). Empty, `0` or `off`
+    /// means no crash (`Ok(None)`).
+    pub fn parse(s: &str) -> Result<Option<CrashPlan>, String> {
+        let v = s.trim();
         if v.is_empty() || v == "0" || v.eq_ignore_ascii_case("off") {
-            return None;
+            return Ok(None);
         }
         let (node, version) = v
             .split_once('@')
-            .unwrap_or_else(|| panic!("PRESCIENT_CRASH must be \"node@version\", got {v:?}"));
+            .ok_or_else(|| format!("PRESCIENT_CRASH must be \"node@version\", got {v:?}"))?;
         let node: u16 = node
             .trim()
             .parse()
-            .unwrap_or_else(|_| panic!("PRESCIENT_CRASH node must be a u16, got {v:?}"));
+            .map_err(|_| format!("PRESCIENT_CRASH node must be a u16, got {v:?}"))?;
         let at_version: u64 = version
             .trim()
             .parse()
-            .unwrap_or_else(|_| panic!("PRESCIENT_CRASH version must be a u64, got {v:?}"));
-        Some(CrashPlan { node, at_version })
+            .map_err(|_| format!("PRESCIENT_CRASH version must be a u64, got {v:?}"))?;
+        Ok(Some(CrashPlan { node, at_version }))
+    }
+
+    /// The `PRESCIENT_CRASH` environment override, if set. Unset, empty,
+    /// or `0`/`off` means no crash; anything else malformed panics with
+    /// the expected format — a mistyped crash plan must never silently
+    /// run a fault-free experiment.
+    pub fn from_env() -> Option<CrashPlan> {
+        let v = std::env::var("PRESCIENT_CRASH").ok()?;
+        match CrashPlan::parse(&v) {
+            Ok(plan) => plan,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 

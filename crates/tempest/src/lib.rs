@@ -41,15 +41,18 @@ pub mod layout;
 pub mod mem;
 pub mod nodeset;
 pub mod prim;
+pub mod socket;
 pub mod stats;
 pub mod tag;
 pub mod trace;
+pub mod wire;
 
 pub use addr::{BlockId, GAddr};
 pub use barrier::{Aborted, VBarrier};
 pub use cost::CostModel;
 pub use fabric::{
-    BatchConfig, Endpoint, Envelope, Fabric, FabricCtl, TryRecv, WireBatch, WirePayload,
+    BatchConfig, ChannelTransport, Endpoint, Envelope, Fabric, FabricCtl, ShardEndpoint,
+    ShardTransport, Transport, TryRecv, Undeliverable, WireBatch, WirePayload,
 };
 pub use faults::{
     CrashPlan, FaultHook, FaultPlan, FifoMode, PartitionScope, PartitionSpec, SplitMix64,
@@ -58,9 +61,11 @@ pub use layout::GlobalLayout;
 pub use mem::{Fault, MemCheckpoint, MemError, NodeMem};
 pub use nodeset::NodeSet;
 pub use prim::Prim;
+pub use socket::{NodeRange, SocketGuard};
 pub use stats::{FaultStats, NodeStats, TimeBreakdown, WireSnapshot};
 pub use tag::Tag;
 pub use trace::{EventKind, TraceConfig, TraceDump, TraceEvent, Tracer};
+pub use wire::{WireCodec, WireDecoder, WireError};
 
 /// Identifies one node (processor) of the emulated machine.
 ///

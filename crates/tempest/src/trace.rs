@@ -81,15 +81,26 @@ impl TraceConfig {
         TraceConfig { enabled: true, capacity: capacity.max(1024).next_power_of_two() }
     }
 
-    /// The `PRESCIENT_TRACE` override, if set and parseable: `0`/`off`
-    /// disable, `1`/`on` enable at the default capacity, any larger
-    /// integer enables with that capacity.
+    /// Parse a `PRESCIENT_TRACE` value: `0`/`off` disable, `1`/`on`
+    /// enable at the default capacity, any larger integer enables with
+    /// that capacity.
+    pub fn parse(s: &str) -> Result<TraceConfig, String> {
+        match s.trim() {
+            "" | "0" | "off" => Ok(TraceConfig::off()),
+            "1" | "on" => Ok(TraceConfig::on()),
+            t => t.parse::<usize>().map(TraceConfig::with_capacity).map_err(|_| {
+                format!("PRESCIENT_TRACE: expected \"on\", \"off\" or a capacity, got {s:?}")
+            }),
+        }
+    }
+
+    /// The `PRESCIENT_TRACE` override, if set. Panics on an unparsable
+    /// value rather than silently tracing nothing.
     pub fn from_env() -> Option<TraceConfig> {
         let v = std::env::var("PRESCIENT_TRACE").ok()?;
-        match v.trim() {
-            "" | "0" | "off" => Some(TraceConfig::off()),
-            "1" | "on" => Some(TraceConfig::on()),
-            s => s.parse::<usize>().ok().map(TraceConfig::with_capacity),
+        match TraceConfig::parse(&v) {
+            Ok(t) => Some(t),
+            Err(e) => panic!("{e}"),
         }
     }
 

@@ -1,0 +1,390 @@
+//! Wire encoding for the socket transport: length-prefixed frames
+//! carrying [`WireBatch`]es between processes.
+//!
+//! The in-process backends move batches by pointer; the socket backend
+//! (see [`crate::socket`]) must serialize them. The encoding is a small
+//! hand-rolled little-endian format rather than an external serializer so
+//! the fabric stays dependency-free and the frame layout is a documented
+//! part of the transport contract:
+//!
+//! ```text
+//! frame   := len:u32  body           (len = body length in bytes)
+//! body    := dst:u16  src:u16  id:u64  count:u32  msg*count
+//! ```
+//!
+//! `count == 1` decodes to the [`WirePayload::One`] singleton fast path,
+//! so an encode/decode round trip preserves not just the envelope
+//! sequence but the allocation behavior of the receive path. Message
+//! payloads implement [`WireCodec`]; Tempest itself stays generic and the
+//! protocol crate provides the codec for its own vocabulary.
+//!
+//! A tiny rendezvous handshake (see [`write_hello`] / [`read_hello`])
+//! opens every connection: magic, format version, machine size, and the
+//! node range the peer hosts, so two half-machines can refuse to pair
+//! with a mismatched partner before any protocol traffic flows.
+
+use std::io::{self, Read, Write};
+
+use crate::fabric::{WireBatch, WirePayload};
+use crate::NodeId;
+
+/// Hard upper bound on a frame body, as a corruption guard: a mangled
+/// length prefix fails fast instead of attempting a giant allocation.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// First bytes of every connection: "PReScient Wire".
+pub const HANDSHAKE_MAGIC: [u8; 4] = *b"PRSW";
+
+/// Bumped whenever the frame or message encoding changes shape.
+pub const HANDSHAKE_VERSION: u16 = 1;
+
+/// Decode-side failure. Encoding is infallible; decoding faces a byte
+/// stream that may be truncated, trailing, or corrupt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value did.
+    Truncated,
+    /// The buffer held this many bytes beyond the decoded value.
+    Trailing(usize),
+    /// An enum tag byte had no corresponding variant.
+    BadTag {
+        /// Which encoded type rejected the tag.
+        what: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// A length field exceeded [`MAX_FRAME`].
+    Oversize(usize),
+    /// A frame claimed zero envelopes (a wire batch is never empty).
+    EmptyBatch,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire data truncated"),
+            WireError::Trailing(n) => write!(f, "{n} trailing bytes after decoded value"),
+            WireError::BadTag { what, tag } => write!(f, "bad {what} tag byte {tag:#04x}"),
+            WireError::Oversize(n) => write!(f, "length field {n} exceeds frame cap"),
+            WireError::EmptyBatch => write!(f, "frame claims an empty wire batch"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for io::Error {
+    fn from(e: WireError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// A type that can cross the socket transport. Implementations must
+/// round-trip: `decode(encode(m)) == m` for every reachable value.
+pub trait WireCodec: Sized {
+    /// Append this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decode one value from the front of `d`.
+    fn decode(d: &mut WireDecoder<'_>) -> Result<Self, WireError>;
+}
+
+/// Cursor over a received byte buffer.
+#[derive(Debug)]
+pub struct WireDecoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireDecoder<'a> {
+    /// Decode from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> WireDecoder<'a> {
+        WireDecoder { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Next byte.
+    pub fn take_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Next little-endian `u16`.
+    pub fn take_u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len checked")))
+    }
+
+    /// Next little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len checked")))
+    }
+
+    /// Next little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len checked")))
+    }
+
+    /// Next `u32`-length-prefixed byte string (the [`put_blob`] inverse).
+    pub fn take_blob(&mut self) -> Result<&'a [u8], WireError> {
+        let n = self.take_u32()? as usize;
+        if n > MAX_FRAME {
+            return Err(WireError::Oversize(n));
+        }
+        self.take(n)
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Require full consumption — a decoded value that leaves bytes
+    /// behind means the two sides disagree on the encoding.
+    pub fn finish(self) -> Result<(), WireError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(WireError::Trailing(n)),
+        }
+    }
+}
+
+/// Append a `u8`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Append a little-endian `u16`.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u32`-length-prefixed byte string.
+pub fn put_blob(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+/// Encode one frame (length prefix included) into a fresh buffer.
+pub fn encode_frame<M: WireCodec>(dst: NodeId, batch: &WireBatch<M>) -> io::Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&[0u8; 4]); // length prefix, patched below
+    put_u16(&mut out, dst);
+    put_u16(&mut out, batch.src);
+    put_u64(&mut out, batch.id);
+    match &batch.msgs {
+        WirePayload::One(m) => {
+            put_u32(&mut out, 1);
+            m.encode(&mut out);
+        }
+        WirePayload::Many(v) => {
+            put_u32(&mut out, v.len() as u32);
+            for m in v {
+                m.encode(&mut out);
+            }
+        }
+    }
+    let body_len = out.len() - 4;
+    if body_len > MAX_FRAME {
+        return Err(WireError::Oversize(body_len).into());
+    }
+    out[..4].copy_from_slice(&(body_len as u32).to_le_bytes());
+    Ok(out)
+}
+
+/// Write one frame to `w` (no flush — the caller owns buffering policy).
+pub fn write_frame<M: WireCodec, W: Write>(
+    w: &mut W,
+    dst: NodeId,
+    batch: &WireBatch<M>,
+) -> io::Result<()> {
+    w.write_all(&encode_frame(dst, batch)?)
+}
+
+/// Parse one frame body (the bytes after the length prefix).
+pub fn decode_frame_body<M: WireCodec>(body: &[u8]) -> Result<(NodeId, WireBatch<M>), WireError> {
+    let mut d = WireDecoder::new(body);
+    let dst = d.take_u16()?;
+    let src = d.take_u16()?;
+    let id = d.take_u64()?;
+    let count = d.take_u32()? as usize;
+    if count == 0 {
+        return Err(WireError::EmptyBatch);
+    }
+    let msgs = if count == 1 {
+        WirePayload::One(M::decode(&mut d)?)
+    } else {
+        let mut v = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            v.push(M::decode(&mut d)?);
+        }
+        WirePayload::Many(v)
+    };
+    d.finish()?;
+    Ok((dst, WireBatch { src, id, msgs }))
+}
+
+/// Read one frame from `r`. `Ok(None)` is a clean end of stream (the
+/// peer shut the connection down between frames); EOF inside a frame is
+/// an error.
+pub fn read_frame<M: WireCodec, R: Read>(r: &mut R) -> io::Result<Option<(NodeId, WireBatch<M>)>> {
+    let mut lenb = [0u8; 4];
+    if !read_exact_or_eof(r, &mut lenb)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(lenb) as usize;
+    if !(16..=MAX_FRAME).contains(&len) {
+        return Err(WireError::Oversize(len).into());
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(decode_frame_body(&body)?))
+}
+
+/// Like `read_exact`, but a clean EOF before the first byte returns
+/// `Ok(false)` instead of an error.
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<bool> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) if got == 0 => return Ok(false),
+            Ok(0) => return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "mid-frame EOF")),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Send the rendezvous hello: who we are and which nodes we host.
+pub fn write_hello<W: Write>(w: &mut W, total: u16, start: u16, len: u16) -> io::Result<()> {
+    let mut out = Vec::with_capacity(12);
+    out.extend_from_slice(&HANDSHAKE_MAGIC);
+    put_u16(&mut out, HANDSHAKE_VERSION);
+    put_u16(&mut out, total);
+    put_u16(&mut out, start);
+    put_u16(&mut out, len);
+    w.write_all(&out)?;
+    w.flush()
+}
+
+/// Receive and validate the peer's hello; returns `(total, start, len)`.
+pub fn read_hello<R: Read>(r: &mut R) -> io::Result<(u16, u16, u16)> {
+    let mut buf = [0u8; 12];
+    r.read_exact(&mut buf)?;
+    if buf[..4] != HANDSHAKE_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad rendezvous magic"));
+    }
+    let mut d = WireDecoder::new(&buf[4..]);
+    let version = d.take_u16().map_err(io::Error::from)?;
+    if version != HANDSHAKE_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("wire version mismatch: peer {version}, ours {HANDSHAKE_VERSION}"),
+        ));
+    }
+    let total = d.take_u16().map_err(io::Error::from)?;
+    let start = d.take_u16().map_err(io::Error::from)?;
+    let len = d.take_u16().map_err(io::Error::from)?;
+    Ok((total, start, len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    impl WireCodec for u64 {
+        fn encode(&self, out: &mut Vec<u8>) {
+            put_u64(out, *self);
+        }
+        fn decode(d: &mut WireDecoder<'_>) -> Result<u64, WireError> {
+            d.take_u64()
+        }
+    }
+
+    fn roundtrip(batch: &WireBatch<u64>) -> (NodeId, WireBatch<u64>) {
+        let bytes = encode_frame(3, batch).unwrap();
+        let mut r = std::io::Cursor::new(bytes);
+        read_frame::<u64, _>(&mut r).unwrap().unwrap()
+    }
+
+    #[test]
+    fn frame_roundtrip_singleton_stays_singleton() {
+        let b = WireBatch { src: 7, id: 99, msgs: WirePayload::One(0xDEAD_BEEF) };
+        let (dst, got) = roundtrip(&b);
+        assert_eq!(dst, 3);
+        assert_eq!((got.src, got.id), (7, 99));
+        assert!(matches!(got.msgs, WirePayload::One(0xDEAD_BEEF)));
+    }
+
+    #[test]
+    fn frame_roundtrip_many_preserves_order() {
+        let b = WireBatch { src: 1, id: 5, msgs: WirePayload::Many((0..100).collect()) };
+        let (_, got) = roundtrip(&b);
+        match got.msgs {
+            WirePayload::Many(v) => assert_eq!(v, (0..100).collect::<Vec<u64>>()),
+            WirePayload::One(_) => panic!("100 envelopes decoded as a singleton"),
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none_mid_frame_eof_is_error() {
+        let b = WireBatch { src: 0, id: 0, msgs: WirePayload::One(1u64) };
+        let bytes = encode_frame(1, &b).unwrap();
+        let mut empty = std::io::Cursor::new(&[][..]);
+        assert!(read_frame::<u64, _>(&mut empty).unwrap().is_none());
+        let mut cut = std::io::Cursor::new(&bytes[..bytes.len() - 3]);
+        assert!(read_frame::<u64, _>(&mut cut).is_err());
+    }
+
+    #[test]
+    fn corrupt_length_and_empty_batch_rejected() {
+        let mut giant = Vec::new();
+        put_u32(&mut giant, (MAX_FRAME + 1) as u32);
+        giant.extend_from_slice(&[0u8; 32]);
+        assert!(read_frame::<u64, _>(&mut std::io::Cursor::new(giant)).is_err());
+
+        let mut body = Vec::new();
+        put_u16(&mut body, 0);
+        put_u16(&mut body, 0);
+        put_u64(&mut body, 0);
+        put_u32(&mut body, 0); // zero envelopes
+        assert_eq!(decode_frame_body::<u64>(&body), Err(WireError::EmptyBatch));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let b = WireBatch { src: 0, id: 0, msgs: WirePayload::One(1u64) };
+        let mut bytes = encode_frame(0, &b).unwrap();
+        let len = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+        bytes[..4].copy_from_slice(&(len + 1).to_le_bytes());
+        bytes.push(0xFF);
+        assert!(read_frame::<u64, _>(&mut std::io::Cursor::new(bytes)).is_err());
+    }
+
+    #[test]
+    fn hello_roundtrip_and_magic_check() {
+        let mut buf = Vec::new();
+        write_hello(&mut buf, 8, 4, 4).unwrap();
+        assert_eq!(read_hello(&mut std::io::Cursor::new(&buf)).unwrap(), (8, 4, 4));
+        buf[0] ^= 0xFF;
+        assert!(read_hello(&mut std::io::Cursor::new(&buf)).is_err());
+    }
+}
