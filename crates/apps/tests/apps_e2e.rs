@@ -32,7 +32,7 @@ fn water_matches_sequential_under_both_protocols() {
     let cfg = wcfg();
     let expect = seq_water(&cfg);
     for mcfg in [MachineConfig::stache(NODES, BS), MachineConfig::predictive(NODES, BS)] {
-        let got = water_final_positions(mcfg, &cfg);
+        let got = water_final_positions(mcfg.clone(), &cfg);
         for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
             for k in 0..3 {
                 assert!(
@@ -85,7 +85,7 @@ fn barnes_matches_sequential_under_both_protocols() {
     let cfg = bcfg();
     let expect = seq_barnes(&cfg);
     for mcfg in [MachineConfig::stache(NODES, BS), MachineConfig::predictive(NODES, BS)] {
-        let got = barnes_final_positions(mcfg, &cfg);
+        let got = barnes_final_positions(mcfg.clone(), &cfg);
         for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
             for k in 0..3 {
                 assert!(
@@ -132,7 +132,7 @@ fn adaptive_matches_sequential_under_both_protocols() {
     let cfg = acfg();
     let seq = seq_adaptive(&cfg);
     for mcfg in [MachineConfig::stache(NODES, BS), MachineConfig::predictive(NODES, BS)] {
-        let (_, roots, depths) = run_adaptive_full(mcfg, &cfg);
+        let (_, roots, depths) = run_adaptive_full(mcfg.clone(), &cfg);
         for i in 0..cfg.n {
             for j in 0..cfg.n {
                 let k = i * cfg.n + j;

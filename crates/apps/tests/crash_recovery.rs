@@ -289,7 +289,7 @@ fn randomized_crash_points_recover_across_all_apps() {
 fn paper_scale_adaptive_crash_smoke() {
     let cfg = AdaptiveConfig { iters: 20, ..Default::default() };
     let mcfg = MachineConfig::predictive(32, 128);
-    let base = run_adaptive_full(mcfg, &cfg);
+    let base = run_adaptive_full(mcfg.clone(), &cfg);
     let run = run_adaptive_full(mcfg.with_crash_plan(CrashPlan::new(17, 31)), &cfg);
     assert_eq!(run.0.checksum.to_bits(), base.0.checksum.to_bits());
     assert_eq!(blocks_moved(&run.0), blocks_moved(&base.0));

@@ -35,8 +35,8 @@ struct Pattern {
 }
 
 fn run_pattern(mcfg: MachineConfig, pat: &Pattern) -> prescient_runtime::RunReport {
-    let mut m = Machine::new(mcfg);
     let nodes = mcfg.nodes;
+    let mut m = Machine::new(mcfg);
     let addrs: Vec<GAddr> = (0..pat.blocks)
         .map(|b| m.alloc_on((b % nodes) as u16, BLOCK as u64, BLOCK as u64))
         .collect();

@@ -4,69 +4,33 @@
 //! JSON object per event — see `prescient_tempest::trace::to_jsonl`).
 //!
 //! ```text
-//! prescient-trace report   trace.jsonl          # full analysis
-//! prescient-trace validate trace.jsonl [trace.json]
-//! prescient-trace diff     a.jsonl b.jsonl      # compare two runs
+//! prescient-trace report     trace.jsonl        # full analysis
+//! prescient-trace validate   trace.jsonl [trace.json]
+//! prescient-trace diff       a.jsonl b.jsonl    # compare two runs
+//! prescient-trace emit-remap trace.jsonl [out.remap]
 //! ```
 //!
 //! `report` prints per-phase demand-fault latency histograms, the
 //! schedule build→replay timeline, pre-send lead times (install to first
-//! access), the useless-push breakdown, and the wire-batch occupancy
+//! access), the useless-push breakdown, the per-block traffic matrix
+//! (who asks which home for what), and the wire-batch occupancy
 //! histogram. `validate` checks structural invariants of an export (CI's
 //! trace-smoke job runs it); with a second path it also sanity-checks the
 //! Chrome JSON companion. `diff` compares per-kind event counts and the
-//! headline latency/lead-time numbers of two runs.
+//! headline latency/lead-time numbers of two runs. `emit-remap` distills
+//! the traffic matrix of a recorded run into a block→home remap file
+//! (DESIGN.md §14) that `PRESCIENT_PLACEMENT=remap:<path>` applies on the
+//! next run: each block whose weighted traffic has a strictly dominant
+//! requester is re-homed there; ties and home-dominated blocks stay put.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
+use prescient_bench::traffic::{emit_remap, load_trace as load, traffic_tally};
 use prescient_tempest::trace::{
     unpack_counts, unpack_fault_end, unpack_msg, unpack_peer_count, EventKind, TraceEvent,
 };
 use prescient_tempest::{NodeId, WireSnapshot};
-
-// ---- JSONL parsing --------------------------------------------------------
-
-fn field_u64(line: &str, key: &str) -> Option<u64> {
-    let pat = format!("\"{key}\":");
-    let i = line.find(&pat)? + pat.len();
-    let rest = &line[i..];
-    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
-fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    let pat = format!("\"{key}\":\"");
-    let i = line.find(&pat)? + pat.len();
-    line[i..].split('"').next()
-}
-
-fn parse_line(line: &str) -> Result<TraceEvent, String> {
-    let kind_name = field_str(line, "kind").ok_or("missing kind")?;
-    let kind =
-        EventKind::from_name(kind_name).ok_or_else(|| format!("unknown kind {kind_name:?}"))?;
-    Ok(TraceEvent {
-        node: field_u64(line, "node").ok_or("missing node")? as NodeId,
-        seq: field_u64(line, "seq").ok_or("missing seq")?,
-        t_ns: field_u64(line, "t").ok_or("missing t")?,
-        phase: field_u64(line, "phase").ok_or("missing phase")? as u32,
-        kind,
-        a: field_u64(line, "a").ok_or("missing a")?,
-        b: field_u64(line, "b").ok_or("missing b")?,
-    })
-}
-
-fn load(path: &str) -> Result<Vec<TraceEvent>, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let mut out = Vec::new();
-    for (i, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        out.push(parse_line(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?);
-    }
-    Ok(out)
-}
 
 // ---- histograms -----------------------------------------------------------
 
@@ -345,6 +309,39 @@ fn report_useless(events: &[TraceEvent]) {
     }
 }
 
+// ---- per-block traffic / remap --------------------------------------------
+
+fn report_traffic(events: &[TraceEvent], top: usize) {
+    println!("\n== per-block traffic matrix (2*excl + 1*shared, top {top} by score) ==");
+    let tally = traffic_tally(events);
+    if tally.is_empty() {
+        println!("  (no demand requests)");
+        return;
+    }
+    let mut blocks: Vec<_> = tally.iter().collect();
+    blocks.sort_by_key(|(b, t)| (std::cmp::Reverse(t.total()), **b));
+    println!(
+        "{:>10} {:>5} {:>7}  {:<28} {:>8}",
+        "block", "home", "total", "requester:score", "move?"
+    );
+    for (block, t) in blocks.iter().take(top) {
+        let mut scores: Vec<(&NodeId, &u64)> = t.score.iter().collect();
+        scores.sort_by_key(|(n, s)| (std::cmp::Reverse(**s), **n));
+        let cells: Vec<String> = scores.iter().map(|(n, s)| format!("{n}:{s}")).collect();
+        let dest = match t.dominant() {
+            Some(d) if d != t.home => format!("-> {d}"),
+            Some(_) => "stays".into(),
+            None => "tie".into(),
+        };
+        println!("{block:>10} {:>5} {:>7}  {:<28} {:>8}", t.home, t.total(), cells.join(" "), dest);
+    }
+    let moves = tally.values().filter(|t| t.dominant().is_some_and(|d| d != t.home)).count();
+    println!(
+        "  {} blocks with demand traffic, {moves} would re-home under emit-remap",
+        tally.len()
+    );
+}
+
 /// Wire-batch occupancy from WireFlush events, in the same buckets the
 /// fabric's live histogram uses.
 fn report_wire(events: &[TraceEvent]) {
@@ -397,6 +394,7 @@ fn report(events: &[TraceEvent]) {
     report_schedule(events);
     report_leads(events);
     report_useless(events);
+    report_traffic(events, 20);
     report_wire(events);
 }
 
@@ -512,6 +510,7 @@ fn usage() -> ExitCode {
     eprintln!("usage: prescient-trace report <trace.jsonl>");
     eprintln!("       prescient-trace validate <trace.jsonl> [trace.json]");
     eprintln!("       prescient-trace diff <a.jsonl> <b.jsonl>");
+    eprintln!("       prescient-trace emit-remap <trace.jsonl> [out.remap]");
     ExitCode::from(2)
 }
 
@@ -553,6 +552,23 @@ fn main() -> ExitCode {
             }
             (Err(e), _) | (_, Err(e)) => fail(e),
         },
+        ("emit-remap", [path, out @ ..]) if out.len() <= 1 => match load(path) {
+            Ok(events) => {
+                let text = emit_remap(&events);
+                let entries = text.lines().filter(|l| !l.starts_with('#')).count();
+                match out.first() {
+                    Some(f) => {
+                        if let Err(e) = std::fs::write(f, &text) {
+                            return fail(format!("{f}: {e}"));
+                        }
+                        eprintln!("wrote {entries} remap entries to {f}");
+                    }
+                    None => print!("{text}"),
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(e),
+        },
         _ => usage(),
     }
 }
@@ -560,6 +576,7 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prescient_bench::traffic::parse_trace_line;
 
     fn ev(
         node: NodeId,
@@ -577,11 +594,11 @@ mod tests {
     fn parse_round_trip() {
         let line =
             "{\"node\":2,\"seq\":7,\"t\":900,\"phase\":3,\"kind\":\"SchedRecord\",\"a\":5,\"b\":3}";
-        let e = parse_line(line).expect("parses");
+        let e = parse_trace_line(line).expect("parses");
         assert_eq!((e.node, e.seq, e.t_ns, e.phase), (2, 7, 900, 3));
         assert_eq!(e.kind, EventKind::SchedRecord);
         assert_eq!((e.a, e.b), (5, 3));
-        assert!(parse_line("{\"kind\":\"Nope\"}").is_err());
+        assert!(parse_trace_line("{\"kind\":\"Nope\"}").is_err());
     }
 
     #[test]
@@ -612,6 +629,38 @@ mod tests {
         let (lead, touched, untouched) = lead_times(&events);
         assert_eq!((touched, untouched), (1, 3)); // blocks 10,12 on node 1 + block 10 on node 2
         assert_eq!(lead.sum, 500);
+    }
+
+    #[test]
+    fn emit_remap_picks_the_strictly_dominant_requester() {
+        use prescient_tempest::trace::pack_msg;
+        // Block 7 homed at node 0: node 2 writes (2 GetExcl = 4 points),
+        // nodes 1 and 3 read once each -> node 2 strictly dominates.
+        // Block 9 homed at node 1: nodes 2 and 3 tie -> stays put.
+        // Block 11 homed at node 3: only node 3 itself asks -> stays put.
+        let events = vec![
+            ev(0, 0, 10, 1, EventKind::MsgRecv, pack_msg(2, 2), 7),
+            ev(0, 1, 20, 1, EventKind::MsgRecv, pack_msg(1, 1), 7),
+            ev(0, 2, 30, 1, EventKind::MsgRecv, pack_msg(1, 3), 7),
+            ev(0, 3, 40, 2, EventKind::MsgRecv, pack_msg(2, 2), 7),
+            ev(1, 0, 15, 1, EventKind::MsgRecv, pack_msg(1, 2), 9),
+            ev(1, 1, 25, 1, EventKind::MsgRecv, pack_msg(1, 3), 9),
+            ev(3, 0, 12, 1, EventKind::MsgRecv, pack_msg(2, 3), 11),
+            // Non-demand traffic (a Grant) never feeds the tally.
+            ev(2, 0, 50, 1, EventKind::MsgRecv, pack_msg(7, 0), 7),
+        ];
+        let tally = traffic_tally(&events);
+        assert_eq!(tally.len(), 3);
+        assert_eq!(tally[&7].total(), 6);
+        assert_eq!(tally[&7].dominant(), Some(2));
+        assert_eq!(tally[&9].dominant(), None, "tied requesters stay put");
+        assert_eq!(tally[&11].dominant(), Some(3), "home keeps a self-dominated block");
+        let text = emit_remap(&events);
+        let lines: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(lines, ["7 2"], "only the dominated, non-home block moves");
+        // The output is directly loadable as a HomeMap remap file.
+        let map = prescient_tempest::HomeMap::parse(&text, 4).expect("valid remap text");
+        assert_eq!(map.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Per-block demand-traffic aggregation over recorded traces, shared by
+//! `prescient-trace` (the `report` traffic matrix and the `emit-remap`
+//! subcommand) and `ablation_placement` (which runs the full
+//! record → emit-remap → rerun pipeline in-process).
+//!
+//! The aggregation is the offline twin of the online placement policy
+//! (`prescient_stache::placement`): every `GetShared` a home handles
+//! scores 1 for the requester, every `GetExcl` scores 2 — writers drag
+//! invalidation rounds behind them, so co-locating the home with the
+//! writer saves more than co-locating with a reader. A block whose top
+//! scorer strictly beats every other requester re-homes there; ties and
+//! blocks their own home dominates stay put (DESIGN.md §14).
+
+use std::collections::{BTreeMap, HashMap};
+
+use prescient_tempest::trace::{unpack_msg, EventKind, TraceEvent};
+use prescient_tempest::NodeId;
+
+/// Weighted demand traffic of one block: which home served it (the last
+/// receiver seen, so a run with live migration reports the final home)
+/// and each requester's score.
+#[derive(Default)]
+pub struct BlockTraffic {
+    /// The home that served the block's requests (last receiver seen).
+    pub home: NodeId,
+    /// Weighted score per requester (2 per exclusive, 1 per shared).
+    pub score: HashMap<NodeId, u64>,
+}
+
+impl BlockTraffic {
+    /// Total weighted traffic of the block.
+    pub fn total(&self) -> u64 {
+        self.score.values().sum()
+    }
+
+    /// The strictly dominant requester, if any: the unique node whose
+    /// score beats every other requester's. A tie for the top leaves the
+    /// block where it is (`None`).
+    pub fn dominant(&self) -> Option<NodeId> {
+        let (&best, &s) = self.score.iter().max_by_key(|&(n, s)| (*s, std::cmp::Reverse(*n)))?;
+        if self.score.iter().any(|(&n, &v)| n != best && v >= s) {
+            None
+        } else {
+            Some(best)
+        }
+    }
+}
+
+/// Aggregate `MsgRecv` demand requests (GetShared = 1×, GetExcl = 2×) per
+/// block. This is the exact aggregation `emit-remap` decides from.
+pub fn traffic_tally(events: &[TraceEvent]) -> BTreeMap<u64, BlockTraffic> {
+    let mut tally: BTreeMap<u64, BlockTraffic> = BTreeMap::new();
+    for e in events.iter().filter(|e| e.kind == EventKind::MsgRecv) {
+        let (code, src) = unpack_msg(e.a);
+        let weight = match code {
+            1 => 1, // GetShared
+            2 => 2, // GetExcl
+            _ => continue,
+        };
+        let t = tally.entry(e.b).or_default();
+        t.home = e.node;
+        *t.score.entry(src).or_default() += weight;
+    }
+    tally
+}
+
+/// Distill a recorded run into remap-file text (`HomeMap` format: one
+/// `block home` line per re-homed block), loadable with
+/// `PRESCIENT_PLACEMENT=remap:<path>`.
+pub fn emit_remap(events: &[TraceEvent]) -> String {
+    let mut out = String::from("# block home  (emit-remap: dominant-requester placement)\n");
+    for (block, t) in traffic_tally(events) {
+        if let Some(d) = t.dominant() {
+            if d != t.home {
+                out.push_str(&format!("{block} {d}\n"));
+            }
+        }
+    }
+    out
+}
+
+// ---- JSONL parsing --------------------------------------------------------
+
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let i = line.find(&pat)? + pat.len();
+    let rest = &line[i..];
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let i = line.find(&pat)? + pat.len();
+    line[i..].split('"').next()
+}
+
+/// Parse one line of a trace JSONL export.
+pub fn parse_trace_line(line: &str) -> Result<TraceEvent, String> {
+    let kind_name = field_str(line, "kind").ok_or("missing kind")?;
+    let kind =
+        EventKind::from_name(kind_name).ok_or_else(|| format!("unknown kind {kind_name:?}"))?;
+    Ok(TraceEvent {
+        node: field_u64(line, "node").ok_or("missing node")? as NodeId,
+        seq: field_u64(line, "seq").ok_or("missing seq")?,
+        t_ns: field_u64(line, "t").ok_or("missing t")?,
+        phase: field_u64(line, "phase").ok_or("missing phase")? as u32,
+        kind,
+        a: field_u64(line, "a").ok_or("missing a")?,
+        b: field_u64(line, "b").ok_or("missing b")?,
+    })
+}
+
+/// Load a trace JSONL export from disk.
+pub fn load_trace(path: &str) -> Result<Vec<TraceEvent>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(parse_trace_line(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?);
+    }
+    Ok(out)
+}

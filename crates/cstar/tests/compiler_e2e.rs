@@ -89,13 +89,10 @@ fn run_jacobi(cfg: MachineConfig) -> (Vec<f64>, prescient_runtime::RunReport) {
 fn compiled_jacobi_matches_reference_under_both_protocols() {
     let expect = jacobi_reference(16, 4, init_value);
     for cfg in [MachineConfig::stache(4, 32), MachineConfig::predictive(4, 32)] {
+        let predictive = cfg.protocol.is_predictive();
         let (got, _) = run_jacobi(cfg);
         for (k, (&g, &e)) in got.iter().zip(&expect).enumerate() {
-            assert!(
-                (g - e).abs() < 1e-12,
-                "cell {k}: {g} vs {e} (predictive={})",
-                cfg.protocol.is_predictive()
-            );
+            assert!((g - e).abs() < 1e-12, "cell {k}: {g} vs {e} (predictive={predictive})");
         }
     }
 }

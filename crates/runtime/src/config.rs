@@ -1,8 +1,8 @@
 //! Machine configuration.
 
 use prescient_core::{CommuteConfig, PredictiveConfig};
-use prescient_stache::RetryConfig;
-use prescient_tempest::{BatchConfig, CostModel, CrashPlan, FaultPlan, TraceConfig};
+use prescient_stache::{PlacementConfig, RetryConfig};
+use prescient_tempest::{BatchConfig, CostModel, CrashPlan, FaultPlan, HomeMap, TraceConfig};
 
 use crate::recovery::WatchdogConfig;
 
@@ -42,6 +42,87 @@ impl ProtocolKind {
     /// Is the commutative-merge extension active?
     pub fn is_commutative(&self) -> bool {
         matches!(self, ProtocolKind::Commutative(_))
+    }
+}
+
+/// Traffic-aware block→home placement. `Off` is the default and leaves
+/// every gated counter bit-identical to a build without the feature;
+/// `Remap` applies a schedule-guided overlay computed offline (e.g. by
+/// `prescient-trace emit-remap`); `Online` migrates homes at phase
+/// barriers driven by observed per-block consumer traffic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum PlacementSpec {
+    /// Blocks stay at their (possibly rotate-shifted) base-layout homes.
+    #[default]
+    Off,
+    /// Apply an explicit block→home overlay before the first phase.
+    Remap(HomeMap),
+    /// Phase-boundary home migration with hysteresis thresholds.
+    Online(PlacementConfig),
+}
+
+impl PlacementSpec {
+    /// Is placement disabled?
+    pub fn is_off(&self) -> bool {
+        matches!(self, PlacementSpec::Off)
+    }
+
+    /// Parse a `PRESCIENT_PLACEMENT` value: `"off"`, `"online"`,
+    /// `"online:MIN,PCT,CAP"`, or `"remap:PATH"` (the file is read and
+    /// validated against `nodes` immediately — a missing or malformed
+    /// remap file must fail the run, not silently measure `Off`).
+    pub fn parse(s: &str, nodes: usize) -> Result<PlacementSpec, String> {
+        let t = s.trim();
+        match t.split_once(':') {
+            None => match t {
+                "off" => Ok(PlacementSpec::Off),
+                "online" => Ok(PlacementSpec::Online(PlacementConfig::default())),
+                _ => Err(format!(
+                    "PRESCIENT_PLACEMENT: unknown mode {t:?} \
+                     (expected \"off\", \"online[:MIN,PCT,CAP]\" or \"remap:PATH\")"
+                )),
+            },
+            Some(("online", args)) => {
+                let parts: Vec<&str> = args.split(',').map(str::trim).collect();
+                if parts.len() != 3 {
+                    return Err(format!(
+                        "PRESCIENT_PLACEMENT: \"online:\" takes MIN,PCT,CAP, got {s:?}"
+                    ));
+                }
+                let num = |what: &str, x: &str| -> Result<u64, String> {
+                    x.parse::<u64>()
+                        .map_err(|_| format!("PRESCIENT_PLACEMENT: bad {what} {x:?} in {s:?}"))
+                };
+                Ok(PlacementSpec::Online(PlacementConfig {
+                    min_count: num("MIN", parts[0])?,
+                    dominance_pct: num("PCT", parts[1])?,
+                    max_per_window: num("CAP", parts[2])? as usize,
+                }))
+            }
+            Some(("remap", path)) => {
+                let text = std::fs::read_to_string(path.trim()).map_err(|e| {
+                    format!("PRESCIENT_PLACEMENT: cannot read remap file {path:?}: {e}")
+                })?;
+                let map = HomeMap::parse(&text, nodes)
+                    .map_err(|e| format!("PRESCIENT_PLACEMENT: remap file {path:?}: {e}"))?;
+                Ok(PlacementSpec::Remap(map))
+            }
+            Some((k, _)) => Err(format!(
+                "PRESCIENT_PLACEMENT: unknown mode {k:?} \
+                 (expected \"off\", \"online[:MIN,PCT,CAP]\" or \"remap:PATH\"), got {s:?}"
+            )),
+        }
+    }
+
+    /// The `PRESCIENT_PLACEMENT` override, if set. Panics on an
+    /// unparsable value — same loud-failure policy as the other
+    /// environment knobs.
+    pub fn from_env(nodes: usize) -> Option<PlacementSpec> {
+        let v = std::env::var("PRESCIENT_PLACEMENT").ok()?;
+        match PlacementSpec::parse(&v, nodes) {
+            Ok(p) => Some(p),
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -123,7 +204,7 @@ impl FabricKind {
 }
 
 /// Configuration of one emulated machine.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct MachineConfig {
     /// Number of nodes (the paper's machine has 32).
     pub nodes: usize,
@@ -176,6 +257,16 @@ pub struct MachineConfig {
     /// backends through it), else the channel backend;
     /// [`MachineConfig::with_fabric`] pins it explicitly.
     pub fabric: FabricKind,
+    /// Traffic-aware home placement. Constructors take the
+    /// `PRESCIENT_PLACEMENT` environment override when present (off
+    /// otherwise); [`MachineConfig::with_placement`] pins it explicitly.
+    pub placement: PlacementSpec,
+    /// Naive rotate-shift applied to the base block→home layout: block
+    /// `b`'s view home becomes `(segment_home(b) + home_shift) % nodes`.
+    /// `0` (the default) is the allocation-directed owner placement. The
+    /// placement ablation uses a non-zero shift as its deliberately bad
+    /// static layout for remap/migration to recover from.
+    pub home_shift: u16,
 }
 
 impl MachineConfig {
@@ -199,6 +290,8 @@ impl MachineConfig {
             checkpoints: crash.is_some(),
             watchdog: None,
             fabric: FabricKind::default_for_machine(),
+            placement: PlacementSpec::from_env(nodes).unwrap_or_default(),
+            home_shift: 0,
         }
     }
 
@@ -275,6 +368,19 @@ impl MachineConfig {
     /// default).
     pub fn with_fabric(mut self, fabric: FabricKind) -> MachineConfig {
         self.fabric = fabric;
+        self
+    }
+
+    /// Pin the placement mode (overrides the environment default).
+    pub fn with_placement(mut self, placement: PlacementSpec) -> MachineConfig {
+        self.placement = placement;
+        self
+    }
+
+    /// Rotate every block's view home by `shift` nodes (the placement
+    /// ablation's deliberately traffic-oblivious static layout).
+    pub fn with_home_shift(mut self, shift: u16) -> MachineConfig {
+        self.home_shift = shift;
         self
     }
 }
@@ -370,6 +476,44 @@ mod tests {
         for bad in ["2", "@5", "2@", "x@5", "2@y", "2@5@7", "node2@5"] {
             assert!(CrashPlan::parse(bad).is_err(), "{bad:?} must not parse");
         }
+    }
+
+    #[test]
+    fn placement_spec_parses_and_rejects_garbage() {
+        assert!(PlacementSpec::parse("off", 4).expect("off").is_off());
+        assert_eq!(
+            PlacementSpec::parse("online", 4),
+            Ok(PlacementSpec::Online(PlacementConfig::default()))
+        );
+        match PlacementSpec::parse("online: 4, 75, 128", 4).expect("online args") {
+            PlacementSpec::Online(c) => {
+                assert_eq!((c.min_count, c.dominance_pct, c.max_per_window), (4, 75, 128));
+            }
+            other => panic!("expected Online, got {other:?}"),
+        }
+        for bad in ["", "on", "remap", "online:4", "online:4,75", "online:x,75,128", "migrate:now"]
+        {
+            assert!(PlacementSpec::parse(bad, 4).is_err(), "{bad:?} must not parse");
+        }
+        // A remap pointing at a missing file fails loudly, not as Off.
+        assert!(PlacementSpec::parse("remap:/no/such/remap.txt", 4).is_err());
+    }
+
+    #[test]
+    fn placement_spec_remap_round_trips_through_a_file() {
+        let mut map = HomeMap::new();
+        map.insert(prescient_tempest::BlockId(7), 2);
+        map.insert(prescient_tempest::BlockId(9), 0);
+        let path = std::env::temp_dir().join(format!("prescient_remap_{}.txt", std::process::id()));
+        std::fs::write(&path, map.to_text()).expect("write remap");
+        let spec = PlacementSpec::parse(&format!("remap:{}", path.display()), 4).expect("parse");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(spec, PlacementSpec::Remap(map));
+        // A home out of range for the machine is rejected at load time.
+        assert!(PlacementSpec::parse("remap:/no/such", 4).is_err());
+        let cfg = MachineConfig::stache(4, 32).with_home_shift(1);
+        assert_eq!(cfg.home_shift, 1);
+        assert!(cfg.placement.is_off());
     }
 
     #[test]

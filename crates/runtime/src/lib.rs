@@ -32,7 +32,7 @@ pub mod recovery;
 pub mod report;
 
 pub use agg::{Agg1D, Agg2D, Dist1D, Dist2D};
-pub use config::{FabricKind, MachineConfig, ProtocolKind};
+pub use config::{FabricKind, MachineConfig, PlacementSpec, ProtocolKind};
 pub use ctx::{NodeCtx, PhaseOutcome};
 pub use machine::Machine;
 pub use recovery::{

@@ -16,10 +16,11 @@ use prescient_tempest::fabric::{Endpoint, Fabric, FabricCtl, ShardEndpoint};
 use prescient_tempest::socket::{self, SocketGuard};
 use prescient_tempest::trace::{merge, to_chrome_json, to_jsonl};
 use prescient_tempest::{
-    Aborted, FaultStats, GAddr, GlobalLayout, NodeId, TraceEvent, Tracer, VBarrier,
+    Aborted, FaultStats, GAddr, GlobalLayout, HomeMap, HomeView, NodeId, TraceEvent, Tracer,
+    VBarrier,
 };
 
-use crate::config::{FabricKind, MachineConfig, ProtocolKind};
+use crate::config::{FabricKind, MachineConfig, PlacementSpec, ProtocolKind};
 use crate::ctx::NodeCtx;
 use crate::recovery::{
     CheckpointStore, ErrorSlot, FailureKind, MachineError, NodeErrorState, RecoveryCtl, Watchdog,
@@ -176,8 +177,27 @@ impl Machine {
             };
             tracers.push(tracer);
             let (wake_tx, wake_rx) = unbounded();
-            let shared =
-                Arc::new(NodeShared::new_with_retry(layout, cfg.cost, net, wake_tx, cfg.retry));
+            // Every node gets its own view of the block→home mapping: the
+            // identity view when placement is off (the bit-identical
+            // compiled-in-but-disabled path), else the rotate shift plus
+            // the remap overlay. Views drift apart at runtime as nodes
+            // learn of migrations through forwards.
+            let overlay = match &cfg.placement {
+                PlacementSpec::Remap(map) => map.clone(),
+                PlacementSpec::Off | PlacementSpec::Online(_) => HomeMap::new(),
+            };
+            let homes = Arc::new(if cfg.home_shift == 0 && overlay.is_empty() {
+                HomeView::identity(layout)
+            } else {
+                HomeView::with_placement(layout, cfg.home_shift, overlay)
+            });
+            let pl_cfg = match cfg.placement {
+                PlacementSpec::Online(c) => Some(c),
+                PlacementSpec::Off | PlacementSpec::Remap(_) => None,
+            };
+            let shared = Arc::new(NodeShared::new_with_placement(
+                layout, cfg.cost, net, wake_tx, cfg.retry, homes, pl_cfg,
+            ));
             let hook: Arc<dyn Hooks> = match cfg.protocol {
                 ProtocolKind::Predictive(pcfg) => {
                     let pred = Arc::new(Predictive::new(pcfg));
@@ -214,6 +234,7 @@ impl Machine {
                 }
             }
         }
+        let nodes = cfg.nodes;
         Machine {
             cfg,
             layout,
@@ -221,11 +242,11 @@ impl Machine {
             preds,
             commutes,
             wake_rxs,
-            barrier: Arc::new(VBarrier::new(cfg.nodes)),
+            barrier: Arc::new(VBarrier::new(nodes)),
             reduce: Arc::new(ReduceScratch {
                 state: Mutex::new(ReduceState {
                     zeroed_round: 0,
-                    contrib: vec![Vec::new(); cfg.nodes],
+                    contrib: vec![Vec::new(); nodes],
                 }),
             }),
             fault_stats,
@@ -233,7 +254,7 @@ impl Machine {
             tracers,
             joins,
             recovery: Arc::new(RecoveryCtl::new()),
-            ckpts: Arc::new(CheckpointStore::new(cfg.nodes)),
+            ckpts: Arc::new(CheckpointStore::new(nodes)),
             _socket: socket_guard,
         }
     }
@@ -370,6 +391,14 @@ impl Machine {
         }
         let wall_start = Instant::now();
         let stats0: Vec<_> = self.shareds.iter().map(|s| s.stats.snapshot()).collect();
+        // Charge the offline remap to this run's report: each node counts
+        // the overlay blocks it now homes (never gated — remap changes no
+        // gated counter, only msgs/bytes, and those are allowed to drop).
+        if let PlacementSpec::Remap(map) = &self.cfg.placement {
+            for (_, home) in map.iter() {
+                self.shareds[home as usize].stats.remapped_blocks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         let wire0 = self.ctl.wire();
         let rxs: Vec<Receiver<Wake>> =
             self.wake_rxs.iter_mut().map(|o| o.take().expect("checked above")).collect();

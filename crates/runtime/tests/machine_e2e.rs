@@ -86,14 +86,14 @@ fn relaxation_matches_sequential_under_both_protocols() {
     let iters = 4;
     let expect = seq_relaxation(n, iters);
     for cfg in [MachineConfig::stache(4, 32), MachineConfig::predictive(4, 32)] {
+        let predictive = cfg.protocol.is_predictive();
         let (got, _) = run_relaxation(cfg, n, iters);
         for i in 0..n {
             assert!(
                 (got[i] - expect[i]).abs() < 1e-12,
-                "mismatch at {i}: {} vs {} (predictive={})",
+                "mismatch at {i}: {} vs {} (predictive={predictive})",
                 got[i],
                 expect[i],
-                cfg.protocol.is_predictive()
             );
         }
     }

@@ -1,0 +1,205 @@
+//! Traffic-aware home placement (DESIGN.md §14): schedule-guided remap
+//! and phase-boundary online migration.
+//!
+//! The contract these tests pin down: placement may only change *where*
+//! directory entries live — application results and the demand-fetch
+//! pattern are untouched. Concretely, against a static-layout run of the
+//! same program, a placed run must keep the final values bit-identical
+//! and `blocks_moved` (misses, under plain Stache) exactly equal, while
+//! message counts are allowed to drop — and do, because moving a home to
+//! its dominant requester removes the third-party hops of §3.2.
+//!
+//! Every leg uses a non-zero `home_shift` as the deliberately bad static
+//! layout: the apps allocate owner-homed, so the unshifted default is
+//! already placement-optimal and there would be nothing to recover.
+
+use prescient_runtime::{
+    Agg1D, Dist1D, FabricKind, Machine, MachineConfig, NodeCtx, PlacementSpec, RunReport,
+};
+use prescient_stache::PlacementConfig;
+use prescient_tempest::{CrashPlan, HomeMap};
+
+const NODES: usize = 4;
+const N: usize = 64;
+const ITERS: usize = 6;
+
+/// Aggressive hysteresis so migrations trigger inside a short test run.
+fn eager() -> PlacementConfig {
+    PlacementConfig { min_count: 4, dominance_pct: 60, max_per_window: 4096 }
+}
+
+/// The double-buffered Jacobi relaxation from `machine_e2e`, returning the
+/// final array (read on node 0) and the measured run's report.
+fn relax(cfg: MachineConfig) -> (Vec<f64>, RunReport) {
+    let mut m = Machine::new(cfg);
+    let a = Agg1D::<f64>::new(&m, N, Dist1D::Block);
+    let b = Agg1D::<f64>::new(&m, N, Dist1D::Block);
+    m.run(|ctx: &mut NodeCtx| {
+        for i in a.my_range(ctx.me()) {
+            ctx.write(a.addr(i), i as f64);
+            ctx.write(b.addr(i), i as f64);
+        }
+        ctx.barrier();
+    });
+    let sweep = |ctx: &mut NodeCtx, src: &Agg1D<f64>, dst: &Agg1D<f64>| {
+        for i in src.my_range(ctx.me()) {
+            let v = if i > 0 && i + 1 < N {
+                let l: f64 = ctx.read(src.addr(i - 1));
+                let r: f64 = ctx.read(src.addr(i + 1));
+                0.5 * (l + r)
+            } else {
+                ctx.read(src.addr(i))
+            };
+            ctx.write(dst.addr(i), v);
+        }
+    };
+    // `NodeCtx::phase` (not the raw directives) so injected crashes can
+    // replay the destroyed phase; without a crash plan it is identical.
+    let (_, report) = m.run(|ctx: &mut NodeCtx| {
+        for _ in 0..ITERS {
+            ctx.phase(1, &mut (), |ctx, ()| sweep(ctx, &a, &b));
+            ctx.phase(2, &mut (), |ctx, ()| sweep(ctx, &b, &a));
+        }
+    });
+    let (vals, _) = m.run(|ctx: &mut NodeCtx| {
+        let mut out = Vec::new();
+        if ctx.me() == 0 {
+            for i in 0..N {
+                out.push(ctx.read::<f64>(a.addr(i)));
+            }
+        }
+        ctx.barrier();
+        out
+    });
+    (vals[0].clone(), report)
+}
+
+fn assert_same_values(tag: &str, base: &[f64], got: &[f64]) {
+    assert_eq!(base.len(), got.len(), "{tag}: result length");
+    for (i, (b, g)) in base.iter().zip(got).enumerate() {
+        assert_eq!(b.to_bits(), g.to_bits(), "{tag}: value {i} diverged ({b} vs {g})");
+    }
+}
+
+/// The placement contract on one fabric backend: identical results,
+/// identical demand misses, strictly fewer messages, and real migration
+/// activity (homes moved, stale-layout requests forwarded).
+fn online_contract(fabric: FabricKind) {
+    let base = MachineConfig::stache(NODES, 32).with_fabric(fabric).with_home_shift(1);
+    let (v0, r0) = relax(base.clone().validated());
+    let (v1, r1) = relax(base.with_placement(PlacementSpec::Online(eager())).validated());
+    let tag = format!("online/{fabric:?}");
+    assert_same_values(&tag, &v0, &v1);
+    let (s0, s1) = (r0.total_stats(), r1.total_stats());
+    assert_eq!(s1.misses(), s0.misses(), "{tag}: migration must not change demand misses");
+    assert_eq!(r1.blocks_moved(), r0.blocks_moved(), "{tag}: blocks_moved must be bit-identical");
+    assert!(s1.migrations > 0, "{tag}: the window must actually migrate blocks");
+    assert!(s1.forwards > 0, "{tag}: stale-layout requests must be forwarded");
+    assert_eq!(s0.migrations, 0, "{tag}: static leg must not migrate");
+    assert!(
+        s1.msgs_out < s0.msgs_out,
+        "{tag}: migrated homes must cut messages ({} vs {})",
+        s1.msgs_out,
+        s0.msgs_out
+    );
+}
+
+#[test]
+fn online_migration_preserves_results_and_cuts_messages() {
+    online_contract(FabricKind::Channel);
+}
+
+#[test]
+fn online_migration_holds_on_the_sharded_backend() {
+    online_contract(FabricKind::Sharded { shards: 2 });
+}
+
+/// Offline leg: learn the owner mapping from the aggregate layout (what
+/// `prescient-trace emit-remap` computes from a recorded run), apply it as
+/// a `Remap` overlay over the shifted layout, and require the same
+/// contract — same values, same misses, fewer messages, no migrations.
+#[test]
+fn schedule_guided_remap_matches_static_and_cuts_messages() {
+    // Throwaway machine with identical allocations, to learn block ids.
+    let probe = Machine::new(MachineConfig::stache(NODES, 32).with_fabric(FabricKind::Channel));
+    let pa = Agg1D::<f64>::new(&probe, N, Dist1D::Block);
+    let pb = Agg1D::<f64>::new(&probe, N, Dist1D::Block);
+    let mut map = HomeMap::new();
+    for agg in [&pa, &pb] {
+        for node in 0..NODES as u16 {
+            for i in agg.my_range(node) {
+                map.insert(probe.layout().block_of(agg.addr(i)), node);
+            }
+        }
+    }
+    drop(probe);
+    assert!(!map.is_empty());
+
+    // The remap text format round-trips exactly.
+    assert_eq!(HomeMap::parse(&map.to_text(), NODES).expect("round-trip"), map);
+
+    let base = MachineConfig::stache(NODES, 32).with_fabric(FabricKind::Channel).with_home_shift(1);
+    let (v0, r0) = relax(base.clone().validated());
+    let remapped = map.len() as u64;
+    let (v1, r1) = relax(base.with_placement(PlacementSpec::Remap(map)).validated());
+    assert_same_values("remap", &v0, &v1);
+    let (s0, s1) = (r0.total_stats(), r1.total_stats());
+    assert_eq!(s1.misses(), s0.misses(), "remap must not change demand misses");
+    assert_eq!(r1.blocks_moved(), r0.blocks_moved(), "blocks_moved must be bit-identical");
+    assert_eq!(s1.migrations, 0, "remap is offline; no online migrations");
+    assert_eq!(s1.remapped_blocks, remapped, "every overlay entry is accounted");
+    assert!(
+        s1.msgs_out < s0.msgs_out,
+        "owner remap must cut messages ({} vs {})",
+        s1.msgs_out,
+        s0.msgs_out
+    );
+}
+
+/// Predictive protocol on top of online migration: the per-block schedule
+/// entries (and pre-send ownership) must follow the home, so results stay
+/// bit-identical and pre-sending keeps working from the new homes.
+#[test]
+fn predictive_schedules_survive_home_migration() {
+    let base =
+        MachineConfig::predictive(NODES, 32).with_fabric(FabricKind::Channel).with_home_shift(1);
+    let (v0, r0) = relax(base.clone().validated());
+    let (v1, r1) = relax(base.with_placement(PlacementSpec::Online(eager())).validated());
+    assert_same_values("predictive+online", &v0, &v1);
+    let (s0, s1) = (r0.total_stats(), r1.total_stats());
+    assert!(s1.migrations > 0, "migrations must fire under the predictive protocol");
+    assert!(s1.presend_blocks_out > 0, "migrated schedules must keep pre-sending");
+    // A reader that became the home is served from home memory instead of
+    // a push, so pre-send volume may only shrink — never grow.
+    assert!(
+        s1.presend_blocks_out <= s0.presend_blocks_out,
+        "migration must not inflate pre-sends ({} vs {})",
+        s1.presend_blocks_out,
+        s0.presend_blocks_out
+    );
+}
+
+/// Crash/recovery with online placement: a crash after migration windows
+/// have moved homes rolls back to a checkpoint that already contains the
+/// forwarding stubs, the moved directory entries and the placement state.
+/// The recovered run must match the fault-free online run bit-for-bit in
+/// the gated observables.
+#[test]
+fn crash_after_migration_recovers_bit_identically() {
+    let online = MachineConfig::stache(NODES, 32)
+        .with_fabric(FabricKind::Channel)
+        .with_home_shift(1)
+        .with_placement(PlacementSpec::Online(eager()));
+    let (v0, r0) = relax(online.clone().validated());
+    assert!(r0.total_stats().migrations > 0, "baseline must migrate before the crash point");
+    // Version 7 is a phase_begin well after the first migration windows
+    // (min_count 4 trips around the 4th window), so rollback restores a
+    // state with live stubs and a non-empty overlay.
+    let (v1, r1) = relax(online.with_crash_plan(CrashPlan::new(2, 7)).validated());
+    assert_same_values("crash+online", &v0, &v1);
+    let (s0, s1) = (r0.total_stats(), r1.total_stats());
+    assert_eq!(s1.misses(), s0.misses(), "recovered misses must equal fault-free");
+    assert_eq!(r1.blocks_moved(), r0.blocks_moved(), "recovered blocks_moved must be identical");
+    assert_eq!(s1.migrations, s0.migrations, "replayed windows must re-decide identically");
+    assert_eq!(s1.recoveries, NODES as u64, "every node ran the recovery protocol once");
+}

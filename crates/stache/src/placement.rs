@@ -1,0 +1,283 @@
+//! Online home placement: traffic counting, the migration decision policy,
+//! and forwarding-stub bookkeeping.
+//!
+//! When placement is enabled, every home-side request acceptance records a
+//! weighted score for the requester (`2` for a writable request, `1` for a
+//! read-only one — writers weigh double so a producer strictly dominates
+//! the tie a producer/consumer pair would otherwise present). At a phase
+//! boundary the migration driver calls [`Placement::decide`]: a block
+//! migrates to requester `d` iff `d` is not already the home, `d`'s score
+//! meets an absolute floor, `d` *strictly* dominates every other requester
+//! (ties stay put — hysteresis), and `d`'s share of the block's total
+//! traffic meets a percentage floor. Scores accumulate across windows and
+//! are cleared per block when it migrates, so slow-building dominance still
+//! crosses the thresholds eventually.
+//!
+//! After a block moves, the old home keeps a *forwarding stub*: a request
+//! from a node whose home view is stale bounces exactly once via
+//! [`crate::msg::Msg::Forward`], teaching the requester the new home.
+//! Stubs are part of checkpoints — a crash rolled back across a migration
+//! must also roll back the stub table, or replayed requests would chase
+//! homes that no longer exist.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use prescient_tempest::{BlockId, NodeId};
+
+/// Thresholds of the migration policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementConfig {
+    /// Absolute weighted-score floor the dominant requester must reach
+    /// before its block is considered at all.
+    pub min_count: u64,
+    /// Share (percent of the block's total weighted traffic) the dominant
+    /// requester must hold.
+    pub dominance_pct: u64,
+    /// Upper bound on blocks one node migrates away per window (bounds the
+    /// barrier-stretch a migration window can cause).
+    pub max_per_window: usize,
+}
+
+impl Default for PlacementConfig {
+    fn default() -> PlacementConfig {
+        PlacementConfig { min_count: 8, dominance_pct: 60, max_per_window: 4096 }
+    }
+}
+
+/// Per-node online-placement state, owned by the node whose home shard it
+/// describes (lives behind a mutex in `NodeShared`).
+#[derive(Debug)]
+pub struct Placement {
+    /// Policy thresholds.
+    pub cfg: PlacementConfig,
+    /// Blocks this node used to home: where they live now.
+    stubs: HashMap<BlockId, NodeId>,
+    /// Weighted request score per (home block, requester).
+    traffic: HashMap<BlockId, HashMap<NodeId, u64>>,
+    /// Migrations this node has *applied* as the new home, keyed by
+    /// (old home, op): duplicates re-ack without re-applying.
+    applied: HashSet<(NodeId, u64)>,
+    /// Id allocator for migrations this node initiates.
+    next_op: u64,
+}
+
+impl Placement {
+    /// Fresh state with the given thresholds.
+    pub fn new(cfg: PlacementConfig) -> Placement {
+        Placement {
+            cfg,
+            stubs: HashMap::new(),
+            traffic: HashMap::new(),
+            applied: HashSet::new(),
+            next_op: 1,
+        }
+    }
+
+    /// Record an accepted home-side request for `block` from `requester`.
+    pub fn record(&mut self, block: BlockId, requester: NodeId, excl: bool) {
+        let w = if excl { 2 } else { 1 };
+        *self.traffic.entry(block).or_default().entry(requester).or_insert(0) += w;
+    }
+
+    /// Where a no-longer-homed block went, if this node holds a stub.
+    pub fn stub(&self, block: BlockId) -> Option<NodeId> {
+        self.stubs.get(&block).copied()
+    }
+
+    /// Install a forwarding stub (this node just gave `block` away).
+    pub fn set_stub(&mut self, block: BlockId, new_home: NodeId) {
+        self.stubs.insert(block, new_home);
+    }
+
+    /// Drop a stub (this node just became `block`'s home again).
+    pub fn clear_stub(&mut self, block: BlockId) {
+        self.stubs.remove(&block);
+    }
+
+    /// Forget accumulated traffic for `block` (it just migrated; the new
+    /// home starts a fresh tally).
+    pub fn clear_traffic(&mut self, block: BlockId) {
+        self.traffic.remove(&block);
+    }
+
+    /// First sighting of migration (`from`, `op`)? Returns `false` for a
+    /// retransmission that was already applied.
+    pub fn note_applied(&mut self, from: NodeId, op: u64) -> bool {
+        self.applied.insert((from, op))
+    }
+
+    /// Allocate an id for a migration this node initiates.
+    pub fn alloc_op(&mut self) -> u64 {
+        let op = self.next_op;
+        self.next_op += 1;
+        op
+    }
+
+    /// Pick the blocks to migrate away from node `me` this window:
+    /// deterministic (ascending block id), capped at
+    /// [`PlacementConfig::max_per_window`]. Does *not* mutate any state —
+    /// the driver clears traffic / installs stubs as each migration is
+    /// actually carried out.
+    pub fn decide(&self, me: NodeId) -> Vec<(BlockId, NodeId)> {
+        let ordered: BTreeMap<&BlockId, &HashMap<NodeId, u64>> = self.traffic.iter().collect();
+        let mut picks = Vec::new();
+        for (&block, scores) in ordered {
+            if picks.len() >= self.cfg.max_per_window {
+                break;
+            }
+            let total: u64 = scores.values().sum();
+            // Dominant requester: strictly greater than every other score
+            // (a tie means no dominance, the block stays).
+            let Some((&best, &best_score)) =
+                scores.iter().max_by_key(|&(n, s)| (*s, std::cmp::Reverse(*n)))
+            else {
+                continue;
+            };
+            let strict = scores.iter().all(|(&n, &s)| n == best || s < best_score);
+            if best != me
+                && strict
+                && best_score >= self.cfg.min_count
+                && best_score * 100 >= self.cfg.dominance_pct * total
+            {
+                picks.push((block, best));
+            }
+        }
+        picks
+    }
+
+    /// Capture the full placement state at a quiescent cut.
+    pub fn checkpoint(&self) -> PlacementCheckpoint {
+        PlacementCheckpoint {
+            stubs: self.stubs.iter().map(|(b, n)| (*b, *n)).collect(),
+            traffic: self
+                .traffic
+                .iter()
+                .map(|(b, m)| (*b, m.iter().map(|(n, s)| (*n, *s)).collect()))
+                .collect(),
+            applied: self.applied.iter().copied().collect(),
+            next_op: self.next_op,
+        }
+    }
+
+    /// Roll the placement state back to a captured cut (crash recovery:
+    /// stubs, traffic tallies, idempotency memory, and the op allocator
+    /// rewind together with the directory they describe).
+    pub fn restore(&mut self, ckpt: &PlacementCheckpoint) {
+        self.stubs = ckpt.stubs.iter().copied().collect();
+        self.traffic =
+            ckpt.traffic.iter().map(|(b, m)| (*b, m.iter().copied().collect())).collect();
+        self.applied = ckpt.applied.iter().copied().collect();
+        self.next_op = ckpt.next_op;
+    }
+}
+
+/// One node's placement state at a barrier-consistent cut.
+#[derive(Debug, Clone, Default)]
+pub struct PlacementCheckpoint {
+    stubs: Vec<(BlockId, NodeId)>,
+    traffic: Vec<(BlockId, Vec<(NodeId, u64)>)>,
+    applied: Vec<(NodeId, u64)>,
+    next_op: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(min_count: u64, dominance_pct: u64) -> PlacementConfig {
+        PlacementConfig { min_count, dominance_pct, max_per_window: 4096 }
+    }
+
+    #[test]
+    fn dominant_remote_requester_wins() {
+        let mut p = Placement::new(cfg(4, 60));
+        for _ in 0..4 {
+            p.record(BlockId(5), 2, false); // 4 shared from node 2
+        }
+        p.record(BlockId(5), 1, false); // 1 shared from node 1
+        assert_eq!(p.decide(0), vec![(BlockId(5), 2)]);
+    }
+
+    #[test]
+    fn ties_stay_put() {
+        let mut p = Placement::new(cfg(1, 0));
+        p.record(BlockId(5), 1, false);
+        p.record(BlockId(5), 2, false);
+        assert!(p.decide(0).is_empty(), "equal scores must not migrate");
+    }
+
+    #[test]
+    fn excl_weight_breaks_producer_consumer_tie() {
+        let mut p = Placement::new(cfg(2, 0));
+        p.record(BlockId(5), 1, true); // writer: weight 2
+        p.record(BlockId(5), 2, false); // reader: weight 1
+        assert_eq!(p.decide(0), vec![(BlockId(5), 1)], "writer dominates");
+    }
+
+    #[test]
+    fn home_dominance_blocks_migration() {
+        let mut p = Placement::new(cfg(1, 0));
+        p.record(BlockId(5), 0, true);
+        p.record(BlockId(5), 0, true);
+        p.record(BlockId(5), 2, false);
+        assert!(p.decide(0).is_empty(), "home's own traffic dominates");
+    }
+
+    #[test]
+    fn thresholds_gate() {
+        let mut p = Placement::new(cfg(10, 60));
+        for _ in 0..5 {
+            p.record(BlockId(5), 2, false);
+        }
+        assert!(p.decide(0).is_empty(), "below min_count");
+
+        let mut p = Placement::new(cfg(2, 90));
+        for _ in 0..5 {
+            p.record(BlockId(5), 2, false);
+        }
+        for _ in 0..4 {
+            p.record(BlockId(5), 1, false);
+        }
+        assert!(p.decide(0).is_empty(), "5/9 is below 90% dominance");
+    }
+
+    #[test]
+    fn decide_is_deterministic_and_capped() {
+        let mk = || {
+            let mut p = Placement::new(PlacementConfig {
+                min_count: 1,
+                dominance_pct: 0,
+                max_per_window: 2,
+            });
+            for b in [9u64, 3, 7, 1] {
+                p.record(BlockId(b), 2, true);
+            }
+            p
+        };
+        let picks = mk().decide(0);
+        assert_eq!(picks, vec![(BlockId(1), 2), (BlockId(3), 2)], "ascending, capped at 2");
+        assert_eq!(picks, mk().decide(0), "deterministic");
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips() {
+        let mut p = Placement::new(PlacementConfig::default());
+        p.record(BlockId(1), 2, true);
+        p.set_stub(BlockId(9), 3);
+        assert!(p.note_applied(1, 7));
+        let op = p.alloc_op();
+        let ckpt = p.checkpoint();
+
+        p.record(BlockId(1), 2, true);
+        p.set_stub(BlockId(10), 1);
+        p.clear_stub(BlockId(9));
+        p.alloc_op();
+
+        p.restore(&ckpt);
+        assert_eq!(p.stub(BlockId(9)), Some(3));
+        assert_eq!(p.stub(BlockId(10)), None);
+        assert!(!p.note_applied(1, 7), "idempotency memory survives");
+        assert_eq!(p.alloc_op(), op + 1, "op allocator rewinds");
+        assert_eq!(p.checkpoint().traffic, ckpt.traffic);
+    }
+}

@@ -11,6 +11,10 @@
 //! "owner of the partition" coincide — just as the paper's page-granularity
 //! distribution achieves.
 
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::RwLock;
+
 use crate::{BlockId, GAddr, NodeId};
 
 /// Size of each node's heap segment in bytes of address space.
@@ -61,10 +65,15 @@ impl GlobalLayout {
     }
 
     /// The home node of an address.
+    ///
+    /// Panics on an address outside every node's heap segment: in release
+    /// builds a silent modulo/truncation here would mis-home the block and
+    /// corrupt the directory, so the check is a real assert, not a
+    /// `debug_assert`.
     #[inline]
     pub fn home_of(&self, addr: GAddr) -> NodeId {
         let n = (addr.0 / NODE_HEAP_BYTES) as usize;
-        debug_assert!(n < self.nodes, "address {addr:?} outside any node heap");
+        assert!(n < self.nodes, "address {addr:?} outside any node heap (nodes={})", self.nodes);
         n as NodeId
     }
 
@@ -78,6 +87,200 @@ impl GlobalLayout {
     #[inline]
     pub fn block_of(&self, addr: GAddr) -> BlockId {
         addr.block(self.block_size)
+    }
+}
+
+/// A sparse block→home remap table: the serialized form of a placement
+/// overlay.
+///
+/// The text format is one `block home` pair per line (block number and node
+/// id, base 10), with `#` comments and blank lines ignored — the format
+/// `prescient-trace emit-remap` writes and `MachineConfig` loads.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HomeMap {
+    entries: BTreeMap<BlockId, NodeId>,
+}
+
+impl HomeMap {
+    /// An empty map.
+    pub fn new() -> HomeMap {
+        HomeMap::default()
+    }
+
+    /// Map `block` to `home` (replacing any earlier entry).
+    pub fn insert(&mut self, block: BlockId, home: NodeId) {
+        self.entries.insert(block, home);
+    }
+
+    /// The remapped home of `block`, if any.
+    pub fn get(&self, block: BlockId) -> Option<NodeId> {
+        self.entries.get(&block).copied()
+    }
+
+    /// Number of remapped blocks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries in block order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, NodeId)> + '_ {
+        self.entries.iter().map(|(b, h)| (*b, *h))
+    }
+
+    /// Parse the text format. Homes are validated against `nodes`.
+    pub fn parse(text: &str, nodes: usize) -> Result<HomeMap, String> {
+        let mut map = HomeMap::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            let (b, h) = (it.next(), it.next());
+            if it.next().is_some() {
+                return Err(format!("remap line {}: expected `block home`", lineno + 1));
+            }
+            let block = b
+                .and_then(|s| s.parse::<u64>().ok())
+                .ok_or_else(|| format!("remap line {}: bad block number", lineno + 1))?;
+            let home = h
+                .and_then(|s| s.parse::<u16>().ok())
+                .ok_or_else(|| format!("remap line {}: bad home node", lineno + 1))?;
+            if (home as usize) >= nodes {
+                return Err(format!(
+                    "remap line {}: home {} out of range (nodes={})",
+                    lineno + 1,
+                    home,
+                    nodes
+                ));
+            }
+            map.insert(BlockId(block), home);
+        }
+        Ok(map)
+    }
+
+    /// Serialize to the text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# block home\n");
+        for (b, h) in self.iter() {
+            out.push_str(&format!("{} {}\n", b.0, h));
+        }
+        out
+    }
+}
+
+/// One node's live view of the block→home mapping: the segment-derived
+/// default ([`GlobalLayout`]) composed with an optional rotate shift (naive
+/// round-robin placement, for placement experiments) and a sparse overlay
+/// (offline remap entries plus homes learned from forwards/migrations).
+///
+/// The identity view (no shift, empty overlay) short-circuits to the plain
+/// segment divide, so compiled-in-but-disabled placement costs one relaxed
+/// atomic load per lookup.
+#[derive(Debug)]
+pub struct HomeView {
+    base: GlobalLayout,
+    shift: u16,
+    /// True while `shift == 0` and the overlay is empty.
+    identity: AtomicBool,
+    overlay: RwLock<BTreeMap<BlockId, NodeId>>,
+}
+
+impl HomeView {
+    /// The identity view over `base`.
+    pub fn identity(base: GlobalLayout) -> HomeView {
+        HomeView::with_placement(base, 0, HomeMap::new())
+    }
+
+    /// A view with a rotate shift and an initial overlay.
+    pub fn with_placement(base: GlobalLayout, shift: u16, overlay: HomeMap) -> HomeView {
+        assert!((shift as usize) < base.nodes, "rotate shift {shift} out of range");
+        let identity = shift == 0 && overlay.is_empty();
+        HomeView {
+            base,
+            shift,
+            identity: AtomicBool::new(identity),
+            overlay: RwLock::new(overlay.entries),
+        }
+    }
+
+    /// The underlying segment layout.
+    pub fn layout(&self) -> &GlobalLayout {
+        &self.base
+    }
+
+    /// The configured rotate shift.
+    pub fn shift(&self) -> u16 {
+        self.shift
+    }
+
+    /// The segment-derived (allocation-time) home of `block`.
+    #[inline]
+    pub fn base_home(&self, block: BlockId) -> NodeId {
+        self.base.home_of_block(block)
+    }
+
+    /// This view's current home of `block`.
+    #[inline]
+    pub fn home_of_block(&self, block: BlockId) -> NodeId {
+        if self.identity.load(Ordering::Relaxed) {
+            return self.base.home_of_block(block);
+        }
+        if let Some(h) = self.overlay.read().unwrap().get(&block) {
+            return *h;
+        }
+        self.rotated(block)
+    }
+
+    /// The shift-rotated default home of `block` (ignores the overlay).
+    #[inline]
+    fn rotated(&self, block: BlockId) -> NodeId {
+        let b = self.base.home_of_block(block) as usize;
+        ((b + self.shift as usize) % self.base.nodes) as NodeId
+    }
+
+    /// True iff this view maps `block` exactly like the segment layout
+    /// *because placement is not acting on it*: no shift and no overlay
+    /// entry. The first-touch fast path (auto-RW materialization of a
+    /// node's own home blocks) is gated on this, so enabling placement
+    /// changes first-touch behavior uniformly per block rather than
+    /// depending on where an overlay happens to point.
+    #[inline]
+    pub fn is_identity_block(&self, block: BlockId) -> bool {
+        if self.identity.load(Ordering::Relaxed) {
+            return true;
+        }
+        self.shift == 0 && !self.overlay.read().unwrap().contains_key(&block)
+    }
+
+    /// Record that `block` is now homed at `home` (migration commit on
+    /// either end, or a forward bounce teaching the requester).
+    pub fn set(&self, block: BlockId, home: NodeId) {
+        assert!((home as usize) < self.base.nodes, "home {home} out of range");
+        self.overlay.write().unwrap().insert(block, home);
+        self.identity.store(false, Ordering::Relaxed);
+    }
+
+    /// Snapshot the overlay (checkpoint capture).
+    pub fn snapshot(&self) -> HomeMap {
+        HomeMap { entries: self.overlay.read().unwrap().clone() }
+    }
+
+    /// Replace the overlay wholesale (checkpoint restore).
+    pub fn restore(&self, map: &HomeMap) {
+        let identity = self.shift == 0 && map.is_empty();
+        *self.overlay.write().unwrap() = map.entries.clone();
+        self.identity.store(identity, Ordering::Relaxed);
+    }
+
+    /// Number of overlay entries.
+    pub fn overlay_len(&self) -> usize {
+        self.overlay.read().unwrap().len()
     }
 }
 
@@ -120,5 +323,80 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_bad_node_count() {
         GlobalLayout::new(65, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside any node heap")]
+    fn out_of_range_address_panics_not_mishomes() {
+        let l = GlobalLayout::new(4, 64);
+        // One byte past the last node's heap: must panic (also in release
+        // builds), never silently return a bogus home.
+        let _ = l.home_of(GAddr(4 * NODE_HEAP_BYTES));
+    }
+
+    #[test]
+    fn homemap_parse_roundtrip() {
+        let text = "# comment\n12 3\n\n99 0  # trailing comment\n";
+        let m = HomeMap::parse(text, 4).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(BlockId(12)), Some(3));
+        assert_eq!(m.get(BlockId(99)), Some(0));
+        assert_eq!(m.get(BlockId(1)), None);
+        let again = HomeMap::parse(&m.to_text(), 4).unwrap();
+        assert_eq!(again, m);
+    }
+
+    #[test]
+    fn homemap_rejects_bad_lines() {
+        assert!(HomeMap::parse("12", 4).is_err());
+        assert!(HomeMap::parse("12 3 9", 4).is_err());
+        assert!(HomeMap::parse("x 3", 4).is_err());
+        assert!(HomeMap::parse("12 4", 4).is_err(), "home out of range");
+    }
+
+    #[test]
+    fn homeview_identity_matches_layout() {
+        let l = GlobalLayout::new(4, 64);
+        let v = HomeView::identity(l);
+        for n in 0..4u16 {
+            let b = l.block_of(l.heap_base(n));
+            assert_eq!(v.home_of_block(b), n);
+            assert!(v.is_identity_block(b));
+        }
+    }
+
+    #[test]
+    fn homeview_rotate_and_overlay() {
+        let l = GlobalLayout::new(4, 64);
+        let mut m = HomeMap::new();
+        let b0 = l.block_of(l.heap_base(0));
+        m.insert(b0, 2);
+        let v = HomeView::with_placement(l, 1, m);
+        // Overlay wins over the rotate default.
+        assert_eq!(v.home_of_block(b0), 2);
+        // Rotate applies where the overlay is silent.
+        let b3 = l.block_of(l.heap_base(3));
+        assert_eq!(v.home_of_block(b3), 0);
+        assert!(!v.is_identity_block(b0));
+        assert!(!v.is_identity_block(b3));
+        // Learned homes stick.
+        v.set(b3, 3);
+        assert_eq!(v.home_of_block(b3), 3);
+    }
+
+    #[test]
+    fn homeview_snapshot_restore() {
+        let l = GlobalLayout::new(4, 64);
+        let v = HomeView::identity(l);
+        let b = l.block_of(l.heap_base(1));
+        v.set(b, 3);
+        assert!(!v.is_identity_block(b));
+        let snap = v.snapshot();
+        v.set(b, 2);
+        v.restore(&snap);
+        assert_eq!(v.home_of_block(b), 3);
+        v.restore(&HomeMap::new());
+        assert_eq!(v.home_of_block(b), 1);
+        assert!(v.is_identity_block(b));
     }
 }

@@ -57,7 +57,7 @@ pub use fabric::{
 pub use faults::{
     CrashPlan, FaultHook, FaultPlan, FifoMode, PartitionScope, PartitionSpec, SplitMix64,
 };
-pub use layout::GlobalLayout;
+pub use layout::{GlobalLayout, HomeMap, HomeView};
 pub use mem::{Fault, MemCheckpoint, MemError, NodeMem};
 pub use nodeset::NodeSet;
 pub use prim::Prim;

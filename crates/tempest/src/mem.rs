@@ -40,7 +40,7 @@ use std::sync::Arc;
 
 use crate::layout::NODE_HEAP_BYTES;
 use crate::tag::{Access, Tag};
-use crate::{BlockId, GAddr, GlobalLayout, NodeId};
+use crate::{BlockId, GAddr, GlobalLayout, HomeView, NodeId};
 
 /// Blocks per arena page (power of two).
 pub const PAGE_BLOCKS: usize = 256;
@@ -168,6 +168,8 @@ impl Page {
 pub struct NodeMem {
     layout: GlobalLayout,
     me: NodeId,
+    /// This node's live block→home view (shared with the protocol engine).
+    homes: Arc<HomeView>,
     /// `log2(blocks per heap segment)`; a block's segment (= home node) and
     /// in-segment offset fall out of one shift and one mask.
     seg_shift: u32,
@@ -186,12 +188,19 @@ pub struct NodeMem {
 }
 
 impl NodeMem {
-    /// Create the store for node `me`.
+    /// Create the store for node `me` with the identity home view.
     pub fn new(layout: GlobalLayout, me: NodeId) -> NodeMem {
+        NodeMem::with_view(layout, me, Arc::new(HomeView::identity(layout)))
+    }
+
+    /// Create the store for node `me` sharing the given home view with the
+    /// protocol engine.
+    pub fn with_view(layout: GlobalLayout, me: NodeId, homes: Arc<HomeView>) -> NodeMem {
         let blocks_per_seg = NODE_HEAP_BYTES / layout.block_size as u64;
         NodeMem {
             layout,
             me,
+            homes,
             seg_shift: blocks_per_seg.trailing_zeros(),
             segs: (0..layout.nodes).map(|_| Vec::new()).collect(),
             resident: 0,
@@ -212,10 +221,29 @@ impl NodeMem {
         self.layout
     }
 
-    /// Is this node the home of `block`?
+    /// Is this node the (current view's) home of `block`?
     #[inline]
     pub fn is_home(&self, block: BlockId) -> bool {
-        self.layout.home_of_block(block) == self.me
+        self.homes.home_of_block(block) == self.me
+    }
+
+    /// The home view this store consults.
+    pub fn homes(&self) -> &Arc<HomeView> {
+        &self.homes
+    }
+
+    /// Does `block` materialize as `ReadWrite` here on first touch?
+    ///
+    /// Only when this node is the block's segment-derived home *and* no
+    /// placement (shift or overlay entry) acts on the block. Placement-
+    /// affected blocks start `Invalid` everywhere, so the first touch
+    /// faults and the view home's directory learns of the copy — a silent
+    /// `ReadWrite` materialization at a node the directory does not watch
+    /// would break coherence, and one at the view home would make miss
+    /// counts depend on where the overlay points.
+    #[inline]
+    fn auto_rw(&self, block: BlockId) -> bool {
+        self.homes.is_identity_block(block) && self.layout.home_of_block(block) == self.me
     }
 
     /// Allocate `bytes` of shared memory from this node's heap segment,
@@ -269,7 +297,7 @@ impl NodeMem {
     /// `Invalid` elsewhere) and return its page and slot index.
     fn materialize(&mut self, block: BlockId) -> (&mut Page, usize) {
         let (seg, page, slot) = self.locate(block);
-        let home = self.is_home(block);
+        let home = self.auto_rw(block);
         let bs = self.layout.block_size;
         let pages = &mut self.segs[seg];
         if pages.len() <= page {
@@ -304,7 +332,7 @@ impl NodeMem {
     pub fn probe(&self, block: BlockId) -> Tag {
         match self.page(block) {
             Some((p, slot)) if p.present(slot) => p.tag(slot),
-            _ if self.is_home(block) => Tag::ReadWrite, // lazily materialized
+            _ if self.auto_rw(block) => Tag::ReadWrite, // lazily materialized
             _ => Tag::Invalid,
         }
     }

@@ -88,6 +88,15 @@ pub struct NodeStats {
     pub recoveries: AtomicU64,
     /// Phase executions this node re-ran after a rollback.
     pub replays: AtomicU64,
+    /// Blocks this node migrated away while serving as their home (online
+    /// placement, phase-boundary home migration).
+    pub migrations: AtomicU64,
+    /// Requests this node bounced to a block's new home via a forwarding
+    /// stub left behind by a migration.
+    pub forwards: AtomicU64,
+    /// Blocks homed at this node by a placement overlay (offline remap or
+    /// scatter) rather than by the segment-derived default.
+    pub remapped_blocks: AtomicU64,
 }
 
 impl NodeStats {
@@ -135,6 +144,9 @@ impl NodeStats {
             checkpoint_bytes: g(&self.checkpoint_bytes),
             recoveries: g(&self.recoveries),
             replays: g(&self.replays),
+            migrations: g(&self.migrations),
+            forwards: g(&self.forwards),
+            remapped_blocks: g(&self.remapped_blocks),
         }
     }
 
@@ -172,6 +184,9 @@ impl NodeStats {
         p(&self.checkpoint_bytes, s.checkpoint_bytes);
         p(&self.recoveries, s.recoveries);
         p(&self.replays, s.replays);
+        p(&self.migrations, s.migrations);
+        p(&self.forwards, s.forwards);
+        p(&self.remapped_blocks, s.remapped_blocks);
     }
 }
 
@@ -207,6 +222,9 @@ pub struct StatsSnapshot {
     pub checkpoint_bytes: u64,
     pub recoveries: u64,
     pub replays: u64,
+    pub migrations: u64,
+    pub forwards: u64,
+    pub remapped_blocks: u64,
 }
 
 macro_rules! per_field {
@@ -240,6 +258,9 @@ macro_rules! per_field {
             checkpoint_bytes: $a.checkpoint_bytes $op $b.checkpoint_bytes,
             recoveries: $a.recoveries $op $b.recoveries,
             replays: $a.replays $op $b.replays,
+            migrations: $a.migrations $op $b.migrations,
+            forwards: $a.forwards $op $b.forwards,
+            remapped_blocks: $a.remapped_blocks $op $b.remapped_blocks,
         }
     };
 }
@@ -270,7 +291,7 @@ impl StatsSnapshot {
     /// Serializers (the run-report JSON, the trace analyzer) iterate this
     /// instead of hand-listing fields, so a new counter shows up
     /// everywhere by editing `NodeStats` + this table only.
-    pub fn fields(&self) -> [(&'static str, u64); 28] {
+    pub fn fields(&self) -> [(&'static str, u64); 31] {
         [
             ("reads", self.reads),
             ("writes", self.writes),
@@ -300,6 +321,9 @@ impl StatsSnapshot {
             ("checkpoint_bytes", self.checkpoint_bytes),
             ("recoveries", self.recoveries),
             ("replays", self.replays),
+            ("migrations", self.migrations),
+            ("forwards", self.forwards),
+            ("remapped_blocks", self.remapped_blocks),
         ]
     }
 

@@ -79,6 +79,7 @@ fn main() {
     println!("=== executing the Figure-3 program on 4 emulated nodes ===\n");
     let scramble = |i: usize| ((i * 53 + 17) % 128) as i64;
     for cfg in [MachineConfig::stache(4, 32), MachineConfig::predictive(4, 32)] {
+        let predictive = cfg.protocol.is_predictive();
         let mut machine = Machine::new(cfg);
         let aggs = materialize(&machine, &prog);
         let report = run_program(&mut machine, &prog, &aggs, |ctx, aggs| {
@@ -102,7 +103,7 @@ fn main() {
         let checksum: f64 = primal.iter().sum();
         println!(
             "{}: misses={} presend={} local={:.2}%  checksum={checksum:.6}",
-            if cfg.protocol.is_predictive() { "predictive " } else { "unoptimized" },
+            if predictive { "predictive " } else { "unoptimized" },
             report.total_stats().misses(),
             report.total_stats().presend_blocks_out,
             report.local_fraction() * 100.0,
