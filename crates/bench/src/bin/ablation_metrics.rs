@@ -1,0 +1,132 @@
+//! Ablation: metrics-timeline overhead and the zero-perturbation bar.
+//!
+//! Runs the three evaluation apps with metrics off, then with metrics
+//! streaming to a live JSONL file, and
+//!
+//! * **asserts** the eight gated perf-gate columns (checksum, vtime,
+//!   msgs, bytes/blocks moved, misses, pre-sends, useless pre-sends) are
+//!   bit-identical — recording must not change what is being measured;
+//! * **reconciles** the live stream phase-by-phase against the measured
+//!   run's report (the telescoping-sum invariant, at full app scale);
+//! * **reports** the only honest cost, wall-clock, as an off/on table
+//!   for EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p prescient-bench --bin ablation_metrics -- --paper
+//! ```
+
+use std::time::Duration;
+
+use prescient_apps::adaptive::{run_adaptive, AdaptiveConfig};
+use prescient_apps::barnes::{run_barnes, BarnesConfig};
+use prescient_apps::water::{run_water, WaterConfig};
+use prescient_apps::AppRun;
+use prescient_bench::metrics::load_stream;
+use prescient_bench::Scale;
+use prescient_runtime::{MachineConfig, RunTimeline};
+use prescient_stache::RetryConfig;
+use prescient_tempest::MetricsConfig;
+
+/// The perf gate's eight equality-gated columns.
+fn gated(r: &AppRun) -> [(&'static str, u64); 8] {
+    let t = r.report.total_stats();
+    [
+        ("checksum", r.checksum.to_bits()),
+        ("vtime_ns", r.report.exec_time_ns()),
+        ("msgs", t.msgs_out),
+        ("bytes_moved", t.data_bytes_in + t.presend_bytes_out),
+        ("blocks_moved", t.misses() + t.presend_blocks_out),
+        ("misses", t.misses()),
+        ("presend_blocks", t.presend_blocks_out),
+        ("presend_useless", t.presend_useless),
+    ]
+}
+
+fn mcfg(nodes: usize) -> MachineConfig {
+    let retry = RetryConfig { timeout: Duration::from_secs(30), max_retries: 4 };
+    MachineConfig::predictive(nodes, 128).with_retry(retry)
+}
+
+/// The measured run is the second `Machine::run` of every app driver
+/// (setup / measured / gather).
+const MEASURED_RUN: u64 = 2;
+
+fn compare(app: &str, off: &AppRun, on: &AppRun, stream: &str) {
+    for ((name, a), (_, b)) in gated(off).iter().zip(gated(on)) {
+        assert_eq!(
+            *a, b,
+            "{app}: gated column {name} changed with metrics on ({a} vs {b}) — \
+             the zero-perturbation bar is broken"
+        );
+    }
+    let records = load_stream(stream).expect("live stream parses");
+    let nodes = records.iter().map(|r| r.node as usize + 1).max().unwrap_or(0);
+    let timeline = RunTimeline::new(nodes, records);
+    timeline
+        .reconciles_with(&on.report, MEASURED_RUN)
+        .expect("stream reconciles with the measured report");
+    let cuts = timeline.records.iter().filter(|r| r.run == MEASURED_RUN).count();
+    let off_ms = off.report.wall.as_secs_f64() * 1e3;
+    let on_ms = on.report.wall.as_secs_f64() * 1e3;
+    println!(
+        "{app:<10} {:>10.1} {:>10.1} {:>8.1}% {:>8} {:>8}",
+        off_ms,
+        on_ms,
+        (on_ms - off_ms) / off_ms.max(1e-9) * 100.0,
+        timeline.records.len(),
+        cuts,
+    );
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let dir = std::env::temp_dir();
+    let stream_for = |app: &str| {
+        let mut p = dir.clone();
+        p.push(format!("prescient_ablation_metrics_{}_{app}.jsonl", std::process::id()));
+        p.to_string_lossy().into_owned()
+    };
+
+    println!("== Ablation: metrics timeline overhead ({} nodes, 128B blocks) ==", scale.nodes);
+    println!("(gated columns asserted bit-identical off vs on; wall-clock is the whole cost)\n");
+    println!(
+        "{:<10} {:>10} {:>10} {:>9} {:>8} {:>8}",
+        "app", "off(ms)", "on(ms)", "overhead", "records", "measured"
+    );
+
+    let wcfg = if scale.paper {
+        WaterConfig::default()
+    } else {
+        WaterConfig { n: 128, steps: 5, ..Default::default() }
+    };
+    let ws = stream_for("water");
+    let off = run_water(mcfg(scale.nodes), &wcfg);
+    let on = run_water(mcfg(scale.nodes).with_metrics(MetricsConfig::stream(&ws)), &wcfg);
+    compare("water", &off, &on, &ws);
+
+    let bcfg = if scale.paper {
+        BarnesConfig::default()
+    } else {
+        BarnesConfig { n: 512, steps: 2, ..Default::default() }
+    };
+    let bsm = stream_for("barnes");
+    let off = run_barnes(mcfg(scale.nodes), &bcfg);
+    let on = run_barnes(mcfg(scale.nodes).with_metrics(MetricsConfig::stream(&bsm)), &bcfg);
+    compare("barnes", &off, &on, &bsm);
+
+    let acfg = if scale.paper {
+        AdaptiveConfig::default()
+    } else {
+        AdaptiveConfig { n: 32, iters: 10, ..Default::default() }
+    };
+    let asm = stream_for("adaptive");
+    let off = run_adaptive(mcfg(scale.nodes), &acfg);
+    let on = run_adaptive(mcfg(scale.nodes).with_metrics(MetricsConfig::stream(&asm)), &acfg);
+    compare("adaptive", &off, &on, &asm);
+
+    for s in [&ws, &bsm, &asm] {
+        let _ = std::fs::remove_file(s);
+        let _ = std::fs::remove_file(format!("{s}.timeline.json"));
+    }
+    println!("\nall gated columns bit-identical off vs on; streams reconcile with the reports");
+}

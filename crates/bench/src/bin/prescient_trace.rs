@@ -26,7 +26,7 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use prescient_bench::traffic::{emit_remap, load_trace as load, traffic_tally};
+use prescient_bench::traffic::{emit_remap, load_trace as load, traffic_tally, warn_wrapped};
 use prescient_tempest::trace::{
     unpack_counts, unpack_fault_end, unpack_msg, unpack_peer_count, EventKind, TraceEvent,
 };
@@ -381,6 +381,9 @@ fn kind_counts(events: &[TraceEvent]) -> HashMap<EventKind, u64> {
 }
 
 fn report(events: &[TraceEvent]) {
+    // A wrapped ring silently undercounts every analysis below — say so
+    // per node, loudly, before printing any number.
+    warn_wrapped(events, "every analysis below");
     let nodes = events.iter().map(|e| e.node).max().map_or(0, |n| u64::from(n) + 1);
     let t_max = events.iter().map(|e| e.t_ns).max().unwrap_or(0);
     println!("{} events, {} nodes, vtime span {} ns", events.len(), nodes, t_max);
@@ -554,6 +557,9 @@ fn main() -> ExitCode {
         },
         ("emit-remap", [path, out @ ..]) if out.len() <= 1 => match load(path) {
             Ok(events) => {
+                // A wrapped ring skews the traffic tally the placement
+                // decision is based on — warn before emitting.
+                warn_wrapped(&events, "the placement traffic tally");
                 let text = emit_remap(&events);
                 let entries = text.lines().filter(|l| !l.starts_with('#')).count();
                 match out.first() {

@@ -29,10 +29,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver};
+use prescient_runtime::RunTimeline;
 use prescient_stache::{fetch, spawn_protocol, Msg, NoHooks, NodeShared, RetryConfig, Wake};
 use prescient_tempest::fabric::Endpoint;
 use prescient_tempest::socket::{connect, NodeRange, SocketGuard, SocketHost};
-use prescient_tempest::{BatchConfig, CostModel, GAddr, GlobalLayout, NodeId, Prim};
+use prescient_tempest::{
+    BatchConfig, CostModel, GAddr, GlobalLayout, LatencyHist, NodeId, PhaseRecord, Prim,
+    TimeBreakdown,
+};
 
 const NODES: usize = 4;
 const SPLIT: u16 = 2;
@@ -106,10 +110,43 @@ fn await_value(
     }
 }
 
+/// Per-process metrics export: with `PRESCIENT_METRICS_OUT` set, each
+/// process writes its half's whole-run counter timeline to
+/// `{base}.{start}-{end}.timeline.json` (one record per local node; the
+/// schema carries the node range, so `prescient-metrics merge`
+/// reassembles the machine from the per-process files).
+fn export_timeline(range: NodeRange, shareds: &[Arc<NodeShared>]) {
+    let Ok(base) = std::env::var("PRESCIENT_METRICS_OUT") else { return };
+    let records = shareds
+        .iter()
+        .map(|s| PhaseRecord {
+            node: s.me,
+            seq: 0,
+            run: 1,
+            phase: 0,
+            iter: 0,
+            version: 0,
+            vtime: TimeBreakdown::default(),
+            stats: s.stats.snapshot(),
+            fetch: LatencyHist::default(),
+            wire: None,
+        })
+        .collect();
+    let t = RunTimeline::with_range(NODES, range, records);
+    let path = format!("{base}.{}-{}.timeline.json", range.start, range.end());
+    std::fs::write(&path, t.to_json()).expect("write per-process timeline export");
+    eprintln!("socket_smoke: wrote {path}");
+}
+
 /// Run this process's half: protocol handlers, the increment workload,
 /// verification, then — only after `sync_done` has confirmed the peer is
 /// also done — teardown. Returns the local nodes' total message count.
-fn run_side(eps: Vec<Endpoint<Msg>>, mut guard: SocketGuard, sync_done: impl FnOnce()) -> u64 {
+fn run_side(
+    eps: Vec<Endpoint<Msg>>,
+    range: NodeRange,
+    mut guard: SocketGuard,
+    sync_done: impl FnOnce(),
+) -> u64 {
     let layout = GlobalLayout::new(NODES, BS);
     let retry = RetryConfig { timeout: Duration::from_millis(100), max_retries: 600 };
     let ctl = Arc::clone(eps[0].ctl());
@@ -161,7 +198,8 @@ fn run_side(eps: Vec<Endpoint<Msg>>, mut guard: SocketGuard, sync_done: impl FnO
         }
     });
 
-    // Both halves verified: now (and only now) teardown is safe.
+    // Both halves verified: counters are final, export before teardown.
+    export_timeline(range, &shareds);
     sync_done();
     ctl.mark_closing();
     for s in &shareds {
@@ -187,9 +225,9 @@ fn parent() {
         .expect("spawn child process");
 
     let batch = BatchConfig::default_for_fabric();
-    let (eps, guard) =
-        host.accept::<Msg>(NODES, NodeRange::new(0, SPLIT), batch).expect("accept peer");
-    let msgs = run_side(eps, guard, || {
+    let range = NodeRange::new(0, SPLIT);
+    let (eps, guard) = host.accept::<Msg>(NODES, range, batch).expect("accept peer");
+    let msgs = run_side(eps, range, guard, || {
         let (mut s, _) = ctl_listener.accept().expect("control accept");
         let mut byte = [0u8; 1];
         s.read_exact(&mut byte).expect("child done byte");
@@ -206,7 +244,7 @@ fn child(fabric_addr: &str, ctl_addr: &str) {
     let range = NodeRange::new(SPLIT, NODES as u16 - SPLIT);
     let (eps, guard) = connect::<Msg>(fabric_addr, NODES, range, batch, Duration::from_secs(10))
         .expect("connect to parent fabric");
-    let msgs = run_side(eps, guard, || {
+    let msgs = run_side(eps, range, guard, || {
         let mut s = TcpStream::connect(ctl_addr).expect("control connect");
         s.write_all(&[0xEE]).expect("child done byte");
         let mut byte = [0u8; 1];

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod cfg_models;
+pub mod metrics;
 pub mod traffic;
 
 use prescient_runtime::RunReport;

@@ -123,3 +123,48 @@ pub fn load_trace(path: &str) -> Result<Vec<TraceEvent>, String> {
     }
     Ok(out)
 }
+
+/// Detect wrapped trace rings: a node whose stream's lowest sequence
+/// number is above zero lost its oldest events to ring-buffer wrap (the
+/// tracer is a flight recorder; see `prescient_tempest::trace`). Returns
+/// `(node, events_lost)` per wrapped node — sequence numbers are dense,
+/// so the first surviving seq *is* the drop count.
+pub fn wrapped_nodes(events: &[TraceEvent]) -> Vec<(NodeId, u64)> {
+    let mut first: BTreeMap<NodeId, u64> = BTreeMap::new();
+    for e in events {
+        let f = first.entry(e.node).or_insert(e.seq);
+        *f = (*f).min(e.seq);
+    }
+    first.into_iter().filter(|&(_, seq)| seq > 0).collect()
+}
+
+/// Print the loud per-node wrapped-ring warning analyses share: every
+/// aggregate computed from a wrapped stream undercounts, and `what` says
+/// which decision is at risk (a traffic report, a remap emission).
+pub fn warn_wrapped(events: &[TraceEvent], what: &str) {
+    for (node, lost) in wrapped_nodes(events) {
+        eprintln!(
+            "WARNING: node {node}: trace ring wrapped, ~{lost} oldest events lost — \
+             {what} undercounts this node's early traffic (rerun with a larger \
+             PRESCIENT_TRACE capacity for full coverage)"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(node: NodeId, seq: u64) -> TraceEvent {
+        TraceEvent { node, seq, t_ns: 0, phase: 0, kind: EventKind::PhaseBegin, a: 0, b: 0 }
+    }
+
+    #[test]
+    fn wrap_detection_counts_lost_events() {
+        // Node 0 intact (seq from 0); node 1 wrapped, oldest surviving
+        // seq 40 => 40 events lost; order in the stream must not matter.
+        let events = vec![ev(1, 41), ev(0, 0), ev(1, 40), ev(0, 1), ev(1, 42)];
+        assert_eq!(wrapped_nodes(&events), vec![(1, 40)]);
+        assert_eq!(wrapped_nodes(&[ev(0, 0), ev(1, 0)]), vec![]);
+    }
+}

@@ -7,6 +7,9 @@
 
 use std::process::Command;
 
+use prescient_bench::metrics::load_timeline;
+use prescient_runtime::RunTimeline;
+
 #[test]
 fn two_process_socket_fabric_converges() {
     let exe = env!("CARGO_BIN_EXE_socket_smoke");
@@ -15,4 +18,70 @@ fn two_process_socket_fabric_converges() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(out.status.success(), "socket_smoke failed:\nstdout: {stdout}\nstderr: {stderr}");
     assert!(stdout.contains("PASS"), "missing PASS marker:\nstdout: {stdout}\nstderr: {stderr}");
+}
+
+/// Satellite: each process of a socket run exports its node range's
+/// timeline (`{base}.{start}-{end}.timeline.json`); the parts carry the
+/// range in their schema and merge back into the whole 4-node machine,
+/// both in-library and through the `prescient-metrics merge` CLI.
+#[test]
+fn two_process_timeline_exports_merge() {
+    let mut base = std::env::temp_dir();
+    base.push(format!("prescient_socket_metrics_{}", std::process::id()));
+    let base = base.to_string_lossy().into_owned();
+    let lo = format!("{base}.0-2.timeline.json");
+    let hi = format!("{base}.2-4.timeline.json");
+    let _ = std::fs::remove_file(&lo);
+    let _ = std::fs::remove_file(&hi);
+
+    let exe = env!("CARGO_BIN_EXE_socket_smoke");
+    // The child inherits the parent's environment, so one env var makes
+    // both processes export their halves.
+    let out =
+        Command::new(exe).env("PRESCIENT_METRICS_OUT", &base).output().expect("run socket_smoke");
+    assert!(
+        out.status.success(),
+        "socket_smoke failed:\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let part_lo = load_timeline(&lo).expect("parent half exported");
+    let part_hi = load_timeline(&hi).expect("child half exported");
+    assert_eq!((part_lo.nodes, part_hi.nodes), (4, 4));
+    assert_eq!((part_lo.range.start, part_lo.range.end()), (0, 2));
+    assert_eq!((part_hi.range.start, part_hi.range.end()), (2, 4));
+
+    let merged = RunTimeline::merge(vec![part_hi, part_lo]).expect("ranges partition 0..4");
+    assert_eq!((merged.range.start, merged.range.end()), (0, 4));
+    assert_eq!(merged.records.len(), 4, "one whole-run record per node");
+    let nodes: Vec<u16> = {
+        let mut v: Vec<u16> = merged.records.iter().map(|r| r.node).collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(nodes, vec![0, 1, 2, 3]);
+    // The torture sends real cross-process traffic from every node.
+    for r in &merged.records {
+        assert!(r.stats.msgs_out > 0, "node {}: no messages recorded", r.node);
+    }
+
+    // The CLI merge must agree with the in-library merge.
+    let cli = env!("CARGO_BIN_EXE_prescient-metrics");
+    let merged_path = format!("{base}.merged.json");
+    let out = Command::new(cli)
+        .args(["merge", &merged_path, &lo, &hi])
+        .output()
+        .expect("run prescient-metrics merge");
+    assert!(
+        out.status.success(),
+        "merge CLI failed:\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let reloaded = load_timeline(&merged_path).expect("merged file loads");
+    assert_eq!(reloaded.records, merged.records);
+    assert_eq!(reloaded.totals(), merged.totals());
+
+    for f in [&lo, &hi, &merged_path] {
+        let _ = std::fs::remove_file(f);
+    }
 }

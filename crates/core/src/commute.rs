@@ -285,6 +285,7 @@ pub fn merge(
             };
             n.send(*target, Msg::User(m.clone()));
             outstanding.insert(id, (*target, m));
+            NodeStats::bump(&n.stats.merge_chunks_out);
             report.chunks_out += 1;
             report.msgs += 1;
             report.bytes += chunk.len() as u64;

@@ -2,7 +2,9 @@
 
 use prescient_core::{CommuteConfig, PredictiveConfig};
 use prescient_stache::{PlacementConfig, RetryConfig};
-use prescient_tempest::{BatchConfig, CostModel, CrashPlan, FaultPlan, HomeMap, TraceConfig};
+use prescient_tempest::{
+    BatchConfig, CostModel, CrashPlan, FaultPlan, HomeMap, MetricsConfig, TraceConfig,
+};
 
 use crate::recovery::WatchdogConfig;
 
@@ -261,6 +263,13 @@ pub struct MachineConfig {
     /// `PRESCIENT_PLACEMENT` environment override when present (off
     /// otherwise); [`MachineConfig::with_placement`] pins it explicitly.
     pub placement: PlacementSpec,
+    /// Phase-granular metrics timeline. Constructors take the
+    /// `PRESCIENT_METRICS` environment override when present (off
+    /// otherwise — no hub, no cuts, no threads);
+    /// [`MachineConfig::with_metrics`] pins it explicitly. Recording cuts
+    /// bill no virtual time and send no messages, so every gated counter
+    /// stays bit-identical with metrics off or on.
+    pub metrics: MetricsConfig,
     /// Naive rotate-shift applied to the base block→home layout: block
     /// `b`'s view home becomes `(segment_home(b) + home_shift) % nodes`.
     /// `0` (the default) is the allocation-directed owner placement. The
@@ -291,6 +300,7 @@ impl MachineConfig {
             watchdog: None,
             fabric: FabricKind::default_for_machine(),
             placement: PlacementSpec::from_env(nodes).unwrap_or_default(),
+            metrics: MetricsConfig::default_for_machine(),
             home_shift: 0,
         }
     }
@@ -374,6 +384,12 @@ impl MachineConfig {
     /// Pin the placement mode (overrides the environment default).
     pub fn with_placement(mut self, placement: PlacementSpec) -> MachineConfig {
         self.placement = placement;
+        self
+    }
+
+    /// Pin the metrics policy (overrides the environment default).
+    pub fn with_metrics(mut self, metrics: MetricsConfig) -> MachineConfig {
+        self.metrics = metrics;
         self
     }
 
@@ -524,5 +540,21 @@ mod tests {
         for bad in ["maybe", "-1", "4096x", "on,off"] {
             assert!(TraceConfig::parse(bad).is_err(), "{bad:?} must not parse");
         }
+    }
+
+    #[test]
+    fn metrics_config_rejects_garbage() {
+        assert!(!MetricsConfig::parse("off").expect("off").enabled);
+        assert!(MetricsConfig::parse("on").expect("on").enabled);
+        let s = MetricsConfig::parse("stream:/tmp/run.jsonl").expect("stream");
+        assert_eq!(s.stream.as_deref(), Some("/tmp/run.jsonl"));
+        let t = MetricsConfig::parse("tcp:127.0.0.1:9100").expect("tcp");
+        assert_eq!(t.tcp.as_deref(), Some("127.0.0.1:9100"));
+        for bad in ["maybe", "2", "stream:", "tcp:", "tcp:noport", "udp:x:1", "on,stream:x"] {
+            assert!(MetricsConfig::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+        let cfg = MachineConfig::stache(4, 32).with_metrics(MetricsConfig::on());
+        assert!(cfg.metrics.enabled);
+        assert!(!MachineConfig::stache(4, 32).metrics.enabled);
     }
 }

@@ -7,6 +7,7 @@
 //! segments: compute, remote-data wait, predictive protocol (pre-send),
 //! and synchronization.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use crossbeam::channel::{Receiver, RecvTimeoutError};
@@ -15,9 +16,11 @@ use prescient_core::presend::presend;
 use prescient_core::{Commute, PhaseId, Predictive};
 use prescient_stache::engine::{fetch, run_migration_window};
 use prescient_stache::{Hooks, Msg, NoHooks, NodeShared, Wake};
+use prescient_tempest::stats::{StatsSnapshot, WireSnapshot};
 use prescient_tempest::trace::{pack_counts, pack_fault_end, EventKind};
 use prescient_tempest::{
-    CostModel, CrashPlan, GAddr, NodeId, NodeStats, Prim, TimeBreakdown, VBarrier,
+    CostModel, CrashPlan, FabricCtl, GAddr, LatencyHist, MetricsHub, NodeId, NodeStats,
+    PhaseRecord, Prim, TimeBreakdown, VBarrier,
 };
 
 use crate::machine::ReduceScratch;
@@ -33,6 +36,65 @@ pub enum PhaseOutcome {
     /// the checkpoint taken at this phase's `phase_begin` and the caller
     /// must re-execute the phase body ([`NodeCtx::phase`] does).
     Replay,
+}
+
+/// What the machine hands each node to start its metrics series for one
+/// run (see `crate::Machine`): the shared hub, the run ordinal, and the
+/// node's counter baseline at run start — captured *before* the run's
+/// placement-overlay bumps, so the first cut absorbs them.
+pub(crate) struct MetricsInit {
+    /// Machine-wide record sink.
+    pub hub: Arc<MetricsHub>,
+    /// 1-based `Machine::run` ordinal.
+    pub run: u64,
+    /// This node's cumulative counters at run start.
+    pub baseline: StatsSnapshot,
+    /// Fabric control handle — `Some` only on node 0, which records the
+    /// fabric-global wire deltas on the whole machine's behalf.
+    pub ctl: Option<Arc<FabricCtl>>,
+    /// Wire counters at run start (meaningful with `ctl`).
+    pub wire0: WireSnapshot,
+}
+
+/// One node's in-flight metrics series: everything needed to cut delta
+/// records at phase boundaries. Compute-thread-local — no atomics, no
+/// locks except the hub push.
+struct MetricsState {
+    hub: Arc<MetricsHub>,
+    run: u64,
+    /// Next record's per-node ordinal.
+    seq: u64,
+    /// Counter values at the previous cut; records are deltas against
+    /// this, so per-node sums telescope exactly to the run report.
+    last_stats: StatsSnapshot,
+    last_vtime: TimeBreakdown,
+    ctl: Option<Arc<FabricCtl>>,
+    last_wire: WireSnapshot,
+    /// Fetch latencies billed since the previous cut.
+    fetch: LatencyHist,
+    /// Per-phase-id iteration ordinals within this run.
+    iters: HashMap<PhaseId, u64>,
+    /// The phase currently open via `phase_begin`, with its iteration
+    /// ordinal. Survives a crash replay (the replayed `phase_begin` cuts
+    /// nothing), so a replayed phase yields exactly one record.
+    open: Option<(PhaseId, u64)>,
+}
+
+impl MetricsState {
+    fn new(init: MetricsInit) -> MetricsState {
+        MetricsState {
+            hub: init.hub,
+            run: init.run,
+            seq: 0,
+            last_stats: init.baseline,
+            last_vtime: TimeBreakdown::default(),
+            ctl: init.ctl,
+            last_wire: init.wire0,
+            fetch: LatencyHist::default(),
+            iters: HashMap::new(),
+            open: None,
+        }
+    }
 }
 
 /// Per-node program context. One exists per compute thread per run.
@@ -61,6 +123,9 @@ pub struct NodeCtx {
     /// Phase-execution ordinal: how many `phase_begin`s this run has
     /// executed (the crash plan's `at_version` counts these).
     version: u64,
+    /// Phase-granular metrics series (None = metrics off: no cuts, no
+    /// cost beyond one never-taken branch per boundary).
+    metrics: Option<MetricsState>,
 }
 
 impl NodeCtx {
@@ -76,9 +141,11 @@ impl NodeCtx {
         ckpts: Arc<CheckpointStore>,
         crash: Option<CrashPlan>,
         checkpoints: bool,
+        metrics: Option<MetricsInit>,
     ) -> NodeCtx {
         let cost = shared.cost;
         NodeCtx {
+            metrics: metrics.map(MetricsState::new),
             shared,
             pred,
             commute,
@@ -108,6 +175,46 @@ impl NodeCtx {
             tr.set_vtime(self.t.total_ns());
             tr.emit(kind, a, b);
         }
+    }
+
+    /// Cut one metrics record: the deltas of everything since the
+    /// previous cut, attributed to `(phase, iter)` (0, 0 for the gaps
+    /// between phases). Costs relaxed loads plus a hub push; bills no
+    /// virtual time and sends no messages, so the gated counters are
+    /// unperturbed by construction. The protocol-handler thread keeps
+    /// serving peers while the cut is read, so attribution is approximate
+    /// at the margin — but consecutive cuts of the same cumulative
+    /// counters telescope, so the per-node sums reconcile exactly with
+    /// the run report whatever the races did.
+    fn metrics_cut(&mut self, phase: PhaseId, iter: u64) {
+        if self.metrics.is_none() {
+            return;
+        }
+        let now_stats = self.shared.stats.snapshot();
+        let now_vtime = self.t;
+        let node = self.shared.me;
+        let version = self.version;
+        let m = self.metrics.as_mut().expect("metrics on");
+        let wire = m.ctl.as_ref().map(|c| c.wire());
+        let rec = PhaseRecord {
+            node,
+            seq: m.seq,
+            run: m.run,
+            phase,
+            iter,
+            version,
+            vtime: now_vtime.sub(&m.last_vtime),
+            stats: now_stats.sub(&m.last_stats),
+            fetch: std::mem::take(&mut m.fetch),
+            wire: wire.map(|w| w.sub(&m.last_wire)),
+        };
+        m.seq += 1;
+        m.last_stats = now_stats;
+        m.last_vtime = now_vtime;
+        if let Some(w) = wire {
+            m.last_wire = w;
+        }
+        m.hub.push(rec);
     }
 
     /// This node's id.
@@ -229,14 +336,22 @@ impl NodeCtx {
             NodeStats::bump(&self.shared.stats.slow_misses);
         }
         let home = self.shared.layout.home_of_block(block);
-        self.t.wait_ns += if home == self.me() {
+        let mut wait = if home == self.me() {
             self.cost.local_fault_ns(info.extra_hops, info.bytes, info.recorded)
         } else {
             self.cost.miss_ns(info.extra_hops, info.bytes, info.recorded)
         };
         // Re-issued requests (lost or late replies on a faulty fabric) are
         // billed on top of the ordinary miss cost.
-        self.t.wait_ns += u64::from(info.retries) * self.cost.retry_ns;
+        wait += u64::from(info.retries) * self.cost.retry_ns;
+        self.t.wait_ns += wait;
+        if let Some(m) = self.metrics.as_mut() {
+            // The exact wait billed, including retry penalties. Not rolled
+            // back by crash recovery: unlike the stats (which must
+            // reconcile with the run report), the histogram records work
+            // that actually happened, replays included.
+            m.fetch.record(wait);
+        }
         self.trace(
             EventKind::FaultEnd,
             block.0,
@@ -291,6 +406,20 @@ impl NodeCtx {
     ///
     /// Under plain Stache this is a no-op (the unoptimized program).
     pub fn phase_begin(&mut self, phase: PhaseId) {
+        // Cut the inter-phase gap record before any of this directive's
+        // work (migration window, checkpoint, pre-send) accrues, so all
+        // of it lands in the phase's own record. A replayed begin (the
+        // phase is still open after a crash rollback) cuts nothing: the
+        // committed record then spans from the first attempt's begin to
+        // the final commit, matching the stats-rollback arithmetic.
+        if self.metrics.as_ref().is_some_and(|m| m.open.is_none()) {
+            self.metrics_cut(0, 0);
+            let m = self.metrics.as_mut().expect("metrics on");
+            let it = m.iters.entry(phase).or_insert(0);
+            let iter = *it;
+            *it += 1;
+            m.open = Some((phase, iter));
+        }
         self.version += 1;
         self.migration_window();
         if self.checkpoints {
@@ -373,6 +502,11 @@ impl NodeCtx {
         if let Some(pred) = self.pred.clone() {
             pred.end_phase();
             self.barrier_presend();
+        }
+        // The phase committed: cut its record here, past every closing
+        // barrier, so the record carries the phase's full protocol cost.
+        if let Some((p, iter)) = self.metrics.as_mut().and_then(|m| m.open.take()) {
+            self.metrics_cut(p, iter);
         }
         self.trace(EventKind::PhaseEnd, u64::from(self.cur_phase), 0);
         self.cur_phase = 0;
@@ -707,7 +841,15 @@ impl NodeCtx {
         slots.into_iter().fold(f64::NEG_INFINITY, f64::max)
     }
 
-    pub(crate) fn finish(self) -> (TimeBreakdown, Receiver<Wake>) {
+    pub(crate) fn finish(mut self) -> (TimeBreakdown, Receiver<Wake>) {
+        // The run's final cut: the tail after the last phase (gather
+        // loops, teardown traffic). If the program ended inside an open
+        // phase (raw-directive tests), credit the tail to that phase so
+        // the telescoping sum stays exact.
+        if self.metrics.is_some() {
+            let (p, iter) = self.metrics.as_mut().and_then(|m| m.open.take()).unwrap_or((0, 0));
+            self.metrics_cut(p, iter);
+        }
         (self.t, self.wake_rx)
     }
 }

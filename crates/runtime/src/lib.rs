@@ -39,4 +39,4 @@ pub use recovery::{
     Checkpoint, CheckpointStore, FailureKind, MachineError, NodeErrorState, RecoveryCtl,
     WatchdogConfig,
 };
-pub use report::{NodeReport, RunReport};
+pub use report::{NodeReport, PhaseGroup, RunReport, RunTimeline};

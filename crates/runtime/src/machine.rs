@@ -16,16 +16,16 @@ use prescient_tempest::fabric::{Endpoint, Fabric, FabricCtl, ShardEndpoint};
 use prescient_tempest::socket::{self, SocketGuard};
 use prescient_tempest::trace::{merge, to_chrome_json, to_jsonl};
 use prescient_tempest::{
-    Aborted, FaultStats, GAddr, GlobalLayout, HomeMap, HomeView, NodeId, TraceEvent, Tracer,
-    VBarrier,
+    Aborted, FaultStats, GAddr, GlobalLayout, HomeMap, HomeView, MetricsHub, MetricsServer, NodeId,
+    TraceEvent, Tracer, VBarrier,
 };
 
 use crate::config::{FabricKind, MachineConfig, PlacementSpec, ProtocolKind};
-use crate::ctx::NodeCtx;
+use crate::ctx::{MetricsInit, NodeCtx};
 use crate::recovery::{
     CheckpointStore, ErrorSlot, FailureKind, MachineError, NodeErrorState, RecoveryCtl, Watchdog,
 };
-use crate::report::{NodeReport, RunReport};
+use crate::report::{NodeReport, RunReport, RunTimeline};
 
 /// Scratch space for runtime reductions (a C\*\* language feature, handled
 /// outside the coherence protocol — §1 notes reductions are not a
@@ -65,10 +65,25 @@ pub struct Machine {
     recovery: Arc<RecoveryCtl>,
     /// Per-node checkpoint slots (empty until a checkpointed phase runs).
     ckpts: Arc<CheckpointStore>,
+    /// Metrics runtime: the hub plus its optional publisher/exposition
+    /// threads. `None` when metrics are off.
+    metrics: Option<MetricsRt>,
     /// Socket-backend teardown guard: joins the reader threads and closes
     /// the streams. Held last so it drops after the `Drop` body has joined
     /// the protocol threads (which may still be flushing onto the wire).
     _socket: Option<SocketGuard>,
+}
+
+/// The machine side of the metrics subsystem: the record hub shared with
+/// every node, the background JSONL publisher (when `stream:` is
+/// configured), the Prometheus TCP endpoint (when `tcp:` is configured),
+/// and the machine-lifetime run counter.
+struct MetricsRt {
+    hub: Arc<MetricsHub>,
+    publisher: Option<JoinHandle<()>>,
+    server: Option<MetricsServer>,
+    stream_path: Option<String>,
+    runs: u64,
 }
 
 /// The per-backend endpoint set a machine's fabric produced.
@@ -234,8 +249,53 @@ impl Machine {
                 }
             }
         }
+        // Metrics plumbing: the hub exists as soon as the machine does, so
+        // the publisher streams records live and a scrape during the run
+        // sees the timeline so far. Output failures are loud (a mistyped
+        // stream path must fail the run, not silently record nothing).
+        let metrics = if cfg.metrics.enabled {
+            let hub = Arc::new(MetricsHub::new());
+            let stream_path = cfg.metrics.stream.clone();
+            let publisher = stream_path.as_ref().map(|path| {
+                use std::io::Write as _;
+                let mut file =
+                    std::io::BufWriter::new(std::fs::File::create(path).unwrap_or_else(|e| {
+                        panic!("PRESCIENT_METRICS: cannot open stream file {path:?}: {e}")
+                    }));
+                let hub = Arc::clone(&hub);
+                std::thread::Builder::new()
+                    .name("metrics-pub".into())
+                    .spawn(move || {
+                        let mut seen = 0;
+                        loop {
+                            let (batch, closed) = hub.wait_more(seen);
+                            seen += batch.len();
+                            for r in &batch {
+                                let _ = writeln!(file, "{}", r.to_json_line());
+                            }
+                            // Flush per batch, not per line: a follower
+                            // sees whole records, and the run is never
+                            // blocked on the file (the hub buffers).
+                            let _ = file.flush();
+                            if closed && batch.is_empty() {
+                                return;
+                            }
+                        }
+                    })
+                    .expect("spawn metrics publisher thread")
+            });
+            let server = cfg.metrics.tcp.as_ref().map(|addr| {
+                MetricsServer::spawn(Arc::clone(&hub), addr).unwrap_or_else(|e| {
+                    panic!("PRESCIENT_METRICS: cannot bind tcp endpoint {addr:?}: {e}")
+                })
+            });
+            Some(MetricsRt { hub, publisher, server, stream_path, runs: 0 })
+        } else {
+            None
+        };
         let nodes = cfg.nodes;
         Machine {
+            metrics,
             cfg,
             layout,
             shareds,
@@ -400,6 +460,10 @@ impl Machine {
             }
         }
         let wire0 = self.ctl.wire();
+        let run_ord = self.metrics.as_mut().map(|m| {
+            m.runs += 1;
+            m.runs
+        });
         let rxs: Vec<Receiver<Wake>> =
             self.wake_rxs.iter_mut().map(|o| o.take().expect("checked above")).collect();
         // Restore clones immediately (crossbeam receivers share the
@@ -439,6 +503,15 @@ impl Machine {
                         let checkpoints = self.cfg.checkpoints;
                         let errors = Arc::clone(&errors);
                         let ctl = Arc::clone(&self.ctl);
+                        // Node 0 additionally records the fabric-global
+                        // wire deltas on the whole machine's behalf.
+                        let metrics = self.metrics.as_ref().map(|m| MetricsInit {
+                            hub: Arc::clone(&m.hub),
+                            run: run_ord.expect("metrics on"),
+                            baseline: stats0[i],
+                            ctl: (i == 0).then(|| Arc::clone(&self.ctl)),
+                            wire0,
+                        });
                         scope.spawn(move || {
                             let guard_barrier = Arc::clone(&barrier);
                             let r = catch_unwind(AssertUnwindSafe(|| {
@@ -453,6 +526,7 @@ impl Machine {
                                     ckpts,
                                     crash,
                                     checkpoints,
+                                    metrics,
                                 );
                                 let r = f(&mut ctx);
                                 let (breakdown, _rx) = ctx.finish();
@@ -535,6 +609,22 @@ impl Machine {
         ))
     }
 
+    /// The metrics timeline accumulated so far: every phase record every
+    /// run has cut on this machine, wrapped for aggregation and export.
+    /// `None` when metrics are off. Callable mid-run (the hub is live) —
+    /// but only records already cut are included; call between runs for a
+    /// consistent picture.
+    pub fn timeline(&self) -> Option<RunTimeline> {
+        self.metrics.as_ref().map(|m| RunTimeline::new(self.cfg.nodes, m.hub.snapshot()))
+    }
+
+    /// The bound address of the Prometheus text-exposition endpoint, when
+    /// the metrics config asked for one (`tcp:ADDR`; an `ADDR` with port
+    /// 0 resolves here to the picked port).
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.metrics.as_ref().and_then(|m| m.server.as_ref()).map(MetricsServer::addr)
+    }
+
     /// Assemble the structured death report: the failure, every node's
     /// protocol state, and the tail of the merged trace (when tracing ran).
     fn machine_error(
@@ -592,6 +682,31 @@ impl Drop for Machine {
                 .and_then(|()| std::fs::write(format!("{base}.jsonl"), jsonl))
             {
                 eprintln!("prescient: trace export to {base}.json[l] failed: {e}");
+            }
+        }
+        // Metrics teardown: close the hub (the publisher drains its tail
+        // and exits), stop the exposition endpoint, then merge every
+        // node's series into the RunTimeline JSON. `PRESCIENT_METRICS_OUT`
+        // names the export base explicitly; otherwise a streamed machine
+        // exports next to its stream file, and an in-memory machine
+        // exports nothing (its user holds `Machine::timeline`).
+        if let Some(m) = self.metrics.as_mut() {
+            m.hub.close();
+            if let Some(p) = m.publisher.take() {
+                let _ = p.join();
+            }
+            if let Some(mut s) = m.server.take() {
+                s.shutdown();
+            }
+            let out = std::env::var("PRESCIENT_METRICS_OUT")
+                .ok()
+                .map(|base| format!("{base}.timeline.json"))
+                .or_else(|| m.stream_path.as_ref().map(|p| format!("{p}.timeline.json")));
+            if let Some(path) = out {
+                let tl = RunTimeline::new(self.cfg.nodes, m.hub.snapshot());
+                if let Err(e) = std::fs::write(&path, tl.to_json()) {
+                    eprintln!("prescient: metrics timeline export to {path} failed: {e}");
+                }
             }
         }
     }

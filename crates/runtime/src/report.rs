@@ -2,8 +2,9 @@
 
 use std::time::Duration;
 
+use prescient_tempest::socket::NodeRange;
 use prescient_tempest::stats::StatsSnapshot;
-use prescient_tempest::{NodeId, TimeBreakdown, WireSnapshot};
+use prescient_tempest::{NodeId, PhaseRecord, TimeBreakdown, WireSnapshot};
 
 /// One node's contribution to a run.
 #[derive(Debug, Clone, Copy)]
@@ -182,6 +183,252 @@ impl RunReport {
     }
 }
 
+/// Aggregate of one `(run, phase, iter)` group across the nodes that
+/// reported it: what the machine as a whole did in that phase instance.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseGroup {
+    /// 1-based `Machine::run` ordinal.
+    pub run: u64,
+    /// Phase id (0 = the gaps between phases).
+    pub phase: u32,
+    /// Iteration ordinal of this phase id within the run.
+    pub iter: u64,
+    /// Number of per-node records in the group.
+    pub records: usize,
+    /// Maximum per-node vtime delta (the phase instance's execution-time
+    /// contribution, by the same max-over-nodes rule as
+    /// [`RunReport::exec_time_ns`]).
+    pub vtime_ns: u64,
+    /// Sum of per-node vtime deltas, segment-wise.
+    pub vtime: TimeBreakdown,
+    /// Sum of per-node counter deltas.
+    pub stats: StatsSnapshot,
+    /// Sum of per-node fetch-latency histograms.
+    pub fetch: prescient_tempest::LatencyHist,
+    /// Wire delta (recorded by node 0 on the machine's behalf).
+    pub wire: Option<WireSnapshot>,
+}
+
+impl PhaseGroup {
+    /// Bytes moved in this phase instance (the gate metric's per-phase
+    /// restriction).
+    pub fn bytes_moved(&self) -> u64 {
+        self.stats.data_bytes_in + self.stats.presend_bytes_out
+    }
+
+    /// Blocks moved in this phase instance.
+    pub fn blocks_moved(&self) -> u64 {
+        self.stats.misses() + self.stats.presend_blocks_out
+    }
+}
+
+/// A whole machine's metrics timeline: every [`PhaseRecord`] its runs
+/// cut, with the node range the records cover. Single-process machines
+/// cover `0..nodes`; each side of a two-process socket run exports its
+/// local range, and [`RunTimeline::merge`] reassembles the machine.
+#[derive(Debug, Clone)]
+pub struct RunTimeline {
+    /// Total nodes in the (possibly multi-process) machine.
+    pub nodes: usize,
+    /// The contiguous node range this timeline's records cover.
+    pub range: NodeRange,
+    /// Every record, in hub push order.
+    pub records: Vec<PhaseRecord>,
+}
+
+impl RunTimeline {
+    /// A timeline covering the whole machine.
+    pub fn new(nodes: usize, records: Vec<PhaseRecord>) -> RunTimeline {
+        RunTimeline { nodes, range: NodeRange::new(0, nodes as u16), records }
+    }
+
+    /// A timeline covering one process's node range of a larger machine.
+    pub fn with_range(nodes: usize, range: NodeRange, records: Vec<PhaseRecord>) -> RunTimeline {
+        RunTimeline { nodes, range, records }
+    }
+
+    /// Counter totals over every record.
+    pub fn totals(&self) -> StatsSnapshot {
+        self.records.iter().fold(StatsSnapshot::default(), |acc, r| acc.merge(&r.stats))
+    }
+
+    /// The distinct run ordinals present, ascending.
+    pub fn runs(&self) -> Vec<u64> {
+        let mut rs: Vec<u64> = self.records.iter().map(|r| r.run).collect();
+        rs.sort_unstable();
+        rs.dedup();
+        rs
+    }
+
+    /// Group the records by `(run, phase, iter)` and aggregate each group
+    /// across nodes, ordered by run, then first appearance (which follows
+    /// the program's phase order — every node pushes its cut for a phase
+    /// before any node can cut the next one, barriers being barriers).
+    pub fn phases(&self) -> Vec<PhaseGroup> {
+        let mut order: Vec<(u64, u32, u64)> = Vec::new();
+        let mut groups: std::collections::HashMap<(u64, u32, u64), PhaseGroup> =
+            std::collections::HashMap::new();
+        for r in &self.records {
+            let key = (r.run, r.phase, r.iter);
+            let g = groups.entry(key).or_insert_with(|| {
+                order.push(key);
+                PhaseGroup { run: r.run, phase: r.phase, iter: r.iter, ..PhaseGroup::default() }
+            });
+            g.records += 1;
+            g.vtime_ns = g.vtime_ns.max(r.vtime.total_ns());
+            g.vtime = g.vtime.merge(&r.vtime);
+            g.stats = g.stats.merge(&r.stats);
+            g.fetch = g.fetch.merge(&r.fetch);
+            if let Some(w) = &r.wire {
+                g.wire = Some(g.wire.map_or(*w, |acc| acc.merge(w)));
+            }
+        }
+        let mut out: Vec<PhaseGroup> = Vec::with_capacity(order.len());
+        let mut keys = order;
+        keys.sort_by_key(|k| k.0); // stable: run order first, appearance within
+        for k in keys {
+            out.push(groups.remove(&k).expect("grouped"));
+        }
+        out
+    }
+
+    /// Verify the telescoping-sum invariant against a run's report: for
+    /// every node in this timeline's range, the sum of the node's record
+    /// deltas for `run` must equal the report's per-node stats and vtime
+    /// breakdown *exactly* (phase attribution may race the protocol
+    /// thread; the sums cannot). Returns the first discrepancy.
+    pub fn reconciles_with(&self, report: &RunReport, run: u64) -> Result<(), String> {
+        for node in self.range.start..self.range.end() {
+            let (mut stats, mut vtime) = (StatsSnapshot::default(), TimeBreakdown::default());
+            let mut cuts = 0;
+            for r in self.records.iter().filter(|r| r.run == run && r.node == node) {
+                stats = stats.merge(&r.stats);
+                vtime = vtime.merge(&r.vtime);
+                cuts += 1;
+            }
+            if cuts == 0 {
+                return Err(format!("node {node}: no records for run {run}"));
+            }
+            let rep = report
+                .per_node
+                .iter()
+                .find(|n| n.node == node)
+                .ok_or_else(|| format!("node {node}: missing from the run report"))?;
+            for ((name, a), (_, b)) in stats.fields().iter().zip(rep.stats.fields()) {
+                if *a != b {
+                    return Err(format!(
+                        "node {node} run {run}: {name} sums to {a} over {cuts} records, \
+                         report says {b}"
+                    ));
+                }
+            }
+            if vtime != rep.breakdown {
+                return Err(format!(
+                    "node {node} run {run}: vtime sums to {vtime:?}, report says {:?}",
+                    rep.breakdown
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge per-process timelines (from a multi-process socket run) into
+    /// one. The parts must agree on the machine size and their ranges
+    /// must partition `0..nodes` exactly — the same validation the socket
+    /// handshake applies to the node ranges themselves.
+    pub fn merge(mut parts: Vec<RunTimeline>) -> Result<RunTimeline, String> {
+        let Some(first) = parts.first() else {
+            return Err("merge of zero timelines".into());
+        };
+        let nodes = first.nodes;
+        if parts.iter().any(|p| p.nodes != nodes) {
+            return Err(format!(
+                "timelines disagree on machine size: {:?}",
+                parts.iter().map(|p| p.nodes).collect::<Vec<_>>()
+            ));
+        }
+        parts.sort_by_key(|p| p.range.start);
+        let mut expect = 0u16;
+        for p in &parts {
+            if p.range.start != expect {
+                return Err(format!(
+                    "node ranges do not partition 0..{nodes}: expected a range starting at \
+                     {expect}, got {}..{}",
+                    p.range.start,
+                    p.range.end()
+                ));
+            }
+            expect = p.range.end();
+        }
+        if expect as usize != nodes {
+            return Err(format!("node ranges cover 0..{expect}, machine has {nodes} nodes"));
+        }
+        let mut records = Vec::with_capacity(parts.iter().map(|p| p.records.len()).sum());
+        for p in &mut parts {
+            records.append(&mut p.records);
+        }
+        Ok(RunTimeline::new(nodes, records))
+    }
+
+    /// The timeline as JSON: a header (machine size + node range), every
+    /// record verbatim in the stream's line format (so the stream and the
+    /// timeline are textually comparable record-for-record), the
+    /// `(run, phase, iter)` aggregates under the gate metrics' names, and
+    /// the counter totals in the run report's schema.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        writeln!(s, "{{").unwrap();
+        writeln!(s, "\"nodes\": {},", self.nodes).unwrap();
+        writeln!(s, "\"range_start\": {},", self.range.start).unwrap();
+        writeln!(s, "\"range_len\": {},", self.range.len).unwrap();
+        writeln!(s, "\"records\": [").unwrap();
+        for (i, r) in self.records.iter().enumerate() {
+            let sep = if i + 1 < self.records.len() { "," } else { "" };
+            writeln!(s, "{}{sep}", r.to_json_line()).unwrap();
+        }
+        writeln!(s, "],").unwrap();
+        writeln!(s, "\"phases\": [").unwrap();
+        let phases = self.phases();
+        for (i, g) in phases.iter().enumerate() {
+            let w = g.wire.unwrap_or_default();
+            write!(
+                s,
+                "{{\"run\": {}, \"phase\": {}, \"iter\": {}, \"cuts\": {}, \
+                 \"vtime_ns\": {}, \"msgs\": {}, \"bytes_moved\": {}, \"blocks_moved\": {}, \
+                 \"misses\": {}, \"presend_blocks\": {}, \"presend_useless\": {}, \
+                 \"fetch_mean_ns\": {:.0}, \"wire_batches\": {}, \"wire_occupancy\": {:.2}}}",
+                g.run,
+                g.phase,
+                g.iter,
+                g.records,
+                g.vtime_ns,
+                g.stats.msgs_out,
+                g.bytes_moved(),
+                g.blocks_moved(),
+                g.stats.misses(),
+                g.stats.presend_blocks_out,
+                g.stats.presend_useless,
+                g.fetch.mean_ns(),
+                w.batches,
+                w.mean_occupancy(),
+            )
+            .unwrap();
+            writeln!(s, "{}", if i + 1 < phases.len() { "," } else { "" }).unwrap();
+        }
+        writeln!(s, "],").unwrap();
+        let mut totals = String::from("{");
+        for (i, (name, v)) in self.totals().fields().iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            write!(totals, "{sep}\"{name}\": {v}").unwrap();
+        }
+        totals.push('}');
+        writeln!(s, "\"totals\": {totals}").unwrap();
+        writeln!(s, "}}").unwrap();
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,5 +520,96 @@ mod tests {
         let line = r.bar_line();
         assert!(line.contains("remote-wait"));
         assert!(line.contains("3.000 ms"));
+    }
+
+    fn rec(node: NodeId, seq: u64, phase: u32, iter: u64, msgs: u64, wait: u64) -> PhaseRecord {
+        PhaseRecord {
+            node,
+            seq,
+            run: 1,
+            phase,
+            iter,
+            version: seq,
+            vtime: TimeBreakdown { compute_ns: 0, wait_ns: wait, presend_ns: 0, synch_ns: 0 },
+            stats: StatsSnapshot { msgs_out: msgs, ..StatsSnapshot::default() },
+            fetch: prescient_tempest::LatencyHist::default(),
+            wire: None,
+        }
+    }
+
+    #[test]
+    fn timeline_phases_group_in_program_order() {
+        // Two nodes, two iterations of phase 7, with gap cuts interleaved.
+        let records = vec![
+            rec(0, 0, 0, 0, 1, 10),
+            rec(1, 0, 0, 0, 1, 12),
+            rec(0, 1, 7, 0, 3, 20),
+            rec(1, 1, 7, 0, 4, 25),
+            rec(0, 2, 7, 1, 5, 30),
+            rec(1, 2, 7, 1, 6, 15),
+        ];
+        let t = RunTimeline::new(2, records);
+        let phases = t.phases();
+        assert_eq!(phases.len(), 3);
+        assert_eq!((phases[0].phase, phases[0].iter), (0, 0));
+        assert_eq!((phases[1].phase, phases[1].iter), (7, 0));
+        assert_eq!((phases[2].phase, phases[2].iter), (7, 1));
+        assert_eq!(phases[1].records, 2);
+        assert_eq!(phases[1].stats.msgs_out, 7);
+        // vtime_ns is the max-over-nodes delta, vtime the sum.
+        assert_eq!(phases[2].vtime_ns, 30);
+        assert_eq!(phases[2].vtime.wait_ns, 45);
+        assert_eq!(t.totals().msgs_out, 20);
+        assert_eq!(t.runs(), vec![1]);
+    }
+
+    #[test]
+    fn timeline_reconciles_exactly_and_flags_drift() {
+        let records = vec![rec(0, 0, 0, 0, 2, 5), rec(0, 1, 7, 0, 3, 10)];
+        let t = RunTimeline::new(1, records);
+        let mut rep =
+            report(vec![TimeBreakdown { compute_ns: 0, wait_ns: 15, presend_ns: 0, synch_ns: 0 }]);
+        rep.per_node[0].stats.msgs_out = 5;
+        assert!(t.reconciles_with(&rep, 1).is_ok());
+        // Any counter off by one is a loud, named failure.
+        rep.per_node[0].stats.msgs_out = 6;
+        let err = t.reconciles_with(&rep, 1).unwrap_err();
+        assert!(err.contains("msgs_out"), "got: {err}");
+        // A run with no records is also a failure, not a vacuous pass.
+        assert!(t.reconciles_with(&rep, 9).is_err());
+    }
+
+    #[test]
+    fn timeline_merge_requires_a_partition() {
+        let nodes = 4;
+        let lo = RunTimeline::with_range(nodes, NodeRange::new(0, 2), vec![rec(0, 0, 0, 0, 1, 1)]);
+        let hi = RunTimeline::with_range(nodes, NodeRange::new(2, 2), vec![rec(2, 0, 0, 0, 2, 1)]);
+        let merged = RunTimeline::merge(vec![hi.clone(), lo.clone()]).unwrap();
+        assert_eq!(merged.range, NodeRange::new(0, 4));
+        assert_eq!(merged.records.len(), 2);
+        assert_eq!(merged.totals().msgs_out, 3);
+        // A gap in the ranges is rejected.
+        let gap = RunTimeline::with_range(nodes, NodeRange::new(3, 1), vec![]);
+        assert!(RunTimeline::merge(vec![lo.clone(), gap]).is_err());
+        // Disagreeing machine sizes are rejected.
+        let other = RunTimeline::with_range(8, NodeRange::new(2, 6), vec![]);
+        assert!(RunTimeline::merge(vec![lo, other]).is_err());
+        assert!(RunTimeline::merge(vec![]).is_err());
+    }
+
+    #[test]
+    fn timeline_json_embeds_stream_lines_verbatim() {
+        let r0 = rec(0, 0, 7, 0, 3, 20);
+        let line = r0.to_json_line();
+        let t = RunTimeline::new(1, vec![r0]);
+        let j = t.to_json();
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(j.contains(&line), "record line must appear verbatim in the timeline");
+        assert!(j.contains("\"nodes\": 1,"));
+        assert!(j.contains("\"range_start\": 0,"));
+        assert!(j.contains("\"phases\": ["));
+        assert!(j.contains("\"totals\": {"));
+        assert!(j.contains("\"msgs_out\": 3"));
     }
 }

@@ -1,0 +1,215 @@
+//! End-to-end tests of the metrics timeline: per-phase records must
+//! reconcile *exactly* with the run report (the telescoping-sum
+//! invariant), must not perturb the measured computation, must survive
+//! crash-replay without double-counting, and the live outputs (JSONL
+//! stream, Prometheus endpoint, teardown timeline) must agree with each
+//! other.
+
+use std::io::{Read, Write};
+use std::time::Duration;
+
+use prescient_runtime::{Agg1D, Dist1D, Machine, MachineConfig, NodeCtx, RunReport, RunTimeline};
+use prescient_stache::RetryConfig;
+use prescient_tempest::{CrashPlan, MetricsConfig, PhaseRecord};
+
+const NODES: usize = 4;
+const N: usize = 64;
+const ITERS: usize = 4;
+
+fn base_cfg() -> MachineConfig {
+    // Generous timeout: on a clean fabric a retry can only be host-load
+    // noise, which would make the off/on comparison flaky.
+    MachineConfig::predictive(NODES, 32)
+        .with_retry(RetryConfig { timeout: Duration::from_secs(30), max_retries: 4 })
+}
+
+/// Init + double-buffered relaxation + gather in ONE run, so run 1's
+/// records cover exactly what the run report counts.
+fn run_relaxation(cfg: MachineConfig) -> (Vec<f64>, RunReport, Machine) {
+    let mut m = Machine::new(cfg);
+    let a = Agg1D::<f64>::new(&m, N, Dist1D::Block);
+    let b = Agg1D::<f64>::new(&m, N, Dist1D::Block);
+    let (vals, report) = m.run(|ctx: &mut NodeCtx| {
+        for i in a.my_range(ctx.me()) {
+            ctx.write(a.addr(i), i as f64);
+            ctx.write(b.addr(i), i as f64);
+        }
+        ctx.barrier();
+        for _ in 0..ITERS {
+            for (phase, src, dst) in [(1u32, &a, &b), (2, &b, &a)] {
+                ctx.phase_begin(phase);
+                for i in src.my_range(ctx.me()) {
+                    let v = if i > 0 && i + 1 < N {
+                        let l: f64 = ctx.read(src.addr(i - 1));
+                        let r: f64 = ctx.read(src.addr(i + 1));
+                        ctx.work(2);
+                        0.5 * (l + r)
+                    } else {
+                        ctx.read(src.addr(i))
+                    };
+                    ctx.write(dst.addr(i), v);
+                }
+                ctx.phase_end();
+            }
+        }
+        let mut out = Vec::new();
+        if ctx.me() == 0 {
+            for i in 0..N {
+                out.push(ctx.read::<f64>(a.addr(i)));
+            }
+        }
+        ctx.barrier();
+        out
+    });
+    (vals.into_iter().next().expect("node 0 result"), report, m)
+}
+
+fn tmp(tag: &str) -> String {
+    let mut p = std::env::temp_dir();
+    p.push(format!("prescient_metrics_e2e_{}_{tag}", std::process::id()));
+    p.to_string_lossy().into_owned()
+}
+
+#[test]
+fn timeline_reconciles_exactly_with_the_report() {
+    let (_, report, m) = run_relaxation(base_cfg().with_metrics(MetricsConfig::on()));
+    let t = m.timeline().expect("metrics on");
+    t.reconciles_with(&report, 1).expect("telescoping sums must match the report");
+
+    // Every phase instance is cut by every node, in program order.
+    let phases = t.phases();
+    let phase_groups: Vec<_> = phases.iter().filter(|g| g.phase != 0).collect();
+    assert_eq!(phase_groups.len(), 2 * ITERS, "two phases per iteration");
+    for (k, g) in phase_groups.iter().enumerate() {
+        assert_eq!(g.phase as usize, 1 + k % 2, "program phase order");
+        assert_eq!(g.iter, (k / 2) as u64, "iteration ordinals count per phase id");
+        assert_eq!(g.records, NODES, "every node cuts every phase instance");
+        assert!(g.vtime_ns > 0);
+    }
+    // The relaxation misses across block edges, so fetch histograms fill.
+    assert!(phase_groups.iter().any(|g| g.fetch.n() > 0), "fetch latency recorded");
+    // Wire deltas are recorded by node 0 only, on the machine's behalf.
+    for r in &t.records {
+        assert_eq!(r.wire.is_some(), r.node == 0, "wire deltas come from node 0");
+    }
+}
+
+#[test]
+fn metrics_do_not_perturb_the_run() {
+    let (v_off, r_off, m_off) = run_relaxation(base_cfg().with_metrics(MetricsConfig::off()));
+    assert!(m_off.timeline().is_none(), "disabled metrics record nothing");
+    drop(m_off);
+    let (v_on, r_on, _m) = run_relaxation(base_cfg().with_metrics(MetricsConfig::on()));
+    assert_eq!(v_off, v_on, "metrics must not change results");
+    // The gated perf columns must be bit-identical, not merely close.
+    let sig = |r: &RunReport| {
+        let t = r.total_stats();
+        (
+            r.exec_time_ns(),
+            t.msgs_out,
+            t.data_bytes_in + t.presend_bytes_out,
+            t.misses() + t.presend_blocks_out,
+            t.misses(),
+            t.presend_blocks_out,
+            t.presend_useless,
+        )
+    };
+    assert_eq!(sig(&r_off), sig(&r_on), "gated counters must be bit-identical off vs on");
+}
+
+#[test]
+fn crash_replay_cuts_one_record_per_phase_instance() {
+    // Crash-recoverable phases must run through the `ctx.phase` wrapper so
+    // the destroyed body can re-run.
+    let mut m = Machine::new(
+        base_cfg().with_metrics(MetricsConfig::on()).with_crash_plan(CrashPlan::new(2, 3)),
+    );
+    let a = Agg1D::<f64>::new(&m, N, Dist1D::Block);
+    let b = Agg1D::<f64>::new(&m, N, Dist1D::Block);
+    let sweep = |ctx: &mut NodeCtx, src: &Agg1D<f64>, dst: &Agg1D<f64>| {
+        for i in src.my_range(ctx.me()) {
+            let v = if i > 0 && i + 1 < N {
+                let l: f64 = ctx.read(src.addr(i - 1));
+                let r: f64 = ctx.read(src.addr(i + 1));
+                0.5 * (l + r)
+            } else {
+                ctx.read(src.addr(i))
+            };
+            ctx.write(dst.addr(i), v);
+        }
+    };
+    let (_, report) = m.run(|ctx: &mut NodeCtx| {
+        for i in a.my_range(ctx.me()) {
+            ctx.write(a.addr(i), i as f64);
+            ctx.write(b.addr(i), i as f64);
+        }
+        ctx.barrier();
+        for _ in 0..ITERS {
+            ctx.phase(1, &mut (), |ctx, _| sweep(ctx, &a, &b));
+            ctx.phase(2, &mut (), |ctx, _| sweep(ctx, &b, &a));
+        }
+    });
+    let t = m.timeline().expect("metrics on");
+    // Rollback arithmetic and record deltas are cut from the same
+    // counters, so the sums still match exactly through a replay.
+    t.reconciles_with(&report, 1).expect("replayed run still reconciles");
+    assert!(report.total_stats().replays > 0, "the crash must actually fire");
+    // The replayed phase spans first-begin .. replay-commit as ONE record
+    // per node — never two. (Gap records all share the key `(0, 0)`, so
+    // only real phase groups are pinned to one cut per node.)
+    for g in t.phases().iter().filter(|g| g.phase != 0) {
+        assert_eq!(
+            g.records, NODES,
+            "phase {} iter {}: exactly one cut per node, replay included",
+            g.phase, g.iter
+        );
+    }
+}
+
+#[test]
+fn stream_file_matches_the_teardown_timeline() {
+    let path = tmp("stream");
+    let (_, report, m) = run_relaxation(base_cfg().with_metrics(MetricsConfig::stream(&path)));
+    let timeline = m.timeline().expect("metrics on");
+    drop(m); // close the hub, join the publisher, export the timeline
+
+    let stream = std::fs::read_to_string(&path).expect("stream file written");
+    let streamed: Vec<PhaseRecord> = stream
+        .lines()
+        .map(|l| PhaseRecord::parse_line(l).expect("every stream line parses"))
+        .collect();
+    assert_eq!(streamed, timeline.records, "live stream equals the teardown timeline");
+    let rt = RunTimeline::new(NODES, streamed);
+    rt.reconciles_with(&report, 1).expect("reparsed stream reconciles");
+
+    // The timeline export rides on the stream path and embeds the same
+    // lines verbatim — live and post-hoc views are textually comparable.
+    let tj = std::fs::read_to_string(format!("{path}.timeline.json")).expect("timeline exported");
+    for line in stream.lines() {
+        assert!(tj.contains(line), "stream line missing from timeline json: {line}");
+    }
+    assert_eq!(tj.matches('{').count(), tj.matches('}').count());
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(format!("{path}.timeline.json"));
+}
+
+#[test]
+fn tcp_endpoint_serves_reconciling_prometheus_text() {
+    let (_, report, m) = run_relaxation(base_cfg().with_metrics(MetricsConfig::tcp("127.0.0.1:0")));
+    let addr = m.metrics_addr().expect("server bound");
+    let mut conn = std::net::TcpStream::connect(addr).expect("scrape connects");
+    conn.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").expect("request");
+    let mut text = String::new();
+    conn.read_to_string(&mut text).expect("response");
+    assert!(text.starts_with("HTTP/1.1 200"), "got: {}", text.lines().next().unwrap_or(""));
+    assert!(text.contains("prescient_phase_records_total"));
+
+    // The scraped per-node cumulative counters are the telescoped record
+    // sums, so they must equal the run report's totals exactly.
+    let scraped_msgs: u64 = text
+        .lines()
+        .filter(|l| l.starts_with("prescient_msgs_out_total{"))
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().expect("sample value"))
+        .sum();
+    assert_eq!(scraped_msgs, report.total_stats().msgs_out, "scrape reconciles with report");
+}

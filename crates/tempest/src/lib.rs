@@ -39,6 +39,7 @@ pub mod fabric;
 pub mod faults;
 pub mod layout;
 pub mod mem;
+pub mod metrics;
 pub mod nodeset;
 pub mod prim;
 pub mod socket;
@@ -59,6 +60,7 @@ pub use faults::{
 };
 pub use layout::{GlobalLayout, HomeMap, HomeView};
 pub use mem::{Fault, MemCheckpoint, MemError, NodeMem};
+pub use metrics::{LatencyHist, MetricsConfig, MetricsHub, MetricsServer, PhaseRecord};
 pub use nodeset::NodeSet;
 pub use prim::Prim;
 pub use socket::{NodeRange, SocketGuard};

@@ -97,6 +97,10 @@ pub struct NodeStats {
     /// Blocks homed at this node by a placement overlay (offline remap or
     /// scatter) rather than by the segment-derived default.
     pub remapped_blocks: AtomicU64,
+    /// Delta chunks this node pushed to other owners during commutative
+    /// merge windows (initial sends only; retransmissions are not
+    /// re-counted, so the total is deterministic on every fabric).
+    pub merge_chunks_out: AtomicU64,
 }
 
 impl NodeStats {
@@ -147,6 +151,7 @@ impl NodeStats {
             migrations: g(&self.migrations),
             forwards: g(&self.forwards),
             remapped_blocks: g(&self.remapped_blocks),
+            merge_chunks_out: g(&self.merge_chunks_out),
         }
     }
 
@@ -187,6 +192,7 @@ impl NodeStats {
         p(&self.migrations, s.migrations);
         p(&self.forwards, s.forwards);
         p(&self.remapped_blocks, s.remapped_blocks);
+        p(&self.merge_chunks_out, s.merge_chunks_out);
     }
 }
 
@@ -225,6 +231,7 @@ pub struct StatsSnapshot {
     pub migrations: u64,
     pub forwards: u64,
     pub remapped_blocks: u64,
+    pub merge_chunks_out: u64,
 }
 
 macro_rules! per_field {
@@ -261,6 +268,7 @@ macro_rules! per_field {
             migrations: $a.migrations $op $b.migrations,
             forwards: $a.forwards $op $b.forwards,
             remapped_blocks: $a.remapped_blocks $op $b.remapped_blocks,
+            merge_chunks_out: $a.merge_chunks_out $op $b.merge_chunks_out,
         }
     };
 }
@@ -291,7 +299,7 @@ impl StatsSnapshot {
     /// Serializers (the run-report JSON, the trace analyzer) iterate this
     /// instead of hand-listing fields, so a new counter shows up
     /// everywhere by editing `NodeStats` + this table only.
-    pub fn fields(&self) -> [(&'static str, u64); 31] {
+    pub fn fields(&self) -> [(&'static str, u64); 32] {
         [
             ("reads", self.reads),
             ("writes", self.writes),
@@ -324,6 +332,48 @@ impl StatsSnapshot {
             ("migrations", self.migrations),
             ("forwards", self.forwards),
             ("remapped_blocks", self.remapped_blocks),
+            ("merge_chunks_out", self.merge_chunks_out),
+        ]
+    }
+
+    /// Every counter as a `(name, &mut value)` pair, in the same order as
+    /// [`StatsSnapshot::fields`]. Deserializers (the metrics JSONL parser)
+    /// iterate this, so the two tables cannot drift apart silently: a
+    /// counter added to one but not the other fails the round-trip test.
+    pub fn fields_mut(&mut self) -> [(&'static str, &mut u64); 32] {
+        [
+            ("reads", &mut self.reads),
+            ("writes", &mut self.writes),
+            ("read_misses", &mut self.read_misses),
+            ("write_misses", &mut self.write_misses),
+            ("slow_misses", &mut self.slow_misses),
+            ("invals_in", &mut self.invals_in),
+            ("recalls_in", &mut self.recalls_in),
+            ("msgs_out", &mut self.msgs_out),
+            ("presend_blocks_out", &mut self.presend_blocks_out),
+            ("presend_msgs_out", &mut self.presend_msgs_out),
+            ("presend_bytes_out", &mut self.presend_bytes_out),
+            ("presend_blocks_in", &mut self.presend_blocks_in),
+            ("sched_records", &mut self.sched_records),
+            ("presend_races", &mut self.presend_races),
+            ("retries", &mut self.retries),
+            ("presend_retries", &mut self.presend_retries),
+            ("dup_reqs_in", &mut self.dup_reqs_in),
+            ("stale_msgs_in", &mut self.stale_msgs_in),
+            ("stale_grants_in", &mut self.stale_grants_in),
+            ("presend_stale_in", &mut self.presend_stale_in),
+            ("presend_aborted", &mut self.presend_aborted),
+            ("data_bytes_in", &mut self.data_bytes_in),
+            ("presend_useless", &mut self.presend_useless),
+            ("degrade_events", &mut self.degrade_events),
+            ("checkpoints", &mut self.checkpoints),
+            ("checkpoint_bytes", &mut self.checkpoint_bytes),
+            ("recoveries", &mut self.recoveries),
+            ("replays", &mut self.replays),
+            ("migrations", &mut self.migrations),
+            ("forwards", &mut self.forwards),
+            ("remapped_blocks", &mut self.remapped_blocks),
+            ("merge_chunks_out", &mut self.merge_chunks_out),
         ]
     }
 
@@ -544,6 +594,17 @@ impl TimeBreakdown {
             wait_ns: self.wait_ns + o.wait_ns,
             presend_ns: self.presend_ns + o.presend_ns,
             synch_ns: self.synch_ns + o.synch_ns,
+        }
+    }
+
+    /// Element-wise difference (`self - o`), for per-phase deltas from the
+    /// cumulative per-node breakdown.
+    pub fn sub(&self, o: &TimeBreakdown) -> TimeBreakdown {
+        TimeBreakdown {
+            compute_ns: self.compute_ns - o.compute_ns,
+            wait_ns: self.wait_ns - o.wait_ns,
+            presend_ns: self.presend_ns - o.presend_ns,
+            synch_ns: self.synch_ns - o.synch_ns,
         }
     }
 }
